@@ -1,0 +1,29 @@
+//! Quick scaling probe: measures K3-listing rounds and wall time on dense
+//! `G(n, 1/2)` up to n = 512 (the headline-scaling table of
+//! EXPERIMENTS.md). Heavier than the E1 sweep; run when you have a few
+//! minutes: `cargo run --release -p bench --bin timing_probe`.
+
+use clique_listing::{list_cliques_congest, ListingConfig};
+use std::time::Instant;
+
+fn main() {
+    let mut prev: Option<(f64, f64)> = None;
+    println!("dense G(n, 1/2), K3 listing — paper claim: n^(1/3 + o(1)) rounds");
+    for n in [64usize, 128, 256, 512] {
+        let g = graphs::erdos_renyi(n, 0.5, 1);
+        let t = Instant::now();
+        let out = list_cliques_congest(&g, 3, &ListingConfig::default());
+        assert_eq!(out.cliques.len(), graphs::list_cliques(&g, 3).len());
+        let r = out.report.rounds() as f64;
+        let exp = prev.map(|(pn, pr)| (r / pr).ln() / (n as f64 / pn).ln());
+        match exp {
+            Some(e) => println!(
+                "n={n:<4} rounds={:<6} local exponent={e:.2}  wall={:?}",
+                out.report.rounds(),
+                t.elapsed()
+            ),
+            None => println!("n={n:<4} rounds={:<6} wall={:?}", out.report.rounds(), t.elapsed()),
+        }
+        prev = Some((n as f64, r));
+    }
+}

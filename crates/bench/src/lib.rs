@@ -1,0 +1,87 @@
+//! Shared helpers for the experiment harness and Criterion benches.
+
+use congest::graph::Graph;
+
+/// Least-squares slope of `log(y)` against `log(x)` — the fitted exponent
+/// reported by the scaling experiments.
+pub fn fitted_exponent(points: &[(f64, f64)]) -> f64 {
+    let n = points.len() as f64;
+    if points.len() < 2 {
+        return f64::NAN;
+    }
+    let lx: Vec<f64> = points.iter().map(|&(x, _)| x.ln()).collect();
+    let ly: Vec<f64> = points.iter().map(|&(_, y)| y.max(1.0).ln()).collect();
+    let mx = lx.iter().sum::<f64>() / n;
+    let my = ly.iter().sum::<f64>() / n;
+    let num: f64 = lx.iter().zip(&ly).map(|(a, b)| (a - mx) * (b - my)).sum();
+    let den: f64 = lx.iter().map(|a| (a - mx) * (a - mx)).sum();
+    num / den
+}
+
+/// The dense workload of the scaling experiments (the lower-bound-hard
+/// instances for clique listing are dense graphs).
+pub fn dense_er(n: usize, seed: u64) -> Graph {
+    graphs::erdos_renyi(n, 0.5, seed)
+}
+
+/// A markdown-ish table printer for the experiment harness.
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Starts a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table { headers: headers.iter().map(|s| s.to_string()).collect(), rows: Vec::new() }
+    }
+
+    /// Adds a row (stringified cells).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.headers.len());
+        self.rows.push(cells);
+    }
+
+    /// Renders the table to stdout.
+    pub fn print(&self) {
+        let mut widths: Vec<usize> = self.headers.iter().map(|h| h.len()).collect();
+        for r in &self.rows {
+            for (w, c) in widths.iter_mut().zip(r) {
+                *w = (*w).max(c.len());
+            }
+        }
+        let line = |cells: &[String]| {
+            let mut s = String::from("| ");
+            for (c, w) in cells.iter().zip(&widths) {
+                s.push_str(&format!("{c:>w$} | ", w = w));
+            }
+            println!("{s}");
+        };
+        line(&self.headers);
+        let sep: Vec<String> = widths.iter().map(|&w| "-".repeat(w)).collect();
+        line(&sep);
+        for r in &self.rows {
+            line(r);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exponent_of_power_law_is_recovered() {
+        let pts: Vec<(f64, f64)> =
+            (1..6).map(|i| (i as f64 * 100.0, (i as f64 * 100.0).powf(0.33) * 7.0)).collect();
+        let e = fitted_exponent(&pts);
+        assert!((e - 0.33).abs() < 0.01, "e = {e}");
+    }
+
+    #[test]
+    fn table_renders_without_panic() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        t.print();
+    }
+}

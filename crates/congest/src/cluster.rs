@@ -1,0 +1,297 @@
+//! `(φ, δ)`-communication clusters (Definition 7 of the paper) and vertex
+//! chains (Definition 10).
+//!
+//! A communication cluster is a high-conductance subgraph `C = (V_C, E_C)`
+//! together with the subset `V⁻_C ⊆ V_C` of vertices whose *communication
+//! degree* (degree inside the cluster) is at least `δ`. The listing
+//! algorithms run on `V⁻_C`, using the full cluster — including low-degree
+//! vertices — purely as communication fabric.
+
+use crate::graph::{Graph, VertexId};
+
+/// A `(φ, δ)`-communication cluster.
+///
+/// Vertices carry *local* ids `0..K`; `global_ids` maps them back to the
+/// ambient graph. The members of `V⁻_C` are kept sorted by local id, so
+/// their *rank* provides the contiguous numbering required by streaming
+/// input clusters (Definition 9).
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// use congest::cluster::CommunicationCluster;
+/// // A triangle plus a pendant: with δ = 2 the pendant and its neighbor's
+/// // low-degree partner drop out of V⁻.
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// let c = CommunicationCluster::new(g, vec![10, 11, 12, 13], 2, 0.5);
+/// assert_eq!(c.v_minus(), &[0, 1, 2]);
+/// assert_eq!(c.k(), 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CommunicationCluster {
+    graph: Graph,
+    global_ids: Vec<VertexId>,
+    v_minus: Vec<VertexId>,
+    delta: usize,
+    phi: f64,
+}
+
+impl CommunicationCluster {
+    /// Builds a cluster from its subgraph (local ids), the local→global id
+    /// map, the degree threshold `δ` and the conductance `φ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `global_ids.len() != graph.n()`.
+    pub fn new(graph: Graph, global_ids: Vec<VertexId>, delta: usize, phi: f64) -> Self {
+        assert_eq!(global_ids.len(), graph.n());
+        let v_minus: Vec<VertexId> = (0..graph.n() as VertexId)
+            .filter(|&v| graph.degree(v) >= delta)
+            .collect();
+        CommunicationCluster { graph, global_ids, v_minus, delta, phi }
+    }
+
+    /// The cluster subgraph (local ids).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Local → global vertex id map.
+    pub fn global_ids(&self) -> &[VertexId] {
+        &self.global_ids
+    }
+
+    /// Global id of local vertex `v`.
+    pub fn global_of(&self, v: VertexId) -> VertexId {
+        self.global_ids[v as usize]
+    }
+
+    /// Sorted local ids of `V⁻_C` (communication degree ≥ δ).
+    pub fn v_minus(&self) -> &[VertexId] {
+        &self.v_minus
+    }
+
+    /// `k = |V⁻_C|`.
+    pub fn k(&self) -> usize {
+        self.v_minus.len()
+    }
+
+    /// `K = |V_C|`.
+    pub fn big_k(&self) -> usize {
+        self.graph.n()
+    }
+
+    /// The degree threshold `δ`.
+    pub fn delta(&self) -> usize {
+        self.delta
+    }
+
+    /// The conductance lower bound `φ` this cluster was certified with.
+    pub fn phi(&self) -> f64 {
+        self.phi
+    }
+
+    /// Communication degree of `v` (degree inside the cluster).
+    pub fn comm_degree(&self, v: VertexId) -> usize {
+        self.graph.degree(v)
+    }
+
+    /// Average communication degree `μ` over `V⁻_C` (0 if `V⁻_C` is empty).
+    pub fn mu(&self) -> f64 {
+        if self.v_minus.is_empty() {
+            return 0.0;
+        }
+        let total: usize = self.v_minus.iter().map(|&v| self.comm_degree(v)).sum();
+        total as f64 / self.v_minus.len() as f64
+    }
+
+    /// `V*_C`: members of `V⁻_C` with communication degree ≥ μ/2
+    /// (Definition 7). Sorted by local id.
+    pub fn v_star(&self) -> Vec<VertexId> {
+        let half_mu = self.mu() / 2.0;
+        self.v_minus
+            .iter()
+            .copied()
+            .filter(|&v| self.comm_degree(v) as f64 >= half_mu)
+            .collect()
+    }
+
+    /// Whether local vertex `v` is in `V⁻_C`.
+    pub fn in_v_minus(&self, v: VertexId) -> bool {
+        self.v_minus.binary_search(&v).is_ok()
+    }
+
+    /// Rank (0-based contiguous number) of `v` within `V⁻_C`, or `None`.
+    pub fn v_minus_rank(&self, v: VertexId) -> Option<usize> {
+        self.v_minus.binary_search(&v).ok()
+    }
+}
+
+/// A `(β, V')`-vertex chain (Definition 10): an ordered set of
+/// `y = ceil(|V'|/β)` vertices, each responsible for at most `β`
+/// contiguously-ranked members of `V'`.
+///
+/// `V'` is given as a sorted list of local vertex ids; "contiguous" refers
+/// to contiguous *rank* within this list, which matches the paper's
+/// contiguous-numbering requirement after the canonical rank relabelling.
+///
+/// # Example
+///
+/// ```
+/// use congest::cluster::VertexChain;
+/// let v_prime = vec![2, 3, 5, 8, 9];
+/// let chain = VertexChain::new(v_prime.clone(), 2, &[10, 11, 12, 13]);
+/// assert_eq!(chain.len(), 3); // ceil(5/2)
+/// assert_eq!(chain.members(), &[10, 11, 12]);
+/// assert_eq!(chain.assignee(5), 11); // rank 2 -> member 1
+/// assert_eq!(chain.assigned_to(2), &[9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct VertexChain {
+    members: Vec<VertexId>,
+    v_prime: Vec<VertexId>,
+    beta: usize,
+}
+
+impl VertexChain {
+    /// Creates a chain over `v_prime` (must be sorted) with block size
+    /// `beta`, drawing members in order from `pool`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta == 0`, `v_prime` is not sorted, or `pool` has fewer
+    /// than `ceil(|v_prime|/beta)` vertices.
+    pub fn new(v_prime: Vec<VertexId>, beta: usize, pool: &[VertexId]) -> Self {
+        assert!(beta > 0, "beta must be positive");
+        assert!(v_prime.windows(2).all(|w| w[0] < w[1]), "v_prime must be strictly sorted");
+        let y = v_prime.len().div_ceil(beta);
+        assert!(pool.len() >= y, "chain pool too small: need {y}, have {}", pool.len());
+        VertexChain { members: pool[..y].to_vec(), v_prime, beta }
+    }
+
+    /// The chain members `V[1..=y]`, in order.
+    pub fn members(&self) -> &[VertexId] {
+        &self.members
+    }
+
+    /// Number of chain members.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Whether the chain has no members (empty `V'`).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// The block size `β`.
+    pub fn beta(&self) -> usize {
+        self.beta
+    }
+
+    /// `f_V(u)`: the chain member responsible for `u ∈ V'`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u` is not in `V'`.
+    pub fn assignee(&self, u: VertexId) -> VertexId {
+        let rank = self.v_prime.binary_search(&u).expect("vertex not in V'");
+        self.members[rank / self.beta]
+    }
+
+    /// Chain position (0-based) responsible for `u ∈ V'`.
+    pub fn position_of(&self, u: VertexId) -> usize {
+        let rank = self.v_prime.binary_search(&u).expect("vertex not in V'");
+        rank / self.beta
+    }
+
+    /// `f_V⁻¹(member i)`: the contiguous block of `V'` handled by chain
+    /// position `i`.
+    pub fn assigned_to(&self, i: usize) -> &[VertexId] {
+        let lo = i * self.beta;
+        let hi = ((i + 1) * self.beta).min(self.v_prime.len());
+        &self.v_prime[lo..hi]
+    }
+
+    /// The underlying sorted `V'`.
+    pub fn v_prime(&self) -> &[VertexId] {
+        &self.v_prime
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        Graph::from_edges(n, &e)
+    }
+
+    #[test]
+    fn v_minus_filters_by_delta() {
+        // star: center has degree 5, leaves degree 1
+        let edges: Vec<_> = (1..6u32).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(6, &edges);
+        let c = CommunicationCluster::new(g, (0..6).collect(), 2, 0.1);
+        assert_eq!(c.v_minus(), &[0]);
+        assert_eq!(c.k(), 1);
+        assert_eq!(c.big_k(), 6);
+    }
+
+    #[test]
+    fn mu_and_v_star_on_clique() {
+        let c = CommunicationCluster::new(clique(5), (0..5).collect(), 1, 0.5);
+        assert_eq!(c.k(), 5);
+        assert!((c.mu() - 4.0).abs() < 1e-9);
+        assert_eq!(c.v_star().len(), 5); // regular: everyone above half average
+    }
+
+    #[test]
+    fn v_star_excludes_below_half_average() {
+        // Core clique of 4 plus one vertex attached by a single edge, δ = 1.
+        let mut edges = Vec::new();
+        for u in 0..4u32 {
+            for v in u + 1..4 {
+                edges.push((u, v));
+            }
+        }
+        edges.push((0, 4));
+        let g = Graph::from_edges(5, &edges);
+        let c = CommunicationCluster::new(g, (0..5).collect(), 1, 0.2);
+        // degrees: 4,3,3,3,1 -> mu = 2.8, half = 1.4 -> vertex 4 excluded
+        assert_eq!(c.v_star(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn chain_assignment_is_contiguous() {
+        let chain = VertexChain::new(vec![0, 1, 2, 3, 4, 5, 6], 3, &[7, 8, 9]);
+        assert_eq!(chain.len(), 3);
+        assert_eq!(chain.assigned_to(0), &[0, 1, 2]);
+        assert_eq!(chain.assigned_to(1), &[3, 4, 5]);
+        assert_eq!(chain.assigned_to(2), &[6]);
+        assert_eq!(chain.assignee(4), 8);
+        assert_eq!(chain.position_of(6), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "pool too small")]
+    fn chain_needs_enough_pool() {
+        VertexChain::new(vec![0, 1, 2, 3], 1, &[5, 6]);
+    }
+
+    #[test]
+    fn ranks_are_contiguous_numbers() {
+        let g = clique(6);
+        let c = CommunicationCluster::new(g, (0..6).collect(), 1, 0.5);
+        for (rank, &v) in c.v_minus().iter().enumerate() {
+            assert_eq!(c.v_minus_rank(v), Some(rank));
+        }
+    }
+}

@@ -1,0 +1,296 @@
+//! Compact, deterministic graph representation used by the simulator.
+//!
+//! Graphs are undirected and simple, stored in CSR (compressed sparse row)
+//! form with neighbor lists sorted by vertex id, so that every iteration
+//! order in the crate is deterministic.
+
+use std::fmt;
+
+/// Identifier of a vertex. Vertices of a graph on `n` vertices are numbered
+/// `0..n`.
+pub type VertexId = u32;
+
+/// An undirected simple graph in CSR form.
+///
+/// Neighbor lists are sorted, parallel edges and self-loops are removed at
+/// construction. All algorithms in this workspace iterate vertices and
+/// neighbors in increasing id order, which makes every computation
+/// deterministic.
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (1, 0)]);
+/// assert_eq!(g.n(), 3);
+/// assert_eq!(g.m(), 2); // duplicate (1,0) removed
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// assert!(g.has_edge(0, 1));
+/// assert!(!g.has_edge(0, 2));
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct Graph {
+    offsets: Vec<usize>,
+    adj: Vec<VertexId>,
+    m: usize,
+}
+
+impl fmt::Debug for Graph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Graph")
+            .field("n", &self.n())
+            .field("m", &self.m)
+            .finish()
+    }
+}
+
+impl Graph {
+    /// Builds a graph on `n` vertices from an edge list.
+    ///
+    /// Self-loops and duplicate edges (in either orientation) are dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(VertexId, VertexId)]) -> Self {
+        let mut deg = vec![0usize; n];
+        let mut norm: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges.len());
+        for &(u, v) in edges {
+            assert!((u as usize) < n && (v as usize) < n, "edge endpoint out of range");
+            if u == v {
+                continue;
+            }
+            let (a, b) = if u < v { (u, v) } else { (v, u) };
+            norm.push((a, b));
+        }
+        norm.sort_unstable();
+        norm.dedup();
+        for &(a, b) in &norm {
+            deg[a as usize] += 1;
+            deg[b as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut adj = vec![0 as VertexId; acc];
+        for &(a, b) in &norm {
+            adj[cursor[a as usize]] = b;
+            cursor[a as usize] += 1;
+            adj[cursor[b as usize]] = a;
+            cursor[b as usize] += 1;
+        }
+        for v in 0..n {
+            adj[offsets[v]..offsets[v + 1]].sort_unstable();
+        }
+        Graph { offsets, adj, m: norm.len() }
+    }
+
+    /// Builds the empty graph on `n` vertices.
+    pub fn empty(n: usize) -> Self {
+        Graph { offsets: vec![0; n + 1], adj: Vec::new(), m: 0 }
+    }
+
+    /// Number of vertices.
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of (undirected) edges.
+    pub fn m(&self) -> usize {
+        self.m
+    }
+
+    /// Degree of `v`.
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Maximum degree over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.n()).map(|v| self.degree(v as VertexId)).max().unwrap_or(0)
+    }
+
+    /// Sorted slice of neighbors of `v`.
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.adj[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` is present. `O(log deg(u))`.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.neighbors(u).binary_search(&v).is_ok()
+    }
+
+    /// Iterates all undirected edges `(u, v)` with `u < v`, in lexicographic
+    /// order.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        (0..self.n() as VertexId).flat_map(move |u| {
+            self.neighbors(u).iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of degrees of vertices in `set` (each edge inside `set` counts
+    /// twice).
+    pub fn volume(&self, set: &[VertexId]) -> usize {
+        set.iter().map(|&v| self.degree(v)).sum()
+    }
+
+    /// Builds the subgraph induced by the given edge subset, relabelling
+    /// vertices to a compact `0..k` range.
+    ///
+    /// Returns the subgraph plus the mapping from local ids to ids in
+    /// `self`. Only vertices incident to at least one selected edge appear.
+    pub fn edge_subgraph(&self, edges: &[(VertexId, VertexId)]) -> (Graph, Vec<VertexId>) {
+        let mut verts: Vec<VertexId> = Vec::with_capacity(edges.len() * 2);
+        for &(u, v) in edges {
+            verts.push(u);
+            verts.push(v);
+        }
+        verts.sort_unstable();
+        verts.dedup();
+        let local = |g: VertexId| verts.binary_search(&g).unwrap() as VertexId;
+        let local_edges: Vec<(VertexId, VertexId)> =
+            edges.iter().map(|&(u, v)| (local(u), local(v))).collect();
+        (Graph::from_edges(verts.len(), &local_edges), verts)
+    }
+
+    /// Builds the subgraph induced by the given vertex subset, relabelling
+    /// vertices to a compact `0..k` range in sorted order of original id.
+    ///
+    /// Returns the subgraph plus the mapping from local ids to ids in
+    /// `self`.
+    pub fn induced_subgraph(&self, verts: &[VertexId]) -> (Graph, Vec<VertexId>) {
+        let mut sorted = verts.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+        let mut edges = Vec::new();
+        for (lu, &u) in sorted.iter().enumerate() {
+            for &v in self.neighbors(u) {
+                if v > u {
+                    if let Ok(lv) = sorted.binary_search(&v) {
+                        edges.push((lu as VertexId, lv as VertexId));
+                    }
+                }
+            }
+        }
+        (Graph::from_edges(sorted.len(), &edges), sorted)
+    }
+
+    /// BFS distances from `src`; unreachable vertices get `u32::MAX`.
+    pub fn bfs_distances(&self, src: VertexId) -> Vec<u32> {
+        let mut dist = vec![u32::MAX; self.n()];
+        let mut queue = std::collections::VecDeque::new();
+        dist[src as usize] = 0;
+        queue.push_back(src);
+        while let Some(u) = queue.pop_front() {
+            let du = dist[u as usize];
+            for &v in self.neighbors(u) {
+                if dist[v as usize] == u32::MAX {
+                    dist[v as usize] = du + 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        dist
+    }
+
+    /// Diameter of the graph restricted to the component of vertex 0.
+    /// Returns 0 for the empty graph.
+    pub fn diameter_lower_bound(&self) -> u32 {
+        if self.n() == 0 {
+            return 0;
+        }
+        // Double sweep: BFS from 0, then from the farthest reached vertex.
+        let d0 = self.bfs_distances(0);
+        let far = d0
+            .iter()
+            .enumerate()
+            .filter(|(_, &d)| d != u32::MAX)
+            .max_by_key(|(_, &d)| d)
+            .map(|(v, _)| v as VertexId)
+            .unwrap_or(0);
+        let d1 = self.bfs_distances(far);
+        d1.iter().copied().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+    }
+
+    /// Whether the graph is connected (true for `n <= 1`).
+    pub fn is_connected(&self) -> bool {
+        if self.n() <= 1 {
+            return true;
+        }
+        self.bfs_distances(0).iter().all(|&d| d != u32::MAX)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as VertexId - 1).map(|i| (i, i + 1)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn from_edges_dedups_and_sorts() {
+        let g = Graph::from_edges(4, &[(1, 0), (0, 1), (2, 2), (3, 1)]);
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.neighbors(1), &[0, 3]);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edges_iterator_is_lexicographic() {
+        let g = Graph::from_edges(4, &[(2, 3), (0, 2), (0, 1)]);
+        let e: Vec<_> = g.edges().collect();
+        assert_eq!(e, vec![(0, 1), (0, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn bfs_distance_on_path() {
+        let g = path(5);
+        let d = g.bfs_distances(0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(g.diameter_lower_bound(), 4);
+    }
+
+    #[test]
+    fn induced_subgraph_relabels() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)]);
+        let (sub, map) = g.induced_subgraph(&[1, 2, 3]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(sub.m(), 2);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert!(sub.has_edge(0, 1) && sub.has_edge(1, 2) && !sub.has_edge(0, 2));
+    }
+
+    #[test]
+    fn edge_subgraph_keeps_only_selected() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)]);
+        let (sub, map) = g.edge_subgraph(&[(1, 2), (2, 3)]);
+        assert_eq!(sub.n(), 3);
+        assert_eq!(map, vec![1, 2, 3]);
+        assert_eq!(sub.m(), 2);
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        assert!(!g.is_connected());
+        let h = path(4);
+        assert!(h.is_connected());
+    }
+
+    #[test]
+    fn volume_counts_degrees() {
+        let g = Graph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(g.volume(&[0]), 3);
+        assert_eq!(g.volume(&[1, 2, 3]), 3);
+    }
+}

@@ -1,0 +1,141 @@
+//! Round and message accounting.
+//!
+//! Distributed algorithms in this workspace are assembled from phases; each
+//! phase reports a [`CostReport`] that can be composed sequentially (phases
+//! run one after another: rounds and messages add) or in parallel (phases
+//! run simultaneously on edge-disjoint parts of the network: rounds take the
+//! maximum, messages add).
+
+use serde::{Deserialize, Serialize};
+
+/// Cost of (part of) a distributed execution.
+///
+/// # Example
+///
+/// ```
+/// use congest::metrics::CostReport;
+/// let a = CostReport::new(3, 10);
+/// let b = CostReport::new(5, 4);
+/// assert_eq!(a.then(&b).rounds, 8);
+/// assert_eq!(a.alongside(&b).rounds, 5);
+/// assert_eq!(a.alongside(&b).messages, 14);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CostReport {
+    /// Synchronous CONGEST rounds consumed.
+    pub rounds: u64,
+    /// Total `O(log n)`-bit messages sent.
+    pub messages: u64,
+    /// Named sub-phases, for reporting. `(name, rounds, messages)`.
+    pub phases: Vec<(String, u64, u64)>,
+}
+
+impl CostReport {
+    /// A report with the given totals and no named phases.
+    pub fn new(rounds: u64, messages: u64) -> Self {
+        CostReport { rounds, messages, phases: Vec::new() }
+    }
+
+    /// The zero cost.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// Sequential composition: `self` runs, then `next` runs.
+    pub fn then(&self, next: &CostReport) -> CostReport {
+        let mut phases = self.phases.clone();
+        phases.extend(next.phases.iter().cloned());
+        CostReport {
+            rounds: self.rounds + next.rounds,
+            messages: self.messages + next.messages,
+            phases,
+        }
+    }
+
+    /// Parallel composition on edge-disjoint regions: rounds are the max,
+    /// messages add.
+    pub fn alongside(&self, other: &CostReport) -> CostReport {
+        let mut phases = self.phases.clone();
+        phases.extend(other.phases.iter().cloned());
+        CostReport {
+            rounds: self.rounds.max(other.rounds),
+            messages: self.messages + other.messages,
+            phases,
+        }
+    }
+
+    /// Appends `next` in place (sequential composition).
+    pub fn absorb(&mut self, next: &CostReport) {
+        self.rounds += next.rounds;
+        self.messages += next.messages;
+        self.phases.extend(next.phases.iter().cloned());
+    }
+
+    /// Folds `self` into a single named phase, discarding sub-phase detail.
+    pub fn named(mut self, name: &str) -> CostReport {
+        self.phases = vec![(name.to_string(), self.rounds, self.messages)];
+        self
+    }
+
+    /// Parallel composition over an iterator of reports.
+    pub fn parallel<I: IntoIterator<Item = CostReport>>(iter: I) -> CostReport {
+        iter.into_iter().fold(CostReport::zero(), |acc, r| acc.alongside(&r))
+    }
+
+    /// Sequential composition over an iterator of reports.
+    pub fn sequential<I: IntoIterator<Item = CostReport>>(iter: I) -> CostReport {
+        iter.into_iter().fold(CostReport::zero(), |acc, r| acc.then(&r))
+    }
+}
+
+impl std::fmt::Display for CostReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} rounds, {} messages", self.rounds, self.messages)?;
+        for (name, r, m) in &self.phases {
+            write!(f, "\n  {name}: {r} rounds, {m} messages")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_identity_for_then() {
+        let a = CostReport::new(7, 3);
+        assert_eq!(a.then(&CostReport::zero()), a);
+        assert_eq!(CostReport::zero().then(&a), a);
+    }
+
+    #[test]
+    fn parallel_takes_max_rounds() {
+        let reports = vec![CostReport::new(2, 5), CostReport::new(9, 1), CostReport::new(4, 4)];
+        let p = CostReport::parallel(reports);
+        assert_eq!(p.rounds, 9);
+        assert_eq!(p.messages, 10);
+    }
+
+    #[test]
+    fn sequential_adds() {
+        let reports = vec![CostReport::new(2, 5), CostReport::new(9, 1)];
+        let s = CostReport::sequential(reports);
+        assert_eq!(s.rounds, 11);
+        assert_eq!(s.messages, 6);
+    }
+
+    #[test]
+    fn named_collapses_phases() {
+        let a = CostReport::new(3, 2).named("setup");
+        assert_eq!(a.phases, vec![("setup".to_string(), 3, 2)]);
+    }
+
+    #[test]
+    fn absorb_accumulates() {
+        let mut a = CostReport::new(1, 1);
+        a.absorb(&CostReport::new(2, 2));
+        assert_eq!(a.rounds, 3);
+        assert_eq!(a.messages, 3);
+    }
+}

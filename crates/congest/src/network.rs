@@ -1,0 +1,274 @@
+//! Synchronous round-by-round CONGEST engine.
+//!
+//! Every vertex runs a [`Protocol`] state machine. In each round the engine
+//! collects the messages each vertex wants to send (at most `bandwidth`
+//! messages per incident edge per round — the CONGEST constraint), delivers
+//! them all simultaneously, and advances the round counter. Execution is
+//! fully deterministic: vertices are stepped in increasing id order and
+//! inboxes are sorted by sender id.
+
+use crate::graph::{Graph, VertexId};
+use crate::metrics::CostReport;
+
+/// A message payload: one machine word, standing for the `O(log n)` bits a
+/// CONGEST message may carry.
+pub type Word = u64;
+
+/// Outgoing messages produced by a vertex in one round.
+///
+/// The engine enforces that at most `bandwidth` messages are queued per
+/// incident edge per round.
+#[derive(Debug, Default)]
+pub struct Outbox {
+    msgs: Vec<(VertexId, Word)>,
+}
+
+impl Outbox {
+    /// Queues a message to neighbor `to`.
+    pub fn send(&mut self, to: VertexId, payload: Word) {
+        self.msgs.push((to, payload));
+    }
+}
+
+/// A per-vertex protocol state machine.
+///
+/// # Example
+///
+/// A one-shot flood: vertex 0 sends its id to all neighbors.
+///
+/// ```
+/// use congest::graph::Graph;
+/// use congest::network::{Network, Outbox, Protocol, Word};
+///
+/// struct Flood { me: u32, got: Option<Word>, sent: bool }
+/// impl Protocol for Flood {
+///     fn on_round(&mut self, _round: u64, inbox: &[(u32, Word)], out: &mut Outbox, g: &Graph) {
+///         if self.me == 0 && !self.sent {
+///             for &v in g.neighbors(0) { out.send(v, 7); }
+///             self.sent = true;
+///         }
+///         if let Some(&(_, w)) = inbox.first() { self.got = Some(w); }
+///     }
+///     fn done(&self) -> bool { self.me != 0 && self.got.is_some() || self.me == 0 && self.sent }
+/// }
+///
+/// let g = Graph::from_edges(3, &[(0, 1), (0, 2)]);
+/// let mut net = Network::new(&g, (0..3).map(|me| Flood { me, got: None, sent: false }).collect());
+/// let report = net.run(10);
+/// assert!(report.rounds <= 2);
+/// assert_eq!(net.states()[1].got, Some(7));
+/// ```
+pub trait Protocol {
+    /// Called once per round with the messages received at the *end of the
+    /// previous round* (sorted by sender id). Queue outgoing messages on
+    /// `out`.
+    fn on_round(&mut self, round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph);
+
+    /// Whether this vertex has finished. The engine stops when every vertex
+    /// is done and no messages are in flight.
+    fn done(&self) -> bool;
+}
+
+/// The synchronous engine coupling a graph with per-vertex protocol states.
+#[derive(Debug)]
+pub struct Network<'g, P> {
+    graph: &'g Graph,
+    states: Vec<P>,
+    bandwidth: usize,
+    /// messages delivered to each vertex at the end of the last round
+    inboxes: Vec<Vec<(VertexId, Word)>>,
+    round: u64,
+    messages: u64,
+}
+
+impl<'g, P: Protocol> Network<'g, P> {
+    /// Creates an engine with one protocol state per vertex and bandwidth of
+    /// one message per edge per round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`.
+    pub fn new(graph: &'g Graph, states: Vec<P>) -> Self {
+        Self::with_bandwidth(graph, states, 1)
+    }
+
+    /// Creates an engine with a custom per-edge-per-round message budget.
+    pub fn with_bandwidth(graph: &'g Graph, states: Vec<P>, bandwidth: usize) -> Self {
+        assert_eq!(states.len(), graph.n(), "one protocol state per vertex");
+        assert!(bandwidth >= 1);
+        let n = graph.n();
+        Network {
+            graph,
+            states,
+            bandwidth,
+            inboxes: vec![Vec::new(); n],
+            round: 0,
+            messages: 0,
+        }
+    }
+
+    /// Runs until every vertex reports done (and no messages are in flight)
+    /// or `max_rounds` elapse. Returns the cost.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any vertex exceeds the per-edge bandwidth in a round, or if
+    /// a vertex sends to a non-neighbor (both are protocol bugs).
+    pub fn run(&mut self, max_rounds: u64) -> CostReport {
+        let start_round = self.round;
+        let start_messages = self.messages;
+        while self.round - start_round < max_rounds {
+            let in_flight = self.inboxes.iter().any(|b| !b.is_empty());
+            if !in_flight && self.states.iter().all(|s| s.done()) {
+                break;
+            }
+            self.step();
+        }
+        CostReport::new(self.round - start_round, self.messages - start_messages)
+    }
+
+    /// Advances exactly one round.
+    pub fn step(&mut self) {
+        let n = self.graph.n();
+        let round = self.round;
+        let mut next_inboxes: Vec<Vec<(VertexId, Word)>> = vec![Vec::new(); n];
+        let mut per_edge: std::collections::HashMap<(VertexId, VertexId), usize> =
+            std::collections::HashMap::new();
+        for v in 0..n {
+            let mut out = Outbox::default();
+            let inbox = std::mem::take(&mut self.inboxes[v]);
+            self.states[v].on_round(round, &inbox, &mut out, self.graph);
+            for (to, payload) in out.msgs {
+                assert!(
+                    self.graph.has_edge(v as VertexId, to),
+                    "vertex {v} sent to non-neighbor {to}"
+                );
+                let c = per_edge.entry((v as VertexId, to)).or_insert(0);
+                *c += 1;
+                assert!(
+                    *c <= self.bandwidth,
+                    "vertex {v} exceeded bandwidth {} on edge to {to} in round {round}",
+                    self.bandwidth
+                );
+                next_inboxes[to as usize].push((v as VertexId, payload));
+                self.messages += 1;
+            }
+        }
+        for b in &mut next_inboxes {
+            b.sort_unstable();
+        }
+        self.inboxes = next_inboxes;
+        self.round += 1;
+    }
+
+    /// The per-vertex protocol states.
+    pub fn states(&self) -> &[P] {
+        &self.states
+    }
+
+    /// Consumes the engine and returns the protocol states.
+    pub fn into_states(self) -> Vec<P> {
+        self.states
+    }
+
+    /// Rounds elapsed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Every vertex floods a token; each vertex records the minimum id it
+    /// has seen. Classic leader election by flooding.
+    struct MinFlood {
+        me: VertexId,
+        min_seen: VertexId,
+        last_sent: Option<VertexId>,
+    }
+
+    impl Protocol for MinFlood {
+        fn on_round(
+            &mut self,
+            _round: u64,
+            inbox: &[(VertexId, Word)],
+            out: &mut Outbox,
+            g: &Graph,
+        ) {
+            for &(_, w) in inbox {
+                self.min_seen = self.min_seen.min(w as VertexId);
+            }
+            if self.last_sent != Some(self.min_seen) {
+                for &v in g.neighbors(self.me) {
+                    out.send(v, self.min_seen as Word);
+                }
+                self.last_sent = Some(self.min_seen);
+            }
+        }
+        fn done(&self) -> bool {
+            self.last_sent == Some(self.min_seen)
+        }
+    }
+
+    fn min_flood_states(n: usize) -> Vec<MinFlood> {
+        (0..n as VertexId).map(|me| MinFlood { me, min_seen: me, last_sent: None }).collect()
+    }
+
+    #[test]
+    fn min_flood_on_path_takes_diameter_rounds() {
+        let edges: Vec<_> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(10, &edges);
+        let mut net = Network::new(&g, min_flood_states(10));
+        let report = net.run(100);
+        assert!(net.states().iter().all(|s| s.min_seen == 0));
+        // id 0 sits at one end of the path: the flood needs >= diameter rounds.
+        assert!(report.rounds >= 9, "rounds = {}", report.rounds);
+        assert!(report.rounds <= 12);
+    }
+
+    #[test]
+    fn min_flood_on_clique_is_fast() {
+        let mut edges = Vec::new();
+        for u in 0..8u32 {
+            for v in u + 1..8 {
+                edges.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(8, &edges);
+        let mut net = Network::new(&g, min_flood_states(8));
+        let report = net.run(100);
+        assert!(net.states().iter().all(|s| s.min_seen == 0));
+        assert!(report.rounds <= 3);
+    }
+
+    struct Chatty(VertexId);
+    impl Protocol for Chatty {
+        fn on_round(&mut self, round: u64, _i: &[(VertexId, Word)], out: &mut Outbox, _g: &Graph) {
+            if round == 0 && self.0 == 0 {
+                out.send(1, 0);
+                out.send(1, 0);
+            }
+        }
+        fn done(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded bandwidth")]
+    fn bandwidth_violation_panics() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(&g, vec![Chatty(0), Chatty(1)]);
+        net.step();
+    }
+
+    #[test]
+    fn higher_bandwidth_permits_bursts() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut net = Network::with_bandwidth(&g, vec![Chatty(0), Chatty(1)], 2);
+        net.step();
+        // no panic
+    }
+}

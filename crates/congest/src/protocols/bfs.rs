@@ -1,0 +1,89 @@
+//! Distributed BFS: computes hop distances from a root in `O(diameter)`
+//! rounds, one message per edge per wavefront.
+
+use crate::graph::{Graph, VertexId};
+use crate::metrics::CostReport;
+use crate::network::{Network, Outbox, Protocol, Word};
+
+struct BfsState {
+    me: VertexId,
+    dist: Option<u32>,
+    announced: bool,
+}
+
+impl Protocol for BfsState {
+    fn on_round(&mut self, _round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+        for &(_, w) in inbox {
+            let d = w as u32 + 1;
+            if self.dist.map(|cur| d < cur).unwrap_or(true) {
+                self.dist = Some(d);
+                self.announced = false;
+            }
+        }
+        if let Some(d) = self.dist {
+            if !self.announced {
+                for &v in g.neighbors(self.me) {
+                    out.send(v, d as Word);
+                }
+                self.announced = true;
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.dist.is_none() || self.announced
+    }
+}
+
+/// Runs a distributed BFS from `root` and returns the hop distance of every
+/// vertex (`None` for unreachable vertices) plus the cost.
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// use congest::protocols::distributed_bfs;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let (dist, report) = distributed_bfs(&g, 0);
+/// assert_eq!(dist, vec![Some(0), Some(1), Some(2), Some(3)]);
+/// assert!(report.rounds <= 6);
+/// ```
+pub fn distributed_bfs(g: &Graph, root: VertexId) -> (Vec<Option<u32>>, CostReport) {
+    let states: Vec<BfsState> = (0..g.n() as VertexId)
+        .map(|me| BfsState { me, dist: if me == root { Some(0) } else { None }, announced: false })
+        .collect();
+    let mut net = Network::new(g, states);
+    let report = net.run(4 * g.n() as u64 + 4);
+    let dist = net.into_states().into_iter().map(|s| s.dist).collect();
+    (dist, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bfs_matches_centralized() {
+        let g = Graph::from_edges(
+            7,
+            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)],
+        );
+        let (dist, _) = distributed_bfs(&g, 0);
+        let reference = g.bfs_distances(0);
+        for v in 0..7 {
+            let expected =
+                if reference[v] == u32::MAX { None } else { Some(reference[v]) };
+            assert_eq!(dist[v], expected, "vertex {v}");
+        }
+        assert_eq!(dist[6], None); // isolated vertex
+    }
+
+    #[test]
+    fn bfs_round_count_tracks_eccentricity() {
+        let edges: Vec<_> = (0..19u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(20, &edges);
+        let (dist, report) = distributed_bfs(&g, 0);
+        assert_eq!(dist[19], Some(19));
+        assert!(report.rounds >= 19 && report.rounds <= 25, "rounds = {}", report.rounds);
+    }
+}

@@ -1,0 +1,14 @@
+//! Reference protocols implemented directly on the round engine.
+//!
+//! These serve two roles: they demonstrate that [`crate::network::Network`]
+//! is a genuine message-passing simulator, and [`two_hop`] (Lemma 35 of the
+//! paper) is used by the clique-listing layer for the low-degree exhaustive
+//! search.
+
+pub mod bfs;
+pub mod spanning;
+pub mod two_hop;
+
+pub use bfs::distributed_bfs;
+pub use spanning::aggregate_sum;
+pub use two_hop::{collect_two_hop, TwoHopView};

@@ -1,0 +1,239 @@
+//! Spanning tree, convergecast and broadcast — the `Õ(1)`-round cluster
+//! aggregation primitives the paper's lemmas use as preamble (e.g. Lemma
+//! 20 "compute the total communication degree m, the average μ, and the
+//! number of messages M and distribute them to all of V⁻").
+//!
+//! All three run as genuine per-round protocols on the [`Network`] engine:
+//! a BFS tree is grown from the root, a sum is converged up the tree, and
+//! the result is broadcast back down. On a `φ`-cluster the whole cycle
+//! takes `O(diameter) = O(φ⁻² log n)` rounds (Theorem 3).
+
+use crate::graph::{Graph, VertexId};
+use crate::metrics::CostReport;
+use crate::network::{Network, Outbox, Protocol, Word};
+
+const TAG_GROW: u64 = 1;
+const TAG_SUM: u64 = 2;
+const TAG_DOWN: u64 = 3;
+
+fn pack(tag: u64, value: u64) -> Word {
+    (tag << 56) | (value & 0x00ff_ffff_ffff_ffff)
+}
+
+fn unpack(w: Word) -> (u64, u64) {
+    (w >> 56, w & 0x00ff_ffff_ffff_ffff)
+}
+
+struct AggregateState {
+    me: VertexId,
+    root: VertexId,
+    input: u64,
+    parent: Option<VertexId>,
+    children: Vec<VertexId>,
+    expected_acks: usize,
+    acc: u64,
+    sent_up: bool,
+    result: Option<u64>,
+    grown: bool,
+    announced_down: bool,
+}
+
+impl Protocol for AggregateState {
+    fn on_round(&mut self, _round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+        // Phase A: BFS tree growth. TAG_GROW carries nothing; first GROW
+        // received fixes the parent.
+        let mut new_children = Vec::new();
+        for &(from, w) in inbox {
+            let (tag, value) = unpack(w);
+            match tag {
+                TAG_GROW => {
+                    if self.me != self.root && self.parent.is_none() {
+                        self.parent = Some(from);
+                        // acknowledge by joining: the sender learns we are
+                        // its child via our own GROW + SUM later; instead we
+                        // register interest by replying SUM later. To track
+                        // children, the grow message is answered lazily:
+                        // every neighbor that adopted us as parent will send
+                        // its subtree sum to us.
+                    }
+                }
+                TAG_SUM => {
+                    self.acc += value;
+                    self.expected_acks = self.expected_acks.saturating_sub(1);
+                    new_children.push(from);
+                }
+                TAG_DOWN => {
+                    if self.result.is_none() {
+                        self.result = Some(value);
+                    }
+                }
+                _ => unreachable!(),
+            }
+        }
+        self.children.extend(new_children);
+        let adopted = self.me == self.root || self.parent.is_some();
+        if adopted && !self.grown {
+            self.grown = true;
+            for &v in g.neighbors(self.me) {
+                if Some(v) != self.parent {
+                    out.send(v, pack(TAG_GROW, 0));
+                }
+            }
+            // leaves will discover they have no children by timeout-free
+            // logic: a vertex sends its sum once all neighbors have either
+            // adopted it (they will send SUM) or rejected (they never
+            // will). CONGEST-simple variant: wait deg(v) rounds after
+            // growing, then send. We emulate with an expected-ack counter
+            // primed to the number of non-parent neighbors; rejections
+            // arrive as GROW messages from already-adopted neighbors.
+            self.expected_acks =
+                g.degree(self.me) - usize::from(self.parent.is_some());
+        }
+        // A neighbor that sends us GROW after we are adopted is *not* our
+        // child (it grew from elsewhere): decrement expectations.
+        if self.grown {
+            for &(from, w) in inbox {
+                let (tag, _) = unpack(w);
+                if tag == TAG_GROW && Some(from) != self.parent {
+                    self.expected_acks = self.expected_acks.saturating_sub(1);
+                }
+            }
+        }
+        // Phase B: convergecast once every potential child reported.
+        if self.grown && !self.sent_up && self.expected_acks == 0 {
+            self.sent_up = true;
+            let total = self.acc + self.input;
+            if let Some(p) = self.parent {
+                out.send(p, pack(TAG_SUM, total));
+            } else {
+                self.result = Some(total);
+            }
+        }
+        // Phase C: broadcast down.
+        if let Some(r) = self.result {
+            if !self.announced_down {
+                self.announced_down = true;
+                for &c in &self.children {
+                    out.send(c, pack(TAG_DOWN, r));
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.result.is_some() && self.announced_down
+    }
+}
+
+/// Computes the sum of `inputs` over the connected graph `g` and makes it
+/// known to every vertex, via BFS-tree convergecast + broadcast rooted at
+/// vertex 0. Returns `(per-vertex result, cost)`.
+///
+/// # Panics
+///
+/// Panics if `g` is disconnected or `inputs.len() != g.n()`.
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// use congest::protocols::spanning::aggregate_sum;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+/// let (results, report) = aggregate_sum(&g, &[5, 6, 7, 8]);
+/// assert!(results.iter().all(|&r| r == 26));
+/// assert!(report.rounds <= 20);
+/// ```
+pub fn aggregate_sum(g: &Graph, inputs: &[u64]) -> (Vec<u64>, CostReport) {
+    assert_eq!(inputs.len(), g.n());
+    assert!(g.is_connected(), "aggregation needs a connected graph");
+    assert!(g.n() >= 1);
+    if g.n() == 1 {
+        return (vec![inputs[0]], CostReport::zero());
+    }
+    let states: Vec<AggregateState> = (0..g.n() as VertexId)
+        .map(|me| AggregateState {
+            me,
+            root: 0,
+            input: inputs[me as usize],
+            parent: None,
+            children: Vec::new(),
+            expected_acks: usize::MAX,
+            acc: 0,
+            sent_up: false,
+            result: None,
+            grown: false,
+            announced_down: false,
+        })
+        .collect();
+    let mut net = Network::new(g, states);
+    let report = net.run(16 * g.n() as u64 + 64);
+    let results: Vec<u64> = net
+        .into_states()
+        .into_iter()
+        .map(|s| s.result.expect("aggregation did not converge"))
+        .collect();
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_on_clique() {
+        let mut e = Vec::new();
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(6, &e);
+        let inputs: Vec<u64> = (1..=6).collect();
+        let (results, report) = aggregate_sum(&g, &inputs);
+        assert!(results.iter().all(|&r| r == 21));
+        assert!(report.rounds <= 12, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn sum_on_path_takes_linear_rounds() {
+        let edges: Vec<_> = (0..9u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(10, &edges);
+        let (results, report) = aggregate_sum(&g, &[1; 10]);
+        assert!(results.iter().all(|&r| r == 10));
+        // up + down the depth-9 tree
+        assert!(report.rounds >= 18, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn sum_on_random_graph_matches() {
+        let g = {
+            let mut st = 7u64;
+            let mut e = Vec::new();
+            for u in 0..30u32 {
+                for v in u + 1..30 {
+                    st = st.wrapping_mul(6364136223846793005).wrapping_add(1);
+                    if st >> 60 < 5 {
+                        e.push((u, v));
+                    }
+                }
+            }
+            // ensure connectivity with a path backbone
+            for i in 0..29u32 {
+                e.push((i, i + 1));
+            }
+            Graph::from_edges(30, &e)
+        };
+        let inputs: Vec<u64> = (0..30).map(|i| i * i).collect();
+        let expected: u64 = inputs.iter().sum();
+        let (results, _) = aggregate_sum(&g, &inputs);
+        assert!(results.iter().all(|&r| r == expected));
+    }
+
+    #[test]
+    fn single_vertex_is_trivial() {
+        let g = Graph::empty(1);
+        let (results, report) = aggregate_sum(&g, &[42]);
+        assert_eq!(results, vec![42]);
+        assert_eq!(report.rounds, 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Lemma 35 (\[CHFL+22, Claim 19]): every vertex `v` with `deg(v) ≤ α`
+//! deterministically learns its induced 2-hop neighborhood — the edges
+//! among `N(v)` — in `O(α)` CONGEST rounds.
+//!
+//! The protocol is the standard one: each low-degree vertex streams its
+//! neighbor list (length-prefixed, one id per round per edge) to all
+//! neighbors; each neighbor `u`, upon receiving the full list `L_v`,
+//! streams back `N(u) ∩ L_v`. Both streams have length at most `α + 1`, so
+//! the whole protocol finishes in `O(α)` rounds, pipelined across all
+//! vertices simultaneously.
+
+use std::collections::{HashMap, VecDeque};
+
+use crate::graph::{Graph, VertexId};
+use crate::metrics::CostReport;
+use crate::network::{Network, Outbox, Protocol, Word};
+
+const TAG_LIST_COUNT: u64 = 1;
+const TAG_LIST_ID: u64 = 2;
+const TAG_REPLY_COUNT: u64 = 3;
+const TAG_REPLY_ID: u64 = 4;
+
+fn pack(tag: u64, id: VertexId) -> Word {
+    (tag << 32) | id as u64
+}
+
+fn unpack(w: Word) -> (u64, VertexId) {
+    (w >> 32, (w & 0xffff_ffff) as VertexId)
+}
+
+/// What a low-degree vertex learns: the edges among its neighbors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TwoHopView {
+    /// The center vertex.
+    pub center: VertexId,
+    /// Edges `(u, w)` with `u, w ∈ N(center)`, `u < w`, sorted.
+    pub edges: Vec<(VertexId, VertexId)>,
+}
+
+impl TwoHopView {
+    /// Lists all cliques of size `p` containing `center`, using the learned
+    /// induced neighborhood. Cliques are returned as sorted vertex lists.
+    pub fn cliques_through_center(&self, g: &Graph, p: usize) -> Vec<Vec<VertexId>> {
+        assert!(p >= 2);
+        let nbrs: Vec<VertexId> = g.neighbors(self.center).to_vec();
+        let edge_set: std::collections::HashSet<(VertexId, VertexId)> =
+            self.edges.iter().copied().collect();
+        let adjacent = |a: VertexId, b: VertexId| {
+            let (x, y) = if a < b { (a, b) } else { (b, a) };
+            edge_set.contains(&(x, y))
+        };
+        let mut out = Vec::new();
+        let mut stack: Vec<VertexId> = Vec::with_capacity(p - 1);
+        fn extend(
+            nbrs: &[VertexId],
+            start: usize,
+            need: usize,
+            stack: &mut Vec<VertexId>,
+            adjacent: &dyn Fn(VertexId, VertexId) -> bool,
+            center: VertexId,
+            out: &mut Vec<Vec<VertexId>>,
+        ) {
+            if need == 0 {
+                let mut clique = stack.clone();
+                clique.push(center);
+                clique.sort_unstable();
+                out.push(clique);
+                return;
+            }
+            for i in start..nbrs.len() {
+                let cand = nbrs[i];
+                if stack.iter().all(|&s| adjacent(s, cand)) {
+                    stack.push(cand);
+                    extend(nbrs, i + 1, need - 1, stack, adjacent, center, out);
+                    stack.pop();
+                }
+            }
+        }
+        extend(&nbrs, 0, p - 1, &mut stack, &adjacent, self.center, &mut out);
+        out
+    }
+}
+
+struct TwoHopState {
+    me: VertexId,
+    low_degree: bool,
+    expected_replies: usize,
+    /// outgoing FIFO per incident edge
+    queues: HashMap<VertexId, VecDeque<Word>>,
+    /// list being received from each neighbor: (expected, collected)
+    incoming_lists: HashMap<VertexId, (usize, Vec<VertexId>)>,
+    /// replies being received from each neighbor: (expected, collected)
+    incoming_replies: HashMap<VertexId, (usize, Vec<VertexId>)>,
+    replies_done: usize,
+    learned_edges: Vec<(VertexId, VertexId)>,
+}
+
+impl TwoHopState {
+    fn new(me: VertexId, g: &Graph, alpha: usize) -> Self {
+        let low_degree = g.degree(me) <= alpha && g.degree(me) > 0;
+        let mut queues: HashMap<VertexId, VecDeque<Word>> = HashMap::new();
+        if low_degree {
+            let nbrs = g.neighbors(me);
+            for &u in nbrs {
+                let q = queues.entry(u).or_default();
+                q.push_back(pack(TAG_LIST_COUNT, nbrs.len() as VertexId));
+                for &w in nbrs {
+                    q.push_back(pack(TAG_LIST_ID, w));
+                }
+            }
+        }
+        TwoHopState {
+            me,
+            low_degree,
+            expected_replies: if low_degree { g.degree(me) } else { 0 },
+            queues,
+            incoming_lists: HashMap::new(),
+            incoming_replies: HashMap::new(),
+            replies_done: 0,
+            learned_edges: Vec::new(),
+        }
+    }
+}
+
+impl Protocol for TwoHopState {
+    fn on_round(&mut self, _round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+        for &(from, w) in inbox {
+            let (tag, id) = unpack(w);
+            match tag {
+                TAG_LIST_COUNT => {
+                    self.incoming_lists.insert(from, (id as usize, Vec::new()));
+                    if id == 0 {
+                        // degenerate: empty list — reply immediately
+                        let q = self.queues.entry(from).or_default();
+                        q.push_back(pack(TAG_REPLY_COUNT, 0));
+                    }
+                }
+                TAG_LIST_ID => {
+                    let entry = self
+                        .incoming_lists
+                        .get_mut(&from)
+                        .expect("list id before count");
+                    entry.1.push(id);
+                    if entry.1.len() == entry.0 {
+                        // full list received: reply with intersection
+                        let list = entry.1.clone();
+                        let mine = g.neighbors(self.me);
+                        let common: Vec<VertexId> = list
+                            .iter()
+                            .copied()
+                            .filter(|&x| x != self.me && mine.binary_search(&x).is_ok())
+                            .collect();
+                        let q = self.queues.entry(from).or_default();
+                        q.push_back(pack(TAG_REPLY_COUNT, common.len() as VertexId));
+                        for x in common {
+                            q.push_back(pack(TAG_REPLY_ID, x));
+                        }
+                    }
+                }
+                TAG_REPLY_COUNT => {
+                    self.incoming_replies.insert(from, (id as usize, Vec::new()));
+                    if id == 0 {
+                        self.replies_done += 1;
+                    }
+                }
+                TAG_REPLY_ID => {
+                    let entry = self
+                        .incoming_replies
+                        .get_mut(&from)
+                        .expect("reply id before count");
+                    entry.1.push(id);
+                    if entry.1.len() == entry.0 {
+                        for &x in &entry.1 {
+                            let (a, b) = if from < x { (from, x) } else { (x, from) };
+                            self.learned_edges.push((a, b));
+                        }
+                        self.replies_done += 1;
+                    }
+                }
+                _ => unreachable!("unknown tag"),
+            }
+        }
+        // Drain one word per incident edge.
+        let mut targets: Vec<VertexId> = self.queues.keys().copied().collect();
+        targets.sort_unstable();
+        for t in targets {
+            if let Some(q) = self.queues.get_mut(&t) {
+                if let Some(word) = q.pop_front() {
+                    out.send(t, word);
+                }
+                if q.is_empty() {
+                    self.queues.remove(&t);
+                }
+            }
+        }
+    }
+
+    fn done(&self) -> bool {
+        let queues_empty = self.queues.is_empty();
+        if !self.low_degree {
+            return queues_empty;
+        }
+        // A low-degree vertex is done once all neighbors have replied.
+        queues_empty && self.replies_done == self.expected_replies
+    }
+}
+
+/// Runs the Lemma 35 protocol: every vertex with `1 ≤ deg(v) ≤ α` learns
+/// the induced edges among its neighbors.
+///
+/// Returns one [`TwoHopView`] per low-degree vertex (`None` for vertices
+/// with degree 0 or degree `> α`) plus the measured cost. The round count
+/// is `O(α)`.
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// use congest::protocols::collect_two_hop;
+/// // Triangle 0-1-2 plus pendant 3 on vertex 0.
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]);
+/// let (views, report) = collect_two_hop(&g, 3, 1);
+/// let v0 = views[0].as_ref().unwrap();
+/// assert_eq!(v0.edges, vec![(1, 2)]); // the far edge of the triangle
+/// assert!(report.rounds <= 20);
+/// ```
+pub fn collect_two_hop(
+    g: &Graph,
+    alpha: usize,
+    bandwidth: usize,
+) -> (Vec<Option<TwoHopView>>, CostReport) {
+    let states: Vec<TwoHopState> =
+        (0..g.n() as VertexId).map(|me| TwoHopState::new(me, g, alpha)).collect();
+    let mut net = Network::with_bandwidth(g, states, bandwidth);
+    let budget = (4 * alpha as u64 + 16) * bandwidth.max(1) as u64;
+    let report = net.run(budget.max(64));
+    let views = net
+        .into_states()
+        .into_iter()
+        .map(|mut s| {
+            if s.low_degree {
+                s.learned_edges.sort_unstable();
+                s.learned_edges.dedup();
+                Some(TwoHopView { center: s.me, edges: s.learned_edges })
+            } else {
+                None
+            }
+        })
+        .collect();
+    (views, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        Graph::from_edges(n, &e)
+    }
+
+    #[test]
+    fn two_hop_learns_all_neighbor_edges_on_clique() {
+        let g = clique(6);
+        let (views, _) = collect_two_hop(&g, 5, 1);
+        for v in 0..6u32 {
+            let view = views[v as usize].as_ref().unwrap();
+            // neighbors of v form a K5: C(5,2) = 10 edges
+            assert_eq!(view.edges.len(), 10, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn high_degree_vertices_opt_out() {
+        // star: center degree 5 > alpha = 2
+        let edges: Vec<_> = (1..6u32).map(|v| (0, v)).collect();
+        let g = Graph::from_edges(6, &edges);
+        let (views, _) = collect_two_hop(&g, 2, 1);
+        assert!(views[0].is_none());
+        for v in 1..6 {
+            let view = views[v].as_ref().unwrap();
+            assert!(view.edges.is_empty()); // leaves' neighborhoods have no edges
+        }
+    }
+
+    #[test]
+    fn rounds_scale_linearly_with_alpha() {
+        let g = clique(24);
+        let (_, report) = collect_two_hop(&g, 23, 1);
+        // Each vertex streams 24 + 1 words out and the replies back:
+        // O(alpha) with a small constant.
+        assert!(report.rounds <= 4 * 23 + 16, "rounds = {}", report.rounds);
+        assert!(report.rounds >= 23, "rounds = {}", report.rounds);
+    }
+
+    #[test]
+    fn cliques_through_center_finds_triangles() {
+        let g = Graph::from_edges(5, &[(0, 1), (1, 2), (2, 0), (0, 3), (3, 4)]);
+        let (views, _) = collect_two_hop(&g, 4, 1);
+        let v0 = views[0].as_ref().unwrap();
+        let tris = v0.cliques_through_center(&g, 3);
+        assert_eq!(tris, vec![vec![0, 1, 2]]);
+    }
+
+    #[test]
+    fn cliques_through_center_finds_k4() {
+        let g = clique(5);
+        let (views, _) = collect_two_hop(&g, 4, 1);
+        let v0 = views[0].as_ref().unwrap();
+        let k4s = v0.cliques_through_center(&g, 4);
+        // K4s containing vertex 0 in K5: C(4,3) = 4
+        assert_eq!(k4s.len(), 4);
+        for c in &k4s {
+            assert!(c.contains(&0));
+            assert_eq!(c.len(), 4);
+        }
+    }
+
+    #[test]
+    fn isolated_vertices_are_skipped() {
+        let g = Graph::from_edges(3, &[(0, 1)]);
+        let (views, _) = collect_two_hop(&g, 2, 1);
+        assert!(views[2].is_none());
+    }
+}

@@ -1,0 +1,19 @@
+//! Baseline algorithms for the experiment suite (E1, E9).
+//!
+//! - [`naive`]: `Δ`-round exhaustive search — every vertex collects its
+//!   2-hop neighborhood (Lemma 35 with `α = Δ`).
+//! - [`randomized`]: the randomized load-balancing analogue of
+//!   \[CPSZ21\]/\[CHCLL21\] — the same decomposition/recursion skeleton as the
+//!   deterministic algorithm, but the per-cluster work distribution uses a
+//!   seeded random vertex partition instead of partition trees.
+//! - [`dlp12`]: the Dolev–Lenzen–Peled deterministic `K_p` lister in the
+//!   CONGESTED CLIQUE model (all-to-all bandwidth), for the model
+//!   comparison rows of E9.
+
+pub mod dlp12;
+pub mod naive;
+pub mod randomized;
+
+pub use dlp12::dlp12_congested_clique;
+pub use naive::naive_exhaustive;
+pub use randomized::list_cliques_randomized;

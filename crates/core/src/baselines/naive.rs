@@ -1,0 +1,40 @@
+//! The naive baseline: full exhaustive search in `O(Δ)` rounds.
+
+use congest::graph::{Graph, VertexId};
+use congest::metrics::CostReport;
+
+use crate::lowdeg::low_degree_listing;
+
+/// Lists all `K_p` by having **every** vertex learn its induced 2-hop
+/// neighborhood (Lemma 35 with `α = Δ`). Always correct; costs `Θ(Δ)`
+/// rounds, which loses to the tree-based algorithm exactly when
+/// `Δ ≫ n^{1-2/p}` (experiment E9 locates the crossover).
+pub fn naive_exhaustive(g: &Graph, p: usize, bandwidth: usize) -> (Vec<Vec<VertexId>>, CostReport) {
+    let alpha = g.max_degree();
+    let (cliques, cost) = low_degree_listing(g, p, alpha, bandwidth);
+    let mut distinct = cliques;
+    distinct.sort();
+    distinct.dedup();
+    (distinct, cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_is_exact() {
+        let g = graphs::erdos_renyi(40, 0.2, 3);
+        let (cliques, _) = naive_exhaustive(&g, 3, 1);
+        assert_eq!(cliques, graphs::list_cliques(&g, 3));
+    }
+
+    #[test]
+    fn naive_rounds_track_max_degree() {
+        let sparse = graphs::random_regular(60, 4, 1);
+        let dense = graphs::erdos_renyi(60, 0.5, 1);
+        let (_, r_sparse) = naive_exhaustive(&sparse, 3, 1);
+        let (_, r_dense) = naive_exhaustive(&dense, 3, 1);
+        assert!(r_sparse.rounds < r_dense.rounds);
+    }
+}

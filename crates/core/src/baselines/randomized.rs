@@ -1,0 +1,402 @@
+//! The randomized load-balancing baseline (\[CPSZ21\]/\[CHCLL21\] style).
+//!
+//! Identical recursion skeleton to the deterministic driver — expander
+//! decomposition, low-degree exhaustive search, per-cluster listing,
+//! recursion on unresolved edges — but inside each cluster the work is
+//! distributed by a *seeded random partition* of the vertices instead of
+//! deterministically-built partition trees: `V_1` ranks and `V_2` indices
+//! are hashed into `x = ⌈k^{1/p}⌉` parts uniformly at random, every
+//! non-decreasing `p`-tuple of parts becomes a listing task, and tasks are
+//! assigned round-robin. This is exactly the "standard approach" the
+//! paper's introduction describes (and derandomizes).
+
+use std::collections::BTreeSet;
+
+use congest::cluster::CommunicationCluster;
+use congest::graph::{Graph, VertexId};
+use congest::metrics::CostReport;
+use congest::routing::{route, Packet};
+use expander_decomp::{build_frontier, decompose};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::cluster_listing::{prepare_cluster_instance, ClusterInstance};
+use crate::config::ListingConfig;
+use crate::driver::ListingOutcome;
+use crate::lowdeg::low_degree_listing;
+use crate::report::{LevelStats, RunReport};
+
+/// Lists all `K_p` with the randomized-partition load balancing.
+///
+/// Exact (validated against the oracle) for every seed; round counts are a
+/// random variable — E1/E9 report them alongside the deterministic
+/// algorithm's.
+pub fn list_cliques_randomized(
+    g: &Graph,
+    p: usize,
+    cfg: &ListingConfig,
+    seed: u64,
+) -> ListingOutcome {
+    assert!(p >= 3);
+    let n = g.n();
+    let mut current: Vec<(VertexId, VertexId)> = g.edges().collect();
+    let mut found: BTreeSet<Vec<VertexId>> = BTreeSet::new();
+    let mut report = RunReport::default();
+    let mut raw = 0usize;
+
+    for depth in 0..cfg.max_depth {
+        if current.is_empty() {
+            break;
+        }
+        let cg = Graph::from_edges(n, &current);
+        let mut level = LevelStats { level: depth, edges: current.len(), ..Default::default() };
+        let mut level_cost = CostReport::zero();
+
+        if current.len() <= cfg.base_edges {
+            let (cliques, cost) = low_degree_listing(&cg, p, cg.max_degree(), cfg.bandwidth);
+            raw += cliques.len();
+            for c in cliques {
+                found.insert(c);
+            }
+            level_cost.absorb(&cost);
+            report.cost.absorb(&level_cost);
+            report.levels.push(level);
+            report.depth = depth + 1;
+            current.clear();
+            break;
+        }
+
+        let decomp = decompose(&cg, cfg.epsilon);
+        let frontiers = build_frontier(&cg, &decomp);
+        level_cost.absorb(&decomp.report);
+        level.clusters = frontiers.len();
+
+        let alpha = frontiers
+            .iter()
+            .map(|f| 2 * cfg.delta(p, n, f.vertices.len()))
+            .max()
+            .unwrap_or(2 * cfg.delta(p, n, n));
+        let (lowdeg_cliques, low_cost) = low_degree_listing(&cg, p, alpha, cfg.bandwidth);
+        raw += lowdeg_cliques.len();
+        for c in lowdeg_cliques {
+            found.insert(c);
+        }
+        level_cost.absorb(&low_cost);
+        let mut resolved: BTreeSet<(VertexId, VertexId)> = BTreeSet::new();
+        for &(u, v) in &current {
+            if cg.degree(u) <= alpha || cg.degree(v) <= alpha {
+                resolved.insert((u, v));
+            }
+        }
+
+        let mut cluster_reports = Vec::new();
+        for (ci, f) in frontiers.iter().enumerate() {
+            if f.e_plus.is_empty() {
+                continue;
+            }
+            let (sub, ids) = cg.edge_subgraph(&f.e_plus);
+            let delta = cfg.delta(p, n, sub.n());
+            let cluster = CommunicationCluster::new(sub, ids, delta, decomp.phi);
+            if cluster.k() == 0 {
+                level.deferred_clusters += 1;
+                continue;
+            }
+            let inst = prepare_cluster_instance(&cg, cluster, p, cfg);
+            if inst.overloaded {
+                level.deferred_clusters += 1;
+                continue;
+            }
+            let cluster_seed =
+                seed ^ (depth as u64).wrapping_mul(0x9e37) ^ (ci as u64).wrapping_mul(0x79b9);
+            let (cliques, resolved_edges, cost) =
+                random_partition_listing(&inst, p, cfg, cluster_seed);
+            raw += cliques.len();
+            for c in cliques {
+                found.insert(c);
+            }
+            resolved.extend(resolved_edges);
+            cluster_reports.push(cost);
+        }
+        level_cost.absorb(&CostReport::parallel(cluster_reports));
+
+        let next: Vec<(VertexId, VertexId)> =
+            current.iter().copied().filter(|e| !resolved.contains(e)).collect();
+        level.resolved = current.len() - next.len();
+        level.rounds = level_cost.rounds;
+        level.messages = level_cost.messages;
+        report.cost.absorb(&level_cost);
+        report.levels.push(level);
+        report.depth = depth + 1;
+        if next.len() == current.len() {
+            let ng = Graph::from_edges(n, &next);
+            let (cliques, cost) = low_degree_listing(&ng, p, ng.max_degree(), cfg.bandwidth);
+            for c in cliques {
+                found.insert(c);
+            }
+            report.cost.absorb(&cost);
+            report.fallback_used = true;
+            current.clear();
+            break;
+        }
+        current = next;
+    }
+
+    if !current.is_empty() {
+        let ng = Graph::from_edges(n, &current);
+        let (cliques, cost) = low_degree_listing(&ng, p, ng.max_degree(), cfg.bandwidth);
+        for c in cliques {
+            found.insert(c);
+        }
+        report.cost.absorb(&cost);
+        report.fallback_used = true;
+    }
+    report.raw_listings = raw;
+    ListingOutcome { cliques: found.into_iter().collect(), report }
+}
+
+/// Per-cluster listing with a random vertex partition: both sides are
+/// hashed into `x` parts; every non-decreasing tuple of parts
+/// (`π` from `V_2`, `p'` from `V_1`, for each `p'`) is a task whose owner
+/// learns the edges between its parts.
+fn random_partition_listing(
+    inst: &ClusterInstance,
+    p: usize,
+    cfg: &ListingConfig,
+    seed: u64,
+) -> (Vec<Vec<VertexId>>, Vec<(VertexId, VertexId)>, CostReport) {
+    let split = &inst.split;
+    let k = split.k;
+    let x = ((k as f64).powf(1.0 / p as f64).ceil() as usize).max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let part1: Vec<usize> = (0..k).map(|_| rng.gen_range(0..x)).collect();
+    let part2: Vec<usize> = (0..split.n2).map(|_| rng.gen_range(0..x)).collect();
+    let mut members1: Vec<Vec<u32>> = vec![Vec::new(); x];
+    let mut members2: Vec<Vec<u32>> = vec![Vec::new(); x];
+    for (r, &pt) in part1.iter().enumerate() {
+        members1[pt].push(r as u32);
+    }
+    for (w, &pt) in part2.iter().enumerate() {
+        members2[pt].push(w as u32);
+    }
+    let v_minus = inst.cluster.v_minus();
+
+    let mut cliques = Vec::new();
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut task_idx = 0usize;
+
+    for p_prime in 2..=p {
+        let pi = p - p_prime;
+        if pi > 0 && split.n2 == 0 {
+            continue;
+        }
+        // all non-decreasing tuples of parts
+        let v2_tuples = non_decreasing_tuples(x, pi);
+        let v1_tuples = non_decreasing_tuples(x, p_prime);
+        for t2 in &v2_tuples {
+            for t1 in &v1_tuples {
+                let owner = v_minus[task_idx % k];
+                task_idx += 1;
+                // learning traffic: edges between every pair of involved
+                // parts (V1-V1, V1-V2, V2-V2)
+                count_learning_packets(
+                    inst, t1, t2, &members1, &members2, owner, &mut packets,
+                );
+                enumerate_tuple(inst, t1, t2, &members1, &members2, &mut cliques);
+            }
+        }
+    }
+    let learn = route(inst.cluster.graph(), packets, cfg.bandwidth);
+    let resolved = {
+        let bad = &inst.bad_ranks;
+        let mut out = Vec::new();
+        for r in 0..k as u32 {
+            for &r2 in split.neighbors_in_1(true, r) {
+                if r < r2 && bad.binary_search(&r).is_err() && bad.binary_search(&r2).is_err() {
+                    let (a, b) =
+                        (inst.v_minus_global[r as usize], inst.v_minus_global[r2 as usize]);
+                    out.push(if a < b { (a, b) } else { (b, a) });
+                }
+            }
+        }
+        out
+    };
+    (cliques, resolved, learn.report)
+}
+
+fn non_decreasing_tuples(x: usize, len: usize) -> Vec<Vec<usize>> {
+    if len == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    let mut cur = Vec::with_capacity(len);
+    fn rec(x: usize, len: usize, start: usize, cur: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if cur.len() == len {
+            out.push(cur.clone());
+            return;
+        }
+        for v in start..x {
+            cur.push(v);
+            rec(x, len, v, cur, out);
+            cur.pop();
+        }
+    }
+    rec(x, len, 0, &mut cur, &mut out);
+    out
+}
+
+fn count_learning_packets(
+    inst: &ClusterInstance,
+    t1: &[usize],
+    t2: &[usize],
+    members1: &[Vec<u32>],
+    members2: &[Vec<u32>],
+    owner: VertexId,
+    packets: &mut Vec<Packet>,
+) {
+    let split = &inst.split;
+    let v_minus = inst.cluster.v_minus();
+    let k = split.k;
+    let mut push = |holder: VertexId| {
+        if holder != owner {
+            packets.push(Packet { src: holder, dst: owner, payload: 0 });
+            packets.push(Packet { src: holder, dst: owner, payload: 1 });
+        }
+    };
+    let mut parts1: Vec<usize> = t1.to_vec();
+    parts1.dedup();
+    let mut parts2: Vec<usize> = t2.to_vec();
+    parts2.dedup();
+    // V1-V1 edges
+    for (i, &a) in parts1.iter().enumerate() {
+        for &b in &parts1[i..] {
+            for &r in &members1[a] {
+                for &r2 in split.neighbors_in_1(true, r) {
+                    if r < r2 || a != b {
+                        if members1[b].binary_search(&r2).is_ok() && (a != b || r < r2) {
+                            push(v_minus[r.min(r2) as usize]);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // V1-V2 edges
+    for &a in &parts1 {
+        for &b in &parts2 {
+            for &r in &members1[a] {
+                for &w in split.neighbors_in_2(true, r) {
+                    if members2[b].binary_search(&w).is_ok() {
+                        push(v_minus[r as usize]);
+                    }
+                }
+            }
+        }
+    }
+    // V2-V2 edges
+    for (i, &a) in parts2.iter().enumerate() {
+        for &b in &parts2[i..] {
+            for &w in &members2[a] {
+                for &w2 in split.neighbors_in_2(false, w) {
+                    if members2[b].binary_search(&w2).is_ok() && (a != b || w < w2) {
+                        push(v_minus[(w.min(w2) as usize) % k]);
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn enumerate_tuple(
+    inst: &ClusterInstance,
+    t1: &[usize],
+    t2: &[usize],
+    members1: &[Vec<u32>],
+    members2: &[Vec<u32>],
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    // slots: V2 slots then V1 slots, each with its part's member list
+    let split = &inst.split;
+    let slots: Vec<(bool, &Vec<u32>)> = t2
+        .iter()
+        .map(|&pt| (false, &members2[pt]))
+        .chain(t1.iter().map(|&pt| (true, &members1[pt])))
+        .collect();
+    let mut chosen: Vec<(bool, u32)> = Vec::with_capacity(slots.len());
+    fn rec(
+        inst: &ClusterInstance,
+        slots: &[(bool, &Vec<u32>)],
+        level: usize,
+        chosen: &mut Vec<(bool, u32)>,
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        let split = &inst.split;
+        if level == slots.len() {
+            let mut clique: Vec<VertexId> = chosen
+                .iter()
+                .map(|&(v1, idx)| {
+                    if v1 {
+                        inst.v_minus_global[idx as usize]
+                    } else {
+                        inst.v2_global[idx as usize]
+                    }
+                })
+                .collect();
+            clique.sort_unstable();
+            if clique.windows(2).all(|w| w[0] != w[1]) {
+                out.push(clique);
+            }
+            return;
+        }
+        let (is_v1, members) = slots[level];
+        for &cand in members.iter() {
+            let ok = chosen.iter().all(|&(cv1, c)| match (cv1, is_v1) {
+                (true, true) => split.has_e1(c, cand),
+                (false, false) => split.has_e2(c, cand),
+                (true, false) => split.has_e12(c, cand),
+                (false, true) => split.has_e12(cand, c),
+            });
+            if ok {
+                chosen.push((is_v1, cand));
+                rec(inst, slots, level + 1, chosen, out);
+                chosen.pop();
+            }
+        }
+    }
+    let _ = split;
+    rec(inst, &slots, 0, &mut chosen, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn randomized_is_exact_for_triangles() {
+        let g = graphs::erdos_renyi(50, 0.15, 2);
+        let out = list_cliques_randomized(&g, 3, &ListingConfig::default(), 99);
+        assert_eq!(out.cliques, graphs::list_cliques(&g, 3));
+    }
+
+    #[test]
+    fn randomized_is_exact_for_k4() {
+        let g = graphs::planted_cliques(40, 0.08, 4, 3, 4);
+        let out = list_cliques_randomized(&g, 4, &ListingConfig::default(), 7);
+        assert_eq!(out.cliques, graphs::list_cliques(&g, 4));
+    }
+
+    #[test]
+    fn different_seeds_same_cliques() {
+        let g = graphs::erdos_renyi(40, 0.18, 6);
+        let a = list_cliques_randomized(&g, 3, &ListingConfig::default(), 1);
+        let b = list_cliques_randomized(&g, 3, &ListingConfig::default(), 2);
+        assert_eq!(a.cliques, b.cliques);
+    }
+
+    #[test]
+    fn tuples_with_repetition_count() {
+        // C(x + len - 1, len)
+        assert_eq!(non_decreasing_tuples(3, 2).len(), 6);
+        assert_eq!(non_decreasing_tuples(4, 3).len(), 20);
+        assert_eq!(non_decreasing_tuples(5, 0).len(), 1);
+    }
+}

@@ -1,0 +1,627 @@
+//! Per-cluster high-degree listing via partition trees (Lemma 34 for
+//! triangles, Lemma 37 for `p ≥ 4`).
+//!
+//! A cluster lists every `K_p` that has an edge inside
+//! `E(V⁻∖S, V⁻∖S)`, where `S` is the set of *bad* vertices (Section 6.1)
+//! whose imported-edge load would be too high — empty for `p = 3`. The
+//! clique's remaining vertices may live anywhere: the split graph's `V_2`
+//! side holds every outside neighbor of `V⁻`, the boundary edges `Ē` are
+//! known to their `V⁻` endpoints, and the imported edges `E'` are the
+//! outside-outside edges witnessed by a non-bad `V⁻` vertex (Lemma 43's
+//! delivery). For each `2 ≤ p' ≤ p` a `(p', p)`-split tree load-balances
+//! the work (Theorem 26); for `p' = p = 3` the dedicated `K_3`-partition
+//! tree of Theorem 16 is used, as in the paper.
+
+use std::collections::HashMap;
+
+use congest::cluster::CommunicationCluster;
+use congest::graph::{Graph, VertexId};
+use congest::metrics::CostReport;
+use congest::routing::{route, Packet};
+use partition_trees::balance::balance_by_degree;
+use partition_trees::build_k3::build_k3_tree;
+use partition_trees::build_kp::{build_split_tree, rearrange_input_cost};
+use partition_trees::split::{SplitGraph, SplitParams};
+
+use crate::config::ListingConfig;
+
+/// Everything a cluster needs to run its listing step.
+#[derive(Debug)]
+pub struct ClusterInstance {
+    /// The communication cluster over `E⁺` (local ids).
+    pub cluster: CommunicationCluster,
+    /// Global ids of `V⁻` members, by rank.
+    pub v_minus_global: Vec<VertexId>,
+    /// The split-graph view of the listing instance.
+    pub split: SplitGraph,
+    /// Global ids of the `V_2` side, by index.
+    pub v2_global: Vec<VertexId>,
+    /// Ranks of bad vertices `S` (sorted).
+    pub bad_ranks: Vec<u32>,
+    /// Whether the cluster is overloaded (Lemma 44) and must defer.
+    pub overloaded: bool,
+    /// `|E'|` (imported edges) — for the overload statistics.
+    pub imported_edges: usize,
+}
+
+/// Builds the listing instance of one cluster against the current graph.
+///
+/// `cluster` is built over the cluster's `E⁺` edge set; `g` is the current
+/// (global) graph; `p` the clique size.
+pub fn prepare_cluster_instance(
+    g: &Graph,
+    cluster: CommunicationCluster,
+    p: usize,
+    cfg: &ListingConfig,
+) -> ClusterInstance {
+    let n = g.n();
+    let v_minus_global: Vec<VertexId> =
+        cluster.v_minus().iter().map(|&v| cluster.global_of(v)).collect();
+    let in_v_minus = |w: VertexId| v_minus_global.binary_search(&w).is_ok();
+    let cluster_vertex_set: std::collections::HashSet<VertexId> =
+        cluster.global_ids().iter().copied().collect();
+
+    // V2: every vertex outside V⁻ with a neighbor in V⁻.
+    let mut v2_global: Vec<VertexId> = Vec::new();
+    for &v in &v_minus_global {
+        for &w in g.neighbors(v) {
+            if !in_v_minus(w) {
+                v2_global.push(w);
+            }
+        }
+    }
+    v2_global.sort_unstable();
+    v2_global.dedup();
+    let v2_index: HashMap<VertexId, u32> =
+        v2_global.iter().enumerate().map(|(i, &w)| (w, i as u32)).collect();
+
+    let k = v_minus_global.len();
+    // E1 and E12.
+    let mut e1 = Vec::new();
+    let mut e12 = Vec::new();
+    for (r, &v) in v_minus_global.iter().enumerate() {
+        for &w in g.neighbors(v) {
+            if let Ok(r2) = v_minus_global.binary_search(&w) {
+                if r < r2 {
+                    e1.push((r as u32, r2 as u32));
+                }
+            } else if let Some(&wi) = v2_index.get(&w) {
+                e12.push((r as u32, wi));
+            }
+        }
+    }
+
+    // Bad vertices (p ≥ 4 only): S* = outside vertices with many outside
+    // edges relative to their cluster connections; S = V⁻ members with more
+    // than n^{1-2/p} S*-neighbors (Section 6.1).
+    let threshold = (n as f64).powf(1.0 - 2.0 / p as f64);
+    let mut bad_ranks: Vec<u32> = Vec::new();
+    let mut s_star: std::collections::HashSet<VertexId> = Default::default();
+    if p >= 4 {
+        for &w in &v2_global {
+            let deg_c = g.neighbors(w).iter().filter(|&&u| cluster_vertex_set.contains(&u)).count();
+            let deg_outside =
+                g.neighbors(w).iter().filter(|&&u| !in_v_minus(u)).count();
+            if deg_c >= 1 && (deg_c as f64) * threshold < deg_outside as f64 {
+                s_star.insert(w);
+            }
+        }
+        for (r, &v) in v_minus_global.iter().enumerate() {
+            let s_deg = g.neighbors(v).iter().filter(|&&u| s_star.contains(&u)).count();
+            if s_deg as f64 > threshold {
+                bad_ranks.push(r as u32);
+            }
+        }
+    }
+    let bad_set: std::collections::HashSet<u32> = bad_ranks.iter().copied().collect();
+
+    // E' (imported edges): outside-outside edges witnessed by a non-bad V⁻
+    // vertex (the Lemma 43 delivery rule). Needed only when a clique can
+    // have ≥ 2 vertices outside, i.e. p ≥ 4.
+    let mut e2 = Vec::new();
+    if p >= 4 {
+        let mut seen: std::collections::HashSet<(u32, u32)> = Default::default();
+        for (r, &v) in v_minus_global.iter().enumerate() {
+            if bad_set.contains(&(r as u32)) {
+                continue;
+            }
+            let nbrs: Vec<u32> = g
+                .neighbors(v)
+                .iter()
+                .filter_map(|w| v2_index.get(w).copied())
+                .collect();
+            for (i, &w1) in nbrs.iter().enumerate() {
+                for &w2 in &nbrs[i + 1..] {
+                    let key = if w1 < w2 { (w1, w2) } else { (w2, w1) };
+                    if seen.contains(&key) {
+                        continue;
+                    }
+                    if g.has_edge(v2_global[key.0 as usize], v2_global[key.1 as usize]) {
+                        seen.insert(key);
+                        e2.push(key);
+                    }
+                }
+            }
+        }
+    }
+    let imported_edges = e2.len();
+
+    // Overload check (Lemma 44): defer clusters whose communication volume
+    // cannot absorb the imported edges.
+    let m_comm: usize = cluster.v_minus().iter().map(|&v| cluster.comm_degree(v)).sum();
+    let overloaded = p >= 4
+        && k > 0
+        && (m_comm as f64 / k as f64) <= imported_edges as f64 / (cfg.gamma * n as f64);
+
+    let split = SplitGraph::new(k, v2_global.len(), &e1, &e2, &e12);
+    ClusterInstance {
+        cluster,
+        v_minus_global,
+        split,
+        v2_global,
+        bad_ranks,
+        overloaded,
+        imported_edges,
+    }
+}
+
+/// Result of a cluster's listing step.
+#[derive(Debug, Default)]
+pub struct ClusterListing {
+    /// Cliques found (sorted global ids; may contain duplicates).
+    pub cliques: Vec<Vec<VertexId>>,
+    /// Edges (global, `u < v`) whose cliques are now fully listed — the
+    /// cluster's contribution to the removal set.
+    pub resolved_edges: Vec<(VertexId, VertexId)>,
+    /// Measured cost.
+    pub report: CostReport,
+}
+
+/// Runs the full per-cluster listing: for every `2 ≤ p' ≤ p`, builds the
+/// appropriate partition tree, balances the leaf parts, accounts the
+/// edge-learning traffic and enumerates the cliques.
+pub fn list_in_cluster(inst: &ClusterInstance, p: usize, cfg: &ListingConfig) -> ClusterListing {
+    let mut out = ClusterListing::default();
+    let k = inst.split.k;
+    if k == 0 || inst.overloaded {
+        return out;
+    }
+    let bandwidth = cfg.bandwidth;
+
+    // Theorem 31: account the E' rearrangement.
+    if inst.imported_edges > 0 {
+        let holders: Vec<(VertexId, usize)> = {
+            // each imported edge is witnessed by a non-bad V⁻ vertex; model
+            // the initial distribution as round-robin over the non-bad ranks
+            let good: Vec<u32> = (0..k as u32)
+                .filter(|r| inst.bad_ranks.binary_search(r).is_err())
+                .collect();
+            if good.is_empty() {
+                vec![]
+            } else {
+                (0..inst.imported_edges)
+                    .map(|j| {
+                        let r = good[j % good.len()];
+                        (inst.cluster.v_minus()[r as usize], 1)
+                    })
+                    .collect()
+            }
+        };
+        out.report
+            .absorb(&rearrange_input_cost(&inst.cluster, &holders, bandwidth));
+    }
+
+    for p_prime in 2..=p {
+        let piece = if p == 3 && p_prime == 3 {
+            list_inside_k3(inst, cfg)
+        } else {
+            list_with_split_tree(inst, p, p_prime, cfg)
+        };
+        out.cliques.extend(piece.cliques);
+        out.report.absorb(&piece.report);
+    }
+
+    // Resolved: E(V⁻∖S, V⁻∖S) edges, reported as global pairs.
+    for (r1, r2) in e1_pairs(&inst.split) {
+        if inst.bad_ranks.binary_search(&r1).is_err()
+            && inst.bad_ranks.binary_search(&r2).is_err()
+        {
+            let (a, b) = (inst.v_minus_global[r1 as usize], inst.v_minus_global[r2 as usize]);
+            out.resolved_edges.push(if a < b { (a, b) } else { (b, a) });
+        }
+    }
+    let _ = bandwidth;
+    out
+}
+
+fn e1_pairs(split: &SplitGraph) -> Vec<(u32, u32)> {
+    let mut pairs = Vec::new();
+    for r in 0..split.k as u32 {
+        for &r2 in split.neighbors_in_1(true, r) {
+            if r < r2 {
+                pairs.push((r, r2));
+            }
+        }
+    }
+    pairs
+}
+
+/// The paper's `K_3` in-cluster path (Lemma 34, `p' = p = 3`): builds a
+/// `K_3`-partition tree with Theorem 16 and lists the triangles of
+/// `C[V⁻]`.
+fn list_inside_k3(inst: &ClusterInstance, cfg: &ListingConfig) -> ClusterListing {
+    let mut out = ClusterListing::default();
+    let k3 = build_k3_tree(&inst.cluster, cfg.bandwidth);
+    out.report.absorb(&k3.report);
+    let rg = &k3.rank_graph;
+
+    // Edge-learning traffic (Lemma 34 steps 1–2) + local enumeration.
+    let mut packets: Vec<Packet> = Vec::new();
+    for &(path, part, owner) in &k3.leaf_owner {
+        let Some(anc) = k3.tree.ancestors(path, part) else { continue };
+        // Step 1: requests to the members of each ancestor part.
+        for &(_, (s, e)) in &anc {
+            for r in s..e {
+                let member = inst.cluster.v_minus()[r as usize];
+                if member != owner {
+                    packets.push(Packet { src: owner, dst: member, payload: 0 });
+                }
+            }
+        }
+        // Step 2: members reply with their edges into the *later* intervals
+        // (each crossing edge is shipped once, by its lower-level endpoint).
+        for (i, &(_, (s, e))) in anc.iter().enumerate() {
+            for r in s..e {
+                let member = inst.cluster.v_minus()[r as usize];
+                let mut replies = 0usize;
+                for &(_, (s2, e2)) in anc.iter().skip(i + 1) {
+                    replies += rg
+                        .neighbors(r)
+                        .iter()
+                        .filter(|&&u| (s2..e2).contains(&u))
+                        .count();
+                }
+                if member != owner {
+                    for w in 0..replies {
+                        packets.push(Packet { src: member, dst: owner, payload: w as u64 });
+                    }
+                }
+            }
+        }
+        // Local enumeration: one vertex per ancestor level.
+        let [i0, i1, i2]: [(u32, u32); 3] =
+            [anc[0].1, anc[1].1, anc[2].1];
+        for a in i0.0..i0.1 {
+            for &b in rg.neighbors(a) {
+                if !(i1.0..i1.1).contains(&b) {
+                    continue;
+                }
+                for &c in rg.neighbors(a) {
+                    if !(i2.0..i2.1).contains(&c) || c == b || !rg.has_edge(b, c) {
+                        continue;
+                    }
+                    let mut t = vec![
+                        inst.v_minus_global[a as usize],
+                        inst.v_minus_global[b as usize],
+                        inst.v_minus_global[c as usize],
+                    ];
+                    t.sort_unstable();
+                    if t[0] != t[1] && t[1] != t[2] {
+                        out.cliques.push(t);
+                    }
+                }
+            }
+        }
+    }
+    let learn = route(inst.cluster.graph(), packets, cfg.bandwidth);
+    out.report.absorb(&learn.report.named("k3-learn"));
+    out
+}
+
+/// The split-tree path: builds a `(p', p)`-split tree, balances its leaf
+/// parts over `V*` (Lemma 20), accounts the edge-learning traffic and
+/// enumerates cliques with exactly `p'` vertices in `V⁻`.
+fn list_with_split_tree(
+    inst: &ClusterInstance,
+    p: usize,
+    p_prime: usize,
+    cfg: &ListingConfig,
+) -> ClusterListing {
+    let mut out = ClusterListing::default();
+    let lambda = cfg.lambda_override.unwrap_or(1);
+    let built = build_split_tree(&inst.cluster, &inst.split, p, p_prime, lambda, cfg.bandwidth);
+    out.report.absorb(&built.report);
+    let tree = &built.tree;
+    let params = &built.params;
+    let pi = params.pi();
+    if pi > 0 && inst.split.n2 == 0 {
+        return out; // no outside vertices: nothing with p' < p to list
+    }
+
+    // Leaf ownership: each leaf part initially with the lowest-rank vertex
+    // ("forget all but O(1) parts"), then balanced by degree (Lemma 20).
+    let leaves = tree.leaf_parts();
+    if leaves.is_empty() {
+        return out;
+    }
+    let producers: Vec<VertexId> = (0..leaves.len())
+        .map(|j| inst.cluster.v_minus()[j % inst.split.k])
+        .collect();
+    let assignment =
+        balance_by_degree(&inst.cluster, &producers, 2 * p, lambda.max(2), cfg.bandwidth);
+    out.report.absorb(&assignment.report);
+
+    let mut packets: Vec<Packet> = Vec::new();
+    for ((path, part), &owner) in leaves.iter().zip(assignment.owner_of.iter()) {
+        let Some(anc) = tree.ancestors(*path, *part) else { continue };
+        packets.extend(learning_packets(inst, params, &anc, owner));
+        enumerate_leaf(inst, params, &anc, &mut out.cliques);
+    }
+    let learn = route(inst.cluster.graph(), packets, cfg.bandwidth);
+    out.report
+        .absorb(&learn.report.named(&format!("split-learn-p{p_prime}")));
+    out
+}
+
+/// Packets shipping the edges crossing two ancestor intervals to the leaf
+/// owner (the final listing step of Lemma 37). One packet per edge word.
+fn learning_packets(
+    inst: &ClusterInstance,
+    params: &SplitParams,
+    anc: &[(usize, (u32, u32))],
+    owner: VertexId,
+) -> Vec<Packet> {
+    let split = &inst.split;
+    let k = split.k;
+    let pi = params.pi();
+    let v_minus = inst.cluster.v_minus();
+    let mut packets = Vec::new();
+    let mut push_edge = |holder: VertexId| {
+        if holder != owner {
+            packets.push(Packet { src: holder, dst: owner, payload: 0 });
+            packets.push(Packet { src: holder, dst: owner, payload: 1 });
+        }
+    };
+    for (i, &(li, ii)) in anc.iter().enumerate() {
+        for &(lj, ij) in anc.iter().skip(i + 1) {
+            let i_is_v1 = li >= pi;
+            let j_is_v1 = lj >= pi;
+            match (i_is_v1, j_is_v1) {
+                (true, true) => {
+                    for r in ii.0..ii.1 {
+                        for &r2 in split.neighbors_in_1(true, r) {
+                            if (ij.0..ij.1).contains(&r2) {
+                                push_edge(v_minus[r.min(r2) as usize]);
+                            }
+                        }
+                    }
+                }
+                (false, false) => {
+                    for w in ii.0..ii.1 {
+                        for &w2 in split.neighbors_in_2(false, w) {
+                            if (ij.0..ij.1).contains(&w2) {
+                                // E' edge held by the chain member of its
+                                // lower endpoint (Theorem 31 distribution)
+                                push_edge(v_minus[(w.min(w2) as usize) % k]);
+                            }
+                        }
+                    }
+                }
+                (v1_first, _) => {
+                    // one V1 interval, one V2 interval: Ē edges held by
+                    // their V⁻ endpoint
+                    let (v1_int, v2_int) = if v1_first { (ii, ij) } else { (ij, ii) };
+                    for r in v1_int.0..v1_int.1 {
+                        for &w in split.neighbors_in_2(true, r) {
+                            if (v2_int.0..v2_int.1).contains(&w) {
+                                push_edge(v_minus[r as usize]);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    packets
+}
+
+/// Enumerates every `K_p` with one vertex in each ancestor interval (the
+/// local listing at a leaf owner), appending sorted global-id cliques.
+fn enumerate_leaf(
+    inst: &ClusterInstance,
+    params: &SplitParams,
+    anc: &[(usize, (u32, u32))],
+    out: &mut Vec<Vec<VertexId>>,
+) {
+    let pi = params.pi();
+    let p = anc.len();
+    // chosen[(is_v1, idx)]
+    let mut chosen: Vec<(bool, u32)> = Vec::with_capacity(p);
+    fn compatible(split: &SplitGraph, chosen: &[(bool, u32)], cand: (bool, u32)) -> bool {
+        chosen.iter().all(|&(cv1, c)| match (cv1, cand.0) {
+            (true, true) => split.has_e1(c, cand.1),
+            (false, false) => split.has_e2(c, cand.1),
+            (true, false) => split.has_e12(c, cand.1),
+            (false, true) => split.has_e12(cand.1, c),
+        })
+    }
+    fn rec(
+        inst: &ClusterInstance,
+        anc: &[(usize, (u32, u32))],
+        pi: usize,
+        level: usize,
+        chosen: &mut Vec<(bool, u32)>,
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        let split = &inst.split;
+        if level == anc.len() {
+            let mut clique: Vec<VertexId> = chosen
+                .iter()
+                .map(|&(v1, idx)| {
+                    if v1 {
+                        inst.v_minus_global[idx as usize]
+                    } else {
+                        inst.v2_global[idx as usize]
+                    }
+                })
+                .collect();
+            clique.sort_unstable();
+            if clique.windows(2).all(|w| w[0] != w[1]) {
+                out.push(clique);
+            }
+            return;
+        }
+        let (lvl, (s, e)) = anc[level];
+        let is_v1 = lvl >= pi;
+        // candidate set: intersect the interval with the neighbors of the
+        // first chosen vertex when available (cheap pruning)
+        if let Some(&(fv1, f)) = chosen.first() {
+            let nbrs = if is_v1 {
+                split.neighbors_in_1(fv1, f)
+            } else {
+                split.neighbors_in_2(fv1, f)
+            };
+            let lo = nbrs.partition_point(|&x| x < s);
+            for &cand in &nbrs[lo..] {
+                if cand >= e {
+                    break;
+                }
+                if compatible(split, &chosen[1..], (is_v1, cand)) {
+                    chosen.push((is_v1, cand));
+                    rec(inst, anc, pi, level + 1, chosen, out);
+                    chosen.pop();
+                }
+            }
+        } else {
+            for cand in s..e {
+                chosen.push((is_v1, cand));
+                rec(inst, anc, pi, level + 1, chosen, out);
+                chosen.pop();
+            }
+        }
+    }
+    rec(inst, anc, pi, 0, &mut chosen, out);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique_graph(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        Graph::from_edges(n, &e)
+    }
+
+    fn whole_graph_cluster(g: &Graph, delta: usize) -> CommunicationCluster {
+        CommunicationCluster::new(g.clone(), (0..g.n() as VertexId).collect(), delta, 0.3)
+    }
+
+    #[test]
+    fn in_cluster_k3_lists_all_triangles_of_v_minus() {
+        let g = clique_graph(15);
+        let cluster = whole_graph_cluster(&g, 2);
+        let inst = prepare_cluster_instance(&g, cluster, 3, &ListingConfig::default());
+        let out = list_in_cluster(&inst, 3, &ListingConfig::default());
+        let mut distinct = out.cliques.clone();
+        distinct.sort();
+        distinct.dedup();
+        let expected = graphs::list_cliques(&g, 3);
+        assert_eq!(distinct, expected);
+        assert!(out.report.rounds > 0);
+    }
+
+    #[test]
+    fn cross_boundary_triangles_are_found() {
+        // V⁻ will be the K5 core; an outside vertex 5 adjacent to 0 and 1
+        // forms a triangle with the core edge (0,1).
+        let mut e = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                e.push((u, v));
+            }
+        }
+        e.push((0, 5));
+        e.push((1, 5));
+        let g = Graph::from_edges(6, &e);
+        let cluster = {
+            let (sub, ids) = g.induced_subgraph(&(0..5).collect::<Vec<_>>());
+            CommunicationCluster::new(sub, ids, 2, 0.3)
+        };
+        let inst = prepare_cluster_instance(&g, cluster, 3, &ListingConfig::default());
+        let out = list_in_cluster(&inst, 3, &ListingConfig::default());
+        assert!(
+            out.cliques.contains(&vec![0, 1, 5]),
+            "cross triangle missing: {:?}",
+            out.cliques
+        );
+    }
+
+    #[test]
+    fn k4_listing_with_outside_pair() {
+        // K4 = {0,1} in V⁻-core, {6,7} outside; core is a K6 so 0,1 are
+        // high-degree.
+        let mut e = Vec::new();
+        for u in 0..6u32 {
+            for v in u + 1..6 {
+                e.push((u, v));
+            }
+        }
+        for w in [6u32, 7] {
+            e.push((0, w));
+            e.push((1, w));
+        }
+        e.push((6, 7));
+        let g = Graph::from_edges(8, &e);
+        let cluster = {
+            let (sub, ids) = g.induced_subgraph(&(0..6).collect::<Vec<_>>());
+            CommunicationCluster::new(sub, ids, 2, 0.3)
+        };
+        let inst = prepare_cluster_instance(&g, cluster, 4, &ListingConfig::default());
+        assert!(!inst.overloaded);
+        let out = list_in_cluster(&inst, 4, &ListingConfig::default());
+        assert!(
+            out.cliques.contains(&vec![0, 1, 6, 7]),
+            "cross K4 missing: {:?}",
+            out.cliques
+        );
+        // in-core K4s must be there too
+        assert!(out.cliques.contains(&vec![0, 1, 2, 3]));
+    }
+
+    #[test]
+    fn resolved_edges_cover_v_minus_pairs() {
+        let g = clique_graph(10);
+        let cluster = whole_graph_cluster(&g, 2);
+        let inst = prepare_cluster_instance(&g, cluster, 3, &ListingConfig::default());
+        let out = list_in_cluster(&inst, 3, &ListingConfig::default());
+        // every V⁻×V⁻ edge must be resolved (no bad vertices for p = 3)
+        assert_eq!(out.resolved_edges.len(), g.m());
+    }
+
+    #[test]
+    fn imported_edges_respect_witness_rule() {
+        // two outside vertices adjacent to each other but with no common
+        // V⁻ neighbor must NOT enter E'
+        let mut e = Vec::new();
+        for u in 0..5u32 {
+            for v in u + 1..5 {
+                e.push((u, v));
+            }
+        }
+        e.push((0, 5)); // 5 adjacent only to 0
+        e.push((1, 6)); // 6 adjacent only to 1
+        e.push((5, 6));
+        let g = Graph::from_edges(7, &e);
+        let cluster = {
+            let (sub, ids) = g.induced_subgraph(&(0..5).collect::<Vec<_>>());
+            CommunicationCluster::new(sub, ids, 2, 0.3)
+        };
+        let inst = prepare_cluster_instance(&g, cluster, 4, &ListingConfig::default());
+        assert_eq!(inst.imported_edges, 0);
+    }
+}

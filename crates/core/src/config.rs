@@ -1,0 +1,89 @@
+//! Configuration of the listing drivers.
+
+/// Tuning knobs of [`crate::list_cliques_congest`].
+///
+/// The defaults mirror the constants fixed in the paper's proofs
+/// (`ε = 1/18`, `β = 24`, `γ = 12` for `p > 4`; `ε = 1/12`, `γ = 4` for
+/// `p = 4`), scaled where the proofs allow slack.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ListingConfig {
+    /// Expander-decomposition remainder fraction `ε`.
+    pub epsilon: f64,
+    /// Degree-threshold multiplier `β`: `V⁻` requires
+    /// `deg_C(v) ≥ β·threshold(p, n)`.
+    pub beta: f64,
+    /// Overload factor `γ`: clusters with
+    /// `|E(V⁻,V_C)|/|V⁻| ≤ |E'|/(γ·n)` are deferred (Lemma 44).
+    pub gamma: f64,
+    /// Per-edge messages per round (CONGEST bandwidth; 1 is standard).
+    pub bandwidth: usize,
+    /// Maximum recursion depth before the exhaustive fallback closes the
+    /// remaining graph (the paper's recursion is `O(log n)` deep; the
+    /// fallback guarantees termination on adversarial inputs).
+    pub max_depth: usize,
+    /// Finish by exhaustive search when the current graph has at most this
+    /// many edges.
+    pub base_edges: usize,
+    /// Override for the Theorem 11 chain length `λ` (`None` = the paper's
+    /// choice: `k^{1/3}` for `K_3` layers, `1` for split layers).
+    pub lambda_override: Option<usize>,
+}
+
+impl Default for ListingConfig {
+    fn default() -> Self {
+        ListingConfig {
+            epsilon: 1.0 / 6.0,
+            beta: 1.0,
+            gamma: 12.0,
+            bandwidth: 1,
+            max_depth: 40,
+            base_edges: 32,
+            lambda_override: None,
+        }
+    }
+}
+
+impl ListingConfig {
+    /// The `V⁻` communication-degree threshold `δ` for clique size `p` in
+    /// a cluster of `big_k` vertices within an `n`-vertex graph:
+    /// `K^{1/3}` for triangles (Definition 15), `β·n^{1-2/p}` for `p ≥ 4`
+    /// (Definition 24).
+    pub fn delta(&self, p: usize, n: usize, big_k: usize) -> usize {
+        let d = if p == 3 {
+            (big_k as f64).cbrt()
+        } else {
+            self.beta * (n as f64).powf(1.0 - 2.0 / p as f64)
+        };
+        (d.ceil() as usize).max(1)
+    }
+
+    /// The exhaustive-search degree bound `α`: vertices of current degree
+    /// at most `α` learn their induced 2-hop neighborhood (Lemmas 35/41).
+    /// `α = 2δ` so that every `V° ∖ V⁻` vertex is covered (majority
+    /// property: `deg(v) ≤ 2·deg_C(v) < 2δ`).
+    pub fn alpha(&self, p: usize, n: usize, max_big_k: usize) -> usize {
+        2 * self.delta(p, n, max_big_k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delta_scales_with_exponent() {
+        let cfg = ListingConfig::default();
+        assert_eq!(cfg.delta(3, 1000, 1000), 10);
+        // p = 4: n^{1/2}
+        assert_eq!(cfg.delta(4, 10000, 10000), 100);
+        // p = 5: n^{3/5}
+        let d5 = cfg.delta(5, 100000, 100000);
+        assert!((d5 as f64 - 100000f64.powf(0.6)).abs() < 2.0);
+    }
+
+    #[test]
+    fn alpha_is_twice_delta() {
+        let cfg = ListingConfig::default();
+        assert_eq!(cfg.alpha(3, 1000, 1000), 20);
+    }
+}

@@ -1,0 +1,100 @@
+//! Run reports of the distributed listing drivers.
+
+use congest::metrics::CostReport;
+use serde::{Deserialize, Serialize};
+
+/// Per-recursion-level statistics.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct LevelStats {
+    /// Recursion depth (0-based).
+    pub level: usize,
+    /// Edges of the current graph at this level.
+    pub edges: usize,
+    /// Edges resolved (removed before the next level).
+    pub resolved: usize,
+    /// Clusters processed at this level.
+    pub clusters: usize,
+    /// Clusters deferred (overloaded or empty `V⁻`).
+    pub deferred_clusters: usize,
+    /// Cliques first listed at this level (after global dedup).
+    pub new_cliques: usize,
+    /// Rounds consumed by this level.
+    pub rounds: u64,
+    /// Messages consumed by this level.
+    pub messages: u64,
+}
+
+/// Aggregate report of one listing run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Total measured cost.
+    pub cost: CostReport,
+    /// Per-level breakdown.
+    pub levels: Vec<LevelStats>,
+    /// Recursion depth reached.
+    pub depth: usize,
+    /// Number of clique listings before deduplication (a clique may be
+    /// found by several clusters/levels; the paper allows this).
+    pub raw_listings: usize,
+    /// Whether the exhaustive fallback closed the run.
+    pub fallback_used: bool,
+}
+
+impl RunReport {
+    /// Total rounds.
+    pub fn rounds(&self) -> u64 {
+        self.cost.rounds
+    }
+
+    /// Total messages.
+    pub fn messages(&self) -> u64 {
+        self.cost.messages
+    }
+
+    /// Duplicate listings (raw − distinct is computed by the driver; this
+    /// is `raw_listings` minus the distinct count passed in).
+    pub fn duplicates(&self, distinct: usize) -> usize {
+        self.raw_listings.saturating_sub(distinct)
+    }
+}
+
+impl std::fmt::Display for RunReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{} rounds, {} messages, depth {}{}",
+            self.cost.rounds,
+            self.cost.messages,
+            self.depth,
+            if self.fallback_used { " (fallback)" } else { "" }
+        )?;
+        for l in &self.levels {
+            writeln!(
+                f,
+                "  level {}: {} edges, {} resolved, {} clusters ({} deferred), {} new cliques, {} rounds",
+                l.level, l.edges, l.resolved, l.clusters, l.deferred_clusters, l.new_cliques, l.rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicates_never_underflow() {
+        let r = RunReport { raw_listings: 3, ..Default::default() };
+        assert_eq!(r.duplicates(5), 0);
+        assert_eq!(r.duplicates(1), 2);
+    }
+
+    #[test]
+    fn display_includes_levels() {
+        let mut r = RunReport::default();
+        r.levels.push(LevelStats { level: 0, edges: 10, ..Default::default() });
+        let s = format!("{r}");
+        assert!(s.contains("level 0"));
+    }
+}

@@ -1,0 +1,231 @@
+//! The cluster frontier construction of Section 2 of the paper.
+//!
+//! Given a decomposition of the current graph `G' = (V, E')` into clusters
+//! `E_1 … E_x` and remainder `E_r`, each cluster `i` selects:
+//!
+//! - `V°_i`: the vertices of the cluster with the *majority* of their
+//!   current edges inside `E_i` (`deg_{E_i}(v) ≥ deg_{E'∖E_i}(v)`);
+//! - `E_i⁻ = E_i ∩ (V°_i × V°_i)`: the edges whose cliques this cluster is
+//!   responsible for, and which are removed before recursion;
+//! - `E_i⁺ = E_i ∪ E'(V°_i, V°_i)`: the enriched cluster edge set used as
+//!   communication fabric and listing instance (Lemma 40 of the paper shows
+//!   it keeps `Φ ≥ φ/2`).
+//!
+//! Lemma 8 ([CS20, Lemma 6.1]): `|⋃ E_i ∖ E_i⁻| ≤ 2ε|E'|`. Because the
+//! clusters are vertex-disjoint, a vertex outside `V°_i` has more than half
+//! its edges in the remainder, so the bound follows from `|E_r| ≤ ε|E'|`;
+//! [`lemma8_defect`] verifies it numerically.
+
+use congest::graph::{Graph, VertexId};
+
+use crate::decomp::Decomposition;
+
+/// Frontier data of one cluster.
+#[derive(Debug, Clone)]
+pub struct ClusterFrontier {
+    /// Index of the cluster in the decomposition.
+    pub cluster_index: usize,
+    /// All cluster vertices (sorted, global ids).
+    pub vertices: Vec<VertexId>,
+    /// `V°`: majority-inside vertices (sorted, global ids).
+    pub v_circle: Vec<VertexId>,
+    /// `E⁻`: cluster edges with both endpoints in `V°` (sorted, `u < v`).
+    pub e_minus: Vec<(VertexId, VertexId)>,
+    /// `E⁺`: cluster edges plus all current edges between `V°` vertices
+    /// (sorted, `u < v`).
+    pub e_plus: Vec<(VertexId, VertexId)>,
+}
+
+/// Builds the frontier of every cluster of `decomp` with respect to the
+/// current graph `g`.
+pub fn build_frontier(g: &Graph, decomp: &Decomposition) -> Vec<ClusterFrontier> {
+    let mut cluster_of: Vec<usize> = vec![usize::MAX; g.n()];
+    for (i, c) in decomp.clusters.iter().enumerate() {
+        for &v in &c.vertices {
+            cluster_of[v as usize] = i;
+        }
+    }
+    decomp
+        .clusters
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            // deg inside the cluster = neighbors in the same cluster
+            let in_cluster = |v: VertexId| cluster_of[v as usize] == i;
+            let mut v_circle: Vec<VertexId> = Vec::new();
+            for &v in &c.vertices {
+                let deg_in =
+                    g.neighbors(v).iter().filter(|&&u| in_cluster(u)).count();
+                let deg_out = g.degree(v) - deg_in;
+                if deg_in >= deg_out {
+                    v_circle.push(v);
+                }
+            }
+            v_circle.sort_unstable();
+            let in_circle = |v: VertexId| v_circle.binary_search(&v).is_ok();
+            let mut e_minus = Vec::new();
+            let mut e_plus = Vec::new();
+            for &v in &c.vertices {
+                for &u in g.neighbors(v) {
+                    if u <= v {
+                        continue;
+                    }
+                    let edge_in_cluster = in_cluster(u); // v in cluster i already
+                    let both_circle = in_circle(v) && in_circle(u);
+                    if edge_in_cluster {
+                        e_plus.push((v, u));
+                        if both_circle {
+                            e_minus.push((v, u));
+                        }
+                    } else if both_circle {
+                        // u is in V°_i ⊆ V_i... cannot happen for u outside
+                        // the cluster; kept for clarity
+                        e_plus.push((v, u));
+                    }
+                }
+            }
+            // E'(V°, V°) edges not already inside the cluster: since V° ⊆ V_i
+            // and clusters are vertex-disjoint, such edges are remainder
+            // edges between two V° vertices.
+            for &(a, b) in &decomp.remainder {
+                if in_circle(a) && in_circle(b) && cluster_of[a as usize] == i {
+                    e_plus.push((a, b));
+                    e_minus.push((a, b));
+                }
+            }
+            e_minus.sort_unstable();
+            e_minus.dedup();
+            e_plus.sort_unstable();
+            e_plus.dedup();
+            ClusterFrontier {
+                cluster_index: i,
+                vertices: c.vertices.clone(),
+                v_circle,
+                e_minus,
+                e_plus,
+            }
+        })
+        .collect()
+}
+
+/// Returns `|⋃ E_i ∖ E_i⁻|` — the number of clustered edges *not* resolved
+/// this level — for checking the Lemma 8 bound `≤ 2ε|E'|`.
+pub fn lemma8_defect(g: &Graph, decomp: &Decomposition, frontiers: &[ClusterFrontier]) -> usize {
+    let mut cluster_of: Vec<usize> = vec![usize::MAX; g.n()];
+    for (i, c) in decomp.clusters.iter().enumerate() {
+        for &v in &c.vertices {
+            cluster_of[v as usize] = i;
+        }
+    }
+    let mut defect = 0usize;
+    for f in frontiers {
+        let minus: std::collections::HashSet<_> = f.e_minus.iter().copied().collect();
+        for &v in &f.vertices {
+            for &u in g.neighbors(v) {
+                if u <= v || cluster_of[u as usize] != f.cluster_index {
+                    continue;
+                }
+                if !minus.contains(&(v, u)) {
+                    defect += 1;
+                }
+            }
+        }
+    }
+    defect
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decomp::decompose;
+
+    fn clique_chain(cliques: usize, size: usize) -> Graph {
+        let mut e = Vec::new();
+        for c in 0..cliques {
+            let base = (c * size) as VertexId;
+            for u in 0..size as VertexId {
+                for v in u + 1..size as VertexId {
+                    e.push((base + u, base + v));
+                }
+            }
+            if c + 1 < cliques {
+                e.push((base, base + size as VertexId));
+            }
+        }
+        Graph::from_edges(cliques * size, &e)
+    }
+
+    #[test]
+    fn v_circle_requires_majority_inside() {
+        let g = clique_chain(3, 6);
+        let d = decompose(&g, 0.3);
+        let fs = build_frontier(&g, &d);
+        for f in &fs {
+            for &v in &f.v_circle {
+                assert!(f.vertices.contains(&v));
+            }
+            // in a K6 chain, every clique vertex has >= 5 internal edges and
+            // at most 1 external: all cluster vertices are in V°.
+            if f.vertices.len() == 6 {
+                assert_eq!(f.v_circle.len(), 6);
+            }
+        }
+    }
+
+    #[test]
+    fn e_minus_subset_of_e_plus() {
+        let g = graphs::erdos_renyi(80, 0.12, 9);
+        let d = decompose(&g, 0.3);
+        let fs = build_frontier(&g, &d);
+        for f in &fs {
+            let plus: std::collections::HashSet<_> = f.e_plus.iter().copied().collect();
+            for e in &f.e_minus {
+                assert!(plus.contains(e), "E- edge {e:?} missing from E+");
+            }
+        }
+    }
+
+    #[test]
+    fn lemma8_bound_holds() {
+        for seed in 0..3u64 {
+            let g = graphs::erdos_renyi(100, 0.08, seed);
+            let eps = 0.25;
+            let d = decompose(&g, eps);
+            let fs = build_frontier(&g, &d);
+            let defect = lemma8_defect(&g, &d, &fs);
+            assert!(
+                defect as f64 <= 2.0 * eps * g.m() as f64 + 1e-9,
+                "seed {seed}: defect {defect} > 2ε|E| = {}",
+                2.0 * eps * g.m() as f64
+            );
+        }
+    }
+
+    #[test]
+    fn e_plus_conductance_stays_within_factor_two() {
+        // Lemma 40: adding E(V°,V°) at most doubles volumes.
+        let g = clique_chain(2, 8);
+        let d = decompose(&g, 0.3);
+        let fs = build_frontier(&g, &d);
+        for f in &fs {
+            let (sub, _) = g.edge_subgraph(&f.e_plus);
+            if sub.n() >= 2 && sub.n() <= 16 && sub.m() > 0 && sub.is_connected() {
+                let phi = graphs::algo::exact_conductance(&sub);
+                assert!(phi >= d.phi / 2.0, "phi = {phi} < {}", d.phi / 2.0);
+            }
+        }
+    }
+
+    #[test]
+    fn frontiers_are_deterministic() {
+        let g = graphs::erdos_renyi(60, 0.1, 4);
+        let d = decompose(&g, 0.3);
+        let a = build_frontier(&g, &d);
+        let b = build_frontier(&g, &d);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.v_circle, y.v_circle);
+            assert_eq!(x.e_minus, y.e_minus);
+            assert_eq!(x.e_plus, y.e_plus);
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Deterministic expander decomposition and cluster frontiers.
+//!
+//! This crate is the stand-in for the Chang–Saranurak deterministic
+//! expander decomposition and routing toolbox (\[CS20\]), which the
+//! reproduced paper uses as a black box (its Theorems 5 and 6):
+//!
+//! - [`sweep`]: deterministic power iteration + Cheeger sweep cuts.
+//! - [`decomp`]: recursive `(ε, φ)`-decomposition — a partition of the
+//!   edges into vertex-disjoint `φ`-clusters plus a remainder of at most
+//!   `ε|E|` edges, with honest CONGEST round accounting (each power
+//!   iteration is one round of neighbor exchange; cut selection is charged
+//!   `O(D log n)` rounds per piece).
+//! - [`frontier`]: the `V°`, `E⁻`, `E⁺` construction of Section 2 of the
+//!   paper and the Lemma 8 remainder bound.
+//!
+//! See `DESIGN.md` (Substitutions) for why sweep cuts preserve the two
+//! properties the listing layer needs: cluster conductance `≥ φ` and a
+//! small remainder.
+
+pub mod decomp;
+pub mod frontier;
+pub mod sweep;
+
+pub use decomp::{decompose, decompose_with, Cluster, Decomposition};
+pub use frontier::{build_frontier, ClusterFrontier};
+pub use sweep::{power_iteration_embedding, sweep_cut, SweepCut};

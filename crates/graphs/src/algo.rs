@@ -1,0 +1,368 @@
+//! Centralized reference algorithms.
+//!
+//! These are the ground-truth oracles against which the distributed
+//! algorithms are validated, plus a handful of classical graph routines
+//! used throughout the workspace.
+
+use congest::graph::{Graph, VertexId};
+
+/// Lists all triangles of `g` as sorted triples, in lexicographic order.
+///
+/// Uses the degree-ordered neighbor-intersection method (the sequential
+/// analogue of what the distributed algorithms compute), which runs in
+/// `O(m^{3/2})`.
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (2, 3)]);
+/// assert_eq!(graphs::list_triangles(&g), vec![[0, 1, 2]]);
+/// ```
+pub fn list_triangles(g: &Graph) -> Vec<[VertexId; 3]> {
+    let mut out = Vec::new();
+    for u in 0..g.n() as VertexId {
+        let nu = g.neighbors(u);
+        for &v in nu {
+            if v <= u {
+                continue;
+            }
+            let nv = g.neighbors(v);
+            // intersect nu ∩ nv, restricted to w > v
+            let (mut i, mut j) = (0usize, 0usize);
+            while i < nu.len() && j < nv.len() {
+                match nu[i].cmp(&nv[j]) {
+                    std::cmp::Ordering::Less => i += 1,
+                    std::cmp::Ordering::Greater => j += 1,
+                    std::cmp::Ordering::Equal => {
+                        let w = nu[i];
+                        if w > v {
+                            out.push([u, v, w]);
+                        }
+                        i += 1;
+                        j += 1;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Lists all `K_p` cliques of `g` as sorted vertex vectors, in lexicographic
+/// order. `p == 1` lists vertices, `p == 2` edges.
+///
+/// Uses ordered DFS over common-neighbor sets; practical for the graph
+/// sizes used by the experiment suite.
+///
+/// # Panics
+///
+/// Panics if `p == 0`.
+///
+/// # Example
+///
+/// ```
+/// use congest::graph::Graph;
+/// // K4 on vertices 0..4
+/// let mut edges = vec![];
+/// for u in 0..4u32 { for v in u + 1..4 { edges.push((u, v)); } }
+/// let g = Graph::from_edges(4, &edges);
+/// assert_eq!(graphs::list_cliques(&g, 3).len(), 4);
+/// assert_eq!(graphs::list_cliques(&g, 4).len(), 1);
+/// ```
+pub fn list_cliques(g: &Graph, p: usize) -> Vec<Vec<VertexId>> {
+    assert!(p >= 1, "clique size must be positive");
+    let mut out = Vec::new();
+    if p == 1 {
+        return (0..g.n() as VertexId).map(|v| vec![v]).collect();
+    }
+    let mut stack: Vec<VertexId> = Vec::with_capacity(p);
+    // candidates: common neighbors of the stack, all greater than the last
+    // stack element
+    fn dfs(
+        g: &Graph,
+        stack: &mut Vec<VertexId>,
+        cands: &[VertexId],
+        p: usize,
+        out: &mut Vec<Vec<VertexId>>,
+    ) {
+        if stack.len() == p {
+            out.push(stack.clone());
+            return;
+        }
+        let need = p - stack.len();
+        if cands.len() < need {
+            return;
+        }
+        for (idx, &c) in cands.iter().enumerate() {
+            stack.push(c);
+            if stack.len() == p {
+                out.push(stack.clone());
+            } else {
+                // new candidates: cands after idx that are neighbors of c
+                let nc = g.neighbors(c);
+                let next: Vec<VertexId> = cands[idx + 1..]
+                    .iter()
+                    .copied()
+                    .filter(|&x| nc.binary_search(&x).is_ok())
+                    .collect();
+                dfs(g, stack, &next, p, out);
+            }
+            stack.pop();
+        }
+    }
+    for v in 0..g.n() as VertexId {
+        stack.push(v);
+        let cands: Vec<VertexId> =
+            g.neighbors(v).iter().copied().filter(|&x| x > v).collect();
+        dfs(g, &mut stack, &cands, p, &mut out);
+        stack.pop();
+    }
+    out
+}
+
+/// Counts `K_p` cliques without materializing them.
+pub fn count_cliques(g: &Graph, p: usize) -> usize {
+    list_cliques(g, p).len()
+}
+
+/// Conductance `Φ(S) = |∂S| / min(vol(S), vol(V∖S))` of the cut `(S, V∖S)`
+/// (Definition 2 of the paper). Returns `f64::INFINITY` when either side
+/// has zero volume.
+pub fn conductance(g: &Graph, s: &[VertexId]) -> f64 {
+    let mut in_s = vec![false; g.n()];
+    for &v in s {
+        in_s[v as usize] = true;
+    }
+    let mut boundary = 0usize;
+    let mut vol_s = 0usize;
+    for &v in s {
+        vol_s += g.degree(v);
+        for &u in g.neighbors(v) {
+            if !in_s[u as usize] {
+                boundary += 1;
+            }
+        }
+    }
+    let vol_rest = 2 * g.m() - vol_s;
+    let denom = vol_s.min(vol_rest);
+    if denom == 0 {
+        return f64::INFINITY;
+    }
+    boundary as f64 / denom as f64
+}
+
+/// Exact conductance `Φ(G)` of a *small* graph by exhaustive enumeration of
+/// all nontrivial cuts. Exponential; intended for tests (`n ≤ ~20`).
+///
+/// # Panics
+///
+/// Panics if `n > 24` (would enumerate too many cuts) or `n < 2`.
+pub fn exact_conductance(g: &Graph) -> f64 {
+    let n = g.n();
+    assert!((2..=24).contains(&n), "exact conductance only for tiny graphs");
+    let mut best = f64::INFINITY;
+    for mask in 1u64..(1u64 << (n - 1)) {
+        // fix vertex n-1 outside S to halve the enumeration
+        let s: Vec<VertexId> =
+            (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        best = best.min(conductance(g, &s));
+    }
+    best
+}
+
+/// Connected components: returns `(component_id_per_vertex, count)`.
+/// Component ids are assigned in increasing order of smallest member.
+pub fn connected_components(g: &Graph) -> (Vec<usize>, usize) {
+    let n = g.n();
+    let mut comp = vec![usize::MAX; n];
+    let mut next = 0usize;
+    let mut queue = std::collections::VecDeque::new();
+    for start in 0..n {
+        if comp[start] != usize::MAX {
+            continue;
+        }
+        comp[start] = next;
+        queue.push_back(start as VertexId);
+        while let Some(u) = queue.pop_front() {
+            for &v in g.neighbors(u) {
+                if comp[v as usize] == usize::MAX {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    (comp, next)
+}
+
+/// Degeneracy ordering: repeatedly removes a minimum-degree vertex.
+/// Returns `(order, degeneracy)` where `order[i]` is the `i`-th removed
+/// vertex and `degeneracy` is the maximum degree at removal time.
+pub fn degeneracy_order(g: &Graph) -> (Vec<VertexId>, usize) {
+    let n = g.n();
+    let mut deg: Vec<usize> = (0..n).map(|v| g.degree(v as VertexId)).collect();
+    let mut removed = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    let mut degeneracy = 0usize;
+    // bucket queue
+    let maxd = deg.iter().copied().max().unwrap_or(0);
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); maxd + 1];
+    for v in 0..n {
+        buckets[deg[v]].push(v as VertexId);
+    }
+    let mut floor = 0usize;
+    for _ in 0..n {
+        while floor <= maxd && buckets[floor].is_empty() {
+            floor += 1;
+        }
+        // find the lowest nonempty bucket with a live vertex
+        let mut v = None;
+        'outer: for d in floor..=maxd {
+            while let Some(&cand) = buckets[d].last() {
+                if removed[cand as usize] || deg[cand as usize] != d {
+                    buckets[d].pop();
+                    continue;
+                }
+                v = Some(cand);
+                break 'outer;
+            }
+        }
+        let v = v.expect("bucket queue exhausted early");
+        removed[v as usize] = true;
+        degeneracy = degeneracy.max(deg[v as usize]);
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !removed[u as usize] {
+                deg[u as usize] -= 1;
+                buckets[deg[u as usize]].push(u);
+                floor = floor.min(deg[u as usize]);
+            }
+        }
+    }
+    (order, degeneracy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn clique(n: usize) -> Graph {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        Graph::from_edges(n, &e)
+    }
+
+    fn binom(n: usize, k: usize) -> usize {
+        if k > n {
+            return 0;
+        }
+        let mut r = 1usize;
+        for i in 0..k {
+            r = r * (n - i) / (i + 1);
+        }
+        r
+    }
+
+    #[test]
+    fn triangle_count_on_clique_is_binomial() {
+        for n in 3..9 {
+            let g = clique(n);
+            assert_eq!(list_triangles(&g).len(), binom(n, 3), "K{n}");
+        }
+    }
+
+    #[test]
+    fn kp_listing_on_clique_is_binomial() {
+        let g = clique(8);
+        for p in 2..=6 {
+            assert_eq!(list_cliques(&g, p).len(), binom(8, p), "p = {p}");
+        }
+    }
+
+    #[test]
+    fn triangles_match_generic_clique_lister() {
+        let g = crate::gen::erdos_renyi(60, 0.15, 42);
+        let t: Vec<Vec<VertexId>> =
+            list_triangles(&g).into_iter().map(|t| t.to_vec()).collect();
+        assert_eq!(t, list_cliques(&g, 3));
+    }
+
+    #[test]
+    fn cliques_are_sorted_and_valid() {
+        let g = crate::gen::erdos_renyi(50, 0.2, 7);
+        for c in list_cliques(&g, 4) {
+            assert!(c.windows(2).all(|w| w[0] < w[1]));
+            for i in 0..c.len() {
+                for j in i + 1..c.len() {
+                    assert!(g.has_edge(c[i], c[j]));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn triangle_free_graph_lists_nothing() {
+        // bipartite graph: no odd cycles, no triangles
+        let mut edges = Vec::new();
+        for u in 0..10u32 {
+            for v in 10..20u32 {
+                if (u + v) % 3 == 0 {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(20, &edges);
+        assert!(list_triangles(&g).is_empty());
+        assert!(list_cliques(&g, 3).is_empty());
+    }
+
+    #[test]
+    fn conductance_of_clique_half_is_high() {
+        let g = clique(10);
+        let s: Vec<VertexId> = (0..5).collect();
+        let phi = conductance(&g, &s);
+        // boundary 25, vol(S) = 45
+        assert!((phi - 25.0 / 45.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exact_conductance_of_path_is_cut_in_middle() {
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 3), (3, 4), (4, 5)]);
+        let phi = exact_conductance(&g);
+        // best cut: {0,1,2} | {3,4,5}: boundary 1, min vol 5
+        assert!((phi - 0.2).abs() < 1e-9, "phi = {phi}");
+    }
+
+    #[test]
+    fn components_counts() {
+        let g = Graph::from_edges(6, &[(0, 1), (2, 3), (3, 4)]);
+        let (comp, count) = connected_components(&g);
+        assert_eq!(count, 3);
+        assert_eq!(comp[0], comp[1]);
+        assert_eq!(comp[2], comp[3]);
+        assert_eq!(comp[3], comp[4]);
+        assert_ne!(comp[0], comp[2]);
+        assert_ne!(comp[5], comp[0]);
+    }
+
+    #[test]
+    fn degeneracy_of_clique_is_n_minus_1() {
+        let g = clique(7);
+        let (order, d) = degeneracy_order(&g);
+        assert_eq!(order.len(), 7);
+        assert_eq!(d, 6);
+    }
+
+    #[test]
+    fn degeneracy_of_tree_is_1() {
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (1, 4), (2, 5), (2, 6)]);
+        let (_, d) = degeneracy_order(&g);
+        assert_eq!(d, 1);
+    }
+}

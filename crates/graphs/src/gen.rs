@@ -1,0 +1,254 @@
+//! Deterministic (seeded) graph generators.
+//!
+//! Every generator takes an explicit `seed`; the same seed always yields
+//! the same graph, so all experiments in this workspace are reproducible
+//! bit-for-bit.
+
+use congest::graph::{Graph, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Erdős–Rényi `G(n, p)`: each of the `C(n,2)` edges present independently
+/// with probability `p`.
+///
+/// # Example
+///
+/// ```
+/// let g = graphs::erdos_renyi(100, 0.1, 7);
+/// let h = graphs::erdos_renyi(100, 0.1, 7);
+/// assert_eq!(g.m(), h.m()); // same seed, same graph
+/// ```
+pub fn erdos_renyi(n: usize, p: f64, seed: u64) -> Graph {
+    assert!((0.0..=1.0).contains(&p), "probability out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n as VertexId {
+        for v in u + 1..n as VertexId {
+            if rng.gen::<f64>() < p {
+                edges.push((u, v));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A (near-)`d`-regular graph via the configuration model with rejection of
+/// loops and multi-edges. Degrees may fall slightly below `d` when stubs
+/// cannot be matched.
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Graph {
+    assert!(d < n, "degree must be below n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stubs: Vec<VertexId> = Vec::with_capacity(n * d);
+    for v in 0..n as VertexId {
+        for _ in 0..d {
+            stubs.push(v);
+        }
+    }
+    // Fisher–Yates shuffle, then pair consecutive stubs.
+    for i in (1..stubs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        stubs.swap(i, j);
+    }
+    let mut edges = Vec::with_capacity(stubs.len() / 2);
+    for pair in stubs.chunks_exact(2) {
+        if pair[0] != pair[1] {
+            edges.push((pair[0], pair[1]));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// An Erdős–Rényi base graph with `count` cliques of size `size` planted on
+/// deterministic-random vertex subsets. Guarantees the graph contains at
+/// least `count` cliques of that size.
+pub fn planted_cliques(n: usize, base_p: f64, size: usize, count: usize, seed: u64) -> Graph {
+    assert!(size <= n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9e37_79b9);
+    let base = erdos_renyi(n, base_p, seed);
+    let mut edges: Vec<(VertexId, VertexId)> = base.edges().collect();
+    for _ in 0..count {
+        // sample `size` distinct vertices
+        let mut chosen: Vec<VertexId> = Vec::with_capacity(size);
+        while chosen.len() < size {
+            let v = rng.gen_range(0..n) as VertexId;
+            if !chosen.contains(&v) {
+                chosen.push(v);
+            }
+        }
+        for i in 0..size {
+            for j in i + 1..size {
+                edges.push((chosen[i], chosen[j]));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// The `d`-dimensional hypercube on `2^d` vertices — a canonical expander-ish
+/// sparse graph with conductance `Θ(1/d)`.
+pub fn hypercube(d: u32) -> Graph {
+    let n = 1usize << d;
+    let mut edges = Vec::with_capacity(n * d as usize / 2);
+    for v in 0..n {
+        for b in 0..d {
+            let u = v ^ (1 << b);
+            if u > v {
+                edges.push((v as VertexId, u as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A stochastic block model: `blocks` communities of equal size, edge
+/// probability `p_in` inside a community and `p_out` across. With
+/// `p_in ≫ p_out` this produces the clustered graphs on which expander
+/// decomposition is interesting.
+pub fn clustered(n: usize, blocks: usize, p_in: f64, p_out: f64, seed: u64) -> Graph {
+    assert!(blocks >= 1 && blocks <= n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x51ed_2701);
+    let block_of = |v: usize| v * blocks / n;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let p = if block_of(u) == block_of(v) { p_in } else { p_out };
+            if rng.gen::<f64>() < p {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// A barbell: two cliques of size `side` joined by a path of `bridge`
+/// vertices — the canonical *low*-conductance graph.
+pub fn barbell(side: usize, bridge: usize) -> Graph {
+    let n = 2 * side + bridge;
+    let mut edges = Vec::new();
+    let clique = |offset: usize, edges: &mut Vec<(VertexId, VertexId)>| {
+        for u in 0..side {
+            for v in u + 1..side {
+                edges.push(((offset + u) as VertexId, (offset + v) as VertexId));
+            }
+        }
+    };
+    clique(0, &mut edges);
+    clique(side + bridge, &mut edges);
+    // path: last vertex of clique 1 -> bridge -> first vertex of clique 2
+    let mut prev = side - 1;
+    for b in 0..bridge {
+        edges.push((prev as VertexId, (side + b) as VertexId));
+        prev = side + b;
+    }
+    edges.push((prev as VertexId, (side + bridge) as VertexId));
+    Graph::from_edges(n, &edges)
+}
+
+/// A preferential-attachment (Barabási–Albert style) power-law graph:
+/// each new vertex attaches to `attach` existing vertices chosen
+/// proportionally to degree.
+pub fn power_law(n: usize, attach: usize, seed: u64) -> Graph {
+    assert!(attach >= 1 && attach < n);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabcd_ef01);
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    // endpoint pool: vertices appear once per incident edge end
+    let mut pool: Vec<VertexId> = Vec::new();
+    // seed star on the first attach+1 vertices
+    for v in 1..=attach {
+        edges.push((0, v as VertexId));
+        pool.push(0);
+        pool.push(v as VertexId);
+    }
+    for v in attach + 1..n {
+        let mut targets: Vec<VertexId> = Vec::with_capacity(attach);
+        let mut guard = 0;
+        while targets.len() < attach && guard < 50 * attach {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v as VertexId && !targets.contains(&t) {
+                targets.push(t);
+            }
+            guard += 1;
+        }
+        for t in targets {
+            edges.push((v as VertexId, t));
+            pool.push(v as VertexId);
+            pool.push(t);
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn er_is_deterministic_per_seed() {
+        let a = erdos_renyi(60, 0.2, 5);
+        let b = erdos_renyi(60, 0.2, 5);
+        let c = erdos_renyi(60, 0.2, 6);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn er_density_roughly_matches_p() {
+        let g = erdos_renyi(200, 0.25, 1);
+        let expected = 0.25 * (200.0 * 199.0 / 2.0);
+        let m = g.m() as f64;
+        assert!((m - expected).abs() < 0.15 * expected, "m = {m}, expected ≈ {expected}");
+    }
+
+    #[test]
+    fn regular_degrees_are_close_to_d() {
+        let g = random_regular(100, 6, 3);
+        for v in 0..100u32 {
+            assert!(g.degree(v) <= 6);
+            assert!(g.degree(v) >= 3, "vertex {v} degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn planted_cliques_exist() {
+        let g = planted_cliques(80, 0.02, 5, 3, 11);
+        // there must exist at least one K5: check via brute force on the
+        // densest candidates
+        let cliques = crate::algo::list_cliques(&g, 5);
+        assert!(cliques.len() >= 3, "found {}", cliques.len());
+    }
+
+    #[test]
+    fn hypercube_is_regular_and_connected() {
+        let g = hypercube(5);
+        assert_eq!(g.n(), 32);
+        for v in 0..32u32 {
+            assert_eq!(g.degree(v), 5);
+        }
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn barbell_has_low_conductance_cut() {
+        let g = barbell(10, 2);
+        let left: Vec<VertexId> = (0..10).collect();
+        let phi = crate::algo::conductance(&g, &left);
+        assert!(phi < 0.05, "phi = {phi}");
+    }
+
+    #[test]
+    fn clustered_graph_has_dense_blocks() {
+        let g = clustered(80, 4, 0.5, 0.01, 2);
+        let block: Vec<VertexId> = (0..20).collect();
+        let (sub, _) = g.induced_subgraph(&block);
+        // expected ~0.5 * C(20,2) = 95 edges inside the block
+        assert!(sub.m() > 50, "block edges = {}", sub.m());
+    }
+
+    #[test]
+    fn power_law_has_heavy_head() {
+        let g = power_law(300, 3, 9);
+        let mut degs: Vec<usize> = (0..300u32).map(|v| g.degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        assert!(degs[0] >= 3 * degs[150], "max {} vs median {}", degs[0], degs[150]);
+    }
+}

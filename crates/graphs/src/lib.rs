@@ -1,0 +1,17 @@
+//! Graph workloads and centralized reference algorithms.
+//!
+//! The [`gen`] module produces the deterministic (seeded) graph families
+//! used by the experiment suite: Erdős–Rényi, random regular, planted
+//! cliques, hypercubes, stochastic block models, barbells and power-law
+//! graphs.
+//!
+//! The [`algo`] module provides *centralized* reference implementations —
+//! most importantly exhaustive `K_p` listing — which the distributed
+//! algorithms are checked against (experiment E3), plus cut conductance,
+//! connected components and degeneracy ordering.
+
+pub mod algo;
+pub mod gen;
+
+pub use algo::{conductance, connected_components, degeneracy_order, list_cliques, list_triangles};
+pub use gen::{barbell, clustered, erdos_renyi, hypercube, planted_cliques, power_law, random_regular};

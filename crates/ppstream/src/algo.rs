@@ -1,0 +1,100 @@
+//! The partial-pass streaming algorithm interface and budgets.
+
+use crate::stream::Token;
+
+/// Declared resource budgets of a partial-pass streaming algorithm
+/// (the parameters `N_in`, `N_out`, `B_aux`, `B_write` of the paper; the
+/// token length `L` is fixed at one word by [`Token`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Budgets {
+    /// Maximum number of main tokens in the input stream.
+    pub n_in: usize,
+    /// Maximum number of output tokens.
+    pub n_out: usize,
+    /// Maximum number of `GET-AUX` operations over the whole run.
+    pub b_aux: usize,
+    /// Maximum number of `WRITE`s between consecutive main-token reads.
+    pub b_write: usize,
+    /// Size of the algorithm state in words, for transfer-cost accounting
+    /// (must be `polylog(n)`; enforced loosely).
+    pub state_words: usize,
+}
+
+impl Budgets {
+    /// Budgets for a plain one-pass counter algorithm (no aux access).
+    pub fn one_pass(n_in: usize, n_out: usize) -> Self {
+        Budgets { n_in, n_out, b_aux: 0, b_write: n_out, state_words: 8 }
+    }
+}
+
+/// Collects `WRITE` operations performed by the algorithm.
+#[derive(Debug, Default)]
+pub struct Emitter {
+    pub(crate) writes: Vec<Token>,
+}
+
+impl Emitter {
+    /// Performs a `WRITE`: appends `token` to the output stream.
+    pub fn write(&mut self, token: Token) {
+        self.writes.push(token);
+    }
+
+    pub(crate) fn take(&mut self) -> Vec<Token> {
+        std::mem::take(&mut self.writes)
+    }
+}
+
+/// What the algorithm wants to do after `READ`ing a main token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MainAction {
+    /// Proceed to the next main token.
+    Continue,
+    /// Perform `GET-AUX`: replay this chunk's auxiliary tokens through
+    /// [`PartialPass::on_aux`] before moving to the next main token.
+    RequestAux,
+}
+
+/// A partial-pass streaming algorithm.
+///
+/// The executor drives the stream: for each chunk it `READ`s the main
+/// token via [`on_main`](Self::on_main); if the algorithm answers
+/// [`MainAction::RequestAux`], every auxiliary token of the chunk is
+/// replayed through [`on_aux`](Self::on_aux) (a `GET-AUX` followed by
+/// `READ`s, in the paper's vocabulary); afterwards the executor proceeds
+/// to the next chunk. [`finish`](Self::finish) is called once after the
+/// last chunk.
+///
+/// Implementations must keep their state `polylog(n)`-sized — it is
+/// shipped between cluster vertices during the CONGEST simulation and its
+/// declared size ([`Budgets::state_words`]) is charged per transfer.
+pub trait PartialPass {
+    /// `READ` of the next main token record.
+    fn on_main(&mut self, token: &[Token], out: &mut Emitter) -> MainAction;
+
+    /// `READ` of one auxiliary token record (only after a `GET-AUX`).
+    fn on_aux(&mut self, token: &[Token], out: &mut Emitter);
+
+    /// Called after the final token has been read.
+    fn finish(&mut self, out: &mut Emitter);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_in_order() {
+        let mut e = Emitter::default();
+        e.write(3);
+        e.write(1);
+        assert_eq!(e.take(), vec![3, 1]);
+        assert!(e.take().is_empty());
+    }
+
+    #[test]
+    fn one_pass_budgets() {
+        let b = Budgets::one_pass(100, 10);
+        assert_eq!(b.b_aux, 0);
+        assert_eq!(b.b_write, 10);
+    }
+}

@@ -1,0 +1,30 @@
+//! Partial-pass streaming algorithms and their simulation in CONGEST.
+//!
+//! This crate implements Section 3 of the reproduced paper. A
+//! *partial-pass streaming algorithm* (parameters `L`, `N_in`, `N_out`,
+//! `B_aux`, `B_write`) processes a stream of *main tokens*, each
+//! summarizing a chunk of *auxiliary tokens*, through three operations:
+//!
+//! - `READ` — consume the next token of the stream;
+//! - `GET-AUX` — splice the auxiliary tokens of the last-read main token
+//!   into the front of the stream (at most `B_aux` times in total);
+//! - `WRITE` — append a token to the write-only output stream (at most
+//!   `B_write` times between consecutive main-token reads).
+//!
+//! The punchline of the paper is that such algorithms can be simulated
+//! inside a `(φ, δ)`-communication cluster with very few messages
+//! (Theorem 11), by combining *state passing* along a simulator chain with
+//! *leader-with-queries* access to auxiliary tokens. [`simulate::simulate`]
+//! implements that simulation on the measured router of the [`congest`]
+//! crate; setting the chain-length parameter `λ = 1` or `λ = k` recovers
+//! the paper's two extreme approaches (experiment E5).
+
+pub mod algo;
+pub mod local;
+pub mod simulate;
+pub mod stream;
+
+pub use algo::{Budgets, Emitter, MainAction, PartialPass};
+pub use local::{run_local, BudgetViolation};
+pub use simulate::{simulate, InstanceInput, SimOutcome};
+pub use stream::{Chunk, Stream, Token};

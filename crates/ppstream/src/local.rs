@@ -1,0 +1,216 @@
+//! Reference (centralized) executor with budget enforcement.
+//!
+//! [`run_local`] runs a partial-pass algorithm over a stream exactly as
+//! defined in Section 3 of the paper, and rejects executions that violate
+//! the declared budgets. The CONGEST simulation in [`crate::simulate::simulate`] is
+//! checked against this executor in tests: both must produce the same
+//! output stream.
+
+use crate::algo::{Budgets, Emitter, MainAction, PartialPass};
+use crate::stream::{Stream, Token};
+
+/// A violated budget, reported with the offending counts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BudgetViolation {
+    /// The stream has more main tokens than `N_in`.
+    TooManyMainTokens { actual: usize, limit: usize },
+    /// More than `N_out` `WRITE`s in total.
+    TooManyWrites { actual: usize, limit: usize },
+    /// More than `B_aux` `GET-AUX` operations.
+    TooManyAuxRequests { actual: usize, limit: usize },
+    /// More than `B_write` `WRITE`s between two consecutive main reads.
+    WriteBurst { actual: usize, limit: usize },
+}
+
+impl std::fmt::Display for BudgetViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BudgetViolation::TooManyMainTokens { actual, limit } => {
+                write!(f, "stream has {actual} main tokens, budget N_in = {limit}")
+            }
+            BudgetViolation::TooManyWrites { actual, limit } => {
+                write!(f, "{actual} total writes, budget N_out = {limit}")
+            }
+            BudgetViolation::TooManyAuxRequests { actual, limit } => {
+                write!(f, "{actual} GET-AUX operations, budget B_aux = {limit}")
+            }
+            BudgetViolation::WriteBurst { actual, limit } => {
+                write!(f, "{actual} writes between main reads, budget B_write = {limit}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for BudgetViolation {}
+
+/// Statistics of a local run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct LocalRunStats {
+    /// Number of `GET-AUX` operations performed.
+    pub aux_requests: usize,
+    /// Number of auxiliary tokens read.
+    pub aux_tokens_read: usize,
+    /// Maximum `WRITE`s between consecutive main reads.
+    pub max_write_burst: usize,
+}
+
+/// Runs `algo` over `stream`, enforcing `budgets`.
+///
+/// Returns the output stream and run statistics.
+///
+/// # Errors
+///
+/// Returns the first [`BudgetViolation`] encountered.
+pub fn run_local<A: PartialPass + ?Sized>(
+    algo: &mut A,
+    stream: &Stream,
+    budgets: &Budgets,
+) -> Result<(Vec<Token>, LocalRunStats), BudgetViolation> {
+    if stream.n_in() > budgets.n_in {
+        return Err(BudgetViolation::TooManyMainTokens {
+            actual: stream.n_in(),
+            limit: budgets.n_in,
+        });
+    }
+    let mut out = Emitter::default();
+    let mut output: Vec<Token> = Vec::new();
+    let mut stats = LocalRunStats::default();
+    let mut burst;
+
+    let flush = |out: &mut Emitter,
+                     output: &mut Vec<Token>,
+                     burst: &mut usize,
+                     stats: &mut LocalRunStats|
+     -> Result<(), BudgetViolation> {
+        let w = out.take();
+        *burst += w.len();
+        stats.max_write_burst = stats.max_write_burst.max(*burst);
+        if *burst > budgets.b_write {
+            return Err(BudgetViolation::WriteBurst { actual: *burst, limit: budgets.b_write });
+        }
+        output.extend(w);
+        if output.len() > budgets.n_out {
+            return Err(BudgetViolation::TooManyWrites {
+                actual: output.len(),
+                limit: budgets.n_out,
+            });
+        }
+        Ok(())
+    };
+
+    for chunk in &stream.chunks {
+        burst = 0; // a new main token was read
+        let action = algo.on_main(&chunk.main, &mut out);
+        flush(&mut out, &mut output, &mut burst, &mut stats)?;
+        if action == MainAction::RequestAux {
+            stats.aux_requests += 1;
+            if stats.aux_requests > budgets.b_aux {
+                return Err(BudgetViolation::TooManyAuxRequests {
+                    actual: stats.aux_requests,
+                    limit: budgets.b_aux,
+                });
+            }
+            for a in &chunk.aux {
+                stats.aux_tokens_read += 1;
+                algo.on_aux(a, &mut out);
+                flush(&mut out, &mut output, &mut burst, &mut stats)?;
+            }
+        }
+    }
+    algo.finish(&mut out);
+    burst = 0;
+    flush(&mut out, &mut output, &mut burst, &mut stats)?;
+    Ok((output, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::Chunk;
+
+    /// Sums main tokens; on overflow of a threshold, inspects aux tokens
+    /// and emits boundaries — a toy model of the paper's counter pattern.
+    struct ThresholdSummer {
+        threshold: u64,
+        acc: u64,
+    }
+
+    impl PartialPass for ThresholdSummer {
+        fn on_main(&mut self, token: &[Token], _out: &mut Emitter) -> MainAction {
+            if self.acc + token[0] > self.threshold {
+                MainAction::RequestAux
+            } else {
+                self.acc += token[0];
+                MainAction::Continue
+            }
+        }
+        fn on_aux(&mut self, token: &[Token], out: &mut Emitter) {
+            if self.acc + token[0] > self.threshold {
+                out.write(self.acc);
+                self.acc = 0;
+            }
+            self.acc += token[0];
+        }
+        fn finish(&mut self, out: &mut Emitter) {
+            out.write(self.acc);
+        }
+    }
+
+    #[test]
+    fn summer_splits_on_threshold() {
+        // chunks: main = sum of aux
+        let stream = Stream::new(vec![
+            Chunk { main: vec![6], aux: vec![vec![3], vec![3]] },
+            Chunk { main: vec![9], aux: vec![vec![4], vec![5]] },
+            Chunk { main: vec![2], aux: vec![vec![1], vec![1]] },
+        ]);
+        let budgets = Budgets { n_in: 10, n_out: 10, b_aux: 2, b_write: 2, state_words: 4 };
+        let mut algo = ThresholdSummer { threshold: 10, acc: 0 };
+        let (out, stats) = run_local(&mut algo, &stream, &budgets).unwrap();
+        // 6 fits; 9 overflows -> aux: 4 (6+4=10 ok), 5 overflows -> emit 10,
+        // acc = 5; 2 fits -> finish emits 7
+        assert_eq!(out, vec![10, 7]);
+        assert_eq!(stats.aux_requests, 1);
+        assert_eq!(stats.aux_tokens_read, 2);
+    }
+
+    #[test]
+    fn aux_budget_is_enforced() {
+        let stream = Stream::new(vec![
+            Chunk { main: vec![100], aux: vec![vec![100]] },
+            Chunk { main: vec![100], aux: vec![vec![100]] },
+        ]);
+        let budgets = Budgets { n_in: 10, n_out: 10, b_aux: 1, b_write: 4, state_words: 4 };
+        let mut algo = ThresholdSummer { threshold: 10, acc: 0 };
+        let err = run_local(&mut algo, &stream, &budgets).unwrap_err();
+        assert!(matches!(err, BudgetViolation::TooManyAuxRequests { .. }));
+    }
+
+    struct Spammer;
+    impl PartialPass for Spammer {
+        fn on_main(&mut self, _t: &[Token], out: &mut Emitter) -> MainAction {
+            for i in 0..5 {
+                out.write(i);
+            }
+            MainAction::Continue
+        }
+        fn on_aux(&mut self, _t: &[Token], _o: &mut Emitter) {}
+        fn finish(&mut self, _o: &mut Emitter) {}
+    }
+
+    #[test]
+    fn write_burst_is_enforced() {
+        let stream = Stream::from_main_tokens([1]);
+        let budgets = Budgets { n_in: 10, n_out: 100, b_aux: 0, b_write: 3, state_words: 4 };
+        let err = run_local(&mut Spammer, &stream, &budgets).unwrap_err();
+        assert!(matches!(err, BudgetViolation::WriteBurst { actual: 5, limit: 3 }));
+    }
+
+    #[test]
+    fn n_in_is_enforced() {
+        let stream = Stream::from_main_tokens([1, 2, 3]);
+        let budgets = Budgets { n_in: 2, n_out: 10, b_aux: 0, b_write: 10, state_words: 4 };
+        let err = run_local(&mut Spammer, &stream, &budgets).unwrap_err();
+        assert!(matches!(err, BudgetViolation::TooManyMainTokens { actual: 3, limit: 2 }));
+    }
+}

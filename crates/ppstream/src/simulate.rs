@@ -1,0 +1,550 @@
+//! Simulation of partial-pass streaming algorithms in CONGEST clusters
+//! (Theorem 11 of the paper).
+//!
+//! `ζ` algorithm instances run in parallel over a `(φ, δ)`-communication
+//! cluster whose `V⁻` members hold contiguous intervals of each input
+//! stream (a *streaming input cluster*, Definition 9). Each instance `j`
+//! is coordinated by a *simulator chain* `X_j` of `λ` vertices
+//! (Definition 10):
+//!
+//! - **Phase 0** — chains are assigned deterministically and locally
+//!   (rank blocks of `V⁻`), zero rounds;
+//! - **Phase 1** — every stream holder ships its main tokens to the chain
+//!   member responsible for its rank block (one measured routing batch);
+//! - **Phase 2** — the algorithm state walks along the chain; `GET-AUX`
+//!   round-trips the state to the vertex that originally held the chunk,
+//!   which replays the auxiliary tokens locally. All concurrent transfers
+//!   (across instances) are routed in shared measured batches, which
+//!   realizes the paper's step-synchronized schedule.
+//!
+//! Setting `λ = k` degenerates to the paper's Approach 1 (pure state
+//! passing: every vertex is a chain member); `λ = 1` degenerates to
+//! Approach 2 (a single leader learns all main tokens). Experiment E5
+//! sweeps `λ` between these extremes.
+
+use congest::cluster::CommunicationCluster;
+use congest::graph::VertexId;
+use congest::metrics::CostReport;
+use congest::routing::{route, Packet};
+
+use crate::algo::{Budgets, Emitter, MainAction, PartialPass};
+use crate::local::BudgetViolation;
+use crate::stream::{Chunk, Token};
+
+/// Input of one algorithm instance: the algorithm object, its budgets and
+/// the per-rank input intervals.
+pub struct InstanceInput<'a> {
+    /// The algorithm to simulate.
+    pub algo: &'a mut dyn PartialPass,
+    /// Declared budgets (enforced during simulation).
+    pub budgets: Budgets,
+    /// `inputs[r]` = the contiguous interval of chunks held by the `V⁻`
+    /// member of rank `r`. Concatenation over ranks is the stream (input
+    /// contiguity of Definition 9).
+    pub inputs: Vec<Vec<Chunk>>,
+}
+
+/// Result of a simulation.
+#[derive(Debug, Clone)]
+pub struct SimOutcome {
+    /// Per instance: `(owner local vertex id, token)` for every output
+    /// token, in write order.
+    pub outputs: Vec<Vec<(VertexId, Token)>>,
+    /// Measured cost (phases named `sim-phase1`, `sim-phase2`).
+    pub report: CostReport,
+    /// Number of state hand-offs (chain advances + aux round-trip legs).
+    pub state_passes: u64,
+    /// Number of `GET-AUX` round trips.
+    pub aux_trips: u64,
+    /// Maximum number of main tokens any single vertex learned in Phase 1
+    /// (the `T_max · k/λ` term of Theorem 11).
+    pub max_tokens_learned: usize,
+    /// The effective chain length used (clamped to `1..=k`).
+    pub lambda: usize,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Holder {
+    Chain(usize),
+    Owner(usize), // rank
+}
+
+/// Simulates all instances in parallel on `cluster` with chain length
+/// `lambda` and the given per-edge `bandwidth`.
+///
+/// # Errors
+///
+/// Returns the first budget violation observed (the simulation enforces
+/// the same budget discipline as [`crate::local::run_local`]).
+///
+/// # Panics
+///
+/// Panics if the cluster has an empty `V⁻`, if some `inputs` vector does
+/// not have exactly `k` entries, or if the cluster subgraph is
+/// disconnected (a `φ`-cluster is always connected).
+pub fn simulate(
+    cluster: &CommunicationCluster,
+    mut instances: Vec<InstanceInput<'_>>,
+    lambda: usize,
+    bandwidth: usize,
+) -> Result<SimOutcome, BudgetViolation> {
+    let k = cluster.k();
+    assert!(k > 0, "cluster has empty V⁻");
+    let v_minus = cluster.v_minus();
+    let zeta = instances.len();
+    let lambda = lambda.clamp(1, k);
+    let beta = k.div_ceil(lambda);
+    let chain_positions = k.div_ceil(beta); // actual number of chain blocks
+
+    // Phase 0: deterministic chain assignment. Chain j occupies V⁻ ranks
+    // (j·chain_positions + i) mod k — disjoint whenever ζ·λ ≤ k.
+    let chain_member = |j: usize, pos: usize| -> VertexId {
+        v_minus[(j * chain_positions + pos) % k]
+    };
+
+    // Validate inputs and flatten each stream.
+    let mut streams: Vec<Vec<(usize, Chunk)>> = Vec::with_capacity(zeta);
+    for inst in &instances {
+        assert_eq!(
+            inst.inputs.len(),
+            k,
+            "inputs must have one (possibly empty) interval per V⁻ rank"
+        );
+        let mut flat = Vec::new();
+        for (rank, interval) in inst.inputs.iter().enumerate() {
+            for c in interval {
+                flat.push((rank, c.clone()));
+            }
+        }
+        streams.push(flat);
+    }
+
+    // Phase 1: ship main tokens to chain members.
+    let mut packets: Vec<Packet> = Vec::new();
+    let mut learned: std::collections::HashMap<VertexId, usize> = std::collections::HashMap::new();
+    for (j, flat) in streams.iter().enumerate() {
+        for (rank, chunk) in flat {
+            let holder = v_minus[*rank];
+            let target = chain_member(j, rank / beta);
+            *learned.entry(target).or_insert(0) += chunk.main.len();
+            if holder != target {
+                for w in 0..chunk.main.len() {
+                    packets.push(Packet { src: holder, dst: target, payload: w as Token });
+                }
+            }
+        }
+    }
+    let phase1 = route(cluster.graph(), packets, bandwidth);
+    let max_tokens_learned = learned.values().copied().max().unwrap_or(0);
+
+    // Phase 2: drive each instance; batch all concurrent state transfers.
+    struct Run {
+        cursor: usize,
+        holder: Holder,
+        done: bool,
+        aux_count: usize,
+        burst: usize,
+        total_writes: usize,
+    }
+    let mut runs: Vec<Run> = (0..zeta)
+        .map(|_| Run {
+            cursor: 0,
+            holder: Holder::Chain(0),
+            done: false,
+            aux_count: 0,
+            burst: 0,
+            total_writes: 0,
+        })
+        .collect();
+    let mut outputs: Vec<Vec<(VertexId, Token)>> = vec![Vec::new(); zeta];
+    let mut state_passes: u64 = 0;
+    let mut aux_trips: u64 = 0;
+    let mut phase2 = CostReport::zero();
+
+    // helper: record writes with budget enforcement
+    fn flush_writes(
+        out: &mut Emitter,
+        holder_vertex: VertexId,
+        run: &mut Run,
+        budgets: &Budgets,
+        sink: &mut Vec<(VertexId, Token)>,
+    ) -> Result<(), BudgetViolation> {
+        let w = out.take();
+        run.burst += w.len();
+        if run.burst > budgets.b_write {
+            return Err(BudgetViolation::WriteBurst { actual: run.burst, limit: budgets.b_write });
+        }
+        run.total_writes += w.len();
+        if run.total_writes > budgets.n_out {
+            return Err(BudgetViolation::TooManyWrites {
+                actual: run.total_writes,
+                limit: budgets.n_out,
+            });
+        }
+        for t in w {
+            sink.push((holder_vertex, t));
+        }
+        Ok(())
+    }
+
+    loop {
+        let mut transfers: Vec<(VertexId, VertexId, usize)> = Vec::new();
+        for j in 0..zeta {
+            let run = &mut runs[j];
+            if run.done {
+                continue;
+            }
+            let flat = &streams[j];
+            let budgets = instances[j].budgets;
+            if flat.len() > budgets.n_in {
+                return Err(BudgetViolation::TooManyMainTokens {
+                    actual: flat.len(),
+                    limit: budgets.n_in,
+                });
+            }
+            let algo = &mut instances[j].algo;
+            let mut out = Emitter::default();
+            match run.holder {
+                Holder::Chain(start_pos) => {
+                    // process all chunks whose rank block is `pos`
+                    let mut pos = start_pos;
+                    loop {
+                        if run.cursor >= flat.len() {
+                            algo.finish(&mut out);
+                            run.burst = 0;
+                            flush_writes(
+                                &mut out,
+                                chain_member(j, pos),
+                                run,
+                                &budgets,
+                                &mut outputs[j],
+                            )?;
+                            run.done = true;
+                            break;
+                        }
+                        let (rank, chunk) = &flat[run.cursor];
+                        let chunk_pos = rank / beta;
+                        if chunk_pos != pos {
+                            // state moves forward along the chain
+                            let from = chain_member(j, pos);
+                            let to = chain_member(j, chunk_pos);
+                            run.holder = Holder::Chain(chunk_pos);
+                            if from != to {
+                                transfers.push((from, to, budgets.state_words));
+                                state_passes += 1;
+                                break;
+                            }
+                            pos = chunk_pos;
+                            continue;
+                        }
+                        run.burst = 0; // new main READ
+                        let action = algo.on_main(&chunk.main, &mut out);
+                        flush_writes(
+                            &mut out,
+                            chain_member(j, pos),
+                            run,
+                            &budgets,
+                            &mut outputs[j],
+                        )?;
+                        match action {
+                            MainAction::Continue => {
+                                run.cursor += 1;
+                            }
+                            MainAction::RequestAux => {
+                                run.aux_count += 1;
+                                if run.aux_count > budgets.b_aux {
+                                    return Err(BudgetViolation::TooManyAuxRequests {
+                                        actual: run.aux_count,
+                                        limit: budgets.b_aux,
+                                    });
+                                }
+                                let from = chain_member(j, pos);
+                                let to = v_minus[*rank];
+                                run.holder = Holder::Owner(*rank);
+                                aux_trips += 1;
+                                if from != to {
+                                    transfers.push((from, to, budgets.state_words));
+                                    state_passes += 1;
+                                    break;
+                                }
+                                // owner is the chain member itself: handle
+                                // next loop iteration via Holder::Owner
+                                break;
+                            }
+                        }
+                    }
+                }
+                Holder::Owner(_rank) => {
+                    // replay the aux tokens of the chunk at `cursor`
+                    let (rank, chunk) = flat[run.cursor].clone();
+                    let owner = v_minus[rank];
+                    for a in &chunk.aux {
+                        algo.on_aux(a, &mut out);
+                        flush_writes(&mut out, owner, run, &budgets, &mut outputs[j])?;
+                    }
+                    run.cursor += 1;
+                    // return the state to the chain member responsible for
+                    // the next chunk (or the last position to finish there)
+                    let next_pos = if run.cursor < flat.len() {
+                        streams[j][run.cursor].0 / beta
+                    } else {
+                        rank / beta
+                    };
+                    run.holder = Holder::Chain(next_pos);
+                    let to = chain_member(j, next_pos);
+                    if owner != to {
+                        transfers.push((owner, to, budgets.state_words));
+                        state_passes += 1;
+                    }
+                }
+            }
+        }
+        if transfers.is_empty() {
+            if runs.iter().all(|r| r.done) {
+                break;
+            }
+            // no communication needed this step; loop again to make local
+            // progress (e.g. owner == chain member)
+            continue;
+        }
+        let mut pkts = Vec::new();
+        for (from, to, words) in &transfers {
+            for w in 0..*words {
+                pkts.push(Packet { src: *from, dst: *to, payload: w as Token });
+            }
+        }
+        let step = route(cluster.graph(), pkts, bandwidth);
+        phase2.absorb(&step.report);
+    }
+
+    let report = phase1.report.clone().named("sim-phase1").then(&phase2.named("sim-phase2"));
+    Ok(SimOutcome {
+        outputs,
+        report,
+        state_passes,
+        aux_trips,
+        max_tokens_learned,
+        lambda: chain_positions,
+    })
+}
+
+/// Splits a stream into `k` contiguous per-rank intervals of at most
+/// `t_max` chunks each, front-loaded (rank 0 first) — a convenience for
+/// building [`InstanceInput::inputs`] in tests and experiments.
+///
+/// # Panics
+///
+/// Panics if the stream does not fit (`chunks.len() > k·t_max`).
+pub fn spread_contiguously(chunks: Vec<Chunk>, k: usize, t_max: usize) -> Vec<Vec<Chunk>> {
+    assert!(chunks.len() <= k * t_max, "stream does not fit in k·T_max slots");
+    let mut out: Vec<Vec<Chunk>> = vec![Vec::new(); k];
+    for (i, c) in chunks.into_iter().enumerate() {
+        out[i / t_max].push(c);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::local::run_local;
+    use crate::stream::Stream;
+    use congest::graph::Graph;
+
+    fn clique_cluster(n: usize) -> CommunicationCluster {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(n, &e);
+        CommunicationCluster::new(g, (0..n as VertexId).collect(), 1, 0.5)
+    }
+
+    /// Interval partitioner: groups main tokens into intervals whose sums
+    /// stay below a threshold; dives into aux on overflow. This is the
+    /// exact skeleton of the paper's partition-layer algorithms.
+    struct Partitioner {
+        threshold: u64,
+        acc: u64,
+        idx: u64,
+        start: u64,
+    }
+
+    impl Partitioner {
+        fn new(threshold: u64) -> Self {
+            Partitioner { threshold, acc: 0, idx: 0, start: 0 }
+        }
+    }
+
+    impl PartialPass for Partitioner {
+        fn on_main(&mut self, token: &[Token], _out: &mut Emitter) -> MainAction {
+            if self.acc + token[0] > self.threshold {
+                MainAction::RequestAux
+            } else {
+                self.acc += token[0];
+                self.idx += 1;
+                MainAction::Continue
+            }
+        }
+        fn on_aux(&mut self, token: &[Token], out: &mut Emitter) {
+            if self.acc + token[0] > self.threshold {
+                out.write(self.start << 32 | self.idx);
+                self.start = self.idx;
+                self.acc = 0;
+            }
+            self.acc += token[0];
+            self.idx += 1;
+        }
+        fn finish(&mut self, out: &mut Emitter) {
+            out.write(self.start << 32 | self.idx);
+        }
+    }
+
+    fn chunked_stream(groups: &[&[u64]]) -> Stream {
+        Stream::new(
+            groups
+                .iter()
+                .map(|g| Chunk { main: vec![g.iter().sum()], aux: g.iter().map(|&a| vec![a]).collect() })
+                .collect(),
+        )
+    }
+
+    fn budgets() -> Budgets {
+        Budgets { n_in: 1000, n_out: 1000, b_aux: 100, b_write: 1000, state_words: 4 }
+    }
+
+    #[test]
+    fn simulation_matches_local_run() {
+        let stream = chunked_stream(&[&[3, 3], &[4, 5], &[1, 1], &[9], &[2, 2, 2]]);
+        let (local_out, _) =
+            run_local(&mut Partitioner::new(10), &stream, &budgets()).unwrap();
+
+        for lambda in [1, 2, 5, 10] {
+            let cluster = clique_cluster(10);
+            let mut algo = Partitioner::new(10);
+            let inputs = spread_contiguously(stream.chunks.clone(), cluster.k(), 1);
+            let outcome = simulate(
+                &cluster,
+                vec![InstanceInput { algo: &mut algo, budgets: budgets(), inputs }],
+                lambda,
+                1,
+            )
+            .unwrap();
+            let sim_out: Vec<Token> =
+                outcome.outputs[0].iter().map(|&(_, t)| t).collect();
+            assert_eq!(sim_out, local_out, "lambda = {lambda}");
+        }
+    }
+
+    #[test]
+    fn lambda_extremes_match_paper_approaches() {
+        // 16 chunks over a 16-clique, no aux: Approach 2 (λ=1) ships all
+        // tokens to one leader; Approach 1 (λ=k) passes state k-1 times.
+        let stream = Stream::from_main_tokens((0..16).map(|i| i % 3));
+        let cluster = clique_cluster(16);
+        let mk = || Partitioner::new(1000);
+
+        let mut a1 = mk();
+        let inputs = spread_contiguously(stream.chunks.clone(), 16, 1);
+        let leader = simulate(
+            &cluster,
+            vec![InstanceInput { algo: &mut a1, budgets: budgets(), inputs }],
+            1,
+            1,
+        )
+        .unwrap();
+
+        let mut a2 = mk();
+        let inputs = spread_contiguously(stream.chunks.clone(), 16, 1);
+        let passing = simulate(
+            &cluster,
+            vec![InstanceInput { algo: &mut a2, budgets: budgets(), inputs }],
+            16,
+            1,
+        )
+        .unwrap();
+
+        // Leader: one vertex learns ~all 16 tokens; state never moves.
+        assert_eq!(leader.max_tokens_learned, 16);
+        assert_eq!(leader.state_passes, 0);
+        // State passing: nobody learns more than their own token; state
+        // crosses every block boundary.
+        assert_eq!(passing.max_tokens_learned, 1);
+        assert_eq!(passing.state_passes, 15);
+    }
+
+    #[test]
+    fn aux_round_trips_are_counted() {
+        let stream = chunked_stream(&[&[5, 6], &[7, 8], &[1]]);
+        let cluster = clique_cluster(6);
+        let mut algo = Partitioner::new(10);
+        let inputs = spread_contiguously(stream.chunks.clone(), 6, 1);
+        let outcome = simulate(
+            &cluster,
+            vec![InstanceInput { algo: &mut algo, budgets: budgets(), inputs }],
+            2,
+            1,
+        )
+        .unwrap();
+        assert_eq!(outcome.aux_trips, 2); // chunks [5,6] and [7,8] overflow
+        assert!(outcome.report.rounds > 0);
+    }
+
+    #[test]
+    fn parallel_instances_share_batches() {
+        let cluster = clique_cluster(12);
+        let streams: Vec<Stream> =
+            (0..4).map(|s| Stream::from_main_tokens((0..12).map(|i| (i + s) % 4))).collect();
+        let mut algos: Vec<Partitioner> = (0..4).map(|_| Partitioner::new(1000)).collect();
+        let mut insts = Vec::new();
+        for (s, a) in streams.iter().zip(algos.iter_mut()) {
+            insts.push(InstanceInput {
+                algo: a,
+                budgets: budgets(),
+                inputs: spread_contiguously(s.chunks.clone(), 12, 1),
+            });
+        }
+        let outcome = simulate(&cluster, insts, 3, 1).unwrap();
+        assert_eq!(outcome.outputs.len(), 4);
+        for o in &outcome.outputs {
+            assert_eq!(o.len(), 1); // one closing interval each
+        }
+    }
+
+    #[test]
+    fn budget_violation_propagates() {
+        let stream = chunked_stream(&[&[100], &[100], &[100]]);
+        let cluster = clique_cluster(4);
+        let mut algo = Partitioner::new(1);
+        let tight = Budgets { b_aux: 1, ..budgets() };
+        let inputs = spread_contiguously(stream.chunks.clone(), 4, 1);
+        let err = simulate(
+            &cluster,
+            vec![InstanceInput { algo: &mut algo, budgets: tight, inputs }],
+            2,
+            1,
+        )
+        .unwrap_err();
+        assert!(matches!(err, BudgetViolation::TooManyAuxRequests { .. }));
+    }
+
+    #[test]
+    fn outputs_have_owners_in_cluster() {
+        let stream = chunked_stream(&[&[3], &[4], &[5], &[6]]);
+        let cluster = clique_cluster(8);
+        let mut algo = Partitioner::new(7);
+        let inputs = spread_contiguously(stream.chunks.clone(), 8, 1);
+        let outcome = simulate(
+            &cluster,
+            vec![InstanceInput { algo: &mut algo, budgets: budgets(), inputs }],
+            4,
+            1,
+        )
+        .unwrap();
+        for &(owner, _) in &outcome.outputs[0] {
+            assert!((owner as usize) < cluster.big_k());
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Token streams: main tokens summarizing chunks of auxiliary tokens.
+
+/// A stream token word: one machine word standing for `O(log n)` bits.
+pub type Token = u64;
+
+/// A token record: a token of `L = O(polylog n)` bits, represented as a
+/// handful of words. Shipping a record costs one message per word.
+pub type Record = Vec<Token>;
+
+/// One chunk of the input stream: a main token `τ_i` and its associated
+/// auxiliary tokens `α_{i,1} … α_{i,ℓ_i}`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Chunk {
+    /// The main (summary) token record.
+    pub main: Record,
+    /// The auxiliary (fine-grained) token records summarized by `main`.
+    pub aux: Vec<Record>,
+}
+
+impl Chunk {
+    /// A chunk whose main record is a single word, with no auxiliaries.
+    pub fn main_only(main: Token) -> Self {
+        Chunk { main: vec![main], aux: Vec::new() }
+    }
+}
+
+/// An input stream `S = ⟨τ_1, …, τ_{N_in}⟩` with auxiliary sequences.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Stream {
+    /// Chunks in stream order.
+    pub chunks: Vec<Chunk>,
+}
+
+impl Stream {
+    /// Builds a stream from chunks.
+    pub fn new(chunks: Vec<Chunk>) -> Self {
+        Stream { chunks }
+    }
+
+    /// Builds a stream of main-only chunks.
+    pub fn from_main_tokens(tokens: impl IntoIterator<Item = Token>) -> Self {
+        Stream { chunks: tokens.into_iter().map(Chunk::main_only).collect() }
+    }
+
+    /// `N_in`: number of main tokens.
+    pub fn n_in(&self) -> usize {
+        self.chunks.len()
+    }
+
+    /// Total number of token records (main + auxiliary).
+    pub fn total_len(&self) -> usize {
+        self.chunks.iter().map(|c| 1 + c.aux.len()).sum()
+    }
+
+    /// Total number of words across all records.
+    pub fn total_words(&self) -> usize {
+        self.chunks
+            .iter()
+            .map(|c| c.main.len() + c.aux.iter().map(Vec::len).sum::<usize>())
+            .sum()
+    }
+}
+
+impl FromIterator<Chunk> for Stream {
+    fn from_iter<T: IntoIterator<Item = Chunk>>(iter: T) -> Self {
+        Stream { chunks: iter.into_iter().collect() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stream_lengths() {
+        let s = Stream::new(vec![
+            Chunk { main: vec![1], aux: vec![vec![10], vec![11]] },
+            Chunk::main_only(2),
+        ]);
+        assert_eq!(s.n_in(), 2);
+        assert_eq!(s.total_len(), 4);
+        assert_eq!(s.total_words(), 4);
+    }
+
+    #[test]
+    fn from_main_tokens_has_no_aux() {
+        let s = Stream::from_main_tokens([5, 6, 7]);
+        assert!(s.chunks.iter().all(|c| c.aux.is_empty()));
+        assert_eq!(s.n_in(), 3);
+    }
+
+    #[test]
+    fn collect_from_chunks() {
+        let s: Stream = (0..4).map(Chunk::main_only).collect();
+        assert_eq!(s.n_in(), 4);
+    }
+}

@@ -1,0 +1,385 @@
+//! Cluster load-balancing tools: Lemma 19 (amplifier-chain broadcast),
+//! Lemma 20 / Algorithm 1 (degree-proportional message assignment) and
+//! Lemma 27 (gather-and-double broadcast for `K_p` clusters).
+
+use congest::cluster::CommunicationCluster;
+use congest::graph::VertexId;
+use congest::metrics::CostReport;
+use congest::routing::{route_triples, Packet};
+use ppstream::{
+    simulate, Budgets, Emitter, InstanceInput, MainAction, PartialPass, Token,
+};
+
+/// Lemma 19: makes `O(k^{2/3})` messages (each held by one vertex, at most
+/// `O(k^{1/3})` per holder) known to **all** of `V⁻`, in `k^{1/3}·n^{o(1)}`
+/// rounds, using one amplifier chain per message.
+///
+/// `items[j] = (holder, words)` — the local vertex currently holding
+/// message `j` and its length in words. Returns the measured cost.
+pub fn amplifier_broadcast(
+    cluster: &CommunicationCluster,
+    items: &[(VertexId, usize)],
+    bandwidth: usize,
+) -> CostReport {
+    let k = cluster.k();
+    if k == 0 || items.is_empty() {
+        return CostReport::zero();
+    }
+    let v_minus = cluster.v_minus();
+    // chain size y = ceil(k / k^{2/3}) = ceil(k^{1/3})
+    let y = ((k as f64).powf(1.0 / 3.0).ceil() as usize).clamp(1, k);
+    let block = k.div_ceil(y);
+    // Phase 1: each holder sends its message to the y members of its
+    // amplifier chain (round-robin assignment).
+    let mut phase1 = Vec::new();
+    for (j, &(holder, words)) in items.iter().enumerate() {
+        for i in 0..y {
+            let member = v_minus[(j * y + i) % k];
+            if member != holder {
+                for w in 0..words {
+                    phase1.push((holder, member, w as u64));
+                }
+            }
+        }
+    }
+    let r1 = route_triples(cluster.graph(), phase1, bandwidth);
+    // Phase 2: each chain member forwards the message to its block of V⁻.
+    let mut phase2 = Vec::new();
+    for (j, &(_, words)) in items.iter().enumerate() {
+        for i in 0..y {
+            let member = v_minus[(j * y + i) % k];
+            for t in 0..block {
+                let target_rank = i * block + t;
+                if target_rank >= k {
+                    break;
+                }
+                let target = v_minus[target_rank];
+                if target != member {
+                    for w in 0..words {
+                        phase2.push((member, target, w as u64));
+                    }
+                }
+            }
+        }
+    }
+    let r2 = route_triples(cluster.graph(), phase2, bandwidth);
+    r1.report
+        .named("amplifier-phase1")
+        .then(&r2.report.named("amplifier-phase2"))
+}
+
+/// Lemma 27: makes `O(n)` messages, each held by one `V⁻` vertex, known to
+/// all of `V⁻` in `n^{1/2+o(1)}` rounds.
+///
+/// Three measured phases, each `Θ(|M|/δ)` rounds on a `(φ, δ)`-cluster:
+/// gather all messages at the lowest-rank vertex, scatter them round-robin
+/// so every `V⁻` member holds an `|M|/k` share, then an all-to-all in
+/// which each member ships its share to everyone. (The paper phrases this
+/// as `O(log k)` doubling steps of `Θ(|M|/δ)` rounds each; the
+/// gather/scatter/all-to-all realization has the same cost shape with
+/// better constants on the measured router, because shares travel on
+/// vertex-disjoint paths.)
+pub fn gather_and_double_broadcast(
+    cluster: &CommunicationCluster,
+    items: &[(VertexId, usize)],
+    bandwidth: usize,
+) -> CostReport {
+    let k = cluster.k();
+    if k == 0 || items.is_empty() {
+        return CostReport::zero();
+    }
+    let v_minus = cluster.v_minus();
+    let hub = v_minus[0];
+    // gather
+    let mut gather = Vec::new();
+    let mut total_words = 0usize;
+    for &(holder, words) in items {
+        total_words += words;
+        if holder != hub {
+            for w in 0..words {
+                gather.push((holder, hub, w as u64));
+            }
+        }
+    }
+    let mut report = route_triples(cluster.graph(), gather, bandwidth)
+        .report
+        .named("broadcast-gather");
+    // scatter: message i to the member of rank i mod k
+    let mut scatter = Vec::new();
+    for w in 0..total_words {
+        let to = v_minus[w % k];
+        if to != hub {
+            scatter.push((hub, to, w as u64));
+        }
+    }
+    report.absorb(&route_triples(cluster.graph(), scatter, bandwidth).report);
+    // all-to-all: each member ships its share to every other member
+    let mut exchange = Vec::new();
+    for w in 0..total_words {
+        let from = v_minus[w % k];
+        for &to in v_minus {
+            if to != from {
+                exchange.push((from, to, w as u64));
+            }
+        }
+    }
+    report.absorb(&route_triples(cluster.graph(), exchange, bandwidth).report);
+    report.named("broadcast-all")
+}
+
+/// The Algorithm 1 partial-pass algorithm of Lemma 20: reads
+/// `(rank, deg_C(v))` records in rank order and allocates each `V*` vertex
+/// an interval of `2⌈M·deg_C(v)/m⌉` message numbers; low-degree vertices
+/// (below `μ/2`) receive the empty interval.
+#[derive(Debug)]
+pub struct DegreeAllocator {
+    /// total messages to allocate
+    m_total: u64,
+    /// total communication degree `m = |E(V⁻, V_C)|`
+    comm_total: u64,
+    /// half of the average communication degree
+    half_mu_num: u64, // numerator: compare 2·k·deg >= comm_total <=> deg >= mu/2
+    k: u64,
+    leaf: u64,
+}
+
+impl DegreeAllocator {
+    /// Creates the allocator for `m_total` messages on a cluster with `k`
+    /// `V⁻` members and total communication degree `comm_total`.
+    pub fn new(m_total: u64, comm_total: u64, k: u64) -> Self {
+        DegreeAllocator { m_total, comm_total, half_mu_num: comm_total, k, leaf: 0 }
+    }
+
+    /// Budgets: `N_in = N_out = k`, `B_aux = 0`, `B_write = 1`,
+    /// `T_max = 1` (each vertex holds its own degree token).
+    pub fn budgets(k: usize) -> Budgets {
+        Budgets { n_in: k, n_out: k + 1, b_aux: 0, b_write: 2, state_words: 6 }
+    }
+
+    fn pack(rank: u64, start: u64, len: u64) -> Token {
+        (rank << 44) | (start << 22) | len
+    }
+
+    /// Decodes an output token into `(rank, start, len)`.
+    pub fn unpack(token: Token) -> (u64, u64, u64) {
+        (token >> 44, (token >> 22) & 0x3f_ffff, token & 0x3f_ffff)
+    }
+}
+
+impl PartialPass for DegreeAllocator {
+    fn on_main(&mut self, token: &[Token], out: &mut Emitter) -> MainAction {
+        let (rank, deg) = (token[0], token[1]);
+        // deg < mu/2  <=>  2·k·deg < comm_total
+        if 2 * self.k * deg < self.half_mu_num {
+            out.write(Self::pack(rank, 0, 0));
+        } else {
+            // l = 2·ceil(M·deg / m)
+            let l = 2 * (self.m_total * deg).div_ceil(self.comm_total.max(1));
+            out.write(Self::pack(rank, self.leaf, l));
+            self.leaf += l;
+        }
+        MainAction::Continue
+    }
+
+    fn on_aux(&mut self, _token: &[Token], _out: &mut Emitter) {
+        unreachable!("Algorithm 1 has B_aux = 0");
+    }
+
+    fn finish(&mut self, _out: &mut Emitter) {}
+}
+
+/// Outcome of the Lemma 20 redistribution.
+#[derive(Debug, Clone)]
+pub struct BalancedAssignment {
+    /// `owner_of[j]` = the `V*` vertex (local id) that learns message `j`.
+    pub owner_of: Vec<VertexId>,
+    /// Measured cost of the allocation run plus the redistribution.
+    pub report: CostReport,
+}
+
+/// Lemma 20: redistributes `producers.len()` messages (message `j`
+/// currently held by `producers[j]`, each `message_words` long) so that
+/// every `v ∈ V*` learns `O(deg_C(v)/μ)` of them. Runs Algorithm 1 through
+/// the Theorem 11 simulation with chain length `lambda`, then performs the
+/// request/response redistribution with measured routing.
+pub fn balance_by_degree(
+    cluster: &CommunicationCluster,
+    producers: &[VertexId],
+    message_words: usize,
+    lambda: usize,
+    bandwidth: usize,
+) -> BalancedAssignment {
+    let k = cluster.k();
+    assert!(k > 0, "cluster has empty V⁻");
+    let v_minus = cluster.v_minus();
+    let m_total = producers.len() as u64;
+    if m_total == 0 {
+        return BalancedAssignment { owner_of: Vec::new(), report: CostReport::zero() };
+    }
+    let comm_total: u64 = v_minus.iter().map(|&v| cluster.comm_degree(v) as u64).sum();
+
+    // Step 1: home the messages: message j goes to rank j / c, c = ceil(M/k).
+    let c = (m_total as usize).div_ceil(k);
+    let home = |j: usize| v_minus[(j / c).min(k - 1)];
+    let mut homing = Vec::new();
+    for (j, &p) in producers.iter().enumerate() {
+        let h = home(j);
+        if p != h {
+            for w in 0..message_words {
+                homing.push((p, h, w as u64));
+            }
+        }
+    }
+    let homing_cost = route_triples(cluster.graph(), homing, bandwidth).report.named("homing");
+
+    // Step 2: run Algorithm 1 through the simulation.
+    let mut allocator = DegreeAllocator::new(m_total, comm_total, k as u64);
+    let inputs: Vec<Vec<ppstream::Chunk>> = (0..k)
+        .map(|r| {
+            vec![ppstream::Chunk {
+                main: vec![r as Token, cluster.comm_degree(v_minus[r]) as Token],
+                aux: vec![],
+            }]
+        })
+        .collect();
+    let outcome = simulate(
+        cluster,
+        vec![InstanceInput {
+            algo: &mut allocator,
+            budgets: DegreeAllocator::budgets(k),
+            inputs,
+        }],
+        lambda,
+        bandwidth,
+    )
+    .expect("Algorithm 1 respects its budgets");
+
+    // Step 3: decode allocations; route each allocation token to its rank.
+    let mut owner_of: Vec<Option<VertexId>> = vec![None; m_total as usize];
+    let mut deliver_interval = Vec::new();
+    for &(producer, token) in &outcome.outputs[0] {
+        let (rank, start, len) = DegreeAllocator::unpack(token);
+        let target = v_minus[rank as usize];
+        if producer != target {
+            deliver_interval.push((producer, target, token));
+        }
+        for j in start..(start + len).min(m_total) {
+            owner_of[j as usize] = Some(target);
+        }
+    }
+    let deliver_cost =
+        route_triples(cluster.graph(), deliver_interval, bandwidth).report.named("intervals");
+    // leftover messages (allocation rounding on tiny clusters): round-robin
+    // over V*
+    let v_star = cluster.v_star();
+    let pool = if v_star.is_empty() { v_minus.to_vec() } else { v_star };
+    for (j, o) in owner_of.iter_mut().enumerate() {
+        if o.is_none() {
+            *o = Some(pool[j % pool.len()]);
+        }
+    }
+    let owner_of: Vec<VertexId> = owner_of.into_iter().map(Option::unwrap).collect();
+
+    // Step 4: request/response — each assignee pulls its messages from the
+    // home vertices.
+    let mut traffic: Vec<Packet> = Vec::new();
+    for (j, &owner) in owner_of.iter().enumerate() {
+        let h = home(j);
+        if owner != h {
+            traffic.push(Packet { src: owner, dst: h, payload: j as u64 }); // request
+            for w in 0..message_words {
+                traffic.push(Packet { src: h, dst: owner, payload: w as u64 }); // response
+            }
+        }
+    }
+    let pull_cost = congest::routing::route(cluster.graph(), traffic, bandwidth)
+        .report
+        .named("pull");
+
+    let report = homing_cost
+        .then(&outcome.report)
+        .then(&deliver_cost)
+        .then(&pull_cost);
+    BalancedAssignment { owner_of, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::graph::Graph;
+
+    fn clique_cluster(n: usize) -> CommunicationCluster {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(n, &e);
+        CommunicationCluster::new(g, (0..n as VertexId).collect(), 1, 0.5)
+    }
+
+    #[test]
+    fn amplifier_broadcast_costs_scale() {
+        let cluster = clique_cluster(27);
+        let items: Vec<(VertexId, usize)> = (0..9).map(|j| (j as VertexId, 1)).collect();
+        let r = amplifier_broadcast(&cluster, &items, 1);
+        assert!(r.rounds > 0);
+        // every vertex must receive all 9 messages: >= 9·27 deliveries
+        assert!(r.messages >= 9 * 26, "messages = {}", r.messages);
+    }
+
+    #[test]
+    fn gather_and_double_touches_everyone() {
+        let cluster = clique_cluster(16);
+        let items: Vec<(VertexId, usize)> = (0..4).map(|j| (j as VertexId, 2)).collect();
+        let r = gather_and_double_broadcast(&cluster, &items, 1);
+        // doubling: log2(16) = 4 stages, each shipping 8 words
+        assert!(r.messages >= 8 * 15, "messages = {}", r.messages);
+    }
+
+    #[test]
+    fn degree_allocator_covers_all_messages() {
+        // regular cluster: every vertex has the same degree -> everyone in V*
+        let cluster = clique_cluster(12);
+        let producers: Vec<VertexId> = (0..24).map(|j| (j % 12) as VertexId).collect();
+        let out = balance_by_degree(&cluster, &producers, 2, 3, 1);
+        assert_eq!(out.owner_of.len(), 24);
+        // regular cluster: allocation ~ 2·ceil(24/12)·... each vertex gets
+        // O(M·deg/m) = O(2) messages; no vertex should be assigned more
+        // than ~6
+        let mut counts = std::collections::HashMap::new();
+        for &o in &out.owner_of {
+            *counts.entry(o).or_insert(0usize) += 1;
+        }
+        for (&v, &c) in &counts {
+            assert!(c <= 8, "vertex {v} got {c} messages");
+        }
+    }
+
+    #[test]
+    fn low_degree_vertices_get_nothing() {
+        // star-plus-clique: pendant vertices have degree 1, below mu/2
+        let mut e = Vec::new();
+        for u in 0..8u32 {
+            for v in u + 1..8 {
+                e.push((u, v));
+            }
+        }
+        e.push((0, 8));
+        e.push((1, 9));
+        let g = Graph::from_edges(10, &e);
+        let cluster = CommunicationCluster::new(g, (0..10).collect(), 1, 0.3);
+        let producers: Vec<VertexId> = (0..10).map(|j| (j % 10) as VertexId).collect();
+        let out = balance_by_degree(&cluster, &producers, 1, 2, 1);
+        for &o in &out.owner_of {
+            assert!(o < 8, "pendant vertex {o} was assigned a message");
+        }
+    }
+
+    #[test]
+    fn allocator_packing_round_trips() {
+        let t = DegreeAllocator::pack(1023, 4321, 99);
+        assert_eq!(DegreeAllocator::unpack(t), (1023, 4321, 99));
+    }
+}

@@ -1,0 +1,317 @@
+//! Theorem 16: distributed construction of a `K_3`-partition tree on a
+//! `K_3`-compatible cluster, in `k^{1/3}·n^{o(1)}` rounds.
+//!
+//! The driver applies Lemma 18 (one simulated Lemma 17 instance per tree
+//! node, chain length `λ = ⌈k^{1/3}⌉`) to build each of the three layers,
+//! Lemma 19 (amplifier-chain broadcast) to make the root and middle layer
+//! known to all of `V⁻`, and Lemma 20 to hand the leaf parts to `V*`
+//! vertices in proportion to their communication degree.
+
+use congest::cluster::CommunicationCluster;
+use congest::graph::{Graph, VertexId};
+use congest::metrics::CostReport;
+use ppstream::{simulate, Chunk, InstanceInput};
+
+use crate::balance::{amplifier_broadcast, balance_by_degree};
+use crate::htree::{vertex_record, HTreeParams, LayerBuilder};
+use crate::tree::{Partition, PartitionTree, PathCode};
+
+/// Result of [`build_k3_tree`].
+#[derive(Debug, Clone)]
+pub struct K3TreeOutcome {
+    /// The 3-layer `K_3`-partition tree over `V⁻` ranks.
+    pub tree: PartitionTree,
+    /// Tree shape parameters.
+    pub params: HTreeParams,
+    /// The graph on ranks `0..k` (cluster graph restricted to `V⁻`).
+    pub rank_graph: Graph,
+    /// For each leaf part `(path, part)`: the `V*` vertex (cluster-local
+    /// id) that knows it after the Lemma 20 redistribution.
+    pub leaf_owner: Vec<(PathCode, usize, VertexId)>,
+    /// Measured cost of the whole construction.
+    pub report: CostReport,
+}
+
+/// Builds the rank graph of a cluster: the induced subgraph on `V⁻`
+/// relabelled by rank.
+pub fn rank_graph(cluster: &CommunicationCluster) -> Graph {
+    let v_minus = cluster.v_minus();
+    let mut edges = Vec::new();
+    for (r, &v) in v_minus.iter().enumerate() {
+        for &u in cluster.graph().neighbors(v) {
+            if u > v {
+                if let Ok(ru) = v_minus.binary_search(&u) {
+                    edges.push((r as VertexId, ru as VertexId));
+                }
+            }
+        }
+    }
+    Graph::from_edges(v_minus.len(), &edges)
+}
+
+/// Builds one layer of the tree: runs `ζ` parallel Lemma 17 instances (one
+/// per node path) through the Theorem 11 simulation, and installs the
+/// resulting partitions. Returns the per-level cost and the producing
+/// vertices of each emitted leaf token (used at the leaf layer).
+fn build_layer(
+    cluster: &CommunicationCluster,
+    rank_graph: &Graph,
+    tree: &mut PartitionTree,
+    params: &HTreeParams,
+    paths: &[PathCode],
+    level: usize,
+    lambda: usize,
+    bandwidth: usize,
+) -> (CostReport, Vec<(PathCode, Vec<(VertexId, u64)>)>) {
+    let k = params.k;
+    let mut builders: Vec<LayerBuilder> = Vec::with_capacity(paths.len());
+    let mut all_inputs: Vec<Vec<Vec<Chunk>>> = Vec::with_capacity(paths.len());
+    for path in paths {
+        let records: Vec<Vec<u64>> =
+            (0..k).map(|r| vertex_record(rank_graph, tree, *path, r)).collect();
+        let totals =
+            (records.iter().map(|r| r[0]).sum(), records.iter().map(|r| r[1]).sum());
+        builders.push(LayerBuilder::new(params, level, totals));
+        all_inputs.push(
+            records.into_iter().map(|main| vec![Chunk { main, aux: vec![] }]).collect(),
+        );
+    }
+    let mut instances = Vec::with_capacity(paths.len());
+    for (builder, inputs) in builders.iter_mut().zip(all_inputs) {
+        instances.push(InstanceInput {
+            algo: builder,
+            budgets: LayerBuilder::budgets(params),
+            inputs,
+        });
+    }
+    let outcome =
+        simulate(cluster, instances, lambda, bandwidth).expect("Lemma 17 respects its budgets");
+    let mut produced = Vec::with_capacity(paths.len());
+    for (path, tokens) in paths.iter().zip(outcome.outputs.iter()) {
+        let partition =
+            Partition::from_interval_tokens(tokens.iter().map(|&(_, t)| t).collect(), k);
+        tree.set_node(*path, partition);
+        produced.push((*path, tokens.clone()));
+    }
+    (outcome.report, produced)
+}
+
+/// Theorem 16: builds a `K_3`-partition tree of `C[V⁻]` on a
+/// `K_3`-compatible cluster.
+///
+/// After the build: the root and middle layers are (cost-accounted as)
+/// known to all of `V⁻`; each leaf part is known to exactly one `V*`
+/// vertex, with each `v ∈ V*` holding `O(deg_C(v)/μ)` parts.
+///
+/// # Panics
+///
+/// Panics if the cluster's `V⁻` is empty.
+pub fn build_k3_tree(cluster: &CommunicationCluster, bandwidth: usize) -> K3TreeOutcome {
+    let rg = rank_graph(cluster);
+    let params = HTreeParams::for_graph(&rg, 3);
+    let k = params.k;
+    let lambda = (k as f64).powf(1.0 / 3.0).ceil() as usize;
+    let mut tree = PartitionTree::new(3, vec![k; 3]);
+    let mut report = CostReport::zero();
+
+    // Level 0: the root partition.
+    let (cost, produced) = build_layer(
+        cluster,
+        &rg,
+        &mut tree,
+        &params,
+        &[PathCode::root()],
+        0,
+        lambda,
+        bandwidth,
+    );
+    report.absorb(&cost.named("k3-level0"));
+    let root_tokens: Vec<(VertexId, usize)> =
+        produced[0].1.iter().map(|&(v, _)| (v, 1)).collect();
+    report.absorb(&amplifier_broadcast(cluster, &root_tokens, bandwidth));
+
+    // Level 1.
+    let level1_paths: Vec<PathCode> = (0..tree.node(PathCode::root()).unwrap().part_count())
+        .map(|j| PathCode::root().child(j))
+        .collect();
+    let (cost, produced) = build_layer(
+        cluster,
+        &rg,
+        &mut tree,
+        &params,
+        &level1_paths,
+        1,
+        lambda,
+        bandwidth,
+    );
+    report.absorb(&cost.named("k3-level1"));
+    let mid_tokens: Vec<(VertexId, usize)> = produced
+        .iter()
+        .flat_map(|(_, toks)| toks.iter().map(|&(v, _)| (v, 1)))
+        .collect();
+    report.absorb(&amplifier_broadcast(cluster, &mid_tokens, bandwidth));
+
+    // Level 2 (leaves).
+    let mut leaf_paths = Vec::new();
+    for p1 in &level1_paths {
+        for j in 0..tree.node(*p1).unwrap().part_count() {
+            leaf_paths.push(p1.child(j));
+        }
+    }
+    let (cost, produced) = build_layer(
+        cluster,
+        &rg,
+        &mut tree,
+        &params,
+        &leaf_paths,
+        2,
+        lambda,
+        bandwidth,
+    );
+    report.absorb(&cost.named("k3-level2"));
+
+    // Lemma 20: redistribute leaf parts to V* proportionally to degree.
+    // Message j = j-th leaf part in deterministic (path, token) order.
+    let mut messages: Vec<(PathCode, usize, VertexId)> = Vec::new();
+    for (path, tokens) in &produced {
+        let node = tree.node(*path).unwrap();
+        // tokens are interval endpoints; part index recovered by start rank
+        for &(producer, tok) in tokens {
+            let start = (tok >> 32) as u32;
+            let end = (tok & 0xffff_ffff) as u32;
+            if start >= end {
+                continue; // empty part carries no triangles
+            }
+            let part = node.part_of(start);
+            messages.push((*path, part, producer));
+        }
+    }
+    let producers: Vec<VertexId> = messages.iter().map(|&(_, _, p)| p).collect();
+    // a leaf-part description = path + interval = O(p) words
+    let assignment = balance_by_degree(cluster, &producers, 4, lambda, bandwidth);
+    report.absorb(&assignment.report);
+    let leaf_owner: Vec<(PathCode, usize, VertexId)> = messages
+        .iter()
+        .zip(assignment.owner_of.iter())
+        .map(|(&(path, part, _), &owner)| (path, part, owner))
+        .collect();
+
+    K3TreeOutcome { tree, params, rank_graph: rg, leaf_owner, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::htree::check_htree;
+
+    fn clique_cluster(n: usize) -> CommunicationCluster {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(n, &e);
+        let delta = (n as f64).cbrt() as usize;
+        CommunicationCluster::new(g, (0..n as VertexId).collect(), delta.max(1), 0.5)
+    }
+
+    fn er_cluster(n: usize, density: u64) -> CommunicationCluster {
+        let mut st = 42u64;
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                st = st.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                if (st >> 33) % 100 < density {
+                    e.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n, &e);
+        CommunicationCluster::new(g, (0..n as VertexId).collect(), 2, 0.2)
+    }
+
+    #[test]
+    fn k3_tree_is_valid_on_clique_cluster() {
+        let cluster = clique_cluster(27);
+        let out = build_k3_tree(&cluster, 1);
+        let violations = check_htree(&out.rank_graph, &out.tree, &out.params);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(out.report.rounds > 0);
+    }
+
+    #[test]
+    fn k3_tree_is_valid_on_er_cluster() {
+        let cluster = er_cluster(40, 35);
+        let out = build_k3_tree(&cluster, 1);
+        let violations = check_htree(&out.rank_graph, &out.tree, &out.params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn every_nonempty_leaf_part_has_an_owner() {
+        let cluster = clique_cluster(30);
+        let out = build_k3_tree(&cluster, 1);
+        let owned: std::collections::HashSet<(PathCode, usize)> =
+            out.leaf_owner.iter().map(|&(p, j, _)| (p, j)).collect();
+        for (path, part) in out.tree.leaf_parts() {
+            let node = out.tree.node(path).unwrap();
+            if node.part_len(part) > 0 {
+                assert!(owned.contains(&(path, part)), "leaf ({path:?}, {part}) unowned");
+            }
+        }
+    }
+
+    #[test]
+    fn leaf_load_tracks_degree() {
+        let cluster = er_cluster(48, 40);
+        let out = build_k3_tree(&cluster, 1);
+        let mu = cluster.mu();
+        let mut per_owner: std::collections::HashMap<VertexId, usize> = Default::default();
+        for &(_, _, o) in &out.leaf_owner {
+            *per_owner.entry(o).or_insert(0) += 1;
+        }
+        for (&v, &cnt) in &per_owner {
+            let bound = 4.0 * (cluster.comm_degree(v) as f64 / mu) + 8.0;
+            assert!(
+                (cnt as f64) <= bound,
+                "vertex {v} owns {cnt} leaves, degree-proportional bound {bound}"
+            );
+        }
+    }
+
+    #[test]
+    fn construction_is_deterministic() {
+        let cluster = er_cluster(36, 30);
+        let a = build_k3_tree(&cluster, 1);
+        let b = build_k3_tree(&cluster, 1);
+        assert_eq!(a.leaf_owner, b.leaf_owner);
+        for level in 0..3 {
+            assert_eq!(a.tree.paths_at_level(level), b.tree.paths_at_level(level));
+        }
+    }
+
+    #[test]
+    fn triangle_coverage_via_trace() {
+        let cluster = clique_cluster(24);
+        let out = build_k3_tree(&cluster, 1);
+        let rg = &out.rank_graph;
+        // every triangle of the rank graph must trace to a leaf
+        let mut checked = 0;
+        for a in 0..rg.n() as u32 {
+            for b in (a + 1)..rg.n() as u32 {
+                if !rg.has_edge(a, b) {
+                    continue;
+                }
+                for c in (b + 1)..rg.n() as u32 {
+                    if rg.has_edge(a, c) && rg.has_edge(b, c) {
+                        // all 6 orderings must trace (Theorem 13 needs one)
+                        assert!(out.tree.trace(&[a, b, c]).is_some());
+                        checked += 1;
+                    }
+                }
+            }
+        }
+        assert!(checked > 0);
+    }
+}

@@ -1,0 +1,260 @@
+//! Theorems 26/28/31: distributed construction of `(p', p)`-split
+//! `K_p`-partition trees on a `K_p`-compatible cluster.
+//!
+//! The cluster's `V⁻` members collectively hold the split-graph input: the
+//! internal edges `E_1 = E(V⁻, V⁻)`, the boundary edges `E_12 = Ē` (each
+//! known to its `V⁻` endpoint) and the imported edges `E_2 = E'`
+//! (distributed across `V⁻` by Theorem 31's vertex chain). Each layer of
+//! the tree is built by `ζ` parallel instances of the Lemma 29 streaming
+//! algorithm (Algorithm 2), simulated via Theorem 11, and broadcast to all
+//! of `V⁻` with Lemma 27.
+
+use congest::cluster::CommunicationCluster;
+use congest::graph::VertexId;
+use congest::metrics::CostReport;
+use congest::routing::route_triples;
+use ppstream::{simulate, InstanceInput};
+
+use crate::balance::gather_and_double_broadcast;
+use crate::split::{split_layer_chunks, SplitGraph, SplitLayerBuilder, SplitParams};
+use crate::tree::{Partition, PartitionTree, PathCode};
+
+/// Result of [`build_split_tree`].
+#[derive(Debug, Clone)]
+pub struct SplitTreeOutcome {
+    /// The `p`-layer split tree (levels `< π` partition `V_2`, the rest
+    /// `V_1`).
+    pub tree: PartitionTree,
+    /// Tree shape parameters.
+    pub params: SplitParams,
+    /// Measured cost of rearrangement, construction and broadcasts.
+    pub report: CostReport,
+}
+
+/// Theorem 31: cost of rearranging the imported edges `E'` so that each
+/// `V⁻` chain member holds the edges whose tails fall in its block of
+/// `V_2` (the `K_p`-input-cluster form, Definition 25).
+///
+/// `e2_holders[i] = (current holder, number of E' edges held)`.
+pub fn rearrange_input_cost(
+    cluster: &CommunicationCluster,
+    e2_holders: &[(VertexId, usize)],
+    bandwidth: usize,
+) -> CostReport {
+    let k = cluster.k();
+    if k == 0 || e2_holders.is_empty() {
+        return CostReport::zero();
+    }
+    // Lemma 27 first makes deg*_C(u) for all u known (counts only), then
+    // each holder ships each edge (2 words) to the responsible chain
+    // member. We model the reshuffle as an all-to-all among V⁻ with the
+    // same total volume, which upper-bounds the paper's targeted sends.
+    let v_minus = cluster.v_minus();
+    let mut triples = Vec::new();
+    let mut slot = 0usize;
+    for &(holder, count) in e2_holders {
+        for _ in 0..count {
+            let target = v_minus[slot % k];
+            slot += 1;
+            if target != holder {
+                triples.push((holder, target, 0u64));
+                triples.push((holder, target, 1u64));
+            }
+        }
+    }
+    route_triples(cluster.graph(), triples, bandwidth)
+        .report
+        .named("theorem31-rearrange")
+}
+
+/// Theorems 26/28: builds a `(p', p)`-split `K_p`-partition tree over the
+/// given split graph on `cluster`, so that (cost-accounted) all parts are
+/// known to all of `V⁻`.
+///
+/// `lambda` is the Theorem 11 chain-length parameter (the paper uses
+/// `λ = 1` for `p > 3`; exposed for the E5/A1 ablations).
+///
+/// # Panics
+///
+/// Panics if the cluster's `V⁻` is empty or `split.k` does not match it.
+pub fn build_split_tree(
+    cluster: &CommunicationCluster,
+    split: &SplitGraph,
+    p: usize,
+    p_prime: usize,
+    lambda: usize,
+    bandwidth: usize,
+) -> SplitTreeOutcome {
+    let k = cluster.k();
+    assert!(k > 0, "cluster has empty V⁻");
+    assert_eq!(split.k, k, "split graph V_1 must be the cluster's V⁻");
+    let params = SplitParams::for_graph(split, p, p_prime);
+    let grounds: Vec<u32> = (0..p).map(|l| params.ground(l)).collect();
+    let mut tree = PartitionTree::new(p, grounds);
+    let mut report = CostReport::zero();
+
+    for level in 0..p {
+        let paths: Vec<PathCode> = if level == 0 {
+            vec![PathCode::root()]
+        } else {
+            tree.paths_at_level(level - 1)
+                .into_iter()
+                .flat_map(|parent| {
+                    let parts = tree.node(parent).unwrap().part_count();
+                    (0..parts).map(move |j| parent.child(j))
+                })
+                .collect()
+        };
+        if params.ground(level) == 0 {
+            // degenerate: empty side — install trivial partitions
+            for path in paths {
+                tree.set_node(path, Partition::from_breaks(vec![0, 0]));
+            }
+            continue;
+        }
+        // Build the per-instance chunk streams (one chunk per chain member;
+        // Lemma 30's T_max = O(1)).
+        let mut builders: Vec<SplitLayerBuilder> = Vec::with_capacity(paths.len());
+        let mut all_inputs: Vec<Vec<Vec<ppstream::Chunk>>> = Vec::with_capacity(paths.len());
+        for path in &paths {
+            let chunks = split_layer_chunks(split, &params, &tree, *path, level, k);
+            let totals = crate::split::stream_totals(&chunks);
+            builders.push(SplitLayerBuilder::new(&params, level, &totals));
+            let mut inputs: Vec<Vec<ppstream::Chunk>> = vec![Vec::new(); k];
+            for (r, c) in chunks.into_iter().enumerate() {
+                inputs[r.min(k - 1)].push(c);
+            }
+            all_inputs.push(inputs);
+        }
+        let mut instances = Vec::with_capacity(paths.len());
+        for (builder, inputs) in builders.iter_mut().zip(all_inputs) {
+            instances.push(InstanceInput {
+                algo: builder,
+                budgets: SplitLayerBuilder::budgets(&params, level),
+                inputs,
+            });
+        }
+        let outcome = simulate(cluster, instances, lambda, bandwidth)
+            .expect("Lemma 29 respects its budgets");
+        report.absorb(&outcome.report.clone().named(&format!("split-level{level}")));
+        // Install partitions and broadcast them (Lemma 27).
+        let mut broadcast_items: Vec<(VertexId, usize)> = Vec::new();
+        for (path, tokens) in paths.iter().zip(outcome.outputs.iter()) {
+            let partition = Partition::from_interval_tokens(
+                tokens.iter().map(|&(_, t)| t).collect(),
+                params.ground(level),
+            );
+            tree.set_node(*path, partition);
+            broadcast_items.extend(tokens.iter().map(|&(v, _)| (v, 1)));
+        }
+        report.absorb(&gather_and_double_broadcast(cluster, &broadcast_items, bandwidth));
+    }
+
+    SplitTreeOutcome { tree, params, report }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::check_split_tree;
+    use congest::graph::Graph;
+
+    fn clique_cluster(n: usize) -> CommunicationCluster {
+        let mut e = Vec::new();
+        for u in 0..n as VertexId {
+            for v in u + 1..n as VertexId {
+                e.push((u, v));
+            }
+        }
+        let g = Graph::from_edges(n, &e);
+        CommunicationCluster::new(g, (0..n as VertexId).collect(), 1, 0.5)
+    }
+
+    fn demo_split(k: usize, n2: usize, density: u64, seed: u64) -> SplitGraph {
+        let mut state = seed | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        let mut e12 = Vec::new();
+        for u in 0..k as u32 {
+            for v in u + 1..k as u32 {
+                if next() % 100 < density {
+                    e1.push((u, v));
+                }
+            }
+        }
+        for u in 0..n2 as u32 {
+            for v in u + 1..n2 as u32 {
+                if next() % 100 < density {
+                    e2.push((u, v));
+                }
+            }
+        }
+        for r in 0..k as u32 {
+            for w in 0..n2 as u32 {
+                if next() % 100 < density {
+                    e12.push((r, w));
+                }
+            }
+        }
+        SplitGraph::new(k, n2, &e1, &e2, &e12)
+    }
+
+    #[test]
+    fn distributed_split_tree_is_valid() {
+        let cluster = clique_cluster(16);
+        let split = demo_split(16, 20, 35, 7);
+        let out = build_split_tree(&cluster, &split, 4, 2, 1, 1);
+        let violations = check_split_tree(&split, &out.tree, &out.params);
+        assert!(violations.is_empty(), "{violations:?}");
+        assert!(out.report.rounds > 0);
+    }
+
+    #[test]
+    fn k5_tree_with_three_inside() {
+        let cluster = clique_cluster(16);
+        let split = demo_split(16, 12, 40, 11);
+        let out = build_split_tree(&cluster, &split, 5, 3, 1, 1);
+        assert_eq!(out.params.pi(), 2);
+        let violations = check_split_tree(&split, &out.tree, &out.params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn rearrange_cost_is_positive_when_imbalanced() {
+        let cluster = clique_cluster(8);
+        let cost = rearrange_input_cost(&cluster, &[(0, 12)], 1);
+        assert!(cost.rounds > 0);
+        assert!(cost.messages >= 12, "messages = {}", cost.messages);
+    }
+
+    #[test]
+    fn empty_v2_side_degenerates_gracefully() {
+        let cluster = clique_cluster(9);
+        let split = demo_split(9, 0, 50, 3);
+        let out = build_split_tree(&cluster, &split, 4, 4, 1, 1);
+        // all layers partition V1
+        for l in 0..4 {
+            assert_eq!(out.tree.ground[l], 9);
+        }
+        let violations = check_split_tree(&split, &out.tree, &out.params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn deterministic_construction() {
+        let cluster = clique_cluster(12);
+        let split = demo_split(12, 10, 30, 5);
+        let a = build_split_tree(&cluster, &split, 4, 2, 1, 1);
+        let b = build_split_tree(&cluster, &split, 4, 2, 1, 1);
+        for l in 0..4 {
+            assert_eq!(a.tree.paths_at_level(l), b.tree.paths_at_level(l));
+            for path in a.tree.paths_at_level(l) {
+                assert_eq!(a.tree.node(path), b.tree.node(path));
+            }
+        }
+    }
+}

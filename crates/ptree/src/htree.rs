@@ -1,0 +1,486 @@
+//! `H`-partition trees (Definition 14) and the Lemma 17 layer-construction
+//! streaming algorithm.
+//!
+//! An `H`-partition tree over a subgraph `G' = (V', E')` strengthens the
+//! plain `p`-partition tree with three balance constraints, for constants
+//! `c1 = 9, c2 = 36, c3 = 4` (the values proven sufficient in Lemma 17):
+//!
+//! - `DEG`:   `|E(U, V')| ≤ c1·m̃/x` for every part `U`;
+//! - `UP_DEG`: `Σ_{W ∈ anc(U)∖{U}} |E(U, W)| ≤ c2·d_i·m̃/x² + c3·p·k/x`;
+//! - `SIZE`:  `|U| ≤ c3·k/x`;
+//!
+//! where `k = |V'|`, `x = k^{1/p}`, `m̃ = max(m, kx)` and `d_i` is the
+//! number of `H`-edges from `z_i` to earlier vertices (`d_i = i` for
+//! cliques).
+//!
+//! [`LayerBuilder`] is the Lemma 17 partial-pass streaming algorithm: a
+//! pure counter scan over the vertices in rank order (no `GET-AUX`;
+//! `B_aux = 0`) that greedily closes a part whenever a counter would
+//! overflow, emitting interval endpoints.
+
+use congest::graph::{Graph, VertexId};
+use ppstream::{Budgets, Emitter, MainAction, PartialPass, Token};
+
+use crate::tree::{PartitionTree, PathCode};
+
+/// Constants `(c1, c2, c3)` of Definition 14, fixed per Lemma 17.
+pub const C1: u64 = 9;
+/// See [`C1`].
+pub const C2: u64 = 36;
+/// See [`C1`].
+pub const C3: u64 = 4;
+
+/// Shape parameters of an `H`-partition tree over a rank graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HTreeParams {
+    /// Number of layers `p` (= clique size for `K_p`).
+    pub p: usize,
+    /// Ground-set size `k = |V'|`.
+    pub k: u32,
+    /// Branching bound `x = ⌈k^{1/p}⌉`.
+    pub x: u64,
+    /// Number of edges `m = |E'|` of the rank graph.
+    pub m: u64,
+}
+
+impl HTreeParams {
+    /// Derives parameters from the rank graph for `p` layers.
+    pub fn for_graph(rank_graph: &Graph, p: usize) -> Self {
+        let k = rank_graph.n() as u32;
+        // branching 2·k^{1/p}: a constant-factor widening of Definition 12's
+        // x = k^{1/p} that doubles the balance resolution of every layer
+        // (see DESIGN.md, ablation A3); still Θ(k^{1/p}).
+        let x = (2.0 * (k as f64).powf(1.0 / p as f64)).ceil().max(1.0) as u64;
+        HTreeParams { p, k, x, m: rank_graph.m() as u64 }
+    }
+
+    /// `m̃ = max(m, k·x)`.
+    pub fn m_tilde(&self) -> u64 {
+        self.m.max(self.k as u64 * self.x)
+    }
+
+    /// `DEG` limit `c1·m̃/x`.
+    pub fn deg_limit(&self) -> u64 {
+        C1 * self.m_tilde() / self.x
+    }
+
+    /// `UP_DEG` limit at level `level` (`d_i = level` for cliques):
+    /// `c2·d_i·m̃/x² + c3·p·k/x`.
+    pub fn up_deg_limit(&self, level: usize) -> u64 {
+        C2 * level as u64 * self.m_tilde() / (self.x * self.x)
+            + C3 * self.p as u64 * self.k as u64 / self.x
+    }
+
+    /// `SIZE` limit `c3·k/x`.
+    pub fn size_limit(&self) -> u64 {
+        (C3 * self.k as u64).div_ceil(self.x)
+    }
+}
+
+/// The Lemma 17 layer builder: a one-pass counter algorithm over the
+/// vertices of `V'` in rank order.
+///
+/// Each main token record carries
+/// `[deg_{V'}(v), Σ_{U' ∈ anc} |E(v, U')|]`; the builder accumulates
+/// `DEG`/`UP_DEG`/`SIZE` counters and closes the current part (emitting an
+/// interval endpoint token) whenever adding a vertex would overflow a
+/// limit. `B_aux = 0`: the whole stream is read at main-token granularity.
+#[derive(Debug, Clone)]
+pub struct LayerBuilder {
+    deg_limit: u64,
+    up_limit: u64,
+    size_limit: u64,
+    deg: u64,
+    up: u64,
+    size: u64,
+    start: u32,
+    idx: u32,
+    parts_emitted: usize,
+    // balance machinery: tight targets plus the remaining totals, used to
+    // close parts early whenever the mandatory-close budget provably keeps
+    // the part count within x (see `may_close_optionally`)
+    x: u64,
+    level_d: u64,
+    m_tilde: u64,
+    k: u64,
+    rem_deg: u64,
+    rem_up: u64,
+    rem_size: u64,
+    target_deg: u64,
+    target_up: u64,
+    target_size: u64,
+}
+
+impl LayerBuilder {
+    /// Creates a builder for one node's partition at `level` (the level of
+    /// the parts being created: root partition parts live at level 0).
+    ///
+    /// `totals = (Σ deg, Σ up_deg)` over the whole stream — globally
+    /// aggregable in `Õ(1)` rounds over the cluster's spanning tree, as in
+    /// Lemma 20's preamble. They enable *optional* early part closes at
+    /// volume targets `2·total/x`, which keep the partition balanced
+    /// without ever exceeding the `≤ x` part bound: an optional close is
+    /// taken only when the paper's mandatory-close count bound on the
+    /// *remaining* stream still fits the budget.
+    pub fn new(params: &HTreeParams, level: usize, totals: (u64, u64)) -> Self {
+        let x = params.x.max(1);
+        LayerBuilder {
+            deg_limit: params.deg_limit(),
+            up_limit: params.up_deg_limit(level),
+            size_limit: params.size_limit(),
+            deg: 0,
+            up: 0,
+            size: 0,
+            start: 0,
+            idx: 0,
+            parts_emitted: 0,
+            x,
+            level_d: level as u64,
+            m_tilde: params.m_tilde(),
+            k: params.k as u64,
+            rem_deg: totals.0,
+            rem_up: totals.1,
+            rem_size: params.k as u64,
+            target_deg: (3 * totals.0 / (2 * x)).max(1),
+            target_up: (3 * totals.1 / (2 * x)).max(1),
+            target_size: (3 * params.k as u64 / (2 * x)).max(1),
+        }
+    }
+
+    /// Upper bound on the number of *mandatory* closes the remaining stream
+    /// can still force (the per-counter volume arguments of Lemma 17,
+    /// applied to the remaining totals), plus slack for the open part.
+    fn mandatory_bound(&self) -> u64 {
+        let deg_closes = (2 * self.rem_deg * self.x).div_ceil((C1 - 1) * self.m_tilde);
+        let up_closes = if self.level_d > 0 {
+            (self.rem_up * self.x * self.x).div_ceil(C2 * self.level_d * self.m_tilde)
+        } else {
+            0
+        };
+        let size_closes = (2 * self.rem_size * self.x).div_ceil(C3 * self.k);
+        // +1 for the final part emitted by `finish`
+        deg_closes + up_closes + size_closes + 1
+    }
+
+    fn may_close_optionally(&self) -> bool {
+        let over_target = self.deg >= self.target_deg
+            || self.up >= self.target_up
+            || self.size >= self.target_size;
+        over_target && self.parts_emitted as u64 + 1 + self.mandatory_bound() <= self.x
+    }
+
+    /// Budgets of this algorithm per Lemma 17:
+    /// `N_in = k`, `N_out = x`, `B_aux = 0`, `B_write = N_out`.
+    pub fn budgets(params: &HTreeParams) -> Budgets {
+        Budgets {
+            n_in: params.k as usize,
+            n_out: 2 * params.x as usize + 2,
+            b_aux: 0,
+            b_write: 2 * params.x as usize + 2,
+            state_words: 8,
+        }
+    }
+
+    fn would_overflow(&self, deg: u64, up: u64) -> bool {
+        self.deg + deg > self.deg_limit
+            || self.up + up > self.up_limit
+            || self.size + 1 > self.size_limit
+    }
+
+    fn close_part(&mut self, out: &mut Emitter) {
+        out.write(((self.start as u64) << 32) | self.idx as u64);
+        self.parts_emitted += 1;
+        self.start = self.idx;
+        self.deg = 0;
+        self.up = 0;
+        self.size = 0;
+    }
+}
+
+impl PartialPass for LayerBuilder {
+    fn on_main(&mut self, token: &[Token], out: &mut Emitter) -> MainAction {
+        let (deg, up) = (token[0], token[1]);
+        if self.size > 0 && (self.would_overflow(deg, up) || self.may_close_optionally()) {
+            self.close_part(out);
+        }
+        // a fresh part always accepts a single vertex (see Lemma 17)
+        self.deg += deg;
+        self.up += up;
+        self.size += 1;
+        self.idx += 1;
+        self.rem_deg = self.rem_deg.saturating_sub(deg);
+        self.rem_up = self.rem_up.saturating_sub(up);
+        self.rem_size = self.rem_size.saturating_sub(1);
+        MainAction::Continue
+    }
+
+    fn on_aux(&mut self, _token: &[Token], _out: &mut Emitter) {
+        unreachable!("Lemma 17 builder has B_aux = 0");
+    }
+
+    fn finish(&mut self, out: &mut Emitter) {
+        if self.size > 0 || self.parts_emitted == 0 {
+            self.close_part(out);
+        }
+    }
+}
+
+/// Computes the main-token record of vertex rank `r` for building the
+/// children of the node at `path`: `[deg_{V'}(r), Σ_{U'∈anc(path)} |E(r, U')|]`.
+///
+/// `rank_graph` is the graph on ranks `0..k` (the cluster graph restricted
+/// to `V⁻`, relabelled by rank). The ancestors of the node are the parts
+/// selected by `path` at each prior level.
+pub fn vertex_record(
+    rank_graph: &Graph,
+    tree: &PartitionTree,
+    path: PathCode,
+    r: u32,
+) -> Vec<Token> {
+    let deg = rank_graph.degree(r as VertexId) as u64;
+    let mut up = 0u64;
+    for (i, &l) in path.elements().iter().enumerate() {
+        let node = tree.node(path.prefix(i)).expect("ancestor node missing");
+        let (s, e) = node.interval(l);
+        up += rank_graph
+            .neighbors(r as VertexId)
+            .iter()
+            .filter(|&&u| (s..e).contains(&u))
+            .count() as u64;
+    }
+    vec![deg, up]
+}
+
+/// A constraint violation found by [`check_htree`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum HTreeViolation {
+    /// A node has more than `x` parts.
+    TooManyParts { path: PathCode, count: usize, limit: u64 },
+    /// `DEG` exceeded.
+    Deg { path: PathCode, part: usize, value: u64, limit: u64 },
+    /// `UP_DEG` exceeded.
+    UpDeg { path: PathCode, part: usize, value: u64, limit: u64 },
+    /// `SIZE` exceeded.
+    Size { path: PathCode, part: usize, value: u64, limit: u64 },
+}
+
+/// Validates all built nodes of `tree` against Definition 14.
+///
+/// Returns every violation found (empty = valid `H`-partition tree).
+pub fn check_htree(
+    rank_graph: &Graph,
+    tree: &PartitionTree,
+    params: &HTreeParams,
+) -> Vec<HTreeViolation> {
+    let mut violations = Vec::new();
+    for level in 0..tree.layers {
+        for path in tree.paths_at_level(level) {
+            let node = tree.node(path).unwrap();
+            if node.part_count() as u64 > params.x {
+                violations.push(HTreeViolation::TooManyParts {
+                    path,
+                    count: node.part_count(),
+                    limit: params.x,
+                });
+            }
+            for (j, s, e) in node.parts() {
+                // SIZE
+                let size = (e - s) as u64;
+                if size > params.size_limit() {
+                    violations.push(HTreeViolation::Size {
+                        path,
+                        part: j,
+                        value: size,
+                        limit: params.size_limit(),
+                    });
+                }
+                // DEG
+                let mut deg = 0u64;
+                for r in s..e {
+                    deg += rank_graph.degree(r as VertexId) as u64;
+                }
+                if deg > params.deg_limit() {
+                    violations.push(HTreeViolation::Deg {
+                        path,
+                        part: j,
+                        value: deg,
+                        limit: params.deg_limit(),
+                    });
+                }
+                // UP_DEG (sum over strict ancestors)
+                let mut up = 0u64;
+                for (i, &l) in path.elements().iter().enumerate() {
+                    let anc = tree.node(path.prefix(i)).unwrap();
+                    let (as_, ae) = anc.interval(l);
+                    for r in s..e {
+                        up += rank_graph
+                            .neighbors(r as VertexId)
+                            .iter()
+                            .filter(|&&u| (as_..ae).contains(&u))
+                            .count() as u64;
+                    }
+                }
+                let limit = params.up_deg_limit(level);
+                if up > limit {
+                    violations.push(HTreeViolation::UpDeg { path, part: j, value: up, limit });
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppstream::{run_local, Stream};
+
+    fn rank_clique(k: usize) -> Graph {
+        let mut e = Vec::new();
+        for u in 0..k as VertexId {
+            for v in u + 1..k as VertexId {
+                e.push((u, v));
+            }
+        }
+        Graph::from_edges(k, &e)
+    }
+
+    fn build_level(
+        g: &Graph,
+        tree: &PartitionTree,
+        path: PathCode,
+        params: &HTreeParams,
+        level: usize,
+    ) -> crate::tree::Partition {
+        let records: Vec<Vec<u64>> =
+            (0..params.k).map(|r| vertex_record(g, tree, path, r)).collect();
+        let totals = (
+            records.iter().map(|r| r[0]).sum(),
+            records.iter().map(|r| r[1]).sum(),
+        );
+        let mut builder = LayerBuilder::new(params, level, totals);
+        let stream = Stream::new(
+            records
+                .into_iter()
+                .map(|main| ppstream::Chunk { main, aux: vec![] })
+                .collect(),
+        );
+        let (tokens, _) = run_local(&mut builder, &stream, &LayerBuilder::budgets(params)).unwrap();
+        crate::tree::Partition::from_interval_tokens(tokens, params.k)
+    }
+
+    /// Builds a full K3 tree centrally (the distributed driver lives in
+    /// `build_k3`; this test exercises the streaming algorithm itself).
+    fn build_full_tree(g: &Graph, p: usize) -> (PartitionTree, HTreeParams) {
+        let params = HTreeParams::for_graph(g, p);
+        let mut tree = PartitionTree::new(p, vec![params.k; p]);
+        tree.set_node(PathCode::root(), build_level(g, &tree, PathCode::root(), &params, 0));
+        for level in 1..p {
+            for parent in tree.paths_at_level(level - 1) {
+                let parent_parts = tree.node(parent).unwrap().part_count();
+                for j in 0..parent_parts {
+                    let path = parent.child(j);
+                    let part = build_level(g, &tree, path, &params, level);
+                    tree.set_node(path, part);
+                }
+            }
+        }
+        (tree, params)
+    }
+
+    #[test]
+    fn built_tree_satisfies_constraints_on_clique() {
+        let g = rank_clique(27);
+        let (tree, params) = build_full_tree(&g, 3);
+        let violations = check_htree(&g, &tree, &params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn built_tree_satisfies_constraints_on_sparse_graph() {
+        let g = Graph::from_edges(
+            30,
+            &(0..29u32).map(|i| (i, i + 1)).collect::<Vec<_>>(),
+        );
+        let (tree, params) = build_full_tree(&g, 3);
+        let violations = check_htree(&g, &tree, &params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn every_triangle_is_covered_by_some_leaf() {
+        let g = rank_clique(16);
+        let (tree, _) = build_full_tree(&g, 3);
+        // all triangles of the clique: check Theorem 13 coverage by trace
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                for c in 0..16u32 {
+                    if a == b || b == c || a == c {
+                        continue;
+                    }
+                    let traced = tree.trace(&[a, b, c]);
+                    assert!(traced.is_some(), "trace failed for ({a},{b},{c})");
+                    let (path, part) = traced.unwrap();
+                    let anc = tree.ancestors(path, part).unwrap();
+                    // each vertex must be inside its level's ancestor part
+                    let ranks = [a, b, c];
+                    for (i, (lvl, (s, e))) in anc.iter().enumerate() {
+                        assert_eq!(*lvl, i);
+                        assert!((*s..*e).contains(&ranks[i]));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn part_count_stays_within_x() {
+        for seed in 0..3u64 {
+            let g = {
+                // deterministic sparse-ish graph on 64 ranks
+                let mut e = Vec::new();
+                let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
+                for u in 0..64u32 {
+                    for v in u + 1..64 {
+                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        if state >> 60 < 3 {
+                            e.push((u, v));
+                        }
+                    }
+                }
+                Graph::from_edges(64, &e)
+            };
+            let (tree, params) = build_full_tree(&g, 3);
+            for level in 0..3 {
+                for path in tree.paths_at_level(level) {
+                    let count = tree.node(path).unwrap().part_count() as u64;
+                    assert!(count <= params.x, "seed {seed}: {count} parts > x = {}", params.x);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn builder_emits_cover_of_ground_set() {
+        let g = rank_clique(10);
+        let params = HTreeParams::for_graph(&g, 3);
+        let tree = PartitionTree::new(3, vec![10; 3]);
+        let part = build_level(&g, &tree, PathCode::root(), &params, 0);
+        assert_eq!(*part.breaks().first().unwrap(), 0);
+        assert_eq!(*part.breaks().last().unwrap(), 10);
+    }
+
+    #[test]
+    fn checker_flags_oversized_part() {
+        let g = rank_clique(27);
+        let params = HTreeParams::for_graph(&g, 3);
+        let mut tree = PartitionTree::new(3, vec![27; 3]);
+        // a single giant part violates SIZE (27 > c3·k/x = 4*27/3 = 36? no —
+        // size_limit = 36 here, so force a smaller limit via larger x)
+        tree.set_node(PathCode::root(), crate::tree::Partition::trivial(27));
+        let tight = HTreeParams { x: 27, ..params };
+        let violations = check_htree(&g, &tree, &tight);
+        assert!(violations.iter().any(|v| matches!(v, HTreeViolation::Size { .. })
+            || matches!(v, HTreeViolation::Deg { .. })));
+    }
+}

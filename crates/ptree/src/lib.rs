@@ -1,0 +1,33 @@
+//! Partition trees for distributed clique listing (Section 4 of the
+//! reproduced paper).
+//!
+//! Two families of trees are provided:
+//!
+//! - [`htree`]: `H`-partition trees (Definition 14) for `K_3` listing —
+//!   `p`-partition trees with the strengthened `DEG`/`UP_DEG`/`SIZE`
+//!   balance constraints, built one layer at a time by the counter-based
+//!   partial-pass streaming algorithm of Lemma 17.
+//! - [`split`]: `(p', p)`-split `K_p`-partition trees over split graphs
+//!   (Definitions 21–22) for `p ≥ 4`, built by the `GET-AUX`-using
+//!   algorithm of Lemma 29 (Algorithm 2 of the paper).
+//!
+//! The construction drivers [`build_k3`] (Theorem 16) and [`build_kp`]
+//! (Theorems 26/28/31) run these streaming algorithms through the
+//! Theorem 11 simulation of the [`ppstream`] crate on a communication
+//! cluster, then redistribute the results with the load-balancing tools of
+//! [`balance`] (Lemmas 19, 20 and 27). [`tree`] holds the shared
+//! interval-partition representation and the Theorem 13/23 coverage
+//! traces.
+
+pub mod balance;
+pub mod build_k3;
+pub mod build_kp;
+pub mod htree;
+pub mod split;
+pub mod tree;
+
+pub use build_k3::{build_k3_tree, K3TreeOutcome};
+pub use build_kp::{build_split_tree, SplitTreeOutcome};
+pub use htree::{check_htree, HTreeParams, LayerBuilder};
+pub use split::{check_split_tree, SplitGraph, SplitParams, SplitLayerBuilder};
+pub use tree::{Partition, PartitionTree, PathCode};

@@ -1,0 +1,720 @@
+//! Split graphs (Definition 21) and `(p', p)`-split `K_p`-partition trees
+//! (Definition 22), with the Lemma 29 / Algorithm 2 layer builder.
+//!
+//! A split graph separates the world into `V_1` (the cluster's `V⁻`,
+//! indexed by rank `0..k`) and `V_2` (everything else, indexed `0..n_2`),
+//! with edge classes `E_1 ⊆ V_1×V_1`, `E_2 ⊆ V_2×V_2` (the imported `E'`)
+//! and `E_12 ⊆ V_1×V_2` (the boundary `Ē`). A `(p', p)`-split tree has
+//! `p` layers: the first `π = p − p'` partition `V_2` into at most `b`
+//! parts per node, the remaining `p'` partition `V_1` into at most `a`
+//! parts, under the six balance constraints of Definition 22 with
+//! `c1 = 8, c2 = 36`.
+
+use ppstream::{Budgets, Chunk, Emitter, MainAction, PartialPass, Token};
+
+use crate::tree::{PartitionTree, PathCode};
+
+/// Constants of Definition 22 / Lemma 29.
+pub const SPLIT_C1: u64 = 8;
+/// See [`SPLIT_C1`].
+pub const SPLIT_C2: u64 = 36;
+
+/// A split graph (Definition 21). Adjacency is stored from both sides so
+/// that both `V_1`- and `V_2`-partition layers can compute their records.
+#[derive(Debug, Clone)]
+pub struct SplitGraph {
+    /// `|V_1|` — ranks `0..k`.
+    pub k: usize,
+    /// `|V_2|` — indices `0..n2`.
+    pub n2: usize,
+    adj1_in_1: Vec<Vec<u32>>,
+    adj1_in_2: Vec<Vec<u32>>,
+    adj2_in_1: Vec<Vec<u32>>,
+    adj2_in_2: Vec<Vec<u32>>,
+    m1: u64,
+    m2: u64,
+    m12: u64,
+}
+
+impl SplitGraph {
+    /// Builds a split graph from edge lists: `e1` over `V_1` ranks, `e2`
+    /// over `V_2` indices, `e12` as `(rank, v2 index)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an endpoint is out of range.
+    pub fn new(
+        k: usize,
+        n2: usize,
+        e1: &[(u32, u32)],
+        e2: &[(u32, u32)],
+        e12: &[(u32, u32)],
+    ) -> Self {
+        let mut adj1_in_1 = vec![Vec::new(); k];
+        let mut adj1_in_2 = vec![Vec::new(); k];
+        let mut adj2_in_1 = vec![Vec::new(); n2];
+        let mut adj2_in_2 = vec![Vec::new(); n2];
+        for &(u, v) in e1 {
+            assert!((u as usize) < k && (v as usize) < k, "E1 endpoint out of range");
+            adj1_in_1[u as usize].push(v);
+            adj1_in_1[v as usize].push(u);
+        }
+        for &(u, v) in e2 {
+            assert!((u as usize) < n2 && (v as usize) < n2, "E2 endpoint out of range");
+            adj2_in_2[u as usize].push(v);
+            adj2_in_2[v as usize].push(u);
+        }
+        for &(r, w) in e12 {
+            assert!((r as usize) < k && (w as usize) < n2, "E12 endpoint out of range");
+            adj1_in_2[r as usize].push(w);
+            adj2_in_1[w as usize].push(r);
+        }
+        for a in adj1_in_1
+            .iter_mut()
+            .chain(adj1_in_2.iter_mut())
+            .chain(adj2_in_1.iter_mut())
+            .chain(adj2_in_2.iter_mut())
+        {
+            a.sort_unstable();
+            a.dedup();
+        }
+        let m1 = adj1_in_1.iter().map(|a| a.len() as u64).sum::<u64>() / 2;
+        let m2 = adj2_in_2.iter().map(|a| a.len() as u64).sum::<u64>() / 2;
+        let m12 = adj1_in_2.iter().map(|a| a.len() as u64).sum::<u64>();
+        SplitGraph { k, n2, adj1_in_1, adj1_in_2, adj2_in_1, adj2_in_2, m1, m2, m12 }
+    }
+
+    /// `|E_1|`, `|E_2|`, `|E_12|`.
+    pub fn edge_counts(&self) -> (u64, u64, u64) {
+        (self.m1, self.m2, self.m12)
+    }
+
+    /// Neighbors in `V_1` of a vertex on `side` (`true` = the vertex is in
+    /// `V_1`).
+    pub fn neighbors_in_1(&self, in_v1: bool, idx: u32) -> &[u32] {
+        if in_v1 {
+            &self.adj1_in_1[idx as usize]
+        } else {
+            &self.adj2_in_1[idx as usize]
+        }
+    }
+
+    /// Neighbors in `V_2` of a vertex on `side`.
+    pub fn neighbors_in_2(&self, in_v1: bool, idx: u32) -> &[u32] {
+        if in_v1 {
+            &self.adj1_in_2[idx as usize]
+        } else {
+            &self.adj2_in_2[idx as usize]
+        }
+    }
+
+    fn count_in_interval(adj: &[u32], interval: (u32, u32)) -> u64 {
+        let lo = adj.partition_point(|&x| x < interval.0);
+        let hi = adj.partition_point(|&x| x < interval.1);
+        (hi - lo) as u64
+    }
+
+    /// Whether the `V_1×V_1` edge `{u, v}` exists.
+    pub fn has_e1(&self, u: u32, v: u32) -> bool {
+        self.adj1_in_1[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Whether the `V_2×V_2` edge `{u, v}` exists.
+    pub fn has_e2(&self, u: u32, v: u32) -> bool {
+        self.adj2_in_2[u as usize].binary_search(&v).is_ok()
+    }
+
+    /// Whether the boundary edge `(rank, v2)` exists.
+    pub fn has_e12(&self, rank: u32, w: u32) -> bool {
+        self.adj1_in_2[rank as usize].binary_search(&w).is_ok()
+    }
+}
+
+/// Shape parameters of a `(p', p)`-split `K_p`-tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitParams {
+    /// Clique size / number of layers.
+    pub p: usize,
+    /// Number of clique vertices inside `V_1` (`2 ≤ p' ≤ p`).
+    pub p_prime: usize,
+    /// Branching bound for `V_1` layers.
+    pub a: u64,
+    /// Branching bound for `V_2` layers.
+    pub b: u64,
+    /// `|V_1|`.
+    pub k: u64,
+    /// `|V_2|`.
+    pub n2: u64,
+    /// `|E_1|`, `|E_2|`, `|E_12|`.
+    pub m1: u64,
+    /// See [`Self::m1`].
+    pub m2: u64,
+    /// See [`Self::m1`].
+    pub m12: u64,
+}
+
+impl SplitParams {
+    /// Derives parameters with `a = b = ⌈k^{1/p}⌉` (the choice of
+    /// Theorem 26).
+    pub fn for_graph(split: &SplitGraph, p: usize, p_prime: usize) -> Self {
+        assert!(p >= 3 && (2..=p).contains(&p_prime), "need p ≥ 3 and 2 ≤ p' ≤ p");
+        let (m1, m2, m12) = split.edge_counts();
+        // branching 2·k^{1/p}, as for H-trees (constant-factor balance
+        // widening; ablation A3)
+        let a = (2.0 * (split.k as f64).powf(1.0 / p as f64)).ceil().max(1.0) as u64;
+        SplitParams {
+            p,
+            p_prime,
+            a,
+            b: a,
+            k: split.k as u64,
+            n2: split.n2 as u64,
+            m1,
+            m2,
+            m12,
+        }
+    }
+
+    /// `π = p − p'`: number of `V_2` layers.
+    pub fn pi(&self) -> usize {
+        self.p - self.p_prime
+    }
+
+    /// Whether layer `level` partitions `V_1`.
+    pub fn is_v1_layer(&self, level: usize) -> bool {
+        level >= self.pi()
+    }
+
+    /// Total graph size `n = k + n_2` (the additive slack of Def. 22).
+    pub fn n(&self) -> u64 {
+        self.k + self.n2
+    }
+
+    /// `m̃_1 = max(m_1, k·a)`, `m̃_2 = max(m_2, n·b)`, `m̃_12 = max(m_12, n·a)`.
+    pub fn m_tilde(&self) -> (u64, u64, u64) {
+        (
+            self.m1.max(self.k * self.a),
+            self.m2.max(self.n() * self.b),
+            self.m12.max(self.n() * self.a),
+        )
+    }
+
+    /// The three active `(record field, limit)` counters at `level`.
+    ///
+    /// Record layout: `[deg_V1, deg_V2, up_same_side, up_other_side, count]`
+    /// — `up_same_side` sums degrees into ancestor parts on the layer's own
+    /// side; `up_other_side` into ancestor parts of the other side.
+    pub fn counters(&self, level: usize) -> [(usize, u64); 3] {
+        let (mt1, mt2, mt12) = self.m_tilde();
+        let n = self.n();
+        if !self.is_v1_layer(level) {
+            [
+                // DEG_2to2
+                (1, SPLIT_C1 * self.m2 / self.b + n),
+                // UP_DEG_2to2
+                (2, SPLIT_C2 * level as u64 * mt2 / (self.b * self.b) + n),
+                // DEG_2to1
+                (0, SPLIT_C1 * self.m12 / self.b + n),
+            ]
+        } else {
+            let i1 = (level - self.pi()) as u64;
+            [
+                // DEG_1to1
+                (0, SPLIT_C1 * self.m1 / self.a + self.k),
+                // UP_DEG_1to1
+                (2, SPLIT_C2 * i1 * mt1 / (self.a * self.a) + self.k),
+                // UP_DEG_1to2
+                (3, SPLIT_C2 * self.pi() as u64 * mt12 / (self.a * self.b) + n),
+            ]
+        }
+    }
+
+    /// Ground-set size of layer `level`.
+    pub fn ground(&self, level: usize) -> u32 {
+        if self.is_v1_layer(level) {
+            self.k as u32
+        } else {
+            self.n2 as u32
+        }
+    }
+
+    /// Branching bound of layer `level`.
+    pub fn branching(&self, level: usize) -> u64 {
+        if self.is_v1_layer(level) {
+            self.a
+        } else {
+            self.b
+        }
+    }
+}
+
+/// The per-vertex record `[deg_V1, deg_V2, up_same, up_other, 1]` of vertex
+/// `w` (on the side being partitioned at `level`) for building the children
+/// of the node at `path`.
+pub fn split_vertex_record(
+    split: &SplitGraph,
+    params: &SplitParams,
+    tree: &PartitionTree,
+    path: PathCode,
+    level: usize,
+    w: u32,
+) -> Vec<Token> {
+    let in_v1 = params.is_v1_layer(level);
+    let deg1 = split.neighbors_in_1(in_v1, w).len() as u64;
+    let deg2 = split.neighbors_in_2(in_v1, w).len() as u64;
+    let mut up_same = 0u64;
+    let mut up_other = 0u64;
+    for (i, &l) in path.elements().iter().enumerate() {
+        let node = tree.node(path.prefix(i)).expect("ancestor node missing");
+        let interval = node.interval(l);
+        let anc_is_v1 = params.is_v1_layer(i);
+        let count = if anc_is_v1 {
+            SplitGraph::count_in_interval(split.neighbors_in_1(in_v1, w), interval)
+        } else {
+            SplitGraph::count_in_interval(split.neighbors_in_2(in_v1, w), interval)
+        };
+        if anc_is_v1 == in_v1 {
+            up_same += count;
+        } else {
+            up_other += count;
+        }
+    }
+    vec![deg1, deg2, up_same, up_other, 1]
+}
+
+/// Builds the input chunks of one layer instance: the ground set is cut
+/// into `chunks` contiguous intervals (one per `V⁻` chain member); each
+/// chunk's main record is the field-wise sum of its per-vertex records and
+/// its aux records are the per-vertex records (Lemma 29's stream layout).
+pub fn split_layer_chunks(
+    split: &SplitGraph,
+    params: &SplitParams,
+    tree: &PartitionTree,
+    path: PathCode,
+    level: usize,
+    chunks: usize,
+) -> Vec<Chunk> {
+    let ground = params.ground(level) as usize;
+    let chunks = chunks.max(1);
+    let block = ground.div_ceil(chunks).max(1);
+    let mut out = Vec::with_capacity(chunks);
+    let mut w = 0usize;
+    while w < ground {
+        let hi = (w + block).min(ground);
+        let mut aux = Vec::with_capacity(hi - w);
+        let mut main = vec![0u64; 5];
+        for v in w..hi {
+            let rec = split_vertex_record(split, params, tree, path, level, v as u32);
+            for (m, r) in main.iter_mut().zip(&rec) {
+                *m += r;
+            }
+            aux.push(rec);
+        }
+        out.push(Chunk { main, aux });
+        w = hi;
+    }
+    out
+}
+
+/// Field-wise sums of all main records of a chunk stream (the global
+/// aggregates handed to [`SplitLayerBuilder::new`]).
+pub fn stream_totals(chunks: &[Chunk]) -> Vec<u64> {
+    let mut totals = vec![0u64; 5];
+    for c in chunks {
+        for (t, v) in totals.iter_mut().zip(&c.main) {
+            *t += v;
+        }
+    }
+    totals
+}
+
+/// Algorithm 2 of the paper (Lemma 29): the counter-based partial-pass
+/// builder of one split-tree layer. Reads interval-summary main tokens;
+/// when a whole chunk fits, it is absorbed at main-token granularity;
+/// otherwise the chunk's aux tokens are requested and vertices are added
+/// one at a time, closing parts on overflow.
+#[derive(Debug)]
+pub struct SplitLayerBuilder {
+    counters: [(usize, u64); 3],
+    acc: [u64; 3],
+    start: u32,
+    idx: u32,
+    parts_emitted: usize,
+    // balance machinery (see `LayerBuilder` in `htree`): optional closes at
+    // tight volume targets, guarded by the mandatory-close budget so the
+    // part count stays within the branching bound
+    branching: u64,
+    rem: [u64; 3],
+    targets: [u64; 3],
+}
+
+impl SplitLayerBuilder {
+    /// Creates a builder for the children of a node whose new parts live at
+    /// `level`.
+    ///
+    /// `totals` are the field-wise sums of the whole stream's records
+    /// (`[Σ deg_V1, Σ deg_V2, Σ up_same, Σ up_other, k]`), globally
+    /// aggregable in `Õ(1)` rounds; they drive the optional early closes
+    /// that keep partitions balanced.
+    pub fn new(params: &SplitParams, level: usize, totals: &[u64]) -> Self {
+        let counters = params.counters(level);
+        let branching = params.branching(level).max(1);
+        let mut rem = [0u64; 3];
+        let mut targets = [1u64; 3];
+        for (i, &(field, _)) in counters.iter().enumerate() {
+            let total = totals.get(field).copied().unwrap_or(0);
+            rem[i] = total;
+            targets[i] = (3 * total / (2 * branching)).max(1);
+        }
+        SplitLayerBuilder {
+            counters,
+            acc: [0; 3],
+            start: 0,
+            idx: 0,
+            parts_emitted: 0,
+            branching,
+            rem,
+            targets,
+        }
+    }
+
+    /// Mandatory closes the remaining stream can still force: each
+    /// mandatory close of counter `i` accumulates at least half the limit
+    /// (the additive `+n`/`+k` slack is at most half by construction).
+    fn mandatory_bound(&self) -> u64 {
+        self.counters
+            .iter()
+            .zip(&self.rem)
+            .map(|(&(_, limit), &rem)| (2 * rem).div_ceil(limit.max(1)))
+            .sum::<u64>()
+            + 1
+    }
+
+    fn may_close_optionally(&self) -> bool {
+        let over = self.acc.iter().zip(&self.targets).any(|(&a, &t)| a >= t);
+        over && self.may_close_budget_ok()
+    }
+
+    fn may_close_budget_ok(&self) -> bool {
+        self.parts_emitted as u64 + 1 + self.mandatory_bound() <= self.branching
+    }
+
+    /// Budgets per Lemma 29: `N_in = k` (one main token per chain member),
+    /// `N_out = O(k^{1/p})`, `B_aux = O(N_out)`, `B_write = N_out`.
+    pub fn budgets(params: &SplitParams, level: usize) -> Budgets {
+        let n_out = 2 * params.branching(level) as usize + 2;
+        Budgets {
+            n_in: params.k as usize + 1,
+            n_out,
+            b_aux: n_out + params.k as usize, // one GET-AUX may close no part on ties
+            b_write: n_out,
+            state_words: 10,
+        }
+    }
+
+    fn fits(&self, rec: &[Token]) -> bool {
+        self.counters
+            .iter()
+            .zip(&self.acc)
+            .all(|(&(field, limit), &acc)| acc + rec[field] <= limit)
+    }
+
+    fn add(&mut self, rec: &[Token]) {
+        for ((&(field, _), acc), rem) in
+            self.counters.iter().zip(self.acc.iter_mut()).zip(self.rem.iter_mut())
+        {
+            *acc += rec[field];
+            *rem = rem.saturating_sub(rec[field]);
+        }
+    }
+
+    fn close_part(&mut self, out: &mut Emitter) {
+        out.write(((self.start as u64) << 32) | self.idx as u64);
+        self.parts_emitted += 1;
+        self.start = self.idx;
+        self.acc = [0; 3];
+    }
+}
+
+impl PartialPass for SplitLayerBuilder {
+    fn on_main(&mut self, token: &[Token], _out: &mut Emitter) -> MainAction {
+        let near_target = self
+            .acc
+            .iter()
+            .zip(&self.targets)
+            .zip(self.counters.iter())
+            .any(|((&a, &t), &(field, _))| a + token[field] >= t);
+        if self.fits(token) && !(near_target && self.may_close_budget_ok()) {
+            self.add(token);
+            self.idx += token[4] as u32; // vertex count of the chunk
+            MainAction::Continue
+        } else {
+            MainAction::RequestAux
+        }
+    }
+
+    fn on_aux(&mut self, token: &[Token], out: &mut Emitter) {
+        if !self.fits(token) || self.may_close_optionally() {
+            self.close_part(out);
+        }
+        // the additive `+n`/`+k` slack guarantees a fresh part fits one
+        // vertex (Lemma 29)
+        self.add(token);
+        self.idx += 1;
+    }
+
+    fn finish(&mut self, out: &mut Emitter) {
+        if self.idx > self.start || self.parts_emitted == 0 {
+            self.close_part(out);
+        }
+    }
+}
+
+/// A violation found by [`check_split_tree`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct SplitViolation {
+    /// Node path.
+    pub path: PathCode,
+    /// Part index.
+    pub part: usize,
+    /// Constraint name (as in Definition 22).
+    pub constraint: &'static str,
+    /// Observed value.
+    pub value: u64,
+    /// Allowed limit.
+    pub limit: u64,
+}
+
+/// Validates all built nodes of a split tree against Definition 22 plus the
+/// per-node part-count bounds.
+pub fn check_split_tree(
+    split: &SplitGraph,
+    tree: &PartitionTree,
+    params: &SplitParams,
+) -> Vec<SplitViolation> {
+    let mut violations = Vec::new();
+    for level in 0..tree.layers {
+        let in_v1 = params.is_v1_layer(level);
+        let counters = params.counters(level);
+        let names: [&'static str; 3] = if in_v1 {
+            ["DEG_1to1", "UP_DEG_1to1", "UP_DEG_1to2"]
+        } else {
+            ["DEG_2to2", "UP_DEG_2to2", "DEG_2to1"]
+        };
+        for path in tree.paths_at_level(level) {
+            let node = tree.node(path).unwrap();
+            if node.part_count() as u64 > params.branching(level) {
+                violations.push(SplitViolation {
+                    path,
+                    part: usize::MAX,
+                    constraint: "PART_COUNT",
+                    value: node.part_count() as u64,
+                    limit: params.branching(level),
+                });
+            }
+            for (j, s, e) in node.parts() {
+                let mut sums = [0u64; 3];
+                for w in s..e {
+                    let rec =
+                        split_vertex_record(split, params, tree, path, level, w);
+                    for (i, &(field, _)) in counters.iter().enumerate() {
+                        sums[i] += rec[field];
+                    }
+                }
+                for (i, &(_, limit)) in counters.iter().enumerate() {
+                    if sums[i] > limit {
+                        violations.push(SplitViolation {
+                            path,
+                            part: j,
+                            constraint: names[i],
+                            value: sums[i],
+                            limit,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppstream::{run_local, Stream};
+
+    /// Builds a random-ish deterministic split graph.
+    fn demo_split(k: usize, n2: usize, density: u64) -> SplitGraph {
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut e1 = Vec::new();
+        let mut e2 = Vec::new();
+        let mut e12 = Vec::new();
+        for u in 0..k as u32 {
+            for v in u + 1..k as u32 {
+                if next() % 100 < density {
+                    e1.push((u, v));
+                }
+            }
+        }
+        for u in 0..n2 as u32 {
+            for v in u + 1..n2 as u32 {
+                if next() % 100 < density {
+                    e2.push((u, v));
+                }
+            }
+        }
+        for r in 0..k as u32 {
+            for w in 0..n2 as u32 {
+                if next() % 100 < density {
+                    e12.push((r, w));
+                }
+            }
+        }
+        SplitGraph::new(k, n2, &e1, &e2, &e12)
+    }
+
+    fn build_full_split_tree(
+        split: &SplitGraph,
+        p: usize,
+        p_prime: usize,
+    ) -> (PartitionTree, SplitParams) {
+        let params = SplitParams::for_graph(split, p, p_prime);
+        let grounds: Vec<u32> = (0..p).map(|l| params.ground(l)).collect();
+        let mut tree = PartitionTree::new(p, grounds);
+        for level in 0..p {
+            let parents: Vec<PathCode> = if level == 0 {
+                vec![PathCode::root()]
+            } else {
+                tree.paths_at_level(level - 1)
+                    .into_iter()
+                    .flat_map(|parent| {
+                        let parts = tree.node(parent).unwrap().part_count();
+                        (0..parts).map(move |j| parent.child(j))
+                    })
+                    .collect()
+            };
+            for path in parents {
+                let chunks = split_layer_chunks(split, &params, &tree, path, level, split.k);
+                let totals = stream_totals(&chunks);
+                let stream = Stream::new(chunks);
+                let mut builder = SplitLayerBuilder::new(&params, level, &totals);
+                let budgets = SplitLayerBuilder::budgets(&params, level);
+                let (tokens, _) = run_local(&mut builder, &stream, &budgets).unwrap();
+                let partition =
+                    crate::tree::Partition::from_interval_tokens(tokens, params.ground(level));
+                tree.set_node(path, partition);
+            }
+        }
+        (tree, params)
+    }
+
+    #[test]
+    fn split_tree_satisfies_constraints() {
+        let split = demo_split(16, 24, 30);
+        let (tree, params) = build_full_split_tree(&split, 4, 2);
+        let violations = check_split_tree(&split, &tree, &params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn split_tree_layers_have_right_grounds() {
+        let split = demo_split(12, 20, 25);
+        let (tree, params) = build_full_split_tree(&split, 4, 2);
+        assert_eq!(params.pi(), 2);
+        assert_eq!(tree.ground[0], 20); // V2
+        assert_eq!(tree.ground[1], 20);
+        assert_eq!(tree.ground[2], 12); // V1
+        assert_eq!(tree.ground[3], 12);
+    }
+
+    #[test]
+    fn theorem_23_coverage_for_k4() {
+        // dense split graph: check that for K4 instances with 2 vertices in
+        // each side, the trace lands in a leaf whose ancestors contain all
+        // four vertices at their levels.
+        let split = demo_split(10, 14, 60);
+        let (tree, _params) = build_full_split_tree(&split, 4, 2);
+        let mut found = 0;
+        for w1 in 0..14u32 {
+            for w2 in w1 + 1..14 {
+                if !split.has_e2(w1, w2) {
+                    continue;
+                }
+                for r1 in 0..10u32 {
+                    for r2 in r1 + 1..10 {
+                        if !split.has_e1(r1, r2)
+                            || !split.has_e12(r1, w1)
+                            || !split.has_e12(r1, w2)
+                            || !split.has_e12(r2, w1)
+                            || !split.has_e12(r2, w2)
+                        {
+                            continue;
+                        }
+                        found += 1;
+                        let traced = tree.trace(&[w1, w2, r1, r2]);
+                        assert!(traced.is_some(), "no trace for K4 ({w1},{w2},{r1},{r2})");
+                        let (path, part) = traced.unwrap();
+                        let anc = tree.ancestors(path, part).unwrap();
+                        let coords = [w1, w2, r1, r2];
+                        for (i, (lvl, (s, e))) in anc.iter().enumerate() {
+                            assert_eq!(*lvl, i);
+                            assert!((*s..*e).contains(&coords[i]));
+                        }
+                    }
+                }
+            }
+        }
+        assert!(found > 0, "test graph has no cross K4s; densify");
+    }
+
+    #[test]
+    fn part_counts_respect_branching() {
+        let split = demo_split(16, 16, 40);
+        let (tree, params) = build_full_split_tree(&split, 4, 2);
+        for level in 0..4 {
+            for path in tree.paths_at_level(level) {
+                let c = tree.node(path).unwrap().part_count() as u64;
+                assert!(
+                    c <= params.branching(level),
+                    "level {level}: {c} parts > {}",
+                    params.branching(level)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn p_prime_p_builds_v1_only_tree() {
+        // p' = p: all layers partition V1 (the in-cluster case)
+        let split = demo_split(16, 4, 40);
+        let (tree, params) = build_full_split_tree(&split, 4, 4);
+        assert_eq!(params.pi(), 0);
+        for level in 0..4 {
+            assert_eq!(tree.ground[level], 16);
+        }
+        let violations = check_split_tree(&split, &tree, &params);
+        assert!(violations.is_empty(), "{violations:?}");
+    }
+
+    #[test]
+    fn chunk_sums_match_aux() {
+        let split = demo_split(9, 11, 50);
+        let params = SplitParams::for_graph(&split, 4, 2);
+        let tree = PartitionTree::new(4, (0..4).map(|l| params.ground(l)).collect());
+        let chunks =
+            split_layer_chunks(&split, &params, &tree, PathCode::root(), 0, 3);
+        for c in &chunks {
+            let mut sums = vec![0u64; 5];
+            for a in &c.aux {
+                for (s, v) in sums.iter_mut().zip(a) {
+                    *s += v;
+                }
+            }
+            assert_eq!(c.main, sums);
+        }
+    }
+}

@@ -1,0 +1,345 @@
+//! The shared partition-tree representation (Definition 12) and the
+//! coverage trace of Theorem 13.
+//!
+//! Every partition produced by the streaming constructions is an *interval
+//! partition*: the ground set is `0..k` (vertex ranks) and parts are
+//! contiguous rank intervals, so a partition is fully described by its
+//! breakpoints — exactly the tokens the streaming algorithms emit.
+
+use ppstream::Token;
+
+/// A partition of `0..k` into consecutive intervals.
+///
+/// Part `j` is the half-open interval `[breaks[j], breaks[j+1])`.
+///
+/// # Example
+///
+/// ```
+/// use partition_trees::Partition;
+/// let p = Partition::from_breaks(vec![0, 3, 7, 10]);
+/// assert_eq!(p.part_count(), 3);
+/// assert_eq!(p.part_of(5), 1);
+/// assert_eq!(p.interval(2), (7, 10));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    breaks: Vec<u32>,
+}
+
+impl Partition {
+    /// Builds a partition from its breakpoints.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `breaks` has fewer than 2 entries or is not
+    /// non-decreasing starting at the ground-set start.
+    pub fn from_breaks(breaks: Vec<u32>) -> Self {
+        assert!(breaks.len() >= 2, "a partition needs at least one part");
+        assert!(breaks.windows(2).all(|w| w[0] <= w[1]), "breaks must be sorted");
+        Partition { breaks }
+    }
+
+    /// Builds the trivial one-part partition of `0..k`.
+    pub fn trivial(k: u32) -> Self {
+        Partition { breaks: vec![0, k] }
+    }
+
+    /// Decodes a partition from interval tokens `(start << 32) | end`
+    /// emitted by the layer builders, sorted by start.
+    pub fn from_interval_tokens(mut tokens: Vec<Token>, k: u32) -> Self {
+        tokens.sort_unstable();
+        let mut breaks = vec![0u32];
+        for t in tokens {
+            let end = (t & 0xffff_ffff) as u32;
+            breaks.push(end.min(k));
+        }
+        if *breaks.last().unwrap() != k {
+            breaks.push(k);
+        }
+        Partition::from_breaks(breaks)
+    }
+
+    /// Number of parts (empty parts included if breakpoints repeat).
+    pub fn part_count(&self) -> usize {
+        self.breaks.len() - 1
+    }
+
+    /// The part containing `rank`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rank` is outside the ground set.
+    pub fn part_of(&self, rank: u32) -> usize {
+        assert!(rank < *self.breaks.last().unwrap(), "rank out of range");
+        match self.breaks.binary_search(&rank) {
+            Ok(mut i) => {
+                // land on the first part starting at `rank` (skip empties)
+                while self.breaks[i + 1] == rank {
+                    i += 1;
+                }
+                i
+            }
+            Err(i) => i - 1,
+        }
+    }
+
+    /// The half-open interval `[start, end)` of part `j`.
+    pub fn interval(&self, j: usize) -> (u32, u32) {
+        (self.breaks[j], self.breaks[j + 1])
+    }
+
+    /// Number of ranks in part `j`.
+    pub fn part_len(&self, j: usize) -> usize {
+        (self.breaks[j + 1] - self.breaks[j]) as usize
+    }
+
+    /// Iterates `(part index, start, end)` over non-empty parts.
+    pub fn parts(&self) -> impl Iterator<Item = (usize, u32, u32)> + '_ {
+        (0..self.part_count())
+            .map(move |j| (j, self.breaks[j], self.breaks[j + 1]))
+            .filter(|&(_, s, e)| s < e)
+    }
+
+    /// The breakpoints.
+    pub fn breaks(&self) -> &[u32] {
+        &self.breaks
+    }
+
+    /// Encodes the partition as interval tokens (inverse of
+    /// [`from_interval_tokens`](Self::from_interval_tokens)).
+    pub fn to_interval_tokens(&self) -> Vec<Token> {
+        (0..self.part_count())
+            .map(|j| ((self.breaks[j] as u64) << 32) | self.breaks[j + 1] as u64)
+            .collect()
+    }
+}
+
+/// A path in a partition tree: the sequence `(ℓ_1, …, ℓ_i)` of child
+/// indices from the root, encoded compactly.
+///
+/// Up to 4 path elements of up to 16 bits each (ample for `p ≤ 5` and
+/// `x < 65536`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct PathCode(u64);
+
+impl PathCode {
+    /// The root (empty) path.
+    pub fn root() -> Self {
+        PathCode(0)
+    }
+
+    /// Appends a child index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path already has 4 elements or `child >= 2^16 - 1`.
+    pub fn child(self, child: usize) -> Self {
+        let len = self.len();
+        assert!(len < 4, "path too deep");
+        assert!(child < 0xffff, "child index too large");
+        PathCode(self.0 | ((child as u64 + 1) << (16 * len)))
+    }
+
+    /// Number of elements.
+    pub fn len(self) -> usize {
+        (0..4).take_while(|&i| (self.0 >> (16 * i)) & 0xffff != 0).count()
+    }
+
+    /// Whether this is the root path.
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The elements `(ℓ_1, …, ℓ_i)`.
+    pub fn elements(self) -> Vec<usize> {
+        (0..self.len()).map(|i| ((self.0 >> (16 * i)) & 0xffff) as usize - 1).collect()
+    }
+
+    /// The prefix of length `l`.
+    pub fn prefix(self, l: usize) -> Self {
+        let mask = if l >= 4 { u64::MAX } else { (1u64 << (16 * l)) - 1 };
+        PathCode(self.0 & mask)
+    }
+}
+
+/// A `p`-layer partition tree (Definition 12): each node carries a
+/// partition of the ground set; the `j`-th child of a node is reached by
+/// appending `j` to its path.
+#[derive(Debug, Clone)]
+pub struct PartitionTree {
+    /// Number of layers `p` (levels `0..p`).
+    pub layers: usize,
+    /// Ground-set size of each level's partitions (a level partitions
+    /// either `V'` or, for split trees, `V_1`/`V_2`).
+    pub ground: Vec<u32>,
+    nodes: Vec<std::collections::HashMap<PathCode, Partition>>,
+}
+
+impl PartitionTree {
+    /// Creates an empty tree with `layers` levels, where level `i`
+    /// partitions a ground set of size `ground[i]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ground.len() != layers`.
+    pub fn new(layers: usize, ground: Vec<u32>) -> Self {
+        assert_eq!(ground.len(), layers);
+        PartitionTree {
+            layers,
+            ground,
+            nodes: (0..layers).map(|_| std::collections::HashMap::new()).collect(),
+        }
+    }
+
+    /// Stores the partition of the node at `path` (level = path length).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the path is deeper than the tree.
+    pub fn set_node(&mut self, path: PathCode, partition: Partition) {
+        let level = path.len();
+        assert!(level < self.layers, "path deeper than tree");
+        self.nodes[level].insert(path, partition);
+    }
+
+    /// The partition of the node at `path`, if built.
+    pub fn node(&self, path: PathCode) -> Option<&Partition> {
+        self.nodes.get(path.len())?.get(&path)
+    }
+
+    /// All node paths at `level`, sorted.
+    pub fn paths_at_level(&self, level: usize) -> Vec<PathCode> {
+        let mut v: Vec<PathCode> = self.nodes[level].keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// The ancestor parts `anc(U_{S,j})` of the part `j` of the node at
+    /// `path`: one `(level, interval)` per level along the path, plus the
+    /// part itself. See Definition 12.
+    ///
+    /// Returns `None` if some node along the path is missing.
+    pub fn ancestors(&self, path: PathCode, part: usize) -> Option<Vec<(usize, (u32, u32))>> {
+        let elems = path.elements();
+        let mut out = Vec::with_capacity(elems.len() + 1);
+        for (i, &l) in elems.iter().enumerate() {
+            let node = self.node(path.prefix(i))?;
+            if l >= node.part_count() {
+                return None;
+            }
+            out.push((i, node.interval(l)));
+        }
+        let node = self.node(path)?;
+        if part >= node.part_count() {
+            return None;
+        }
+        out.push((elems.len(), node.interval(part)));
+        Some(out)
+    }
+
+    /// The Theorem 13 trace: given the ranks of a `p`-vertex instance
+    /// (`ranks[i]` is placed at level `i`), returns the leaf `(path, part)`
+    /// whose ancestor parts contain the instance.
+    ///
+    /// Returns `None` if a node on the trace has not been built.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ranks.len() != self.layers`.
+    pub fn trace(&self, ranks: &[u32]) -> Option<(PathCode, usize)> {
+        assert_eq!(ranks.len(), self.layers, "one rank per layer");
+        let mut path = PathCode::root();
+        for (i, &r) in ranks.iter().enumerate() {
+            let node = self.node(path)?;
+            let part = node.part_of(r);
+            if i + 1 == self.layers {
+                return Some((path, part));
+            }
+            path = path.child(part);
+        }
+        unreachable!()
+    }
+
+    /// Iterates all `(path, part index)` leaf parts that exist.
+    pub fn leaf_parts(&self) -> Vec<(PathCode, usize)> {
+        let leaf_level = self.layers - 1;
+        let mut out = Vec::new();
+        for path in self.paths_at_level(leaf_level) {
+            let node = &self.nodes[leaf_level][&path];
+            for (j, s, e) in node.parts() {
+                let _ = (s, e);
+                out.push((path, j));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_basics() {
+        let p = Partition::from_breaks(vec![0, 4, 4, 9]);
+        assert_eq!(p.part_count(), 3);
+        assert_eq!(p.part_of(0), 0);
+        assert_eq!(p.part_of(3), 0);
+        assert_eq!(p.part_of(4), 2); // part 1 is empty
+        assert_eq!(p.part_len(1), 0);
+        let nonempty: Vec<_> = p.parts().collect();
+        assert_eq!(nonempty, vec![(0, 0, 4), (2, 4, 9)]);
+    }
+
+    #[test]
+    fn interval_token_round_trip() {
+        let p = Partition::from_breaks(vec![0, 2, 5, 10]);
+        let toks = p.to_interval_tokens();
+        let q = Partition::from_interval_tokens(toks, 10);
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn path_code_round_trip() {
+        let p = PathCode::root().child(3).child(0).child(77);
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.elements(), vec![3, 0, 77]);
+        assert_eq!(p.prefix(1).elements(), vec![3]);
+        assert_eq!(p.prefix(0), PathCode::root());
+    }
+
+    #[test]
+    fn trace_follows_parts() {
+        // 2-layer tree over 0..6: root splits {0..3, 3..6}; children split
+        // into singleton-ish intervals.
+        let mut t = PartitionTree::new(2, vec![6, 6]);
+        t.set_node(PathCode::root(), Partition::from_breaks(vec![0, 3, 6]));
+        t.set_node(PathCode::root().child(0), Partition::from_breaks(vec![0, 2, 4, 6]));
+        t.set_node(PathCode::root().child(1), Partition::from_breaks(vec![0, 1, 6]));
+        // instance with ranks (1, 5): root part of 1 is 0 -> child 0; part
+        // of 5 there is 2
+        let (path, part) = t.trace(&[1, 5]).unwrap();
+        assert_eq!(path, PathCode::root().child(0));
+        assert_eq!(part, 2);
+        // ancestors: root part 0 = [0,3), leaf part 2 = [4,6)
+        let anc = t.ancestors(path, part).unwrap();
+        assert_eq!(anc, vec![(0, (0, 3)), (1, (4, 6))]);
+    }
+
+    #[test]
+    fn missing_node_trace_is_none() {
+        let mut t = PartitionTree::new(2, vec![4, 4]);
+        t.set_node(PathCode::root(), Partition::from_breaks(vec![0, 2, 4]));
+        assert!(t.trace(&[0, 3]).is_none());
+    }
+
+    #[test]
+    fn leaf_parts_enumerates_nonempty() {
+        let mut t = PartitionTree::new(2, vec![4, 4]);
+        t.set_node(PathCode::root(), Partition::from_breaks(vec![0, 2, 4]));
+        t.set_node(PathCode::root().child(0), Partition::from_breaks(vec![0, 4, 4]));
+        t.set_node(PathCode::root().child(1), Partition::from_breaks(vec![0, 1, 4]));
+        let leaves = t.leaf_parts();
+        assert_eq!(leaves.len(), 3); // one non-empty part + two
+    }
+}

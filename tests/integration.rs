@@ -1,0 +1,105 @@
+//! Cross-crate integration tests: the full pipeline — generators →
+//! decomposition → partition trees → listing — validated end-to-end
+//! against the centralized oracle (experiment E3's exactness claim).
+
+use clique_listing::baselines::{dlp12_congested_clique, list_cliques_randomized, naive_exhaustive};
+use clique_listing::{list_cliques_congest, ListingConfig};
+use congest::graph::Graph;
+
+fn assert_exact(g: &Graph, p: usize) {
+    let out = list_cliques_congest(g, p, &ListingConfig::default());
+    let expected = graphs::list_cliques(g, p);
+    assert_eq!(out.cliques, expected, "p = {p}: distributed != oracle");
+}
+
+#[test]
+fn exactness_across_families_p3() {
+    assert_exact(&graphs::erdos_renyi(72, 0.12, 11), 3);
+    assert_exact(&graphs::clustered(72, 3, 0.45, 0.02, 12), 3);
+    assert_exact(&graphs::power_law(72, 4, 13), 3);
+    assert_exact(&graphs::random_regular(72, 8, 14), 3);
+    assert_exact(&graphs::planted_cliques(72, 0.05, 3, 8, 15), 3);
+    assert_exact(&graphs::barbell(14, 3), 3);
+}
+
+#[test]
+fn exactness_across_families_p4() {
+    assert_exact(&graphs::erdos_renyi(56, 0.2, 21), 4);
+    assert_exact(&graphs::clustered(56, 4, 0.5, 0.03, 22), 4);
+    assert_exact(&graphs::planted_cliques(56, 0.08, 4, 5, 23), 4);
+    assert_exact(&graphs::barbell(10, 2), 4);
+}
+
+#[test]
+fn exactness_p5() {
+    assert_exact(&graphs::planted_cliques(44, 0.1, 5, 3, 31), 5);
+    assert_exact(&graphs::clustered(44, 2, 0.5, 0.03, 32), 5);
+}
+
+#[test]
+fn all_algorithms_agree() {
+    let g = graphs::erdos_renyi(48, 0.18, 41);
+    let cfg = ListingConfig::default();
+    let det = list_cliques_congest(&g, 3, &cfg);
+    let rnd = list_cliques_randomized(&g, 3, &cfg, 5);
+    let (naive, _) = naive_exhaustive(&g, 3, 1);
+    let dlp = dlp12_congested_clique(&g, 3);
+    assert_eq!(det.cliques, naive);
+    assert_eq!(rnd.cliques, naive);
+    assert_eq!(dlp.cliques, naive);
+}
+
+#[test]
+fn deterministic_rounds_are_reproducible() {
+    let g = graphs::clustered(64, 4, 0.4, 0.02, 51);
+    let cfg = ListingConfig::default();
+    let a = list_cliques_congest(&g, 3, &cfg);
+    let b = list_cliques_congest(&g, 3, &cfg);
+    assert_eq!(a.report.rounds(), b.report.rounds());
+    assert_eq!(a.report.messages(), b.report.messages());
+}
+
+#[test]
+fn recursion_makes_progress_every_level() {
+    let g = graphs::erdos_renyi(80, 0.1, 61);
+    let out = list_cliques_congest(&g, 3, &ListingConfig::default());
+    assert!(!out.report.fallback_used, "fallback should not trigger on ER graphs");
+    for l in &out.report.levels {
+        assert!(l.resolved > 0, "level {} resolved nothing", l.level);
+    }
+}
+
+#[test]
+fn disconnected_graphs_are_handled() {
+    // two separate communities, no bridge
+    let mut edges = Vec::new();
+    for u in 0..10u32 {
+        for v in u + 1..10 {
+            edges.push((u, v));
+            edges.push((u + 10, v + 10));
+        }
+    }
+    let g = Graph::from_edges(20, &edges);
+    assert_exact(&g, 3);
+    assert_exact(&g, 4);
+}
+
+#[test]
+fn dense_graph_stress() {
+    let g = graphs::erdos_renyi(40, 0.5, 71);
+    assert_exact(&g, 3);
+    assert_exact(&g, 4);
+}
+
+#[test]
+fn bandwidth_speeds_up_but_preserves_output() {
+    let g = graphs::erdos_renyi(56, 0.12, 81);
+    let slow = list_cliques_congest(&g, 3, &ListingConfig::default());
+    let fast = list_cliques_congest(
+        &g,
+        3,
+        &ListingConfig { bandwidth: 4, ..ListingConfig::default() },
+    );
+    assert_eq!(slow.cliques, fast.cliques);
+    assert!(fast.report.rounds() <= slow.report.rounds());
+}

@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) on the core invariants:
+//! listing exactness on random graphs, partition balance, decomposition
+//! remainder bounds, router delivery, and streaming-simulation
+//! equivalence.
+
+use clique_listing::{list_cliques_congest, ListingConfig};
+use congest::graph::{Graph, VertexId};
+use proptest::prelude::*;
+
+fn arbitrary_graph(max_n: usize) -> impl Strategy<Value = Graph> {
+    (4usize..max_n, 0u64..u64::MAX).prop_map(|(n, seed)| {
+        // density varies with the seed
+        let p = 0.05 + (seed % 20) as f64 / 60.0;
+        graphs::erdos_renyi(n, p, seed)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn listing_matches_oracle_triangles(g in arbitrary_graph(40)) {
+        let out = list_cliques_congest(&g, 3, &ListingConfig::default());
+        prop_assert_eq!(out.cliques, graphs::list_cliques(&g, 3));
+    }
+
+    #[test]
+    fn listing_matches_oracle_k4(g in arbitrary_graph(30)) {
+        let out = list_cliques_congest(&g, 4, &ListingConfig::default());
+        prop_assert_eq!(out.cliques, graphs::list_cliques(&g, 4));
+    }
+
+    #[test]
+    fn decomposition_remainder_bounded(g in arbitrary_graph(60)) {
+        let d = expander_decomp::decompose(&g, 0.25);
+        prop_assert!(d.remainder_fraction(&g) <= 0.25 + 1e-9);
+        // clusters vertex-disjoint
+        let mut seen = vec![false; g.n()];
+        for c in &d.clusters {
+            for &v in &c.vertices {
+                prop_assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+    }
+
+    #[test]
+    fn lemma8_defect_bounded(g in arbitrary_graph(60)) {
+        let eps = 0.25;
+        let d = expander_decomp::decompose(&g, eps);
+        let fs = expander_decomp::build_frontier(&g, &d);
+        let defect = expander_decomp::frontier::lemma8_defect(&g, &d, &fs);
+        prop_assert!(defect as f64 <= 2.0 * eps * g.m() as f64 + 1e-9);
+    }
+
+    #[test]
+    fn router_delivers_everything(
+        seed in 0u64..1000,
+        n in 4usize..24,
+        packets in 1usize..40,
+    ) {
+        let g = graphs::erdos_renyi(n, 0.6, seed);
+        prop_assume!(g.is_connected());
+        let pkts: Vec<congest::routing::Packet> = (0..packets)
+            .map(|i| congest::routing::Packet {
+                src: (i % n) as VertexId,
+                dst: ((i * 7 + 3) % n) as VertexId,
+                payload: i as u64,
+            })
+            .collect();
+        let total = pkts.len();
+        let out = congest::routing::route(&g, pkts, 1);
+        let delivered: usize = out.delivered.iter().map(Vec::len).sum();
+        prop_assert_eq!(delivered, total);
+    }
+
+    #[test]
+    fn htree_constraints_hold_on_random_clusters(seed in 0u64..500, n in 12usize..40) {
+        let g = graphs::erdos_renyi(n, 0.4, seed);
+        prop_assume!(g.m() > n);
+        let cluster = congest::cluster::CommunicationCluster::new(
+            g.clone(),
+            (0..g.n() as VertexId).collect(),
+            2,
+            0.2,
+        );
+        prop_assume!(cluster.k() >= 4);
+        // the cluster subgraph must be connected for routing
+        prop_assume!(g.is_connected());
+        let out = partition_trees::build_k3::build_k3_tree(&cluster, 1);
+        let violations =
+            partition_trees::htree::check_htree(&out.rank_graph, &out.tree, &out.params);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn partition_part_of_is_consistent(breaks in proptest::collection::vec(0u32..100, 1..10)) {
+        let mut b = breaks;
+        b.push(0);
+        b.sort_unstable();
+        let k = *b.last().unwrap();
+        prop_assume!(k > 0);
+        let p = partition_trees::Partition::from_breaks(b);
+        for r in 0..k {
+            let j = p.part_of(r);
+            let (s, e) = p.interval(j);
+            prop_assert!(s <= r && r < e, "rank {} not in its part [{}, {})", r, s, e);
+        }
+    }
+
+    #[test]
+    fn cost_report_composition_is_monotone(
+        r1 in 0u64..1000, m1 in 0u64..1000,
+        r2 in 0u64..1000, m2 in 0u64..1000,
+    ) {
+        let a = congest::metrics::CostReport::new(r1, m1);
+        let b = congest::metrics::CostReport::new(r2, m2);
+        let seq = a.then(&b);
+        let par = a.alongside(&b);
+        prop_assert!(seq.rounds >= par.rounds);
+        prop_assert_eq!(seq.messages, par.messages);
+        prop_assert_eq!(seq.rounds, r1 + r2);
+        prop_assert_eq!(par.rounds, r1.max(r2));
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn split_tree_constraints_hold_on_random_instances(
+        seed in 0u64..300,
+        k in 8usize..20,
+        n2 in 4usize..24,
+    ) {
+        // random split graph
+        let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15) | 1;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state >> 33
+        };
+        let mut e1 = vec![];
+        let mut e2 = vec![];
+        let mut e12 = vec![];
+        for u in 0..k as u32 {
+            for v in u + 1..k as u32 {
+                if next() % 100 < 40 { e1.push((u, v)); }
+            }
+        }
+        for u in 0..n2 as u32 {
+            for v in u + 1..n2 as u32 {
+                if next() % 100 < 30 { e2.push((u, v)); }
+            }
+        }
+        for r in 0..k as u32 {
+            for w in 0..n2 as u32 {
+                if next() % 100 < 30 { e12.push((r, w)); }
+            }
+        }
+        let split = partition_trees::SplitGraph::new(k, n2, &e1, &e2, &e12);
+        // a clique cluster as communication fabric
+        let mut edges = vec![];
+        for u in 0..k as u32 {
+            for v in u + 1..k as u32 { edges.push((u, v)); }
+        }
+        let g = Graph::from_edges(k, &edges);
+        let cluster = congest::cluster::CommunicationCluster::new(
+            g, (0..k as VertexId).collect(), 1, 0.5,
+        );
+        let out = partition_trees::build_split_tree(&cluster, &split, 4, 2, 1, 1);
+        let violations = partition_trees::check_split_tree(&split, &out.tree, &out.params);
+        prop_assert!(violations.is_empty(), "{:?}", violations);
+    }
+
+    #[test]
+    fn bandwidth_never_increases_routing_rounds(
+        seed in 0u64..200,
+        n in 6usize..20,
+    ) {
+        let g = graphs::erdos_renyi(n, 0.7, seed);
+        prop_assume!(g.is_connected());
+        let pkts: Vec<congest::routing::Packet> = (0..3 * n)
+            .map(|i| congest::routing::Packet {
+                src: (i % n) as VertexId,
+                dst: ((i * 5 + 2) % n) as VertexId,
+                payload: i as u64,
+            })
+            .collect();
+        let slow = congest::routing::route(&g, pkts.clone(), 1).report.rounds;
+        let fast = congest::routing::route(&g, pkts, 4).report.rounds;
+        // greedy scheduling anomalies allow tiny regressions; never large ones
+        prop_assert!(fast <= slow + 2, "bw=4 slower ({fast}) than bw=1 ({slow})");
+    }
+
+    #[test]
+    fn randomized_baseline_matches_oracle(seed in 0u64..100) {
+        let g = graphs::erdos_renyi(28, 0.25, seed);
+        let out = clique_listing::baselines::list_cliques_randomized(
+            &g, 3, &ListingConfig::default(), seed ^ 0xabc,
+        );
+        prop_assert_eq!(out.cliques, graphs::list_cliques(&g, 3));
+    }
+
+    #[test]
+    fn degeneracy_bounds_clique_size(seed in 0u64..200, n in 5usize..40) {
+        let g = graphs::erdos_renyi(n, 0.3, seed);
+        let (_, d) = graphs::degeneracy_order(&g);
+        // a K_p needs degeneracy >= p-1
+        for p in 3..=5 {
+            if graphs::algo::count_cliques(&g, p) > 0 {
+                prop_assert!(d >= p - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn two_hop_views_are_sound_and_complete(seed in 0u64..100, n in 5usize..22) {
+        let g = graphs::erdos_renyi(n, 0.4, seed);
+        let alpha = g.max_degree();
+        let (views, _) = congest::protocols::collect_two_hop(&g, alpha, 1);
+        for view in views.into_iter().flatten() {
+            let c = view.center;
+            let nbrs = g.neighbors(c);
+            for &(a, b) in &view.edges {
+                // soundness: learned edges are real and between neighbors
+                prop_assert!(g.has_edge(a, b));
+                prop_assert!(nbrs.contains(&a) && nbrs.contains(&b));
+            }
+            // completeness: every edge among neighbors is learned
+            for (i, &a) in nbrs.iter().enumerate() {
+                for &b in &nbrs[i + 1..] {
+                    if g.has_edge(a, b) {
+                        prop_assert!(view.edges.contains(&(a, b)), "missing ({a},{b})");
+                    }
+                }
+            }
+        }
+    }
+}
