@@ -73,8 +73,7 @@ impl PartialPass for Summer {
 /// E5/A1 bench target: Theorem 11 simulation across λ.
 fn ppstream_sim(c: &mut Criterion) {
     let g = graphs::hypercube(6);
-    let cluster =
-        CommunicationCluster::new(g.clone(), (0..g.n() as VertexId).collect(), 1, 0.2);
+    let cluster = CommunicationCluster::new(g.clone(), (0..g.n() as VertexId).collect(), 1, 0.2);
     let chunks: Vec<Chunk> = (0..64).map(|i| Chunk::main_only(i % 5)).collect();
     let budgets = Budgets { n_in: 64, n_out: 4, b_aux: 0, b_write: 4, state_words: 4 };
     let mut group = c.benchmark_group("ppstream_simulate");
@@ -145,6 +144,25 @@ fn baselines_bench(c: &mut Criterion) {
     group.finish();
 }
 
+/// Engine bench target: raw round throughput of the sequential vs the
+/// sharded engine on the heartbeat workload (every vertex messages all its
+/// neighbors each round). Tracks the `crates/runtime` speedup across PRs.
+fn engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_throughput");
+    group.sample_size(10);
+    let shards = runtime::available_shards();
+    for (n, rounds) in [(1_000usize, 20u64), (10_000, 5), (50_000, 2)] {
+        let g = bench::throughput_graph(n);
+        group.bench_with_input(BenchmarkId::new("sequential", n), &g, |b, g| {
+            b.iter(|| bench::engine_round_checksum(&congest::Sequential, g, rounds))
+        });
+        group.bench_with_input(BenchmarkId::new(format!("sharded{shards}"), n), &g, |b, g| {
+            b.iter(|| bench::engine_round_checksum(&runtime::Sharded::new(shards), g, rounds))
+        });
+    }
+    group.finish();
+}
+
 /// A4 ablation: bandwidth sensitivity of the full pipeline.
 fn ablation_bandwidth(c: &mut Criterion) {
     let g = graphs::erdos_renyi(64, 0.2, 6);
@@ -173,6 +191,7 @@ criterion_group!(
     expander_decomp_bench,
     routing_bench,
     baselines_bench,
+    engine_throughput,
     ablation_bandwidth
 );
 criterion_main!(benches);

@@ -54,6 +54,90 @@ fn main() {
     if want("a2") {
         a2();
     }
+    if want("eng") {
+        eng();
+    }
+}
+
+/// ENG: raw engine throughput — sequential vs sharded — with a
+/// machine-readable trajectory record in `BENCH_engine.json`.
+fn eng() {
+    println!("\n## ENG — engine throughput: sequential vs sharded (heartbeat workload)\n");
+    let shards = runtime::available_shards();
+    println!("available worker shards: {shards}\n");
+    let mut t = Table::new(&["n", "m", "engine", "rounds", "wall ms", "rounds/sec", "speedup"]);
+    let mut rows_json: Vec<String> = Vec::new();
+    let mut last_speedup = f64::NAN;
+    for (n, rounds) in [(1_000usize, 30u64), (10_000, 8), (50_000, 3)] {
+        let g = bench::throughput_graph(n);
+        let mut seq_secs = f64::NAN;
+        let seq_out = time_engine(&congest::Sequential, &g, rounds);
+        let par_out = time_engine(&runtime::Sharded::new(shards), &g, rounds);
+        assert_eq!(seq_out.1, par_out.1, "engines must produce identical checksums");
+        for (name, engine_shards, (secs, (messages, _))) in
+            [("sequential", 1usize, seq_out), ("sharded", shards, par_out)]
+        {
+            let rps = rounds as f64 / secs;
+            let speedup = if name == "sequential" {
+                seq_secs = secs;
+                1.0
+            } else {
+                seq_secs / secs
+            };
+            if name == "sharded" && n == 50_000 {
+                last_speedup = speedup;
+            }
+            t.row(vec![
+                n.to_string(),
+                g.m().to_string(),
+                format!("{name}:{engine_shards}"),
+                rounds.to_string(),
+                format!("{:.1}", secs * 1e3),
+                format!("{rps:.1}"),
+                format!("{speedup:.2}x"),
+            ]);
+            rows_json.push(format!(
+                concat!(
+                    "    {{\"n\": {}, \"m\": {}, \"engine\": \"{}\", \"shards\": {}, ",
+                    "\"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, ",
+                    "\"rounds_per_sec\": {:.3}, \"speedup\": {:.4}}}"
+                ),
+                n,
+                g.m(),
+                name,
+                engine_shards,
+                rounds,
+                messages,
+                secs * 1e3,
+                rps,
+                speedup,
+            ));
+        }
+    }
+    t.print();
+    let json = format!(
+        "{{\n  \"experiment\": \"engine_throughput\",\n  \"workload\": \"heartbeat on random_regular(n, 8)\",\n  \"available_shards\": {shards},\n  \"speedup_50k\": {last_speedup:.4},\n  \"results\": [\n{}\n  ]\n}}\n",
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_engine.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_engine.json (speedup at n=50k: {last_speedup:.2}x)"),
+        Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+    }
+    if shards == 1 {
+        println!("note: single-CPU host — the sharded engine cannot beat sequential here;");
+        println!("on a multi-core runner expect ≥ 2x at n = 50k.");
+    }
+}
+
+/// Wall-times one engine over the heartbeat workload.
+fn time_engine<S: congest::engine::EngineSelect>(
+    sel: &S,
+    g: &congest::graph::Graph,
+    rounds: u64,
+) -> (f64, (u64, u64)) {
+    let start = std::time::Instant::now();
+    let out = bench::engine_round_checksum(sel, g, rounds);
+    (start.elapsed().as_secs_f64().max(1e-9), out)
 }
 
 /// A2 ablation: decomposition sweep-cut iteration budget vs quality/cost.
@@ -200,8 +284,7 @@ fn e4() {
                 let node = out.tree.node(path).unwrap();
                 max_parts = max_parts.max(node.parts().count());
                 for (_, s, e) in node.parts() {
-                    let vol: u64 =
-                        (s..e).map(|r| out.rank_graph.degree(r) as u64).sum();
+                    let vol: u64 = (s..e).map(|r| out.rank_graph.degree(r) as u64).sum();
                     max_vol = max_vol.max(vol);
                 }
             }
@@ -258,8 +341,7 @@ fn e5() {
     println!("claim: λ=1 (Leader) maximizes per-vertex token load; λ=k (State-Passing)");
     println!("maximizes state passes; intermediate λ balances both.\n");
     let g = graphs::hypercube(7);
-    let cluster =
-        CommunicationCluster::new(g.clone(), (0..g.n() as VertexId).collect(), 1, 0.2);
+    let cluster = CommunicationCluster::new(g.clone(), (0..g.n() as VertexId).collect(), 1, 0.2);
     let chunks: Vec<Chunk> = (0..128u64)
         .map(|i| {
             let aux: Vec<Vec<Token>> = (0..6u64).map(|j| vec![(i * 31 + j * 7) % 19]).collect();
@@ -272,13 +354,9 @@ fn e5() {
     for lambda in [1usize, 2, 5, 16, 64, 128] {
         let mut algo = Partitioner { threshold: 48, acc: 0, idx: 0, start: 0 };
         let inputs: Vec<Vec<Chunk>> = chunks.iter().map(|c| vec![c.clone()]).collect();
-        let out = simulate(
-            &cluster,
-            vec![InstanceInput { algo: &mut algo, budgets, inputs }],
-            lambda,
-            1,
-        )
-        .unwrap();
+        let out =
+            simulate(&cluster, vec![InstanceInput { algo: &mut algo, budgets, inputs }], lambda, 1)
+                .unwrap();
         t.row(vec![
             lambda.to_string(),
             out.report.rounds.to_string(),
@@ -378,15 +456,7 @@ fn e8() {
 fn e9() {
     println!("\n## E9 — baselines: deterministic CONGEST vs randomized vs naive vs DLP12 (CONGESTED CLIQUE)\n");
     let cfg = ListingConfig::default();
-    let mut t = Table::new(&[
-        "graph",
-        "n",
-        "Δ",
-        "det",
-        "rand",
-        "naive",
-        "dlp12 (CC)",
-    ]);
+    let mut t = Table::new(&["graph", "n", "Δ", "det", "rand", "naive", "dlp12 (CC)"]);
     for (name, g) in [
         ("sparse", graphs::erdos_renyi(128, 0.05, 1)),
         ("medium", graphs::erdos_renyi(128, 0.15, 2)),

@@ -1,6 +1,8 @@
 //! Shared helpers for the experiment harness and Criterion benches.
 
-use congest::graph::Graph;
+use congest::engine::{Engine, EngineSelect};
+use congest::graph::{Graph, VertexId};
+use congest::network::{Outbox, Protocol, Word};
 
 /// Least-squares slope of `log(y)` against `log(x)` — the fitted exponent
 /// reported by the scaling experiments.
@@ -22,6 +24,56 @@ pub fn fitted_exponent(points: &[(f64, f64)]) -> f64 {
 /// instances for clique listing are dense graphs).
 pub fn dense_er(n: usize, seed: u64) -> Graph {
     graphs::erdos_renyi(n, 0.5, seed)
+}
+
+/// The engine-throughput workload: a sparse near-regular graph that can be
+/// generated in `O(n·d)` (the `G(n, p)` generator is `O(n²)` and would
+/// dominate the harness at `n = 50k`).
+pub fn throughput_graph(n: usize) -> Graph {
+    graphs::random_regular(n, 8, 0xbeef)
+}
+
+/// The raw-throughput protocol: every vertex sends a mixed word to all its
+/// neighbors each round and xor-folds its inbox. It never finishes, so an
+/// engine steps it exactly as many rounds as asked — a pure measurement of
+/// round-machinery cost (state stepping, bandwidth accounting, mailbox
+/// exchange, inbox merge).
+pub struct Heartbeat {
+    me: VertexId,
+    acc: u64,
+}
+
+impl Protocol for Heartbeat {
+    fn on_round(&mut self, round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+        for &(_, w) in inbox {
+            self.acc ^= w;
+        }
+        let word =
+            self.acc.wrapping_add(round).wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ self.me as u64;
+        for &v in g.neighbors(self.me) {
+            out.send(v, word);
+        }
+    }
+
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+/// Steps the [`Heartbeat`] protocol exactly `rounds` rounds on the engine
+/// `sel` selects and returns `(messages delivered, state checksum)`. The
+/// checksum is engine-independent (the parity guarantee) and keeps the
+/// optimizer honest.
+pub fn engine_round_checksum<S: EngineSelect>(sel: &S, g: &Graph, rounds: u64) -> (u64, u64) {
+    let states: Vec<Heartbeat> =
+        (0..g.n() as VertexId).map(|me| Heartbeat { me, acc: me as u64 }).collect();
+    let mut engine = sel.build(g, states, 1);
+    for _ in 0..rounds {
+        engine.step();
+    }
+    let messages = engine.messages();
+    let checksum = engine.into_states().into_iter().fold(0u64, |h, s| h.rotate_left(7) ^ s.acc);
+    (messages, checksum)
 }
 
 /// A markdown-ish table printer for the experiment harness.
@@ -83,5 +135,15 @@ mod tests {
         let mut t = Table::new(&["a", "bb"]);
         t.row(vec!["1".into(), "2".into()]);
         t.print();
+    }
+
+    #[test]
+    fn heartbeat_checksum_is_engine_independent() {
+        let g = throughput_graph(200);
+        let seq = engine_round_checksum(&congest::Sequential, &g, 6);
+        let par = engine_round_checksum(&runtime::Sharded::new(4), &g, 6);
+        assert_eq!(seq, par);
+        // every vertex sends deg messages per round
+        assert_eq!(seq.0, 6 * 2 * g.m() as u64);
     }
 }

@@ -1,0 +1,170 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API this
+//! workspace uses.
+//!
+//! The build environment has no crates.io access, so this crate provides a
+//! drop-in `Criterion`/`BenchmarkGroup`/`Bencher` surface that runs each
+//! benchmark a small number of timed iterations and prints
+//! `group/id: median wall time` lines. No statistics, plots, or baselines —
+//! just honest wall-clock numbers suitable for eyeballing regressions and
+//! for the machine-readable JSON the experiment harness writes itself.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Identifier of one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from a function name and a parameter.
+    pub fn new(name: impl Display, param: impl Display) -> Self {
+        BenchmarkId { id: format!("{name}/{param}") }
+    }
+
+    /// An id rendered from the parameter alone.
+    pub fn from_parameter(param: impl Display) -> Self {
+        BenchmarkId { id: param.to_string() }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// median of per-iteration wall times, filled by [`Bencher::iter`]
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, running one warm-up plus `samples` measured iterations,
+    /// and records the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        std::hint::black_box(f()); // warm-up
+        let mut times: Vec<Duration> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            std::hint::black_box(f());
+            times.push(start.elapsed());
+        }
+        times.sort_unstable();
+        self.elapsed = times[times.len() / 2];
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'c> {
+    name: String,
+    samples: usize,
+    _criterion: &'c mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measured-iteration count (capped to keep the offline
+    /// harness fast).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.clamp(1, 10);
+        self
+    }
+
+    /// Runs one benchmark with an input value.
+    pub fn bench_with_input<I: ?Sized, F>(&mut self, id: BenchmarkId, input: &I, mut f: F)
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher { samples: self.samples, elapsed: Duration::ZERO };
+        f(&mut b, input);
+        println!("bench {}/{}: {:?}", self.name, id.id, b.elapsed);
+    }
+
+    /// Runs one benchmark without an input value.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut b = Bencher { samples: self.samples, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench {}/{}: {:?}", self.name, id.id, b.elapsed);
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), samples: 3, _criterion: self }
+    }
+
+    /// Runs a stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { samples: 3, elapsed: Duration::ZERO };
+        f(&mut b);
+        println!("bench {name}: {:?}", b.elapsed);
+        self
+    }
+}
+
+/// Re-export of `std::hint::black_box` under criterion's name.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group-runner function from benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` from group-runner functions.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench`/`cargo test` pass harness flags; ignore them.
+            let _ = std::env::args();
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_and_times() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("smoke");
+        g.sample_size(2);
+        let mut ran = 0u32;
+        g.bench_with_input(BenchmarkId::from_parameter(1), &3u64, |b, &x| {
+            b.iter(|| {
+                ran += 1;
+                x * 2
+            })
+        });
+        g.finish();
+        assert!(ran >= 2);
+    }
+}

@@ -46,9 +46,8 @@ impl CommunicationCluster {
     /// Panics if `global_ids.len() != graph.n()`.
     pub fn new(graph: Graph, global_ids: Vec<VertexId>, delta: usize, phi: f64) -> Self {
         assert_eq!(global_ids.len(), graph.n());
-        let v_minus: Vec<VertexId> = (0..graph.n() as VertexId)
-            .filter(|&v| graph.degree(v) >= delta)
-            .collect();
+        let v_minus: Vec<VertexId> =
+            (0..graph.n() as VertexId).filter(|&v| graph.degree(v) >= delta).collect();
         CommunicationCluster { graph, global_ids, v_minus, delta, phi }
     }
 
@@ -110,11 +109,7 @@ impl CommunicationCluster {
     /// (Definition 7). Sorted by local id.
     pub fn v_star(&self) -> Vec<VertexId> {
         let half_mu = self.mu() / 2.0;
-        self.v_minus
-            .iter()
-            .copied()
-            .filter(|&v| self.comm_degree(v) as f64 >= half_mu)
-            .collect()
+        self.v_minus.iter().copied().filter(|&v| self.comm_degree(v) as f64 >= half_mu).collect()
     }
 
     /// Whether local vertex `v` is in `V⁻_C`.

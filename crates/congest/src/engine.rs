@@ -1,0 +1,220 @@
+//! The [`Engine`] abstraction: pluggable round executors for
+//! [`Protocol`] state machines.
+//!
+//! The workspace ships two engines with **byte-identical** observable
+//! behavior:
+//!
+//! - [`crate::network::Network`] — the reference sequential engine
+//!   (vertices stepped in id order, one thread);
+//! - `runtime::ShardedNetwork` (in the `runtime` crate) — a sharded,
+//!   multi-threaded engine whose per-round message exchange is merged in a
+//!   stable sender-id order, so states, round counts, and message counts
+//!   match the sequential engine exactly at every shard count.
+//!
+//! Protocol drivers are written against [`EngineSelect`], which picks and
+//! constructs the engine:
+//!
+//! ```
+//! use congest::engine::{EngineSelect, Sequential};
+//! use congest::graph::Graph;
+//! use congest::protocols::bfs::distributed_bfs_on;
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! // Run the BFS protocol on an explicitly selected engine.
+//! let (dist, _) = distributed_bfs_on(&Sequential, &g, 0);
+//! assert_eq!(dist[3], Some(3));
+//! ```
+
+use crate::graph::{Graph, VertexId};
+use crate::metrics::CostReport;
+use crate::network::{Network, Protocol};
+
+/// A round executor for a fixed set of per-vertex [`Protocol`] states.
+///
+/// All engines must be *deterministic and equivalent*: for the same graph,
+/// initial states, and bandwidth, every implementation must produce the
+/// same states, the same round count, and the same message count as the
+/// sequential reference engine.
+pub trait Engine<P: Protocol> {
+    /// Advances exactly one round.
+    fn step(&mut self);
+
+    /// Rounds elapsed so far.
+    fn round(&self) -> u64;
+
+    /// Messages delivered so far.
+    fn messages(&self) -> u64;
+
+    /// The per-vertex protocol states.
+    fn states(&self) -> &[P];
+
+    /// Consumes the engine and returns the protocol states.
+    fn into_states(self) -> Vec<P>
+    where
+        Self: Sized;
+
+    /// Whether every vertex is done and no messages are in flight.
+    fn is_quiescent(&self) -> bool;
+
+    /// Runs until quiescent or `max_rounds` elapse; the returned report's
+    /// `truncated` flag is set when the budget ran out with work pending.
+    fn run(&mut self, max_rounds: u64) -> CostReport {
+        let start_round = self.round();
+        let start_messages = self.messages();
+        let mut truncated = false;
+        loop {
+            if self.is_quiescent() {
+                break;
+            }
+            if self.round() - start_round >= max_rounds {
+                truncated = true;
+                break;
+            }
+            self.step();
+        }
+        let mut report =
+            CostReport::new(self.round() - start_round, self.messages() - start_messages);
+        report.truncated = truncated;
+        report
+    }
+}
+
+/// Selects and constructs the [`Engine`] a protocol driver runs on.
+///
+/// `P: Send` is required uniformly (even though the sequential engine does
+/// not need it) so that a driver written once runs unchanged on the
+/// multi-threaded engine; every protocol state in this workspace is plain
+/// owned data and satisfies it automatically.
+pub trait EngineSelect {
+    /// The engine type this selector builds.
+    type Engine<'g, P>: Engine<P>
+    where
+        P: Protocol + Send + 'g;
+
+    /// Builds an engine over `g` with one state per vertex and the given
+    /// per-edge-per-round bandwidth.
+    fn build<'g, P: Protocol + Send>(
+        &self,
+        g: &'g Graph,
+        states: Vec<P>,
+        bandwidth: usize,
+    ) -> Self::Engine<'g, P>;
+}
+
+/// Selects the reference sequential engine, [`Network`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Sequential;
+
+impl EngineSelect for Sequential {
+    type Engine<'g, P>
+        = Network<'g, P>
+    where
+        P: Protocol + Send + 'g;
+
+    fn build<'g, P: Protocol + Send>(
+        &self,
+        g: &'g Graph,
+        states: Vec<P>,
+        bandwidth: usize,
+    ) -> Network<'g, P> {
+        Network::with_bandwidth(g, states, bandwidth)
+    }
+}
+
+impl<P: Protocol> Engine<P> for Network<'_, P> {
+    fn step(&mut self) {
+        Network::step(self)
+    }
+
+    fn round(&self) -> u64 {
+        Network::round(self)
+    }
+
+    fn messages(&self) -> u64 {
+        Network::messages(self)
+    }
+
+    fn states(&self) -> &[P] {
+        Network::states(self)
+    }
+
+    fn into_states(self) -> Vec<P> {
+        Network::into_states(self)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        Network::is_quiescent(self)
+    }
+}
+
+/// A vertex's shard under the contiguous equal-split partition used by the
+/// sharded engine: shard boundaries are fully determined by `(n, shards)`,
+/// so both the send side and the merge side agree without coordination.
+pub fn shard_of(v: VertexId, n: usize, shards: usize) -> usize {
+    debug_assert!(shards >= 1 && (v as usize) < n);
+    let per = n / shards;
+    let rem = n % shards;
+    let v = v as usize;
+    // the first `rem` shards have `per + 1` vertices
+    let big = rem * (per + 1);
+    if v < big {
+        v / (per + 1)
+    } else {
+        rem + (v - big) / per.max(1)
+    }
+}
+
+/// The contiguous vertex range `[start, end)` owned by `shard`.
+pub fn shard_range(shard: usize, n: usize, shards: usize) -> (usize, usize) {
+    debug_assert!(shard < shards);
+    let per = n / shards;
+    let rem = n % shards;
+    let start = shard * per + shard.min(rem);
+    let len = per + usize::from(shard < rem);
+    (start, start + len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_math_is_consistent() {
+        for n in [0usize, 1, 5, 16, 17, 100] {
+            for shards in [1usize, 2, 3, 8] {
+                let mut covered = 0usize;
+                for s in 0..shards {
+                    let (lo, hi) = shard_range(s, n, shards);
+                    assert!(lo <= hi && hi <= n);
+                    covered += hi - lo;
+                    for v in lo..hi {
+                        assert_eq!(
+                            shard_of(v as VertexId, n, shards),
+                            s,
+                            "n={n} shards={shards} v={v}"
+                        );
+                    }
+                }
+                assert_eq!(covered, n);
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_selector_builds_network() {
+        use crate::network::{Outbox, Word};
+
+        struct Quiet;
+        impl Protocol for Quiet {
+            fn on_round(&mut self, _r: u64, _i: &[(VertexId, Word)], _o: &mut Outbox, _g: &Graph) {}
+            fn done(&self) -> bool {
+                true
+            }
+        }
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let mut e = Sequential.build(&g, vec![Quiet, Quiet, Quiet], 1);
+        let report = Engine::run(&mut e, 10);
+        assert_eq!(report.rounds, 0);
+        assert!(!report.truncated);
+    }
+}

@@ -37,10 +37,7 @@ pub struct Graph {
 
 impl fmt::Debug for Graph {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("Graph")
-            .field("n", &self.n())
-            .field("m", &self.m)
-            .finish()
+        f.debug_struct("Graph").field("n", &self.n()).field("m", &self.m).finish()
     }
 }
 

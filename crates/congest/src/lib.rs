@@ -10,6 +10,11 @@
 //! - [`network::Network`]: a faithful round-by-round engine running
 //!   per-vertex [`network::Protocol`] state machines under per-edge
 //!   bandwidth budgets.
+//! - [`engine::Engine`] / [`engine::EngineSelect`]: the pluggable-engine
+//!   abstraction. Protocol drivers written against a selector run
+//!   unchanged on the sequential [`network::Network`] or on the sharded
+//!   multi-threaded `runtime::ShardedNetwork`, with **byte-identical**
+//!   states, round counts, and message counts.
 //! - [`routing::route`]: a bulk store-and-forward router that physically
 //!   forwards packets hop-by-hop under the same per-edge budgets and
 //!   *measures* the number of rounds consumed. It plays the role of the
@@ -38,6 +43,7 @@
 //! ```
 
 pub mod cluster;
+pub mod engine;
 pub mod graph;
 pub mod metrics;
 pub mod network;
@@ -45,7 +51,8 @@ pub mod protocols;
 pub mod routing;
 
 pub use cluster::{CommunicationCluster, VertexChain};
+pub use engine::{Engine, EngineSelect, Sequential};
 pub use graph::{Graph, VertexId};
 pub use metrics::CostReport;
 pub use network::{Network, Protocol};
-pub use routing::{route, Packet, RouteOutcome};
+pub use routing::{route, route_with, Packet, RouteOutcome};

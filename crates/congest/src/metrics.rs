@@ -6,8 +6,6 @@
 //! run simultaneously on edge-disjoint parts of the network: rounds take the
 //! maximum, messages add).
 
-use serde::{Deserialize, Serialize};
-
 /// Cost of (part of) a distributed execution.
 ///
 /// # Example
@@ -20,12 +18,16 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(a.alongside(&b).rounds, 5);
 /// assert_eq!(a.alongside(&b).messages, 14);
 /// ```
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct CostReport {
     /// Synchronous CONGEST rounds consumed.
     pub rounds: u64,
     /// Total `O(log n)`-bit messages sent.
     pub messages: u64,
+    /// Whether any contributing engine run hit its round budget with work
+    /// still pending. A truncated report does **not** describe a completed
+    /// execution; the flag survives every composition.
+    pub truncated: bool,
     /// Named sub-phases, for reporting. `(name, rounds, messages)`.
     pub phases: Vec<(String, u64, u64)>,
 }
@@ -33,7 +35,7 @@ pub struct CostReport {
 impl CostReport {
     /// A report with the given totals and no named phases.
     pub fn new(rounds: u64, messages: u64) -> Self {
-        CostReport { rounds, messages, phases: Vec::new() }
+        CostReport { rounds, messages, truncated: false, phases: Vec::new() }
     }
 
     /// The zero cost.
@@ -48,6 +50,7 @@ impl CostReport {
         CostReport {
             rounds: self.rounds + next.rounds,
             messages: self.messages + next.messages,
+            truncated: self.truncated || next.truncated,
             phases,
         }
     }
@@ -60,6 +63,7 @@ impl CostReport {
         CostReport {
             rounds: self.rounds.max(other.rounds),
             messages: self.messages + other.messages,
+            truncated: self.truncated || other.truncated,
             phases,
         }
     }
@@ -68,6 +72,7 @@ impl CostReport {
     pub fn absorb(&mut self, next: &CostReport) {
         self.rounds += next.rounds;
         self.messages += next.messages;
+        self.truncated |= next.truncated;
         self.phases.extend(next.phases.iter().cloned());
     }
 
@@ -90,7 +95,13 @@ impl CostReport {
 
 impl std::fmt::Display for CostReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} rounds, {} messages", self.rounds, self.messages)?;
+        write!(
+            f,
+            "{} rounds, {} messages{}",
+            self.rounds,
+            self.messages,
+            if self.truncated { " (TRUNCATED)" } else { "" }
+        )?;
         for (name, r, m) in &self.phases {
             write!(f, "\n  {name}: {r} rounds, {m} messages")?;
         }
@@ -137,5 +148,19 @@ mod tests {
         a.absorb(&CostReport::new(2, 2));
         assert_eq!(a.rounds, 3);
         assert_eq!(a.messages, 3);
+    }
+
+    #[test]
+    fn truncation_survives_every_composition() {
+        let clean = CostReport::new(2, 2);
+        let cut = CostReport { truncated: true, ..CostReport::new(1, 1) };
+        assert!(clean.then(&cut).truncated);
+        assert!(cut.then(&clean).truncated);
+        assert!(clean.alongside(&cut).truncated);
+        let mut acc = CostReport::zero();
+        acc.absorb(&cut);
+        assert!(acc.truncated);
+        assert!(cut.clone().named("phase").truncated);
+        assert!(!clean.then(&clean).truncated);
     }
 }

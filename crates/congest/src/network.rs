@@ -28,6 +28,12 @@ impl Outbox {
     pub fn send(&mut self, to: VertexId, payload: Word) {
         self.msgs.push((to, payload));
     }
+
+    /// Consumes the outbox, yielding the queued `(to, payload)` pairs in
+    /// send order. Used by engines when draining a vertex's round output.
+    pub fn into_msgs(self) -> Vec<(VertexId, Word)> {
+        self.msgs
+    }
 }
 
 /// A per-vertex protocol state machine.
@@ -97,34 +103,27 @@ impl<'g, P: Protocol> Network<'g, P> {
         assert_eq!(states.len(), graph.n(), "one protocol state per vertex");
         assert!(bandwidth >= 1);
         let n = graph.n();
-        Network {
-            graph,
-            states,
-            bandwidth,
-            inboxes: vec![Vec::new(); n],
-            round: 0,
-            messages: 0,
-        }
+        Network { graph, states, bandwidth, inboxes: vec![Vec::new(); n], round: 0, messages: 0 }
     }
 
     /// Runs until every vertex reports done (and no messages are in flight)
-    /// or `max_rounds` elapse. Returns the cost.
+    /// or `max_rounds` elapse. Returns the cost; its `truncated` flag is
+    /// set when the round budget ran out with vertices still busy or
+    /// messages still in flight — a truncated run is **not** a completed
+    /// protocol execution.
     ///
     /// # Panics
     ///
     /// Panics if any vertex exceeds the per-edge bandwidth in a round, or if
     /// a vertex sends to a non-neighbor (both are protocol bugs).
     pub fn run(&mut self, max_rounds: u64) -> CostReport {
-        let start_round = self.round;
-        let start_messages = self.messages;
-        while self.round - start_round < max_rounds {
-            let in_flight = self.inboxes.iter().any(|b| !b.is_empty());
-            if !in_flight && self.states.iter().all(|s| s.done()) {
-                break;
-            }
-            self.step();
-        }
-        CostReport::new(self.round - start_round, self.messages - start_messages)
+        // single source of truth for the run loop: the Engine default
+        crate::engine::Engine::run(self, max_rounds)
+    }
+
+    /// Whether every vertex is done and no messages are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.inboxes.iter().all(|b| b.is_empty()) && self.states.iter().all(|s| s.done())
     }
 
     /// Advances exactly one round.
@@ -174,6 +173,11 @@ impl<'g, P: Protocol> Network<'g, P> {
     /// Rounds elapsed so far.
     pub fn round(&self) -> u64 {
         self.round
+    }
+
+    /// Messages delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
     }
 }
 
@@ -270,5 +274,35 @@ mod tests {
         let mut net = Network::with_bandwidth(&g, vec![Chatty(0), Chatty(1)], 2);
         net.step();
         // no panic
+    }
+
+    /// A protocol that never finishes: each vertex re-sends to its
+    /// neighbors every round.
+    struct Restless(VertexId);
+    impl Protocol for Restless {
+        fn on_round(&mut self, _r: u64, _i: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+            for &v in g.neighbors(self.0) {
+                out.send(v, 1);
+            }
+        }
+        fn done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn truncated_run_is_flagged() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(&g, vec![Restless(0), Restless(1)]);
+        let report = net.run(5);
+        assert_eq!(report.rounds, 5);
+        assert!(report.truncated, "budget exhaustion must be flagged");
+        // a run that converges is not truncated, even exactly at the budget
+        let mut done = Network::new(&g, min_flood_states(2));
+        let report = done.run(100);
+        assert!(!report.truncated);
+        // composition propagates the flag
+        let clean = CostReport::new(1, 1);
+        assert!(clean.then(&CostReport { truncated: true, ..CostReport::new(0, 0) }).truncated);
     }
 }

@@ -1,9 +1,10 @@
 //! Distributed BFS: computes hop distances from a root in `O(diameter)`
 //! rounds, one message per edge per wavefront.
 
+use crate::engine::{Engine, EngineSelect, Sequential};
 use crate::graph::{Graph, VertexId};
 use crate::metrics::CostReport;
-use crate::network::{Network, Outbox, Protocol, Word};
+use crate::network::{Outbox, Protocol, Word};
 
 struct BfsState {
     me: VertexId,
@@ -49,10 +50,21 @@ impl Protocol for BfsState {
 /// assert!(report.rounds <= 6);
 /// ```
 pub fn distributed_bfs(g: &Graph, root: VertexId) -> (Vec<Option<u32>>, CostReport) {
+    distributed_bfs_on(&Sequential, g, root)
+}
+
+/// [`distributed_bfs`] on an explicitly selected engine (see
+/// [`crate::engine`]). Every engine produces identical distances and
+/// identical costs.
+pub fn distributed_bfs_on<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    root: VertexId,
+) -> (Vec<Option<u32>>, CostReport) {
     let states: Vec<BfsState> = (0..g.n() as VertexId)
         .map(|me| BfsState { me, dist: if me == root { Some(0) } else { None }, announced: false })
         .collect();
-    let mut net = Network::new(g, states);
+    let mut net = sel.build(g, states, 1);
     let report = net.run(4 * g.n() as u64 + 4);
     let dist = net.into_states().into_iter().map(|s| s.dist).collect();
     (dist, report)
@@ -64,15 +76,11 @@ mod tests {
 
     #[test]
     fn bfs_matches_centralized() {
-        let g = Graph::from_edges(
-            7,
-            &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)],
-        );
+        let g = Graph::from_edges(7, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 4), (4, 5), (1, 5)]);
         let (dist, _) = distributed_bfs(&g, 0);
         let reference = g.bfs_distances(0);
         for v in 0..7 {
-            let expected =
-                if reference[v] == u32::MAX { None } else { Some(reference[v]) };
+            let expected = if reference[v] == u32::MAX { None } else { Some(reference[v]) };
             assert_eq!(dist[v], expected, "vertex {v}");
         }
         assert_eq!(dist[6], None); // isolated vertex

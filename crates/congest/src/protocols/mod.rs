@@ -9,6 +9,6 @@ pub mod bfs;
 pub mod spanning;
 pub mod two_hop;
 
-pub use bfs::distributed_bfs;
-pub use spanning::aggregate_sum;
-pub use two_hop::{collect_two_hop, TwoHopView};
+pub use bfs::{distributed_bfs, distributed_bfs_on};
+pub use spanning::{aggregate_sum, aggregate_sum_on};
+pub use two_hop::{collect_two_hop, collect_two_hop_on, TwoHopView};

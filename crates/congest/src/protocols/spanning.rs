@@ -8,9 +8,10 @@
 //! the result is broadcast back down. On a `φ`-cluster the whole cycle
 //! takes `O(diameter) = O(φ⁻² log n)` rounds (Theorem 3).
 
+use crate::engine::{Engine, EngineSelect, Sequential};
 use crate::graph::{Graph, VertexId};
 use crate::metrics::CostReport;
-use crate::network::{Network, Outbox, Protocol, Word};
+use crate::network::{Outbox, Protocol, Word};
 
 const TAG_GROW: u64 = 1;
 const TAG_SUM: u64 = 2;
@@ -86,8 +87,7 @@ impl Protocol for AggregateState {
             // growing, then send. We emulate with an expected-ack counter
             // primed to the number of non-parent neighbors; rejections
             // arrive as GROW messages from already-adopted neighbors.
-            self.expected_acks =
-                g.degree(self.me) - usize::from(self.parent.is_some());
+            self.expected_acks = g.degree(self.me) - usize::from(self.parent.is_some());
         }
         // A neighbor that sends us GROW after we are adopted is *not* our
         // child (it grew from elsewhere): decrement expectations.
@@ -144,6 +144,17 @@ impl Protocol for AggregateState {
 /// assert!(report.rounds <= 20);
 /// ```
 pub fn aggregate_sum(g: &Graph, inputs: &[u64]) -> (Vec<u64>, CostReport) {
+    aggregate_sum_on(&Sequential, g, inputs)
+}
+
+/// [`aggregate_sum`] on an explicitly selected engine (see
+/// [`crate::engine`]). Every engine produces identical results and
+/// identical costs.
+pub fn aggregate_sum_on<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    inputs: &[u64],
+) -> (Vec<u64>, CostReport) {
     assert_eq!(inputs.len(), g.n());
     assert!(g.is_connected(), "aggregation needs a connected graph");
     assert!(g.n() >= 1);
@@ -165,7 +176,7 @@ pub fn aggregate_sum(g: &Graph, inputs: &[u64]) -> (Vec<u64>, CostReport) {
             announced_down: false,
         })
         .collect();
-    let mut net = Network::new(g, states);
+    let mut net = sel.build(g, states, 1);
     let report = net.run(16 * g.n() as u64 + 64);
     let results: Vec<u64> = net
         .into_states()

@@ -11,9 +11,10 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use crate::engine::{Engine, EngineSelect, Sequential};
 use crate::graph::{Graph, VertexId};
 use crate::metrics::CostReport;
-use crate::network::{Network, Outbox, Protocol, Word};
+use crate::network::{Outbox, Protocol, Word};
 
 const TAG_LIST_COUNT: u64 = 1;
 const TAG_LIST_ID: u64 = 2;
@@ -136,10 +137,7 @@ impl Protocol for TwoHopState {
                     }
                 }
                 TAG_LIST_ID => {
-                    let entry = self
-                        .incoming_lists
-                        .get_mut(&from)
-                        .expect("list id before count");
+                    let entry = self.incoming_lists.get_mut(&from).expect("list id before count");
                     entry.1.push(id);
                     if entry.1.len() == entry.0 {
                         // full list received: reply with intersection
@@ -164,10 +162,8 @@ impl Protocol for TwoHopState {
                     }
                 }
                 TAG_REPLY_ID => {
-                    let entry = self
-                        .incoming_replies
-                        .get_mut(&from)
-                        .expect("reply id before count");
+                    let entry =
+                        self.incoming_replies.get_mut(&from).expect("reply id before count");
                     entry.1.push(id);
                     if entry.1.len() == entry.0 {
                         for &x in &entry.1 {
@@ -229,9 +225,21 @@ pub fn collect_two_hop(
     alpha: usize,
     bandwidth: usize,
 ) -> (Vec<Option<TwoHopView>>, CostReport) {
+    collect_two_hop_on(&Sequential, g, alpha, bandwidth)
+}
+
+/// [`collect_two_hop`] on an explicitly selected engine (see
+/// [`crate::engine`]). Every engine produces identical views and identical
+/// costs.
+pub fn collect_two_hop_on<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    alpha: usize,
+    bandwidth: usize,
+) -> (Vec<Option<TwoHopView>>, CostReport) {
     let states: Vec<TwoHopState> =
         (0..g.n() as VertexId).map(|me| TwoHopState::new(me, g, alpha)).collect();
-    let mut net = Network::with_bandwidth(g, states, bandwidth);
+    let mut net = sel.build(g, states, bandwidth);
     let budget = (4 * alpha as u64 + 16) * bandwidth.max(1) as u64;
     let report = net.run(budget.max(64));
     let views = net
@@ -282,8 +290,8 @@ mod tests {
         let g = Graph::from_edges(6, &edges);
         let (views, _) = collect_two_hop(&g, 2, 1);
         assert!(views[0].is_none());
-        for v in 1..6 {
-            let view = views[v].as_ref().unwrap();
+        for view in views.iter().skip(1) {
+            let view = view.as_ref().unwrap();
             assert!(view.edges.is_empty()); // leaves' neighborhoods have no edges
         }
     }

@@ -71,12 +71,55 @@ pub struct RouteOutcome {
 /// assert_eq!(out.delivered[2], vec![(1, 9)]);
 /// ```
 pub fn route(g: &Graph, packets: Vec<Packet>, bandwidth: usize) -> RouteOutcome {
+    route_with(g, packets, bandwidth, 1)
+}
+
+/// [`route`] with the distance-field precomputation fanned out over
+/// `workers` threads (the routing schedule itself is unchanged, so the
+/// outcome is identical for every worker count). Callers holding an
+/// engine configuration pass its worker count (e.g.
+/// `cfg.engine.shards()`).
+pub fn route_with(
+    g: &Graph,
+    packets: Vec<Packet>,
+    bandwidth: usize,
+    workers: usize,
+) -> RouteOutcome {
     assert!(bandwidth >= 1, "bandwidth must be positive");
     let n = g.n();
     let mut delivered: Vec<Vec<(VertexId, Word)>> = vec![Vec::new(); n];
 
-    // BFS distance fields, one per distinct destination, computed lazily.
-    let mut dist_cache: HashMap<VertexId, Vec<u32>> = HashMap::new();
+    // BFS distance fields, one per distinct destination. The fields are
+    // pure functions of (graph, destination), so they can be computed in
+    // parallel and merged in any order without affecting determinism.
+    let mut dists: Vec<VertexId> =
+        packets.iter().filter(|p| p.src != p.dst).map(|p| p.dst).collect();
+    dists.sort_unstable();
+    dists.dedup();
+    let workers = workers.clamp(1, dists.len().max(1));
+    let dist_cache: HashMap<VertexId, Vec<u32>> = if workers <= 1 {
+        dists.iter().map(|&d| (d, g.bfs_distances(d))).collect()
+    } else {
+        let chunk = dists.len().div_ceil(workers);
+        let mut cache = HashMap::with_capacity(dists.len());
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = dists
+                .chunks(chunk)
+                .map(|ds| {
+                    scope.spawn(move || {
+                        ds.iter().map(|&d| (d, g.bfs_distances(d))).collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            for h in handles {
+                match h.join() {
+                    Ok(part) => cache.extend(part),
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+        cache
+    };
 
     #[derive(Debug)]
     struct Flight {
@@ -102,14 +145,8 @@ pub fn route(g: &Graph, packets: Vec<Packet>, bandwidth: usize) -> RouteOutcome 
             delivered[p.dst as usize].push((p.src, p.payload));
             continue;
         }
-        dist_cache.entry(p.dst).or_insert_with(|| g.bfs_distances(p.dst));
         let d = &dist_cache[&p.dst];
-        assert!(
-            d[p.src as usize] != u32::MAX,
-            "packet from {} to {} has no route",
-            p.src,
-            p.dst
-        );
+        assert!(d[p.src as usize] != u32::MAX, "packet from {} to {} has no route", p.src, p.dst);
         let salt = mix((p.src as u64) << 40 | (p.dst as u64) << 16 | (i as u64 & 0xffff));
         active.push(Flight { at: p.src, dst: p.dst, src: p.src, payload: p.payload, salt });
     }
@@ -243,8 +280,7 @@ mod tests {
             edges.push((1, leaf));
         }
         let g = Graph::from_edges(12, &edges);
-        let packets: Vec<_> =
-            (2..12u32).map(|s| Packet { src: s, dst: 0, payload: 0 }).collect();
+        let packets: Vec<_> = (2..12u32).map(|s| Packet { src: s, dst: 0, payload: 0 }).collect();
         let slow = route(&g, packets.clone(), 1).report.rounds;
         let fast = route(&g, packets, 4).report.rounds;
         assert!(fast < slow, "fast {fast} vs slow {slow}");

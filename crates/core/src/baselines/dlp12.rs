@@ -92,20 +92,11 @@ pub fn dlp12_congested_clique(g: &Graph, p: usize) -> Dlp12Outcome {
         enumerate_tuple(g, tuple, &group_range, &mut cliques);
     }
 
-    let max_traffic = recv
-        .iter()
-        .zip(send.iter())
-        .map(|(&r, &s)| r.max(s))
-        .max()
-        .unwrap_or(0);
+    let max_traffic = recv.iter().zip(send.iter()).map(|(&r, &s)| r.max(s)).max().unwrap_or(0);
     let rounds = max_traffic.div_ceil((n - 1) as u64);
     cliques.sort();
     cliques.dedup();
-    Dlp12Outcome {
-        cliques,
-        report: CostReport::new(rounds, total_messages),
-        tasks: tuples.len(),
-    }
+    Dlp12Outcome { cliques, report: CostReport::new(rounds, total_messages), tasks: tuples.len() }
 }
 
 fn enumerate_tuple(
@@ -134,11 +125,8 @@ fn enumerate_tuple(
         }
         let (lo, hi) = group_range(tuple[level]);
         // within equal groups enforce increasing order to avoid duplicates
-        let start = if level > 0 && tuple[level] == tuple[level - 1] {
-            chosen[level - 1] + 1
-        } else {
-            lo
-        };
+        let start =
+            if level > 0 && tuple[level] == tuple[level - 1] { chosen[level - 1] + 1 } else { lo };
         for v in start.max(lo)..hi {
             if chosen.iter().all(|&c| g.has_edge(c, v)) {
                 chosen.push(v);

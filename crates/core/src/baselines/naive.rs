@@ -1,17 +1,30 @@
 //! The naive baseline: full exhaustive search in `O(Δ)` rounds.
 
+use congest::engine::{EngineSelect, Sequential};
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
 
-use crate::lowdeg::low_degree_listing;
+use crate::lowdeg::low_degree_listing_on;
 
 /// Lists all `K_p` by having **every** vertex learn its induced 2-hop
 /// neighborhood (Lemma 35 with `α = Δ`). Always correct; costs `Θ(Δ)`
 /// rounds, which loses to the tree-based algorithm exactly when
 /// `Δ ≫ n^{1-2/p}` (experiment E9 locates the crossover).
 pub fn naive_exhaustive(g: &Graph, p: usize, bandwidth: usize) -> (Vec<Vec<VertexId>>, CostReport) {
+    naive_exhaustive_on(&Sequential, g, p, bandwidth)
+}
+
+/// [`naive_exhaustive`] on an explicitly selected engine (see
+/// [`congest::engine`]). Every engine produces identical cliques and
+/// identical costs.
+pub fn naive_exhaustive_on<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    p: usize,
+    bandwidth: usize,
+) -> (Vec<Vec<VertexId>>, CostReport) {
     let alpha = g.max_degree();
-    let (cliques, cost) = low_degree_listing(g, p, alpha, bandwidth);
+    let (cliques, cost) = low_degree_listing_on(sel, g, p, alpha, bandwidth);
     let mut distinct = cliques;
     distinct.sort();
     distinct.dedup();

@@ -15,7 +15,7 @@ use std::collections::BTreeSet;
 use congest::cluster::CommunicationCluster;
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
-use congest::routing::{route, Packet};
+use congest::routing::{route_with, Packet};
 use expander_decomp::{build_frontier, decompose};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -23,7 +23,7 @@ use rand::{Rng, SeedableRng};
 use crate::cluster_listing::{prepare_cluster_instance, ClusterInstance};
 use crate::config::ListingConfig;
 use crate::driver::ListingOutcome;
-use crate::lowdeg::low_degree_listing;
+use crate::lowdeg::low_degree_listing_for;
 use crate::report::{LevelStats, RunReport};
 
 /// Lists all `K_p` with the randomized-partition load balancing.
@@ -53,7 +53,8 @@ pub fn list_cliques_randomized(
         let mut level_cost = CostReport::zero();
 
         if current.len() <= cfg.base_edges {
-            let (cliques, cost) = low_degree_listing(&cg, p, cg.max_degree(), cfg.bandwidth);
+            let (cliques, cost) =
+                low_degree_listing_for(cfg.engine, &cg, p, cg.max_degree(), cfg.bandwidth);
             raw += cliques.len();
             for c in cliques {
                 found.insert(c);
@@ -76,7 +77,8 @@ pub fn list_cliques_randomized(
             .map(|f| 2 * cfg.delta(p, n, f.vertices.len()))
             .max()
             .unwrap_or(2 * cfg.delta(p, n, n));
-        let (lowdeg_cliques, low_cost) = low_degree_listing(&cg, p, alpha, cfg.bandwidth);
+        let (lowdeg_cliques, low_cost) =
+            low_degree_listing_for(cfg.engine, &cg, p, alpha, cfg.bandwidth);
         raw += lowdeg_cliques.len();
         for c in lowdeg_cliques {
             found.insert(c);
@@ -129,7 +131,8 @@ pub fn list_cliques_randomized(
         report.depth = depth + 1;
         if next.len() == current.len() {
             let ng = Graph::from_edges(n, &next);
-            let (cliques, cost) = low_degree_listing(&ng, p, ng.max_degree(), cfg.bandwidth);
+            let (cliques, cost) =
+                low_degree_listing_for(cfg.engine, &ng, p, ng.max_degree(), cfg.bandwidth);
             for c in cliques {
                 found.insert(c);
             }
@@ -143,7 +146,8 @@ pub fn list_cliques_randomized(
 
     if !current.is_empty() {
         let ng = Graph::from_edges(n, &current);
-        let (cliques, cost) = low_degree_listing(&ng, p, ng.max_degree(), cfg.bandwidth);
+        let (cliques, cost) =
+            low_degree_listing_for(cfg.engine, &ng, p, ng.max_degree(), cfg.bandwidth);
         for c in cliques {
             found.insert(c);
         }
@@ -198,14 +202,12 @@ fn random_partition_listing(
                 task_idx += 1;
                 // learning traffic: edges between every pair of involved
                 // parts (V1-V1, V1-V2, V2-V2)
-                count_learning_packets(
-                    inst, t1, t2, &members1, &members2, owner, &mut packets,
-                );
+                count_learning_packets(inst, t1, t2, &members1, &members2, owner, &mut packets);
                 enumerate_tuple(inst, t1, t2, &members1, &members2, &mut cliques);
             }
         }
     }
-    let learn = route(inst.cluster.graph(), packets, cfg.bandwidth);
+    let learn = route_with(inst.cluster.graph(), packets, cfg.bandwidth, cfg.engine.shards());
     let resolved = {
         let bad = &inst.bad_ranks;
         let mut out = Vec::new();
@@ -271,10 +273,8 @@ fn count_learning_packets(
         for &b in &parts1[i..] {
             for &r in &members1[a] {
                 for &r2 in split.neighbors_in_1(true, r) {
-                    if r < r2 || a != b {
-                        if members1[b].binary_search(&r2).is_ok() && (a != b || r < r2) {
-                            push(v_minus[r.min(r2) as usize]);
-                        }
+                    if (r < r2 || a != b) && members1[b].binary_search(&r2).is_ok() {
+                        push(v_minus[r.min(r2) as usize]);
                     }
                 }
             }

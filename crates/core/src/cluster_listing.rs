@@ -17,7 +17,7 @@ use std::collections::HashMap;
 use congest::cluster::CommunicationCluster;
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
-use congest::routing::{route, Packet};
+use congest::routing::{route_with, Packet};
 use partition_trees::balance::balance_by_degree;
 use partition_trees::build_k3::build_k3_tree;
 use partition_trees::build_kp::{build_split_tree, rearrange_input_cost};
@@ -100,8 +100,7 @@ pub fn prepare_cluster_instance(
     if p >= 4 {
         for &w in &v2_global {
             let deg_c = g.neighbors(w).iter().filter(|&&u| cluster_vertex_set.contains(&u)).count();
-            let deg_outside =
-                g.neighbors(w).iter().filter(|&&u| !in_v_minus(u)).count();
+            let deg_outside = g.neighbors(w).iter().filter(|&&u| !in_v_minus(u)).count();
             if deg_c >= 1 && (deg_c as f64) * threshold < deg_outside as f64 {
                 s_star.insert(w);
             }
@@ -125,11 +124,8 @@ pub fn prepare_cluster_instance(
             if bad_set.contains(&(r as u32)) {
                 continue;
             }
-            let nbrs: Vec<u32> = g
-                .neighbors(v)
-                .iter()
-                .filter_map(|w| v2_index.get(w).copied())
-                .collect();
+            let nbrs: Vec<u32> =
+                g.neighbors(v).iter().filter_map(|w| v2_index.get(w).copied()).collect();
             for (i, &w1) in nbrs.iter().enumerate() {
                 for &w2 in &nbrs[i + 1..] {
                     let key = if w1 < w2 { (w1, w2) } else { (w2, w1) };
@@ -193,9 +189,8 @@ pub fn list_in_cluster(inst: &ClusterInstance, p: usize, cfg: &ListingConfig) ->
         let holders: Vec<(VertexId, usize)> = {
             // each imported edge is witnessed by a non-bad V⁻ vertex; model
             // the initial distribution as round-robin over the non-bad ranks
-            let good: Vec<u32> = (0..k as u32)
-                .filter(|r| inst.bad_ranks.binary_search(r).is_err())
-                .collect();
+            let good: Vec<u32> =
+                (0..k as u32).filter(|r| inst.bad_ranks.binary_search(r).is_err()).collect();
             if good.is_empty() {
                 vec![]
             } else {
@@ -207,8 +202,7 @@ pub fn list_in_cluster(inst: &ClusterInstance, p: usize, cfg: &ListingConfig) ->
                     .collect()
             }
         };
-        out.report
-            .absorb(&rearrange_input_cost(&inst.cluster, &holders, bandwidth));
+        out.report.absorb(&rearrange_input_cost(&inst.cluster, &holders, bandwidth));
     }
 
     for p_prime in 2..=p {
@@ -223,8 +217,7 @@ pub fn list_in_cluster(inst: &ClusterInstance, p: usize, cfg: &ListingConfig) ->
 
     // Resolved: E(V⁻∖S, V⁻∖S) edges, reported as global pairs.
     for (r1, r2) in e1_pairs(&inst.split) {
-        if inst.bad_ranks.binary_search(&r1).is_err()
-            && inst.bad_ranks.binary_search(&r2).is_err()
+        if inst.bad_ranks.binary_search(&r1).is_err() && inst.bad_ranks.binary_search(&r2).is_err()
         {
             let (a, b) = (inst.v_minus_global[r1 as usize], inst.v_minus_global[r2 as usize]);
             out.resolved_edges.push(if a < b { (a, b) } else { (b, a) });
@@ -275,11 +268,7 @@ fn list_inside_k3(inst: &ClusterInstance, cfg: &ListingConfig) -> ClusterListing
                 let member = inst.cluster.v_minus()[r as usize];
                 let mut replies = 0usize;
                 for &(_, (s2, e2)) in anc.iter().skip(i + 1) {
-                    replies += rg
-                        .neighbors(r)
-                        .iter()
-                        .filter(|&&u| (s2..e2).contains(&u))
-                        .count();
+                    replies += rg.neighbors(r).iter().filter(|&&u| (s2..e2).contains(&u)).count();
                 }
                 if member != owner {
                     for w in 0..replies {
@@ -289,8 +278,7 @@ fn list_inside_k3(inst: &ClusterInstance, cfg: &ListingConfig) -> ClusterListing
             }
         }
         // Local enumeration: one vertex per ancestor level.
-        let [i0, i1, i2]: [(u32, u32); 3] =
-            [anc[0].1, anc[1].1, anc[2].1];
+        let [i0, i1, i2]: [(u32, u32); 3] = [anc[0].1, anc[1].1, anc[2].1];
         for a in i0.0..i0.1 {
             for &b in rg.neighbors(a) {
                 if !(i1.0..i1.1).contains(&b) {
@@ -313,7 +301,7 @@ fn list_inside_k3(inst: &ClusterInstance, cfg: &ListingConfig) -> ClusterListing
             }
         }
     }
-    let learn = route(inst.cluster.graph(), packets, cfg.bandwidth);
+    let learn = route_with(inst.cluster.graph(), packets, cfg.bandwidth, cfg.engine.shards());
     out.report.absorb(&learn.report.named("k3-learn"));
     out
 }
@@ -344,9 +332,8 @@ fn list_with_split_tree(
     if leaves.is_empty() {
         return out;
     }
-    let producers: Vec<VertexId> = (0..leaves.len())
-        .map(|j| inst.cluster.v_minus()[j % inst.split.k])
-        .collect();
+    let producers: Vec<VertexId> =
+        (0..leaves.len()).map(|j| inst.cluster.v_minus()[j % inst.split.k]).collect();
     let assignment =
         balance_by_degree(&inst.cluster, &producers, 2 * p, lambda.max(2), cfg.bandwidth);
     out.report.absorb(&assignment.report);
@@ -357,9 +344,8 @@ fn list_with_split_tree(
         packets.extend(learning_packets(inst, params, &anc, owner));
         enumerate_leaf(inst, params, &anc, &mut out.cliques);
     }
-    let learn = route(inst.cluster.graph(), packets, cfg.bandwidth);
-    out.report
-        .absorb(&learn.report.named(&format!("split-learn-p{p_prime}")));
+    let learn = route_with(inst.cluster.graph(), packets, cfg.bandwidth, cfg.engine.shards());
+    out.report.absorb(&learn.report.named(&format!("split-learn-p{p_prime}")));
     out
 }
 
@@ -476,11 +462,8 @@ fn enumerate_leaf(
         // candidate set: intersect the interval with the neighbors of the
         // first chosen vertex when available (cheap pruning)
         if let Some(&(fv1, f)) = chosen.first() {
-            let nbrs = if is_v1 {
-                split.neighbors_in_1(fv1, f)
-            } else {
-                split.neighbors_in_2(fv1, f)
-            };
+            let nbrs =
+                if is_v1 { split.neighbors_in_1(fv1, f) } else { split.neighbors_in_2(fv1, f) };
             let lo = nbrs.partition_point(|&x| x < s);
             for &cand in &nbrs[lo..] {
                 if cand >= e {
@@ -554,11 +537,7 @@ mod tests {
         };
         let inst = prepare_cluster_instance(&g, cluster, 3, &ListingConfig::default());
         let out = list_in_cluster(&inst, 3, &ListingConfig::default());
-        assert!(
-            out.cliques.contains(&vec![0, 1, 5]),
-            "cross triangle missing: {:?}",
-            out.cliques
-        );
+        assert!(out.cliques.contains(&vec![0, 1, 5]), "cross triangle missing: {:?}", out.cliques);
     }
 
     #[test]
@@ -584,11 +563,7 @@ mod tests {
         let inst = prepare_cluster_instance(&g, cluster, 4, &ListingConfig::default());
         assert!(!inst.overloaded);
         let out = list_in_cluster(&inst, 4, &ListingConfig::default());
-        assert!(
-            out.cliques.contains(&vec![0, 1, 6, 7]),
-            "cross K4 missing: {:?}",
-            out.cliques
-        );
+        assert!(out.cliques.contains(&vec![0, 1, 6, 7]), "cross K4 missing: {:?}", out.cliques);
         // in-core K4s must be there too
         assert!(out.cliques.contains(&vec![0, 1, 2, 3]));
     }

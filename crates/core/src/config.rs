@@ -1,5 +1,71 @@
 //! Configuration of the listing drivers.
 
+/// Which round-execution engine the listing drivers simulate on.
+///
+/// Both engines produce **byte-identical** results (cliques, rounds,
+/// messages); the choice only affects wall-clock time. The default is read
+/// from the `CLIQUE_ENGINE` environment variable:
+///
+/// - unset, `seq`, or `sequential` → [`EngineChoice::Sequential`];
+/// - `sharded` → [`EngineChoice::Sharded`] with one shard per CPU;
+/// - `sharded:<N>` → [`EngineChoice::Sharded`] with `N` worker shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// The single-threaded reference engine (`congest::Network`).
+    Sequential,
+    /// The multi-threaded engine (`runtime::ShardedNetwork`) with the
+    /// given shard count.
+    Sharded(usize),
+}
+
+impl EngineChoice {
+    /// Parses the `CLIQUE_ENGINE` environment variable (see the type-level
+    /// docs). Unknown values fall back to [`EngineChoice::Sequential`]
+    /// with a warning on stderr — a silent fallback would let a typo'd
+    /// `CLIQUE_ENGINE=shard:4` record sequential timings as sharded ones.
+    pub fn from_env() -> Self {
+        match std::env::var("CLIQUE_ENGINE") {
+            Ok(v) => Self::parse(&v).unwrap_or_else(|| {
+                eprintln!(
+                    "warning: unrecognized CLIQUE_ENGINE value {v:?} \
+                     (expected sequential | sharded | sharded:<N>); \
+                     falling back to the sequential engine"
+                );
+                EngineChoice::Sequential
+            }),
+            Err(_) => EngineChoice::Sequential,
+        }
+    }
+
+    /// Worker-shard count of this choice (1 for the sequential engine).
+    pub fn shards(&self) -> usize {
+        match *self {
+            EngineChoice::Sequential => 1,
+            EngineChoice::Sharded(n) => n,
+        }
+    }
+
+    /// Parses an engine spec: `seq`, `sequential`, `sharded`, or
+    /// `sharded:<N>`.
+    pub fn parse(spec: &str) -> Option<Self> {
+        let spec = spec.trim().to_ascii_lowercase();
+        match spec.as_str() {
+            "seq" | "sequential" => Some(EngineChoice::Sequential),
+            "sharded" => Some(EngineChoice::Sharded(runtime::available_shards())),
+            _ => {
+                let n: usize = spec.strip_prefix("sharded:")?.parse().ok()?;
+                (n >= 1).then_some(EngineChoice::Sharded(n))
+            }
+        }
+    }
+}
+
+impl Default for EngineChoice {
+    fn default() -> Self {
+        EngineChoice::from_env()
+    }
+}
+
 /// Tuning knobs of [`crate::list_cliques_congest`].
 ///
 /// The defaults mirror the constants fixed in the paper's proofs
@@ -27,6 +93,10 @@ pub struct ListingConfig {
     /// Override for the Theorem 11 chain length `λ` (`None` = the paper's
     /// choice: `k^{1/3}` for `K_3` layers, `1` for split layers).
     pub lambda_override: Option<usize>,
+    /// Which round engine simulates the message-passing protocols. Purely
+    /// a wall-clock knob: results are identical for every choice. Defaults
+    /// to the `CLIQUE_ENGINE` environment variable (see [`EngineChoice`]).
+    pub engine: EngineChoice,
 }
 
 impl Default for ListingConfig {
@@ -39,6 +109,7 @@ impl Default for ListingConfig {
             max_depth: 40,
             base_edges: 32,
             lambda_override: None,
+            engine: EngineChoice::default(),
         }
     }
 }
@@ -85,5 +156,15 @@ mod tests {
     fn alpha_is_twice_delta() {
         let cfg = ListingConfig::default();
         assert_eq!(cfg.alpha(3, 1000, 1000), 20);
+    }
+
+    #[test]
+    fn engine_specs_parse() {
+        assert_eq!(EngineChoice::parse("seq"), Some(EngineChoice::Sequential));
+        assert_eq!(EngineChoice::parse("Sequential"), Some(EngineChoice::Sequential));
+        assert_eq!(EngineChoice::parse("sharded:4"), Some(EngineChoice::Sharded(4)));
+        assert!(matches!(EngineChoice::parse("sharded"), Some(EngineChoice::Sharded(n)) if n >= 1));
+        assert_eq!(EngineChoice::parse("sharded:0"), None);
+        assert_eq!(EngineChoice::parse("warp-drive"), None);
     }
 }

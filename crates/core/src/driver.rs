@@ -27,13 +27,15 @@
 use std::collections::BTreeSet;
 
 use congest::cluster::CommunicationCluster;
+use congest::engine::{EngineSelect, Sequential};
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
 use expander_decomp::{build_frontier, decompose};
+use runtime::Sharded;
 
 use crate::cluster_listing::{list_in_cluster, prepare_cluster_instance};
-use crate::config::ListingConfig;
-use crate::lowdeg::low_degree_listing;
+use crate::config::{EngineChoice, ListingConfig};
+use crate::lowdeg::low_degree_listing_on;
 use crate::report::{LevelStats, RunReport};
 
 /// Result of a distributed listing run.
@@ -64,10 +66,44 @@ pub fn list_triangles_congest(g: &Graph, cfg: &ListingConfig) -> ListingOutcome 
 /// Theorem 1 / Theorem 36: lists all `K_p` of `g` deterministically in
 /// `n^{1-2/p+o(1)}` measured CONGEST rounds.
 ///
+/// The protocol simulation runs on the engine selected by `cfg.engine`
+/// (sequential reference engine or the sharded multi-threaded engine of
+/// the `runtime` crate); the outcome — cliques, rounds, messages — is
+/// identical for every engine.
+///
+/// ```
+/// use clique_listing::{list_cliques_congest, EngineChoice, ListingConfig};
+/// let g = graphs::erdos_renyi(48, 0.15, 7);
+/// let seq = ListingConfig { engine: EngineChoice::Sequential, ..ListingConfig::default() };
+/// let par = ListingConfig { engine: EngineChoice::Sharded(4), ..ListingConfig::default() };
+/// let a = list_cliques_congest(&g, 3, &seq);
+/// let b = list_cliques_congest(&g, 3, &par);
+/// assert_eq!(a.cliques, b.cliques);
+/// assert_eq!(a.report.cost, b.report.cost);
+/// ```
+///
 /// # Panics
 ///
 /// Panics if `p < 3`.
 pub fn list_cliques_congest(g: &Graph, p: usize, cfg: &ListingConfig) -> ListingOutcome {
+    match cfg.engine {
+        EngineChoice::Sequential => list_cliques_congest_with(&Sequential, g, p, cfg),
+        EngineChoice::Sharded(shards) => {
+            list_cliques_congest_with(&Sharded::new(shards.max(1)), g, p, cfg)
+        }
+    }
+}
+
+/// [`list_cliques_congest`] on an explicitly selected engine, ignoring
+/// `cfg.engine`. Exposed so callers holding a concrete
+/// [`EngineSelect`] (e.g. benchmarks sweeping shard counts) avoid the
+/// dispatch.
+pub fn list_cliques_congest_with<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    p: usize,
+    cfg: &ListingConfig,
+) -> ListingOutcome {
     assert!(p >= 3, "clique size must be at least 3");
     let n = g.n();
     let mut current: Vec<(VertexId, VertexId)> = g.edges().collect();
@@ -86,7 +122,7 @@ pub fn list_cliques_congest(g: &Graph, p: usize, cfg: &ListingConfig) -> Listing
         // Base case: finish tiny graphs exhaustively.
         if current.len() <= cfg.base_edges {
             let alpha = cg.max_degree();
-            let (cliques, cost) = low_degree_listing(&cg, p, alpha, cfg.bandwidth);
+            let (cliques, cost) = low_degree_listing_on(sel, &cg, p, alpha, cfg.bandwidth);
             raw += cliques.len();
             for c in cliques {
                 if found.insert(c) {
@@ -117,7 +153,7 @@ pub fn list_cliques_congest(g: &Graph, p: usize, cfg: &ListingConfig) -> Listing
             .map(|f| 2 * cfg.delta(p, n, f.vertices.len()))
             .max()
             .unwrap_or(2 * cfg.delta(p, n, n));
-        let (lowdeg_cliques, low_cost) = low_degree_listing(&cg, p, alpha, cfg.bandwidth);
+        let (lowdeg_cliques, low_cost) = low_degree_listing_on(sel, &cg, p, alpha, cfg.bandwidth);
         raw += lowdeg_cliques.len();
         for c in lowdeg_cliques {
             if found.insert(c) {
@@ -176,7 +212,8 @@ pub fn list_cliques_congest(g: &Graph, p: usize, cfg: &ListingConfig) -> Listing
         if next.len() == current.len() {
             // No progress: close out with the guarded exhaustive fallback.
             let ng = Graph::from_edges(n, &next);
-            let (cliques, cost) = low_degree_listing(&ng, p, ng.max_degree(), cfg.bandwidth);
+            let (cliques, cost) =
+                low_degree_listing_on(sel, &ng, p, ng.max_degree(), cfg.bandwidth);
             raw += cliques.len();
             for c in cliques {
                 found.insert(c);
@@ -192,7 +229,7 @@ pub fn list_cliques_congest(g: &Graph, p: usize, cfg: &ListingConfig) -> Listing
     if !current.is_empty() {
         // depth budget exhausted: guarded fallback
         let ng = Graph::from_edges(n, &current);
-        let (cliques, cost) = low_degree_listing(&ng, p, ng.max_degree(), cfg.bandwidth);
+        let (cliques, cost) = low_degree_listing_on(sel, &ng, p, ng.max_degree(), cfg.bandwidth);
         raw += cliques.len();
         for c in cliques {
             found.insert(c);

@@ -28,6 +28,22 @@
 //! println!("{} triangles in {} rounds", outcome.cliques.len(), outcome.report.rounds());
 //! ```
 //!
+//! # Engine selection
+//!
+//! The protocol simulation runs on a pluggable round engine
+//! ([`congest::engine`]): the sequential reference engine or the sharded
+//! multi-threaded engine of the `runtime` crate. Both produce identical
+//! results; select via [`ListingConfig::engine`] or the `CLIQUE_ENGINE`
+//! environment variable (`sequential`, `sharded`, `sharded:<N>`).
+//!
+//! ```
+//! use clique_listing::{list_cliques_congest, EngineChoice, ListingConfig};
+//! let g = graphs::erdos_renyi(48, 0.2, 5);
+//! let cfg = ListingConfig { engine: EngineChoice::Sharded(2), ..ListingConfig::default() };
+//! let outcome = list_cliques_congest(&g, 3, &cfg);
+//! assert_eq!(outcome.cliques, graphs::list_cliques(&g, 3));
+//! ```
+//!
 //! # Baselines
 //!
 //! [`baselines`] contains the comparators used by the experiment suite:
@@ -42,6 +58,8 @@ pub mod driver;
 pub mod lowdeg;
 pub mod report;
 
-pub use config::ListingConfig;
-pub use driver::{list_cliques_congest, list_triangles_congest, ListingOutcome};
+pub use config::{EngineChoice, ListingConfig};
+pub use driver::{
+    list_cliques_congest, list_cliques_congest_with, list_triangles_congest, ListingOutcome,
+};
 pub use report::{LevelStats, RunReport};

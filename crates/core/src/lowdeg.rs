@@ -6,9 +6,12 @@
 //! `α = 2δ` covers all of `V° ∖ V⁻`, which is exactly what Lemma 41
 //! requires.
 
+use congest::engine::{EngineSelect, Sequential};
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
-use congest::protocols::collect_two_hop;
+use congest::protocols::collect_two_hop_on;
+
+use crate::config::EngineChoice;
 
 /// Lists all `K_p` containing at least one vertex of degree ≤ `alpha`,
 /// using the real Lemma 35 message-passing protocol for the neighborhood
@@ -20,12 +23,43 @@ pub fn low_degree_listing(
     alpha: usize,
     bandwidth: usize,
 ) -> (Vec<Vec<VertexId>>, CostReport) {
-    let (views, report) = collect_two_hop(g, alpha, bandwidth);
+    low_degree_listing_on(&Sequential, g, p, alpha, bandwidth)
+}
+
+/// [`low_degree_listing`] on an explicitly selected engine (see
+/// [`congest::engine`]). Every engine produces identical cliques and
+/// identical costs.
+pub fn low_degree_listing_on<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    p: usize,
+    alpha: usize,
+    bandwidth: usize,
+) -> (Vec<Vec<VertexId>>, CostReport) {
+    let (views, report) = collect_two_hop_on(sel, g, alpha, bandwidth);
     let mut cliques = Vec::new();
     for view in views.into_iter().flatten() {
         cliques.extend(view.cliques_through_center(g, p));
     }
     (cliques, report)
+}
+
+/// [`low_degree_listing`] on the engine named by an [`EngineChoice`]
+/// (runtime dispatch, for callers holding a config rather than a concrete
+/// selector).
+pub fn low_degree_listing_for(
+    engine: EngineChoice,
+    g: &Graph,
+    p: usize,
+    alpha: usize,
+    bandwidth: usize,
+) -> (Vec<Vec<VertexId>>, CostReport) {
+    match engine {
+        EngineChoice::Sequential => low_degree_listing_on(&Sequential, g, p, alpha, bandwidth),
+        EngineChoice::Sharded(n) => {
+            low_degree_listing_on(&runtime::Sharded::new(n.max(1)), g, p, alpha, bandwidth)
+        }
+    }
 }
 
 #[cfg(test)]

@@ -1,10 +1,9 @@
 //! Run reports of the distributed listing drivers.
 
 use congest::metrics::CostReport;
-use serde::{Deserialize, Serialize};
 
 /// Per-recursion-level statistics.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LevelStats {
     /// Recursion depth (0-based).
     pub level: usize,
@@ -25,7 +24,7 @@ pub struct LevelStats {
 }
 
 /// Aggregate report of one listing run.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct RunReport {
     /// Total measured cost.
     pub cost: CostReport,
@@ -51,6 +50,14 @@ impl RunReport {
         self.cost.messages
     }
 
+    /// Whether any engine run contributing to this report hit its round
+    /// budget before quiescing (see `CostReport::truncated`). A truncated
+    /// run's listing may be incomplete and must not be reported as a
+    /// successful execution.
+    pub fn truncated(&self) -> bool {
+        self.cost.truncated
+    }
+
     /// Duplicate listings (raw − distinct is computed by the driver; this
     /// is `raw_listings` minus the distinct count passed in).
     pub fn duplicates(&self, distinct: usize) -> usize {
@@ -62,11 +69,12 @@ impl std::fmt::Display for RunReport {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         writeln!(
             f,
-            "{} rounds, {} messages, depth {}{}",
+            "{} rounds, {} messages, depth {}{}{}",
             self.cost.rounds,
             self.cost.messages,
             self.depth,
-            if self.fallback_used { " (fallback)" } else { "" }
+            if self.fallback_used { " (fallback)" } else { "" },
+            if self.cost.truncated { " (TRUNCATED)" } else { "" }
         )?;
         for l in &self.levels {
             writeln!(
@@ -96,5 +104,15 @@ mod tests {
         r.levels.push(LevelStats { level: 0, edges: 10, ..Default::default() });
         let s = format!("{r}");
         assert!(s.contains("level 0"));
+    }
+
+    #[test]
+    fn truncation_propagates_from_absorbed_costs() {
+        let mut r = RunReport::default();
+        assert!(!r.truncated());
+        let cut = CostReport { truncated: true, ..CostReport::new(3, 3) };
+        r.cost.absorb(&cut);
+        assert!(r.truncated());
+        assert!(format!("{r}").contains("TRUNCATED"));
     }
 }

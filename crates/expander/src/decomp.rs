@@ -158,11 +158,7 @@ pub fn decompose_with(g: &Graph, epsilon: f64, iterations: Option<usize>) -> Dec
                     // certified cluster
                     let mut verts = piece.clone();
                     verts.sort_unstable();
-                    clusters.push(Cluster {
-                        vertices: verts,
-                        phi,
-                        internal_edges: sub.m(),
-                    });
+                    clusters.push(Cluster { vertices: verts, phi, internal_edges: sub.m() });
                 }
             }
         }

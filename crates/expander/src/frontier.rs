@@ -54,8 +54,7 @@ pub fn build_frontier(g: &Graph, decomp: &Decomposition) -> Vec<ClusterFrontier>
             let in_cluster = |v: VertexId| cluster_of[v as usize] == i;
             let mut v_circle: Vec<VertexId> = Vec::new();
             for &v in &c.vertices {
-                let deg_in =
-                    g.neighbors(v).iter().filter(|&&u| in_cluster(u)).count();
+                let deg_in = g.neighbors(v).iter().filter(|&&u| in_cluster(u)).count();
                 let deg_out = g.degree(v) - deg_in;
                 if deg_in >= deg_out {
                     v_circle.push(v);

@@ -36,18 +36,15 @@ pub fn power_iteration_embedding(g: &Graph, iterations: usize) -> Vec<f64> {
         return Vec::new();
     }
     let total_vol: f64 = (0..n).map(|v| g.degree(v as VertexId) as f64).sum();
-    let mut x: Vec<f64> = (0..n)
-        .map(|v| (splitmix64(v as u64) as f64 / u64::MAX as f64) - 0.5)
-        .collect();
+    let mut x: Vec<f64> =
+        (0..n).map(|v| (splitmix64(v as u64) as f64 / u64::MAX as f64) - 0.5).collect();
     let deflate = |x: &mut Vec<f64>| {
         if total_vol == 0.0 {
             return;
         }
         // remove the degree-weighted mean (the stationary direction)
-        let mean: f64 = (0..n)
-            .map(|v| g.degree(v as VertexId) as f64 * x[v])
-            .sum::<f64>()
-            / total_vol;
+        let mean: f64 =
+            (0..n).map(|v| g.degree(v as VertexId) as f64 * x[v]).sum::<f64>() / total_vol;
         for v in x.iter_mut() {
             *v -= mean;
         }
@@ -100,9 +97,7 @@ pub fn sweep_cut(g: &Graph, embedding: &[f64]) -> Option<SweepCut> {
     if n < 2 || g.m() == 0 {
         return None;
     }
-    let mut order: Vec<VertexId> = (0..n as VertexId)
-        .filter(|&v| g.degree(v) > 0)
-        .collect();
+    let mut order: Vec<VertexId> = (0..n as VertexId).filter(|&v| g.degree(v) > 0).collect();
     if order.len() < 2 {
         return None;
     }

@@ -113,8 +113,7 @@ pub fn list_cliques(g: &Graph, p: usize) -> Vec<Vec<VertexId>> {
     }
     for v in 0..g.n() as VertexId {
         stack.push(v);
-        let cands: Vec<VertexId> =
-            g.neighbors(v).iter().copied().filter(|&x| x > v).collect();
+        let cands: Vec<VertexId> = g.neighbors(v).iter().copied().filter(|&x| x > v).collect();
         dfs(g, &mut stack, &cands, p, &mut out);
         stack.pop();
     }
@@ -164,8 +163,7 @@ pub fn exact_conductance(g: &Graph) -> f64 {
     let mut best = f64::INFINITY;
     for mask in 1u64..(1u64 << (n - 1)) {
         // fix vertex n-1 outside S to halve the enumeration
-        let s: Vec<VertexId> =
-            (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
+        let s: Vec<VertexId> = (0..n as u32).filter(|&v| mask >> v & 1 == 1).collect();
         best = best.min(conductance(g, &s));
     }
     best
@@ -219,6 +217,9 @@ pub fn degeneracy_order(g: &Graph) -> (Vec<VertexId>, usize) {
         }
         // find the lowest nonempty bucket with a live vertex
         let mut v = None;
+        // `d` is both an index and the degree value compared against, so a
+        // slice iterator would not simplify this.
+        #[allow(clippy::needless_range_loop)]
         'outer: for d in floor..=maxd {
             while let Some(&cand) = buckets[d].last() {
                 if removed[cand as usize] || deg[cand as usize] != d {
@@ -288,8 +289,7 @@ mod tests {
     #[test]
     fn triangles_match_generic_clique_lister() {
         let g = crate::gen::erdos_renyi(60, 0.15, 42);
-        let t: Vec<Vec<VertexId>> =
-            list_triangles(&g).into_iter().map(|t| t.to_vec()).collect();
+        let t: Vec<Vec<VertexId>> = list_triangles(&g).into_iter().map(|t| t.to_vec()).collect();
         assert_eq!(t, list_cliques(&g, 3));
     }
 

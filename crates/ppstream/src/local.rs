@@ -78,9 +78,9 @@ pub fn run_local<A: PartialPass + ?Sized>(
     let mut burst;
 
     let flush = |out: &mut Emitter,
-                     output: &mut Vec<Token>,
-                     burst: &mut usize,
-                     stats: &mut LocalRunStats|
+                 output: &mut Vec<Token>,
+                 burst: &mut usize,
+                 stats: &mut LocalRunStats|
      -> Result<(), BudgetViolation> {
         let w = out.take();
         *burst += w.len();

@@ -98,9 +98,8 @@ pub fn simulate(
 
     // Phase 0: deterministic chain assignment. Chain j occupies V⁻ ranks
     // (j·chain_positions + i) mod k — disjoint whenever ζ·λ ≤ k.
-    let chain_member = |j: usize, pos: usize| -> VertexId {
-        v_minus[(j * chain_positions + pos) % k]
-    };
+    let chain_member =
+        |j: usize, pos: usize| -> VertexId { v_minus[(j * chain_positions + pos) % k] };
 
     // Validate inputs and flatten each stream.
     let mut streams: Vec<Vec<(usize, Chunk)>> = Vec::with_capacity(zeta);
@@ -406,7 +405,10 @@ mod tests {
         Stream::new(
             groups
                 .iter()
-                .map(|g| Chunk { main: vec![g.iter().sum()], aux: g.iter().map(|&a| vec![a]).collect() })
+                .map(|g| Chunk {
+                    main: vec![g.iter().sum()],
+                    aux: g.iter().map(|&a| vec![a]).collect(),
+                })
                 .collect(),
         )
     }
@@ -418,8 +420,7 @@ mod tests {
     #[test]
     fn simulation_matches_local_run() {
         let stream = chunked_stream(&[&[3, 3], &[4, 5], &[1, 1], &[9], &[2, 2, 2]]);
-        let (local_out, _) =
-            run_local(&mut Partitioner::new(10), &stream, &budgets()).unwrap();
+        let (local_out, _) = run_local(&mut Partitioner::new(10), &stream, &budgets()).unwrap();
 
         for lambda in [1, 2, 5, 10] {
             let cluster = clique_cluster(10);
@@ -432,8 +433,7 @@ mod tests {
                 1,
             )
             .unwrap();
-            let sim_out: Vec<Token> =
-                outcome.outputs[0].iter().map(|&(_, t)| t).collect();
+            let sim_out: Vec<Token> = outcome.outputs[0].iter().map(|&(_, t)| t).collect();
             assert_eq!(sim_out, local_out, "lambda = {lambda}");
         }
     }

@@ -54,10 +54,7 @@ impl Stream {
 
     /// Total number of words across all records.
     pub fn total_words(&self) -> usize {
-        self.chunks
-            .iter()
-            .map(|c| c.main.len() + c.aux.iter().map(Vec::len).sum::<usize>())
-            .sum()
+        self.chunks.iter().map(|c| c.main.len() + c.aux.iter().map(Vec::len).sum::<usize>()).sum()
     }
 }
 

@@ -6,9 +6,7 @@ use congest::cluster::CommunicationCluster;
 use congest::graph::VertexId;
 use congest::metrics::CostReport;
 use congest::routing::{route_triples, Packet};
-use ppstream::{
-    simulate, Budgets, Emitter, InstanceInput, MainAction, PartialPass, Token,
-};
+use ppstream::{simulate, Budgets, Emitter, InstanceInput, MainAction, PartialPass, Token};
 
 /// Lemma 19: makes `O(k^{2/3})` messages (each held by one vertex, at most
 /// `O(k^{1/3})` per holder) known to **all** of `V⁻`, in `k^{1/3}·n^{o(1)}`
@@ -63,9 +61,7 @@ pub fn amplifier_broadcast(
         }
     }
     let r2 = route_triples(cluster.graph(), phase2, bandwidth);
-    r1.report
-        .named("amplifier-phase1")
-        .then(&r2.report.named("amplifier-phase2"))
+    r1.report.named("amplifier-phase1").then(&r2.report.named("amplifier-phase2"))
 }
 
 /// Lemma 27: makes `O(n)` messages, each held by one `V⁻` vertex, known to
@@ -101,9 +97,8 @@ pub fn gather_and_double_broadcast(
             }
         }
     }
-    let mut report = route_triples(cluster.graph(), gather, bandwidth)
-        .report
-        .named("broadcast-gather");
+    let mut report =
+        route_triples(cluster.graph(), gather, bandwidth).report.named("broadcast-gather");
     // scatter: message i to the member of rank i mod k
     let mut scatter = Vec::new();
     for w in 0..total_words {
@@ -244,11 +239,7 @@ pub fn balance_by_degree(
         .collect();
     let outcome = simulate(
         cluster,
-        vec![InstanceInput {
-            algo: &mut allocator,
-            budgets: DegreeAllocator::budgets(k),
-            inputs,
-        }],
+        vec![InstanceInput { algo: &mut allocator, budgets: DegreeAllocator::budgets(k), inputs }],
         lambda,
         bandwidth,
     )
@@ -292,14 +283,10 @@ pub fn balance_by_degree(
             }
         }
     }
-    let pull_cost = congest::routing::route(cluster.graph(), traffic, bandwidth)
-        .report
-        .named("pull");
+    let pull_cost =
+        congest::routing::route(cluster.graph(), traffic, bandwidth).report.named("pull");
 
-    let report = homing_cost
-        .then(&outcome.report)
-        .then(&deliver_cost)
-        .then(&pull_cost);
+    let report = homing_cost.then(&outcome.report).then(&deliver_cost).then(&pull_cost);
     BalancedAssignment { owner_of, report }
 }
 

@@ -69,12 +69,10 @@ fn build_layer(
     for path in paths {
         let records: Vec<Vec<u64>> =
             (0..k).map(|r| vertex_record(rank_graph, tree, *path, r)).collect();
-        let totals =
-            (records.iter().map(|r| r[0]).sum(), records.iter().map(|r| r[1]).sum());
+        let totals = (records.iter().map(|r| r[0]).sum(), records.iter().map(|r| r[1]).sum());
         builders.push(LayerBuilder::new(params, level, totals));
-        all_inputs.push(
-            records.into_iter().map(|main| vec![Chunk { main, aux: vec![] }]).collect(),
-        );
+        all_inputs
+            .push(records.into_iter().map(|main| vec![Chunk { main, aux: vec![] }]).collect());
     }
     let mut instances = Vec::with_capacity(paths.len());
     for (builder, inputs) in builders.iter_mut().zip(all_inputs) {
@@ -115,40 +113,21 @@ pub fn build_k3_tree(cluster: &CommunicationCluster, bandwidth: usize) -> K3Tree
     let mut report = CostReport::zero();
 
     // Level 0: the root partition.
-    let (cost, produced) = build_layer(
-        cluster,
-        &rg,
-        &mut tree,
-        &params,
-        &[PathCode::root()],
-        0,
-        lambda,
-        bandwidth,
-    );
+    let (cost, produced) =
+        build_layer(cluster, &rg, &mut tree, &params, &[PathCode::root()], 0, lambda, bandwidth);
     report.absorb(&cost.named("k3-level0"));
-    let root_tokens: Vec<(VertexId, usize)> =
-        produced[0].1.iter().map(|&(v, _)| (v, 1)).collect();
+    let root_tokens: Vec<(VertexId, usize)> = produced[0].1.iter().map(|&(v, _)| (v, 1)).collect();
     report.absorb(&amplifier_broadcast(cluster, &root_tokens, bandwidth));
 
     // Level 1.
     let level1_paths: Vec<PathCode> = (0..tree.node(PathCode::root()).unwrap().part_count())
         .map(|j| PathCode::root().child(j))
         .collect();
-    let (cost, produced) = build_layer(
-        cluster,
-        &rg,
-        &mut tree,
-        &params,
-        &level1_paths,
-        1,
-        lambda,
-        bandwidth,
-    );
+    let (cost, produced) =
+        build_layer(cluster, &rg, &mut tree, &params, &level1_paths, 1, lambda, bandwidth);
     report.absorb(&cost.named("k3-level1"));
-    let mid_tokens: Vec<(VertexId, usize)> = produced
-        .iter()
-        .flat_map(|(_, toks)| toks.iter().map(|&(v, _)| (v, 1)))
-        .collect();
+    let mid_tokens: Vec<(VertexId, usize)> =
+        produced.iter().flat_map(|(_, toks)| toks.iter().map(|&(v, _)| (v, 1))).collect();
     report.absorb(&amplifier_broadcast(cluster, &mid_tokens, bandwidth));
 
     // Level 2 (leaves).
@@ -158,16 +137,8 @@ pub fn build_k3_tree(cluster: &CommunicationCluster, bandwidth: usize) -> K3Tree
             leaf_paths.push(p1.child(j));
         }
     }
-    let (cost, produced) = build_layer(
-        cluster,
-        &rg,
-        &mut tree,
-        &params,
-        &leaf_paths,
-        2,
-        lambda,
-        bandwidth,
-    );
+    let (cost, produced) =
+        build_layer(cluster, &rg, &mut tree, &params, &leaf_paths, 2, lambda, bandwidth);
     report.absorb(&cost.named("k3-level2"));
 
     // Lemma 20: redistribute leaf parts to V* proportionally to degree.

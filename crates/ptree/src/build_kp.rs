@@ -62,9 +62,7 @@ pub fn rearrange_input_cost(
             }
         }
     }
-    route_triples(cluster.graph(), triples, bandwidth)
-        .report
-        .named("theorem31-rearrange")
+    route_triples(cluster.graph(), triples, bandwidth).report.named("theorem31-rearrange")
 }
 
 /// Theorems 26/28: builds a `(p', p)`-split `K_p`-partition tree over the
@@ -134,8 +132,8 @@ pub fn build_split_tree(
                 inputs,
             });
         }
-        let outcome = simulate(cluster, instances, lambda, bandwidth)
-            .expect("Lemma 29 respects its budgets");
+        let outcome =
+            simulate(cluster, instances, lambda, bandwidth).expect("Lemma 29 respects its budgets");
         report.absorb(&outcome.report.clone().named(&format!("split-level{level}")));
         // Install partitions and broadcast them (Lemma 27).
         let mut broadcast_items: Vec<(VertexId, usize)> = Vec::new();

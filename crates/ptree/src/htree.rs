@@ -242,11 +242,8 @@ pub fn vertex_record(
     for (i, &l) in path.elements().iter().enumerate() {
         let node = tree.node(path.prefix(i)).expect("ancestor node missing");
         let (s, e) = node.interval(l);
-        up += rank_graph
-            .neighbors(r as VertexId)
-            .iter()
-            .filter(|&&u| (s..e).contains(&u))
-            .count() as u64;
+        up += rank_graph.neighbors(r as VertexId).iter().filter(|&&u| (s..e).contains(&u)).count()
+            as u64;
     }
     vec![deg, up]
 }
@@ -354,16 +351,10 @@ mod tests {
     ) -> crate::tree::Partition {
         let records: Vec<Vec<u64>> =
             (0..params.k).map(|r| vertex_record(g, tree, path, r)).collect();
-        let totals = (
-            records.iter().map(|r| r[0]).sum(),
-            records.iter().map(|r| r[1]).sum(),
-        );
+        let totals = (records.iter().map(|r| r[0]).sum(), records.iter().map(|r| r[1]).sum());
         let mut builder = LayerBuilder::new(params, level, totals);
         let stream = Stream::new(
-            records
-                .into_iter()
-                .map(|main| ppstream::Chunk { main, aux: vec![] })
-                .collect(),
+            records.into_iter().map(|main| ppstream::Chunk { main, aux: vec![] }).collect(),
         );
         let (tokens, _) = run_local(&mut builder, &stream, &LayerBuilder::budgets(params)).unwrap();
         crate::tree::Partition::from_interval_tokens(tokens, params.k)
@@ -398,10 +389,7 @@ mod tests {
 
     #[test]
     fn built_tree_satisfies_constraints_on_sparse_graph() {
-        let g = Graph::from_edges(
-            30,
-            &(0..29u32).map(|i| (i, i + 1)).collect::<Vec<_>>(),
-        );
+        let g = Graph::from_edges(30, &(0..29u32).map(|i| (i, i + 1)).collect::<Vec<_>>());
         let (tree, params) = build_full_tree(&g, 3);
         let violations = check_htree(&g, &tree, &params);
         assert!(violations.is_empty(), "{violations:?}");
@@ -442,7 +430,9 @@ mod tests {
                 let mut state = seed.wrapping_mul(0x9e3779b97f4a7c15).wrapping_add(1);
                 for u in 0..64u32 {
                     for v in u + 1..64 {
-                        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                        state = state
+                            .wrapping_mul(6364136223846793005)
+                            .wrapping_add(1442695040888963407);
                         if state >> 60 < 3 {
                             e.push((u, v));
                         }
@@ -480,7 +470,9 @@ mod tests {
         tree.set_node(PathCode::root(), crate::tree::Partition::trivial(27));
         let tight = HTreeParams { x: 27, ..params };
         let violations = check_htree(&g, &tree, &tight);
-        assert!(violations.iter().any(|v| matches!(v, HTreeViolation::Size { .. })
-            || matches!(v, HTreeViolation::Deg { .. })));
+        assert!(violations
+            .iter()
+            .any(|v| matches!(v, HTreeViolation::Size { .. })
+                || matches!(v, HTreeViolation::Deg { .. })));
     }
 }

@@ -29,5 +29,5 @@ pub mod tree;
 pub use build_k3::{build_k3_tree, K3TreeOutcome};
 pub use build_kp::{build_split_tree, SplitTreeOutcome};
 pub use htree::{check_htree, HTreeParams, LayerBuilder};
-pub use split::{check_split_tree, SplitGraph, SplitParams, SplitLayerBuilder};
+pub use split::{check_split_tree, SplitGraph, SplitLayerBuilder, SplitParams};
 pub use tree::{Partition, PartitionTree, PathCode};

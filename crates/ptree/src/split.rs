@@ -162,17 +162,7 @@ impl SplitParams {
         // branching 2·k^{1/p}, as for H-trees (constant-factor balance
         // widening; ablation A3)
         let a = (2.0 * (split.k as f64).powf(1.0 / p as f64)).ceil().max(1.0) as u64;
-        SplitParams {
-            p,
-            p_prime,
-            a,
-            b: a,
-            k: split.k as u64,
-            n2: split.n2 as u64,
-            m1,
-            m2,
-            m12,
-        }
+        SplitParams { p, p_prime, a, b: a, k: split.k as u64, n2: split.n2 as u64, m1, m2, m12 }
     }
 
     /// `π = p − p'`: number of `V_2` layers.
@@ -413,10 +403,7 @@ impl SplitLayerBuilder {
     }
 
     fn fits(&self, rec: &[Token]) -> bool {
-        self.counters
-            .iter()
-            .zip(&self.acc)
-            .all(|(&(field, limit), &acc)| acc + rec[field] <= limit)
+        self.counters.iter().zip(&self.acc).all(|(&(field, limit), &acc)| acc + rec[field] <= limit)
     }
 
     fn add(&mut self, rec: &[Token]) {
@@ -515,8 +502,7 @@ pub fn check_split_tree(
             for (j, s, e) in node.parts() {
                 let mut sums = [0u64; 3];
                 for w in s..e {
-                    let rec =
-                        split_vertex_record(split, params, tree, path, level, w);
+                    let rec = split_vertex_record(split, params, tree, path, level, w);
                     for (i, &(field, _)) in counters.iter().enumerate() {
                         sums[i] += rec[field];
                     }
@@ -705,8 +691,7 @@ mod tests {
         let split = demo_split(9, 11, 50);
         let params = SplitParams::for_graph(&split, 4, 2);
         let tree = PartitionTree::new(4, (0..4).map(|l| params.ground(l)).collect());
-        let chunks =
-            split_layer_chunks(&split, &params, &tree, PathCode::root(), 0, 3);
+        let chunks = split_layer_chunks(&split, &params, &tree, PathCode::root(), 0, 3);
         for c in &chunks {
             let mut sums = vec![0u64; 5];
             for a in &c.aux {

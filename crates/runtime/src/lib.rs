@@ -1,0 +1,464 @@
+//! Sharded, multi-threaded round-execution engine for CONGEST protocols.
+//!
+//! [`ShardedNetwork`] partitions the vertices of a graph into contiguous
+//! *shards*, each owned by one worker thread, and executes every round in
+//! two phases:
+//!
+//! 1. **Compute** — each worker steps its own vertices (calling
+//!    [`Protocol::on_round`]) and sorts the produced messages into one
+//!    *mailbox bucket* per destination shard, enforcing the same
+//!    neighbor/bandwidth assertions as the sequential engine.
+//! 2. **Exchange** — the `shards × shards` bucket matrix is transposed and
+//!    each worker drains its own column into the double-buffered inboxes of
+//!    its vertices, then sorts every inbox by `(sender, payload)`.
+//!
+//! Because each inbox ends up sorted by sender id — exactly the order the
+//! sequential [`congest::Network`] produces — the execution transcript
+//! (states, round counts, message counts) is **byte-identical** to the
+//! sequential engine at every shard count. The determinism parity suite in
+//! `tests/properties.rs` asserts this for BFS, spanning-tree aggregation,
+//! 2-hop collection, and the full clique-listing pipeline at 1, 2, and 8
+//! shards.
+//!
+//! # Example
+//!
+//! ```
+//! use congest::engine::{Engine, EngineSelect};
+//! use congest::graph::Graph;
+//! use congest::protocols::bfs::distributed_bfs_on;
+//! use runtime::Sharded;
+//!
+//! let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+//! // Same protocol, executed by 2 worker threads.
+//! let (dist, report) = distributed_bfs_on(&Sharded::new(2), &g, 0);
+//! assert_eq!(dist[3], Some(3));
+//! assert!(!report.truncated);
+//! ```
+
+use std::collections::HashMap;
+
+use congest::engine::{shard_of, shard_range, Engine, EngineSelect};
+use congest::graph::{Graph, VertexId};
+use congest::metrics::CostReport;
+use congest::network::{Outbox, Protocol, Word};
+
+/// A message in flight between shards: `(destination, sender, payload)`.
+type Envelope = (VertexId, VertexId, Word);
+
+/// The sharded parallel round engine. See the crate docs for the two-phase
+/// execution model and the determinism guarantee.
+#[derive(Debug)]
+pub struct ShardedNetwork<'g, P> {
+    graph: &'g Graph,
+    states: Vec<P>,
+    bandwidth: usize,
+    /// messages delivered to each vertex at the end of the last round
+    inboxes: Vec<Vec<(VertexId, Word)>>,
+    round: u64,
+    messages: u64,
+    shards: usize,
+}
+
+impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
+    /// Creates a sharded engine with one protocol state per vertex,
+    /// bandwidth 1, and one shard per available CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()`.
+    pub fn new(graph: &'g Graph, states: Vec<P>) -> Self {
+        Self::with_config(graph, states, 1, available_shards())
+    }
+
+    /// Creates a sharded engine with explicit bandwidth and shard count.
+    ///
+    /// The shard count is a pure execution-resource knob: any value ≥ 1
+    /// produces the identical transcript. It is clamped to `graph.n()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()` or `shards == 0`.
+    pub fn with_config(graph: &'g Graph, states: Vec<P>, bandwidth: usize, shards: usize) -> Self {
+        assert_eq!(states.len(), graph.n(), "one protocol state per vertex");
+        assert!(bandwidth >= 1);
+        assert!(shards >= 1, "need at least one shard");
+        let n = graph.n();
+        ShardedNetwork {
+            graph,
+            states,
+            bandwidth,
+            inboxes: vec![Vec::new(); n],
+            round: 0,
+            messages: 0,
+            shards: shards.min(n.max(1)),
+        }
+    }
+
+    /// The shard count this engine executes with.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// Advances exactly one round (two parallel phases).
+    ///
+    /// # Panics
+    ///
+    /// Panics (propagated from the worker) if a vertex sends to a
+    /// non-neighbor or exceeds the per-edge bandwidth — the same protocol
+    /// bugs the sequential engine rejects.
+    pub fn step(&mut self) {
+        let n = self.graph.n();
+        if n == 0 {
+            self.round += 1;
+            return;
+        }
+        let shards = self.shards;
+        let round = self.round;
+        let bandwidth = self.bandwidth;
+        let graph = self.graph;
+
+        // Phase 1: compute. Disjoint &mut chunks of states/inboxes per
+        // worker; each returns one outgoing bucket per destination shard.
+        let mut outgoing: Vec<Vec<Vec<Envelope>>> = Vec::with_capacity(shards);
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            let mut states_rest: &mut [P] = &mut self.states;
+            let mut inbox_rest: &mut [Vec<(VertexId, Word)>] = &mut self.inboxes;
+            for s in 0..shards {
+                let (lo, hi) = shard_range(s, n, shards);
+                let (states_chunk, rest) = states_rest.split_at_mut(hi - lo);
+                states_rest = rest;
+                let (inbox_chunk, rest) = inbox_rest.split_at_mut(hi - lo);
+                inbox_rest = rest;
+                handles.push(scope.spawn(move || {
+                    let mut buckets: Vec<Vec<Envelope>> = vec![Vec::new(); shards];
+                    let mut per_edge: HashMap<(VertexId, VertexId), usize> = HashMap::new();
+                    let mut sent = 0u64;
+                    for (i, state) in states_chunk.iter_mut().enumerate() {
+                        let v = (lo + i) as VertexId;
+                        let inbox = std::mem::take(&mut inbox_chunk[i]);
+                        let mut out = Outbox::default();
+                        state.on_round(round, &inbox, &mut out, graph);
+                        for (to, payload) in out.into_msgs() {
+                            assert!(
+                                graph.has_edge(v, to),
+                                "vertex {v} sent to non-neighbor {to}"
+                            );
+                            let c = per_edge.entry((v, to)).or_insert(0);
+                            *c += 1;
+                            assert!(
+                                *c <= bandwidth,
+                                "vertex {v} exceeded bandwidth {bandwidth} on edge to {to} in round {round}"
+                            );
+                            sent += 1;
+                            buckets[shard_of(to, n, shards)].push((to, v, payload));
+                        }
+                    }
+                    (buckets, sent)
+                }));
+            }
+            for h in handles {
+                match h.join() {
+                    Ok((buckets, sent)) => {
+                        outgoing.push(buckets);
+                        self.messages += sent;
+                    }
+                    Err(e) => std::panic::resume_unwind(e),
+                }
+            }
+        });
+
+        // Transpose the bucket matrix so worker `d` owns column `d` (its
+        // incoming mail, ordered by sender shard).
+        let mut incoming: Vec<Vec<Vec<Envelope>>> = (0..shards).map(|_| Vec::new()).collect();
+        for row in outgoing {
+            for (d, bucket) in row.into_iter().enumerate() {
+                incoming[d].push(bucket);
+            }
+        }
+
+        // Phase 2: exchange. Each worker fills its shard's inboxes and
+        // sorts them by (sender, payload) — the sequential engine's order —
+        // which makes the merge independent of arrival order.
+        std::thread::scope(|scope| {
+            let mut handles = Vec::with_capacity(shards);
+            let mut inbox_rest: &mut [Vec<(VertexId, Word)>] = &mut self.inboxes;
+            for (s, column) in incoming.into_iter().enumerate() {
+                let (lo, hi) = shard_range(s, n, shards);
+                let (inbox_chunk, rest) = inbox_rest.split_at_mut(hi - lo);
+                inbox_rest = rest;
+                handles.push(scope.spawn(move || {
+                    for bucket in column {
+                        for (to, from, payload) in bucket {
+                            inbox_chunk[to as usize - lo].push((from, payload));
+                        }
+                    }
+                    for inbox in inbox_chunk.iter_mut() {
+                        inbox.sort_unstable();
+                    }
+                }));
+            }
+            for h in handles {
+                if let Err(e) = h.join() {
+                    std::panic::resume_unwind(e);
+                }
+            }
+        });
+
+        self.round += 1;
+    }
+
+    /// The per-vertex protocol states.
+    pub fn states(&self) -> &[P] {
+        &self.states
+    }
+
+    /// Consumes the engine and returns the protocol states.
+    pub fn into_states(self) -> Vec<P> {
+        self.states
+    }
+
+    /// Rounds elapsed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Messages delivered so far.
+    pub fn messages(&self) -> u64 {
+        self.messages
+    }
+
+    /// Whether every vertex is done and no messages are in flight.
+    pub fn is_quiescent(&self) -> bool {
+        self.inboxes.iter().all(|b| b.is_empty()) && self.states.iter().all(|s| s.done())
+    }
+
+    /// Runs until quiescent or `max_rounds` elapse (see [`Engine::run`]).
+    pub fn run(&mut self, max_rounds: u64) -> CostReport {
+        Engine::run(self, max_rounds)
+    }
+}
+
+impl<P: Protocol + Send> Engine<P> for ShardedNetwork<'_, P> {
+    fn step(&mut self) {
+        ShardedNetwork::step(self)
+    }
+
+    fn round(&self) -> u64 {
+        ShardedNetwork::round(self)
+    }
+
+    fn messages(&self) -> u64 {
+        ShardedNetwork::messages(self)
+    }
+
+    fn states(&self) -> &[P] {
+        ShardedNetwork::states(self)
+    }
+
+    fn into_states(self) -> Vec<P> {
+        ShardedNetwork::into_states(self)
+    }
+
+    fn is_quiescent(&self) -> bool {
+        ShardedNetwork::is_quiescent(self)
+    }
+}
+
+/// Default shard count: one per available CPU.
+pub fn available_shards() -> usize {
+    std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
+}
+
+/// Selects the sharded engine with a fixed worker count (implements
+/// [`EngineSelect`]; see [`congest::engine`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Sharded {
+    /// Worker-thread / shard count (≥ 1).
+    pub shards: usize,
+}
+
+impl Sharded {
+    /// Selector with an explicit shard count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        Sharded { shards }
+    }
+
+    /// Selector with one shard per available CPU.
+    pub fn auto() -> Self {
+        Sharded { shards: available_shards() }
+    }
+}
+
+impl Default for Sharded {
+    fn default() -> Self {
+        Sharded::auto()
+    }
+}
+
+impl EngineSelect for Sharded {
+    type Engine<'g, P>
+        = ShardedNetwork<'g, P>
+    where
+        P: Protocol + Send + 'g;
+
+    fn build<'g, P: Protocol + Send>(
+        &self,
+        g: &'g Graph,
+        states: Vec<P>,
+        bandwidth: usize,
+    ) -> ShardedNetwork<'g, P> {
+        ShardedNetwork::with_config(g, states, bandwidth, self.shards)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use congest::network::Network;
+    use congest::protocols::{aggregate_sum_on, collect_two_hop_on, distributed_bfs_on};
+    use congest::Sequential;
+
+    /// Every vertex floods the minimum id it has seen (same state machine
+    /// as the sequential engine's own unit test).
+    struct MinFlood {
+        me: VertexId,
+        min_seen: VertexId,
+        last_sent: Option<VertexId>,
+    }
+
+    impl Protocol for MinFlood {
+        fn on_round(
+            &mut self,
+            _round: u64,
+            inbox: &[(VertexId, Word)],
+            out: &mut Outbox,
+            g: &Graph,
+        ) {
+            for &(_, w) in inbox {
+                self.min_seen = self.min_seen.min(w as VertexId);
+            }
+            if self.last_sent != Some(self.min_seen) {
+                for &v in g.neighbors(self.me) {
+                    out.send(v, self.min_seen as Word);
+                }
+                self.last_sent = Some(self.min_seen);
+            }
+        }
+        fn done(&self) -> bool {
+            self.last_sent == Some(self.min_seen)
+        }
+    }
+
+    fn min_flood_states(n: usize) -> Vec<MinFlood> {
+        (0..n as VertexId).map(|me| MinFlood { me, min_seen: me, last_sent: None }).collect()
+    }
+
+    fn ring(n: usize) -> Graph {
+        let edges: Vec<_> = (0..n as VertexId).map(|i| (i, (i + 1) % n as VertexId)).collect();
+        Graph::from_edges(n, &edges)
+    }
+
+    #[test]
+    fn min_flood_matches_sequential_at_every_shard_count() {
+        let g = ring(23);
+        let mut reference = Network::new(&g, min_flood_states(23));
+        let ref_report = reference.run(1000);
+        for shards in [1usize, 2, 3, 8, 23, 64] {
+            let mut net = ShardedNetwork::with_config(&g, min_flood_states(23), 1, shards);
+            let report = net.run(1000);
+            assert_eq!(report, ref_report, "shards = {shards}");
+            for (a, b) in net.states().iter().zip(reference.states()) {
+                assert_eq!(a.min_seen, b.min_seen);
+                assert_eq!(a.last_sent, b.last_sent);
+            }
+        }
+    }
+
+    #[test]
+    fn protocol_drivers_run_on_the_sharded_engine() {
+        let g = ring(16);
+        let (d_seq, r_seq) = distributed_bfs_on(&Sequential, &g, 3);
+        let (d_par, r_par) = distributed_bfs_on(&Sharded::new(4), &g, 3);
+        assert_eq!(d_seq, d_par);
+        assert_eq!(r_seq, r_par);
+
+        let inputs: Vec<u64> = (0..16).collect();
+        let (s_seq, c_seq) = aggregate_sum_on(&Sequential, &g, &inputs);
+        let (s_par, c_par) = aggregate_sum_on(&Sharded::new(5), &g, &inputs);
+        assert_eq!(s_seq, s_par);
+        assert_eq!(c_seq, c_par);
+
+        let (v_seq, t_seq) = collect_two_hop_on(&Sequential, &g, 4, 1);
+        let (v_par, t_par) = collect_two_hop_on(&Sharded::new(3), &g, 4, 1);
+        assert_eq!(v_seq, v_par);
+        assert_eq!(t_seq, t_par);
+    }
+
+    #[test]
+    fn truncation_is_reported() {
+        struct Restless(VertexId);
+        impl Protocol for Restless {
+            fn on_round(&mut self, _r: u64, _i: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+                for &v in g.neighbors(self.0) {
+                    out.send(v, 0);
+                }
+            }
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        let g = ring(6);
+        let mut net = ShardedNetwork::with_config(&g, (0..6).map(Restless).collect(), 1, 2);
+        let report = net.run(4);
+        assert_eq!(report.rounds, 4);
+        assert!(report.truncated);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeded bandwidth")]
+    fn bandwidth_violation_panics_in_workers() {
+        struct Chatty(VertexId);
+        impl Protocol for Chatty {
+            fn on_round(
+                &mut self,
+                round: u64,
+                _i: &[(VertexId, Word)],
+                out: &mut Outbox,
+                _g: &Graph,
+            ) {
+                if round == 0 && self.0 == 0 {
+                    out.send(1, 0);
+                    out.send(1, 0);
+                }
+            }
+            fn done(&self) -> bool {
+                true
+            }
+        }
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut net = ShardedNetwork::with_config(&g, vec![Chatty(0), Chatty(1)], 1, 2);
+        net.step();
+    }
+
+    #[test]
+    fn empty_graph_is_fine() {
+        let g = Graph::empty(0);
+        let mut net = ShardedNetwork::with_config(&g, Vec::<MinFlood>::new(), 1, 4);
+        let report = net.run(10);
+        assert_eq!(report.rounds, 0);
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn shard_count_is_clamped_to_n() {
+        let g = ring(3);
+        let net = ShardedNetwork::with_config(&g, min_flood_states(3), 1, 100);
+        assert_eq!(net.shards(), 3);
+    }
+}

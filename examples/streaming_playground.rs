@@ -55,8 +55,7 @@ fn main() {
     // 64 chunks of 8 auxiliary values each, deterministic contents.
     let chunks: Vec<Chunk> = (0..64u64)
         .map(|i| {
-            let aux: Vec<Vec<Token>> =
-                (0..8u64).map(|j| vec![(i * 37 + j * 11) % 23, 1]).collect();
+            let aux: Vec<Vec<Token>> = (0..8u64).map(|j| vec![(i * 37 + j * 11) % 23, 1]).collect();
             let sum: u64 = aux.iter().map(|a| a[0]).sum();
             Chunk { main: vec![sum, 8], aux }
         })
@@ -75,25 +74,18 @@ fn main() {
 
     // a 64-vertex hypercube as the communication cluster
     let g = graphs::hypercube(6);
-    let cluster = CommunicationCluster::new(
-        g.clone(),
-        (0..g.n() as VertexId).collect(),
-        1,
-        0.2,
-    );
+    let cluster = CommunicationCluster::new(g.clone(), (0..g.n() as VertexId).collect(), 1, 0.2);
 
-    println!("\n{:>6} {:>8} {:>10} {:>12} {:>14}", "λ", "rounds", "messages", "state-passes", "max tokens/vtx");
+    println!(
+        "\n{:>6} {:>8} {:>10} {:>12} {:>14}",
+        "λ", "rounds", "messages", "state-passes", "max tokens/vtx"
+    );
     for lambda in [1usize, 2, 4, 8, 16, 32, 64] {
         let mut algo = fresh();
-        let inputs: Vec<Vec<Chunk>> =
-            chunks.iter().map(|c| vec![c.clone()]).collect();
-        let outcome = simulate(
-            &cluster,
-            vec![InstanceInput { algo: &mut algo, budgets, inputs }],
-            lambda,
-            1,
-        )
-        .unwrap();
+        let inputs: Vec<Vec<Chunk>> = chunks.iter().map(|c| vec![c.clone()]).collect();
+        let outcome =
+            simulate(&cluster, vec![InstanceInput { algo: &mut algo, budgets, inputs }], lambda, 1)
+                .unwrap();
         let sim_out: Vec<Token> = outcome.outputs[0].iter().map(|&(_, t)| t).collect();
         assert_eq!(sim_out, local_out, "simulation must match the local run");
         println!(

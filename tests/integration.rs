@@ -2,7 +2,9 @@
 //! decomposition → partition trees → listing — validated end-to-end
 //! against the centralized oracle (experiment E3's exactness claim).
 
-use clique_listing::baselines::{dlp12_congested_clique, list_cliques_randomized, naive_exhaustive};
+use clique_listing::baselines::{
+    dlp12_congested_clique, list_cliques_randomized, naive_exhaustive,
+};
 use clique_listing::{list_cliques_congest, ListingConfig};
 use congest::graph::Graph;
 
@@ -95,11 +97,8 @@ fn dense_graph_stress() {
 fn bandwidth_speeds_up_but_preserves_output() {
     let g = graphs::erdos_renyi(56, 0.12, 81);
     let slow = list_cliques_congest(&g, 3, &ListingConfig::default());
-    let fast = list_cliques_congest(
-        &g,
-        3,
-        &ListingConfig { bandwidth: 4, ..ListingConfig::default() },
-    );
+    let fast =
+        list_cliques_congest(&g, 3, &ListingConfig { bandwidth: 4, ..ListingConfig::default() });
     assert_eq!(slow.cliques, fast.cliques);
     assert!(fast.report.rounds() <= slow.report.rounds());
 }

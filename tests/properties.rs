@@ -237,3 +237,128 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Engine-parity properties: the sharded multi-threaded engine must produce
+// byte-identical transcripts (states, round counts, message counts) to the
+// sequential reference engine at every shard count.
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn sharded_bfs_matches_sequential(g in arbitrary_graph(48), root in 0u32..8) {
+        prop_assume!((root as usize) < g.n());
+        let (d0, r0) = congest::protocols::distributed_bfs_on(&congest::Sequential, &g, root);
+        for shards in [1usize, 2, 8] {
+            let (d, r) =
+                congest::protocols::distributed_bfs_on(&runtime::Sharded::new(shards), &g, root);
+            prop_assert_eq!(&d, &d0, "distances diverge at {} shards", shards);
+            prop_assert_eq!(&r, &r0, "cost diverges at {} shards", shards);
+        }
+    }
+
+    #[test]
+    fn sharded_spanning_aggregate_matches_sequential(g in arbitrary_graph(40)) {
+        prop_assume!(g.is_connected());
+        let inputs: Vec<u64> = (0..g.n() as u64).map(|i| i * 31 + 7).collect();
+        let (s0, c0) = congest::protocols::aggregate_sum_on(&congest::Sequential, &g, &inputs);
+        for shards in [1usize, 2, 8] {
+            let (s, c) =
+                congest::protocols::aggregate_sum_on(&runtime::Sharded::new(shards), &g, &inputs);
+            prop_assert_eq!(&s, &s0, "sums diverge at {} shards", shards);
+            prop_assert_eq!(&c, &c0, "cost diverges at {} shards", shards);
+        }
+    }
+
+    #[test]
+    fn sharded_two_hop_matches_sequential(g in arbitrary_graph(36), alpha in 1usize..12) {
+        let (v0, c0) =
+            congest::protocols::collect_two_hop_on(&congest::Sequential, &g, alpha, 1);
+        for shards in [1usize, 2, 8] {
+            let (v, c) = congest::protocols::collect_two_hop_on(
+                &runtime::Sharded::new(shards), &g, alpha, 1,
+            );
+            prop_assert_eq!(&v, &v0, "views diverge at {} shards", shards);
+            prop_assert_eq!(&c, &c0, "cost diverges at {} shards", shards);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn sharded_full_listing_matches_sequential_k3(g in arbitrary_graph(36)) {
+        let seq = ListingConfig {
+            engine: clique_listing::EngineChoice::Sequential,
+            ..ListingConfig::default()
+        };
+        let base = list_cliques_congest(&g, 3, &seq);
+        for shards in [1usize, 2, 8] {
+            let par = ListingConfig {
+                engine: clique_listing::EngineChoice::Sharded(shards),
+                ..ListingConfig::default()
+            };
+            let out = list_cliques_congest(&g, 3, &par);
+            prop_assert_eq!(&out.cliques, &base.cliques, "cliques diverge at {} shards", shards);
+            prop_assert_eq!(
+                &out.report.cost, &base.report.cost, "cost diverges at {} shards", shards
+            );
+            prop_assert_eq!(out.report.depth, base.report.depth);
+        }
+        // and the sequential run matches the oracle, so all engines do
+        prop_assert_eq!(&base.cliques, &graphs::list_cliques(&g, 3));
+    }
+
+    #[test]
+    fn sharded_full_listing_matches_sequential_k4(g in arbitrary_graph(28)) {
+        let seq = ListingConfig {
+            engine: clique_listing::EngineChoice::Sequential,
+            ..ListingConfig::default()
+        };
+        let base = list_cliques_congest(&g, 4, &seq);
+        for shards in [1usize, 2, 8] {
+            let par = ListingConfig {
+                engine: clique_listing::EngineChoice::Sharded(shards),
+                ..ListingConfig::default()
+            };
+            let out = list_cliques_congest(&g, 4, &par);
+            prop_assert_eq!(&out.cliques, &base.cliques, "cliques diverge at {} shards", shards);
+            prop_assert_eq!(
+                &out.report.cost, &base.report.cost, "cost diverges at {} shards", shards
+            );
+        }
+        prop_assert_eq!(&base.cliques, &graphs::list_cliques(&g, 4));
+    }
+
+    #[test]
+    fn truncated_runs_are_flagged_not_silent(n in 4usize..20) {
+        // A two-hop collection squeezed into a 1-round budget cannot
+        // finish on any graph with a low-degree vertex: the flag must say
+        // so on both engines.
+        let g = graphs::erdos_renyi(n, 0.5, n as u64);
+        prop_assume!(g.m() >= 2);
+        use congest::engine::EngineSelect;
+        struct NeverDone;
+        impl congest::Protocol for NeverDone {
+            fn on_round(
+                &mut self,
+                _r: u64,
+                _i: &[(VertexId, congest::network::Word)],
+                _o: &mut congest::network::Outbox,
+                _g: &Graph,
+            ) {}
+            fn done(&self) -> bool { false }
+        }
+        let mut seq = congest::Sequential.build(&g, (0..g.n()).map(|_| NeverDone).collect(), 1);
+        let r1 = seq.run(3);
+        prop_assert!(r1.truncated);
+        prop_assert_eq!(r1.rounds, 3);
+        let mut par =
+            runtime::Sharded::new(2).build(&g, (0..g.n()).map(|_| NeverDone).collect(), 1);
+        let r2 = par.run(3);
+        prop_assert_eq!(&r1, &r2);
+    }
+}
