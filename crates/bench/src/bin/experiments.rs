@@ -1,7 +1,7 @@
 //! The experiment harness: regenerates the E1–E9 result tables recorded in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run --release -p bench --bin experiments [e1 e2 … e9 | all]`
+//! Usage: `cargo run --release -p bench --bin experiments [e1 e2 … e9 a2 eng svc | all]`
 //!
 //! The paper has no evaluation section (it is a pure theory paper), so the
 //! experiments reproduce its quantitative *claims* — see DESIGN.md for the
@@ -56,6 +56,30 @@ fn main() {
     }
     if want("eng") {
         eng();
+    }
+    if want("svc") {
+        svc();
+    }
+}
+
+/// SVC: batch query service smoke — the small scenario corpus replayed at
+/// worker counts {1, available_shards()}, with the `BENCH_service.json`
+/// trajectory record (jobs/s, p50/p95 latency, cache hit rate).
+fn svc() {
+    use bench::svc::{replay, report, small_scenarios, trajectory_worker_counts};
+    let scenarios = small_scenarios();
+    let workers = trajectory_worker_counts();
+    let total: usize = scenarios.iter().map(|s| s.jobs.len()).sum();
+    println!(
+        "\n## SVC — batch query service: {} jobs over {} scenarios, worker counts {:?}\n",
+        total,
+        scenarios.len(),
+        workers
+    );
+    let rows = replay(&workers, &scenarios);
+    report(&scenarios, &rows);
+    for r in &rows {
+        assert!(r.hit_rate > 0.0, "the smoke corpus repeats specs; hit rate must be > 0");
     }
 }
 

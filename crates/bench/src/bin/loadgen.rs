@@ -1,0 +1,50 @@
+//! The service load generator: replays mixed scenario traffic through the
+//! batch clique-query service and records the `BENCH_service.json`
+//! trajectory (jobs/s, p50/p95 latency, cache hit rate per worker count).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4]
+//! ```
+//!
+//! Defaults: the full scenario corpus at worker counts
+//! `{1, available_shards()}` (so `CLIQUE_SHARDS` steers the sweep).
+
+use bench::svc::{full_scenarios, replay, report, small_scenarios, trajectory_worker_counts};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let small = args.iter().any(|a| a == "--small");
+    let workers = match args.iter().position(|a| a == "--workers") {
+        Some(i) => {
+            let spec = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--workers needs a comma-separated list, e.g. --workers 1,2,4");
+                std::process::exit(2);
+            });
+            spec.split(',')
+                .map(|s| {
+                    runtime::parse_shards(s).unwrap_or_else(|| {
+                        eprintln!("bad worker count {s:?} (expected a positive integer)");
+                        std::process::exit(2);
+                    })
+                })
+                .collect()
+        }
+        None => trajectory_worker_counts(),
+    };
+    let scenarios = if small { small_scenarios() } else { full_scenarios() };
+    let total_jobs: usize = scenarios.iter().map(|s| s.jobs.len()).sum();
+    println!(
+        "\n## loadgen — {} corpus: {} scenarios, {} jobs, worker counts {:?}\n",
+        if small { "small" } else { "full" },
+        scenarios.len(),
+        total_jobs,
+        workers
+    );
+    let rows = replay(&workers, &scenarios);
+    report(&scenarios, &rows);
+    for r in &rows {
+        assert!(r.hit_rate > 0.0, "scenario corpora repeat specs; hit rate must be > 0");
+    }
+}

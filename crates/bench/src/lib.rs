@@ -1,5 +1,7 @@
 //! Shared helpers for the experiment harness and Criterion benches.
 
+pub mod svc;
+
 use congest::engine::{Engine, EngineSelect};
 use congest::graph::{Graph, VertexId};
 use congest::network::{Outbox, Protocol, Word};

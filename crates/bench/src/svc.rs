@@ -1,0 +1,265 @@
+//! Service load generation: scenario corpora, traffic replay, and the
+//! `BENCH_service.json` trajectory record.
+//!
+//! A *scenario* is a named job mix (graph family × clique size × algorithm
+//! × engine). The load generator replays the whole mix through a fresh
+//! [`Service`] at each requested worker count, cross-checks that every
+//! pool size produced byte-identical answers, and records jobs/s, p50/p95
+//! latency, and the corpus-cache hit rate. Corpora repeat specs on
+//! purpose — a query service's traffic does — so a run always exercises
+//! the cache.
+
+use std::time::Duration;
+
+use clique_listing::{EngineChoice, ListingConfig};
+use service::{Algo, GraphInput, GraphSpec, Job, Service};
+
+use crate::Table;
+
+/// A named job mix.
+pub struct Scenario {
+    /// Display name (also recorded in the JSON trajectory).
+    pub name: &'static str,
+    /// The jobs, replayed in order.
+    pub jobs: Vec<Job>,
+}
+
+fn cfg(engine: EngineChoice) -> ListingConfig {
+    ListingConfig { engine, ..ListingConfig::default() }
+}
+
+/// The smoke corpus: small graphs, every family/algorithm/engine
+/// represented, heavy spec repetition. Fast enough for CI.
+pub fn small_scenarios() -> Vec<Scenario> {
+    let er = GraphSpec::ErdosRenyi { n: 40, p: 0.15, seed: 7 };
+    let sbm = GraphSpec::Clustered { n: 36, blocks: 3, p_in: 0.5, p_out: 0.02, seed: 4 };
+    let rmat = GraphSpec::Rmat { scale: 5, edges: 160, a: 0.57, b: 0.19, c: 0.19, seed: 11 };
+    let geo = GraphSpec::RandomGeometric { n: 40, radius: 0.28, seed: 9 };
+    let planted = GraphSpec::PlantedCliques { n: 36, base_p: 0.06, size: 4, count: 3, seed: 5 };
+    vec![
+        Scenario {
+            name: "triangle-sweep",
+            jobs: [&er, &sbm, &rmat, &geo]
+                .into_iter()
+                .flat_map(|spec| {
+                    [EngineChoice::Sequential, EngineChoice::Sharded(2)]
+                        .into_iter()
+                        .map(|e| Job::new(GraphInput::Spec(spec.clone()), 3, cfg(e), Algo::Paper))
+                })
+                .collect(),
+        },
+        Scenario {
+            name: "kp-mixed",
+            jobs: vec![
+                Job::new(
+                    GraphInput::Spec(planted.clone()),
+                    4,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Paper,
+                ),
+                Job::new(GraphInput::Spec(planted), 4, cfg(EngineChoice::Sharded(2)), Algo::Paper),
+                Job::new(
+                    GraphInput::Spec(er.clone()),
+                    4,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Paper,
+                ),
+            ],
+        },
+        Scenario {
+            name: "baseline-mix",
+            jobs: vec![
+                Job::new(
+                    GraphInput::Spec(er.clone()),
+                    3,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Naive,
+                ),
+                Job::new(
+                    GraphInput::Spec(er.clone()),
+                    3,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Randomized { seed: 13 },
+                ),
+                Job::new(GraphInput::Spec(er), 3, cfg(EngineChoice::Sequential), Algo::Dlp12),
+            ],
+        },
+    ]
+}
+
+/// The full corpus: the smoke mix plus larger graphs and deeper repeats —
+/// the `loadgen` binary's default.
+pub fn full_scenarios() -> Vec<Scenario> {
+    let mut scenarios = small_scenarios();
+    let big_er = GraphSpec::ErdosRenyi { n: 96, p: 0.12, seed: 21 };
+    let big_rmat = GraphSpec::Rmat { scale: 7, edges: 900, a: 0.57, b: 0.19, c: 0.19, seed: 22 };
+    let big_geo = GraphSpec::RandomGeometric { n: 96, radius: 0.17, seed: 23 };
+    let plaw = GraphSpec::PowerLaw { n: 80, attach: 4, seed: 24 };
+    scenarios.push(Scenario {
+        name: "heavy-traffic",
+        jobs: (0..3)
+            .flat_map(|_| {
+                [&big_er, &big_rmat, &big_geo, &plaw].into_iter().map(|spec| {
+                    Job::new(
+                        GraphInput::Spec(spec.clone()),
+                        3,
+                        cfg(EngineChoice::Sequential),
+                        Algo::Paper,
+                    )
+                })
+            })
+            .collect(),
+    });
+    scenarios
+}
+
+/// One worker-count's aggregate measurements.
+pub struct LoadgenRow {
+    /// Service worker count.
+    pub workers: usize,
+    /// Jobs completed.
+    pub jobs: usize,
+    /// Total wall time for the whole replay.
+    pub wall: Duration,
+    /// Jobs per second.
+    pub jobs_per_sec: f64,
+    /// Median submission-to-completion latency.
+    pub p50: Duration,
+    /// 95th-percentile latency.
+    pub p95: Duration,
+    /// Corpus-cache hit rate over the replay.
+    pub hit_rate: f64,
+}
+
+fn percentile(sorted: &[Duration], q: f64) -> Duration {
+    if sorted.is_empty() {
+        return Duration::ZERO;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Replays every scenario through a fresh [`Service`] per worker count.
+///
+/// Returns the per-worker-count rows; panics if any job fails or if two
+/// worker counts disagree on any answer (the service determinism
+/// guarantee, enforced at measurement time exactly like the engine
+/// checksum in the `eng` experiment).
+pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow> {
+    let jobs: Vec<Job> = scenarios.iter().flat_map(|s| s.jobs.iter().cloned()).collect();
+    let mut reference: Option<Vec<String>> = None;
+    let mut rows = Vec::new();
+    for &workers in worker_counts {
+        let svc = Service::new(workers);
+        let start = std::time::Instant::now();
+        let outcomes = svc.run_batch(jobs.clone());
+        let wall = start.elapsed();
+        let answers: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+        for (i, o) in outcomes.iter().enumerate() {
+            assert!(o.report.is_ok(), "job {i} failed: {:?}", o.report);
+        }
+        match &reference {
+            None => reference = Some(answers),
+            Some(r) => assert_eq!(
+                r, &answers,
+                "answers diverged between worker counts — determinism violated"
+            ),
+        }
+        let (hits, misses) = svc.cache_stats();
+        let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+        latencies.sort_unstable();
+        rows.push(LoadgenRow {
+            workers,
+            jobs: outcomes.len(),
+            wall,
+            jobs_per_sec: outcomes.len() as f64 / wall.as_secs_f64().max(1e-9),
+            p50: percentile(&latencies, 0.50),
+            p95: percentile(&latencies, 0.95),
+            hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        });
+    }
+    rows
+}
+
+/// Prints the loadgen table and writes `BENCH_service.json` — the
+/// cross-PR trajectory record (jobs/s, p50/p95 latency, cache hit rate
+/// per worker count).
+pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow]) {
+    let mut t =
+        Table::new(&["workers", "jobs", "wall ms", "jobs/s", "p50 ms", "p95 ms", "hit rate"]);
+    let mut rows_json = Vec::new();
+    for r in rows {
+        t.row(vec![
+            r.workers.to_string(),
+            r.jobs.to_string(),
+            format!("{:.1}", r.wall.as_secs_f64() * 1e3),
+            format!("{:.1}", r.jobs_per_sec),
+            format!("{:.2}", r.p50.as_secs_f64() * 1e3),
+            format!("{:.2}", r.p95.as_secs_f64() * 1e3),
+            format!("{:.3}", r.hit_rate),
+        ]);
+        rows_json.push(format!(
+            concat!(
+                "    {{\"workers\": {}, \"jobs\": {}, \"wall_ms\": {:.3}, ",
+                "\"jobs_per_sec\": {:.3}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, ",
+                "\"cache_hit_rate\": {:.4}}}"
+            ),
+            r.workers,
+            r.jobs,
+            r.wall.as_secs_f64() * 1e3,
+            r.jobs_per_sec,
+            r.p50.as_secs_f64() * 1e3,
+            r.p95.as_secs_f64() * 1e3,
+            r.hit_rate,
+        ));
+    }
+    t.print();
+    let names: Vec<String> = scenarios.iter().map(|s| format!("\"{}\"", s.name)).collect();
+    let json = format!(
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        names.join(", "),
+        runtime::available_shards(),
+        rows_json.join(",\n")
+    );
+    match std::fs::write("BENCH_service.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_service.json"),
+        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+    }
+}
+
+/// The worker counts the trajectory tracks: 1 and the machine default
+/// (`CLIQUE_SHARDS` / CPU count), deduplicated.
+pub fn trajectory_worker_counts() -> Vec<usize> {
+    let mut counts = vec![1usize];
+    let auto = runtime::available_shards();
+    if auto != 1 {
+        counts.push(auto);
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_replay_is_deterministic_and_hits_the_cache() {
+        let scenarios = small_scenarios();
+        let rows = replay(&[1, 2], &scenarios);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.hit_rate > 0.0, "repeated specs must produce cache hits");
+            assert!(r.jobs_per_sec > 0.0);
+            assert!(r.p50 <= r.p95);
+        }
+    }
+
+    #[test]
+    fn percentiles_pick_sane_elements() {
+        let ms = |x| Duration::from_millis(x);
+        let sorted = vec![ms(1), ms(2), ms(3), ms(4), ms(100)];
+        assert_eq!(percentile(&sorted, 0.5), ms(3));
+        assert_eq!(percentile(&sorted, 0.95), ms(100));
+        assert_eq!(percentile(&[], 0.5), Duration::ZERO);
+    }
+}

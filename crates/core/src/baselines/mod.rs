@@ -15,5 +15,5 @@ pub mod naive;
 pub mod randomized;
 
 pub use dlp12::dlp12_congested_clique;
-pub use naive::{naive_exhaustive, naive_exhaustive_on};
+pub use naive::{naive_exhaustive, naive_exhaustive_for, naive_exhaustive_on};
 pub use randomized::list_cliques_randomized;

@@ -4,6 +4,7 @@ use congest::engine::{EngineSelect, Sequential};
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
 
+use crate::config::EngineChoice;
 use crate::lowdeg::low_degree_listing_on;
 
 /// Lists all `K_p` by having **every** vertex learn its induced 2-hop
@@ -12,6 +13,24 @@ use crate::lowdeg::low_degree_listing_on;
 /// `Δ ≫ n^{1-2/p}` (experiment E9 locates the crossover).
 pub fn naive_exhaustive(g: &Graph, p: usize, bandwidth: usize) -> (Vec<Vec<VertexId>>, CostReport) {
     naive_exhaustive_on(&Sequential, g, p, bandwidth)
+}
+
+/// [`naive_exhaustive`] on the engine an [`EngineChoice`] names — the
+/// same dispatch (and shard clamp) as
+/// [`crate::lowdeg::low_degree_listing_for`], so config-driven callers
+/// (e.g. the batch query service) don't re-implement it.
+pub fn naive_exhaustive_for(
+    engine: EngineChoice,
+    g: &Graph,
+    p: usize,
+    bandwidth: usize,
+) -> (Vec<Vec<VertexId>>, CostReport) {
+    match engine {
+        EngineChoice::Sequential => naive_exhaustive_on(&Sequential, g, p, bandwidth),
+        EngineChoice::Sharded(n) => {
+            naive_exhaustive_on(&runtime::Sharded::new(n.max(1)), g, p, bandwidth)
+        }
+    }
 }
 
 /// [`naive_exhaustive`] on an explicitly selected engine (see

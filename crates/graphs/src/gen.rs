@@ -178,6 +178,94 @@ pub fn power_law(n: usize, attach: usize, seed: u64) -> Graph {
     Graph::from_edges(n, &edges)
 }
 
+/// An R-MAT (recursive-matrix Kronecker) graph on `2^scale` vertices:
+/// each of `edges` edge samples descends the adjacency matrix `scale`
+/// times, picking the (a | b | c | d) quadrant with the given
+/// probabilities (`d = 1 − a − b − c`). Self-loops are dropped and
+/// duplicates collapse, so the final edge count is at most `edges`. With
+/// the classic skew (e.g. `a = 0.57, b = c = 0.19`) this yields the
+/// heavy-tailed, community-free topology of web/social benchmarks
+/// (Graph500 uses the same construction).
+///
+/// # Example
+///
+/// Same seed, same graph — bit-for-bit:
+///
+/// ```
+/// let g = graphs::rmat(7, 300, 0.57, 0.19, 0.19, 11);
+/// let h = graphs::rmat(7, 300, 0.57, 0.19, 0.19, 11);
+/// assert_eq!(g, h);
+/// assert_eq!(g.n(), 128);
+/// ```
+///
+/// # Panics
+///
+/// Panics if the probabilities are negative or sum above 1.
+pub fn rmat(scale: u32, edges: usize, a: f64, b: f64, c: f64, seed: u64) -> Graph {
+    assert!(
+        a >= 0.0 && b >= 0.0 && c >= 0.0 && a + b + c <= 1.0 + 1e-12,
+        "bad quadrant probabilities"
+    );
+    let n = 1usize << scale;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x524d_4154); // "RMAT"
+    let mut out: Vec<(VertexId, VertexId)> = Vec::with_capacity(edges);
+    for _ in 0..edges {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r = rng.gen::<f64>();
+            if r < a {
+                // top-left: both bits 0
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        if u != v {
+            out.push((u as VertexId, v as VertexId));
+        }
+    }
+    Graph::from_edges(n, &out)
+}
+
+/// A random geometric graph: `n` points placed uniformly in the unit
+/// square, with an edge between every pair at Euclidean distance at most
+/// `radius`. The canonical spatially-clustered workload: high local
+/// density, large diameter, no long-range edges.
+///
+/// # Example
+///
+/// Same seed, same graph — bit-for-bit:
+///
+/// ```
+/// let g = graphs::random_geometric(150, 0.12, 3);
+/// let h = graphs::random_geometric(150, 0.12, 3);
+/// assert_eq!(g, h);
+/// assert_ne!(g, graphs::random_geometric(150, 0.12, 4));
+/// ```
+pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Graph {
+    assert!(radius >= 0.0, "radius must be non-negative");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4745_4f4d); // "GEOM"
+    let points: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen::<f64>(), rng.gen::<f64>())).collect();
+    let r2 = radius * radius;
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in u + 1..n {
+            let dx = points[u].0 - points[v].0;
+            let dy = points[u].1 - points[v].1;
+            if dx * dx + dy * dy <= r2 {
+                edges.push((u as VertexId, v as VertexId));
+            }
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -242,6 +330,39 @@ mod tests {
         let (sub, _) = g.induced_subgraph(&block);
         // expected ~0.5 * C(20,2) = 95 edges inside the block
         assert!(sub.m() > 50, "block edges = {}", sub.m());
+    }
+
+    #[test]
+    fn rmat_is_deterministic_and_skewed() {
+        let a = rmat(8, 1500, 0.57, 0.19, 0.19, 5);
+        let b = rmat(8, 1500, 0.57, 0.19, 0.19, 5);
+        assert_eq!(a, b);
+        assert_ne!(a, rmat(8, 1500, 0.57, 0.19, 0.19, 6));
+        assert_eq!(a.n(), 256);
+        assert!(a.m() > 0 && a.m() <= 1500);
+        // the skewed quadrants concentrate edges on low-id vertices
+        let mut degs: Vec<usize> = (0..256u32).map(|v| a.degree(v)).collect();
+        degs.sort_unstable_by(|x, y| y.cmp(x));
+        assert!(degs[0] >= 3 * degs[128].max(1), "max {} vs median {}", degs[0], degs[128]);
+    }
+
+    #[test]
+    fn rmat_uniform_quadrants_are_unskewed_er_like() {
+        let g = rmat(6, 400, 0.25, 0.25, 0.25, 7);
+        assert_eq!(g.n(), 64);
+        assert!(g.m() > 200, "m = {}", g.m());
+    }
+
+    #[test]
+    fn geometric_edges_respect_the_radius() {
+        let g = random_geometric(120, 0.15, 9);
+        // zero radius ⇒ empty; generous radius ⇒ near-complete
+        assert_eq!(random_geometric(50, 0.0, 1).m(), 0);
+        assert_eq!(random_geometric(20, 1.5, 1).m(), 20 * 19 / 2);
+        // density sanity: E[m] ≈ C(n,2)·π·r² (minus boundary effects)
+        let expected = 120.0 * 119.0 / 2.0 * std::f64::consts::PI * 0.15 * 0.15;
+        let m = g.m() as f64;
+        assert!(m > 0.3 * expected && m < 1.5 * expected, "m = {m}, expected ≈ {expected}");
     }
 
     #[test]

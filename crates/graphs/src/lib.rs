@@ -15,5 +15,6 @@ pub mod gen;
 
 pub use algo::{conductance, connected_components, degeneracy_order, list_cliques, list_triangles};
 pub use gen::{
-    barbell, clustered, erdos_renyi, hypercube, planted_cliques, power_law, random_regular,
+    barbell, clustered, erdos_renyi, hypercube, planted_cliques, power_law, random_geometric,
+    random_regular, rmat,
 };

@@ -36,14 +36,30 @@
 //! ```
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use congest::engine::{shard_of, shard_range, Engine, EngineSelect};
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
 use congest::network::{Outbox, Protocol, Word};
 
+pub mod pool;
+
+pub use pool::{global_pool, WorkerPool};
+
 /// A message in flight between shards: `(destination, sender, payload)`.
 type Envelope = (VertexId, VertexId, Word);
+
+/// Per-shard quiescence summary, refreshed by [`ShardedNetwork::step`]
+/// inside the two parallel phases: `done` is "every owned vertex reports
+/// done" (compute phase), `empty` is "no owned inbox holds mail" (exchange
+/// phase). `is_quiescent` folds these `O(shards)` flags instead of
+/// rescanning all `n` states and inboxes every round.
+#[derive(Debug, Clone, Copy)]
+struct ShardStatus {
+    done: bool,
+    empty: bool,
+}
 
 /// The sharded parallel round engine. See the crate docs for the two-phase
 /// execution model and the determinism guarantee.
@@ -57,6 +73,11 @@ pub struct ShardedNetwork<'g, P> {
     round: u64,
     messages: u64,
     shards: usize,
+    /// The persistent pool the round phases run on (no per-round spawns).
+    pool: Arc<WorkerPool>,
+    /// Per-shard done/empty flags; `None` until the first `step` fills
+    /// them (before that, `is_quiescent` falls back to a full scan).
+    status: Option<Vec<ShardStatus>>,
 }
 
 impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
@@ -70,15 +91,35 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
         Self::with_config(graph, states, 1, available_shards())
     }
 
-    /// Creates a sharded engine with explicit bandwidth and shard count.
+    /// Creates a sharded engine with explicit bandwidth and shard count,
+    /// executing on the process-wide [`global_pool`].
     ///
     /// The shard count is a pure execution-resource knob: any value ≥ 1
     /// produces the identical transcript. It is clamped to `graph.n()`.
+    /// Shard tasks are queued on the pool, so the shard count may exceed
+    /// the pool's thread count — excess shards simply wait their turn.
     ///
     /// # Panics
     ///
     /// Panics if `states.len() != graph.n()` or `shards == 0`.
     pub fn with_config(graph: &'g Graph, states: Vec<P>, bandwidth: usize, shards: usize) -> Self {
+        Self::with_pool(graph, states, bandwidth, shards, Arc::clone(global_pool()))
+    }
+
+    /// [`ShardedNetwork::with_config`] on an explicit [`WorkerPool`] —
+    /// used by callers that own a dedicated pool (e.g. a long-lived
+    /// service) instead of the shared global one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `states.len() != graph.n()` or `shards == 0`.
+    pub fn with_pool(
+        graph: &'g Graph,
+        states: Vec<P>,
+        bandwidth: usize,
+        shards: usize,
+        pool: Arc<WorkerPool>,
+    ) -> Self {
         assert_eq!(states.len(), graph.n(), "one protocol state per vertex");
         assert!(bandwidth >= 1);
         assert!(shards >= 1, "need at least one shard");
@@ -91,6 +132,8 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
             round: 0,
             messages: 0,
             shards: shards.min(n.max(1)),
+            pool,
+            status: None,
         }
     }
 
@@ -99,11 +142,13 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
         self.shards
     }
 
-    /// Advances exactly one round (two parallel phases).
+    /// Advances exactly one round (two parallel phases, each one batch on
+    /// the persistent pool — `run_scoped` returning is the phase barrier;
+    /// no threads are spawned here).
     ///
     /// # Panics
     ///
-    /// Panics (propagated from the worker) if a vertex sends to a
+    /// Panics (propagated from the pool) if a vertex sends to a
     /// non-neighbor or exceeds the per-edge bandwidth — the same protocol
     /// bugs the sequential engine rejects.
     pub fn step(&mut self) {
@@ -118,27 +163,34 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
         let graph = self.graph;
 
         // Phase 1: compute. Disjoint &mut chunks of states/inboxes per
-        // worker; each returns one outgoing bucket per destination shard.
-        let mut outgoing: Vec<Vec<Vec<Envelope>>> = Vec::with_capacity(shards);
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards);
+        // shard task; each writes its outgoing buckets (one per destination
+        // shard), its sent count, and its all-done flag into its own slot.
+        let mut computed: Vec<Option<(Vec<Vec<Envelope>>, u64, bool)>> =
+            (0..shards).map(|_| None).collect();
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(shards);
             let mut states_rest: &mut [P] = &mut self.states;
             let mut inbox_rest: &mut [Vec<(VertexId, Word)>] = &mut self.inboxes;
+            let mut slot_rest: &mut [Option<(Vec<Vec<Envelope>>, u64, bool)>] = &mut computed;
             for s in 0..shards {
                 let (lo, hi) = shard_range(s, n, shards);
                 let (states_chunk, rest) = states_rest.split_at_mut(hi - lo);
                 states_rest = rest;
                 let (inbox_chunk, rest) = inbox_rest.split_at_mut(hi - lo);
                 inbox_rest = rest;
-                handles.push(scope.spawn(move || {
+                let (slot, rest) = slot_rest.split_first_mut().expect("one slot per shard");
+                slot_rest = rest;
+                tasks.push(Box::new(move || {
                     let mut buckets: Vec<Vec<Envelope>> = vec![Vec::new(); shards];
                     let mut per_edge: HashMap<(VertexId, VertexId), usize> = HashMap::new();
                     let mut sent = 0u64;
+                    let mut all_done = true;
                     for (i, state) in states_chunk.iter_mut().enumerate() {
                         let v = (lo + i) as VertexId;
                         let inbox = std::mem::take(&mut inbox_chunk[i]);
                         let mut out = Outbox::default();
                         state.on_round(round, &inbox, &mut out, graph);
+                        all_done &= state.done();
                         for (to, payload) in out.into_msgs() {
                             assert!(
                                 graph.has_edge(v, to),
@@ -154,57 +206,58 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
                             buckets[shard_of(to, n, shards)].push((to, v, payload));
                         }
                     }
-                    (buckets, sent)
+                    *slot = Some((buckets, sent, all_done));
                 }));
             }
-            for h in handles {
-                match h.join() {
-                    Ok((buckets, sent)) => {
-                        outgoing.push(buckets);
-                        self.messages += sent;
-                    }
-                    Err(e) => std::panic::resume_unwind(e),
-                }
-            }
-        });
+            self.pool.run_scoped(tasks);
+        }
 
-        // Transpose the bucket matrix so worker `d` owns column `d` (its
-        // incoming mail, ordered by sender shard).
+        // Transpose the bucket matrix so shard task `d` owns column `d`
+        // (its incoming mail, ordered by sender shard), and collect the
+        // per-shard done flags in shard order.
         let mut incoming: Vec<Vec<Vec<Envelope>>> = (0..shards).map(|_| Vec::new()).collect();
-        for row in outgoing {
+        let mut status = Vec::with_capacity(shards);
+        for slot in computed {
+            let (row, sent, all_done) = slot.expect("compute task filled its slot");
+            self.messages += sent;
+            status.push(ShardStatus { done: all_done, empty: false });
             for (d, bucket) in row.into_iter().enumerate() {
                 incoming[d].push(bucket);
             }
         }
 
-        // Phase 2: exchange. Each worker fills its shard's inboxes and
+        // Phase 2: exchange. Each shard task fills its own inboxes and
         // sorts them by (sender, payload) — the sequential engine's order —
-        // which makes the merge independent of arrival order.
-        std::thread::scope(|scope| {
-            let mut handles = Vec::with_capacity(shards);
+        // which makes the merge independent of arrival order. It also
+        // records whether its inboxes ended the round empty.
+        {
+            let mut tasks: Vec<Box<dyn FnOnce() + Send + '_>> = Vec::with_capacity(shards);
             let mut inbox_rest: &mut [Vec<(VertexId, Word)>] = &mut self.inboxes;
+            let mut status_rest: &mut [ShardStatus] = &mut status;
             for (s, column) in incoming.into_iter().enumerate() {
                 let (lo, hi) = shard_range(s, n, shards);
                 let (inbox_chunk, rest) = inbox_rest.split_at_mut(hi - lo);
                 inbox_rest = rest;
-                handles.push(scope.spawn(move || {
+                let (st, rest) = status_rest.split_first_mut().expect("one status per shard");
+                status_rest = rest;
+                tasks.push(Box::new(move || {
                     for bucket in column {
                         for (to, from, payload) in bucket {
                             inbox_chunk[to as usize - lo].push((from, payload));
                         }
                     }
+                    let mut empty = true;
                     for inbox in inbox_chunk.iter_mut() {
                         inbox.sort_unstable();
+                        empty &= inbox.is_empty();
                     }
+                    st.empty = empty;
                 }));
             }
-            for h in handles {
-                if let Err(e) = h.join() {
-                    std::panic::resume_unwind(e);
-                }
-            }
-        });
+            self.pool.run_scoped(tasks);
+        }
 
+        self.status = Some(status);
         self.round += 1;
     }
 
@@ -229,8 +282,18 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
     }
 
     /// Whether every vertex is done and no messages are in flight.
+    ///
+    /// After the first [`ShardedNetwork::step`] this folds the per-shard
+    /// done/empty flags maintained by the two phases — `O(shards)` instead
+    /// of rescanning all `n` states and inboxes every round. Before any
+    /// step (when no flags exist yet) it falls back to the full scan.
     pub fn is_quiescent(&self) -> bool {
-        self.inboxes.iter().all(|b| b.is_empty()) && self.states.iter().all(|s| s.done())
+        match &self.status {
+            Some(status) => status.iter().all(|s| s.done && s.empty),
+            None => {
+                self.inboxes.iter().all(|b| b.is_empty()) && self.states.iter().all(|s| s.done())
+            }
+        }
     }
 
     /// Runs until quiescent or `max_rounds` elapse (see [`Engine::run`]).
@@ -265,8 +328,37 @@ impl<P: Protocol + Send> Engine<P> for ShardedNetwork<'_, P> {
     }
 }
 
-/// Default shard count: one per available CPU.
+/// Default shard count: the `CLIQUE_SHARDS` environment variable if set to
+/// a positive integer, else one per available CPU.
+///
+/// `CLIQUE_SHARDS` is the execution-resource analogue of `CLIQUE_ENGINE`:
+/// it bounds the [`global_pool`] size and seeds the batch service's default
+/// worker count without touching any code. Garbage values warn on stderr
+/// and fall back to the CPU count — a silent fallback would let a typo'd
+/// `CLIQUE_SHARDS=fuor` record 1-worker timings as 4-worker ones (the same
+/// rationale as `EngineChoice::from_env`).
 pub fn available_shards() -> usize {
+    match std::env::var("CLIQUE_SHARDS") {
+        Ok(v) => parse_shards(&v).unwrap_or_else(|| {
+            eprintln!(
+                "warning: unrecognized CLIQUE_SHARDS value {v:?} \
+                 (expected a positive integer); \
+                 falling back to one shard per available CPU"
+            );
+            hardware_shards()
+        }),
+        Err(_) => hardware_shards(),
+    }
+}
+
+/// Parses a `CLIQUE_SHARDS` spec: a positive integer.
+pub fn parse_shards(spec: &str) -> Option<usize> {
+    let n: usize = spec.trim().parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// One shard per available CPU (the `CLIQUE_SHARDS`-less default).
+fn hardware_shards() -> usize {
     std::thread::available_parallelism().map(|p| p.get()).unwrap_or(1)
 }
 
@@ -460,5 +552,56 @@ mod tests {
         let g = ring(3);
         let net = ShardedNetwork::with_config(&g, min_flood_states(3), 1, 100);
         assert_eq!(net.shards(), 3);
+    }
+
+    #[test]
+    fn quiescence_flags_match_the_full_scan() {
+        let g = ring(12);
+        let mut net = ShardedNetwork::with_config(&g, min_flood_states(12), 1, 3);
+        // before any step: fallback full scan (not quiescent — nobody sent)
+        assert!(!net.is_quiescent());
+        loop {
+            net.step();
+            // the O(shards) summary must agree with a from-scratch scan
+            let scan =
+                net.inboxes.iter().all(|b| b.is_empty()) && net.states.iter().all(|s| s.done());
+            assert_eq!(net.is_quiescent(), scan, "round {}", net.round());
+            if scan {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_pool_runs_the_same_transcript() {
+        let g = ring(17);
+        let pool = Arc::new(WorkerPool::new(2));
+        let mut reference = Network::new(&g, min_flood_states(17));
+        let ref_report = reference.run(1000);
+        let mut net = ShardedNetwork::with_pool(&g, min_flood_states(17), 1, 4, pool);
+        let report = net.run(1000);
+        assert_eq!(report, ref_report);
+    }
+
+    #[test]
+    fn shard_spec_parses_positive_integers_only() {
+        assert_eq!(parse_shards("4"), Some(4));
+        assert_eq!(parse_shards(" 16 "), Some(16));
+        assert_eq!(parse_shards("0"), None);
+        assert_eq!(parse_shards("-2"), None);
+        assert_eq!(parse_shards("fuor"), None);
+        assert_eq!(parse_shards(""), None);
+    }
+
+    #[test]
+    fn clique_shards_env_overrides_the_cpu_count() {
+        // process-global env: exercised in one test to avoid races with
+        // parallel readers of CLIQUE_SHARDS in this binary.
+        std::env::set_var("CLIQUE_SHARDS", "6");
+        assert_eq!(available_shards(), 6);
+        std::env::set_var("CLIQUE_SHARDS", "not-a-number");
+        assert_eq!(available_shards(), hardware_shards(), "garbage falls back to CPU count");
+        std::env::remove_var("CLIQUE_SHARDS");
+        assert_eq!(available_shards(), hardware_shards());
     }
 }

@@ -1,0 +1,299 @@
+//! A persistent worker pool with barrier-style scoped batches.
+//!
+//! [`WorkerPool`] spawns its threads **once** and keeps them alive for the
+//! pool's lifetime; [`WorkerPool::run_scoped`] submits a batch of borrowed
+//! closures and blocks until every one has finished — the calling thread
+//! *is* the barrier. This is what lets [`crate::ShardedNetwork`] execute
+//! its two per-round phases without any per-round `thread::spawn`: each
+//! phase becomes one batch on a long-lived pool, and the `run_scoped`
+//! return is the phase barrier.
+//!
+//! Batches from different threads may be in flight simultaneously (the
+//! batch service keeps one engine per in-flight job); tasks are keyed by
+//! the slot they write into, never by which worker executed them, so
+//! results are deterministic regardless of pool size or scheduling.
+//!
+//! # Deadlock rule
+//!
+//! A task running **on** the pool must never call `run_scoped` on the same
+//! pool: with every worker blocked waiting for its own sub-batch, no thread
+//! is left to execute it. The batch query service therefore runs jobs on
+//! its own dedicated threads and leaves the [`global_pool`] to the round
+//! engine.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::thread::JoinHandle;
+
+/// An erased, queueable task. Tasks are `'static` once enqueued; the
+/// lifetime erasure is confined to [`WorkerPool::run_scoped`], whose
+/// blocking semantics make it sound.
+type Task = Box<dyn FnOnce() + Send + 'static>;
+
+struct PoolShared {
+    /// `(pending tasks, shutting down)`.
+    queue: Mutex<(VecDeque<Task>, bool)>,
+    work_ready: Condvar,
+}
+
+/// Progress of one `run_scoped` batch: `(tasks still running or queued,
+/// lowest-index panic payload observed)`.
+struct Batch {
+    state: Mutex<(usize, Option<(usize, Box<dyn std::any::Any + Send>)>)>,
+    done: Condvar,
+}
+
+/// A fixed-size pool of persistent worker threads executing batches of
+/// scoped tasks. See the module docs for the execution and safety model.
+pub struct WorkerPool {
+    shared: Arc<PoolShared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for WorkerPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("WorkerPool").field("size", &self.workers.len()).finish()
+    }
+}
+
+impl WorkerPool {
+    /// Spawns a pool with `size` persistent worker threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size == 0`.
+    pub fn new(size: usize) -> Self {
+        assert!(size >= 1, "need at least one worker");
+        let shared = Arc::new(PoolShared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            work_ready: Condvar::new(),
+        });
+        let workers = (0..size)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("clique-pool-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn pool worker")
+            })
+            .collect();
+        WorkerPool { shared, workers }
+    }
+
+    /// Number of worker threads.
+    pub fn size(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Executes `tasks` on the pool and blocks until all of them have
+    /// completed — the scoped-borrow barrier. Task results are returned
+    /// through whatever slots the closures captured; completion order is
+    /// irrelevant because every task owns its slot exclusively.
+    ///
+    /// If any task panics, the payload of the **lowest-index** panicking
+    /// task is re-raised here after the whole batch has drained (so
+    /// partially-executed batches never leave tasks running against freed
+    /// borrows, and the surfaced panic does not depend on completion
+    /// order — shard 0's violation wins, matching the sequential engine,
+    /// which hits the lowest vertex first).
+    pub fn run_scoped<'scope>(&self, tasks: Vec<Box<dyn FnOnce() + Send + 'scope>>) {
+        if tasks.is_empty() {
+            return;
+        }
+        let batch =
+            Arc::new(Batch { state: Mutex::new((tasks.len(), None)), done: Condvar::new() });
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for (index, task) in tasks.into_iter().enumerate() {
+                // SAFETY: `run_scoped` does not return until the batch
+                // counter hits zero, i.e. until every task has run to
+                // completion (or panicked and been recorded). The `'scope`
+                // borrows captured by the closure therefore strictly outlive
+                // every use of the erased `'static` copy; the closure never
+                // escapes this function's dynamic extent.
+                let task: Task =
+                    unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
+                let batch = Arc::clone(&batch);
+                q.0.push_back(Box::new(move || {
+                    let outcome = catch_unwind(AssertUnwindSafe(task));
+                    let mut st = batch.state.lock().unwrap();
+                    st.0 -= 1;
+                    if let Err(payload) = outcome {
+                        if st.1.as_ref().is_none_or(|(i, _)| index < *i) {
+                            st.1 = Some((index, payload));
+                        }
+                    }
+                    if st.0 == 0 {
+                        batch.done.notify_all();
+                    }
+                }));
+            }
+            self.shared.work_ready.notify_all();
+        }
+        let mut st = batch.state.lock().unwrap();
+        while st.0 > 0 {
+            st = batch.done.wait(st).unwrap();
+        }
+        if let Some((_, payload)) = st.1.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.1 = true;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &PoolShared) {
+    loop {
+        let task = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(t) = q.0.pop_front() {
+                    break t;
+                }
+                if q.1 {
+                    return;
+                }
+                q = shared.work_ready.wait(q).unwrap();
+            }
+        };
+        task();
+    }
+}
+
+/// The process-wide pool the sharded round engine runs on by default —
+/// sized by [`crate::available_shards`] (so `CLIQUE_SHARDS` bounds it) and
+/// spawned lazily on first use. All engines share it: a round phase is a
+/// batch, and batches interleave safely.
+pub fn global_pool() -> &'static Arc<WorkerPool> {
+    static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
+    POOL.get_or_init(|| Arc::new(WorkerPool::new(crate::available_shards())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batch_runs_every_task_exactly_once() {
+        let pool = WorkerPool::new(3);
+        let mut slots = vec![0usize; 17];
+        let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = slots
+            .iter_mut()
+            .enumerate()
+            .map(|(i, slot)| Box::new(move || *slot = i + 1) as Box<dyn FnOnce() + Send + '_>)
+            .collect();
+        pool.run_scoped(tasks);
+        assert_eq!(slots, (1..=17).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn borrowed_state_is_visible_after_the_barrier() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        for _ in 0..5 {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                .map(|_| {
+                    Box::new(|| {
+                        counter.fetch_add(1, Ordering::Relaxed);
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 40);
+    }
+
+    #[test]
+    fn panics_propagate_after_the_batch_drains() {
+        let pool = WorkerPool::new(2);
+        let ran = AtomicUsize::new(0);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..6)
+                .map(|i| {
+                    let ran = &ran;
+                    Box::new(move || {
+                        ran.fetch_add(1, Ordering::Relaxed);
+                        if i == 3 {
+                            panic!("task 3 exploded");
+                        }
+                    }) as Box<dyn FnOnce() + Send + '_>
+                })
+                .collect();
+            pool.run_scoped(tasks);
+        }));
+        assert!(result.is_err(), "panic must reach the submitter");
+        // every task ran before the panic was re-raised
+        assert_eq!(ran.load(Ordering::Relaxed), 6);
+        // the pool survives a panicked batch
+        let mut slot = 0u32;
+        pool.run_scoped(vec![Box::new(|| slot = 9)]);
+        assert_eq!(slot, 9);
+    }
+
+    #[test]
+    fn lowest_index_panic_wins_regardless_of_completion_order() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..20 {
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = (0..8)
+                    .map(|i| {
+                        Box::new(move || {
+                            if i >= 2 {
+                                panic!("task {i} failed");
+                            }
+                        }) as Box<dyn FnOnce() + Send + '_>
+                    })
+                    .collect();
+                pool.run_scoped(tasks);
+            }));
+            let payload = result.unwrap_err();
+            let msg = payload.downcast_ref::<String>().expect("panic message");
+            assert_eq!(msg, "task 2 failed");
+        }
+    }
+
+    #[test]
+    fn empty_batch_is_a_no_op() {
+        let pool = WorkerPool::new(1);
+        pool.run_scoped(Vec::new());
+    }
+
+    #[test]
+    fn concurrent_batches_from_many_threads_interleave() {
+        let pool = Arc::new(WorkerPool::new(2));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    let mut sums = [0u64; 9];
+                    let tasks: Vec<Box<dyn FnOnce() + Send + '_>> = sums
+                        .iter_mut()
+                        .enumerate()
+                        .map(|(i, s)| {
+                            Box::new(move || *s = (t * 100 + i) as u64)
+                                as Box<dyn FnOnce() + Send + '_>
+                        })
+                        .collect();
+                    pool.run_scoped(tasks);
+                    for (i, s) in sums.iter().enumerate() {
+                        assert_eq!(*s, (t * 100 + i) as u64);
+                    }
+                });
+            }
+        });
+    }
+}

@@ -1,0 +1,374 @@
+//! The graph corpus cache: seeded generator specs, content fingerprints,
+//! and an LRU-bounded spec → built-[`Graph`] store.
+//!
+//! A [`GraphSpec`] is a *value* describing a deterministic generator call
+//! — every generator in [`graphs::gen`] takes an explicit seed, so a spec
+//! pins its graph bit-for-bit. The [`CorpusCache`] builds each spec at
+//! most once per residency: repeated queries over the same spec (the
+//! common case for a query service — many tenants probing the same
+//! workload) skip regeneration entirely and share one [`Arc<Graph>`].
+//!
+//! Every cached graph carries a content [`fingerprint`] (FNV-1a over
+//! `n` and the sorted edge list), which lets a follow-up [`crate::Job`]
+//! name a graph it has already warmed into the cache without restating —
+//! or re-costing — the spec.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use congest::graph::Graph;
+
+/// A deterministic generator call: the identity of a corpus graph.
+///
+/// Specs are compared and cached by their canonical [`GraphSpec::key`]
+/// string, so two textually different but numerically identical specs
+/// (e.g. `p: 0.1` vs `p: 0.100`) coincide.
+///
+/// # Example
+///
+/// ```
+/// use service::GraphSpec;
+/// let spec = GraphSpec::ErdosRenyi { n: 64, p: 0.15, seed: 7 };
+/// let g = spec.build();
+/// assert_eq!(g.n(), 64);
+/// assert_eq!(g, spec.build()); // same spec, same graph — always
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphSpec {
+    /// `G(n, p)` — [`graphs::erdos_renyi`].
+    ErdosRenyi {
+        /// Vertices.
+        n: usize,
+        /// Edge probability.
+        p: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Near-`d`-regular — [`graphs::random_regular`].
+    RandomRegular {
+        /// Vertices.
+        n: usize,
+        /// Target degree.
+        d: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// ER base with planted cliques — [`graphs::planted_cliques`].
+    PlantedCliques {
+        /// Vertices.
+        n: usize,
+        /// Base edge probability.
+        base_p: f64,
+        /// Planted clique size.
+        size: usize,
+        /// Planted clique count.
+        count: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// The `dim`-dimensional hypercube — [`graphs::hypercube`].
+    Hypercube {
+        /// Dimension (`2^dim` vertices).
+        dim: u32,
+    },
+    /// Stochastic block model — [`graphs::clustered`].
+    Clustered {
+        /// Vertices.
+        n: usize,
+        /// Communities.
+        blocks: usize,
+        /// Intra-community edge probability.
+        p_in: f64,
+        /// Inter-community edge probability.
+        p_out: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Preferential attachment — [`graphs::power_law`].
+    PowerLaw {
+        /// Vertices.
+        n: usize,
+        /// Edges per new vertex.
+        attach: usize,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Kronecker R-MAT — [`graphs::rmat`].
+    Rmat {
+        /// `2^scale` vertices.
+        scale: u32,
+        /// Edge samples.
+        edges: usize,
+        /// Top-left quadrant probability.
+        a: f64,
+        /// Top-right quadrant probability.
+        b: f64,
+        /// Bottom-left quadrant probability.
+        c: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+    /// Unit-square geometric graph — [`graphs::random_geometric`].
+    RandomGeometric {
+        /// Vertices.
+        n: usize,
+        /// Connection radius.
+        radius: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+impl GraphSpec {
+    /// Builds the graph this spec describes. Pure and deterministic: the
+    /// same spec always yields the identical graph.
+    pub fn build(&self) -> Graph {
+        match *self {
+            GraphSpec::ErdosRenyi { n, p, seed } => graphs::erdos_renyi(n, p, seed),
+            GraphSpec::RandomRegular { n, d, seed } => graphs::random_regular(n, d, seed),
+            GraphSpec::PlantedCliques { n, base_p, size, count, seed } => {
+                graphs::planted_cliques(n, base_p, size, count, seed)
+            }
+            GraphSpec::Hypercube { dim } => graphs::hypercube(dim),
+            GraphSpec::Clustered { n, blocks, p_in, p_out, seed } => {
+                graphs::clustered(n, blocks, p_in, p_out, seed)
+            }
+            GraphSpec::PowerLaw { n, attach, seed } => graphs::power_law(n, attach, seed),
+            GraphSpec::Rmat { scale, edges, a, b, c, seed } => {
+                graphs::rmat(scale, edges, a, b, c, seed)
+            }
+            GraphSpec::RandomGeometric { n, radius, seed } => {
+                graphs::random_geometric(n, radius, seed)
+            }
+        }
+    }
+
+    /// The canonical cache key: a short, human-readable rendering that is
+    /// injective over numerically distinct specs (floats are printed with
+    /// full round-trip precision).
+    pub fn key(&self) -> String {
+        match *self {
+            GraphSpec::ErdosRenyi { n, p, seed } => format!("er/n{n}/p{p:?}/s{seed}"),
+            GraphSpec::RandomRegular { n, d, seed } => format!("reg/n{n}/d{d}/s{seed}"),
+            GraphSpec::PlantedCliques { n, base_p, size, count, seed } => {
+                format!("planted/n{n}/p{base_p:?}/k{size}x{count}/s{seed}")
+            }
+            GraphSpec::Hypercube { dim } => format!("cube/d{dim}"),
+            GraphSpec::Clustered { n, blocks, p_in, p_out, seed } => {
+                format!("sbm/n{n}/b{blocks}/in{p_in:?}/out{p_out:?}/s{seed}")
+            }
+            GraphSpec::PowerLaw { n, attach, seed } => format!("plaw/n{n}/a{attach}/s{seed}"),
+            GraphSpec::Rmat { scale, edges, a, b, c, seed } => {
+                format!("rmat/2^{scale}/m{edges}/a{a:?}b{b:?}c{c:?}/s{seed}")
+            }
+            GraphSpec::RandomGeometric { n, radius, seed } => {
+                format!("geo/n{n}/r{radius:?}/s{seed}")
+            }
+        }
+    }
+}
+
+/// Incremental FNV-1a over 64-bit words — the one hash both the graph
+/// [`fingerprint`] and the job-report clique digest are built on.
+#[derive(Debug, Clone)]
+pub(crate) struct Fnv1a(u64);
+
+impl Fnv1a {
+    pub(crate) fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    pub(crate) fn eat(&mut self, word: u64) {
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    pub(crate) fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// Content fingerprint of a graph: FNV-1a over `n` and the sorted edge
+/// list. Two graphs fingerprint equal iff they have the same vertex count
+/// and edge set (modulo the 64-bit collision probability), regardless of
+/// which spec produced them.
+pub fn fingerprint(g: &Graph) -> u64 {
+    let mut h = Fnv1a::new();
+    h.eat(g.n() as u64);
+    for (u, v) in g.edges() {
+        h.eat(((u as u64) << 32) | v as u64);
+    }
+    h.finish()
+}
+
+struct CacheEntry {
+    graph: Arc<Graph>,
+    fingerprint: u64,
+}
+
+/// An LRU-bounded spec → built-graph store with hit/miss accounting.
+///
+/// `get_or_build` is the workhorse; graphs are also addressable by their
+/// content [`fingerprint`] once resident, which is how `Job::graph`'s
+/// `Cached(fp)` form resolves.
+///
+/// # Example
+///
+/// ```
+/// use service::{CorpusCache, GraphSpec};
+/// let mut cache = CorpusCache::new(8);
+/// let spec = GraphSpec::Hypercube { dim: 4 };
+/// let (g1, fp1, hit1) = cache.get_or_build(&spec);
+/// let (g2, fp2, hit2) = cache.get_or_build(&spec);
+/// assert!(!hit1 && hit2);
+/// assert_eq!(fp1, fp2);
+/// assert!(std::sync::Arc::ptr_eq(&g1, &g2)); // built once, shared
+/// ```
+pub struct CorpusCache {
+    capacity: usize,
+    entries: HashMap<String, CacheEntry>,
+    /// Keys from least- to most-recently used.
+    order: Vec<String>,
+    hits: u64,
+    misses: u64,
+}
+
+impl CorpusCache {
+    /// A cache holding at most `capacity` built graphs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "cache must hold at least one graph");
+        CorpusCache { capacity, entries: HashMap::new(), order: Vec::new(), hits: 0, misses: 0 }
+    }
+
+    /// Returns the built graph for `spec`, generating (and caching) it on
+    /// first access. The returned tuple is `(graph, fingerprint, was_hit)`.
+    pub fn get_or_build(&mut self, spec: &GraphSpec) -> (Arc<Graph>, u64, bool) {
+        let key = spec.key();
+        if let Some(entry) = self.entries.get(&key) {
+            let (graph, fp) = (Arc::clone(&entry.graph), entry.fingerprint);
+            self.touch(&key);
+            self.hits += 1;
+            return (graph, fp, true);
+        }
+        self.misses += 1;
+        let graph = Arc::new(spec.build());
+        let fp = fingerprint(&graph);
+        if self.entries.len() >= self.capacity {
+            let evict = self.order.remove(0);
+            self.entries.remove(&evict);
+        }
+        self.entries.insert(key.clone(), CacheEntry { graph: Arc::clone(&graph), fingerprint: fp });
+        self.order.push(key);
+        (graph, fp, false)
+    }
+
+    /// Looks up a resident graph by content fingerprint (refreshing its
+    /// recency). `None` if no currently cached graph has that fingerprint
+    /// — fingerprints are not specs, so an evicted graph cannot be
+    /// rebuilt from one.
+    pub fn by_fingerprint(&mut self, fp: u64) -> Option<Arc<Graph>> {
+        let key = self.entries.iter().find(|(_, e)| e.fingerprint == fp).map(|(k, _)| k.clone())?;
+        self.touch(&key);
+        self.hits += 1;
+        Some(Arc::clone(&self.entries[&key].graph))
+    }
+
+    fn touch(&mut self, key: &str) {
+        if let Some(pos) = self.order.iter().position(|k| k == key) {
+            let k = self.order.remove(pos);
+            self.order.push(k);
+        }
+    }
+
+    /// Resident graph count.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// `(hits, misses)` since construction.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+impl std::fmt::Debug for CorpusCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CorpusCache")
+            .field("capacity", &self.capacity)
+            .field("len", &self.entries.len())
+            .field("hits", &self.hits)
+            .field("misses", &self.misses)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specs_build_deterministically() {
+        let specs = [
+            GraphSpec::ErdosRenyi { n: 40, p: 0.2, seed: 3 },
+            GraphSpec::RandomRegular { n: 40, d: 6, seed: 3 },
+            GraphSpec::PlantedCliques { n: 40, base_p: 0.05, size: 4, count: 2, seed: 3 },
+            GraphSpec::Hypercube { dim: 5 },
+            GraphSpec::Clustered { n: 40, blocks: 4, p_in: 0.5, p_out: 0.02, seed: 3 },
+            GraphSpec::PowerLaw { n: 40, attach: 3, seed: 3 },
+            GraphSpec::Rmat { scale: 6, edges: 200, a: 0.57, b: 0.19, c: 0.19, seed: 3 },
+            GraphSpec::RandomGeometric { n: 40, radius: 0.25, seed: 3 },
+        ];
+        for spec in &specs {
+            assert_eq!(spec.build(), spec.build(), "{}", spec.key());
+        }
+        // keys are pairwise distinct
+        let keys: std::collections::BTreeSet<String> = specs.iter().map(|s| s.key()).collect();
+        assert_eq!(keys.len(), specs.len());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content_not_spec() {
+        let a = GraphSpec::Hypercube { dim: 4 }.build();
+        let b = GraphSpec::Hypercube { dim: 4 }.build();
+        assert_eq!(fingerprint(&a), fingerprint(&b));
+        let c = GraphSpec::Hypercube { dim: 5 }.build();
+        assert_ne!(fingerprint(&a), fingerprint(&c));
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used() {
+        let mut cache = CorpusCache::new(2);
+        let s1 = GraphSpec::Hypercube { dim: 3 };
+        let s2 = GraphSpec::Hypercube { dim: 4 };
+        let s3 = GraphSpec::Hypercube { dim: 5 };
+        cache.get_or_build(&s1);
+        cache.get_or_build(&s2);
+        cache.get_or_build(&s1); // refresh s1; s2 is now LRU
+        cache.get_or_build(&s3); // evicts s2
+        assert_eq!(cache.len(), 2);
+        let (_, _, hit1) = cache.get_or_build(&s1);
+        assert!(hit1, "s1 was refreshed and must survive");
+        let (_, _, hit2) = cache.get_or_build(&s2);
+        assert!(!hit2, "s2 was evicted");
+    }
+
+    #[test]
+    fn fingerprint_lookup_requires_residency() {
+        let mut cache = CorpusCache::new(4);
+        let spec = GraphSpec::ErdosRenyi { n: 30, p: 0.3, seed: 1 };
+        let (_, fp, _) = cache.get_or_build(&spec);
+        assert!(cache.by_fingerprint(fp).is_some());
+        assert!(cache.by_fingerprint(fp ^ 1).is_none());
+    }
+}

@@ -1,0 +1,596 @@
+//! A multi-tenant batch clique-query service over a **persistent worker
+//! pool**.
+//!
+//! This crate is the serving layer the ROADMAP's north star asks for: the
+//! listing algorithms of [`clique_listing`] stop being one-shot library
+//! calls and become [`Job`]s — *graph spec (or cached-graph fingerprint) +
+//! clique size + config + algorithm choice* — submitted to a long-lived
+//! [`Service`]. The service owns:
+//!
+//! - a **job queue** drained by worker threads that live for the service
+//!   lifetime (spawned once in [`Service::new`], joined on drop);
+//! - a **graph corpus cache** ([`CorpusCache`]): seeded generator specs
+//!   are built at most once per residency, content-fingerprinted, and
+//!   LRU-bounded, so repeated queries over the same workload skip
+//!   regeneration;
+//! - the sharded round engine's **persistent pool** (`runtime::pool`),
+//!   which jobs configured with `EngineChoice::Sharded` share — protocol
+//!   rounds run as barrier-synchronized batches on pooled threads, never
+//!   as per-round spawns.
+//!
+//! # Determinism
+//!
+//! Every result a spec-addressed job produces is computed by a pure,
+//! deterministic function of the job alone (the engines are
+//! transcript-identical at every shard count, and every generator and
+//! baseline is seeded), and results are keyed by submission ticket —
+//! never by which worker ran the job or when it finished.
+//! [`Service::run_batch`] therefore returns **byte-identical
+//! [`JobReport`]s in submission order regardless of the worker count or
+//! completion order** for every [`GraphInput::Spec`] job; the property
+//! suite asserts this for pools of 1, 2, and 8 workers. Only
+//! [`JobOutcome::latency`] and [`JobOutcome::cache_hit`] — observations
+//! about *this execution*, not about the answer — may vary.
+//!
+//! The one deliberate exception is [`GraphInput::Cached`]: a fingerprint
+//! names *residency*, not a recipe, so whether it resolves depends on
+//! service history — what was warmed before and what the LRU has since
+//! evicted — and, within a single multi-worker batch, on scheduling.
+//! Warm the spec in an **earlier batch** (as the example below does) and
+//! a `Cached` job is as deterministic as any other; interleaving it with
+//! its warming spec job in one batch is a caller race, and may yield an
+//! unknown-fingerprint [`JobError`] on some schedules.
+//!
+//! # Example
+//!
+//! ```
+//! use service::{Algo, GraphInput, GraphSpec, Job, Service};
+//! use clique_listing::ListingConfig;
+//!
+//! let svc = Service::new(2);
+//! let spec = GraphSpec::ErdosRenyi { n: 40, p: 0.15, seed: 7 };
+//! let jobs = vec![
+//!     Job::new(GraphInput::Spec(spec.clone()), 3, ListingConfig::default(), Algo::Paper),
+//!     // same graph again: served from the corpus cache
+//!     Job::new(GraphInput::Spec(spec.clone()), 4, ListingConfig::default(), Algo::Paper),
+//! ];
+//! let outcomes = svc.run_batch(jobs);
+//! let triangles = outcomes[0].report.as_ref().unwrap();
+//! assert_eq!(triangles.clique_count, graphs::list_cliques(&spec.build(), 3).len());
+//! let (hits, misses) = svc.cache_stats();
+//! assert_eq!((hits, misses), (1, 1));
+//! ```
+
+use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use clique_listing::baselines::{
+    dlp12_congested_clique, list_cliques_randomized, naive_exhaustive_for,
+};
+use clique_listing::{list_cliques_congest, ListingConfig, RunReport};
+use congest::graph::{Graph, VertexId};
+
+pub mod corpus;
+
+pub use corpus::{fingerprint, CorpusCache, GraphSpec};
+
+/// Which graph a [`Job`] runs on.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphInput {
+    /// A generator spec — built on first use, then served from the corpus
+    /// cache.
+    Spec(GraphSpec),
+    /// The content fingerprint of a graph some earlier job already warmed
+    /// into the cache. Fails (with a [`JobError`]) if no resident graph
+    /// matches — a fingerprint names content, it cannot rebuild it.
+    ///
+    /// Resolution is inherently history-dependent (residency is decided
+    /// by prior traffic and LRU eviction), so the cross-worker-count
+    /// determinism guarantee covers `Cached` jobs only when the
+    /// fingerprint was warmed in an **earlier batch**: submitting a
+    /// `Cached(fp)` job in the same batch as the `Spec` job that produces
+    /// `fp` races on multi-worker pools.
+    Cached(u64),
+}
+
+/// Which listing algorithm answers the query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Algo {
+    /// The paper's deterministic `K_p` lister
+    /// ([`clique_listing::list_cliques_congest`]).
+    Paper,
+    /// The seeded randomized-partition baseline.
+    Randomized {
+        /// Partition seed (results are deterministic per seed).
+        seed: u64,
+    },
+    /// Naive `Θ(Δ)`-round exhaustive search.
+    Naive,
+    /// Dolev–Lenzen–Peled in the CONGESTED CLIQUE.
+    Dlp12,
+}
+
+/// One clique-listing query: graph + clique size + tuning + algorithm.
+///
+/// # Example
+///
+/// ```
+/// use service::{Algo, GraphInput, GraphSpec, Job};
+/// use clique_listing::ListingConfig;
+/// let job = Job::new(
+///     GraphInput::Spec(GraphSpec::Hypercube { dim: 4 }),
+///     3,
+///     ListingConfig::default(),
+///     Algo::Paper,
+/// );
+/// assert_eq!(job.p, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Job {
+    /// The graph to query.
+    pub graph: GraphInput,
+    /// Clique size `p ≥ 3` (≥ 2 for [`Algo::Dlp12`]).
+    pub p: usize,
+    /// Listing tuning knobs, including the round-engine choice.
+    pub config: ListingConfig,
+    /// Algorithm choice.
+    pub algo: Algo,
+}
+
+impl Job {
+    /// Bundles the four query components.
+    pub fn new(graph: GraphInput, p: usize, config: ListingConfig, algo: Algo) -> Self {
+        Job { graph, p, config, algo }
+    }
+}
+
+/// The deterministic part of a job's answer: identical bytes for the same
+/// [`Job`] no matter how many workers the service has or in which order
+/// jobs complete.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobReport {
+    /// Content fingerprint of the graph the job ran on.
+    pub graph_fingerprint: u64,
+    /// Number of distinct cliques listed.
+    pub clique_count: usize,
+    /// FNV-1a digest of the sorted clique list (order-independent answer
+    /// identity without shipping every clique back).
+    pub clique_digest: u64,
+    /// Measured CONGEST rounds.
+    pub rounds: u64,
+    /// Measured messages.
+    pub messages: u64,
+    /// Recursion depth (0 for the baselines that have none).
+    pub depth: usize,
+    /// Whether any engine run hit its round budget (see
+    /// [`RunReport::truncated`]).
+    pub truncated: bool,
+    /// Whether the exhaustive fallback closed the run.
+    pub fallback_used: bool,
+}
+
+/// Why a job failed. Failures are values, not worker crashes: a panicking
+/// job is caught and reported, and the worker lives on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobError {
+    /// Human-readable cause.
+    pub message: String,
+}
+
+/// Everything the service returns for one job: the deterministic
+/// [`JobReport`] (or [`JobError`]) plus per-execution observations.
+#[derive(Debug, Clone)]
+pub struct JobOutcome {
+    /// The answer — deterministic across worker counts.
+    pub report: Result<JobReport, JobError>,
+    /// Whether the graph came out of the corpus cache. An observation
+    /// about this execution (it depends on what ran before), not part of
+    /// the deterministic answer.
+    pub cache_hit: bool,
+    /// Submission-to-completion latency (queue wait + execution).
+    pub latency: Duration,
+}
+
+/// Handle for retrieving one submitted job's outcome.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ticket(u64);
+
+struct ServiceShared {
+    /// `(pending jobs, shutting down)`.
+    queue: Mutex<(VecDeque<(u64, Job, Instant)>, bool)>,
+    work_ready: Condvar,
+    corpus: Mutex<CorpusCache>,
+    finished: Mutex<HashMap<u64, JobOutcome>>,
+    job_done: Condvar,
+}
+
+/// The batch clique-query service. See the crate docs for the
+/// architecture and the determinism guarantee.
+pub struct Service {
+    shared: Arc<ServiceShared>,
+    workers: Vec<JoinHandle<()>>,
+    next_ticket: AtomicU64,
+}
+
+impl std::fmt::Debug for Service {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Service").field("workers", &self.workers.len()).finish()
+    }
+}
+
+/// Default corpus-cache capacity (graphs, not bytes: corpus graphs are
+/// small relative to the listing work done on them).
+const DEFAULT_CACHE_CAPACITY: usize = 64;
+
+impl Service {
+    /// Starts a service with `workers` persistent job threads and the
+    /// default corpus-cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new(workers: usize) -> Self {
+        Self::with_cache_capacity(workers, DEFAULT_CACHE_CAPACITY)
+    }
+
+    /// [`Service::new`] sized by [`runtime::available_shards`] (so the
+    /// `CLIQUE_SHARDS` environment variable sets the default pool size).
+    pub fn with_default_workers() -> Self {
+        Self::new(runtime::available_shards())
+    }
+
+    /// Starts a service with an explicit corpus-cache capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or `cache_capacity == 0`.
+    pub fn with_cache_capacity(workers: usize, cache_capacity: usize) -> Self {
+        assert!(workers >= 1, "need at least one worker");
+        let shared = Arc::new(ServiceShared {
+            queue: Mutex::new((VecDeque::new(), false)),
+            work_ready: Condvar::new(),
+            corpus: Mutex::new(CorpusCache::new(cache_capacity)),
+            finished: Mutex::new(HashMap::new()),
+            job_done: Condvar::new(),
+        });
+        let workers = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("clique-svc-{i}"))
+                    .spawn(move || job_worker_loop(&shared))
+                    .expect("spawn service worker")
+            })
+            .collect();
+        Service { shared, workers, next_ticket: AtomicU64::new(0) }
+    }
+
+    /// Number of persistent job workers.
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Enqueues a job; returns the ticket to [`Service::wait`] on.
+    ///
+    /// Every ticket **must eventually be claimed** with [`Service::wait`]
+    /// (or submitted through [`Service::run_batch`], which claims for
+    /// you): finished outcomes are held until their ticket collects them,
+    /// so a fire-and-forget caller grows the finished map for the
+    /// service's lifetime.
+    pub fn submit(&self, job: Job) -> Ticket {
+        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let mut q = self.shared.queue.lock().unwrap();
+        q.0.push_back((id, job, Instant::now()));
+        self.shared.work_ready.notify_one();
+        Ticket(id)
+    }
+
+    /// Blocks until the ticket's job has completed and returns its
+    /// outcome. Each ticket's outcome can be claimed once.
+    pub fn wait(&self, ticket: Ticket) -> JobOutcome {
+        let mut finished = self.shared.finished.lock().unwrap();
+        loop {
+            if let Some(outcome) = finished.remove(&ticket.0) {
+                return outcome;
+            }
+            finished = self.shared.job_done.wait(finished).unwrap();
+        }
+    }
+
+    /// Submits every job and waits for all of them, returning outcomes in
+    /// **submission order** — the completion order (which varies with the
+    /// worker count) is invisible to the caller.
+    pub fn run_batch(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
+        let tickets: Vec<Ticket> = jobs.into_iter().map(|j| self.submit(j)).collect();
+        tickets.into_iter().map(|t| self.wait(t)).collect()
+    }
+
+    /// Corpus-cache `(hits, misses)` since the service started.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        lock_corpus(&self.shared).stats()
+    }
+
+    /// Resident corpus size (graphs currently cached).
+    pub fn corpus_len(&self) -> usize {
+        lock_corpus(&self.shared).len()
+    }
+}
+
+impl Drop for Service {
+    fn drop(&mut self) {
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.1 = true;
+            self.shared.work_ready.notify_all();
+        }
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+fn job_worker_loop(shared: &ServiceShared) {
+    loop {
+        let (id, job, submitted) = {
+            let mut q = shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = q.0.pop_front() {
+                    break item;
+                }
+                if q.1 {
+                    return;
+                }
+                q = shared.work_ready.wait(q).unwrap();
+            }
+        };
+        // The ticket MUST resolve no matter what the job does: any panic
+        // anywhere in execution (graph build included) becomes an error
+        // outcome, never a dead worker or a forever-blocked wait().
+        let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job, submitted)))
+            .unwrap_or_else(|payload| JobOutcome {
+                report: Err(JobError { message: panic_message(&payload) }),
+                cache_hit: false,
+                latency: submitted.elapsed(),
+            });
+        let mut finished = shared.finished.lock().unwrap();
+        finished.insert(id, outcome);
+        shared.job_done.notify_all();
+    }
+}
+
+/// Locks the corpus, shrugging off poison: the cache mutates coherently
+/// (`get_or_build` only bumps the miss counter before a build can panic on
+/// an invalid spec), so a panic that unwound through the guard left valid
+/// state behind and the next job may proceed.
+fn lock_corpus(shared: &ServiceShared) -> std::sync::MutexGuard<'_, CorpusCache> {
+    shared.corpus.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+fn execute_job(shared: &ServiceShared, job: &Job, submitted: Instant) -> JobOutcome {
+    // Resolve the graph through the corpus cache. Generation happens under
+    // the corpus lock: builds are one-time by design (that is what the
+    // cache is for), and serializing them keeps hit/miss accounting and
+    // LRU order coherent. A panicking build (invalid spec parameters — the
+    // generators assert on them) is caught so it becomes a JobError, not a
+    // lost ticket.
+    let resolved = {
+        let mut corpus = lock_corpus(shared);
+        match &job.graph {
+            GraphInput::Spec(spec) => catch_unwind(AssertUnwindSafe(|| corpus.get_or_build(spec)))
+                .map_err(|payload| JobError {
+                    message: format!(
+                        "graph build failed for spec {}: {}",
+                        spec.key(),
+                        panic_message(&payload)
+                    ),
+                }),
+            GraphInput::Cached(fp) => match corpus.by_fingerprint(*fp) {
+                Some(g) => Ok((g, *fp, true)),
+                None => Err(JobError {
+                    message: format!("no cached graph with fingerprint {fp:#018x}"),
+                }),
+            },
+        }
+    };
+    let (graph, fp, cache_hit) = match resolved {
+        Ok(r) => r,
+        Err(e) => {
+            return JobOutcome { report: Err(e), cache_hit: false, latency: submitted.elapsed() }
+        }
+    };
+
+    // A panicking job (bad p, adversarial config) is an error value, not a
+    // dead worker.
+    let report = catch_unwind(AssertUnwindSafe(|| run_algo(&graph, job)))
+        .map(|(cliques, report)| JobReport {
+            graph_fingerprint: fp,
+            clique_count: cliques.len(),
+            clique_digest: clique_digest(&cliques),
+            rounds: report.rounds(),
+            messages: report.messages(),
+            depth: report.depth,
+            truncated: report.truncated(),
+            fallback_used: report.fallback_used,
+        })
+        .map_err(|payload| JobError { message: panic_message(&payload) });
+    JobOutcome { report, cache_hit, latency: submitted.elapsed() }
+}
+
+/// Runs the selected algorithm; pure in `(graph, job)`.
+fn run_algo(g: &Graph, job: &Job) -> (Vec<Vec<VertexId>>, RunReport) {
+    match job.algo {
+        Algo::Paper => {
+            let out = list_cliques_congest(g, job.p, &job.config);
+            (out.cliques, out.report)
+        }
+        Algo::Randomized { seed } => {
+            let out = list_cliques_randomized(g, job.p, &job.config, seed);
+            (out.cliques, out.report)
+        }
+        Algo::Naive => {
+            let (cliques, cost) =
+                naive_exhaustive_for(job.config.engine, g, job.p, job.config.bandwidth);
+            (cliques, RunReport { cost, ..RunReport::default() })
+        }
+        Algo::Dlp12 => {
+            let out = dlp12_congested_clique(g, job.p);
+            (out.cliques, RunReport { cost: out.report, ..RunReport::default() })
+        }
+    }
+}
+
+/// Identity of a clique list (the lists are produced sorted, so hashing
+/// in order is canonical): FNV-1a over length-prefixed vertex sequences.
+fn clique_digest(cliques: &[Vec<VertexId>]) -> u64 {
+    let mut h = corpus::Fnv1a::new();
+    for c in cliques {
+        h.eat(c.len() as u64);
+        for &v in c {
+            h.eat(v as u64);
+        }
+    }
+    h.finish()
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("job panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("job panicked: {s}")
+    } else {
+        "job panicked".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn er_spec(seed: u64) -> GraphSpec {
+        GraphSpec::ErdosRenyi { n: 36, p: 0.18, seed }
+    }
+
+    #[test]
+    fn paper_job_matches_the_oracle() {
+        let svc = Service::new(2);
+        let spec = er_spec(4);
+        let out = svc.run_batch(vec![Job::new(
+            GraphInput::Spec(spec.clone()),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )]);
+        let report = out[0].report.as_ref().unwrap();
+        let oracle = graphs::list_cliques(&spec.build(), 3);
+        assert_eq!(report.clique_count, oracle.len());
+        assert_eq!(report.clique_digest, clique_digest(&oracle));
+        assert!(!report.truncated);
+    }
+
+    #[test]
+    fn all_algorithms_agree_on_the_answer() {
+        let svc = Service::new(2);
+        let spec = er_spec(9);
+        let jobs: Vec<Job> = [Algo::Paper, Algo::Randomized { seed: 5 }, Algo::Naive, Algo::Dlp12]
+            .into_iter()
+            .map(|algo| Job::new(GraphInput::Spec(spec.clone()), 3, ListingConfig::default(), algo))
+            .collect();
+        let outs = svc.run_batch(jobs);
+        let digests: Vec<u64> =
+            outs.iter().map(|o| o.report.as_ref().unwrap().clique_digest).collect();
+        assert!(digests.windows(2).all(|w| w[0] == w[1]), "digests: {digests:?}");
+    }
+
+    #[test]
+    fn fingerprint_input_reuses_the_cached_graph() {
+        let svc = Service::new(1);
+        let spec = er_spec(2);
+        let warm = svc.run_batch(vec![Job::new(
+            GraphInput::Spec(spec),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )]);
+        let fp = warm[0].report.as_ref().unwrap().graph_fingerprint;
+        let out = svc.run_batch(vec![Job::new(
+            GraphInput::Cached(fp),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )]);
+        let r = out[0].report.as_ref().unwrap();
+        assert_eq!(r.graph_fingerprint, fp);
+        assert!(out[0].cache_hit);
+        assert_eq!(r.clique_count, warm[0].report.as_ref().unwrap().clique_count);
+    }
+
+    #[test]
+    fn unknown_fingerprint_is_an_error_not_a_crash() {
+        let svc = Service::new(1);
+        let out = svc.run_batch(vec![Job::new(
+            GraphInput::Cached(0xdead_beef),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )]);
+        let err = out[0].report.as_ref().unwrap_err();
+        assert!(err.message.contains("fingerprint"), "{}", err.message);
+    }
+
+    #[test]
+    fn panicking_job_reports_an_error_and_the_worker_survives() {
+        let svc = Service::new(1);
+        let bad = Job::new(
+            GraphInput::Spec(er_spec(1)),
+            2, // p < 3 panics in the paper driver
+            ListingConfig::default(),
+            Algo::Paper,
+        );
+        let good = Job::new(GraphInput::Spec(er_spec(1)), 3, ListingConfig::default(), Algo::Paper);
+        let outs = svc.run_batch(vec![bad, good]);
+        assert!(outs[0].report.is_err());
+        assert!(outs[1].report.is_ok(), "the single worker must survive the panic");
+    }
+
+    #[test]
+    fn invalid_spec_build_panic_is_an_error_and_the_service_stays_alive() {
+        let svc = Service::new(1);
+        // erdos_renyi asserts p ∈ [0, 1]: the build panics under the
+        // corpus lock, which must yield a JobError — never a dead worker,
+        // a poisoned cache, or a forever-blocked wait().
+        let bad_spec = GraphSpec::ErdosRenyi { n: 20, p: 1.5, seed: 1 };
+        let outs = svc.run_batch(vec![
+            Job::new(GraphInput::Spec(bad_spec), 3, ListingConfig::default(), Algo::Paper),
+            Job::new(GraphInput::Spec(er_spec(1)), 3, ListingConfig::default(), Algo::Paper),
+        ]);
+        let err = outs[0].report.as_ref().unwrap_err();
+        assert!(err.message.contains("graph build failed"), "{}", err.message);
+        assert!(outs[1].report.is_ok(), "service must keep serving after a build panic");
+        assert!(svc.cache_stats().1 >= 1, "stats must stay readable (no poison)");
+    }
+
+    #[test]
+    fn tickets_resolve_out_of_submission_order() {
+        let svc = Service::new(2);
+        let t1 = svc.submit(Job::new(
+            GraphInput::Spec(er_spec(3)),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        ));
+        let t2 = svc.submit(Job::new(
+            GraphInput::Spec(GraphSpec::Hypercube { dim: 4 }),
+            3,
+            ListingConfig::default(),
+            Algo::Naive,
+        ));
+        // waiting on the later ticket first must not deadlock
+        let o2 = svc.wait(t2);
+        let o1 = svc.wait(t1);
+        assert!(o1.report.is_ok() && o2.report.is_ok());
+    }
+}

@@ -1,0 +1,92 @@
+//! Service-level determinism and corpus-cache properties.
+//!
+//! The headline property: an identical job batch submitted to pools of 1,
+//! 2, and 8 workers yields **byte-identical** job reports, per job, in
+//! submission order — completion order (which genuinely differs across
+//! pool sizes) must be unobservable in the answers.
+
+use clique_listing::{EngineChoice, ListingConfig};
+use proptest::prelude::*;
+use service::{Algo, GraphInput, GraphSpec, Job, Service};
+
+/// A mixed batch over graph families × p × algorithms × engines, derived
+/// deterministically from `seed`. Contains intentional spec repeats so the
+/// corpus cache is exercised under every pool size.
+fn mixed_batch(seed: u64) -> Vec<Job> {
+    let n = 24 + (seed % 9) as usize;
+    let er = GraphSpec::ErdosRenyi { n, p: 0.12 + (seed % 5) as f64 * 0.03, seed };
+    let rmat = GraphSpec::Rmat { scale: 5, edges: 140, a: 0.57, b: 0.19, c: 0.19, seed };
+    let geo = GraphSpec::RandomGeometric { n, radius: 0.3, seed };
+    let cfg = |engine| ListingConfig { engine, ..ListingConfig::default() };
+    vec![
+        Job::new(GraphInput::Spec(er.clone()), 3, cfg(EngineChoice::Sequential), Algo::Paper),
+        Job::new(GraphInput::Spec(er.clone()), 3, cfg(EngineChoice::Sharded(2)), Algo::Paper),
+        Job::new(GraphInput::Spec(er.clone()), 4, cfg(EngineChoice::Sequential), Algo::Paper),
+        Job::new(GraphInput::Spec(rmat.clone()), 3, cfg(EngineChoice::Sharded(3)), Algo::Paper),
+        Job::new(GraphInput::Spec(rmat), 3, cfg(EngineChoice::Sequential), Algo::Naive),
+        Job::new(GraphInput::Spec(geo.clone()), 3, cfg(EngineChoice::Sequential), Algo::Paper),
+        Job::new(
+            GraphInput::Spec(geo),
+            3,
+            cfg(EngineChoice::Sequential),
+            Algo::Randomized { seed: seed ^ 0xa5 },
+        ),
+        Job::new(GraphInput::Spec(er), 3, cfg(EngineChoice::Sequential), Algo::Dlp12),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn identical_batches_are_byte_identical_across_pool_sizes(seed in 0u64..10_000) {
+        let batch = mixed_batch(seed);
+        // pools of 1, 2, and 8 workers: any completion order may occur,
+        // submission-order reports must not change by a byte
+        let mut per_pool: Vec<Vec<String>> = Vec::new();
+        for workers in [1usize, 2, 8] {
+            let svc = Service::new(workers);
+            let outs = svc.run_batch(batch.clone());
+            per_pool.push(outs.iter().map(|o| format!("{:?}", o.report)).collect());
+        }
+        prop_assert_eq!(&per_pool[0], &per_pool[1], "1 vs 2 workers");
+        prop_assert_eq!(&per_pool[0], &per_pool[2], "1 vs 8 workers");
+        // and the answers are real: the paper jobs matched the oracle
+        prop_assert!(per_pool[0].iter().all(|r| r.starts_with("Ok")), "{:?}", per_pool[0]);
+    }
+}
+
+#[test]
+fn resubmitting_a_spec_is_a_cache_hit_with_the_same_fingerprint() {
+    let svc = Service::new(1);
+    let spec = GraphSpec::Clustered { n: 30, blocks: 3, p_in: 0.5, p_out: 0.02, seed: 6 };
+    let job = Job::new(GraphInput::Spec(spec), 3, ListingConfig::default(), Algo::Paper);
+
+    let first = svc.run_batch(vec![job.clone()]);
+    assert!(!first[0].cache_hit, "first submission must build the graph");
+    assert_eq!(svc.cache_stats(), (0, 1));
+
+    let second = svc.run_batch(vec![job]);
+    assert!(second[0].cache_hit, "second submission of the same spec must hit");
+    assert_eq!(svc.cache_stats(), (1, 1));
+    assert_eq!(
+        first[0].report.as_ref().unwrap().graph_fingerprint,
+        second[0].report.as_ref().unwrap().graph_fingerprint,
+        "hit must serve the identical content"
+    );
+}
+
+#[test]
+fn cache_hits_do_not_change_answers() {
+    // one worker vs. many: a graph served from cache must produce the same
+    // report as the one computed right after the build
+    let svc = Service::new(4);
+    let spec = GraphSpec::PlantedCliques { n: 32, base_p: 0.06, size: 4, count: 3, seed: 8 };
+    let job = Job::new(GraphInput::Spec(spec), 4, ListingConfig::default(), Algo::Paper);
+    let outs = svc.run_batch(vec![job.clone(), job.clone(), job.clone(), job]);
+    let reports: Vec<String> = outs.iter().map(|o| format!("{:?}", o.report)).collect();
+    assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");
+    let (hits, misses) = svc.cache_stats();
+    assert_eq!(hits + misses, 4);
+    assert!(hits >= 1, "at least the later submissions must hit");
+}
