@@ -1,6 +1,9 @@
-//! The service load generator: replays mixed scenario traffic through the
-//! batch clique-query service and records the `BENCH_service.json`
-//! trajectory (jobs/s, p50/p95 latency, cache hit rate per worker count).
+//! The service load generator: replays mixed scenario traffic — including
+//! the priority/deadline mix — through the streaming clique-query service
+//! and records the `BENCH_service.json` trajectory (jobs/s, p50/p95
+//! latency, time-to-first-result, deadline-miss rate, cache hit rate per
+//! worker count). Results are consumed via `Service::stream`, so the
+//! time-to-first-result column measures real streaming delivery.
 //!
 //! Usage:
 //!
@@ -46,5 +49,10 @@ fn main() {
     report(&scenarios, &rows);
     for r in &rows {
         assert!(r.hit_rate > 0.0, "scenario corpora repeat specs; hit rate must be > 0");
+        assert!(r.ttfr <= r.wall, "first streamed result cannot arrive after the last");
+        assert!(
+            r.deadline_miss_rate > 0.0,
+            "the priority-mix scenario plants deterministic misses; rate must be > 0"
+        );
     }
 }

@@ -2,17 +2,22 @@
 //! `BENCH_service.json` trajectory record.
 //!
 //! A *scenario* is a named job mix (graph family × clique size × algorithm
-//! × engine). The load generator replays the whole mix through a fresh
-//! [`Service`] at each requested worker count, cross-checks that every
-//! pool size produced byte-identical answers, and records jobs/s, p50/p95
-//! latency, and the corpus-cache hit rate. Corpora repeat specs on
-//! purpose — a query service's traffic does — so a run always exercises
-//! the cache.
+//! × engine × priority/deadline). The load generator replays the whole mix
+//! through a fresh [`Service`] at each requested worker count — consuming
+//! the results through [`Service::stream`], the way a latency-sensitive
+//! tenant would — cross-checks that every pool size produced
+//! byte-identical answers, and records jobs/s, p50/p95 latency,
+//! **time-to-first-result**, the **deadline-miss rate**, and the
+//! corpus-cache hit rate. Corpora repeat specs on purpose — a query
+//! service's traffic does — so a run always exercises the cache; the
+//! priority-mix scenario carries two deterministic deadline misses on
+//! purpose, so the miss-rate column is exercised too.
 
+use std::collections::HashMap;
 use std::time::Duration;
 
 use clique_listing::{EngineChoice, ListingConfig};
-use service::{Algo, GraphInput, GraphSpec, Job, Service};
+use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service, Ticket};
 
 use crate::Table;
 
@@ -64,6 +69,65 @@ pub fn small_scenarios() -> Vec<Scenario> {
                     cfg(EngineChoice::Sequential),
                     Algo::Paper,
                 ),
+            ],
+        },
+        Scenario {
+            name: "priority-mix",
+            jobs: vec![
+                // bulk background traffic at priority 0
+                Job::new(
+                    GraphInput::Spec(er.clone()),
+                    3,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Paper,
+                ),
+                Job::new(
+                    GraphInput::Spec(geo.clone()),
+                    3,
+                    cfg(EngineChoice::Sharded(2)),
+                    Algo::Paper,
+                ),
+                Job::new(
+                    GraphInput::Spec(sbm.clone()),
+                    3,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Paper,
+                ),
+                // urgent tenants, submitted behind the bulk — the
+                // scheduler must pull them forward
+                Job::new(
+                    GraphInput::Spec(er.clone()),
+                    3,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Paper,
+                )
+                .with_priority(9)
+                .with_deadline_rounds(5_000_000),
+                Job::new(
+                    GraphInput::Spec(rmat.clone()),
+                    3,
+                    cfg(EngineChoice::Sharded(2)),
+                    Algo::Paper,
+                )
+                .with_priority(9),
+                // deterministic deadline misses: a zero budget cannot
+                // finish on a nontrivial graph (exercises the miss-rate
+                // column; the answers stay byte-stable)
+                Job::new(
+                    GraphInput::Spec(er.clone()),
+                    3,
+                    cfg(EngineChoice::Sequential),
+                    Algo::Paper,
+                )
+                .with_priority(4)
+                .with_deadline_rounds(0),
+                Job::new(
+                    GraphInput::Spec(geo.clone()),
+                    3,
+                    cfg(EngineChoice::Sharded(2)),
+                    Algo::Paper,
+                )
+                .with_deadline_rounds(0),
             ],
         },
         Scenario {
@@ -127,6 +191,13 @@ pub struct LoadgenRow {
     pub p50: Duration,
     /// 95th-percentile latency.
     pub p95: Duration,
+    /// Time from batch submission to the **first streamed result** — the
+    /// latency a streaming consumer actually feels, and the figure the
+    /// batch-barrier design could never improve on.
+    pub ttfr: Duration,
+    /// Deadline misses over jobs that carried a deadline (0 when none
+    /// did). Deterministic: deadlines are round budgets, not wall-clock.
+    pub deadline_miss_rate: f64,
     /// Corpus-cache hit rate over the replay.
     pub hit_rate: f64,
 }
@@ -139,24 +210,47 @@ fn percentile(sorted: &[Duration], q: f64) -> Duration {
     sorted[idx.min(sorted.len() - 1)]
 }
 
-/// Replays every scenario through a fresh [`Service`] per worker count.
+/// Replays every scenario through a fresh [`Service`] per worker count,
+/// consuming results via [`Service::stream`] (completion order — the
+/// first pair to arrive times the `ttfr` column).
 ///
-/// Returns the per-worker-count rows; panics if any job fails or if two
-/// worker counts disagree on any answer (the service determinism
-/// guarantee, enforced at measurement time exactly like the engine
-/// checksum in the `eng` experiment).
+/// Returns the per-worker-count rows; panics if any job fails with
+/// anything other than a deterministic [`JobError::DeadlineExceeded`], or
+/// if two worker counts disagree on any answer — success *or* miss — (the
+/// service determinism guarantee, enforced at measurement time exactly
+/// like the engine checksum in the `eng` experiment).
 pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow> {
     let jobs: Vec<Job> = scenarios.iter().flat_map(|s| s.jobs.iter().cloned()).collect();
+    let with_deadline = jobs.iter().filter(|j| j.meta.deadline_rounds.is_some()).count();
     let mut reference: Option<Vec<String>> = None;
     let mut rows = Vec::new();
     for &workers in worker_counts {
         let svc = Service::new(workers);
         let start = std::time::Instant::now();
-        let outcomes = svc.run_batch(jobs.clone());
+        let stream = svc.stream(jobs.clone());
+        let tickets = stream.tickets().to_vec();
+        let mut ttfr = Duration::ZERO;
+        let mut streamed: HashMap<Ticket, service::JobOutcome> = HashMap::new();
+        for (i, (ticket, outcome)) in stream.enumerate() {
+            if i == 0 {
+                ttfr = start.elapsed();
+            }
+            streamed.insert(ticket, outcome);
+        }
         let wall = start.elapsed();
+        // submission order, exactly like run_batch would return
+        let outcomes: Vec<service::JobOutcome> = tickets
+            .iter()
+            .map(|t| streamed.remove(t).expect("stream yields every ticket"))
+            .collect();
         let answers: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+        let mut deadline_misses = 0usize;
         for (i, o) in outcomes.iter().enumerate() {
-            assert!(o.report.is_ok(), "job {i} failed: {:?}", o.report);
+            match &o.report {
+                Ok(_) => {}
+                Err(JobError::DeadlineExceeded { .. }) => deadline_misses += 1,
+                Err(e) => panic!("job {i} failed: {e}"),
+            }
         }
         match &reference {
             None => reference = Some(answers),
@@ -175,6 +269,8 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
             jobs_per_sec: outcomes.len() as f64 / wall.as_secs_f64().max(1e-9),
             p50: percentile(&latencies, 0.50),
             p95: percentile(&latencies, 0.95),
+            ttfr,
+            deadline_miss_rate: deadline_misses as f64 / with_deadline.max(1) as f64,
             hit_rate: hits as f64 / (hits + misses).max(1) as f64,
         });
     }
@@ -182,11 +278,20 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
 }
 
 /// Prints the loadgen table and writes `BENCH_service.json` — the
-/// cross-PR trajectory record (jobs/s, p50/p95 latency, cache hit rate
-/// per worker count).
+/// cross-PR trajectory record (jobs/s, p50/p95 latency, time-to-first-
+/// result, deadline-miss rate, cache hit rate per worker count).
 pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow]) {
-    let mut t =
-        Table::new(&["workers", "jobs", "wall ms", "jobs/s", "p50 ms", "p95 ms", "hit rate"]);
+    let mut t = Table::new(&[
+        "workers",
+        "jobs",
+        "wall ms",
+        "jobs/s",
+        "p50 ms",
+        "p95 ms",
+        "ttfr ms",
+        "miss rate",
+        "hit rate",
+    ]);
     let mut rows_json = Vec::new();
     for r in rows {
         t.row(vec![
@@ -196,12 +301,15 @@ pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow]) {
             format!("{:.1}", r.jobs_per_sec),
             format!("{:.2}", r.p50.as_secs_f64() * 1e3),
             format!("{:.2}", r.p95.as_secs_f64() * 1e3),
+            format!("{:.2}", r.ttfr.as_secs_f64() * 1e3),
+            format!("{:.3}", r.deadline_miss_rate),
             format!("{:.3}", r.hit_rate),
         ]);
         rows_json.push(format!(
             concat!(
                 "    {{\"workers\": {}, \"jobs\": {}, \"wall_ms\": {:.3}, ",
                 "\"jobs_per_sec\": {:.3}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, ",
+                "\"ttfr_ms\": {:.4}, \"deadline_miss_rate\": {:.4}, ",
                 "\"cache_hit_rate\": {:.4}}}"
             ),
             r.workers,
@@ -210,6 +318,8 @@ pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow]) {
             r.jobs_per_sec,
             r.p50.as_secs_f64() * 1e3,
             r.p95.as_secs_f64() * 1e3,
+            r.ttfr.as_secs_f64() * 1e3,
+            r.deadline_miss_rate,
             r.hit_rate,
         ));
     }
@@ -251,6 +361,14 @@ mod tests {
             assert!(r.hit_rate > 0.0, "repeated specs must produce cache hits");
             assert!(r.jobs_per_sec > 0.0);
             assert!(r.p50 <= r.p95);
+            assert!(r.ttfr > Duration::ZERO && r.ttfr <= r.wall);
+            // the priority-mix scenario plants exactly two deterministic
+            // zero-budget misses among its three deadline-carrying jobs
+            assert!(
+                (r.deadline_miss_rate - 2.0 / 3.0).abs() < 1e-9,
+                "expected 2 misses of 3 deadline jobs, got rate {}",
+                r.deadline_miss_rate
+            );
         }
     }
 

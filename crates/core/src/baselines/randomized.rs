@@ -48,6 +48,13 @@ pub fn list_cliques_randomized(
         if current.is_empty() {
             break;
         }
+        // Same round-budget cap semantics as the deterministic driver:
+        // checked at level boundaries, truncates with work pending.
+        if cfg.round_cap_reached(report.cost.rounds) {
+            report.cost.truncated = true;
+            report.raw_listings = raw;
+            return ListingOutcome { cliques: found.into_iter().collect(), report };
+        }
         let cg = Graph::from_edges(n, &current);
         let mut level = LevelStats { level: depth, edges: current.len(), ..Default::default() };
         let mut level_cost = CostReport::zero();
@@ -91,6 +98,18 @@ pub fn list_cliques_randomized(
             }
         }
 
+        // Mid-level cap checkpoint, mirroring the deterministic driver.
+        if cfg.round_cap_reached(report.cost.rounds + level_cost.rounds) {
+            level.rounds = level_cost.rounds;
+            level.messages = level_cost.messages;
+            report.cost.absorb(&level_cost);
+            report.cost.truncated = true;
+            report.levels.push(level);
+            report.depth = depth + 1;
+            report.raw_listings = raw;
+            return ListingOutcome { cliques: found.into_iter().collect(), report };
+        }
+
         let mut cluster_reports = Vec::new();
         for (ci, f) in frontiers.iter().enumerate() {
             if f.e_plus.is_empty() {
@@ -130,6 +149,11 @@ pub fn list_cliques_randomized(
         report.levels.push(level);
         report.depth = depth + 1;
         if next.len() == current.len() {
+            if cfg.round_cap_reached(report.cost.rounds) {
+                report.cost.truncated = true;
+                report.raw_listings = raw;
+                return ListingOutcome { cliques: found.into_iter().collect(), report };
+            }
             let ng = Graph::from_edges(n, &next);
             let (cliques, cost) =
                 low_degree_listing_for(cfg.engine, &ng, p, ng.max_degree(), cfg.bandwidth);
@@ -144,7 +168,9 @@ pub fn list_cliques_randomized(
         current = next;
     }
 
-    if !current.is_empty() {
+    if !current.is_empty() && cfg.round_cap_reached(report.cost.rounds) {
+        report.cost.truncated = true;
+    } else if !current.is_empty() {
         let ng = Graph::from_edges(n, &current);
         let (cliques, cost) =
             low_degree_listing_for(cfg.engine, &ng, p, ng.max_degree(), cfg.bandwidth);

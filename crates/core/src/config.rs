@@ -97,6 +97,17 @@ pub struct ListingConfig {
     /// a wall-clock knob: results are identical for every choice. Defaults
     /// to the `CLIQUE_ENGINE` environment variable (see [`EngineChoice`]).
     pub engine: EngineChoice,
+    /// Budget cap on **cumulative measured CONGEST rounds** for a whole
+    /// listing run (`None` = unlimited). The drivers check the cap at
+    /// recursion-level boundaries: once the accumulated round count
+    /// reaches it, the run stops before starting the next level (the
+    /// exhaustive fallback included) and the report comes back with
+    /// `CostReport::truncated` set — a capped run is an explicit partial
+    /// answer, never silently incomplete. Deterministic: round counts are
+    /// engine-independent, so the same cap truncates at the same level on
+    /// every engine and worker count. This is the knob the batch service's
+    /// job deadlines (`JobMeta::deadline_rounds`) are enforced through.
+    pub round_cap: Option<u64>,
 }
 
 impl Default for ListingConfig {
@@ -110,6 +121,7 @@ impl Default for ListingConfig {
             base_edges: 32,
             lambda_override: None,
             engine: EngineChoice::default(),
+            round_cap: None,
         }
     }
 }
@@ -126,6 +138,15 @@ impl ListingConfig {
             self.beta * (n as f64).powf(1.0 - 2.0 / p as f64)
         };
         (d.ceil() as usize).max(1)
+    }
+
+    /// Whether a cumulative round count has met [`ListingConfig::round_cap`]
+    /// (always false when uncapped). Both listing drivers consult this —
+    /// and only this — at their budget checkpoints, so the truncation
+    /// semantics cannot diverge between the deterministic and randomized
+    /// recursions.
+    pub fn round_cap_reached(&self, rounds: u64) -> bool {
+        self.round_cap.is_some_and(|cap| rounds >= cap)
     }
 
     /// The exhaustive-search degree bound `α`: vertices of current degree

@@ -115,6 +115,14 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
         if current.is_empty() {
             break;
         }
+        // Round-budget cap (deadline enforcement): once the accumulated
+        // rounds reach the cap, stop before the next level — edges are
+        // still unresolved, so the report is explicitly truncated.
+        if cfg.round_cap_reached(report.cost.rounds) {
+            report.cost.truncated = true;
+            report.raw_listings = raw;
+            return ListingOutcome { cliques: found.into_iter().collect(), report };
+        }
         let cg = Graph::from_edges(n, &current);
         let mut level = LevelStats { level: depth, edges: current.len(), ..Default::default() };
         let mut level_cost = CostReport::zero();
@@ -168,6 +176,20 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
             }
         }
 
+        // Mid-level cap checkpoint: a single level can cost thousands of
+        // rounds, so deadline enforcement also checks between the
+        // low-degree pass and the (expensive) cluster listing.
+        if cfg.round_cap_reached(report.cost.rounds + level_cost.rounds) {
+            level.rounds = level_cost.rounds;
+            level.messages = level_cost.messages;
+            report.cost.absorb(&level_cost);
+            report.cost.truncated = true;
+            report.levels.push(level);
+            report.depth = depth + 1;
+            report.raw_listings = raw;
+            return ListingOutcome { cliques: found.into_iter().collect(), report };
+        }
+
         // 3. Per-cluster tree listing (clusters are edge-disjoint: they run
         //    in parallel, each edge of G' appears in at most two E⁺ sets).
         let mut cluster_reports: Vec<CostReport> = Vec::new();
@@ -210,7 +232,13 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
         report.depth = depth + 1;
 
         if next.len() == current.len() {
-            // No progress: close out with the guarded exhaustive fallback.
+            // No progress: close out with the guarded exhaustive fallback
+            // (unless the round cap is spent — the fallback costs rounds).
+            if cfg.round_cap_reached(report.cost.rounds) {
+                report.cost.truncated = true;
+                report.raw_listings = raw;
+                return ListingOutcome { cliques: found.into_iter().collect(), report };
+            }
             let ng = Graph::from_edges(n, &next);
             let (cliques, cost) =
                 low_degree_listing_on(sel, &ng, p, ng.max_degree(), cfg.bandwidth);
@@ -226,7 +254,9 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
         current = next;
     }
 
-    if !current.is_empty() {
+    if !current.is_empty() && cfg.round_cap_reached(report.cost.rounds) {
+        report.cost.truncated = true;
+    } else if !current.is_empty() {
         // depth budget exhausted: guarded fallback
         let ng = Graph::from_edges(n, &current);
         let (cliques, cost) = low_degree_listing_on(sel, &ng, p, ng.max_degree(), cfg.bandwidth);
@@ -323,6 +353,41 @@ mod tests {
         let b = list_cliques_congest(&g, 3, &ListingConfig::default());
         assert_eq!(a.cliques, b.cliques);
         assert_eq!(a.report.cost, b.report.cost);
+    }
+
+    #[test]
+    fn round_cap_truncates_deterministically() {
+        let g = graphs::erdos_renyi(80, 0.1, 3);
+        // a zero cap on a nontrivial graph cannot finish: truncated, no work
+        let capped = ListingConfig { round_cap: Some(0), ..ListingConfig::default() };
+        let out = list_cliques_congest(&g, 3, &capped);
+        assert!(out.report.truncated(), "zero budget with edges pending must truncate");
+        assert_eq!(out.report.rounds(), 0);
+        // an unlimited run is never truncated and fixes the exact cost…
+        let full = list_cliques_congest(&g, 3, &ListingConfig::default());
+        assert!(!full.report.truncated());
+        // …so a cap at that cost (or above) changes nothing,
+        let exact =
+            ListingConfig { round_cap: Some(full.report.rounds()), ..ListingConfig::default() };
+        let out = list_cliques_congest(&g, 3, &exact);
+        assert!(!out.report.truncated());
+        assert_eq!(out.cliques, full.cliques);
+        // …while a tighter cap truncates — at the mid-level checkpoint,
+        // since one level costs far more than one round — and does so
+        // byte-identically on both engines.
+        let tight = ListingConfig { round_cap: Some(1), ..ListingConfig::default() };
+        let a = list_cliques_congest(&g, 3, &tight);
+        let b = list_cliques_congest(
+            &g,
+            3,
+            &ListingConfig { engine: EngineChoice::Sharded(2), ..tight.clone() },
+        );
+        assert!(a.report.truncated() && b.report.truncated());
+        assert!(a.report.rounds() < full.report.rounds(), "capped run must stop early");
+        assert_eq!(a.cliques, b.cliques);
+        assert_eq!(a.report.cost, b.report.cost);
+        // a truncated listing is a subset of the full answer
+        assert!(a.cliques.iter().all(|c| full.cliques.contains(c)));
     }
 
     #[test]

@@ -45,7 +45,7 @@ use congest::network::{Outbox, Protocol, Word};
 
 pub mod pool;
 
-pub use pool::{global_pool, WorkerPool};
+pub use pool::{global_pool, PoolLease, WorkerPool};
 
 /// A message in flight between shards: `(destination, sender, payload)`.
 type Envelope = (VertexId, VertexId, Word);
@@ -409,6 +409,49 @@ impl EngineSelect for Sharded {
     }
 }
 
+/// Selects the sharded engine on an **explicit, caller-owned pool**
+/// instead of the process-wide [`global_pool`].
+///
+/// This is how a long-lived service routes the round phases of its
+/// admitted jobs onto a pool it can observe and bound (see
+/// [`WorkerPool::lease`]); the transcript is identical to [`Sharded`] —
+/// which pool executes the barrier batches is invisible to results.
+#[derive(Debug, Clone)]
+pub struct ShardedOn {
+    /// Worker-shard count (≥ 1).
+    pub shards: usize,
+    /// The pool the round phases run on.
+    pub pool: Arc<WorkerPool>,
+}
+
+impl ShardedOn {
+    /// Selector with an explicit shard count and pool.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards == 0`.
+    pub fn new(shards: usize, pool: Arc<WorkerPool>) -> Self {
+        assert!(shards >= 1, "need at least one shard");
+        ShardedOn { shards, pool }
+    }
+}
+
+impl EngineSelect for ShardedOn {
+    type Engine<'g, P>
+        = ShardedNetwork<'g, P>
+    where
+        P: Protocol + Send + 'g;
+
+    fn build<'g, P: Protocol + Send>(
+        &self,
+        g: &'g Graph,
+        states: Vec<P>,
+        bandwidth: usize,
+    ) -> ShardedNetwork<'g, P> {
+        ShardedNetwork::with_pool(g, states, bandwidth, self.shards, Arc::clone(&self.pool))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -578,9 +621,19 @@ mod tests {
         let pool = Arc::new(WorkerPool::new(2));
         let mut reference = Network::new(&g, min_flood_states(17));
         let ref_report = reference.run(1000);
-        let mut net = ShardedNetwork::with_pool(&g, min_flood_states(17), 1, 4, pool);
+        let mut net = ShardedNetwork::with_pool(&g, min_flood_states(17), 1, 4, Arc::clone(&pool));
         let report = net.run(1000);
         assert_eq!(report, ref_report);
+        // the ShardedOn selector routes to the same pool with the same
+        // transcript, and leases on it are observable
+        let lease = pool.lease();
+        let (d_on, r_on) = distributed_bfs_on(&ShardedOn::new(3, Arc::clone(&pool)), &g, 0);
+        let (d_seq, r_seq) = distributed_bfs_on(&Sequential, &g, 0);
+        assert_eq!(d_on, d_seq);
+        assert_eq!(r_on, r_seq);
+        assert_eq!(pool.active_leases(), 1);
+        drop(lease);
+        assert_eq!(pool.active_leases(), 0);
     }
 
     #[test]

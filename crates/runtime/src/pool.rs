@@ -23,6 +23,7 @@
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 use std::thread::JoinHandle;
 
@@ -49,6 +50,10 @@ struct Batch {
 pub struct WorkerPool {
     shared: Arc<PoolShared>,
     workers: Vec<JoinHandle<()>>,
+    /// Leases currently held (see [`WorkerPool::lease`]).
+    active_leases: AtomicUsize,
+    /// High-water mark of concurrently held leases.
+    peak_leases: AtomicUsize,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -78,12 +83,41 @@ impl WorkerPool {
                     .expect("spawn pool worker")
             })
             .collect();
-        WorkerPool { shared, workers }
+        WorkerPool {
+            shared,
+            workers,
+            active_leases: AtomicUsize::new(0),
+            peak_leases: AtomicUsize::new(0),
+        }
     }
 
     /// Number of worker threads.
     pub fn size(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Takes an instrumented **lease** on the pool: a RAII handle marking
+    /// one logical client (e.g. one admitted sharded-engine job) as
+    /// currently running batches here. Leases are bookkeeping, not
+    /// capacity — they never block, and `run_scoped` works the same with
+    /// or without one. Admission controllers (the batch query service)
+    /// take one lease per admitted job so tests and operators can observe
+    /// how many round-barrier clients interleave on the pool at once via
+    /// [`WorkerPool::active_leases`] / [`WorkerPool::peak_leases`].
+    pub fn lease(self: &Arc<Self>) -> PoolLease {
+        let now = self.active_leases.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_leases.fetch_max(now, Ordering::SeqCst);
+        PoolLease { pool: Arc::clone(self) }
+    }
+
+    /// Leases currently held.
+    pub fn active_leases(&self) -> usize {
+        self.active_leases.load(Ordering::SeqCst)
+    }
+
+    /// The most leases ever held concurrently over the pool's lifetime.
+    pub fn peak_leases(&self) -> usize {
+        self.peak_leases.load(Ordering::SeqCst)
     }
 
     /// Executes `tasks` on the pool and blocks until all of them have
@@ -139,6 +173,26 @@ impl WorkerPool {
             drop(st);
             resume_unwind(payload);
         }
+    }
+}
+
+/// RAII handle for one instrumented pool lease (see [`WorkerPool::lease`]).
+/// Dropping it releases the lease.
+#[derive(Debug)]
+pub struct PoolLease {
+    pool: Arc<WorkerPool>,
+}
+
+impl PoolLease {
+    /// The pool this lease counts against.
+    pub fn pool(&self) -> &Arc<WorkerPool> {
+        &self.pool
+    }
+}
+
+impl Drop for PoolLease {
+    fn drop(&mut self) {
+        self.pool.active_leases.fetch_sub(1, Ordering::SeqCst);
     }
 }
 
@@ -264,6 +318,22 @@ mod tests {
             let msg = payload.downcast_ref::<String>().expect("panic message");
             assert_eq!(msg, "task 2 failed");
         }
+    }
+
+    #[test]
+    fn leases_track_active_and_peak_counts() {
+        let pool = Arc::new(WorkerPool::new(1));
+        assert_eq!((pool.active_leases(), pool.peak_leases()), (0, 0));
+        let a = pool.lease();
+        let b = pool.lease();
+        assert_eq!((pool.active_leases(), pool.peak_leases()), (2, 2));
+        drop(a);
+        assert_eq!((pool.active_leases(), pool.peak_leases()), (1, 2));
+        let c = pool.lease();
+        assert_eq!((pool.active_leases(), pool.peak_leases()), (2, 2));
+        drop(b);
+        drop(c);
+        assert_eq!((pool.active_leases(), pool.peak_leases()), (0, 2));
     }
 
     #[test]

@@ -256,7 +256,34 @@ impl CorpusCache {
             self.hits += 1;
             return (graph, fp, true);
         }
+        // The miss is recorded *before* the build so that a panicking
+        // build (invalid spec) still shows up in the stats — the service
+        // relies on this for its poison-tolerant locking.
         self.misses += 1;
+        let (graph, fp) = self.build_and_insert(key, spec);
+        (graph, fp, false)
+    }
+
+    /// Warms `spec` into the cache **without touching the hit/miss
+    /// counters**: prefetching is provisioning, not traffic, so it must
+    /// not distort the hit-rate metric the loadgen records. Returns
+    /// `(graph, fingerprint, was_resident)`. This is what
+    /// [`crate::Service::prefetch`] calls when a caller warms a graph at
+    /// admission time, ahead of the jobs that will query it.
+    pub fn warm(&mut self, spec: &GraphSpec) -> (Arc<Graph>, u64, bool) {
+        let key = spec.key();
+        if let Some(entry) = self.entries.get(&key) {
+            let (graph, fp) = (Arc::clone(&entry.graph), entry.fingerprint);
+            self.touch(&key);
+            return (graph, fp, true);
+        }
+        let (graph, fp) = self.build_and_insert(key, spec);
+        (graph, fp, false)
+    }
+
+    /// Builds `spec`, evicts the LRU entry if at capacity, and caches the
+    /// result under `key`.
+    fn build_and_insert(&mut self, key: String, spec: &GraphSpec) -> (Arc<Graph>, u64) {
         let graph = Arc::new(spec.build());
         let fp = fingerprint(&graph);
         if self.entries.len() >= self.capacity {
@@ -265,7 +292,7 @@ impl CorpusCache {
         }
         self.entries.insert(key.clone(), CacheEntry { graph: Arc::clone(&graph), fingerprint: fp });
         self.order.push(key);
-        (graph, fp, false)
+        (graph, fp)
     }
 
     /// Looks up a resident graph by content fingerprint (refreshing its
@@ -361,6 +388,23 @@ mod tests {
         assert!(hit1, "s1 was refreshed and must survive");
         let (_, _, hit2) = cache.get_or_build(&s2);
         assert!(!hit2, "s2 was evicted");
+    }
+
+    #[test]
+    fn warm_is_invisible_to_the_stats() {
+        let mut cache = CorpusCache::new(4);
+        let spec = GraphSpec::Hypercube { dim: 4 };
+        let (g1, fp1, resident1) = cache.warm(&spec);
+        assert!(!resident1);
+        let (g2, fp2, resident2) = cache.warm(&spec);
+        assert!(resident2);
+        assert_eq!(fp1, fp2);
+        assert!(Arc::ptr_eq(&g1, &g2));
+        assert_eq!(cache.stats(), (0, 0), "warming must not count as traffic");
+        // a later query over the warmed spec is a genuine hit
+        let (_, _, hit) = cache.get_or_build(&spec);
+        assert!(hit);
+        assert_eq!(cache.stats(), (1, 0));
     }
 
     #[test]

@@ -1,22 +1,50 @@
-//! A multi-tenant batch clique-query service over a **persistent worker
-//! pool**.
+//! A multi-tenant **streaming** clique-query service over a persistent
+//! worker pool, with job priorities, round-budget deadlines, and admission
+//! control.
 //!
 //! This crate is the serving layer the ROADMAP's north star asks for: the
 //! listing algorithms of [`clique_listing`] stop being one-shot library
 //! calls and become [`Job`]s — *graph spec (or cached-graph fingerprint) +
-//! clique size + config + algorithm choice* — submitted to a long-lived
-//! [`Service`]. The service owns:
+//! clique size + config + algorithm choice + [`JobMeta`]* — submitted to a
+//! long-lived [`Service`]. The service owns:
 //!
-//! - a **job queue** drained by worker threads that live for the service
-//!   lifetime (spawned once in [`Service::new`], joined on drop);
+//! - a **deterministic priority queue** drained by worker threads that
+//!   live for the service lifetime (spawned once in [`Service::new`],
+//!   joined on drop): jobs are ordered by `(priority desc, submission
+//!   sequence asc)`, so higher-priority jobs always pop first and
+//!   equal-priority jobs pop in exact submission order — the pop order is
+//!   a pure function of the submitted set, never of thread timing;
 //! - a **graph corpus cache** ([`CorpusCache`]): seeded generator specs
 //!   are built at most once per residency, content-fingerprinted, and
 //!   LRU-bounded, so repeated queries over the same workload skip
 //!   regeneration;
 //! - the sharded round engine's **persistent pool** (`runtime::pool`),
-//!   which jobs configured with `EngineChoice::Sharded` share — protocol
-//!   rounds run as barrier-synchronized batches on pooled threads, never
-//!   as per-round spawns.
+//!   which admitted `EngineChoice::Sharded` jobs share — protocol rounds
+//!   run as barrier-synchronized batches on pooled threads, never as
+//!   per-round spawns. An **admission limit**
+//!   ([`Service::with_admission_limit`], `CLIQUE_ADMIT` environment
+//!   override) bounds how many sharded jobs hold the pool concurrently so
+//!   their round barriers don't interleave badly on small pools; each
+//!   admitted job takes an observable [`runtime::PoolLease`].
+//!
+//! Results can be consumed three ways: per-ticket [`Service::wait`], the
+//! batch barrier [`Service::run_batch`] (submission-order outcomes), or —
+//! new — [`Service::stream`], which yields `(Ticket, JobOutcome)` pairs
+//! **in completion order** as an iterator, so callers see early results
+//! while slow jobs still run. `run_batch` is implemented on top of
+//! `stream`.
+//!
+//! # Deadlines
+//!
+//! [`JobMeta::deadline_rounds`] is a budget in **measured CONGEST
+//! rounds** — the paper's own cost measure — not wall-clock time, so
+//! whether a job makes its deadline is deterministic. The service
+//! enforces it by threading a round cap into
+//! [`ListingConfig::round_cap`]: a run that cannot finish within the
+//! budget stops early (with `CostReport::truncated` set, the PR-1
+//! machinery) and the job comes back as
+//! [`JobError::DeadlineExceeded`] carrying the rounds used and the
+//! truncation flag.
 //!
 //! # Determinism
 //!
@@ -24,22 +52,24 @@
 //! deterministic function of the job alone (the engines are
 //! transcript-identical at every shard count, and every generator and
 //! baseline is seeded), and results are keyed by submission ticket —
-//! never by which worker ran the job or when it finished.
-//! [`Service::run_batch`] therefore returns **byte-identical
-//! [`JobReport`]s in submission order regardless of the worker count or
-//! completion order** for every [`GraphInput::Spec`] job; the property
-//! suite asserts this for pools of 1, 2, and 8 workers. Only
-//! [`JobOutcome::latency`] and [`JobOutcome::cache_hit`] — observations
-//! about *this execution*, not about the answer — may vary.
+//! never by which worker ran the job or when it finished. Both
+//! [`Service::run_batch`] and [`Service::stream`] therefore deliver
+//! **byte-identical [`JobReport`]s per ticket regardless of the worker
+//! count, the admission limit, or completion order** for every
+//! [`GraphInput::Spec`] job; the property suites assert this for pools of
+//! 1, 2, and 8 workers. Only [`JobOutcome::latency`] and
+//! [`JobOutcome::cache_hit`] — observations about *this execution*, not
+//! about the answer — may vary, and the *order* a stream yields pairs in
+//! is explicitly an execution observation.
 //!
 //! The one deliberate exception is [`GraphInput::Cached`]: a fingerprint
 //! names *residency*, not a recipe, so whether it resolves depends on
 //! service history — what was warmed before and what the LRU has since
 //! evicted — and, within a single multi-worker batch, on scheduling.
-//! Warm the spec in an **earlier batch** (as the example below does) and
-//! a `Cached` job is as deterministic as any other; interleaving it with
-//! its warming spec job in one batch is a caller race, and may yield an
-//! unknown-fingerprint [`JobError`] on some schedules.
+//! Warm the spec in an **earlier batch** (or via [`Service::prefetch`])
+//! and a `Cached` job is as deterministic as any other; interleaving it
+//! with its warming spec job in one batch is a caller race, and may yield
+//! an unknown-fingerprint [`JobError`] on some schedules.
 //!
 //! # Example
 //!
@@ -51,28 +81,37 @@
 //! let spec = GraphSpec::ErdosRenyi { n: 40, p: 0.15, seed: 7 };
 //! let jobs = vec![
 //!     Job::new(GraphInput::Spec(spec.clone()), 3, ListingConfig::default(), Algo::Paper),
-//!     // same graph again: served from the corpus cache
-//!     Job::new(GraphInput::Spec(spec.clone()), 4, ListingConfig::default(), Algo::Paper),
+//!     // same graph again: served from the corpus cache, and bumped ahead
+//!     // of the first job by its higher priority
+//!     Job::new(GraphInput::Spec(spec.clone()), 4, ListingConfig::default(), Algo::Paper)
+//!         .with_priority(9),
 //! ];
-//! let outcomes = svc.run_batch(jobs);
-//! let triangles = outcomes[0].report.as_ref().unwrap();
+//! // streaming consumption: pairs arrive in completion order …
+//! let mut outcomes: Vec<_> = svc.stream(jobs).collect();
+//! // … but the answers are deterministic per ticket, so sort by ticket
+//! // to recover submission order.
+//! outcomes.sort_by_key(|(t, _)| *t);
+//! let triangles = outcomes[0].1.report.as_ref().unwrap();
 //! assert_eq!(triangles.clique_count, graphs::list_cliques(&spec.build(), 3).len());
 //! let (hits, misses) = svc.cache_stats();
 //! assert_eq!((hits, misses), (1, 1));
 //! ```
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use clique_listing::baselines::{
-    dlp12_congested_clique, list_cliques_randomized, naive_exhaustive_for,
+    dlp12_congested_clique, list_cliques_randomized, naive_exhaustive_for, naive_exhaustive_on,
 };
-use clique_listing::{list_cliques_congest, ListingConfig, RunReport};
+use clique_listing::{
+    list_cliques_congest, list_cliques_congest_with, EngineChoice, ListingConfig, RunReport,
+};
 use congest::graph::{Graph, VertexId};
+use runtime::{global_pool, ShardedOn, WorkerPool};
 
 pub mod corpus;
 
@@ -114,7 +153,24 @@ pub enum Algo {
     Dlp12,
 }
 
-/// One clique-listing query: graph + clique size + tuning + algorithm.
+/// Scheduling metadata of a job: how urgent it is and how many measured
+/// CONGEST rounds it may spend.
+///
+/// The default is the neutral job: priority 0, no deadline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobMeta {
+    /// Queue priority: **higher pops first**. Equal priorities preserve
+    /// exact submission order (FIFO), so the schedule is deterministic.
+    pub priority: u8,
+    /// Round-budget deadline in measured CONGEST rounds (`None` =
+    /// unlimited). A job that cannot finish within the budget returns
+    /// [`JobError::DeadlineExceeded`]. Deterministic: round counts do not
+    /// depend on the engine, worker count, or wall-clock.
+    pub deadline_rounds: Option<u64>,
+}
+
+/// One clique-listing query: graph + clique size + tuning + algorithm,
+/// plus scheduling metadata.
 ///
 /// # Example
 ///
@@ -126,8 +182,11 @@ pub enum Algo {
 ///     3,
 ///     ListingConfig::default(),
 ///     Algo::Paper,
-/// );
+/// )
+/// .with_priority(3)
+/// .with_deadline_rounds(10_000);
 /// assert_eq!(job.p, 3);
+/// assert_eq!(job.meta.priority, 3);
 /// ```
 #[derive(Debug, Clone)]
 pub struct Job {
@@ -139,12 +198,26 @@ pub struct Job {
     pub config: ListingConfig,
     /// Algorithm choice.
     pub algo: Algo,
+    /// Scheduling metadata (priority + deadline).
+    pub meta: JobMeta,
 }
 
 impl Job {
-    /// Bundles the four query components.
+    /// Bundles the four query components with neutral [`JobMeta`].
     pub fn new(graph: GraphInput, p: usize, config: ListingConfig, algo: Algo) -> Self {
-        Job { graph, p, config, algo }
+        Job { graph, p, config, algo, meta: JobMeta::default() }
+    }
+
+    /// Sets the queue priority (higher pops first).
+    pub fn with_priority(mut self, priority: u8) -> Self {
+        self.meta.priority = priority;
+        self
+    }
+
+    /// Sets the round-budget deadline (measured CONGEST rounds).
+    pub fn with_deadline_rounds(mut self, rounds: u64) -> Self {
+        self.meta.deadline_rounds = Some(rounds);
+        self
     }
 }
 
@@ -167,19 +240,66 @@ pub struct JobReport {
     /// Recursion depth (0 for the baselines that have none).
     pub depth: usize,
     /// Whether any engine run hit its round budget (see
-    /// [`RunReport::truncated`]).
+    /// [`RunReport::truncated`]). Set when the caller supplied
+    /// [`ListingConfig::round_cap`] directly and the run stopped at it;
+    /// a *deadline*-capped run surfaces as
+    /// [`JobError::DeadlineExceeded`] instead.
     pub truncated: bool,
     /// Whether the exhaustive fallback closed the run.
     pub fallback_used: bool,
 }
 
-/// Why a job failed. Failures are values, not worker crashes: a panicking
-/// job is caught and reported, and the worker lives on.
+/// Why a job failed. Failures are **typed values**, not worker crashes: a
+/// panicking job is caught and reported, and the worker lives on.
 #[derive(Debug, Clone, PartialEq, Eq)]
-pub struct JobError {
-    /// Human-readable cause.
-    pub message: String,
+pub enum JobError {
+    /// The job could not finish within [`JobMeta::deadline_rounds`].
+    /// Deterministic: the same job misses the same deadline at every
+    /// worker count.
+    DeadlineExceeded {
+        /// The budget the job was submitted with.
+        deadline_rounds: u64,
+        /// Measured rounds at the point the run stopped.
+        rounds_used: u64,
+        /// Whether the run was cut off mid-listing by the round cap
+        /// (`true`), or completed but over budget (`false`). Rides the
+        /// `CostReport::truncated` machinery.
+        truncated: bool,
+    },
+    /// Building the graph from its spec panicked (invalid parameters).
+    GraphBuild {
+        /// Canonical key of the offending spec.
+        spec: String,
+        /// The builder's panic message.
+        message: String,
+    },
+    /// A [`GraphInput::Cached`] fingerprint matched no resident graph.
+    UnknownFingerprint(u64),
+    /// The algorithm itself panicked (bad `p`, adversarial config).
+    Panicked(String),
 }
+
+impl std::fmt::Display for JobError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobError::DeadlineExceeded { deadline_rounds, rounds_used, truncated } => write!(
+                f,
+                "deadline exceeded: {rounds_used} rounds used of a {deadline_rounds}-round \
+                 budget{}",
+                if *truncated { " (run truncated)" } else { "" }
+            ),
+            JobError::GraphBuild { spec, message } => {
+                write!(f, "graph build failed for spec {spec}: {message}")
+            }
+            JobError::UnknownFingerprint(fp) => {
+                write!(f, "no cached graph with fingerprint {fp:#018x}")
+            }
+            JobError::Panicked(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JobError {}
 
 /// Everything the service returns for one job: the deterministic
 /// [`JobReport`] (or [`JobError`]) plus per-execution observations.
@@ -195,21 +315,79 @@ pub struct JobOutcome {
     pub latency: Duration,
 }
 
-/// Handle for retrieving one submitted job's outcome.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+/// Handle for retrieving one submitted job's outcome. Tickets order by
+/// submission sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ticket(u64);
 
-struct ServiceShared {
-    /// `(pending jobs, shutting down)`.
-    queue: Mutex<(VecDeque<(u64, Job, Instant)>, bool)>,
-    work_ready: Condvar,
-    corpus: Mutex<CorpusCache>,
-    finished: Mutex<HashMap<u64, JobOutcome>>,
-    job_done: Condvar,
+/// A queued job, ordered for the scheduler's max-heap: higher priority
+/// first, then **lower** submission sequence (FIFO within a priority
+/// class). The sequence is unique, so the order is total and the schedule
+/// deterministic.
+struct QueuedJob {
+    seq: u64,
+    job: Job,
+    submitted: Instant,
 }
 
-/// The batch clique-query service. See the crate docs for the
-/// architecture and the determinism guarantee.
+impl QueuedJob {
+    fn rank(&self) -> (u8, std::cmp::Reverse<u64>) {
+        (self.job.meta.priority, std::cmp::Reverse(self.seq))
+    }
+}
+
+impl PartialEq for QueuedJob {
+    fn eq(&self, other: &Self) -> bool {
+        self.rank() == other.rank()
+    }
+}
+
+impl Eq for QueuedJob {}
+
+impl PartialOrd for QueuedJob {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for QueuedJob {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.rank().cmp(&other.rank())
+    }
+}
+
+/// Completed outcomes held for their tickets, plus the completion order
+/// (ticket ids in the order their jobs finished) that feeds
+/// [`OutcomeStream`]. Only tickets belonging to a live stream (the
+/// `streamed` set) get completion-order entries: fire-and-forget
+/// [`Service::submit`] tickets park in `outcomes` alone, so they never
+/// lengthen the order scans streams perform.
+#[derive(Default)]
+struct Finished {
+    outcomes: HashMap<u64, JobOutcome>,
+    order: VecDeque<u64>,
+    streamed: HashSet<u64>,
+}
+
+struct ServiceShared {
+    /// `(pending jobs — a deterministic priority heap, shutting down)`.
+    queue: Mutex<(BinaryHeap<QueuedJob>, bool)>,
+    work_ready: Condvar,
+    corpus: Mutex<CorpusCache>,
+    finished: Mutex<Finished>,
+    job_done: Condvar,
+    /// Sharded-engine jobs currently admitted (holding the engine pool).
+    admitted: Mutex<usize>,
+    /// Max sharded-engine jobs admitted concurrently (`usize::MAX` =
+    /// unbounded).
+    admission_limit: AtomicUsize,
+    /// The pool admitted jobs run their round barriers on (the process
+    /// [`global_pool`] unless [`Service::with_engine_pool`] overrode it).
+    engine_pool: Mutex<Arc<WorkerPool>>,
+}
+
+/// The streaming clique-query service. See the crate docs for the
+/// scheduler, deadline, and determinism semantics.
 pub struct Service {
     shared: Arc<ServiceShared>,
     workers: Vec<JoinHandle<()>>,
@@ -218,7 +396,10 @@ pub struct Service {
 
 impl std::fmt::Debug for Service {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_struct("Service").field("workers", &self.workers.len()).finish()
+        f.debug_struct("Service")
+            .field("workers", &self.workers.len())
+            .field("admission_limit", &self.shared.admission_limit.load(Ordering::Relaxed))
+            .finish()
     }
 }
 
@@ -245,17 +426,23 @@ impl Service {
 
     /// Starts a service with an explicit corpus-cache capacity.
     ///
+    /// The admission limit starts at the `CLIQUE_ADMIT` environment
+    /// variable if set (see [`admission_limit_from_env`]), else unbounded.
+    ///
     /// # Panics
     ///
     /// Panics if `workers == 0` or `cache_capacity == 0`.
     pub fn with_cache_capacity(workers: usize, cache_capacity: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new((VecDeque::new(), false)),
+            queue: Mutex::new((BinaryHeap::new(), false)),
             work_ready: Condvar::new(),
             corpus: Mutex::new(CorpusCache::new(cache_capacity)),
-            finished: Mutex::new(HashMap::new()),
+            finished: Mutex::new(Finished::default()),
             job_done: Condvar::new(),
+            admitted: Mutex::new(0),
+            admission_limit: AtomicUsize::new(admission_limit_from_env().unwrap_or(usize::MAX)),
+            engine_pool: Mutex::new(Arc::clone(global_pool())),
         });
         let workers = (0..workers)
             .map(|i| {
@@ -269,54 +456,157 @@ impl Service {
         Service { shared, workers, next_ticket: AtomicU64::new(0) }
     }
 
+    /// Bounds how many sharded-engine jobs may hold the engine pool
+    /// concurrently (admission control). `0` is clamped to `1`.
+    ///
+    /// Sharded jobs run their rounds as barrier batches on one shared
+    /// pool; on small pools, many interleaved barrier clients degrade all
+    /// of them. Admission is checked **at pop time**: a sharded job past
+    /// the limit is skipped (it re-enters the queue) and the worker takes
+    /// the next admissible job instead — sequential-engine jobs are never
+    /// gated and never starve behind blocked sharded ones. The scheduler
+    /// is therefore work-conserving: a lower-priority sequential job may
+    /// run while a higher-priority sharded job waits for a permit. Purely
+    /// an execution knob: answers are byte-identical at every limit.
+    pub fn with_admission_limit(self, limit: usize) -> Self {
+        self.shared.admission_limit.store(limit.max(1), Ordering::Relaxed);
+        // a raised limit can make parked jobs admissible
+        self.shared.work_ready.notify_all();
+        self
+    }
+
+    /// Routes admitted sharded-engine jobs onto a dedicated
+    /// [`WorkerPool`] instead of the process-wide [`global_pool`] — for
+    /// isolation, and for observing the service's pool leases in tests.
+    ///
+    /// (The seeded randomized baseline drives its engine internally, so
+    /// `Algo::Randomized` jobs stay on the global pool; `Paper` and
+    /// `Naive` jobs honor the override.)
+    pub fn with_engine_pool(self, pool: Arc<WorkerPool>) -> Self {
+        *lock_ignore_poison(&self.shared.engine_pool) = pool;
+        self
+    }
+
+    /// The current admission limit (`usize::MAX` = unbounded).
+    pub fn admission_limit(&self) -> usize {
+        self.shared.admission_limit.load(Ordering::Relaxed)
+    }
+
     /// Number of persistent job workers.
     pub fn workers(&self) -> usize {
         self.workers.len()
     }
 
-    /// Enqueues a job; returns the ticket to [`Service::wait`] on.
+    /// Enqueues a job (scheduling by `job.meta`); returns the ticket to
+    /// [`Service::wait`] on.
     ///
     /// Every ticket **must eventually be claimed** with [`Service::wait`]
-    /// (or submitted through [`Service::run_batch`], which claims for
-    /// you): finished outcomes are held until their ticket collects them,
-    /// so a fire-and-forget caller grows the finished map for the
-    /// service's lifetime.
+    /// (or submitted through [`Service::stream`] / [`Service::run_batch`],
+    /// which claim for you): finished outcomes are held until their ticket
+    /// collects them, so a fire-and-forget caller grows the finished map
+    /// for the service's lifetime.
     pub fn submit(&self, job: Job) -> Ticket {
-        let id = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let meta = job.meta;
+        self.submit_with(job, meta)
+    }
+
+    /// [`Service::submit`] with explicit [`JobMeta`], overriding whatever
+    /// the job carries.
+    pub fn submit_with(&self, mut job: Job, meta: JobMeta) -> Ticket {
+        job.meta = meta;
+        let seq = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let mut q = self.shared.queue.lock().unwrap();
-        q.0.push_back((id, job, Instant::now()));
+        q.0.push(QueuedJob { seq, job, submitted: Instant::now() });
         self.shared.work_ready.notify_one();
-        Ticket(id)
+        Ticket(seq)
+    }
+
+    /// Submits every job **atomically** (one queue lock: no worker can
+    /// observe a partial batch, which makes the schedule of a submitted
+    /// batch deterministic) and returns an [`OutcomeStream`] that yields
+    /// `(Ticket, JobOutcome)` pairs in **completion order** — early
+    /// finishers are consumable while the rest still run.
+    ///
+    /// The yield *order* is an execution observation (it varies with the
+    /// worker count); the per-ticket outcomes are deterministic. Dropping
+    /// the stream early leaks its unclaimed outcomes into the finished
+    /// map for the service lifetime (they stay claimable via
+    /// [`Service::wait`]), exactly like an unclaimed [`Service::submit`]
+    /// ticket.
+    pub fn stream(&self, jobs: Vec<Job>) -> OutcomeStream<'_> {
+        let now = Instant::now();
+        let ids: Vec<u64> =
+            jobs.iter().map(|_| self.next_ticket.fetch_add(1, Ordering::Relaxed)).collect();
+        // Register the stream's tickets BEFORE the jobs become visible to
+        // workers, so every completion of a streamed job lands in the
+        // completion-order log (and only those: fire-and-forget tickets
+        // never pollute the log streams scan).
+        self.shared.finished.lock().unwrap().streamed.extend(ids.iter().copied());
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for (&seq, job) in ids.iter().zip(jobs) {
+                q.0.push(QueuedJob { seq, job, submitted: now });
+            }
+        }
+        self.shared.work_ready.notify_all();
+        let tickets: Vec<Ticket> = ids.iter().map(|&id| Ticket(id)).collect();
+        let remaining = ids.into_iter().collect();
+        OutcomeStream { svc: self, tickets, remaining }
     }
 
     /// Blocks until the ticket's job has completed and returns its
-    /// outcome. Each ticket's outcome can be claimed once.
+    /// outcome. Each ticket's outcome can be claimed once. Waiting on a
+    /// ticket that belongs to a live [`OutcomeStream`] **steals** it: the
+    /// caller gets the outcome and the stream skips that ticket (it
+    /// yields one pair per ticket it still owns).
     pub fn wait(&self, ticket: Ticket) -> JobOutcome {
-        let mut finished = self.shared.finished.lock().unwrap();
+        let mut fin = self.shared.finished.lock().unwrap();
         loop {
-            if let Some(outcome) = finished.remove(&ticket.0) {
+            if let Some(outcome) = fin.outcomes.remove(&ticket.0) {
+                if fin.streamed.remove(&ticket.0) {
+                    if let Some(pos) = fin.order.iter().position(|&id| id == ticket.0) {
+                        fin.order.remove(pos);
+                    }
+                    // wake the robbed stream so it can drop the ticket
+                    self.shared.job_done.notify_all();
+                }
                 return outcome;
             }
-            finished = self.shared.job_done.wait(finished).unwrap();
+            fin = self.shared.job_done.wait(fin).unwrap();
         }
     }
 
     /// Submits every job and waits for all of them, returning outcomes in
     /// **submission order** — the completion order (which varies with the
-    /// worker count) is invisible to the caller.
+    /// worker count) is invisible to the caller. Implemented on
+    /// [`Service::stream`]: collect the whole stream, then reorder by
+    /// ticket.
     pub fn run_batch(&self, jobs: Vec<Job>) -> Vec<JobOutcome> {
-        let tickets: Vec<Ticket> = jobs.into_iter().map(|j| self.submit(j)).collect();
-        tickets.into_iter().map(|t| self.wait(t)).collect()
+        let stream = self.stream(jobs);
+        let tickets = stream.tickets().to_vec();
+        let mut by_ticket: HashMap<Ticket, JobOutcome> = stream.collect();
+        tickets
+            .into_iter()
+            .map(|t| by_ticket.remove(&t).expect("stream yields every submitted ticket"))
+            .collect()
+    }
+
+    /// Warms `spec` into the corpus cache without running a job and
+    /// without touching the hit/miss counters (warming is provisioning,
+    /// not traffic). Returns the content fingerprint, usable as
+    /// [`GraphInput::Cached`] in later batches.
+    pub fn prefetch(&self, spec: &GraphSpec) -> u64 {
+        lock_ignore_poison(&self.shared.corpus).warm(spec).1
     }
 
     /// Corpus-cache `(hits, misses)` since the service started.
     pub fn cache_stats(&self) -> (u64, u64) {
-        lock_corpus(&self.shared).stats()
+        lock_ignore_poison(&self.shared.corpus).stats()
     }
 
     /// Resident corpus size (graphs currently cached).
     pub fn corpus_len(&self) -> usize {
-        lock_corpus(&self.shared).len()
+        lock_ignore_poison(&self.shared.corpus).len()
     }
 }
 
@@ -333,66 +623,258 @@ impl Drop for Service {
     }
 }
 
+/// Iterator over a submitted job set's outcomes in **completion order**
+/// (see [`Service::stream`]). Yields exactly one `(Ticket, JobOutcome)`
+/// pair per submitted job, blocking until the next job finishes.
+pub struct OutcomeStream<'a> {
+    svc: &'a Service,
+    /// All tickets of this stream, in submission order.
+    tickets: Vec<Ticket>,
+    /// Tickets not yet yielded.
+    remaining: HashSet<u64>,
+}
+
+impl OutcomeStream<'_> {
+    /// The stream's tickets in **submission order** (stable regardless of
+    /// completion order — use this to re-associate streamed outcomes with
+    /// the jobs that produced them).
+    pub fn tickets(&self) -> &[Ticket] {
+        &self.tickets
+    }
+
+    /// Jobs not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.remaining.len()
+    }
+}
+
+impl Iterator for OutcomeStream<'_> {
+    type Item = (Ticket, JobOutcome);
+
+    fn next(&mut self) -> Option<(Ticket, JobOutcome)> {
+        if self.remaining.is_empty() {
+            return None;
+        }
+        let shared = &self.svc.shared;
+        let mut fin = shared.finished.lock().unwrap();
+        loop {
+            // earliest completion belonging to this stream
+            if let Some(pos) = fin.order.iter().position(|id| self.remaining.contains(id)) {
+                let id = fin.order.remove(pos).expect("position came from this deque");
+                let outcome = fin.outcomes.remove(&id).expect("ordered ticket has an outcome");
+                fin.streamed.remove(&id);
+                self.remaining.remove(&id);
+                return Some((Ticket(id), outcome));
+            }
+            // A ticket claimed behind our back by Service::wait was stolen
+            // from this stream (it left the `streamed` registry): forget
+            // it instead of blocking forever on a completion that will
+            // never reappear.
+            self.remaining.retain(|id| fin.streamed.contains(id));
+            if self.remaining.is_empty() {
+                return None;
+            }
+            fin = shared.job_done.wait(fin).unwrap();
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        (self.remaining.len(), Some(self.remaining.len()))
+    }
+}
+
+impl ExactSizeIterator for OutcomeStream<'_> {}
+
+impl Drop for OutcomeStream<'_> {
+    /// Deregisters unclaimed tickets from the completion-order log so an
+    /// abandoned stream does not lengthen other streams' scans. The
+    /// outcomes themselves stay claimable via [`Service::wait`].
+    fn drop(&mut self) {
+        if self.remaining.is_empty() {
+            return;
+        }
+        let mut fin = self.svc.shared.finished.lock().unwrap();
+        for id in self.remaining.drain() {
+            fin.streamed.remove(&id);
+            if let Some(pos) = fin.order.iter().position(|&x| x == id) {
+                fin.order.remove(pos);
+            }
+        }
+    }
+}
+
+/// Parses a `CLIQUE_ADMIT` spec: a positive integer (the admission
+/// limit), or `unlimited` for no bound.
+pub fn parse_admit(spec: &str) -> Option<usize> {
+    let spec = spec.trim();
+    if spec.eq_ignore_ascii_case("unlimited") {
+        return Some(usize::MAX);
+    }
+    let n: usize = spec.parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// Reads the `CLIQUE_ADMIT` environment variable: the default admission
+/// limit for new services. Mirrors `CLIQUE_SHARDS`: garbage values warn
+/// on stderr and fall back to unbounded — a silent fallback would let a
+/// typo'd `CLIQUE_ADMIT=too` record unbounded-interleaving timings as
+/// admission-controlled ones.
+pub fn admission_limit_from_env() -> Option<usize> {
+    match std::env::var("CLIQUE_ADMIT") {
+        Ok(v) => match parse_admit(&v) {
+            Some(n) => Some(n),
+            None => {
+                eprintln!(
+                    "warning: unrecognized CLIQUE_ADMIT value {v:?} \
+                     (expected a positive integer or \"unlimited\"); \
+                     falling back to unbounded admission"
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+/// Whether a job must pass the admission gate before running: it drives
+/// a round engine (everything but Dlp12) and that engine is sharded.
+fn is_gated(job: &Job) -> bool {
+    matches!(job.config.engine, EngineChoice::Sharded(_)) && job.algo != Algo::Dlp12
+}
+
+/// Pops the highest-priority job the worker may run *right now*: gated
+/// (sharded-engine) jobs past the admission limit are skipped — they go
+/// straight back into the heap — so runnable sequential jobs behind them
+/// are never starved. Returns the job together with its admission permit
+/// when one was taken. `None` means nothing currently admissible.
+fn pop_admissible<'a>(
+    heap: &mut BinaryHeap<QueuedJob>,
+    shared: &'a ServiceShared,
+) -> Option<(QueuedJob, Option<AdmissionPermit<'a>>)> {
+    let mut skipped = Vec::new();
+    let mut found = None;
+    while let Some(item) = heap.pop() {
+        if !is_gated(&item.job) {
+            found = Some((item, None));
+            break;
+        }
+        match AdmissionPermit::try_acquire(shared) {
+            Some(permit) => {
+                found = Some((item, Some(permit)));
+                break;
+            }
+            None => skipped.push(item),
+        }
+    }
+    for item in skipped {
+        heap.push(item);
+    }
+    found
+}
+
 fn job_worker_loop(shared: &ServiceShared) {
     loop {
-        let (id, job, submitted) = {
+        let (QueuedJob { seq, job, submitted }, permit) = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(item) = q.0.pop_front() {
-                    break item;
+                if let Some(found) = pop_admissible(&mut q.0, shared) {
+                    break found;
                 }
                 if q.1 {
                     return;
                 }
+                // nothing admissible: parked until new work arrives, a
+                // permit frees (its drop notifies work_ready), or the
+                // limit is raised
                 q = shared.work_ready.wait(q).unwrap();
             }
         };
         // The ticket MUST resolve no matter what the job does: any panic
         // anywhere in execution (graph build included) becomes an error
-        // outcome, never a dead worker or a forever-blocked wait().
-        let outcome = catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job, submitted)))
-            .unwrap_or_else(|payload| JobOutcome {
-                report: Err(JobError { message: panic_message(&payload) }),
-                cache_hit: false,
-                latency: submitted.elapsed(),
-            });
-        let mut finished = shared.finished.lock().unwrap();
-        finished.insert(id, outcome);
+        // outcome, never a dead worker or a forever-blocked wait(). The
+        // permit is dropped (and the next sharded job admitted) either
+        // way — it rides inside the unwind-safe closure.
+        let outcome =
+            catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job, submitted, permit)))
+                .unwrap_or_else(|payload| JobOutcome {
+                    report: Err(JobError::Panicked(panic_message(&payload))),
+                    cache_hit: false,
+                    latency: submitted.elapsed(),
+                });
+        let mut fin = shared.finished.lock().unwrap();
+        fin.outcomes.insert(seq, outcome);
+        if fin.streamed.contains(&seq) {
+            fin.order.push_back(seq);
+        }
         shared.job_done.notify_all();
     }
 }
 
-/// Locks the corpus, shrugging off poison: the cache mutates coherently
-/// (`get_or_build` only bumps the miss counter before a build can panic on
-/// an invalid spec), so a panic that unwound through the guard left valid
-/// state behind and the next job may proceed.
-fn lock_corpus(shared: &ServiceShared) -> std::sync::MutexGuard<'_, CorpusCache> {
-    shared.corpus.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+/// Locks a service mutex, shrugging off poison: every guarded structure
+/// here mutates coherently (e.g. `get_or_build` only bumps the miss
+/// counter before a build can panic on an invalid spec), so a panic that
+/// unwound through a guard left valid state behind and the next job may
+/// proceed.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
-fn execute_job(shared: &ServiceShared, job: &Job, submitted: Instant) -> JobOutcome {
-    // Resolve the graph through the corpus cache. Generation happens under
-    // the corpus lock: builds are one-time by design (that is what the
-    // cache is for), and serializing them keeps hit/miss accounting and
-    // LRU order coherent. A panicking build (invalid spec parameters — the
-    // generators assert on them) is caught so it becomes a JobError, not a
-    // lost ticket.
+/// RAII admission permit for one sharded-engine job, taken at pop time
+/// (never blocking: a job that cannot be admitted is skipped instead).
+/// Dropping frees the slot and wakes parked workers to rescan the queue.
+struct AdmissionPermit<'a> {
+    shared: &'a ServiceShared,
+}
+
+impl<'a> AdmissionPermit<'a> {
+    /// `None` when the admitted count is at the limit.
+    fn try_acquire(shared: &'a ServiceShared) -> Option<Self> {
+        let mut admitted = lock_ignore_poison(&shared.admitted);
+        if *admitted >= shared.admission_limit.load(Ordering::Relaxed).max(1) {
+            return None;
+        }
+        *admitted += 1;
+        Some(AdmissionPermit { shared })
+    }
+}
+
+impl Drop for AdmissionPermit<'_> {
+    fn drop(&mut self) {
+        *lock_ignore_poison(&self.shared.admitted) -= 1;
+        // Wake parked workers under the queue lock: a worker between its
+        // failed try_acquire and its wait() still holds that lock, so the
+        // notification cannot slip past it.
+        let _queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        self.shared.work_ready.notify_all();
+    }
+}
+
+fn execute_job(
+    shared: &ServiceShared,
+    job: &Job,
+    submitted: Instant,
+    permit: Option<AdmissionPermit<'_>>,
+) -> JobOutcome {
+    // Prefetch on admit: the job was admitted at pop time (the permit),
+    // and the first thing an admitted job does is resolve its graph
+    // through the corpus cache — BEFORE taking an engine-pool lease, so
+    // an expensive build never holds one. Generation happens under the
+    // corpus lock: builds are one-time by design (that is what the cache
+    // is for), and serializing them keeps hit/miss accounting and LRU
+    // order coherent. A panicking build (invalid spec parameters — the
+    // generators assert on them) is caught so it becomes a JobError, not
+    // a lost ticket.
     let resolved = {
-        let mut corpus = lock_corpus(shared);
+        let mut corpus = lock_ignore_poison(&shared.corpus);
         match &job.graph {
-            GraphInput::Spec(spec) => catch_unwind(AssertUnwindSafe(|| corpus.get_or_build(spec)))
-                .map_err(|payload| JobError {
-                    message: format!(
-                        "graph build failed for spec {}: {}",
-                        spec.key(),
-                        panic_message(&payload)
-                    ),
-                }),
+            GraphInput::Spec(spec) => {
+                catch_unwind(AssertUnwindSafe(|| corpus.get_or_build(spec))).map_err(|payload| {
+                    JobError::GraphBuild { spec: spec.key(), message: panic_message(&payload) }
+                })
+            }
             GraphInput::Cached(fp) => match corpus.by_fingerprint(*fp) {
                 Some(g) => Ok((g, *fp, true)),
-                None => Err(JobError {
-                    message: format!("no cached graph with fingerprint {fp:#018x}"),
-                }),
+                None => Err(JobError::UnknownFingerprint(*fp)),
             },
         }
     };
@@ -403,37 +885,95 @@ fn execute_job(shared: &ServiceShared, job: &Job, submitted: Instant) -> JobOutc
         }
     };
 
-    // A panicking job (bad p, adversarial config) is an error value, not a
-    // dead worker.
-    let report = catch_unwind(AssertUnwindSafe(|| run_algo(&graph, job)))
-        .map(|(cliques, report)| JobReport {
-            graph_fingerprint: fp,
-            clique_count: cliques.len(),
-            clique_digest: clique_digest(&cliques),
-            rounds: report.rounds(),
-            messages: report.messages(),
-            depth: report.depth,
-            truncated: report.truncated(),
-            fallback_used: report.fallback_used,
-        })
-        .map_err(|payload| JobError { message: panic_message(&payload) });
+    // Deadline enforcement: thread the round budget into the listing
+    // config as a round cap (tightening any caller-supplied cap).
+    let mut cfg = job.config.clone();
+    if let Some(deadline) = job.meta.deadline_rounds {
+        cfg.round_cap = Some(cfg.round_cap.map_or(deadline, |c| c.min(deadline)));
+    }
+
+    // An admitted (permit-holding) sharded job takes an observable lease
+    // on the engine pool for the duration of its run. (Dlp12 never
+    // touches a round engine; sequential jobs carry no permit.)
+    let _permit = permit;
+    let _lease = _permit.is_some().then(|| {
+        let pool = match job.algo {
+            // the randomized baseline drives its engine internally on the
+            // global pool; lease what actually runs
+            Algo::Randomized { .. } => Arc::clone(global_pool()),
+            _ => Arc::clone(&lock_ignore_poison(&shared.engine_pool)),
+        };
+        pool.lease()
+    });
+
+    // A panicking job (bad p, adversarial config) is an error value, not
+    // a dead worker.
+    let lease_pool = _lease.as_ref().map(|l| Arc::clone(l.pool()));
+    let report = catch_unwind(AssertUnwindSafe(|| run_algo(&graph, job, &cfg, lease_pool)))
+        .map_err(|payload| JobError::Panicked(panic_message(&payload)))
+        .and_then(|(cliques, report)| {
+            if let Some(deadline) = job.meta.deadline_rounds {
+                // Missed iff the run went over budget, or was cut off by
+                // the deadline's own cap. A run truncated *under* the
+                // deadline by a tighter caller cap is not a miss.
+                if report.rounds() > deadline || (report.truncated() && report.rounds() >= deadline)
+                {
+                    return Err(JobError::DeadlineExceeded {
+                        deadline_rounds: deadline,
+                        rounds_used: report.rounds(),
+                        truncated: report.truncated(),
+                    });
+                }
+            }
+            Ok(JobReport {
+                graph_fingerprint: fp,
+                clique_count: cliques.len(),
+                clique_digest: clique_digest(&cliques),
+                rounds: report.rounds(),
+                messages: report.messages(),
+                depth: report.depth,
+                truncated: report.truncated(),
+                fallback_used: report.fallback_used,
+            })
+        });
     JobOutcome { report, cache_hit, latency: submitted.elapsed() }
 }
 
-/// Runs the selected algorithm; pure in `(graph, job)`.
-fn run_algo(g: &Graph, job: &Job) -> (Vec<Vec<VertexId>>, RunReport) {
+/// Runs the selected algorithm; pure in `(graph, job, cfg)` — `pool` only
+/// chooses *where* sharded rounds execute, never what they produce.
+fn run_algo(
+    g: &Graph,
+    job: &Job,
+    cfg: &ListingConfig,
+    pool: Option<Arc<WorkerPool>>,
+) -> (Vec<Vec<VertexId>>, RunReport) {
+    let sharded_on = |n: usize, pool: &Option<Arc<WorkerPool>>| {
+        let pool = pool.as_ref().map(Arc::clone).unwrap_or_else(|| Arc::clone(global_pool()));
+        ShardedOn::new(n.max(1), pool)
+    };
     match job.algo {
         Algo::Paper => {
-            let out = list_cliques_congest(g, job.p, &job.config);
+            let out = match cfg.engine {
+                EngineChoice::Sharded(n) => {
+                    list_cliques_congest_with(&sharded_on(n, &pool), g, job.p, cfg)
+                }
+                EngineChoice::Sequential => list_cliques_congest(g, job.p, cfg),
+            };
             (out.cliques, out.report)
         }
         Algo::Randomized { seed } => {
-            let out = list_cliques_randomized(g, job.p, &job.config, seed);
+            let out = list_cliques_randomized(g, job.p, cfg, seed);
             (out.cliques, out.report)
         }
         Algo::Naive => {
-            let (cliques, cost) =
-                naive_exhaustive_for(job.config.engine, g, job.p, job.config.bandwidth);
+            let (cliques, cost) = match cfg.engine {
+                EngineChoice::Sharded(n) => {
+                    naive_exhaustive_on(&sharded_on(n, &pool), g, job.p, cfg.bandwidth)
+                }
+                EngineChoice::Sequential => {
+                    naive_exhaustive_for(cfg.engine, g, job.p, cfg.bandwidth)
+                }
+            };
             (cliques, RunReport { cost, ..RunReport::default() })
         }
         Algo::Dlp12 => {
@@ -529,6 +1069,23 @@ mod tests {
     }
 
     #[test]
+    fn prefetch_warms_without_counting_traffic() {
+        let svc = Service::new(1);
+        let spec = er_spec(7);
+        let fp = svc.prefetch(&spec);
+        assert_eq!(svc.cache_stats(), (0, 0), "warming is not traffic");
+        assert_eq!(svc.corpus_len(), 1);
+        // a Cached job resolves against the prefetched graph
+        let out = svc.run_batch(vec![Job::new(
+            GraphInput::Cached(fp),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )]);
+        assert_eq!(out[0].report.as_ref().unwrap().graph_fingerprint, fp);
+    }
+
+    #[test]
     fn unknown_fingerprint_is_an_error_not_a_crash() {
         let svc = Service::new(1);
         let out = svc.run_batch(vec![Job::new(
@@ -538,7 +1095,8 @@ mod tests {
             Algo::Paper,
         )]);
         let err = out[0].report.as_ref().unwrap_err();
-        assert!(err.message.contains("fingerprint"), "{}", err.message);
+        assert_eq!(*err, JobError::UnknownFingerprint(0xdead_beef));
+        assert!(err.to_string().contains("fingerprint"), "{err}");
     }
 
     #[test]
@@ -552,7 +1110,7 @@ mod tests {
         );
         let good = Job::new(GraphInput::Spec(er_spec(1)), 3, ListingConfig::default(), Algo::Paper);
         let outs = svc.run_batch(vec![bad, good]);
-        assert!(outs[0].report.is_err());
+        assert!(matches!(outs[0].report, Err(JobError::Panicked(_))), "{:?}", outs[0].report);
         assert!(outs[1].report.is_ok(), "the single worker must survive the panic");
     }
 
@@ -568,7 +1126,8 @@ mod tests {
             Job::new(GraphInput::Spec(er_spec(1)), 3, ListingConfig::default(), Algo::Paper),
         ]);
         let err = outs[0].report.as_ref().unwrap_err();
-        assert!(err.message.contains("graph build failed"), "{}", err.message);
+        assert!(matches!(err, JobError::GraphBuild { .. }), "{err:?}");
+        assert!(err.to_string().contains("graph build failed"), "{err}");
         assert!(outs[1].report.is_ok(), "service must keep serving after a build panic");
         assert!(svc.cache_stats().1 >= 1, "stats must stay readable (no poison)");
     }
@@ -592,5 +1151,52 @@ mod tests {
         let o2 = svc.wait(t2);
         let o1 = svc.wait(t1);
         assert!(o1.report.is_ok() && o2.report.is_ok());
+    }
+
+    #[test]
+    fn stream_yields_every_ticket_exactly_once() {
+        let svc = Service::new(2);
+        let jobs: Vec<Job> = (0..5)
+            .map(|s| {
+                Job::new(GraphInput::Spec(er_spec(s)), 3, ListingConfig::default(), Algo::Paper)
+            })
+            .collect();
+        let stream = svc.stream(jobs);
+        assert_eq!(stream.len(), 5);
+        let tickets = stream.tickets().to_vec();
+        let yielded: Vec<(Ticket, JobOutcome)> = stream.collect();
+        assert_eq!(yielded.len(), 5);
+        let mut seen: Vec<Ticket> = yielded.iter().map(|(t, _)| *t).collect();
+        seen.sort();
+        assert_eq!(seen, tickets, "every ticket exactly once");
+        assert!(yielded.iter().all(|(_, o)| o.report.is_ok()));
+    }
+
+    #[test]
+    fn empty_stream_is_empty() {
+        let svc = Service::new(1);
+        assert_eq!(svc.stream(Vec::new()).count(), 0);
+        assert!(svc.run_batch(Vec::new()).is_empty());
+    }
+
+    #[test]
+    fn submit_with_overrides_job_meta() {
+        let svc = Service::new(1);
+        let job = Job::new(GraphInput::Spec(er_spec(2)), 3, ListingConfig::default(), Algo::Paper)
+            .with_deadline_rounds(0);
+        // the override clears the impossible deadline
+        let t = svc.submit_with(job, JobMeta { priority: 1, deadline_rounds: None });
+        assert!(svc.wait(t).report.is_ok());
+    }
+
+    #[test]
+    fn admit_specs_parse() {
+        assert_eq!(parse_admit("1"), Some(1));
+        assert_eq!(parse_admit(" 8 "), Some(8));
+        assert_eq!(parse_admit("unlimited"), Some(usize::MAX));
+        assert_eq!(parse_admit("0"), None);
+        assert_eq!(parse_admit("-3"), None);
+        assert_eq!(parse_admit("too"), None);
+        assert_eq!(parse_admit(""), None);
     }
 }

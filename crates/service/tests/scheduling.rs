@@ -1,0 +1,341 @@
+//! Scheduler properties: deterministic priority ordering, streaming
+//! delivery, deadlines, and admission control.
+//!
+//! The scheduling invariants under test:
+//!
+//! - **Equal-priority FIFO stability** — with one worker, a batch of
+//!   equal-priority jobs executes (and therefore streams) in exact
+//!   submission order.
+//! - **No priority starvation** — a higher-priority job submitted *after*
+//!   a full batch of lower-priority jobs still pops first.
+//! - **Stream/batch equivalence** — every `JobReport` delivered by
+//!   `Service::stream` is byte-identical to the one `run_batch` returns
+//!   on a 1-worker service, at pools of 1, 2, and 8 workers.
+//! - **Deadlines are deterministic** — a round budget of 0 on a
+//!   nontrivial graph misses identically at every worker count, riding
+//!   the `CostReport::truncated` machinery.
+//! - **Admission control** — with a limit of 1, at most one
+//!   sharded-engine job ever holds a pool lease at a time.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use clique_listing::{EngineChoice, ListingConfig};
+use proptest::prelude::*;
+use runtime::WorkerPool;
+use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service, Ticket};
+
+fn er_job(seed: u64) -> Job {
+    let spec = GraphSpec::ErdosRenyi { n: 30 + (seed % 7) as usize, p: 0.15, seed };
+    Job::new(GraphInput::Spec(spec), 3, ListingConfig::default(), Algo::Paper)
+}
+
+/// A mixed batch over graph families × p × algorithms × engines ×
+/// priorities, derived deterministically from `seed`.
+fn mixed_batch(seed: u64) -> Vec<Job> {
+    let er = GraphSpec::ErdosRenyi { n: 24 + (seed % 9) as usize, p: 0.14, seed };
+    let rmat = GraphSpec::Rmat { scale: 5, edges: 140, a: 0.57, b: 0.19, c: 0.19, seed };
+    let geo = GraphSpec::RandomGeometric { n: 28, radius: 0.3, seed };
+    let cfg = |engine| ListingConfig { engine, ..ListingConfig::default() };
+    vec![
+        Job::new(GraphInput::Spec(er.clone()), 3, cfg(EngineChoice::Sequential), Algo::Paper)
+            .with_priority(2),
+        Job::new(GraphInput::Spec(er.clone()), 3, cfg(EngineChoice::Sharded(2)), Algo::Paper),
+        Job::new(GraphInput::Spec(rmat.clone()), 3, cfg(EngineChoice::Sharded(3)), Algo::Paper)
+            .with_priority(7),
+        Job::new(GraphInput::Spec(rmat), 3, cfg(EngineChoice::Sequential), Algo::Naive)
+            .with_deadline_rounds(1_000_000),
+        Job::new(GraphInput::Spec(geo.clone()), 3, cfg(EngineChoice::Sequential), Algo::Paper)
+            .with_deadline_rounds(0), // deterministic miss rides along
+        Job::new(
+            GraphInput::Spec(geo),
+            3,
+            cfg(EngineChoice::Sequential),
+            Algo::Randomized { seed: seed ^ 0xa5 },
+        )
+        .with_priority(1),
+        Job::new(GraphInput::Spec(er), 3, cfg(EngineChoice::Sequential), Algo::Dlp12)
+            .with_priority(255),
+    ]
+}
+
+#[test]
+fn equal_priority_batches_stream_in_submission_order() {
+    // One worker: execution order == pop order, and the stream yields in
+    // completion order, so the yield order exposes the schedule. A batch
+    // is enqueued atomically, so every pop sees the full remaining batch:
+    // with all priorities equal the deterministic tie-break (submission
+    // sequence) makes the schedule exactly FIFO.
+    let svc = Service::new(1);
+    let jobs: Vec<Job> = (0..8).map(er_job).collect();
+    let stream = svc.stream(jobs);
+    let tickets = stream.tickets().to_vec();
+    let yielded: Vec<Ticket> = stream.map(|(t, _)| t).collect();
+    assert_eq!(yielded, tickets, "equal-priority jobs must execute FIFO");
+}
+
+#[test]
+fn higher_priority_is_never_starved_behind_a_lower_batch() {
+    // The urgent job is submitted LAST, behind a full batch of priority-0
+    // jobs — and must still execute first.
+    let svc = Service::new(1);
+    let mut jobs: Vec<Job> = (0..6).map(er_job).collect();
+    jobs.push(er_job(99).with_priority(9));
+    let stream = svc.stream(jobs);
+    let tickets = stream.tickets().to_vec();
+    let yielded: Vec<Ticket> = stream.map(|(t, _)| t).collect();
+    assert_eq!(yielded[0], tickets[6], "the priority-9 job must pop before the batch");
+    assert_eq!(&yielded[1..], &tickets[..6], "the rest stay FIFO");
+}
+
+#[test]
+fn priority_classes_pop_in_order_within_one_batch() {
+    // Three interleaved priority classes; with one worker the schedule
+    // must be: all 5s in submission order, then 3s, then 0s.
+    let svc = Service::new(1);
+    let jobs: Vec<Job> =
+        (0..9).map(|i| er_job(i).with_priority([0u8, 5, 3][i as usize % 3])).collect();
+    let stream = svc.stream(jobs);
+    let tickets = stream.tickets().to_vec();
+    let yielded: Vec<Ticket> = stream.map(|(t, _)| t).collect();
+    let expect: Vec<Ticket> = [1usize, 4, 7, 2, 5, 8, 0, 3, 6] // 5s, 3s, 0s
+        .iter()
+        .map(|&i| tickets[i])
+        .collect();
+    assert_eq!(yielded, expect);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    #[test]
+    fn stream_and_batch_reports_are_byte_identical_at_1_2_8_workers(seed in 0u64..10_000) {
+        let batch = mixed_batch(seed);
+        // reference: sequentialized batch on a single worker
+        let reference: Vec<String> = Service::new(1)
+            .run_batch(batch.clone())
+            .iter()
+            .map(|o| format!("{:?}", o.report))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let svc = Service::new(workers);
+            let stream = svc.stream(batch.clone());
+            let tickets = stream.tickets().to_vec();
+            let mut by_ticket: HashMap<Ticket, String> =
+                stream.map(|(t, o)| (t, format!("{:?}", o.report))).collect();
+            let streamed: Vec<String> =
+                tickets.iter().map(|t| by_ticket.remove(t).unwrap()).collect();
+            prop_assert_eq!(
+                &reference, &streamed,
+                "stream vs batch diverged at {} workers", workers
+            );
+        }
+    }
+}
+
+#[test]
+fn zero_deadline_on_a_nontrivial_graph_misses_deterministically() {
+    let job = er_job(11).with_deadline_rounds(0);
+    let mut per_pool = Vec::new();
+    for workers in [1usize, 2] {
+        let svc = Service::new(workers);
+        let outs = svc.run_batch(vec![job.clone()]);
+        match &outs[0].report {
+            Err(JobError::DeadlineExceeded { deadline_rounds, rounds_used, truncated }) => {
+                assert_eq!(*deadline_rounds, 0);
+                assert_eq!(*rounds_used, 0, "a zero budget stops before any round");
+                assert!(*truncated, "the miss must ride the truncation flag");
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        per_pool.push(format!("{:?}", outs[0].report));
+    }
+    assert_eq!(per_pool[0], per_pool[1], "misses must be byte-identical across pools");
+}
+
+#[test]
+fn generous_deadline_is_met_and_reports_are_untruncated() {
+    let svc = Service::new(2);
+    let outs = svc.run_batch(vec![er_job(12).with_deadline_rounds(u64::MAX)]);
+    let r = outs[0].report.as_ref().unwrap();
+    assert!(!r.truncated);
+    assert!(r.rounds > 0);
+}
+
+#[test]
+fn completed_but_over_budget_misses_without_truncation() {
+    // Naive ignores ListingConfig::round_cap (it has no recursion to
+    // cap), so a 1-round deadline is checked after the fact: the run
+    // completes, then misses with truncated == false.
+    let spec = GraphSpec::ErdosRenyi { n: 30, p: 0.15, seed: 4 };
+    let svc = Service::new(1);
+    let outs = svc.run_batch(vec![Job::new(
+        GraphInput::Spec(spec),
+        3,
+        ListingConfig::default(),
+        Algo::Naive,
+    )
+    .with_deadline_rounds(1)]);
+    match &outs[0].report {
+        Err(JobError::DeadlineExceeded { deadline_rounds: 1, rounds_used, truncated: false }) => {
+            assert!(*rounds_used > 1);
+        }
+        other => panic!("expected an untruncated DeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn caller_round_cap_truncation_round_trips_through_job_outcome() {
+    // Regression for the PR-1 truncation bugfix: a caller-supplied
+    // round cap (no deadline) yields an *Ok* report whose `truncated`
+    // flag survives RunReport → JobReport intact — and deterministically.
+    let spec = GraphSpec::ErdosRenyi { n: 40, p: 0.15, seed: 9 };
+    let capped = ListingConfig { round_cap: Some(1), ..ListingConfig::default() };
+    let full_rounds = {
+        let svc = Service::new(1);
+        let outs = svc.run_batch(vec![Job::new(
+            GraphInput::Spec(spec.clone()),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )]);
+        outs[0].report.as_ref().unwrap().rounds
+    };
+    let mut per_pool = Vec::new();
+    for workers in [1usize, 2] {
+        let svc = Service::new(workers);
+        let outs = svc.run_batch(vec![Job::new(
+            GraphInput::Spec(spec.clone()),
+            3,
+            capped.clone(),
+            Algo::Paper,
+        )]);
+        let r = outs[0].report.as_ref().expect("a caller cap is not a deadline miss");
+        assert!(r.truncated, "RunReport::truncated must round-trip into JobReport");
+        assert!(r.rounds < full_rounds, "the capped run must stop early");
+        per_pool.push(format!("{:?}", outs[0].report));
+    }
+    assert_eq!(per_pool[0], per_pool[1]);
+}
+
+#[test]
+fn admission_limit_one_admits_one_sharded_job_at_a_time() {
+    // A dedicated, instrumented engine pool: every admitted sharded job
+    // takes a lease on it, so the pool's high-water mark counts how many
+    // sharded jobs ever overlapped.
+    let pool = Arc::new(WorkerPool::new(2));
+    let svc = Service::new(4).with_admission_limit(1).with_engine_pool(Arc::clone(&pool));
+    assert_eq!(svc.admission_limit(), 1);
+    let cfg = ListingConfig { engine: EngineChoice::Sharded(2), ..ListingConfig::default() };
+    let jobs: Vec<Job> = (0..6)
+        .map(|s| {
+            Job::new(
+                GraphInput::Spec(GraphSpec::ErdosRenyi { n: 32, p: 0.15, seed: s }),
+                3,
+                cfg.clone(),
+                Algo::Paper,
+            )
+        })
+        .collect();
+    let outs = svc.run_batch(jobs);
+    assert!(outs.iter().all(|o| o.report.is_ok()));
+    assert_eq!(pool.peak_leases(), 1, "limit 1 must serialize sharded jobs on the pool");
+    assert_eq!(pool.active_leases(), 0, "all leases released");
+    // and admission is invisible in the answers: an unbounded service
+    // returns the identical reports
+    let unbounded = Service::new(4).with_engine_pool(Arc::new(WorkerPool::new(2)));
+    let jobs: Vec<Job> = (0..6)
+        .map(|s| {
+            Job::new(
+                GraphInput::Spec(GraphSpec::ErdosRenyi { n: 32, p: 0.15, seed: s }),
+                3,
+                cfg.clone(),
+                Algo::Paper,
+            )
+        })
+        .collect();
+    let outs2 = unbounded.run_batch(jobs);
+    let a: Vec<String> = outs.iter().map(|o| format!("{:?}", o.report)).collect();
+    let b: Vec<String> = outs2.iter().map(|o| format!("{:?}", o.report)).collect();
+    assert_eq!(a, b, "the admission limit must not change any answer");
+}
+
+#[test]
+fn sequential_jobs_are_not_starved_by_admission_blocked_sharded_jobs() {
+    // 2 workers, limit 1: worker A admits the first (slow) sharded job;
+    // the second sharded job is NOT admissible, so worker B must skip it
+    // and run the (fast) sequential job instead of parking. The sequential
+    // job therefore completes before the skipped sharded one.
+    let svc = Service::new(2).with_admission_limit(1);
+    let sharded = ListingConfig { engine: EngineChoice::Sharded(2), ..ListingConfig::default() };
+    let slow = GraphSpec::ErdosRenyi { n: 70, p: 0.12, seed: 1 };
+    let jobs = vec![
+        Job::new(GraphInput::Spec(slow.clone()), 3, sharded.clone(), Algo::Paper),
+        Job::new(GraphInput::Spec(slow), 3, sharded, Algo::Paper),
+        Job::new(
+            GraphInput::Spec(GraphSpec::Hypercube { dim: 3 }),
+            3,
+            ListingConfig::default(),
+            Algo::Naive,
+        ),
+    ];
+    let stream = svc.stream(jobs);
+    let tickets = stream.tickets().to_vec();
+    let yielded: Vec<Ticket> = stream.map(|(t, _)| t).collect();
+    let pos = |t: Ticket| yielded.iter().position(|&y| y == t).unwrap();
+    assert!(
+        pos(tickets[2]) < pos(tickets[1]),
+        "the ungated sequential job must overtake the admission-blocked sharded job: {yielded:?}"
+    );
+}
+
+#[test]
+fn wait_steals_a_streamed_ticket_and_the_stream_skips_it() {
+    let svc = Service::new(1);
+    let stream = svc.stream(vec![er_job(21), er_job(22)]);
+    let (t0, t1) = (stream.tickets()[0], stream.tickets()[1]);
+    // claim the first ticket directly: the stream must not hang on it
+    let stolen = svc.wait(t0);
+    assert!(stolen.report.is_ok());
+    let rest: Vec<(Ticket, _)> = stream.collect();
+    assert_eq!(rest.len(), 1, "the stream yields only the ticket it still owns");
+    assert_eq!(rest[0].0, t1);
+    assert!(rest[0].1.report.is_ok());
+}
+
+#[test]
+fn admission_limit_zero_clamps_to_one() {
+    let svc = Service::new(1).with_admission_limit(0);
+    assert_eq!(svc.admission_limit(), 1, "0 would deadlock; it clamps to 1");
+    let cfg = ListingConfig { engine: EngineChoice::Sharded(2), ..ListingConfig::default() };
+    let outs = svc.run_batch(vec![Job::new(
+        GraphInput::Spec(GraphSpec::Hypercube { dim: 4 }),
+        3,
+        cfg,
+        Algo::Paper,
+    )]);
+    assert!(outs[0].report.is_ok());
+}
+
+#[test]
+fn clique_admit_env_overrides_the_default_limit() {
+    // process-global env: all CLIQUE_ADMIT manipulation lives in this one
+    // test. (Another test constructing a Service concurrently may read a
+    // transient limit — harmless, answers are limit-independent.)
+    std::env::set_var("CLIQUE_ADMIT", "3");
+    assert_eq!(service::admission_limit_from_env(), Some(3));
+    let svc = Service::new(1);
+    assert_eq!(svc.admission_limit(), 3);
+    drop(svc);
+    std::env::set_var("CLIQUE_ADMIT", "unlimited");
+    assert_eq!(service::admission_limit_from_env(), Some(usize::MAX));
+    std::env::set_var("CLIQUE_ADMIT", "not-a-number");
+    assert_eq!(
+        service::admission_limit_from_env(),
+        None,
+        "garbage warns and falls back to unbounded"
+    );
+    assert_eq!(Service::new(1).admission_limit(), usize::MAX);
+    std::env::remove_var("CLIQUE_ADMIT");
+    assert_eq!(service::admission_limit_from_env(), None);
+}
