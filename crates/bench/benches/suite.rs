@@ -163,6 +163,41 @@ fn engine_throughput(c: &mut Criterion) {
     group.finish();
 }
 
+/// Hot-path bench target: per-step cost of both engines at fixed n, under
+/// a dense (every vertex speaks: [`bench::Heartbeat`]) and a sparse
+/// (1-in-16 speaks: [`bench::SparseBeat`]) message mix. This is the group
+/// CI runs in smoke mode (`BENCH_SAMPLES=1 cargo bench -p bench --
+/// round_hot_path`) so a regression in the zero-allocation round loop
+/// fails loud.
+fn round_hot_path(c: &mut Criterion) {
+    let mut group = c.benchmark_group("round_hot_path");
+    group.sample_size(10);
+    let shards = runtime::available_shards();
+    let n = 20_000usize;
+    let g = bench::throughput_graph(n);
+    for (mix, rounds) in [("dense", 4u64), ("sparse", 16)] {
+        group.bench_with_input(BenchmarkId::new(format!("sequential_{mix}"), n), &g, |b, g| {
+            b.iter(|| match mix {
+                "dense" => bench::engine_round_checksum(&congest::Sequential, g, rounds),
+                _ => bench::sparse_round_checksum(&congest::Sequential, g, rounds),
+            })
+        });
+        group.bench_with_input(
+            BenchmarkId::new(format!("sharded{shards}_{mix}"), n),
+            &g,
+            |b, g| {
+                b.iter(|| match mix {
+                    "dense" => {
+                        bench::engine_round_checksum(&runtime::Sharded::new(shards), g, rounds)
+                    }
+                    _ => bench::sparse_round_checksum(&runtime::Sharded::new(shards), g, rounds),
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
 /// A4 ablation: bandwidth sensitivity of the full pipeline.
 fn ablation_bandwidth(c: &mut Criterion) {
     let g = graphs::erdos_renyi(64, 0.2, 6);
@@ -192,6 +227,7 @@ criterion_group!(
     routing_bench,
     baselines_bench,
     engine_throughput,
+    round_hot_path,
     ablation_bandwidth
 );
 criterion_main!(benches);

@@ -62,14 +62,17 @@ impl Bencher {
 pub struct BenchmarkGroup<'c> {
     name: String,
     samples: usize,
+    /// Whether this group matched the harness filter (skipped otherwise).
+    enabled: bool,
     _criterion: &'c mut Criterion,
 }
 
 impl BenchmarkGroup<'_> {
     /// Sets the measured-iteration count (capped to keep the offline
-    /// harness fast).
+    /// harness fast; a `BENCH_SAMPLES` env override — used by the CI smoke
+    /// run with `BENCH_SAMPLES=1` — wins over the requested count).
     pub fn sample_size(&mut self, n: usize) -> &mut Self {
-        self.samples = n.clamp(1, 10);
+        self.samples = sample_override().unwrap_or(n).clamp(1, 10);
         self
     }
 
@@ -78,6 +81,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher, &I),
     {
+        if !self.enabled {
+            return;
+        }
         let mut b = Bencher { samples: self.samples, elapsed: Duration::ZERO };
         f(&mut b, input);
         println!("bench {}/{}: {:?}", self.name, id.id, b.elapsed);
@@ -88,6 +94,9 @@ impl BenchmarkGroup<'_> {
     where
         F: FnMut(&mut Bencher),
     {
+        if !self.enabled {
+            return;
+        }
         let id = id.into();
         let mut b = Bencher { samples: self.samples, elapsed: Duration::ZERO };
         f(&mut b);
@@ -98,14 +107,52 @@ impl BenchmarkGroup<'_> {
     pub fn finish(self) {}
 }
 
+/// The `BENCH_SAMPLES` env override (positive integer), if any. Garbage
+/// values warn and are ignored — the same warn-and-fallback convention as
+/// `CLIQUE_SHARDS`, so a typo'd smoke run does not silently take the slow
+/// path.
+fn sample_override() -> Option<usize> {
+    let v = std::env::var("BENCH_SAMPLES").ok()?;
+    let parsed = v.trim().parse().ok().filter(|&n: &usize| n >= 1);
+    if parsed.is_none() {
+        eprintln!(
+            "warning: unrecognized BENCH_SAMPLES value {v:?} \
+             (expected a positive integer); using each group's default"
+        );
+    }
+    parsed
+}
+
 /// Top-level benchmark driver.
+///
+/// Substring filters passed on the command line (the trailing words of
+/// `cargo bench -p bench -- <filter>…`) select benchmark **groups** by
+/// substring match, like real criterion: a group whose name matches no
+/// filter runs nothing. No filters means everything runs.
 #[derive(Default)]
-pub struct Criterion {}
+pub struct Criterion {
+    filters: Vec<String>,
+}
 
 impl Criterion {
+    /// A driver filtering groups by the process's command-line arguments
+    /// (flags starting with `-` are ignored — the libtest harness passes
+    /// `--bench` through).
+    pub fn from_args() -> Self {
+        Criterion { filters: std::env::args().skip(1).filter(|a| !a.starts_with('-')).collect() }
+    }
+
+    /// Whether `name` survives the filters.
+    fn matches(&self, name: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| name.contains(f.as_str()))
+    }
+
     /// Opens a named benchmark group.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
-        BenchmarkGroup { name: name.into(), samples: 3, _criterion: self }
+        let name = name.into();
+        let enabled = self.matches(&name);
+        let samples = sample_override().unwrap_or(3).clamp(1, 10);
+        BenchmarkGroup { name, samples, enabled, _criterion: self }
     }
 
     /// Runs a stand-alone benchmark.
@@ -113,7 +160,11 @@ impl Criterion {
     where
         F: FnMut(&mut Bencher),
     {
-        let mut b = Bencher { samples: 3, elapsed: Duration::ZERO };
+        if !self.matches(name) {
+            return self;
+        }
+        let samples = sample_override().unwrap_or(3).clamp(1, 10);
+        let mut b = Bencher { samples, elapsed: Duration::ZERO };
         f(&mut b);
         println!("bench {name}: {:?}", b.elapsed);
         self
@@ -130,19 +181,18 @@ pub fn black_box<T>(x: T) -> T {
 macro_rules! criterion_group {
     ($group:ident, $($target:path),+ $(,)?) => {
         pub fn $group() {
-            let mut criterion = $crate::Criterion::default();
+            let mut criterion = $crate::Criterion::from_args();
             $($target(&mut criterion);)+
         }
     };
 }
 
-/// Declares `main` from group-runner functions.
+/// Declares `main` from group-runner functions. Trailing non-flag
+/// command-line words act as group substring filters (see [`Criterion`]).
 #[macro_export]
 macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
-            // `cargo bench`/`cargo test` pass harness flags; ignore them.
-            let _ = std::env::args();
             $($group();)+
         }
     };
@@ -151,6 +201,25 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn filters_select_groups_by_substring() {
+        let c = Criterion { filters: vec!["hot".into()] };
+        assert!(c.matches("round_hot_path"));
+        assert!(!c.matches("k3_listing"));
+        let all = Criterion::default();
+        assert!(all.matches("anything"));
+    }
+
+    #[test]
+    fn disabled_group_skips_its_benchmarks() {
+        let mut c = Criterion { filters: vec!["nomatch".into()] };
+        let mut g = c.benchmark_group("round_hot_path");
+        let mut ran = false;
+        g.bench_function("x", |b| b.iter(|| ran = true));
+        g.finish();
+        assert!(!ran, "filtered-out group must not run");
+    }
 
     #[test]
     fn group_runs_and_times() {

@@ -124,6 +124,53 @@ impl Graph {
         self.neighbors(u).binary_search(&v).is_ok()
     }
 
+    /// CSR position of the **directed** edge `u → v`: the index of `v`
+    /// within the flat adjacency array, unique per direction (`u → v` and
+    /// `v → u` get different slots). `None` when `{u, v}` is not an edge —
+    /// including `u == v` (graphs are simple, so a self-loop never has a
+    /// slot). `O(log deg(u))`, via binary search on the sorted neighbor
+    /// slice.
+    ///
+    /// Slots are dense in `0..self.slot_count()`, which is what lets the
+    /// round engines keep per-edge bandwidth counters in a flat vector
+    /// instead of a hash map, fusing the neighbor check and the bandwidth
+    /// lookup into one binary search.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use congest::graph::Graph;
+    /// let g = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+    /// // present edges have a slot, each direction its own
+    /// let s01 = g.edge_slot(0, 1).unwrap();
+    /// let s10 = g.edge_slot(1, 0).unwrap();
+    /// assert_ne!(s01, s10);
+    /// assert!(s01 < g.slot_count() && s10 < g.slot_count());
+    /// // absent edges and self-loops have none
+    /// assert_eq!(g.edge_slot(0, 2), None);
+    /// assert_eq!(g.edge_slot(1, 1), None);
+    /// ```
+    pub fn edge_slot(&self, u: VertexId, v: VertexId) -> Option<usize> {
+        let base = self.offsets[u as usize];
+        self.neighbors(u).binary_search(&v).ok().map(|pos| base + pos)
+    }
+
+    /// Total number of directed-edge slots (`2·m`; the length of the flat
+    /// adjacency array). [`Graph::edge_slot`] values are dense in
+    /// `0..slot_count()`.
+    pub fn slot_count(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// First directed-edge slot owned by vertex `v` — the CSR offset of
+    /// `v`'s neighbor list. Accepts `v == n()` and returns
+    /// [`Graph::slot_count`] there, so `slot_offset(lo)..slot_offset(hi)`
+    /// is the slot range owned by the vertex range `lo..hi` (how the
+    /// sharded engine sizes its per-shard flat counters).
+    pub fn slot_offset(&self, v: usize) -> usize {
+        self.offsets[v]
+    }
+
     /// Iterates all undirected edges `(u, v)` with `u < v`, in lexicographic
     /// order.
     pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
@@ -282,6 +329,48 @@ mod tests {
         assert!(!g.is_connected());
         let h = path(4);
         assert!(h.is_connected());
+    }
+
+    #[test]
+    fn edge_slots_are_dense_unique_and_agree_with_has_edge() {
+        let g = Graph::from_edges(5, &[(0, 1), (0, 4), (1, 2), (2, 3), (3, 4)]);
+        let mut seen = vec![false; g.slot_count()];
+        for u in 0..g.n() as VertexId {
+            for v in 0..g.n() as VertexId {
+                match g.edge_slot(u, v) {
+                    Some(s) => {
+                        assert!(g.has_edge(u, v), "slot without edge {u}->{v}");
+                        assert!(!seen[s], "slot {s} assigned twice");
+                        seen[s] = true;
+                        // the slot indexes this exact neighbor entry
+                        assert_eq!(g.neighbors(u)[s - g.slot_offset(u as usize)], v);
+                    }
+                    None => assert!(!g.has_edge(u, v) || u == v),
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every slot reached: slots are dense");
+        assert_eq!(g.slot_count(), 2 * g.m());
+    }
+
+    #[test]
+    fn edge_slot_edge_cases() {
+        let g = Graph::from_edges(4, &[(0, 1), (2, 3)]);
+        // self-loop: never a slot (simple graphs)
+        assert_eq!(g.edge_slot(1, 1), None);
+        // absent edge between present vertices
+        assert_eq!(g.edge_slot(0, 3), None);
+        // endpoints of the vertex range
+        assert!(g.edge_slot(0, 1).is_some());
+        assert!(g.edge_slot(3, 2).is_some());
+        // isolated-vertex offsets collapse to an empty slot range
+        let h = Graph::from_edges(3, &[(0, 2)]);
+        assert_eq!(h.slot_offset(1), h.slot_offset(2));
+        assert_eq!(h.slot_offset(3), h.slot_count());
+        // empty graph has no slots at all
+        let e = Graph::empty(2);
+        assert_eq!(e.slot_count(), 0);
+        assert_eq!(e.edge_slot(0, 1), None);
     }
 
     #[test]

@@ -34,6 +34,15 @@ impl Outbox {
     pub fn into_msgs(self) -> Vec<(VertexId, Word)> {
         self.msgs
     }
+
+    /// Drains the queued `(to, payload)` pairs in send order, leaving the
+    /// outbox empty but with its capacity retained. This is how the round
+    /// engines reuse **one** outbox across every vertex of a round instead
+    /// of allocating a fresh one per vertex (see the zero-allocation
+    /// hot-path notes in `runtime/README.md`).
+    pub fn drain_msgs(&mut self) -> std::vec::Drain<'_, (VertexId, Word)> {
+        self.msgs.drain(..)
+    }
 }
 
 /// A per-vertex protocol state machine.
@@ -76,6 +85,12 @@ pub trait Protocol {
 }
 
 /// The synchronous engine coupling a graph with per-vertex protocol states.
+///
+/// The per-round hot path is allocation-free in steady state: bandwidth is
+/// accounted in a flat per-directed-edge counter vector (indexed by
+/// [`Graph::edge_slot`], reset by epoch-stamping instead of clearing),
+/// inboxes are double-buffered and cleared with capacity retained, and one
+/// [`Outbox`] is reused across every vertex of a round.
 #[derive(Debug)]
 pub struct Network<'g, P> {
     graph: &'g Graph,
@@ -83,8 +98,25 @@ pub struct Network<'g, P> {
     bandwidth: usize,
     /// messages delivered to each vertex at the end of the last round
     inboxes: Vec<Vec<(VertexId, Word)>>,
+    /// the other half of the inbox double buffer: `step` drains `inboxes`
+    /// and fills these, then swaps — capacities persist across rounds
+    next_inboxes: Vec<Vec<(VertexId, Word)>>,
+    /// the one outbox reused by every vertex of every round
+    outbox: Outbox,
+    /// per-directed-edge message counters, indexed by [`Graph::edge_slot`]
+    edge_counters: Vec<u32>,
+    /// round stamp (`round + 1`) of each counter's last touch; a stale
+    /// stamp means "counter is logically zero" — no per-round clearing
+    edge_epochs: Vec<u64>,
     round: u64,
     messages: u64,
+    /// vertices whose `done()` was false after the last step
+    busy: usize,
+    /// inboxes left non-empty by the last step
+    nonempty: usize,
+    /// whether `busy`/`nonempty` reflect a completed step (false until the
+    /// first `step`, when `is_quiescent` still needs the full scan)
+    counters_valid: bool,
 }
 
 impl<'g, P: Protocol> Network<'g, P> {
@@ -103,7 +135,21 @@ impl<'g, P: Protocol> Network<'g, P> {
         assert_eq!(states.len(), graph.n(), "one protocol state per vertex");
         assert!(bandwidth >= 1);
         let n = graph.n();
-        Network { graph, states, bandwidth, inboxes: vec![Vec::new(); n], round: 0, messages: 0 }
+        Network {
+            graph,
+            states,
+            bandwidth,
+            inboxes: vec![Vec::new(); n],
+            next_inboxes: vec![Vec::new(); n],
+            outbox: Outbox::default(),
+            edge_counters: vec![0; graph.slot_count()],
+            edge_epochs: vec![0; graph.slot_count()],
+            round: 0,
+            messages: 0,
+            busy: 0,
+            nonempty: 0,
+            counters_valid: false,
+        }
     }
 
     /// Runs until every vertex reports done (and no messages are in flight)
@@ -122,41 +168,66 @@ impl<'g, P: Protocol> Network<'g, P> {
     }
 
     /// Whether every vertex is done and no messages are in flight.
+    ///
+    /// After the first [`Network::step`] this reads the busy-vertex and
+    /// non-empty-inbox counters the step maintained — `O(1)` instead of
+    /// rescanning all `n` states and inboxes every round (the same fix the
+    /// sharded engine got per shard). Before any step it falls back to the
+    /// full scan.
     pub fn is_quiescent(&self) -> bool {
-        self.inboxes.iter().all(|b| b.is_empty()) && self.states.iter().all(|s| s.done())
+        if self.counters_valid {
+            self.busy == 0 && self.nonempty == 0
+        } else {
+            self.inboxes.iter().all(|b| b.is_empty()) && self.states.iter().all(|s| s.done())
+        }
     }
 
-    /// Advances exactly one round.
+    /// Advances exactly one round. Allocation-free in steady state: the
+    /// inbox double buffer, the reused outbox, and the flat epoch-stamped
+    /// bandwidth counters all retain their capacity across rounds.
     pub fn step(&mut self) {
         let n = self.graph.n();
         let round = self.round;
-        let mut next_inboxes: Vec<Vec<(VertexId, Word)>> = vec![Vec::new(); n];
-        let mut per_edge: std::collections::HashMap<(VertexId, VertexId), usize> =
-            std::collections::HashMap::new();
+        // epoch stamp for this round's bandwidth counters: a slot whose
+        // stamp differs is logically zero, so the counters never need
+        // clearing (rounds — and thus stamps — only ever grow, including
+        // across consecutive `run` calls on a reused engine)
+        let stamp = round + 1;
+        let mut busy = 0usize;
         for v in 0..n {
-            let mut out = Outbox::default();
-            let inbox = std::mem::take(&mut self.inboxes[v]);
-            self.states[v].on_round(round, &inbox, &mut out, self.graph);
-            for (to, payload) in out.msgs {
+            let state = &mut self.states[v];
+            state.on_round(round, &self.inboxes[v], &mut self.outbox, self.graph);
+            self.inboxes[v].clear();
+            busy += usize::from(!state.done());
+            for (to, payload) in self.outbox.msgs.drain(..) {
+                // one binary search both validates the neighbor and yields
+                // the flat bandwidth-counter slot
+                let slot = match self.graph.edge_slot(v as VertexId, to) {
+                    Some(slot) => slot,
+                    None => panic!("vertex {v} sent to non-neighbor {to}"),
+                };
+                let c =
+                    if self.edge_epochs[slot] == stamp { self.edge_counters[slot] + 1 } else { 1 };
+                self.edge_epochs[slot] = stamp;
+                self.edge_counters[slot] = c;
                 assert!(
-                    self.graph.has_edge(v as VertexId, to),
-                    "vertex {v} sent to non-neighbor {to}"
-                );
-                let c = per_edge.entry((v as VertexId, to)).or_insert(0);
-                *c += 1;
-                assert!(
-                    *c <= self.bandwidth,
+                    c as usize <= self.bandwidth,
                     "vertex {v} exceeded bandwidth {} on edge to {to} in round {round}",
                     self.bandwidth
                 );
-                next_inboxes[to as usize].push((v as VertexId, payload));
+                self.next_inboxes[to as usize].push((v as VertexId, payload));
                 self.messages += 1;
             }
         }
-        for b in &mut next_inboxes {
+        let mut nonempty = 0usize;
+        for b in &mut self.next_inboxes {
             b.sort_unstable();
+            nonempty += usize::from(!b.is_empty());
         }
-        self.inboxes = next_inboxes;
+        std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
+        self.busy = busy;
+        self.nonempty = nonempty;
+        self.counters_valid = true;
         self.round += 1;
     }
 
@@ -274,6 +345,97 @@ mod tests {
         let mut net = Network::with_bandwidth(&g, vec![Chatty(0), Chatty(1)], 2);
         net.step();
         // no panic
+    }
+
+    #[test]
+    fn quiescence_counters_match_the_full_scan() {
+        let edges: Vec<_> = (0..11u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(12, &edges);
+        let mut net = Network::new(&g, min_flood_states(12));
+        // before any step: fallback full scan (not quiescent — nobody sent)
+        assert!(!net.is_quiescent());
+        loop {
+            net.step();
+            // the O(1) counters must agree with a from-scratch scan
+            let scan =
+                net.inboxes.iter().all(|b| b.is_empty()) && net.states.iter().all(|s| s.done());
+            assert_eq!(net.is_quiescent(), scan, "round {}", net.round());
+            if scan {
+                break;
+            }
+        }
+    }
+
+    /// Vertex 0 sends one message per round on its only edge for `quota`
+    /// rounds — legal at bandwidth 1 only if the per-edge counters are
+    /// logically zeroed every round.
+    struct Pulse {
+        me: VertexId,
+        sent: u64,
+        quota: u64,
+    }
+
+    impl Protocol for Pulse {
+        fn on_round(&mut self, _r: u64, _i: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+            if self.me == 0 && self.sent < self.quota {
+                out.send(g.neighbors(0)[0], 1);
+                self.sent += 1;
+            }
+        }
+        fn done(&self) -> bool {
+            self.me != 0 || self.sent >= self.quota
+        }
+    }
+
+    #[test]
+    fn epoch_stamped_counters_reset_across_rounds_and_runs() {
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let states = vec![Pulse { me: 0, sent: 0, quota: 6 }, Pulse { me: 1, sent: 0, quota: 0 }];
+        let mut net = Network::new(&g, states);
+        // run 1: truncated mid-protocol
+        let r1 = net.run(3);
+        assert!(r1.truncated);
+        // run 2 on the reused engine continues from round 3 and completes:
+        // each round's single send passes bandwidth 1 only because a stale
+        // epoch stamp makes its counter read as zero — the counters
+        // themselves are never cleared
+        let r2 = net.run(10);
+        assert!(!r2.truncated);
+        assert_eq!(net.messages(), 6);
+        assert_eq!(net.round(), 7, "6 send rounds + 1 drain round");
+    }
+
+    #[test]
+    fn bandwidth_violation_in_a_later_round_reports_the_absolute_round() {
+        struct Blast(VertexId);
+        impl Protocol for Blast {
+            fn on_round(
+                &mut self,
+                round: u64,
+                _i: &[(VertexId, Word)],
+                out: &mut Outbox,
+                _g: &Graph,
+            ) {
+                if round == 5 && self.0 == 0 {
+                    out.send(1, 0);
+                    out.send(1, 0);
+                }
+            }
+            fn done(&self) -> bool {
+                true
+            }
+        }
+        let g = Graph::from_edges(2, &[(0, 1)]);
+        let mut net = Network::new(&g, vec![Blast(0), Blast(1)]);
+        for _ in 0..5 {
+            net.step();
+        }
+        let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| net.step()))
+            .expect_err("double send must panic");
+        let msg = err.downcast_ref::<String>().expect("panic message");
+        // byte-identical to the historical HashMap-accounting message,
+        // with the absolute round number intact across the earlier rounds
+        assert_eq!(msg, "vertex 0 exceeded bandwidth 1 on edge to 1 in round 5");
     }
 
     /// A protocol that never finishes: each vertex re-sends to its

@@ -13,6 +13,7 @@
 //! small graphs in the test suite).
 
 use congest::graph::{Graph, VertexId};
+use runtime::{global_pool, SlicePtr};
 
 /// SplitMix64: a fixed bijective scrambler used to derive the deterministic
 /// start vector.
@@ -24,10 +25,76 @@ fn splitmix64(mut x: u64) -> u64 {
     z ^ (z >> 31)
 }
 
+/// Fixed width of one parallel work chunk. The chunk split — and with it
+/// every floating-point reduction order below — depends only on `n`, never
+/// on the worker count, so the embedding is bit-identical whether it runs
+/// inline, on a 1-thread pool, or on 64 shards.
+const PAR_CHUNK: usize = 2048;
+
+/// The vertex range of parallel chunk `c`.
+fn chunk_bounds(c: usize, n: usize) -> (usize, usize) {
+    (c * PAR_CHUNK, ((c + 1) * PAR_CHUNK).min(n))
+}
+
+/// Runs `f(0..chunks)` — on the [`global_pool`] when there is real
+/// parallelism to gain, inline otherwise. Either path performs the exact
+/// same per-chunk arithmetic, so results never depend on the dispatch.
+fn for_chunks(chunks: usize, f: impl Fn(usize) + Sync) {
+    if chunks > 1 && global_pool().size() > 1 {
+        global_pool().run_indexed(chunks, f);
+    } else {
+        for c in 0..chunks {
+            f(c);
+        }
+    }
+}
+
+/// Chunked degree-weighted-mean removal (the stationary direction),
+/// folding the per-chunk partial sums in fixed chunk order.
+fn deflate(g: &Graph, x: &mut [f64], partials: &mut [f64], total_vol: f64) {
+    if total_vol == 0.0 {
+        return;
+    }
+    let n = x.len();
+    let chunks = partials.len();
+    {
+        let x_ref = &*x;
+        let pp = SlicePtr::new(partials);
+        for_chunks(chunks, |c| {
+            let (lo, hi) = chunk_bounds(c, n);
+            let mut acc = 0.0;
+            for (v, xv) in x_ref.iter().enumerate().take(hi).skip(lo) {
+                acc += g.degree(v as VertexId) as f64 * xv;
+            }
+            // SAFETY: chunk c is claimed exactly once per batch
+            *unsafe { pp.index_mut(c) } = acc;
+        });
+    }
+    let mean = partials.iter().sum::<f64>() / total_vol;
+    let xp = SlicePtr::new(x);
+    for_chunks(chunks, |c| {
+        let (lo, hi) = chunk_bounds(c, n);
+        // SAFETY: chunk ranges are disjoint
+        for v in unsafe { xp.slice_mut(lo, hi - lo) } {
+            *v -= mean;
+        }
+    });
+}
+
 /// Computes a deterministic approximate second eigenvector of the lazy
 /// walk matrix, using `iterations` matvec steps. Each matvec corresponds
 /// to one CONGEST round of neighbor exchange, which is how callers charge
 /// rounds for it.
+///
+/// The inner loop — the `y = ½(I + D⁻¹A)x` matvec and both reductions
+/// (deflation mean, normalization) — runs as fixed-width chunks on the
+/// process-wide [`runtime::WorkerPool`], so the decomposition phase of the
+/// paper driver scales with shards like the round engines do. The chunk
+/// split is a pure function of `n` (never of the worker count) and partial
+/// sums are folded in chunk order, so the result is bit-for-bit identical
+/// at every pool size; pieces spanning at most one chunk run inline. Like
+/// every pool client, this must not be called from a task already running
+/// on the global pool (see the `runtime::pool` deadlock rule).
 ///
 /// Isolated vertices receive embedding value 0.
 pub fn power_iteration_embedding(g: &Graph, iterations: usize) -> Vec<f64> {
@@ -35,43 +102,60 @@ pub fn power_iteration_embedding(g: &Graph, iterations: usize) -> Vec<f64> {
     if n == 0 {
         return Vec::new();
     }
+    let chunks = n.div_ceil(PAR_CHUNK);
     let total_vol: f64 = (0..n).map(|v| g.degree(v as VertexId) as f64).sum();
     let mut x: Vec<f64> =
         (0..n).map(|v| (splitmix64(v as u64) as f64 / u64::MAX as f64) - 0.5).collect();
-    let deflate = |x: &mut Vec<f64>| {
-        if total_vol == 0.0 {
-            return;
-        }
-        // remove the degree-weighted mean (the stationary direction)
-        let mean: f64 =
-            (0..n).map(|v| g.degree(v as VertexId) as f64 * x[v]).sum::<f64>() / total_vol;
-        for v in x.iter_mut() {
-            *v -= mean;
-        }
-    };
-    deflate(&mut x);
+    // both working buffers persist across iterations — the loop allocates
+    // nothing
+    let mut y = vec![0.0f64; n];
+    let mut partials = vec![0.0f64; chunks];
+    deflate(g, &mut x, &mut partials, total_vol);
     for _ in 0..iterations {
-        let mut y = vec![0.0f64; n];
-        for v in 0..n {
-            let d = g.degree(v as VertexId);
-            if d == 0 {
-                y[v] = 0.0;
-                continue;
-            }
-            let mut acc = 0.0;
-            for &u in g.neighbors(v as VertexId) {
-                acc += x[u as usize];
-            }
-            y[v] = 0.5 * x[v] + 0.5 * acc / d as f64;
+        {
+            let x_ref = &x[..];
+            let yp = SlicePtr::new(&mut y);
+            for_chunks(chunks, |c| {
+                let (lo, hi) = chunk_bounds(c, n);
+                // SAFETY: chunk ranges are disjoint
+                let yc = unsafe { yp.slice_mut(lo, hi - lo) };
+                for (i, v) in (lo..hi).enumerate() {
+                    let d = g.degree(v as VertexId);
+                    if d == 0 {
+                        yc[i] = 0.0;
+                        continue;
+                    }
+                    let mut acc = 0.0;
+                    for &u in g.neighbors(v as VertexId) {
+                        acc += x_ref[u as usize];
+                    }
+                    yc[i] = 0.5 * x_ref[v] + 0.5 * acc / d as f64;
+                }
+            });
         }
-        x = y;
-        deflate(&mut x);
-        // normalize to avoid underflow
-        let norm: f64 = x.iter().map(|a| a * a).sum::<f64>().sqrt();
+        std::mem::swap(&mut x, &mut y);
+        deflate(g, &mut x, &mut partials, total_vol);
+        // normalize to avoid underflow (chunked sum of squares, folded in
+        // chunk order)
+        {
+            let x_ref = &x[..];
+            let pp = SlicePtr::new(&mut partials);
+            for_chunks(chunks, |c| {
+                let (lo, hi) = chunk_bounds(c, n);
+                // SAFETY: chunk c is claimed exactly once per batch
+                *unsafe { pp.index_mut(c) } = x_ref[lo..hi].iter().map(|a| a * a).sum::<f64>();
+            });
+        }
+        let norm: f64 = partials.iter().sum::<f64>().sqrt();
         if norm > 0.0 {
-            for v in x.iter_mut() {
-                *v /= norm;
-            }
+            let xp = SlicePtr::new(&mut x);
+            for_chunks(chunks, |c| {
+                let (lo, hi) = chunk_bounds(c, n);
+                // SAFETY: chunk ranges are disjoint
+                for v in unsafe { xp.slice_mut(lo, hi - lo) } {
+                    *v /= norm;
+                }
+            });
         } else {
             break;
         }
@@ -177,6 +261,21 @@ mod tests {
         let a = power_iteration_embedding(&g, 50);
         let b = power_iteration_embedding(&g, 50);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn multi_chunk_embedding_is_deterministic_deflated_and_normalized() {
+        // n > PAR_CHUNK exercises the chunked pool path; the result must be
+        // reproducible and keep the power-iteration invariants
+        let edges: Vec<_> = (0..4999u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(5000, &edges);
+        let a = power_iteration_embedding(&g, 8);
+        let b = power_iteration_embedding(&g, 8);
+        assert_eq!(a, b);
+        let mean: f64 = (0..5000).map(|v| g.degree(v as u32) as f64 * a[v]).sum();
+        assert!(mean.abs() < 1e-6, "degree-weighted mean must be ~0, got {mean}");
+        let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
+        assert!((norm - 1.0).abs() < 1e-9, "embedding must be normalized, got {norm}");
     }
 
     #[test]

@@ -32,9 +32,50 @@ use std::thread::JoinHandle;
 /// blocking semantics make it sound.
 type Task = Box<dyn FnOnce() + Send + 'static>;
 
+/// One queue entry: either a boxed one-shot task ([`WorkerPool::run_scoped`])
+/// or a reference into an in-flight indexed batch
+/// ([`WorkerPool::run_indexed`] — the allocation-free path).
+enum WorkItem {
+    Task(Task),
+    Indexed(IndexedRef),
+}
+
+/// A raw reference to an [`IndexedShared`] living on a `run_indexed`
+/// caller's stack. Sound to send to workers because `run_indexed` does not
+/// return until every queued copy has been either consumed (participation
+/// registered under the queue lock) or purged from the queue.
+#[derive(Clone, Copy)]
+struct IndexedRef(*const IndexedShared);
+
+// SAFETY: see `IndexedRef` — the pointee outlives every dereference by the
+// blocking protocol of `run_indexed`.
+unsafe impl Send for IndexedRef {}
+
+/// Shared state of one `run_indexed` batch, stack-allocated in the caller.
+struct IndexedShared {
+    /// The index-parameterized task body, lifetime-erased (valid for the
+    /// whole batch because `run_indexed` blocks until the batch retires).
+    f: *const (dyn Fn(usize) + Sync),
+    /// Next unclaimed index; workers `fetch_add` to claim.
+    next: AtomicUsize,
+    /// Total number of indices.
+    count: usize,
+    state: Mutex<IndexedState>,
+    done: Condvar,
+}
+
+struct IndexedState {
+    /// Indices not yet run to completion.
+    remaining: usize,
+    /// Workers currently holding a reference to this batch.
+    participants: usize,
+    /// Lowest-index panic payload observed so far.
+    panic: Option<(usize, Box<dyn std::any::Any + Send>)>,
+}
+
 struct PoolShared {
-    /// `(pending tasks, shutting down)`.
-    queue: Mutex<(VecDeque<Task>, bool)>,
+    /// `(pending work, shutting down)`.
+    queue: Mutex<(VecDeque<WorkItem>, bool)>,
     work_ready: Condvar,
 }
 
@@ -149,7 +190,7 @@ impl WorkerPool {
                 let task: Task =
                     unsafe { std::mem::transmute::<Box<dyn FnOnce() + Send + 'scope>, Task>(task) };
                 let batch = Arc::clone(&batch);
-                q.0.push_back(Box::new(move || {
+                q.0.push_back(WorkItem::Task(Box::new(move || {
                     let outcome = catch_unwind(AssertUnwindSafe(task));
                     let mut st = batch.state.lock().unwrap();
                     st.0 -= 1;
@@ -161,7 +202,7 @@ impl WorkerPool {
                     if st.0 == 0 {
                         batch.done.notify_all();
                     }
-                }));
+                })));
             }
             self.shared.work_ready.notify_all();
         }
@@ -173,6 +214,156 @@ impl WorkerPool {
             drop(st);
             resume_unwind(payload);
         }
+    }
+
+    /// Executes `f(0)`, `f(1)`, …, `f(count - 1)` on the pool and blocks
+    /// until all of them have completed — the indexed, **allocation-free**
+    /// counterpart of [`WorkerPool::run_scoped`]. Workers claim indices
+    /// from an atomic counter, so each index runs exactly once; `f` is
+    /// shared by reference across workers (hence `Fn + Sync`), and the
+    /// batch descriptor lives on this caller's stack — in steady state the
+    /// only queue traffic is copies of one raw pointer into a
+    /// capacity-retaining deque, which is what lets the sharded round
+    /// engine run both of its per-round phases without a single heap
+    /// allocation.
+    ///
+    /// Panic semantics match `run_scoped`: every index still runs, and the
+    /// payload of the lowest panicking index is re-raised here after the
+    /// batch drains.
+    ///
+    /// The [deadlock rule](self) applies unchanged: never call this from a
+    /// task running on the same pool.
+    pub fn run_indexed<'scope, F>(&self, count: usize, f: F)
+    where
+        F: Fn(usize) + Sync + 'scope,
+    {
+        if count == 0 {
+            return;
+        }
+        let f_obj: &(dyn Fn(usize) + Sync) = &f;
+        // SAFETY: lifetime erasure only — this function does not return
+        // until every participant has finished calling `f` and every
+        // queued reference to `job` has been consumed or purged, so the
+        // erased borrow strictly outlives all uses.
+        let f_ptr: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(f_obj) };
+        let job = IndexedShared {
+            f: f_ptr,
+            next: AtomicUsize::new(0),
+            count,
+            state: Mutex::new(IndexedState { remaining: count, participants: 0, panic: None }),
+            done: Condvar::new(),
+        };
+        // one queue entry per worker that could usefully participate
+        let copies = count.min(self.workers.len());
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            for _ in 0..copies {
+                q.0.push_back(WorkItem::Indexed(IndexedRef(&job)));
+            }
+            self.shared.work_ready.notify_all();
+        }
+        // 1. wait until every index has run to completion
+        let mut st = job.state.lock().unwrap();
+        while st.remaining > 0 {
+            st = job.done.wait(st).unwrap();
+        }
+        drop(st);
+        // 2. purge queue copies nobody picked up (a worker that pops a
+        //    copy registers as a participant *under the queue lock*, so
+        //    after this purge no new participant can appear)
+        {
+            let mut q = self.shared.queue.lock().unwrap();
+            q.0.retain(|item| !matches!(item, WorkItem::Indexed(r) if std::ptr::eq(r.0, &job)));
+        }
+        // 3. wait for active participants to let go of the batch, then
+        //    `job` (and `f`) may safely die with this frame
+        let mut st = job.state.lock().unwrap();
+        while st.participants > 0 {
+            st = job.done.wait(st).unwrap();
+        }
+        if let Some((_, payload)) = st.panic.take() {
+            drop(st);
+            resume_unwind(payload);
+        }
+    }
+}
+
+/// One worker's engagement with an indexed batch: claim indices until the
+/// counter runs out, then retire under the batch lock.
+fn participate(job: &IndexedShared) {
+    // SAFETY: `job.f` is valid for the batch's lifetime (see run_indexed).
+    let f = unsafe { &*job.f };
+    let mut finished = 0usize;
+    let mut local_panic: Option<(usize, Box<dyn std::any::Any + Send>)> = None;
+    loop {
+        let i = job.next.fetch_add(1, Ordering::Relaxed);
+        if i >= job.count {
+            break;
+        }
+        if let Err(payload) = catch_unwind(AssertUnwindSafe(|| f(i))) {
+            if local_panic.as_ref().is_none_or(|(j, _)| i < *j) {
+                local_panic = Some((i, payload));
+            }
+        }
+        finished += 1;
+    }
+    let mut st = job.state.lock().unwrap();
+    st.remaining -= finished;
+    st.participants -= 1;
+    if let Some((i, payload)) = local_panic {
+        if st.panic.as_ref().is_none_or(|(j, _)| i < *j) {
+            st.panic = Some((i, payload));
+        }
+    }
+    // notify while still holding the lock: the submitter cannot observe
+    // the updated counters and free `job` before we are done touching it
+    job.done.notify_all();
+}
+
+/// A `Send`/`Sync`-asserting raw view of a mutable slice, for handing
+/// disjoint sub-ranges of one buffer to the tasks of a
+/// [`WorkerPool::run_indexed`] batch without allocating per-task closures.
+///
+/// The caller promises that concurrent tasks access **disjoint** index
+/// ranges (each `run_indexed` index is claimed exactly once, so "task `i`
+/// touches only range `i`" is the usual argument) and that the underlying
+/// slice outlives the batch — both hold trivially for the blocking
+/// `run_indexed` pattern the round engines use.
+#[derive(Clone, Copy, Debug)]
+pub struct SlicePtr<T> {
+    ptr: *mut T,
+    len: usize,
+}
+
+// SAFETY: asserted by the disjoint-access contract in the type docs.
+unsafe impl<T: Send> Send for SlicePtr<T> {}
+unsafe impl<T: Send> Sync for SlicePtr<T> {}
+
+impl<T> SlicePtr<T> {
+    /// Captures a raw view of `slice`.
+    pub fn new(slice: &mut [T]) -> Self {
+        SlicePtr { ptr: slice.as_mut_ptr(), len: slice.len() }
+    }
+
+    /// Reborrows the sub-slice `start..start + len`.
+    ///
+    /// # Safety
+    ///
+    /// The range must be in bounds, no other live borrow may overlap it,
+    /// and the underlying slice must still be alive.
+    pub unsafe fn slice_mut<'a>(&self, start: usize, len: usize) -> &'a mut [T] {
+        debug_assert!(start + len <= self.len);
+        std::slice::from_raw_parts_mut(self.ptr.add(start), len)
+    }
+
+    /// Reborrows element `i`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`SlicePtr::slice_mut`] for the single index `i`.
+    pub unsafe fn index_mut<'a>(&self, i: usize) -> &'a mut T {
+        debug_assert!(i < self.len);
+        &mut *self.ptr.add(i)
     }
 }
 
@@ -211,11 +402,20 @@ impl Drop for WorkerPool {
 
 fn worker_loop(shared: &PoolShared) {
     loop {
-        let task = {
+        let item = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(t) = q.0.pop_front() {
-                    break t;
+                if let Some(item) = q.0.pop_front() {
+                    if let WorkItem::Indexed(r) = &item {
+                        // register participation BEFORE releasing the queue
+                        // lock: the submitter purges leftover references
+                        // under this lock before invalidating the batch, so
+                        // a registered participant is guaranteed a live one
+                        // (lock order queue → batch state, used nowhere
+                        // else, so this nesting cannot deadlock).
+                        unsafe { &*r.0 }.state.lock().unwrap().participants += 1;
+                    }
+                    break item;
                 }
                 if q.1 {
                     return;
@@ -223,7 +423,11 @@ fn worker_loop(shared: &PoolShared) {
                 q = shared.work_ready.wait(q).unwrap();
             }
         };
-        task();
+        match item {
+            WorkItem::Task(task) => task(),
+            // SAFETY: participation registered above keeps the batch alive.
+            WorkItem::Indexed(r) => participate(unsafe { &*r.0 }),
+        }
     }
 }
 
@@ -340,6 +544,83 @@ mod tests {
     fn empty_batch_is_a_no_op() {
         let pool = WorkerPool::new(1);
         pool.run_scoped(Vec::new());
+        pool.run_indexed(0, |_| unreachable!("no indices to run"));
+    }
+
+    #[test]
+    fn indexed_batch_runs_every_index_exactly_once() {
+        let pool = WorkerPool::new(3);
+        for round in 0..50 {
+            let mut slots = vec![0usize; 17];
+            let ptr = SlicePtr::new(&mut slots);
+            pool.run_indexed(17, |i| {
+                // SAFETY: index i is claimed exactly once per batch
+                *unsafe { ptr.index_mut(i) } += i + round;
+            });
+            for (i, s) in slots.iter().enumerate() {
+                assert_eq!(*s, i + round);
+            }
+        }
+    }
+
+    #[test]
+    fn indexed_batch_propagates_the_lowest_index_panic_after_draining() {
+        let pool = WorkerPool::new(4);
+        for _ in 0..20 {
+            let ran = AtomicUsize::new(0);
+            let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                pool.run_indexed(8, |i| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    if i >= 2 {
+                        panic!("index {i} failed");
+                    }
+                });
+            }));
+            let payload = result.expect_err("panic must reach the submitter");
+            let msg = payload.downcast_ref::<String>().expect("panic message");
+            assert_eq!(msg, "index 2 failed");
+            // every index still ran before the panic was re-raised
+            assert_eq!(ran.load(Ordering::Relaxed), 8);
+        }
+        // the pool survives panicked indexed batches
+        let counter = AtomicUsize::new(0);
+        pool.run_indexed(5, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 5);
+    }
+
+    #[test]
+    fn indexed_batches_interleave_across_threads() {
+        let pool = Arc::new(WorkerPool::new(2));
+        std::thread::scope(|scope| {
+            for t in 0..4usize {
+                let pool = Arc::clone(&pool);
+                scope.spawn(move || {
+                    for _ in 0..10 {
+                        let mut sums = [0u64; 9];
+                        let ptr = SlicePtr::new(&mut sums[..]);
+                        pool.run_indexed(9, |i| {
+                            // SAFETY: disjoint indices per batch
+                            *unsafe { ptr.index_mut(i) } = (t * 100 + i) as u64;
+                        });
+                        for (i, s) in sums.iter().enumerate() {
+                            assert_eq!(*s, (t * 100 + i) as u64);
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn indexed_batch_with_more_indices_than_workers_completes() {
+        let pool = WorkerPool::new(2);
+        let counter = AtomicUsize::new(0);
+        pool.run_indexed(64, |_| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
     }
 
     #[test]

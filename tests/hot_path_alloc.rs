@@ -1,0 +1,121 @@
+//! Structural audit of the zero-allocation round hot path.
+//!
+//! A counting global allocator is armed around steady-state `step` calls of
+//! both engines; the assertion that **zero** allocations happen is what the
+//! runtime README's hot-path audit refers to. The warm-up rounds before
+//! arming are the point: first rounds legitimately grow inbox/outbox/bucket
+//! capacities, and the claim is that a *steady-state* round reuses all of
+//! them.
+//!
+//! This file is its own test binary (one `#[test]`) so no concurrent test
+//! can pollute the counter, and the allocator hook stays out of every other
+//! suite.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+use congest::graph::{Graph, VertexId};
+use congest::network::{Network, Outbox, Protocol, Word};
+use runtime::{ShardedNetwork, WorkerPool};
+
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+static ARMED: AtomicBool = AtomicBool::new(false);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.alloc(layout)
+    }
+
+    unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+        if ARMED.load(Ordering::Relaxed) {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        System.realloc(ptr, layout, new_size)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOCATOR: CountingAlloc = CountingAlloc;
+
+/// Counts allocations (on any thread — the counter is process-global, so
+/// pool workers are audited too) performed while `f` runs.
+fn allocations_during(f: impl FnOnce()) -> u64 {
+    ALLOCS.store(0, Ordering::SeqCst);
+    ARMED.store(true, Ordering::SeqCst);
+    f();
+    ARMED.store(false, Ordering::SeqCst);
+    ALLOCS.load(Ordering::SeqCst)
+}
+
+/// The dense round workload: every vertex messages all neighbors every
+/// round (the same shape as the bench crate's heartbeat).
+struct Beat {
+    me: VertexId,
+    acc: u64,
+}
+
+impl Protocol for Beat {
+    fn on_round(&mut self, round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+        for &(_, w) in inbox {
+            self.acc ^= w;
+        }
+        let word = self.acc.wrapping_add(round) ^ self.me as u64;
+        for &v in g.neighbors(self.me) {
+            out.send(v, word);
+        }
+    }
+
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+fn beats(n: usize) -> Vec<Beat> {
+    (0..n as VertexId).map(|me| Beat { me, acc: me as u64 }).collect()
+}
+
+const WARMUP_ROUNDS: usize = 4;
+const MEASURED_ROUNDS: usize = 3;
+
+#[test]
+fn steady_state_step_allocates_nothing_in_either_engine() {
+    let n = 512;
+    let g = graphs::random_regular(n, 8, 7);
+
+    // Sequential engine: flat epoch-stamped bandwidth counters, inbox
+    // double buffer, one reused outbox.
+    let mut net = Network::new(&g, beats(n));
+    for _ in 0..WARMUP_ROUNDS {
+        net.step();
+    }
+    let count = allocations_during(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            net.step();
+        }
+    });
+    assert_eq!(count, 0, "sequential steady-state step must not allocate");
+
+    // Sharded engine on a dedicated pool: persistent per-shard scratch,
+    // flat bucket matrix, allocation-free indexed batches.
+    let pool = Arc::new(WorkerPool::new(2));
+    let mut net = ShardedNetwork::with_pool(&g, beats(n), 1, 2, pool);
+    for _ in 0..WARMUP_ROUNDS {
+        net.step();
+    }
+    let count = allocations_during(|| {
+        for _ in 0..MEASURED_ROUNDS {
+            net.step();
+        }
+    });
+    assert_eq!(count, 0, "sharded steady-state step must not allocate");
+}

@@ -362,3 +362,158 @@ proptest! {
         prop_assert_eq!(&r1, &r2);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Bandwidth-enforcement parity: the engines now account bandwidth in flat
+// slot-indexed counters; a reference replay of the historical per-round
+// HashMap accounting must predict the exact panic both engines raise —
+// same message (vertex, edge, bandwidth) and same round.
+// ---------------------------------------------------------------------------
+
+/// Replays a vertex's send schedule for every round: `(round, to, copies)`.
+struct Scripted {
+    sends: Vec<(u64, VertexId, usize)>,
+    /// latest round seen by `on_round` (drives `done`)
+    now: Option<u64>,
+}
+
+impl congest::Protocol for Scripted {
+    fn on_round(
+        &mut self,
+        round: u64,
+        _i: &[(VertexId, congest::network::Word)],
+        out: &mut congest::network::Outbox,
+        _g: &Graph,
+    ) {
+        self.now = Some(round);
+        for &(r, to, copies) in &self.sends {
+            if r == round {
+                for _ in 0..copies {
+                    out.send(to, 1);
+                }
+            }
+        }
+    }
+    fn done(&self) -> bool {
+        match self.now {
+            None => self.sends.is_empty(),
+            Some(t) => self.sends.iter().all(|&(r, _, _)| r <= t),
+        }
+    }
+}
+
+/// The seed's HashMap accounting (entry-count per `(from, to)`, vertices in
+/// id order, sends in schedule order), replayed round by round: returns the
+/// panic message the old engine would have raised, if any.
+fn hashmap_accounting_panic(
+    sends: &[Vec<(u64, VertexId, usize)>],
+    bandwidth: usize,
+    max_round: u64,
+) -> Option<String> {
+    for round in 0..=max_round {
+        let mut per_edge: std::collections::HashMap<(VertexId, VertexId), usize> =
+            std::collections::HashMap::new();
+        for (v, plan) in sends.iter().enumerate() {
+            for &(r, to, copies) in plan {
+                if r != round {
+                    continue;
+                }
+                for _ in 0..copies {
+                    let c = per_edge.entry((v as VertexId, to)).or_insert(0);
+                    *c += 1;
+                    if *c > bandwidth {
+                        return Some(format!(
+                            "vertex {v} exceeded bandwidth {bandwidth} on edge to {to} in round {round}"
+                        ));
+                    }
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Runs the schedule on the engine `sel` selects, returning the panic
+/// message if the run panicked.
+fn scripted_panic<S: congest::engine::EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    sends: &[Vec<(u64, VertexId, usize)>],
+    bandwidth: usize,
+    budget: u64,
+) -> Option<String> {
+    let states: Vec<Scripted> =
+        sends.iter().map(|plan| Scripted { sends: plan.clone(), now: None }).collect();
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        let mut net = sel.build(g, states, bandwidth);
+        congest::engine::Engine::run(&mut net, budget);
+    }))
+    .err()
+    .map(|payload| {
+        payload
+            .downcast_ref::<String>()
+            .cloned()
+            .unwrap_or_else(|| "non-string panic payload".into())
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn flat_counter_bandwidth_panics_match_hashmap_accounting(
+        g in arbitrary_graph(24),
+        seed in 0u64..u64::MAX,
+        bandwidth in 1usize..3,
+        round in 0u64..4,
+    ) {
+        prop_assume!(g.m() >= 2);
+        let edges: Vec<_> = g.edges().collect();
+        let e1 = edges[(seed % edges.len() as u64) as usize];
+        let e2 = edges[((seed / 7) % edges.len() as u64) as usize];
+        let mut sends: Vec<Vec<(u64, VertexId, usize)>> = vec![Vec::new(); g.n()];
+        // two planted violations in the same round (possibly on the same
+        // vertex): the engines must report the one the sequential
+        // vertex-order accounting hits first
+        sends[e1.0 as usize].push((round, e1.1, bandwidth + 1));
+        sends[e2.1 as usize].push((round, e2.0, bandwidth + 2));
+        let expected = hashmap_accounting_panic(&sends, bandwidth, round)
+            .expect("the schedule plants a violation");
+        let budget = round + 4;
+        let seq = scripted_panic(&congest::Sequential, &g, &sends, bandwidth, budget);
+        prop_assert_eq!(seq.as_deref(), Some(expected.as_str()), "sequential panic diverges");
+        for shards in [1usize, 2, 8] {
+            let par =
+                scripted_panic(&runtime::Sharded::new(shards), &g, &sends, bandwidth, budget);
+            prop_assert_eq!(
+                par.as_deref(), Some(expected.as_str()),
+                "sharded panic diverges at {} shards", shards
+            );
+        }
+    }
+
+    #[test]
+    fn legal_schedules_do_not_panic_under_flat_counters(
+        g in arbitrary_graph(24),
+        seed in 0u64..u64::MAX,
+        bandwidth in 1usize..3,
+    ) {
+        prop_assume!(g.m() >= 1);
+        let edges: Vec<_> = g.edges().collect();
+        let (u, v) = edges[(seed % edges.len() as u64) as usize];
+        // exactly `bandwidth` copies on the same edge in two separate
+        // rounds — legal, and a regression probe for counter reset between
+        // rounds (a stale count would overflow in the second round)
+        let mut sends: Vec<Vec<(u64, VertexId, usize)>> = vec![Vec::new(); g.n()];
+        sends[u as usize].push((0, v, bandwidth));
+        sends[u as usize].push((2, v, bandwidth));
+        prop_assert_eq!(hashmap_accounting_panic(&sends, bandwidth, 2), None);
+        prop_assert_eq!(scripted_panic(&congest::Sequential, &g, &sends, bandwidth, 6), None);
+        for shards in [1usize, 2, 8] {
+            prop_assert_eq!(
+                scripted_panic(&runtime::Sharded::new(shards), &g, &sends, bandwidth, 6),
+                None
+            );
+        }
+    }
+}
