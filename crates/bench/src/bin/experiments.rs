@@ -66,7 +66,9 @@ fn main() {
 /// worker counts {1, available_shards()}, with the `BENCH_service.json`
 /// trajectory record (jobs/s, p50/p95 latency, cache hit rate).
 fn svc() {
-    use bench::svc::{replay, report, small_scenarios, trajectory_worker_counts};
+    use bench::svc::{
+        replay, report, small_scenarios, tenant_mix_and_persistence, trajectory_worker_counts,
+    };
     let scenarios = small_scenarios();
     let workers = trajectory_worker_counts();
     let total: usize = scenarios.iter().map(|s| s.jobs.len()).sum();
@@ -77,10 +79,13 @@ fn svc() {
         workers
     );
     let rows = replay(&workers, &scenarios);
-    report(&scenarios, &rows);
+    let mix = tenant_mix_and_persistence();
+    report(&scenarios, &rows, &mix);
     for r in &rows {
         assert!(r.hit_rate > 0.0, "the smoke corpus repeats specs; hit rate must be > 0");
     }
+    assert!(mix.starvation_free, "aging must unstarve the bulk job");
+    assert!(mix.restart_hit_rate > 0.0, "cross-restart cache hit rate must be > 0");
 }
 
 /// ENG: raw engine throughput — sequential vs sharded — with a

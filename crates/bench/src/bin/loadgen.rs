@@ -14,7 +14,10 @@
 //! Defaults: the full scenario corpus at worker counts
 //! `{1, available_shards()}` (so `CLIQUE_SHARDS` steers the sweep).
 
-use bench::svc::{full_scenarios, replay, report, small_scenarios, trajectory_worker_counts};
+use bench::svc::{
+    full_scenarios, replay, report, small_scenarios, tenant_mix_and_persistence,
+    trajectory_worker_counts,
+};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,7 +49,8 @@ fn main() {
         workers
     );
     let rows = replay(&workers, &scenarios);
-    report(&scenarios, &rows);
+    let mix = tenant_mix_and_persistence();
+    report(&scenarios, &rows, &mix);
     for r in &rows {
         assert!(r.hit_rate > 0.0, "scenario corpora repeat specs; hit rate must be > 0");
         assert!(r.ttfr <= r.wall, "first streamed result cannot arrive after the last");
@@ -55,4 +59,12 @@ fn main() {
             "the priority-mix scenario plants deterministic misses; rate must be > 0"
         );
     }
+    assert!(
+        mix.starvation_free,
+        "aging must complete the bulk job before the firehose drains (popped at {}/{})",
+        mix.bulk_pop_position, mix.firehose_jobs
+    );
+    assert!(mix.bulk_pop_position > 0, "fresh priority-255 traffic must still pop first");
+    assert!(mix.persisted_graphs > 0, "the corpus must survive the restart");
+    assert!(mix.restart_hit_rate > 0.0, "cross-restart cache hit rate must be > 0");
 }

@@ -202,6 +202,69 @@ pub struct LoadgenRow {
     pub hit_rate: f64,
 }
 
+/// Tenant-mix fairness + corpus-persistence measurements, recorded in
+/// `BENCH_service.json` beside the replay rows.
+pub struct TenantMixReport {
+    /// Fairness aging rate the scenario ran with.
+    pub aging_rate: u64,
+    /// Priority-255 firehose jobs replayed against the one bulk job.
+    pub firehose_jobs: usize,
+    /// Pop-order position of the priority-0 bulk job (0-based; `==
+    /// firehose_jobs` means it popped dead last).
+    pub bulk_pop_position: usize,
+    /// Whether aging unstarved the bulk job (it completed strictly before
+    /// the firehose drained).
+    pub starvation_free: bool,
+    /// Graphs persisted by the first service and reloaded by the second.
+    pub persisted_graphs: usize,
+    /// Corpus-cache hit rate of the *restarted* service replaying the
+    /// same traffic — the cross-restart payoff of persistence.
+    pub restart_hit_rate: f64,
+}
+
+/// Runs the tenant-mix fairness scenario (a priority-255 firehose fed one
+/// job per completion against one priority-0 bulk job on a 1-worker,
+/// aging-rate-8 service — rate 8 puts the aging crossover at
+/// `⌈256/8⌉ = 32` ticks, well inside the firehose) and the
+/// corpus-persistence restart scenario (replay a spec-heavy mix, drop the
+/// service — persisting its corpus — then replay through a fresh service
+/// that warm-loads it).
+pub fn tenant_mix_and_persistence() -> TenantMixReport {
+    // fairness under a firehose (the shared scenario the scheduler
+    // regression tests pin; see service::testing)
+    let aging_rate = 8;
+    let firehose = 120;
+    let svc = Service::new(1).with_aging(aging_rate).with_pop_log();
+    let bulk_pop_position = service::testing::firehose_bulk_position(&svc, firehose, 16);
+    drop(svc);
+
+    // persistence across a restart
+    let path =
+        std::env::temp_dir().join(format!("clique-loadgen-corpus-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+    let jobs: Vec<Job> = small_scenarios().into_iter().flat_map(|s| s.jobs).collect();
+    {
+        let first = Service::new(1).with_corpus_path(&path);
+        let _ = first.run_batch(jobs.clone());
+        // drop persists the corpus
+    }
+    let restarted = Service::new(1).with_corpus_path(&path);
+    let persisted_graphs = restarted.corpus_len();
+    let _ = restarted.run_batch(jobs);
+    let (hits, misses) = restarted.cache_stats();
+    drop(restarted);
+    let _ = std::fs::remove_file(&path);
+
+    TenantMixReport {
+        aging_rate,
+        firehose_jobs: firehose,
+        bulk_pop_position,
+        starvation_free: bulk_pop_position < firehose,
+        persisted_graphs,
+        restart_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+    }
+}
+
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -279,8 +342,9 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
 
 /// Prints the loadgen table and writes `BENCH_service.json` — the
 /// cross-PR trajectory record (jobs/s, p50/p95 latency, time-to-first-
-/// result, deadline-miss rate, cache hit rate per worker count).
-pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow]) {
+/// result, deadline-miss rate, cache hit rate per worker count, plus the
+/// tenant-mix fairness and corpus-persistence measurements).
+pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow], mix: &TenantMixReport) {
     let mut t = Table::new(&[
         "workers",
         "jobs",
@@ -324,11 +388,35 @@ pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow]) {
         ));
     }
     t.print();
+    println!(
+        "\ntenant mix: bulk job popped at {}/{} (aging rate {}, starvation-free: {}); \
+         persistence: {} graphs reloaded, restart hit rate {:.3}",
+        mix.bulk_pop_position,
+        mix.firehose_jobs,
+        mix.aging_rate,
+        mix.starvation_free,
+        mix.persisted_graphs,
+        mix.restart_hit_rate
+    );
     let names: Vec<String> = scenarios.iter().map(|s| format!("\"{}\"", s.name)).collect();
+    let mix_json = format!(
+        concat!(
+            "  \"tenant_mix\": {{\"aging_rate\": {}, \"firehose_jobs\": {}, ",
+            "\"bulk_pop_position\": {}, \"starvation_free\": {}, ",
+            "\"persisted_graphs\": {}, \"restart_hit_rate\": {:.4}}},"
+        ),
+        mix.aging_rate,
+        mix.firehose_jobs,
+        mix.bulk_pop_position,
+        mix.starvation_free,
+        mix.persisted_graphs,
+        mix.restart_hit_rate
+    );
     let json = format!(
-        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
         names.join(", "),
         runtime::available_shards(),
+        mix_json,
         rows_json.join(",\n")
     );
     match std::fs::write("BENCH_service.json", &json) {

@@ -22,7 +22,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::cluster_listing::{prepare_cluster_instance, ClusterInstance};
 use crate::config::ListingConfig;
-use crate::driver::ListingOutcome;
+use crate::driver::{budget_spent, ListingOutcome};
 use crate::lowdeg::low_degree_listing_for;
 use crate::report::{LevelStats, RunReport};
 
@@ -48,9 +48,10 @@ pub fn list_cliques_randomized(
         if current.is_empty() {
             break;
         }
-        // Same round-budget cap semantics as the deterministic driver:
-        // checked at level boundaries, truncates with work pending.
-        if cfg.round_cap_reached(report.cost.rounds) {
+        // Same budget-cap semantics as the deterministic driver: round
+        // cap and wall budget checked at level boundaries, truncating
+        // with work pending.
+        if budget_spent(cfg, report.cost.rounds, &mut report) {
             report.cost.truncated = true;
             report.raw_listings = raw;
             return ListingOutcome { cliques: found.into_iter().collect(), report };
@@ -99,7 +100,7 @@ pub fn list_cliques_randomized(
         }
 
         // Mid-level cap checkpoint, mirroring the deterministic driver.
-        if cfg.round_cap_reached(report.cost.rounds + level_cost.rounds) {
+        if budget_spent(cfg, report.cost.rounds + level_cost.rounds, &mut report) {
             level.rounds = level_cost.rounds;
             level.messages = level_cost.messages;
             report.cost.absorb(&level_cost);
@@ -149,7 +150,7 @@ pub fn list_cliques_randomized(
         report.levels.push(level);
         report.depth = depth + 1;
         if next.len() == current.len() {
-            if cfg.round_cap_reached(report.cost.rounds) {
+            if budget_spent(cfg, report.cost.rounds, &mut report) {
                 report.cost.truncated = true;
                 report.raw_listings = raw;
                 return ListingOutcome { cliques: found.into_iter().collect(), report };
@@ -168,7 +169,7 @@ pub fn list_cliques_randomized(
         current = next;
     }
 
-    if !current.is_empty() && cfg.round_cap_reached(report.cost.rounds) {
+    if !current.is_empty() && budget_spent(cfg, report.cost.rounds, &mut report) {
         report.cost.truncated = true;
     } else if !current.is_empty() {
         let ng = Graph::from_edges(n, &current);

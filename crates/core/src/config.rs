@@ -1,5 +1,9 @@
 //! Configuration of the listing drivers.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
 /// Which round-execution engine the listing drivers simulate on.
 ///
 /// Both engines produce **byte-identical** results (cliques, rounds,
@@ -66,6 +70,156 @@ impl Default for EngineChoice {
     }
 }
 
+/// A test-injectable clock for [`WallBudget`]: a millisecond counter that
+/// optionally self-advances by `step_ms` on every **checkpoint** read, so a
+/// wall-deadline trip at any driver checkpoint (level boundary, mid-level)
+/// can be staged deterministically — no sleeping, no real time.
+///
+/// # Example
+///
+/// ```
+/// use clique_listing::MockClock;
+/// let clock = MockClock::stepping(0, 10);
+/// assert_eq!(clock.checkpoint_ms(), 0); // read, then advance by 10
+/// assert_eq!(clock.checkpoint_ms(), 10);
+/// assert_eq!(clock.now_ms(), 20); // peek: no advance
+/// assert_eq!(clock.now_ms(), 20);
+/// ```
+#[derive(Debug)]
+pub struct MockClock {
+    now_ms: AtomicU64,
+    step_ms: u64,
+}
+
+impl MockClock {
+    /// A frozen mock clock reading `start_ms` forever (until [`set`](Self::set)).
+    pub fn at(start_ms: u64) -> Arc<Self> {
+        Self::stepping(start_ms, 0)
+    }
+
+    /// A mock clock starting at `start_ms` that advances by `step_ms` on
+    /// every [`checkpoint_ms`](Self::checkpoint_ms) read.
+    pub fn stepping(start_ms: u64, step_ms: u64) -> Arc<Self> {
+        Arc::new(MockClock { now_ms: AtomicU64::new(start_ms), step_ms })
+    }
+
+    /// The current reading, without advancing.
+    pub fn now_ms(&self) -> u64 {
+        self.now_ms.load(Ordering::SeqCst)
+    }
+
+    /// The current reading, then advance by the stepping increment — the
+    /// read the driver checkpoints perform.
+    pub fn checkpoint_ms(&self) -> u64 {
+        self.now_ms.fetch_add(self.step_ms, Ordering::SeqCst)
+    }
+
+    /// Moves the clock to an absolute reading.
+    pub fn set(&self, ms: u64) {
+        self.now_ms.store(ms, Ordering::SeqCst);
+    }
+
+    /// Advances the clock by `ms`.
+    pub fn advance(&self, ms: u64) {
+        self.now_ms.fetch_add(ms, Ordering::SeqCst);
+    }
+}
+
+/// The time source a [`WallBudget`] measures against: the process
+/// monotonic clock in production, a [`MockClock`] in tests (wall-clock
+/// misses are inherently nondeterministic, so the deterministic test
+/// suites either disable wall deadlines or inject a mock).
+#[derive(Debug, Clone)]
+pub enum WallClock {
+    /// Milliseconds elapsed since the anchoring [`Instant`] (monotonic —
+    /// never affected by system-time adjustments).
+    Monotonic(Instant),
+    /// A shared test-controlled counter.
+    Mock(Arc<MockClock>),
+}
+
+impl WallClock {
+    /// A monotonic clock anchored at the call.
+    pub fn starting_now() -> Self {
+        WallClock::Monotonic(Instant::now())
+    }
+
+    /// Current reading in ms, without side effects.
+    pub fn now_ms(&self) -> u64 {
+        match self {
+            WallClock::Monotonic(anchor) => anchor.elapsed().as_millis() as u64,
+            WallClock::Mock(m) => m.now_ms(),
+        }
+    }
+
+    /// Checkpoint reading in ms: identical to [`now_ms`](Self::now_ms) for
+    /// the monotonic clock, but advances a stepping [`MockClock`].
+    pub fn checkpoint_ms(&self) -> u64 {
+        match self {
+            WallClock::Monotonic(anchor) => anchor.elapsed().as_millis() as u64,
+            WallClock::Mock(m) => m.checkpoint_ms(),
+        }
+    }
+}
+
+/// A wall-clock budget for a whole listing run, checked by the drivers at
+/// the **same checkpoints** as [`ListingConfig::round_cap`] (recursion-level
+/// boundaries and the mid-level checkpoint). When the budget expires the run
+/// stops early with `CostReport::truncated` *and* `RunReport::wall_exceeded`
+/// set, so callers (the service's `JobMeta::deadline_ms`) can tell a wall
+/// miss from a round-budget miss.
+///
+/// Unlike the round cap, wall expiry is **not deterministic** on the
+/// monotonic clock — the same job may or may not miss depending on machine
+/// load. Determinism suites therefore run with wall budgets disabled; the
+/// dedicated wall-deadline suites inject a [`MockClock`].
+#[derive(Debug, Clone)]
+pub struct WallBudget {
+    clock: WallClock,
+    start_ms: u64,
+    /// The budget in milliseconds, measured from the anchor.
+    pub budget_ms: u64,
+}
+
+/// Budgets compare by their parameters only — the clock identity (and the
+/// mock's current reading) is execution state, not configuration.
+impl PartialEq for WallBudget {
+    fn eq(&self, other: &Self) -> bool {
+        self.budget_ms == other.budget_ms && self.start_ms == other.start_ms
+    }
+}
+
+impl WallBudget {
+    /// A budget of `budget_ms` on the monotonic clock, anchored now.
+    pub fn starting_now(budget_ms: u64) -> Self {
+        WallBudget { clock: WallClock::starting_now(), start_ms: 0, budget_ms }
+    }
+
+    /// A budget of `budget_ms` anchored at `clock`'s current reading
+    /// (peeked — a stepping mock is not advanced by anchoring).
+    pub fn anchored(clock: WallClock, budget_ms: u64) -> Self {
+        let start_ms = clock.now_ms();
+        WallBudget { clock, start_ms, budget_ms }
+    }
+
+    /// Milliseconds elapsed since the anchor (peek: no mock advance).
+    pub fn elapsed_ms(&self) -> u64 {
+        self.clock.now_ms().saturating_sub(self.start_ms)
+    }
+
+    /// Whether the budget is spent, **without** advancing a stepping mock —
+    /// the posterior check (completed-but-over-budget) callers use.
+    pub fn exceeded(&self) -> bool {
+        self.elapsed_ms() >= self.budget_ms
+    }
+
+    /// Whether the budget is spent, advancing a stepping mock — the read
+    /// the driver checkpoints perform.
+    pub fn checkpoint_exceeded(&self) -> bool {
+        self.clock.checkpoint_ms().saturating_sub(self.start_ms) >= self.budget_ms
+    }
+}
+
 /// Tuning knobs of [`crate::list_cliques_congest`].
 ///
 /// The defaults mirror the constants fixed in the paper's proofs
@@ -108,6 +262,13 @@ pub struct ListingConfig {
     /// every engine and worker count. This is the knob the batch service's
     /// job deadlines (`JobMeta::deadline_rounds`) are enforced through.
     pub round_cap: Option<u64>,
+    /// Wall-clock budget for the whole run (`None` = unlimited), checked at
+    /// the exact same checkpoints as [`ListingConfig::round_cap`]. An
+    /// expired budget stops the run with `CostReport::truncated` and
+    /// `RunReport::wall_exceeded` set. **Not** deterministic on the real
+    /// clock (see [`WallBudget`]); this is the knob the service's
+    /// wall-clock deadlines (`JobMeta::deadline_ms`) are enforced through.
+    pub wall_budget: Option<WallBudget>,
 }
 
 impl Default for ListingConfig {
@@ -122,6 +283,7 @@ impl Default for ListingConfig {
             lambda_override: None,
             engine: EngineChoice::default(),
             round_cap: None,
+            wall_budget: None,
         }
     }
 }
@@ -147,6 +309,17 @@ impl ListingConfig {
     /// recursions.
     pub fn round_cap_reached(&self, rounds: u64) -> bool {
         self.round_cap.is_some_and(|cap| rounds >= cap)
+    }
+
+    /// Whether [`ListingConfig::wall_budget`] has expired (always false
+    /// when unset). Both listing drivers consult this — and only this — at
+    /// the same checkpoints where they consult
+    /// [`ListingConfig::round_cap_reached`], so wall- and round-truncation
+    /// stop at identical points in the recursion. Advances a stepping
+    /// [`MockClock`], which is what lets tests stage a trip at a chosen
+    /// checkpoint.
+    pub fn wall_budget_expired(&self) -> bool {
+        self.wall_budget.as_ref().is_some_and(WallBudget::checkpoint_exceeded)
     }
 
     /// The exhaustive-search degree bound `α`: vertices of current degree
@@ -177,6 +350,35 @@ mod tests {
     fn alpha_is_twice_delta() {
         let cfg = ListingConfig::default();
         assert_eq!(cfg.alpha(3, 1000, 1000), 20);
+    }
+
+    #[test]
+    fn mock_clock_steps_on_checkpoints_only() {
+        let mock = MockClock::stepping(100, 5);
+        let b = WallBudget::anchored(WallClock::Mock(Arc::clone(&mock)), 12);
+        assert_eq!(b.budget_ms, 12);
+        assert_eq!(b.elapsed_ms(), 0, "anchoring peeks, it must not step");
+        assert!(!b.exceeded());
+        assert!(!b.checkpoint_exceeded()); // reads 100 (elapsed 0), steps to 105
+        assert!(!b.checkpoint_exceeded()); // 105 → elapsed 5
+        assert!(!b.checkpoint_exceeded()); // 110 → elapsed 10
+        assert!(b.checkpoint_exceeded()); // 115 → elapsed 15 ≥ 12
+        assert_eq!(b.elapsed_ms(), 20);
+        mock.set(100);
+        assert!(!b.exceeded());
+        mock.advance(50);
+        assert!(b.exceeded());
+    }
+
+    #[test]
+    fn wall_budget_gate_defaults_off_and_zero_budgets_trip() {
+        let cfg = ListingConfig::default();
+        assert!(!cfg.wall_budget_expired(), "no budget, no expiry");
+        assert!(WallBudget::starting_now(0).exceeded(), "a zero budget is born expired");
+        let generous = WallBudget::starting_now(u64::MAX);
+        assert!(!generous.exceeded());
+        // budgets compare by parameters, never by clock identity
+        assert_eq!(generous, WallBudget::starting_now(u64::MAX));
     }
 
     #[test]

@@ -94,6 +94,24 @@ pub fn list_cliques_congest(g: &Graph, p: usize, cfg: &ListingConfig) -> Listing
     }
 }
 
+/// Budget gate shared by every checkpoint of both listing drivers: the
+/// round cap and the wall budget trip at identical points. A wall trip
+/// additionally marks `report.wall_exceeded`, which is how a wall-deadline
+/// miss stays distinguishable from a round-budget one. The round cap is
+/// consulted first, so wall-clock nondeterminism can never mask a
+/// deterministic round-cap truncation (and an unset wall budget costs no
+/// clock read at all).
+pub(crate) fn budget_spent(cfg: &ListingConfig, rounds: u64, report: &mut RunReport) -> bool {
+    if cfg.round_cap_reached(rounds) {
+        return true;
+    }
+    if cfg.wall_budget_expired() {
+        report.wall_exceeded = true;
+        return true;
+    }
+    false
+}
+
 /// [`list_cliques_congest`] on an explicitly selected engine, ignoring
 /// `cfg.engine`. Exposed so callers holding a concrete
 /// [`EngineSelect`] (e.g. benchmarks sweeping shard counts) avoid the
@@ -115,10 +133,11 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
         if current.is_empty() {
             break;
         }
-        // Round-budget cap (deadline enforcement): once the accumulated
-        // rounds reach the cap, stop before the next level — edges are
-        // still unresolved, so the report is explicitly truncated.
-        if cfg.round_cap_reached(report.cost.rounds) {
+        // Budget caps (deadline enforcement): once the accumulated rounds
+        // reach the round cap — or the wall budget expires — stop before
+        // the next level; edges are still unresolved, so the report is
+        // explicitly truncated.
+        if budget_spent(cfg, report.cost.rounds, &mut report) {
             report.cost.truncated = true;
             report.raw_listings = raw;
             return ListingOutcome { cliques: found.into_iter().collect(), report };
@@ -177,9 +196,10 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
         }
 
         // Mid-level cap checkpoint: a single level can cost thousands of
-        // rounds, so deadline enforcement also checks between the
-        // low-degree pass and the (expensive) cluster listing.
-        if cfg.round_cap_reached(report.cost.rounds + level_cost.rounds) {
+        // rounds (and arbitrary wall time), so deadline enforcement also
+        // checks between the low-degree pass and the (expensive) cluster
+        // listing.
+        if budget_spent(cfg, report.cost.rounds + level_cost.rounds, &mut report) {
             level.rounds = level_cost.rounds;
             level.messages = level_cost.messages;
             report.cost.absorb(&level_cost);
@@ -233,8 +253,9 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
 
         if next.len() == current.len() {
             // No progress: close out with the guarded exhaustive fallback
-            // (unless the round cap is spent — the fallback costs rounds).
-            if cfg.round_cap_reached(report.cost.rounds) {
+            // (unless a budget is spent — the fallback costs rounds and
+            // wall time).
+            if budget_spent(cfg, report.cost.rounds, &mut report) {
                 report.cost.truncated = true;
                 report.raw_listings = raw;
                 return ListingOutcome { cliques: found.into_iter().collect(), report };
@@ -254,7 +275,7 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
         current = next;
     }
 
-    if !current.is_empty() && cfg.round_cap_reached(report.cost.rounds) {
+    if !current.is_empty() && budget_spent(cfg, report.cost.rounds, &mut report) {
         report.cost.truncated = true;
     } else if !current.is_empty() {
         // depth budget exhausted: guarded fallback
@@ -388,6 +409,67 @@ mod tests {
         assert_eq!(a.report.cost, b.report.cost);
         // a truncated listing is a subset of the full answer
         assert!(a.cliques.iter().all(|c| full.cliques.contains(c)));
+    }
+
+    #[test]
+    fn wall_budget_trips_at_the_level_boundary_with_a_mock_clock() {
+        use crate::config::{MockClock, WallBudget, WallClock};
+        let g = graphs::erdos_renyi(80, 0.1, 3);
+        // budget anchored, then the (frozen) clock jumps past it: the very
+        // first checkpoint — the level-0 boundary — trips, before any work
+        let mock = MockClock::at(0);
+        let budget = WallBudget::anchored(WallClock::Mock(std::sync::Arc::clone(&mock)), 5);
+        let cfg = ListingConfig { wall_budget: Some(budget), ..ListingConfig::default() };
+        mock.set(10);
+        let out = list_cliques_congest(&g, 3, &cfg);
+        assert!(out.report.truncated(), "an expired wall budget must truncate");
+        assert!(out.report.wall_exceeded, "the trip must be attributed to the wall budget");
+        assert_eq!(out.report.rounds(), 0, "a level-boundary trip stops before any round");
+        assert!(out.cliques.is_empty());
+    }
+
+    #[test]
+    fn wall_budget_trips_at_the_mid_level_checkpoint_with_a_stepping_clock() {
+        use crate::config::{MockClock, WallBudget, WallClock};
+        let g = graphs::erdos_renyi(80, 0.1, 3);
+        // stepping clock: checkpoint 1 (level-0 boundary) reads 0 ms and
+        // passes; checkpoint 2 (mid-level) reads 10 ms ≥ the 8 ms budget —
+        // a deterministic trip *inside* level 0, after the decomposition
+        // and low-degree passes already charged rounds
+        let trip = |mk: fn() -> std::sync::Arc<MockClock>| {
+            let budget = WallBudget::anchored(WallClock::Mock(mk()), 8);
+            ListingConfig { wall_budget: Some(budget), ..ListingConfig::default() }
+        };
+        let out = list_cliques_congest(&g, 3, &trip(|| MockClock::stepping(0, 10)));
+        assert!(out.report.truncated() && out.report.wall_exceeded);
+        assert!(out.report.rounds() > 0, "the mid-level trip charges the level-0 passes");
+        let full = list_cliques_congest(&g, 3, &ListingConfig::default());
+        assert!(out.report.rounds() < full.report.rounds());
+        assert!(out.cliques.iter().all(|c| full.cliques.contains(c)));
+        // the randomized baseline shares the exact same checkpoints
+        let rnd = crate::baselines::list_cliques_randomized(
+            &g,
+            3,
+            &trip(|| MockClock::stepping(0, 10)),
+            7,
+        );
+        assert!(rnd.report.truncated() && rnd.report.wall_exceeded);
+        assert!(rnd.report.rounds() > 0);
+    }
+
+    #[test]
+    fn unexpired_wall_budget_changes_nothing() {
+        use crate::config::WallBudget;
+        let g = graphs::erdos_renyi(60, 0.12, 1);
+        let full = list_cliques_congest(&g, 3, &ListingConfig::default());
+        let cfg = ListingConfig {
+            wall_budget: Some(WallBudget::starting_now(u64::MAX)),
+            ..ListingConfig::default()
+        };
+        let out = list_cliques_congest(&g, 3, &cfg);
+        assert!(!out.report.truncated() && !out.report.wall_exceeded);
+        assert_eq!(out.cliques, full.cliques);
+        assert_eq!(out.report.cost, full.report.cost);
     }
 
     #[test]

@@ -58,7 +58,7 @@ pub mod driver;
 pub mod lowdeg;
 pub mod report;
 
-pub use config::{EngineChoice, ListingConfig};
+pub use config::{EngineChoice, ListingConfig, MockClock, WallBudget, WallClock};
 pub use driver::{
     list_cliques_congest, list_cliques_congest_with, list_triangles_congest, ListingOutcome,
 };

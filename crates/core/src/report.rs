@@ -37,6 +37,12 @@ pub struct RunReport {
     pub raw_listings: usize,
     /// Whether the exhaustive fallback closed the run.
     pub fallback_used: bool,
+    /// Whether the run was stopped by an expired
+    /// [`ListingConfig::wall_budget`](crate::ListingConfig::wall_budget)
+    /// (the wall-clock counterpart of a round-cap truncation; always set
+    /// together with `CostReport::truncated`). Lets callers distinguish a
+    /// wall-deadline miss from a round-budget one.
+    pub wall_exceeded: bool,
 }
 
 impl RunReport {
@@ -74,7 +80,13 @@ impl std::fmt::Display for RunReport {
             self.cost.messages,
             self.depth,
             if self.fallback_used { " (fallback)" } else { "" },
-            if self.cost.truncated { " (TRUNCATED)" } else { "" }
+            if self.wall_exceeded {
+                " (TRUNCATED: wall budget)"
+            } else if self.cost.truncated {
+                " (TRUNCATED)"
+            } else {
+                ""
+            }
         )?;
         for l in &self.levels {
             writeln!(

@@ -13,7 +13,7 @@
 //! small graphs in the test suite).
 
 use congest::graph::{Graph, VertexId};
-use runtime::{global_pool, SlicePtr};
+use runtime::{ambient_pool, SlicePtr};
 
 /// SplitMix64: a fixed bijective scrambler used to derive the deterministic
 /// start vector.
@@ -36,12 +36,19 @@ fn chunk_bounds(c: usize, n: usize) -> (usize, usize) {
     (c * PAR_CHUNK, ((c + 1) * PAR_CHUNK).min(n))
 }
 
-/// Runs `f(0..chunks)` — on the [`global_pool`] when there is real
-/// parallelism to gain, inline otherwise. Either path performs the exact
-/// same per-chunk arithmetic, so results never depend on the dispatch.
+/// Runs `f(0..chunks)` — on the [`ambient_pool`] when there is real
+/// parallelism to gain, inline otherwise. The ambient pool is the process
+/// [`runtime::global_pool`] unless an enclosing
+/// [`runtime::with_ambient_pool`] scope redirected it: the batch query
+/// service wraps each *admitted* job in such a scope, so decomposition
+/// bursts land on the pool the job's admission `PoolLease` is held on and
+/// respect the `CLIQUE_ADMIT` gate instead of sneaking onto the global
+/// pool. Either path performs the exact same per-chunk arithmetic, so
+/// results never depend on the dispatch.
 fn for_chunks(chunks: usize, f: impl Fn(usize) + Sync) {
-    if chunks > 1 && global_pool().size() > 1 {
-        global_pool().run_indexed(chunks, f);
+    let pool = ambient_pool();
+    if chunks > 1 && pool.size() > 1 {
+        pool.run_indexed(chunks, f);
     } else {
         for c in 0..chunks {
             f(c);
@@ -276,6 +283,24 @@ mod tests {
         assert!(mean.abs() < 1e-6, "degree-weighted mean must be ~0, got {mean}");
         let norm: f64 = a.iter().map(|x| x * x).sum::<f64>().sqrt();
         assert!((norm - 1.0).abs() < 1e-9, "embedding must be normalized, got {norm}");
+    }
+
+    #[test]
+    fn chunk_batches_follow_the_ambient_pool_without_changing_the_result() {
+        use runtime::{with_ambient_pool, WorkerPool};
+        use std::sync::Arc;
+        // n > PAR_CHUNK so the chunked pool path engages
+        let edges: Vec<_> = (0..4999u32).map(|i| (i, i + 1)).collect();
+        let g = Graph::from_edges(5000, &edges);
+        let dedicated = Arc::new(WorkerPool::new(2));
+        let baseline = power_iteration_embedding(&g, 4);
+        let before = dedicated.batches_run();
+        let redirected = with_ambient_pool(&dedicated, || power_iteration_embedding(&g, 4));
+        assert!(
+            dedicated.batches_run() > before,
+            "power-iteration bursts must land on the ambient pool"
+        );
+        assert_eq!(redirected, baseline, "the dispatch pool must never change the embedding");
     }
 
     #[test]

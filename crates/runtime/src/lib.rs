@@ -44,7 +44,7 @@ use congest::network::{Outbox, Protocol, Word};
 
 pub mod pool;
 
-pub use pool::{global_pool, PoolLease, SlicePtr, WorkerPool};
+pub use pool::{ambient_pool, global_pool, with_ambient_pool, PoolLease, SlicePtr, WorkerPool};
 
 /// A message in flight between shards: `(destination, sender, payload)`.
 type Envelope = (VertexId, VertexId, Word);

@@ -21,10 +21,10 @@
 //! its own dedicated threads and leaves the [`global_pool`] to the round
 //! engine.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 
 /// An erased, queueable task. Tasks are `'static` once enqueued; the
@@ -95,6 +95,11 @@ pub struct WorkerPool {
     active_leases: AtomicUsize,
     /// High-water mark of concurrently held leases.
     peak_leases: AtomicUsize,
+    /// Per-tenant `(active, peak)` lease counts (see
+    /// [`WorkerPool::lease_for`]).
+    tenant_leases: Mutex<HashMap<u32, (usize, usize)>>,
+    /// Barrier batches ever executed (`run_scoped` + `run_indexed` calls).
+    batches: AtomicU64,
 }
 
 impl std::fmt::Debug for WorkerPool {
@@ -129,6 +134,8 @@ impl WorkerPool {
             workers,
             active_leases: AtomicUsize::new(0),
             peak_leases: AtomicUsize::new(0),
+            tenant_leases: Mutex::new(HashMap::new()),
+            batches: AtomicU64::new(0),
         }
     }
 
@@ -148,7 +155,25 @@ impl WorkerPool {
     pub fn lease(self: &Arc<Self>) -> PoolLease {
         let now = self.active_leases.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak_leases.fetch_max(now, Ordering::SeqCst);
-        PoolLease { pool: Arc::clone(self) }
+        PoolLease { pool: Arc::clone(self), tenant: None }
+    }
+
+    /// [`WorkerPool::lease`] attributed to a tenant: the lease counts
+    /// against the pool-wide totals **and** the tenant's own
+    /// `(active, peak)` pair, so a multi-tenant admission controller can
+    /// observe how many of one tenant's jobs ever overlapped on the pool
+    /// ([`WorkerPool::active_leases_for`] / [`WorkerPool::peak_leases_for`])
+    /// — the observability side of per-tenant in-flight caps.
+    pub fn lease_for(self: &Arc<Self>, tenant: u32) -> PoolLease {
+        let now = self.active_leases.fetch_add(1, Ordering::SeqCst) + 1;
+        self.peak_leases.fetch_max(now, Ordering::SeqCst);
+        {
+            let mut tenants = lock_ignore_poison(&self.tenant_leases);
+            let entry = tenants.entry(tenant).or_insert((0, 0));
+            entry.0 += 1;
+            entry.1 = entry.1.max(entry.0);
+        }
+        PoolLease { pool: Arc::clone(self), tenant: Some(tenant) }
     }
 
     /// Leases currently held.
@@ -159,6 +184,24 @@ impl WorkerPool {
     /// The most leases ever held concurrently over the pool's lifetime.
     pub fn peak_leases(&self) -> usize {
         self.peak_leases.load(Ordering::SeqCst)
+    }
+
+    /// Leases the given tenant currently holds (0 for unknown tenants).
+    pub fn active_leases_for(&self, tenant: u32) -> usize {
+        lock_ignore_poison(&self.tenant_leases).get(&tenant).map_or(0, |e| e.0)
+    }
+
+    /// The most leases the given tenant ever held concurrently.
+    pub fn peak_leases_for(&self, tenant: u32) -> usize {
+        lock_ignore_poison(&self.tenant_leases).get(&tenant).map_or(0, |e| e.1)
+    }
+
+    /// Barrier batches executed over the pool's lifetime (one per
+    /// [`WorkerPool::run_scoped`] / [`WorkerPool::run_indexed`] call) —
+    /// lets tests assert that a computation's batches landed on *this*
+    /// pool rather than the global one.
+    pub fn batches_run(&self) -> u64 {
+        self.batches.load(Ordering::SeqCst)
     }
 
     /// Executes `tasks` on the pool and blocks until all of them have
@@ -176,6 +219,7 @@ impl WorkerPool {
         if tasks.is_empty() {
             return;
         }
+        self.batches.fetch_add(1, Ordering::Relaxed);
         let batch =
             Arc::new(Batch { state: Mutex::new((tasks.len(), None)), done: Condvar::new() });
         {
@@ -240,6 +284,7 @@ impl WorkerPool {
         if count == 0 {
             return;
         }
+        self.batches.fetch_add(1, Ordering::Relaxed);
         let f_obj: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: lifetime erasure only — this function does not return
         // until every participant has finished calling `f` and every
@@ -367,11 +412,20 @@ impl<T> SlicePtr<T> {
     }
 }
 
-/// RAII handle for one instrumented pool lease (see [`WorkerPool::lease`]).
-/// Dropping it releases the lease.
+/// Locks a pool mutex, shrugging off poison: the guarded lease table only
+/// ever mutates coherently (increment/decrement pairs), so a panic that
+/// unwound through a guard left valid counts behind.
+fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// RAII handle for one instrumented pool lease (see [`WorkerPool::lease`]
+/// and the tenant-attributed [`WorkerPool::lease_for`]). Dropping it
+/// releases the lease.
 #[derive(Debug)]
 pub struct PoolLease {
     pool: Arc<WorkerPool>,
+    tenant: Option<u32>,
 }
 
 impl PoolLease {
@@ -379,11 +433,22 @@ impl PoolLease {
     pub fn pool(&self) -> &Arc<WorkerPool> {
         &self.pool
     }
+
+    /// The tenant this lease is attributed to (`None` for untenanted
+    /// [`WorkerPool::lease`] leases).
+    pub fn tenant(&self) -> Option<u32> {
+        self.tenant
+    }
 }
 
 impl Drop for PoolLease {
     fn drop(&mut self) {
         self.pool.active_leases.fetch_sub(1, Ordering::SeqCst);
+        if let Some(tenant) = self.tenant {
+            if let Some(e) = lock_ignore_poison(&self.pool.tenant_leases).get_mut(&tenant) {
+                e.0 -= 1;
+            }
+        }
     }
 }
 
@@ -438,6 +503,43 @@ fn worker_loop(shared: &PoolShared) {
 pub fn global_pool() -> &'static Arc<WorkerPool> {
     static POOL: OnceLock<Arc<WorkerPool>> = OnceLock::new();
     POOL.get_or_init(|| Arc::new(WorkerPool::new(crate::available_shards())))
+}
+
+thread_local! {
+    /// The ambient engine pool of the current thread (see
+    /// [`with_ambient_pool`]).
+    static AMBIENT_POOL: std::cell::RefCell<Option<Arc<WorkerPool>>> =
+        const { std::cell::RefCell::new(None) };
+}
+
+/// Runs `f` with `pool` installed as this thread's **ambient engine pool**:
+/// for the dynamic extent of `f`, [`ambient_pool`] resolves to `pool`
+/// instead of the process-wide [`global_pool`].
+///
+/// This is how an admission controller extends its lease's reach to
+/// *indirect* pool clients: the batch service wraps each admitted job's
+/// execution in `with_ambient_pool(leased_pool, …)`, so helper computations
+/// deep inside the algorithms (the expander decomposition's power-iteration
+/// chunk batches) land on the pool the job's `PoolLease` is held on — and
+/// therefore respect the `CLIQUE_ADMIT` gate — without threading a pool
+/// handle through every layer. Nesting restores the previous ambient pool
+/// on exit (panic-safe via an RAII guard).
+pub fn with_ambient_pool<R>(pool: &Arc<WorkerPool>, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<Arc<WorkerPool>>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            AMBIENT_POOL.with(|slot| *slot.borrow_mut() = self.0.take());
+        }
+    }
+    let _restore = Restore(AMBIENT_POOL.with(|slot| slot.borrow_mut().replace(Arc::clone(pool))));
+    f()
+}
+
+/// The pool ambient helper computations should run their batches on: the
+/// pool installed by an enclosing [`with_ambient_pool`], else the
+/// process-wide [`global_pool`].
+pub fn ambient_pool() -> Arc<WorkerPool> {
+    AMBIENT_POOL.with(|slot| slot.borrow().clone()).unwrap_or_else(|| Arc::clone(global_pool()))
 }
 
 #[cfg(test)]
@@ -538,6 +640,61 @@ mod tests {
         drop(b);
         drop(c);
         assert_eq!((pool.active_leases(), pool.peak_leases()), (0, 2));
+    }
+
+    #[test]
+    fn tenant_leases_track_per_tenant_active_and_peak() {
+        let pool = Arc::new(WorkerPool::new(1));
+        assert_eq!((pool.active_leases_for(7), pool.peak_leases_for(7)), (0, 0));
+        let a = pool.lease_for(7);
+        let b = pool.lease_for(7);
+        let c = pool.lease_for(9);
+        let d = pool.lease(); // untenanted: pool-wide only
+        assert_eq!(a.tenant(), Some(7));
+        assert_eq!(d.tenant(), None);
+        assert_eq!((pool.active_leases_for(7), pool.peak_leases_for(7)), (2, 2));
+        assert_eq!((pool.active_leases_for(9), pool.peak_leases_for(9)), (1, 1));
+        assert_eq!((pool.active_leases(), pool.peak_leases()), (4, 4));
+        drop(a);
+        drop(c);
+        assert_eq!((pool.active_leases_for(7), pool.peak_leases_for(7)), (1, 2));
+        assert_eq!((pool.active_leases_for(9), pool.peak_leases_for(9)), (0, 1));
+        drop(b);
+        drop(d);
+        assert_eq!(pool.active_leases(), 0);
+        assert_eq!(pool.peak_leases_for(7), 2, "peaks persist after release");
+    }
+
+    #[test]
+    fn ambient_pool_scopes_nest_and_restore() {
+        let outer = Arc::new(WorkerPool::new(1));
+        let inner = Arc::new(WorkerPool::new(1));
+        assert!(Arc::ptr_eq(&ambient_pool(), global_pool()));
+        with_ambient_pool(&outer, || {
+            assert!(Arc::ptr_eq(&ambient_pool(), &outer));
+            with_ambient_pool(&inner, || {
+                assert!(Arc::ptr_eq(&ambient_pool(), &inner));
+            });
+            assert!(Arc::ptr_eq(&ambient_pool(), &outer), "nesting must restore");
+        });
+        assert!(Arc::ptr_eq(&ambient_pool(), global_pool()));
+        // panic-safety: the guard restores even on unwind
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            with_ambient_pool(&outer, || panic!("boom"));
+        }));
+        assert!(result.is_err());
+        assert!(Arc::ptr_eq(&ambient_pool(), global_pool()));
+    }
+
+    #[test]
+    fn batches_run_counts_both_batch_kinds() {
+        let pool = WorkerPool::new(2);
+        assert_eq!(pool.batches_run(), 0);
+        pool.run_scoped(vec![Box::new(|| {})]);
+        pool.run_indexed(3, |_| {});
+        pool.run_scoped(Vec::new()); // no-ops don't count
+        pool.run_indexed(0, |_| {});
+        assert_eq!(pool.batches_run(), 2);
     }
 
     #[test]

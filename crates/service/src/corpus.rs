@@ -14,6 +14,7 @@
 //! or re-costing — the spec.
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::Arc;
 
 use congest::graph::Graph;
@@ -166,7 +167,199 @@ impl GraphSpec {
             }
         }
     }
+
+    /// Appends this spec's canonical byte encoding (one tag byte, then the
+    /// fields as little-endian `u64` words; floats as IEEE-754 bits, so
+    /// the round-trip is exact). The inverse of [`GraphSpec::decode`].
+    fn encode(&self, out: &mut Vec<u8>) {
+        fn word(out: &mut Vec<u8>, w: u64) {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        match *self {
+            GraphSpec::ErdosRenyi { n, p, seed } => {
+                out.push(0);
+                word(out, n as u64);
+                word(out, p.to_bits());
+                word(out, seed);
+            }
+            GraphSpec::RandomRegular { n, d, seed } => {
+                out.push(1);
+                word(out, n as u64);
+                word(out, d as u64);
+                word(out, seed);
+            }
+            GraphSpec::PlantedCliques { n, base_p, size, count, seed } => {
+                out.push(2);
+                word(out, n as u64);
+                word(out, base_p.to_bits());
+                word(out, size as u64);
+                word(out, count as u64);
+                word(out, seed);
+            }
+            GraphSpec::Hypercube { dim } => {
+                out.push(3);
+                word(out, dim as u64);
+            }
+            GraphSpec::Clustered { n, blocks, p_in, p_out, seed } => {
+                out.push(4);
+                word(out, n as u64);
+                word(out, blocks as u64);
+                word(out, p_in.to_bits());
+                word(out, p_out.to_bits());
+                word(out, seed);
+            }
+            GraphSpec::PowerLaw { n, attach, seed } => {
+                out.push(5);
+                word(out, n as u64);
+                word(out, attach as u64);
+                word(out, seed);
+            }
+            GraphSpec::Rmat { scale, edges, a, b, c, seed } => {
+                out.push(6);
+                word(out, scale as u64);
+                word(out, edges as u64);
+                word(out, a.to_bits());
+                word(out, b.to_bits());
+                word(out, c.to_bits());
+                word(out, seed);
+            }
+            GraphSpec::RandomGeometric { n, radius, seed } => {
+                out.push(7);
+                word(out, n as u64);
+                word(out, radius.to_bits());
+                word(out, seed);
+            }
+        }
+    }
+
+    /// Decodes one spec from the front of `r`. The inverse of
+    /// [`GraphSpec::encode`]; `None` on an unknown tag or a short buffer.
+    fn decode(r: &mut ByteReader<'_>) -> Option<GraphSpec> {
+        Some(match r.u8()? {
+            0 => GraphSpec::ErdosRenyi {
+                n: r.u64()? as usize,
+                p: f64::from_bits(r.u64()?),
+                seed: r.u64()?,
+            },
+            1 => GraphSpec::RandomRegular {
+                n: r.u64()? as usize,
+                d: r.u64()? as usize,
+                seed: r.u64()?,
+            },
+            2 => GraphSpec::PlantedCliques {
+                n: r.u64()? as usize,
+                base_p: f64::from_bits(r.u64()?),
+                size: r.u64()? as usize,
+                count: r.u64()? as usize,
+                seed: r.u64()?,
+            },
+            3 => GraphSpec::Hypercube { dim: r.u64()? as u32 },
+            4 => GraphSpec::Clustered {
+                n: r.u64()? as usize,
+                blocks: r.u64()? as usize,
+                p_in: f64::from_bits(r.u64()?),
+                p_out: f64::from_bits(r.u64()?),
+                seed: r.u64()?,
+            },
+            5 => GraphSpec::PowerLaw {
+                n: r.u64()? as usize,
+                attach: r.u64()? as usize,
+                seed: r.u64()?,
+            },
+            6 => GraphSpec::Rmat {
+                scale: r.u64()? as u32,
+                edges: r.u64()? as usize,
+                a: f64::from_bits(r.u64()?),
+                b: f64::from_bits(r.u64()?),
+                c: f64::from_bits(r.u64()?),
+                seed: r.u64()?,
+            },
+            7 => GraphSpec::RandomGeometric {
+                n: r.u64()? as usize,
+                radius: f64::from_bits(r.u64()?),
+                seed: r.u64()?,
+            },
+            _ => return None,
+        })
+    }
 }
+
+/// A bounds-checked cursor over a persisted corpus buffer.
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let slice = self.buf.get(self.pos..self.pos + n)?;
+        self.pos += n;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.bytes(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.bytes(4).map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        self.bytes(8).map(|b| u64::from_le_bytes(b.try_into().expect("8 bytes")))
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+/// Magic prefix of a persisted corpus file.
+const CORPUS_MAGIC: &[u8; 8] = b"CLQCORPS";
+
+/// Version of the persisted corpus byte format. Bumped on any layout
+/// change; mismatched files are rejected (warn-and-fallback), never
+/// half-parsed.
+pub const CORPUS_FORMAT_VERSION: u32 = 1;
+
+/// Why a persisted corpus could not be loaded. The service treats every
+/// variant as warn-and-fallback-to-empty (mirroring the `CLIQUE_SHARDS`
+/// garbage-value policy): a damaged file must never take the service down.
+#[derive(Debug)]
+pub enum CorpusLoadError {
+    /// The file exists but could not be read.
+    Io(std::io::Error),
+    /// The magic prefix is wrong — not a corpus file.
+    BadMagic,
+    /// The file's format version differs from [`CORPUS_FORMAT_VERSION`].
+    VersionMismatch {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The byte stream is truncated or structurally invalid.
+    Malformed(&'static str),
+}
+
+impl std::fmt::Display for CorpusLoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CorpusLoadError::Io(e) => write!(f, "could not read corpus file: {e}"),
+            CorpusLoadError::BadMagic => write!(f, "not a corpus file (bad magic)"),
+            CorpusLoadError::VersionMismatch { found } => write!(
+                f,
+                "corpus format version {found} (this build reads version \
+                 {CORPUS_FORMAT_VERSION})"
+            ),
+            CorpusLoadError::Malformed(what) => write!(f, "malformed corpus file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CorpusLoadError {}
 
 /// Incremental FNV-1a over 64-bit words — the one hash both the graph
 /// [`fingerprint`] and the job-report clique digest are built on.
@@ -206,6 +399,9 @@ pub fn fingerprint(g: &Graph) -> u64 {
 struct CacheEntry {
     graph: Arc<Graph>,
     fingerprint: u64,
+    /// The generator call that produced the graph — what persistence
+    /// serializes (graphs are rebuilt from specs on load, never stored).
+    spec: GraphSpec,
 }
 
 /// An LRU-bounded spec → built-graph store with hit/miss accounting.
@@ -290,7 +486,10 @@ impl CorpusCache {
             let evict = self.order.remove(0);
             self.entries.remove(&evict);
         }
-        self.entries.insert(key.clone(), CacheEntry { graph: Arc::clone(&graph), fingerprint: fp });
+        self.entries.insert(
+            key.clone(),
+            CacheEntry { graph: Arc::clone(&graph), fingerprint: fp, spec: spec.clone() },
+        );
         self.order.push(key);
         (graph, fp)
     }
@@ -326,6 +525,112 @@ impl CorpusCache {
     /// `(hits, misses)` since construction.
     pub fn stats(&self) -> (u64, u64) {
         (self.hits, self.misses)
+    }
+
+    /// Persists the resident corpus to `path` as a hand-rolled byte
+    /// format: magic + [`CORPUS_FORMAT_VERSION`] + the entries in LRU
+    /// order (least- to most-recently used), each a canonical
+    /// [`GraphSpec`] encoding plus its content [`fingerprint`]. Graphs
+    /// themselves are **not** stored — specs are deterministic recipes, so
+    /// [`CorpusCache::load`] rebuilds them and re-verifies the
+    /// fingerprints. Returns the number of entries written. The encoding
+    /// is canonical: the same resident corpus always serializes to
+    /// identical bytes.
+    pub fn save(&self, path: &Path) -> std::io::Result<usize> {
+        let mut out = Vec::new();
+        out.extend_from_slice(CORPUS_MAGIC);
+        out.extend_from_slice(&CORPUS_FORMAT_VERSION.to_le_bytes());
+        out.extend_from_slice(&(self.order.len() as u32).to_le_bytes());
+        for key in &self.order {
+            let entry = &self.entries[key];
+            entry.spec.encode(&mut out);
+            out.extend_from_slice(&entry.fingerprint.to_le_bytes());
+        }
+        std::fs::write(path, out)?;
+        Ok(self.order.len())
+    }
+
+    /// Warm-loads a corpus persisted by [`CorpusCache::save`]: every
+    /// entry's graph is **rebuilt from its spec** and its content
+    /// fingerprint re-verified against the stored one — an entry whose
+    /// rebuild no longer matches (a generator changed between builds) is
+    /// skipped with a warning rather than served stale. Loading goes
+    /// through the [`CorpusCache::warm`] path, so the hit/miss stats are
+    /// untouched and a post-restart query over a persisted spec counts as
+    /// a genuine cache hit. LRU order is preserved; entries beyond the
+    /// cache capacity evict least-recently-used as usual.
+    ///
+    /// Returns the number of entries resident after the load. A missing
+    /// file is a cold start (`Ok(0)` with the cache untouched); a
+    /// damaged or version-mismatched file is a [`CorpusLoadError`] with
+    /// the cache untouched.
+    pub fn load(&mut self, path: &Path) -> Result<usize, CorpusLoadError> {
+        let buf = match std::fs::read(path) {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(0),
+            Err(e) => return Err(CorpusLoadError::Io(e)),
+        };
+        let mut r = ByteReader::new(&buf);
+        if r.bytes(CORPUS_MAGIC.len()) != Some(&CORPUS_MAGIC[..]) {
+            return Err(CorpusLoadError::BadMagic);
+        }
+        let version = r.u32().ok_or(CorpusLoadError::Malformed("missing version"))?;
+        if version != CORPUS_FORMAT_VERSION {
+            return Err(CorpusLoadError::VersionMismatch { found: version });
+        }
+        let count = r.u32().ok_or(CorpusLoadError::Malformed("missing entry count"))?;
+        // An entry is at least 17 bytes (tag + one field word + the
+        // fingerprint), so a count the remaining bytes cannot possibly
+        // hold is damage — reject it up front rather than letting an
+        // untrusted 32-bit count size an allocation.
+        let remaining = buf.len().saturating_sub(r.pos);
+        if count as usize > remaining / 17 {
+            return Err(CorpusLoadError::Malformed("entry count exceeds file size"));
+        }
+        // parse everything BEFORE warming anything: a file that turns out
+        // to be truncated mid-entry must leave the cache untouched
+        let mut parsed = Vec::with_capacity(count as usize);
+        for _ in 0..count {
+            let spec = GraphSpec::decode(&mut r)
+                .ok_or(CorpusLoadError::Malformed("truncated or unknown spec"))?;
+            let fp = r.u64().ok_or(CorpusLoadError::Malformed("truncated fingerprint"))?;
+            parsed.push((spec, fp));
+        }
+        if !r.exhausted() {
+            return Err(CorpusLoadError::Malformed("trailing bytes"));
+        }
+        let mut loaded = 0usize;
+        for (spec, stored_fp) in parsed {
+            let (_, fp, _) = self.warm(&spec);
+            if fp != stored_fp {
+                eprintln!(
+                    "warning: persisted corpus entry {} no longer matches its fingerprint \
+                     ({fp:#018x} != stored {stored_fp:#018x}); dropping it",
+                    spec.key()
+                );
+                self.remove(&spec.key());
+            } else {
+                loaded += 1;
+            }
+        }
+        Ok(loaded)
+    }
+
+    /// Drops one entry by key (only used to discard fingerprint-mismatched
+    /// loads).
+    fn remove(&mut self, key: &str) {
+        if self.entries.remove(key).is_some() {
+            self.order.retain(|k| k != key);
+        }
+    }
+
+    /// Drops every resident graph (the hit/miss counters are left alone —
+    /// they record traffic, not residency). Used when an explicit corpus
+    /// path *overrides* an environment-loaded one: override means replace,
+    /// never merge.
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.order.clear();
     }
 }
 

@@ -8,16 +8,26 @@
 //! clique size + config + algorithm choice + [`JobMeta`]* — submitted to a
 //! long-lived [`Service`]. The service owns:
 //!
-//! - a **deterministic priority queue** drained by worker threads that
-//!   live for the service lifetime (spawned once in [`Service::new`],
-//!   joined on drop): jobs are ordered by `(priority desc, submission
-//!   sequence asc)`, so higher-priority jobs always pop first and
-//!   equal-priority jobs pop in exact submission order — the pop order is
-//!   a pure function of the submitted set, never of thread timing;
+//! - a **deterministic multi-tenant scheduler** ([`sched::SchedQueue`])
+//!   drained by worker threads that live for the service lifetime
+//!   (spawned once in [`Service::new`], joined on drop): jobs pop by
+//!   *effective* priority — the submitted priority plus a fairness aging
+//!   bonus that grows with queue wait measured in **completed-job ticks**
+//!   (never wall time, so the schedule stays a pure function of the
+//!   workload) — with a deterministic tie-break chain (effective priority
+//!   desc, tenant round-robin rotation, submission sequence asc) and
+//!   optional per-tenant in-flight caps ([`Service::with_tenant_inflight_cap`]).
+//!   Aging ([`Service::with_aging`], default rate 1, `0` = the static
+//!   PR-3 policy) bounds starvation: a priority-0 bulk job overtakes a
+//!   fresh priority-255 firehose after at most `⌈256/rate⌉` completions;
 //! - a **graph corpus cache** ([`CorpusCache`]): seeded generator specs
 //!   are built at most once per residency, content-fingerprinted, and
 //!   LRU-bounded, so repeated queries over the same workload skip
-//!   regeneration;
+//!   regeneration. The corpus **persists across restarts**: set
+//!   [`Service::with_corpus_path`] (or `CLIQUE_CORPUS_PATH`) and the
+//!   resident specs + fingerprints are saved on drop / [`Service::persist`]
+//!   and warm-loaded — with fingerprint re-verification — on startup, so a
+//!   restarted service serves its first repeat queries as cache hits;
 //! - the sharded round engine's **persistent pool** (`runtime::pool`),
 //!   which admitted `EngineChoice::Sharded` jobs share — protocol rounds
 //!   run as barrier-synchronized batches on pooled threads, never as
@@ -46,6 +56,16 @@
 //! [`JobError::DeadlineExceeded`] carrying the rounds used and the
 //! truncation flag.
 //!
+//! [`JobMeta::deadline_ms`] layers a **wall-clock SLA** beside the round
+//! budget: a monotonic-clock checkpoint ([`clique_listing::WallBudget`],
+//! anchored at submission so queue wait counts) threaded next to
+//! `round_cap` into the exact same driver checkpoints. Misses return
+//! [`JobError::WallDeadlineExceeded`] with the same
+//! `truncated`/`rounds_used` semantics. Wall misses are inherently
+//! nondeterministic, so the determinism suites leave them disabled and
+//! the dedicated wall-deadline suite injects a [`MockClock`]
+//! ([`Service::with_mock_clock`]).
+//!
 //! # Determinism
 //!
 //! Every result a spec-addressed job produces is computed by a pure,
@@ -55,7 +75,8 @@
 //! never by which worker ran the job or when it finished. Both
 //! [`Service::run_batch`] and [`Service::stream`] therefore deliver
 //! **byte-identical [`JobReport`]s per ticket regardless of the worker
-//! count, the admission limit, or completion order** for every
+//! count, the admission limit, the aging rate, tenant caps, or completion
+//! order** for every
 //! [`GraphInput::Spec`] job; the property suites assert this for pools of
 //! 1, 2, and 8 workers. Only [`JobOutcome::latency`] and
 //! [`JobOutcome::cache_hit`] — observations about *this execution*, not
@@ -97,8 +118,9 @@
 //! assert_eq!((hits, misses), (1, 1));
 //! ```
 
-use std::collections::{BinaryHeap, HashMap, HashSet, VecDeque};
+use std::collections::{HashMap, HashSet, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -108,14 +130,19 @@ use clique_listing::baselines::{
     dlp12_congested_clique, list_cliques_randomized, naive_exhaustive_for, naive_exhaustive_on,
 };
 use clique_listing::{
-    list_cliques_congest, list_cliques_congest_with, EngineChoice, ListingConfig, RunReport,
+    list_cliques_congest, list_cliques_congest_with, EngineChoice, ListingConfig, MockClock,
+    RunReport, WallBudget, WallClock,
 };
 use congest::graph::{Graph, VertexId};
 use runtime::{global_pool, ShardedOn, WorkerPool};
 
 pub mod corpus;
+pub mod sched;
+#[doc(hidden)]
+pub mod testing;
 
-pub use corpus::{fingerprint, CorpusCache, GraphSpec};
+pub use corpus::{fingerprint, CorpusCache, CorpusLoadError, GraphSpec, CORPUS_FORMAT_VERSION};
+pub use sched::{JobMeta, SchedQueue, DEFAULT_AGING_RATE};
 
 /// Which graph a [`Job`] runs on.
 #[derive(Debug, Clone, PartialEq)]
@@ -151,22 +178,6 @@ pub enum Algo {
     Naive,
     /// Dolev–Lenzen–Peled in the CONGESTED CLIQUE.
     Dlp12,
-}
-
-/// Scheduling metadata of a job: how urgent it is and how many measured
-/// CONGEST rounds it may spend.
-///
-/// The default is the neutral job: priority 0, no deadline.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct JobMeta {
-    /// Queue priority: **higher pops first**. Equal priorities preserve
-    /// exact submission order (FIFO), so the schedule is deterministic.
-    pub priority: u8,
-    /// Round-budget deadline in measured CONGEST rounds (`None` =
-    /// unlimited). A job that cannot finish within the budget returns
-    /// [`JobError::DeadlineExceeded`]. Deterministic: round counts do not
-    /// depend on the engine, worker count, or wall-clock.
-    pub deadline_rounds: Option<u64>,
 }
 
 /// One clique-listing query: graph + clique size + tuning + algorithm,
@@ -214,9 +225,23 @@ impl Job {
         self
     }
 
+    /// Sets the submitting tenant (fairness rotation, per-tenant in-flight
+    /// caps, per-tenant lease accounting — never the answer).
+    pub fn with_tenant(mut self, tenant: u32) -> Self {
+        self.meta.tenant = tenant;
+        self
+    }
+
     /// Sets the round-budget deadline (measured CONGEST rounds).
     pub fn with_deadline_rounds(mut self, rounds: u64) -> Self {
         self.meta.deadline_rounds = Some(rounds);
+        self
+    }
+
+    /// Sets the wall-clock deadline in milliseconds from submission (see
+    /// [`JobMeta::deadline_ms`]).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.meta.deadline_ms = Some(ms);
         self
     }
 }
@@ -266,6 +291,22 @@ pub enum JobError {
         /// `CostReport::truncated` machinery.
         truncated: bool,
     },
+    /// The job could not finish within [`JobMeta::deadline_ms`] of wall
+    /// time. **Not** deterministic (see [`JobMeta::deadline_ms`]): the
+    /// same job may miss on a loaded machine and finish on an idle one.
+    WallDeadlineExceeded {
+        /// The wall budget the job was submitted with (ms from submission).
+        deadline_ms: u64,
+        /// Wall milliseconds elapsed when the miss was recorded.
+        elapsed_ms: u64,
+        /// Measured rounds at the point the run stopped.
+        rounds_used: u64,
+        /// Whether the run was cut off mid-listing by the wall checkpoint
+        /// (`true`), or completed but over budget (`false`) — the exact
+        /// semantics of the round-budget miss, riding the same
+        /// `CostReport::truncated` machinery.
+        truncated: bool,
+    },
     /// Building the graph from its spec panicked (invalid parameters).
     GraphBuild {
         /// Canonical key of the offending spec.
@@ -288,6 +329,14 @@ impl std::fmt::Display for JobError {
                  budget{}",
                 if *truncated { " (run truncated)" } else { "" }
             ),
+            JobError::WallDeadlineExceeded { deadline_ms, elapsed_ms, rounds_used, truncated } => {
+                write!(
+                    f,
+                    "wall deadline exceeded: {elapsed_ms} ms elapsed of a {deadline_ms} ms \
+                     budget ({rounds_used} rounds used{})",
+                    if *truncated { ", run truncated" } else { "" }
+                )
+            }
             JobError::GraphBuild { spec, message } => {
                 write!(f, "graph build failed for spec {spec}: {message}")
             }
@@ -320,40 +369,14 @@ pub struct JobOutcome {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Ticket(u64);
 
-/// A queued job, ordered for the scheduler's max-heap: higher priority
-/// first, then **lower** submission sequence (FIFO within a priority
-/// class). The sequence is unique, so the order is total and the schedule
-/// deterministic.
-struct QueuedJob {
-    seq: u64,
+/// What travels through the [`SchedQueue`] with each job: the job itself,
+/// its submission instant (latency accounting), and its pre-anchored wall
+/// budget, if any (anchored at submission so queue wait counts against the
+/// wall SLA).
+struct QueuedPayload {
     job: Job,
     submitted: Instant,
-}
-
-impl QueuedJob {
-    fn rank(&self) -> (u8, std::cmp::Reverse<u64>) {
-        (self.job.meta.priority, std::cmp::Reverse(self.seq))
-    }
-}
-
-impl PartialEq for QueuedJob {
-    fn eq(&self, other: &Self) -> bool {
-        self.rank() == other.rank()
-    }
-}
-
-impl Eq for QueuedJob {}
-
-impl PartialOrd for QueuedJob {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-
-impl Ord for QueuedJob {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        self.rank().cmp(&other.rank())
-    }
+    wall: Option<WallBudget>,
 }
 
 /// Completed outcomes held for their tickets, plus the completion order
@@ -370,8 +393,9 @@ struct Finished {
 }
 
 struct ServiceShared {
-    /// `(pending jobs — a deterministic priority heap, shutting down)`.
-    queue: Mutex<(BinaryHeap<QueuedJob>, bool)>,
+    /// `(pending jobs — the deterministic multi-tenant scheduler, shutting
+    /// down)`.
+    queue: Mutex<(SchedQueue<QueuedPayload>, bool)>,
     work_ready: Condvar,
     corpus: Mutex<CorpusCache>,
     finished: Mutex<Finished>,
@@ -384,6 +408,12 @@ struct ServiceShared {
     /// The pool admitted jobs run their round barriers on (the process
     /// [`global_pool`] unless [`Service::with_engine_pool`] overrode it).
     engine_pool: Mutex<Arc<WorkerPool>>,
+    /// Test-injected clock for wall deadlines (`None` = the monotonic
+    /// clock).
+    mock_clock: Mutex<Option<Arc<MockClock>>>,
+    /// Where the corpus persists across restarts (`None` = in-memory
+    /// only).
+    corpus_path: Mutex<Option<PathBuf>>,
 }
 
 /// The streaming clique-query service. See the crate docs for the
@@ -428,21 +458,32 @@ impl Service {
     ///
     /// The admission limit starts at the `CLIQUE_ADMIT` environment
     /// variable if set (see [`admission_limit_from_env`]), else unbounded.
+    /// If the `CLIQUE_CORPUS_PATH` environment variable is set, a corpus
+    /// persisted there by an earlier service is warm-loaded (and the path
+    /// becomes this service's persistence target — see
+    /// [`Service::with_corpus_path`]).
     ///
     /// # Panics
     ///
     /// Panics if `workers == 0` or `cache_capacity == 0`.
     pub fn with_cache_capacity(workers: usize, cache_capacity: usize) -> Self {
         assert!(workers >= 1, "need at least one worker");
+        let mut corpus = CorpusCache::new(cache_capacity);
+        let corpus_path = corpus_path_from_env();
+        if let Some(path) = &corpus_path {
+            load_corpus_warn_and_fallback(&mut corpus, path);
+        }
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new((BinaryHeap::new(), false)),
+            queue: Mutex::new((SchedQueue::new(), false)),
             work_ready: Condvar::new(),
-            corpus: Mutex::new(CorpusCache::new(cache_capacity)),
+            corpus: Mutex::new(corpus),
             finished: Mutex::new(Finished::default()),
             job_done: Condvar::new(),
             admitted: Mutex::new(0),
             admission_limit: AtomicUsize::new(admission_limit_from_env().unwrap_or(usize::MAX)),
             engine_pool: Mutex::new(Arc::clone(global_pool())),
+            mock_clock: Mutex::new(None),
+            corpus_path: Mutex::new(corpus_path),
         });
         let workers = (0..workers)
             .map(|i| {
@@ -487,9 +528,102 @@ impl Service {
         self
     }
 
+    /// Sets the fairness aging rate: every completed job raises every
+    /// queued job's *effective* priority by `rate` levels (see
+    /// [`sched::SchedQueue`]). The default is [`DEFAULT_AGING_RATE`]; `0`
+    /// disables aging and restores the static PR-3 pop policy exactly.
+    /// Purely an execution knob: answers are byte-identical at every rate.
+    pub fn with_aging(self, rate: u64) -> Self {
+        lock_ignore_poison(&self.shared.queue).0.set_aging_rate(rate);
+        self
+    }
+
+    /// Caps how many of one tenant's jobs may run concurrently (layered on
+    /// the admission gate; `0` clamps to `1`, `usize::MAX` = uncapped). A
+    /// tenant at its cap has its queued jobs skipped at pop time — other
+    /// tenants' jobs run instead — so one tenant cannot occupy every
+    /// worker. Purely an execution knob: answers are byte-identical at
+    /// every cap.
+    pub fn with_tenant_inflight_cap(self, cap: usize) -> Self {
+        lock_ignore_poison(&self.shared.queue).0.set_tenant_cap(cap);
+        // a raised cap can make parked jobs eligible
+        self.shared.work_ready.notify_all();
+        self
+    }
+
+    /// Injects a [`MockClock`] for wall deadlines: jobs submitted *after*
+    /// this call measure [`JobMeta::deadline_ms`] against the mock instead
+    /// of the monotonic clock — the only way to test wall misses
+    /// deterministically.
+    pub fn with_mock_clock(self, clock: Arc<MockClock>) -> Self {
+        *lock_ignore_poison(&self.shared.mock_clock) = Some(clock);
+        self
+    }
+
+    /// Sets (or overrides `CLIQUE_CORPUS_PATH` as) the corpus persistence
+    /// target: the resident corpus (specs + fingerprints, not built
+    /// graphs) is saved there by [`Service::persist`] and on drop, and a
+    /// corpus already persisted there is warm-loaded immediately — without
+    /// touching the hit/miss stats, so a post-restart query over a
+    /// persisted spec counts as a genuine cache hit.
+    ///
+    /// Override means **replace**: anything already warm-loaded from
+    /// `CLIQUE_CORPUS_PATH` is dropped first, so the service's residency
+    /// (and every persistence metric derived from it) reflects exactly one
+    /// corpus file, never a silent merge of two.
+    pub fn with_corpus_path(self, path: impl Into<PathBuf>) -> Self {
+        let path = path.into();
+        {
+            let mut corpus = lock_ignore_poison(&self.shared.corpus);
+            corpus.clear();
+            load_corpus_warn_and_fallback(&mut corpus, &path);
+        }
+        *lock_ignore_poison(&self.shared.corpus_path) = Some(path);
+        self
+    }
+
     /// The current admission limit (`usize::MAX` = unbounded).
     pub fn admission_limit(&self) -> usize {
         self.shared.admission_limit.load(Ordering::Relaxed)
+    }
+
+    /// The current fairness aging rate (see [`Service::with_aging`]).
+    pub fn aging_rate(&self) -> u64 {
+        lock_ignore_poison(&self.shared.queue).0.aging_rate()
+    }
+
+    /// Completed-job ticks so far (the aging clock).
+    pub fn ticks(&self) -> u64 {
+        lock_ignore_poison(&self.shared.queue).0.ticks()
+    }
+
+    /// Enables pop-order recording (see [`Service::pop_log`]). Off by
+    /// default — the log grows unboundedly with traffic, so only test
+    /// harnesses and the loadgen turn it on.
+    pub fn with_pop_log(self) -> Self {
+        lock_ignore_poison(&self.shared.queue).0.set_pop_recording(true);
+        self
+    }
+
+    /// The tickets of every job popped so far, in pop order — the
+    /// observable schedule (the model-based oracle suite replays workloads
+    /// and checks this against a reference reimplementation of the pop
+    /// policy). Empty unless the service was built with
+    /// [`Service::with_pop_log`].
+    pub fn pop_log(&self) -> Vec<Ticket> {
+        lock_ignore_poison(&self.shared.queue).0.pop_log().iter().map(|&s| Ticket(s)).collect()
+    }
+
+    /// Persists the resident corpus (canonical specs + fingerprints) to
+    /// the configured corpus path, returning how many entries were
+    /// written. A no-op returning `Ok(0)` when no path is configured.
+    /// Also runs automatically on drop.
+    pub fn persist(&self) -> std::io::Result<usize> {
+        let path = lock_ignore_poison(&self.shared.corpus_path).clone();
+        match path {
+            Some(path) => lock_ignore_poison(&self.shared.corpus).save(&path),
+            None => Ok(0),
+        }
     }
 
     /// Number of persistent job workers.
@@ -515,10 +649,28 @@ impl Service {
     pub fn submit_with(&self, mut job: Job, meta: JobMeta) -> Ticket {
         job.meta = meta;
         let seq = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        let wall = self.wall_budget_for(&job.meta);
         let mut q = self.shared.queue.lock().unwrap();
-        q.0.push(QueuedJob { seq, job, submitted: Instant::now() });
+        let (priority, tenant, gated) = (job.meta.priority, job.meta.tenant, is_gated(&job));
+        q.0.push(
+            seq,
+            priority,
+            tenant,
+            gated,
+            QueuedPayload { job, submitted: Instant::now(), wall },
+        );
         self.shared.work_ready.notify_one();
         Ticket(seq)
+    }
+
+    /// The wall budget a job with `meta` runs under, anchored **now** (at
+    /// submission — queue wait counts against a wall SLA) on the injected
+    /// mock clock if one is set, else the monotonic clock.
+    fn wall_budget_for(&self, meta: &JobMeta) -> Option<WallBudget> {
+        meta.deadline_ms.map(|ms| match &*lock_ignore_poison(&self.shared.mock_clock) {
+            Some(mock) => WallBudget::anchored(WallClock::Mock(Arc::clone(mock)), ms),
+            None => WallBudget::starting_now(ms),
+        })
     }
 
     /// Submits every job **atomically** (one queue lock: no worker can
@@ -545,7 +697,10 @@ impl Service {
         {
             let mut q = self.shared.queue.lock().unwrap();
             for (&seq, job) in ids.iter().zip(jobs) {
-                q.0.push(QueuedJob { seq, job, submitted: now });
+                let wall = self.wall_budget_for(&job.meta);
+                let (priority, tenant, gated) =
+                    (job.meta.priority, job.meta.tenant, is_gated(&job));
+                q.0.push(seq, priority, tenant, gated, QueuedPayload { job, submitted: now, wall });
             }
         }
         self.shared.work_ready.notify_all();
@@ -613,12 +768,17 @@ impl Service {
 impl Drop for Service {
     fn drop(&mut self) {
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&self.shared.queue);
             q.1 = true;
             self.shared.work_ready.notify_all();
         }
         for w in self.workers.drain(..) {
             let _ = w.join();
+        }
+        // persist the corpus after the workers are quiet, so the file sees
+        // the final resident set
+        if let Err(e) = self.persist() {
+            eprintln!("warning: could not persist the graph corpus: {e}");
         }
     }
 }
@@ -736,71 +896,100 @@ pub fn admission_limit_from_env() -> Option<usize> {
     }
 }
 
+/// Reads the `CLIQUE_CORPUS_PATH` environment variable: where new
+/// services persist (and warm-load) their graph corpus. Any non-empty
+/// value is a path; unset or empty disables persistence.
+pub fn corpus_path_from_env() -> Option<PathBuf> {
+    match std::env::var("CLIQUE_CORPUS_PATH") {
+        Ok(v) if !v.trim().is_empty() => Some(PathBuf::from(v)),
+        _ => None,
+    }
+}
+
+/// Warm-loads a persisted corpus into `cache`, warning and falling back
+/// to the current (typically empty) cache on any load failure — a corrupt
+/// or version-mismatched corpus file must never take the service down,
+/// mirroring the `CLIQUE_SHARDS` garbage-value policy. A missing file is
+/// silent (every first run starts cold).
+fn load_corpus_warn_and_fallback(cache: &mut CorpusCache, path: &std::path::Path) {
+    match cache.load(path) {
+        Ok(_) => {}
+        Err(e) => eprintln!(
+            "warning: ignoring persisted corpus at {}: {e}; starting with an empty cache",
+            path.display()
+        ),
+    }
+}
+
 /// Whether a job must pass the admission gate before running: it drives
 /// a round engine (everything but Dlp12) and that engine is sharded.
 fn is_gated(job: &Job) -> bool {
     matches!(job.config.engine, EngineChoice::Sharded(_)) && job.algo != Algo::Dlp12
 }
 
-/// Pops the highest-priority job the worker may run *right now*: gated
-/// (sharded-engine) jobs past the admission limit are skipped — they go
-/// straight back into the heap — so runnable sequential jobs behind them
-/// are never starved. Returns the job together with its admission permit
-/// when one was taken. `None` means nothing currently admissible.
-fn pop_admissible<'a>(
-    heap: &mut BinaryHeap<QueuedJob>,
+/// Pops the job the scheduler says this worker runs *right now*: the pop
+/// policy's choice ([`SchedQueue::select`] — effective priority with
+/// aging, tenant round-robin, submission-sequence tie-break), subject to
+/// eligibility. Gated (sharded-engine) jobs past the admission limit and
+/// jobs of tenants at their in-flight cap are skipped in place — they stay
+/// queued — so runnable jobs behind them are never starved. Returns the
+/// popped entry together with its admission permit when one was taken.
+/// `None` means nothing currently eligible.
+fn pop_eligible<'a>(
+    queue: &mut SchedQueue<QueuedPayload>,
     shared: &'a ServiceShared,
-) -> Option<(QueuedJob, Option<AdmissionPermit<'a>>)> {
-    let mut skipped = Vec::new();
-    let mut found = None;
-    while let Some(item) = heap.pop() {
-        if !is_gated(&item.job) {
-            found = Some((item, None));
-            break;
-        }
-        match AdmissionPermit::try_acquire(shared) {
-            Some(permit) => {
-                found = Some((item, Some(permit)));
-                break;
-            }
-            None => skipped.push(item),
-        }
+) -> Option<(sched::Popped<QueuedPayload>, Option<AdmissionPermit<'a>>)> {
+    let idx = queue.select(true)?;
+    if !queue.is_gated(idx) {
+        return Some((queue.take(idx), None));
     }
-    for item in skipped {
-        heap.push(item);
+    match AdmissionPermit::try_acquire(shared) {
+        Some(permit) => Some((queue.take(idx), Some(permit))),
+        // the policy's choice is gated and no permit is free: fall back to
+        // the best ungated entry (work conservation), if any
+        None => queue.select(false).map(|idx| (queue.take(idx), None)),
     }
-    found
 }
 
 fn job_worker_loop(shared: &ServiceShared) {
     loop {
-        let (QueuedJob { seq, job, submitted }, permit) = {
+        let (popped, permit) = {
             let mut q = shared.queue.lock().unwrap();
             loop {
-                if let Some(found) = pop_admissible(&mut q.0, shared) {
+                if let Some(found) = pop_eligible(&mut q.0, shared) {
                     break found;
                 }
                 if q.1 {
                     return;
                 }
-                // nothing admissible: parked until new work arrives, a
-                // permit frees (its drop notifies work_ready), or the
-                // limit is raised
+                // nothing eligible: parked until new work arrives, a
+                // permit frees (its drop notifies work_ready), a tenant
+                // completion frees a cap slot, or a limit is raised
                 q = shared.work_ready.wait(q).unwrap();
             }
         };
+        let (seq, tenant) = (popped.seq, popped.tenant);
+        let QueuedPayload { job, submitted, wall } = popped.payload;
         // The ticket MUST resolve no matter what the job does: any panic
         // anywhere in execution (graph build included) becomes an error
         // outcome, never a dead worker or a forever-blocked wait(). The
         // permit is dropped (and the next sharded job admitted) either
         // way — it rides inside the unwind-safe closure.
         let outcome =
-            catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job, submitted, permit)))
+            catch_unwind(AssertUnwindSafe(|| execute_job(shared, &job, submitted, &wall, permit)))
                 .unwrap_or_else(|payload| JobOutcome {
                     report: Err(JobError::Panicked(panic_message(&payload))),
                     cache_hit: false,
                     latency: submitted.elapsed(),
                 });
+        // Record the completion with the scheduler FIRST (one aging tick +
+        // the tenant's in-flight slot frees), so by the time a caller
+        // observes the outcome the tick is already counted.
+        {
+            let mut q = lock_ignore_poison(&shared.queue);
+            q.0.complete(tenant);
+            shared.work_ready.notify_all();
+        }
         let mut fin = shared.finished.lock().unwrap();
         fin.outcomes.insert(seq, outcome);
         if fin.streamed.contains(&seq) {
@@ -853,6 +1042,7 @@ fn execute_job(
     shared: &ServiceShared,
     job: &Job,
     submitted: Instant,
+    wall: &Option<WallBudget>,
     permit: Option<AdmissionPermit<'_>>,
 ) -> JobOutcome {
     // Prefetch on admit: the job was admitted at pop time (the permit),
@@ -886,15 +1076,20 @@ fn execute_job(
     };
 
     // Deadline enforcement: thread the round budget into the listing
-    // config as a round cap (tightening any caller-supplied cap).
+    // config as a round cap (tightening any caller-supplied cap), and the
+    // wall budget — anchored at submission — beside it.
     let mut cfg = job.config.clone();
     if let Some(deadline) = job.meta.deadline_rounds {
         cfg.round_cap = Some(cfg.round_cap.map_or(deadline, |c| c.min(deadline)));
     }
+    if wall.is_some() {
+        cfg.wall_budget = wall.clone();
+    }
 
-    // An admitted (permit-holding) sharded job takes an observable lease
-    // on the engine pool for the duration of its run. (Dlp12 never
-    // touches a round engine; sequential jobs carry no permit.)
+    // An admitted (permit-holding) sharded job takes an observable,
+    // tenant-attributed lease on the engine pool for the duration of its
+    // run. (Dlp12 never touches a round engine; sequential jobs carry no
+    // permit.)
     let _permit = permit;
     let _lease = _permit.is_some().then(|| {
         let pool = match job.algo {
@@ -903,39 +1098,65 @@ fn execute_job(
             Algo::Randomized { .. } => Arc::clone(global_pool()),
             _ => Arc::clone(&lock_ignore_poison(&shared.engine_pool)),
         };
-        pool.lease()
+        pool.lease_for(job.meta.tenant)
     });
 
     // A panicking job (bad p, adversarial config) is an error value, not
-    // a dead worker.
+    // a dead worker. An admitted job runs inside an ambient-pool scope so
+    // indirect pool clients — the decomposition's power-iteration chunk
+    // batches — also land on the leased pool and respect the admission
+    // gate instead of sneaking onto the global pool.
     let lease_pool = _lease.as_ref().map(|l| Arc::clone(l.pool()));
-    let report = catch_unwind(AssertUnwindSafe(|| run_algo(&graph, job, &cfg, lease_pool)))
-        .map_err(|payload| JobError::Panicked(panic_message(&payload)))
-        .and_then(|(cliques, report)| {
-            if let Some(deadline) = job.meta.deadline_rounds {
-                // Missed iff the run went over budget, or was cut off by
-                // the deadline's own cap. A run truncated *under* the
-                // deadline by a tighter caller cap is not a miss.
-                if report.rounds() > deadline || (report.truncated() && report.rounds() >= deadline)
-                {
-                    return Err(JobError::DeadlineExceeded {
-                        deadline_rounds: deadline,
-                        rounds_used: report.rounds(),
-                        truncated: report.truncated(),
-                    });
-                }
+    let report = catch_unwind(AssertUnwindSafe(|| match &lease_pool {
+        Some(pool) => {
+            runtime::with_ambient_pool(pool, || run_algo(&graph, job, &cfg, Some(Arc::clone(pool))))
+        }
+        None => run_algo(&graph, job, &cfg, None),
+    }))
+    .map_err(|payload| JobError::Panicked(panic_message(&payload)))
+    .and_then(|(cliques, report)| {
+        // The deterministic round-deadline classification runs FIRST,
+        // mirroring the checkpoint order inside the drivers: a job that
+        // missed its round budget must report DeadlineExceeded on every
+        // machine — the live wall-clock read below must never be able to
+        // reclassify a deterministic miss as a nondeterministic one.
+        if let Some(deadline) = job.meta.deadline_rounds {
+            // Missed iff the run went over budget, or was cut off by
+            // the deadline's own cap. A run truncated *under* the
+            // deadline by a tighter caller cap is not a miss.
+            if report.rounds() > deadline || (report.truncated() && report.rounds() >= deadline) {
+                return Err(JobError::DeadlineExceeded {
+                    deadline_rounds: deadline,
+                    rounds_used: report.rounds(),
+                    truncated: report.truncated(),
+                });
             }
-            Ok(JobReport {
-                graph_fingerprint: fp,
-                clique_count: cliques.len(),
-                clique_digest: clique_digest(&cliques),
-                rounds: report.rounds(),
-                messages: report.messages(),
-                depth: report.depth,
-                truncated: report.truncated(),
-                fallback_used: report.fallback_used,
-            })
-        });
+        }
+        // Wall deadline: a wall trip inside the run is already attributed
+        // (`RunReport::wall_exceeded`); a run that *completed* past its
+        // wall budget misses with `truncated: false`, mirroring the
+        // round-budget semantics.
+        if let Some(budget) = wall {
+            if report.wall_exceeded || budget.exceeded() {
+                return Err(JobError::WallDeadlineExceeded {
+                    deadline_ms: budget.budget_ms,
+                    elapsed_ms: budget.elapsed_ms(),
+                    rounds_used: report.rounds(),
+                    truncated: report.truncated(),
+                });
+            }
+        }
+        Ok(JobReport {
+            graph_fingerprint: fp,
+            clique_count: cliques.len(),
+            clique_digest: clique_digest(&cliques),
+            rounds: report.rounds(),
+            messages: report.messages(),
+            depth: report.depth,
+            truncated: report.truncated(),
+            fallback_used: report.fallback_used,
+        })
+    });
     JobOutcome { report, cache_hit, latency: submitted.elapsed() }
 }
 
@@ -1185,7 +1406,7 @@ mod tests {
         let job = Job::new(GraphInput::Spec(er_spec(2)), 3, ListingConfig::default(), Algo::Paper)
             .with_deadline_rounds(0);
         // the override clears the impossible deadline
-        let t = svc.submit_with(job, JobMeta { priority: 1, deadline_rounds: None });
+        let t = svc.submit_with(job, JobMeta { priority: 1, ..JobMeta::default() });
         assert!(svc.wait(t).report.is_ok());
     }
 

@@ -1,0 +1,406 @@
+//! The multi-tenant scheduler: job metadata, fairness-with-aging pop
+//! policy, tenant round-robin, and per-tenant in-flight caps.
+//!
+//! [`SchedQueue`] is the pure scheduling core the [`crate::Service`]
+//! workers drain. It is deliberately free of jobs, graphs, threads, and
+//! clocks — entries are `(seq, priority, tenant, gated, payload)` tuples
+//! and *time* is the *completed-job tick counter* — so the whole pop
+//! policy is a deterministic, synchronously testable state machine. The
+//! model-based oracle suite (`tests/sched_model.rs`) replays randomized
+//! workloads through it against a ~100-line reference reimplementation.
+//!
+//! # The pop policy
+//!
+//! A pop selects, among **eligible** entries (tenant below its in-flight
+//! cap, and gated entries only when the caller holds admission), the
+//! maximum of the deterministic tie-break chain:
+//!
+//! 1. **Effective priority, descending** — the submitted priority plus
+//!    `aging_rate ×` the entry's queue wait in *ticks* (one tick = one
+//!    completed job; see below). Unbounded (`u64`), so aging never
+//!    compresses distinct priorities into each other.
+//! 2. **Tenant round-robin distance, ascending** — the wrapping distance
+//!    `tenant − cursor (mod 2³²)` from the round-robin cursor, which
+//!    advances to `popped.tenant + 1` after every pop. Equal-effective-
+//!    priority traffic therefore rotates across tenants instead of letting
+//!    the lowest submit sequence monopolize the pool.
+//! 3. **Submission sequence, ascending** — total order; equal-priority
+//!    same-tenant jobs pop in exact submission order (the PR-3 FIFO
+//!    guarantee, now per tenant).
+//!
+//! # Aging in completed-job ticks
+//!
+//! Wall-clock aging would make the schedule a race; aging by **completed
+//! jobs** keeps it a pure function of the submitted workload. The queue
+//! counts one *tick* per [`SchedQueue::complete`] call, stamps every entry
+//! with the tick at push time, and computes
+//!
+//! ```text
+//! effective(e) = e.priority + aging_rate · (ticks − e.enqueue_tick)
+//! ```
+//!
+//! at selection time. Entries pushed in one atomic batch share a stamp, so
+//! aging never reorders *within* a batch — all PR-3 orderings are
+//! preserved exactly — while a long-waiting low-priority job gains on
+//! later-submitted high-priority traffic at `aging_rate` priority levels
+//! per completion: a priority-0 job overtakes a fresh priority-255
+//! firehose after at most `⌈256 / aging_rate⌉` ticks, which bounds
+//! starvation. `aging_rate = 0` disables aging and restores the PR-3
+//! policy bit-for-bit.
+
+use std::collections::HashMap;
+
+/// The default fairness [`aging rate`](SchedQueue::set_aging_rate): one
+/// effective-priority level per completed job. Gentle enough that fresh
+/// high-priority traffic still wins the short race, strong enough that no
+/// job can starve longer than ~256 completions per priority level of gap.
+pub const DEFAULT_AGING_RATE: u64 = 1;
+
+/// Scheduling metadata of a job: who submitted it, how urgent it is, and
+/// how many measured CONGEST rounds / wall milliseconds it may spend.
+///
+/// The default is the neutral job: tenant 0, priority 0, no deadlines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JobMeta {
+    /// Queue priority: **higher pops first**. Equal priorities preserve
+    /// exact submission order per tenant (FIFO), rotating across tenants
+    /// round-robin; with aging enabled a waiting job's *effective*
+    /// priority grows by the aging rate per completed job, so no priority
+    /// class can be starved forever.
+    pub priority: u8,
+    /// The submitting tenant. Purely a scheduling attribute (fairness
+    /// rotation, per-tenant in-flight caps, per-tenant lease accounting):
+    /// answers never depend on it.
+    pub tenant: u32,
+    /// Round-budget deadline in measured CONGEST rounds (`None` =
+    /// unlimited). A job that cannot finish within the budget returns
+    /// [`crate::JobError::DeadlineExceeded`]. Deterministic: round counts
+    /// do not depend on the engine, worker count, or wall-clock.
+    pub deadline_rounds: Option<u64>,
+    /// Wall-clock deadline in milliseconds from submission (`None` =
+    /// unlimited), enforced at the same driver checkpoints as the round
+    /// budget. A job that cannot finish in time returns
+    /// [`crate::JobError::WallDeadlineExceeded`]. **Not** deterministic
+    /// (wall time never is): determinism suites leave it unset, and the
+    /// dedicated wall-deadline suite injects a
+    /// [`clique_listing::MockClock`].
+    pub deadline_ms: Option<u64>,
+}
+
+/// One queued entry of a [`SchedQueue`].
+struct Pending<T> {
+    seq: u64,
+    priority: u8,
+    tenant: u32,
+    gated: bool,
+    enqueue_tick: u64,
+    payload: T,
+}
+
+/// An entry handed out by [`SchedQueue::take`].
+pub struct Popped<T> {
+    /// Submission sequence of the entry.
+    pub seq: u64,
+    /// Its tenant (pass back to [`SchedQueue::complete`]).
+    pub tenant: u32,
+    /// Whether the entry was admission-gated.
+    pub gated: bool,
+    /// The caller's payload.
+    pub payload: T,
+}
+
+/// The deterministic multi-tenant pending queue (see the module docs for
+/// the pop policy). Generic over the payload so the service can queue
+/// whole jobs while the model-based tests drive the policy with `()`.
+///
+/// # Example
+///
+/// ```
+/// use service::sched::SchedQueue;
+/// let mut q = SchedQueue::new();
+/// q.set_aging_rate(2);
+/// q.set_pop_recording(true); // tests observe the schedule via the log
+/// q.push(0, 0, 1, false, "bulk"); // seq 0, priority 0, tenant 1
+/// q.push(1, 9, 2, false, "urgent");
+/// let first = q.take(q.select(true).unwrap());
+/// assert_eq!(first.payload, "urgent"); // higher priority pops first
+/// q.complete(first.tenant); // one tick: the bulk job ages
+/// assert_eq!(q.take(q.select(true).unwrap()).payload, "bulk");
+/// assert_eq!(q.pop_log(), [1, 0]);
+/// ```
+pub struct SchedQueue<T> {
+    pending: Vec<Pending<T>>,
+    /// Completed-job ticks (the aging clock).
+    ticks: u64,
+    /// Tenant round-robin cursor: the tenant *after* the last one popped.
+    rr_cursor: u32,
+    /// Jobs popped but not yet completed, per tenant.
+    inflight: HashMap<u32, usize>,
+    /// Max in-flight jobs per tenant (`usize::MAX` = uncapped).
+    tenant_cap: usize,
+    /// Effective-priority levels gained per tick of queue wait (0 = no
+    /// aging: the PR-3 static policy).
+    aging_rate: u64,
+    /// Whether takes are appended to the pop log (off by default — the
+    /// log grows for the queue's whole lifetime, so production services
+    /// leave it off and test harnesses opt in).
+    record_pops: bool,
+    /// Seqs in the order they were taken, for the whole queue lifetime
+    /// (empty unless recording is enabled).
+    pop_log: Vec<u64>,
+}
+
+impl<T> Default for SchedQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SchedQueue<T> {
+    /// An empty queue with the [`DEFAULT_AGING_RATE`] and no tenant cap.
+    pub fn new() -> Self {
+        SchedQueue {
+            pending: Vec::new(),
+            ticks: 0,
+            rr_cursor: 0,
+            inflight: HashMap::new(),
+            tenant_cap: usize::MAX,
+            aging_rate: DEFAULT_AGING_RATE,
+            record_pops: false,
+            pop_log: Vec::new(),
+        }
+    }
+
+    /// Enables (or disables) pop-order recording — the observable schedule
+    /// behind [`SchedQueue::pop_log`]. Off by default: the log grows
+    /// unboundedly with traffic, so only test harnesses and the loadgen
+    /// turn it on.
+    pub fn set_pop_recording(&mut self, on: bool) {
+        self.record_pops = on;
+    }
+
+    /// Sets the aging rate (effective-priority levels per completed-job
+    /// tick of queue wait; 0 disables aging — the exact PR-3 policy).
+    pub fn set_aging_rate(&mut self, rate: u64) {
+        self.aging_rate = rate;
+    }
+
+    /// The current aging rate.
+    pub fn aging_rate(&self) -> u64 {
+        self.aging_rate
+    }
+
+    /// Caps how many of one tenant's jobs may be in flight (popped but not
+    /// completed) concurrently. `0` is clamped to `1` (a zero cap could
+    /// never run anything).
+    pub fn set_tenant_cap(&mut self, cap: usize) {
+        self.tenant_cap = cap.max(1);
+    }
+
+    /// The per-tenant in-flight cap (`usize::MAX` = uncapped).
+    pub fn tenant_cap(&self) -> usize {
+        self.tenant_cap
+    }
+
+    /// Completed-job ticks so far (the aging clock).
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Queued (not yet taken) entries.
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Whether no entries are queued.
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Enqueues an entry, stamping it with the current tick. `seq` must be
+    /// unique and increase with submission order (the service's ticket
+    /// counter); `gated` marks entries that additionally need an admission
+    /// permit to pop.
+    pub fn push(&mut self, seq: u64, priority: u8, tenant: u32, gated: bool, payload: T) {
+        let enqueue_tick = self.ticks;
+        self.pending.push(Pending { seq, priority, tenant, gated, enqueue_tick, payload });
+    }
+
+    /// The effective priority of entry `e` at the current tick.
+    fn effective(&self, e: &Pending<T>) -> u64 {
+        e.priority as u64 + self.aging_rate * (self.ticks - e.enqueue_tick)
+    }
+
+    /// Selects the entry the pop policy says runs next — among entries
+    /// whose tenant is below the in-flight cap, and (unless `allow_gated`)
+    /// skipping admission-gated entries — or `None` when nothing is
+    /// eligible. Pure: does not mutate the queue; commit the choice with
+    /// [`SchedQueue::take`] before the queue changes.
+    ///
+    /// Selection is a linear scan — effective priorities drift with the
+    /// tick, and eligibility (caps, gating) is per-pop, so there is no
+    /// static heap order to maintain. That makes a pop `O(queued)`, which
+    /// is fine at service-realistic backlogs (thousands) but is the known
+    /// scaling limit of this queue; a two-tier structure (static-key heap
+    /// — `priority − rate·enqueue_tick` is drift-invariant — plus
+    /// tie-group scan) is the upgrade path if backlogs ever grow past
+    /// that.
+    pub fn select(&self, allow_gated: bool) -> Option<usize> {
+        let mut best: Option<(usize, (u64, std::cmp::Reverse<u32>, std::cmp::Reverse<u64>))> = None;
+        for (i, e) in self.pending.iter().enumerate() {
+            if e.gated && !allow_gated {
+                continue;
+            }
+            if self.inflight.get(&e.tenant).copied().unwrap_or(0) >= self.tenant_cap {
+                continue;
+            }
+            let key = (
+                self.effective(e),
+                std::cmp::Reverse(e.tenant.wrapping_sub(self.rr_cursor)),
+                std::cmp::Reverse(e.seq),
+            );
+            if best.as_ref().is_none_or(|(_, b)| key > *b) {
+                best = Some((i, key));
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Whether the entry at `idx` is admission-gated.
+    pub fn is_gated(&self, idx: usize) -> bool {
+        self.pending[idx].gated
+    }
+
+    /// Removes and returns the entry at `idx` (from [`SchedQueue::select`]),
+    /// marking its tenant in flight, advancing the round-robin cursor past
+    /// it, and appending its seq to the pop log.
+    pub fn take(&mut self, idx: usize) -> Popped<T> {
+        let e = self.pending.swap_remove(idx);
+        *self.inflight.entry(e.tenant).or_insert(0) += 1;
+        self.rr_cursor = e.tenant.wrapping_add(1);
+        if self.record_pops {
+            self.pop_log.push(e.seq);
+        }
+        Popped { seq: e.seq, tenant: e.tenant, gated: e.gated, payload: e.payload }
+    }
+
+    /// Records the completion of a previously taken entry: one aging tick,
+    /// and the tenant's in-flight slot frees (idle tenants leave no
+    /// residue in the in-flight table).
+    pub fn complete(&mut self, tenant: u32) {
+        self.ticks += 1;
+        if let std::collections::hash_map::Entry::Occupied(mut e) = self.inflight.entry(tenant) {
+            *e.get_mut() = e.get().saturating_sub(1);
+            if *e.get() == 0 {
+                e.remove();
+            }
+        }
+    }
+
+    /// Seqs in the order they were taken, over the queue's whole lifetime
+    /// — the observable schedule the model-based oracle suite checks.
+    /// Empty unless [`SchedQueue::set_pop_recording`] enabled recording.
+    pub fn pop_log(&self) -> &[u64] {
+        &self.pop_log
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Drains the queue assuming one worker (take, then complete).
+    fn drain(q: &mut SchedQueue<u64>) -> Vec<u64> {
+        let mut order = Vec::new();
+        while let Some(idx) = q.select(true) {
+            let p = q.take(idx);
+            order.push(p.seq);
+            q.complete(p.tenant);
+        }
+        order
+    }
+
+    #[test]
+    fn single_batch_is_priority_then_rr_then_fifo() {
+        let mut q = SchedQueue::new();
+        // tenants 1,1,1,2,2,3 — all priority 0 except seq 3
+        for (seq, (prio, tenant)) in
+            [(0u8, 1u32), (0, 1), (0, 1), (7, 2), (0, 2), (0, 3)].into_iter().enumerate()
+        {
+            q.push(seq as u64, prio, tenant, false, seq as u64);
+        }
+        // priority 7 first; then the equal-priority rest rotates tenants
+        // 3 → 1 → 2 → 1 → 1 (cursor left at 3 by the pop of tenant 2)
+        assert_eq!(drain(&mut q), [3, 5, 0, 4, 1, 2]);
+    }
+
+    #[test]
+    fn equal_priority_equal_tenant_is_fifo_and_rr_rotates() {
+        let mut q = SchedQueue::new();
+        for (seq, tenant) in [1u32, 1, 1, 2, 2, 3].into_iter().enumerate() {
+            q.push(seq as u64, 0, tenant, false, 0);
+        }
+        // cursor 0: t1 (seq 0) → cursor 2: t2 (3) → cursor 3: t3 (5) →
+        // cursor 4: wrap-distance picks t1 (1) → t2 (4) → t1 (2)
+        assert_eq!(drain(&mut q), [0, 3, 5, 1, 4, 2]);
+    }
+
+    #[test]
+    fn aging_lets_an_old_low_priority_entry_overtake() {
+        let mut q = SchedQueue::new();
+        q.set_aging_rate(2);
+        q.push(0, 0, 1, false, 0); // bulk, enqueued at tick 0
+                                   // two completions elsewhere age the bulk entry by 2 ticks = +4
+        q.complete(9);
+        q.complete(9);
+        q.push(1, 3, 2, false, 0); // fresh priority-3 entry
+                                   // bulk effective = 0 + 2·2 = 4 > 3: the old entry wins
+        assert_eq!(q.take(q.select(true).unwrap()).seq, 0);
+    }
+
+    #[test]
+    fn zero_aging_rate_restores_the_static_policy() {
+        let mut q = SchedQueue::new();
+        q.set_aging_rate(0);
+        q.push(0, 0, 1, false, 0);
+        q.complete(9);
+        q.complete(9);
+        q.push(1, 3, 2, false, 0);
+        assert_eq!(q.take(q.select(true).unwrap()).seq, 1, "no aging: priority 3 wins");
+    }
+
+    #[test]
+    fn tenant_cap_defers_a_saturated_tenant() {
+        let mut q = SchedQueue::new();
+        q.set_tenant_cap(1);
+        q.push(0, 9, 1, false, 0);
+        q.push(1, 9, 1, false, 0);
+        q.push(2, 0, 2, false, 0);
+        let first = q.take(q.select(true).unwrap());
+        assert_eq!(first.seq, 0);
+        // tenant 1 is at its cap: its second entry is ineligible, the
+        // lower-priority tenant-2 entry runs instead
+        let second = q.take(q.select(true).unwrap());
+        assert_eq!(second.seq, 2);
+        assert!(q.select(true).is_none(), "both tenants saturated");
+        q.complete(first.tenant);
+        assert_eq!(q.take(q.select(true).unwrap()).seq, 1, "completion frees the cap");
+    }
+
+    #[test]
+    fn gating_is_respected_only_when_disallowed() {
+        let mut q = SchedQueue::new();
+        q.push(0, 9, 1, true, 0); // gated, high priority
+        q.push(1, 0, 2, false, 0);
+        assert_eq!(q.select(false), Some(1), "without admission the ungated entry is next");
+        assert!(q.is_gated(q.select(true).unwrap()));
+        assert_eq!(q.take(q.select(true).unwrap()).seq, 0);
+    }
+
+    #[test]
+    fn zero_tenant_cap_clamps_to_one() {
+        let mut q: SchedQueue<()> = SchedQueue::new();
+        q.set_tenant_cap(0);
+        assert_eq!(q.tenant_cap(), 1);
+    }
+}

@@ -1,0 +1,57 @@
+//! Test-support scenarios shared by the scheduler regression tests and
+//! the bench loadgen — not part of the service API (hidden from docs,
+//! semver-exempt).
+
+use clique_listing::ListingConfig;
+
+use crate::{Algo, GraphInput, GraphSpec, Job, Service};
+
+/// A tiny, cheap firehose job (seeded ER graph, sequential engine).
+fn tiny(seed: u64) -> Job {
+    Job::new(
+        GraphInput::Spec(GraphSpec::ErdosRenyi { n: 16, p: 0.25, seed }),
+        3,
+        ListingConfig::default(),
+        Algo::Paper,
+    )
+}
+
+/// Runs the firehose-vs-bulk fairness scenario on `svc` (which must be a
+/// **1-worker** service built `.with_pop_log()`): one priority-0 bulk job
+/// (tenant 1) plus `firehose` priority-255 jobs (tenant 2) — the bulk job
+/// and the first `window` firehose jobs enqueued as **one atomic batch**
+/// (so no startup schedule can pop the bulk job against an empty queue),
+/// the rest fed back one per observed completion, arriving spread across
+/// aging ticks the way a real firehose does.
+///
+/// Returns the bulk job's position in the pop order (0-based;
+/// `== firehose` means it popped dead last).
+pub fn firehose_bulk_position(svc: &Service, firehose: usize, window: usize) -> usize {
+    let window = window.min(firehose);
+    let mut initial = vec![tiny(1000).with_priority(0).with_tenant(1)];
+    initial.extend((0..window).map(|i| tiny(i as u64).with_priority(255).with_tenant(2)));
+    // Atomic enqueue only: the stream itself is dropped immediately —
+    // outcomes stay claimable via wait() — because feedback must be paced
+    // by *firehose* completions alone. (Iterating the stream would block
+    // on the bulk job's own yield and let the queue run dry.)
+    let mut tickets = {
+        let stream = svc.stream(initial);
+        stream.tickets().to_vec()
+    };
+    let bulk = tickets.remove(0);
+    let mut submitted = window;
+    let mut waited = 0;
+    // one feedback submission per observed firehose completion
+    while waited < tickets.len() {
+        svc.wait(tickets[waited]);
+        waited += 1;
+        if submitted < firehose {
+            tickets.push(svc.submit(tiny(submitted as u64).with_priority(255).with_tenant(2)));
+            submitted += 1;
+        }
+    }
+    svc.wait(bulk);
+    let log = svc.pop_log();
+    assert_eq!(log.len(), firehose + 1, "every job popped exactly once");
+    log.iter().position(|&t| t == bulk).expect("the bulk job was popped")
+}

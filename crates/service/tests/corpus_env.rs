@@ -1,0 +1,44 @@
+//! The `CLIQUE_CORPUS_PATH` environment flow, isolated in its own test
+//! binary: the variable is process-global, so no other service-building
+//! test may share this process (mirroring the `CLIQUE_ADMIT` test's
+//! single-owner convention).
+
+use clique_listing::ListingConfig;
+use service::{corpus_path_from_env, Algo, GraphInput, GraphSpec, Job, Service};
+
+#[test]
+fn clique_corpus_path_env_persists_across_service_restarts() {
+    let path = std::env::temp_dir().join(format!("clique-corpus-env-{}.bin", std::process::id()));
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(corpus_path_from_env(), None);
+    std::env::set_var("CLIQUE_CORPUS_PATH", &path);
+    assert_eq!(corpus_path_from_env(), Some(path.clone()));
+
+    let job = || {
+        Job::new(
+            GraphInput::Spec(GraphSpec::ErdosRenyi { n: 30, p: 0.2, seed: 2 }),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        )
+    };
+    {
+        let svc = Service::new(1);
+        let outs = svc.run_batch(vec![job()]);
+        assert!(!outs[0].cache_hit);
+    } // drop persists to the env path
+    assert!(path.exists(), "drop must persist to CLIQUE_CORPUS_PATH");
+
+    let svc = Service::new(1);
+    assert_eq!(svc.corpus_len(), 1, "a new service warm-loads the env corpus");
+    let outs = svc.run_batch(vec![job()]);
+    assert!(outs[0].cache_hit, "cross-restart hit via the env path");
+    drop(svc);
+
+    std::env::set_var("CLIQUE_CORPUS_PATH", "  ");
+    assert_eq!(corpus_path_from_env(), None, "blank values disable persistence");
+    std::env::remove_var("CLIQUE_CORPUS_PATH");
+    assert_eq!(corpus_path_from_env(), None);
+    let _ = std::fs::remove_file(&path);
+}

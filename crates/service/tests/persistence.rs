@@ -1,0 +1,230 @@
+//! Corpus persistence: save/reload round-trips, damage rejection, and
+//! cross-restart cache hits.
+//!
+//! All tests use explicit temp-file paths (`Service::with_corpus_path`) so
+//! they can run in parallel; the `CLIQUE_CORPUS_PATH` environment flow has
+//! its own single-test binary (`corpus_env.rs`).
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use clique_listing::ListingConfig;
+use service::{
+    Algo, CorpusCache, CorpusLoadError, GraphInput, GraphSpec, Job, Service, CORPUS_FORMAT_VERSION,
+};
+
+/// A unique temp path per call (parallel tests must never share files).
+fn temp_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    std::env::temp_dir().join(format!("clique-corpus-{}-{tag}-{n}.bin", std::process::id()))
+}
+
+/// RAII cleanup so failed assertions don't leak temp files across runs.
+struct TempFile(PathBuf);
+
+impl Drop for TempFile {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.0);
+    }
+}
+
+fn sample_specs() -> Vec<GraphSpec> {
+    vec![
+        GraphSpec::ErdosRenyi { n: 30, p: 0.2, seed: 3 },
+        GraphSpec::Hypercube { dim: 4 },
+        GraphSpec::Rmat { scale: 5, edges: 120, a: 0.57, b: 0.19, c: 0.19, seed: 9 },
+        GraphSpec::RandomGeometric { n: 28, radius: 0.3, seed: 5 },
+        GraphSpec::Clustered { n: 30, blocks: 3, p_in: 0.5, p_out: 0.02, seed: 7 },
+    ]
+}
+
+#[test]
+fn save_load_save_is_byte_identical_and_preserves_fingerprints() {
+    let file = TempFile(temp_path("roundtrip"));
+    let mut cache = CorpusCache::new(8);
+    let fps: Vec<u64> = sample_specs().iter().map(|s| cache.get_or_build(s).1).collect();
+    assert_eq!(cache.save(&file.0).unwrap(), 5);
+    let bytes = std::fs::read(&file.0).unwrap();
+
+    let mut reloaded = CorpusCache::new(8);
+    assert_eq!(reloaded.load(&file.0).unwrap(), 5, "every verified entry loads");
+    assert_eq!(reloaded.len(), 5);
+    assert_eq!(reloaded.stats(), (0, 0), "loading warms; it must not count as traffic");
+    for fp in &fps {
+        assert!(reloaded.by_fingerprint(*fp).is_some(), "fingerprint {fp:#018x} must survive");
+    }
+    // the format is canonical: re-saving the reloaded corpus reproduces
+    // the file byte for byte
+    let file2 = TempFile(temp_path("roundtrip2"));
+    reloaded.save(&file2.0).unwrap();
+    assert_eq!(std::fs::read(&file2.0).unwrap(), bytes, "save → load → save must be stable");
+}
+
+#[test]
+fn load_preserves_lru_order() {
+    let file = TempFile(temp_path("lru"));
+    let mut cache = CorpusCache::new(8);
+    let s1 = GraphSpec::Hypercube { dim: 3 };
+    let s2 = GraphSpec::Hypercube { dim: 4 };
+    let s3 = GraphSpec::Hypercube { dim: 5 };
+    cache.get_or_build(&s1);
+    cache.get_or_build(&s2);
+    cache.get_or_build(&s3);
+    cache.get_or_build(&s1); // s2 is now least-recently used
+    cache.save(&file.0).unwrap();
+    // reload into a 2-capacity cache: the LRU entry (s2) falls off
+    let mut small = CorpusCache::new(2);
+    small.load(&file.0).unwrap();
+    assert_eq!(small.len(), 2);
+    let (_, _, hit2) = small.warm(&s2);
+    assert!(!hit2, "the persisted LRU entry is the one to lose on a smaller cache");
+}
+
+#[test]
+fn missing_file_is_a_cold_start() {
+    let mut cache = CorpusCache::new(4);
+    assert_eq!(cache.load(&temp_path("never-written")).unwrap(), 0);
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn corrupted_files_are_rejected_not_half_loaded() {
+    // garbage: wrong magic
+    let garbage = TempFile(temp_path("garbage"));
+    std::fs::write(&garbage.0, b"this is not a corpus file at all").unwrap();
+    let mut cache = CorpusCache::new(4);
+    assert!(matches!(cache.load(&garbage.0), Err(CorpusLoadError::BadMagic)));
+    assert!(cache.is_empty());
+
+    // valid prefix, truncated body: the cache must stay untouched
+    let truncated = TempFile(temp_path("truncated"));
+    let mut cache2 = CorpusCache::new(4);
+    cache2.get_or_build(&GraphSpec::Hypercube { dim: 4 });
+    cache2.get_or_build(&GraphSpec::Hypercube { dim: 5 });
+    cache2.save(&truncated.0).unwrap();
+    let bytes = std::fs::read(&truncated.0).unwrap();
+    std::fs::write(&truncated.0, &bytes[..bytes.len() - 3]).unwrap();
+    let mut cache3 = CorpusCache::new(4);
+    assert!(matches!(cache3.load(&truncated.0), Err(CorpusLoadError::Malformed(_))));
+    assert!(cache3.is_empty(), "a truncated file must not be half-loaded");
+}
+
+#[test]
+fn absurd_entry_count_is_rejected_before_any_allocation() {
+    // a crafted header claiming 2^32−1 entries in a 16-byte file must be
+    // rejected as damage, never used to size an allocation
+    let file = TempFile(temp_path("hugecount"));
+    let mut bytes = b"CLQCORPS".to_vec();
+    bytes.extend_from_slice(&CORPUS_FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&u32::MAX.to_le_bytes());
+    std::fs::write(&file.0, bytes).unwrap();
+    let mut cache = CorpusCache::new(4);
+    assert!(matches!(cache.load(&file.0), Err(CorpusLoadError::Malformed(_))));
+    assert!(cache.is_empty());
+}
+
+#[test]
+fn version_mismatch_is_rejected_with_the_found_version() {
+    let file = TempFile(temp_path("version"));
+    let mut bytes = b"CLQCORPS".to_vec();
+    bytes.extend_from_slice(&99u32.to_le_bytes());
+    bytes.extend_from_slice(&0u32.to_le_bytes());
+    std::fs::write(&file.0, bytes).unwrap();
+    let mut cache = CorpusCache::new(4);
+    match cache.load(&file.0) {
+        Err(CorpusLoadError::VersionMismatch { found: 99 }) => {}
+        other => panic!("expected VersionMismatch {{ found: 99 }}, got {other:?}"),
+    }
+    assert_ne!(CORPUS_FORMAT_VERSION, 99);
+}
+
+#[test]
+fn fingerprint_mismatch_drops_only_the_stale_entry() {
+    let file = TempFile(temp_path("stale"));
+    let mut cache = CorpusCache::new(4);
+    cache.get_or_build(&GraphSpec::Hypercube { dim: 4 });
+    cache.get_or_build(&GraphSpec::Hypercube { dim: 5 });
+    cache.save(&file.0).unwrap();
+    // flip a bit in the last entry's stored fingerprint (the final 8
+    // bytes): its rebuild no longer verifies and must be dropped
+    let mut bytes = std::fs::read(&file.0).unwrap();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xff;
+    std::fs::write(&file.0, bytes).unwrap();
+    let mut reloaded = CorpusCache::new(4);
+    assert_eq!(reloaded.load(&file.0).unwrap(), 1, "only the verified entry survives");
+    assert_eq!(reloaded.len(), 1);
+    let (_, _, resident) = reloaded.warm(&GraphSpec::Hypercube { dim: 4 });
+    assert!(resident, "the untampered entry must survive");
+}
+
+#[test]
+fn service_restart_turns_persisted_specs_into_cache_hits() {
+    let file = TempFile(temp_path("restart"));
+    let spec = GraphSpec::ErdosRenyi { n: 32, p: 0.18, seed: 11 };
+    let job = || Job::new(GraphInput::Spec(spec.clone()), 3, ListingConfig::default(), Algo::Paper);
+    let (first_report, fp) = {
+        let svc = Service::new(1).with_corpus_path(&file.0);
+        let outs = svc.run_batch(vec![job()]);
+        assert!(!outs[0].cache_hit, "first service, first build: a miss");
+        let r = outs[0].report.as_ref().unwrap().clone();
+        (format!("{:?}", r), r.graph_fingerprint)
+        // drop persists
+    };
+    assert!(file.0.exists(), "drop must persist the corpus");
+
+    let svc = Service::new(1).with_corpus_path(&file.0);
+    assert_eq!(svc.corpus_len(), 1, "restart warm-loads the corpus");
+    assert_eq!(svc.cache_stats(), (0, 0), "warm-loading is provisioning, not traffic");
+    let outs = svc.run_batch(vec![job()]);
+    assert!(outs[0].cache_hit, "the persisted spec must be a genuine post-restart hit");
+    assert_eq!(format!("{:?}", outs[0].report.as_ref().unwrap()), first_report);
+    // a fingerprint-addressed job resolves across the restart too
+    let cached = svc.run_batch(vec![Job::new(
+        GraphInput::Cached(fp),
+        3,
+        ListingConfig::default(),
+        Algo::Paper,
+    )]);
+    assert_eq!(cached[0].report.as_ref().unwrap().graph_fingerprint, fp);
+    let (hits, _) = svc.cache_stats();
+    assert!(hits >= 2, "cross-restart cache hit rate must be > 0");
+}
+
+#[test]
+fn service_with_corrupt_corpus_warns_and_serves_from_empty() {
+    let file = TempFile(temp_path("corrupt-svc"));
+    std::fs::write(&file.0, b"CLQCORPSgarbage").unwrap();
+    let svc = Service::new(1).with_corpus_path(&file.0);
+    assert_eq!(svc.corpus_len(), 0, "warn-and-fallback to an empty cache");
+    let outs = svc.run_batch(vec![Job::new(
+        GraphInput::Spec(GraphSpec::Hypercube { dim: 4 }),
+        3,
+        ListingConfig::default(),
+        Algo::Paper,
+    )]);
+    assert!(outs[0].report.is_ok(), "a damaged corpus file must never take the service down");
+    drop(svc);
+    // and the drop-persist replaces the damaged file with a valid one
+    let mut cache = CorpusCache::new(4);
+    assert_eq!(cache.load(&file.0).unwrap(), 1);
+}
+
+#[test]
+fn explicit_persist_writes_without_waiting_for_drop() {
+    let file = TempFile(temp_path("explicit"));
+    let svc = Service::new(1).with_corpus_path(&file.0);
+    assert_eq!(svc.persist().unwrap(), 0, "empty corpus, empty file");
+    svc.prefetch(&GraphSpec::Hypercube { dim: 4 });
+    assert_eq!(svc.persist().unwrap(), 1);
+    let mut cache = CorpusCache::new(4);
+    assert_eq!(cache.load(&file.0).unwrap(), 1);
+}
+
+#[test]
+fn persist_without_a_path_is_a_no_op() {
+    let svc = Service::new(1);
+    svc.prefetch(&GraphSpec::Hypercube { dim: 3 });
+    assert_eq!(svc.persist().unwrap(), 0, "no configured path: nothing to write");
+}

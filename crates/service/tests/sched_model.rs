@@ -1,0 +1,240 @@
+//! Model-based oracle for the multi-tenant pop policy.
+//!
+//! `Oracle` is an independent ~100-line reference reimplementation of the
+//! scheduler's pop policy — effective priority with completed-tick aging,
+//! tenant round-robin rotation, submission-sequence tie-break, per-tenant
+//! in-flight caps — kept deliberately naive (sort the whole queue on every
+//! select) so it stays an obviously-correct executable spec.
+//!
+//! Two layers of replay check the production scheduler against it:
+//!
+//! 1. **Policy level** (`sched::SchedQueue` driven synchronously):
+//!    randomized interleavings of push / select+take / complete, with
+//!    randomized aging rates and tenant caps — every pop decision must
+//!    match the oracle's, including under aging pressure and cap
+//!    saturation.
+//! 2. **Service level** (`Service::stream` at 1, 2, and 8 workers):
+//!    randomized job mixes over priorities and tenants, submitted as one
+//!    atomic batch. Jobs enqueued in one batch share their aging stamp, so
+//!    the pop order is a pure function of the batch at *any* worker count:
+//!    the observable `Service::pop_log()` must equal the oracle's pop
+//!    order, and every `JobReport` must byte-match the 1-worker reference.
+
+use std::collections::HashMap;
+
+use clique_listing::ListingConfig;
+use proptest::prelude::*;
+use service::sched::SchedQueue;
+use service::{Algo, GraphInput, GraphSpec, Job, Service, Ticket};
+
+/// The reference model of one queued entry.
+#[derive(Clone)]
+struct OracleEntry {
+    seq: u64,
+    priority: u8,
+    tenant: u32,
+    gated: bool,
+    enqueue_tick: u64,
+}
+
+/// The executable spec of the pop policy. Selection sorts every candidate
+/// by the documented tie-break chain and picks the head — quadratic and
+/// proud of it.
+#[derive(Default)]
+struct Oracle {
+    pending: Vec<OracleEntry>,
+    ticks: u64,
+    cursor: u32,
+    aging_rate: u64,
+    inflight: HashMap<u32, usize>,
+    tenant_cap: usize,
+}
+
+impl Oracle {
+    fn new(aging_rate: u64, tenant_cap: usize) -> Self {
+        Oracle { aging_rate, tenant_cap: tenant_cap.max(1), ..Oracle::default() }
+    }
+
+    fn push(&mut self, seq: u64, priority: u8, tenant: u32, gated: bool) {
+        self.pending.push(OracleEntry { seq, priority, tenant, gated, enqueue_tick: self.ticks });
+    }
+
+    /// The seq the policy pops next, or None when nothing is eligible.
+    fn select(&self, allow_gated: bool) -> Option<u64> {
+        let mut ranked: Vec<(u64, u32, u64)> = self
+            .pending
+            .iter()
+            .filter(|e| allow_gated || !e.gated)
+            .filter(|e| self.inflight.get(&e.tenant).copied().unwrap_or(0) < self.tenant_cap)
+            .map(|e| {
+                let effective = e.priority as u64 + self.aging_rate * (self.ticks - e.enqueue_tick);
+                (effective, e.tenant.wrapping_sub(self.cursor), e.seq)
+            })
+            .collect();
+        // effective desc, round-robin distance asc, seq asc
+        ranked.sort_by_key(|&(eff, dist, seq)| (std::cmp::Reverse(eff), dist, seq));
+        ranked.first().map(|&(_, _, seq)| seq)
+    }
+
+    fn take(&mut self, seq: u64) -> u32 {
+        let pos = self.pending.iter().position(|e| e.seq == seq).expect("selected seq queued");
+        let e = self.pending.remove(pos);
+        *self.inflight.entry(e.tenant).or_insert(0) += 1;
+        self.cursor = e.tenant.wrapping_add(1);
+        e.tenant
+    }
+
+    fn complete(&mut self, tenant: u32) {
+        self.ticks += 1;
+        if let Some(n) = self.inflight.get_mut(&tenant) {
+            *n = n.saturating_sub(1);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    // Policy level: random interleavings of push / pop / complete
+    // against the oracle, under random aging rates and tenant caps.
+    #[test]
+    fn sched_queue_matches_the_oracle_on_random_workloads(
+        aging_rate in 0u64..4,
+        tenant_cap in 1usize..4,
+        ops in proptest::collection::vec((0u8..8, 0u8..6, 0u32..4, 0u8..4), 4..60),
+    ) {
+        let mut q: SchedQueue<()> = SchedQueue::new();
+        q.set_aging_rate(aging_rate);
+        q.set_tenant_cap(tenant_cap);
+        q.set_pop_recording(true);
+        let mut oracle = Oracle::new(aging_rate, tenant_cap);
+        let mut next_seq = 0u64;
+        let mut running: Vec<u32> = Vec::new(); // tenants of in-flight entries
+        for (op, priority, tenant, gate) in ops {
+            match op {
+                // push (half the op space: queues stay populated)
+                0..=3 => {
+                    let gated = gate == 0;
+                    q.push(next_seq, priority, tenant, gated, ());
+                    oracle.push(next_seq, priority, tenant, gated);
+                    next_seq += 1;
+                }
+                // pop (alternating admission available / blocked)
+                4..=6 => {
+                    let allow_gated = op != 6;
+                    let expected = oracle.select(allow_gated);
+                    let got = q.select(allow_gated);
+                    prop_assert_eq!(got.is_some(), expected.is_some());
+                    if let (Some(idx), Some(seq)) = (got, expected) {
+                        let popped = q.take(idx);
+                        prop_assert_eq!(popped.seq, seq, "pop policy diverged from the oracle");
+                        let tenant = oracle.take(seq);
+                        prop_assert_eq!(popped.tenant, tenant);
+                        running.push(tenant);
+                    }
+                }
+                // complete the oldest running entry
+                _ => {
+                    if !running.is_empty() {
+                        let tenant = running.remove(0);
+                        q.complete(tenant);
+                        oracle.complete(tenant);
+                    }
+                }
+            }
+        }
+        // drain whatever is left, completing as a single worker would
+        loop {
+            for t in running.drain(..) {
+                q.complete(t);
+                oracle.complete(t);
+            }
+            let expected = oracle.select(true);
+            let got = q.select(true);
+            prop_assert_eq!(got.is_some(), expected.is_some());
+            match (got, expected) {
+                (Some(idx), Some(seq)) => {
+                    let popped = q.take(idx);
+                    prop_assert_eq!(popped.seq, seq);
+                    oracle.take(seq);
+                    running.push(popped.tenant);
+                }
+                _ => break,
+            }
+        }
+        prop_assert!(q.is_empty());
+        prop_assert_eq!(q.pop_log().len(), next_seq as usize);
+    }
+}
+
+/// A cheap all-sequential job mix over priorities and tenants, derived
+/// from `(seed, shape)`.
+fn job_mix(seed: u64, shape: &[(u8, u32)]) -> Vec<Job> {
+    shape
+        .iter()
+        .enumerate()
+        .map(|(i, &(priority, tenant))| {
+            let spec =
+                GraphSpec::ErdosRenyi { n: 20 + ((seed + i as u64) % 6) as usize, p: 0.2, seed };
+            Job::new(GraphInput::Spec(spec), 3, ListingConfig::default(), Algo::Paper)
+                .with_priority(priority)
+                .with_tenant(tenant)
+        })
+        .collect()
+}
+
+/// The oracle's pop order for one atomically submitted batch, as indices
+/// into the batch (single-worker semantics — within one batch the order is
+/// worker-count invariant because every entry shares its aging stamp).
+fn oracle_batch_order(jobs: &[Job], aging_rate: u64) -> Vec<usize> {
+    let mut oracle = Oracle::new(aging_rate, usize::MAX);
+    for (i, job) in jobs.iter().enumerate() {
+        oracle.push(i as u64, job.meta.priority, job.meta.tenant, false);
+    }
+    let mut order = Vec::new();
+    while let Some(seq) = oracle.select(true) {
+        let tenant = oracle.take(seq);
+        oracle.complete(tenant);
+        order.push(seq as usize);
+    }
+    order
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(3))]
+
+    // Service level: the observable pop log and every report byte-match
+    // the oracle at 1, 2, and 8 workers.
+    #[test]
+    fn service_pop_order_and_reports_match_the_oracle_at_1_2_8_workers(
+        seed in 0u64..10_000,
+        shape in proptest::collection::vec((0u8..5, 0u32..3), 6..14),
+    ) {
+        let jobs = job_mix(seed, &shape);
+        let expected_order = oracle_batch_order(&jobs, service::DEFAULT_AGING_RATE);
+        let reference: Vec<String> = Service::new(1)
+            .run_batch(jobs.clone())
+            .iter()
+            .map(|o| format!("{:?}", o.report))
+            .collect();
+        for workers in [1usize, 2, 8] {
+            let svc = Service::new(workers).with_pop_log();
+            let stream = svc.stream(jobs.clone());
+            let tickets = stream.tickets().to_vec();
+            let mut by_ticket: HashMap<Ticket, String> =
+                stream.map(|(t, o)| (t, format!("{:?}", o.report))).collect();
+            let expected_log: Vec<Ticket> =
+                expected_order.iter().map(|&i| tickets[i]).collect();
+            prop_assert_eq!(
+                svc.pop_log(), expected_log,
+                "pop order diverged from the oracle at {} workers", workers
+            );
+            let streamed: Vec<String> =
+                tickets.iter().map(|t| by_ticket.remove(t).unwrap()).collect();
+            prop_assert_eq!(
+                &reference, &streamed,
+                "reports diverged from the 1-worker reference at {} workers", workers
+            );
+        }
+    }
+}

@@ -23,6 +23,7 @@ use std::sync::Arc;
 use clique_listing::{EngineChoice, ListingConfig};
 use proptest::prelude::*;
 use runtime::WorkerPool;
+use service::testing::firehose_bulk_position;
 use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service, Ticket};
 
 fn er_job(seed: u64) -> Job {
@@ -315,6 +316,112 @@ fn admission_limit_zero_clamps_to_one() {
         Algo::Paper,
     )]);
     assert!(outs[0].report.is_ok());
+}
+
+#[test]
+fn aging_bounds_bulk_starvation_under_a_priority_255_firehose() {
+    // Aging rate 2: a firehose job enqueued ≥ ⌈256/2⌉ = 128 ticks after
+    // the bulk job can no longer outrank it, so with a 32-job standing
+    // window the bulk job must pop between position 128 (every earlier
+    // firehose job still outranks it) and ~161 (128 + the window's
+    // enqueue-tick slack) — far before the 200-job firehose drains. The
+    // bracket pins the aging-rate constant: at rate 1 the crossover (256
+    // ticks) exceeds the whole firehose and the bulk job finishes dead
+    // last; at rate 4 it would pop before position 100.
+    let svc = Service::new(1).with_aging(2).with_pop_log();
+    assert_eq!(svc.aging_rate(), 2);
+    let pos = firehose_bulk_position(&svc, 200, 32);
+    assert!(
+        pos <= 170,
+        "aging rate 2 must unstarve the bulk job within ~160 ticks, but it popped at {pos}"
+    );
+    assert!(pos >= 100, "fresh priority-255 traffic must still win the early race, not {pos}");
+}
+
+#[test]
+fn no_aging_config_restores_the_pr3_schedule_exactly() {
+    // Aging disabled: the static (priority desc, seq asc) policy — the
+    // firehose starves the bulk job until the queue fully drains, so it
+    // pops dead last. The whole firehose is enqueued up front (window ==
+    // firehose): with nothing arriving later, the schedule is the exact
+    // deterministic PR-3 one.
+    let svc = Service::new(1).with_aging(0).with_pop_log();
+    assert_eq!(svc.aging_rate(), 0);
+    let firehose = 40;
+    let pos = firehose_bulk_position(&svc, firehose, firehose);
+    assert_eq!(pos, firehose, "without aging the priority-0 job must pop last");
+}
+
+#[test]
+fn equal_priority_traffic_rotates_across_tenants_round_robin() {
+    // One worker, one atomic batch, tenants 1,1,1,2,2,3 at equal priority:
+    // the pop order must rotate tenants (1,2,3,1,2,1 — FIFO within each
+    // tenant) instead of draining tenant 1 first.
+    let svc = Service::new(1);
+    let jobs: Vec<Job> =
+        [1u32, 1, 1, 2, 2, 3].iter().map(|&t| er_job(t as u64).with_tenant(t)).collect();
+    let stream = svc.stream(jobs);
+    let tickets = stream.tickets().to_vec();
+    let yielded: Vec<Ticket> = stream.map(|(t, _)| t).collect();
+    let expect: Vec<Ticket> = [0usize, 3, 5, 1, 4, 2].iter().map(|&i| tickets[i]).collect();
+    assert_eq!(yielded, expect, "tenant round-robin rotation diverged");
+}
+
+#[test]
+fn tenant_inflight_cap_bounds_each_tenants_concurrency() {
+    // 4 workers, cap 1, admission unlimited: tenants 7 and 9 each submit
+    // several sharded jobs. The per-tenant pool-lease high-water marks
+    // prove no tenant ever held two workers' engine leases at once — while
+    // the two tenants together still ran concurrently (the cap is per
+    // tenant, not global).
+    let pool = Arc::new(WorkerPool::new(2));
+    let svc = Service::new(4).with_tenant_inflight_cap(1).with_engine_pool(Arc::clone(&pool));
+    let cfg = ListingConfig { engine: EngineChoice::Sharded(2), ..ListingConfig::default() };
+    let jobs: Vec<Job> = (0..8)
+        .map(|s| {
+            Job::new(
+                GraphInput::Spec(GraphSpec::ErdosRenyi { n: 40, p: 0.15, seed: s }),
+                3,
+                cfg.clone(),
+                Algo::Paper,
+            )
+            .with_tenant(if s % 2 == 0 { 7 } else { 9 })
+        })
+        .collect();
+    let outs = svc.run_batch(jobs);
+    assert!(outs.iter().all(|o| o.report.is_ok()));
+    assert_eq!(pool.peak_leases_for(7), 1, "tenant 7 must never hold two leases");
+    assert_eq!(pool.peak_leases_for(9), 1, "tenant 9 must never hold two leases");
+    assert!(pool.peak_leases() <= 2);
+    assert_eq!(pool.active_leases(), 0);
+}
+
+#[test]
+fn admitted_jobs_run_decomposition_bursts_under_their_lease() {
+    // Regression for the PR-4 known gap: the expander decomposition's
+    // power-iteration chunk batches used to run on the *global* pool,
+    // outside the service's admission lease. A graph larger than one
+    // power-iteration chunk (2048 vertices) forces chunked matvec batches;
+    // with an admission limit of 1 and a dedicated engine pool, all of the
+    // job's pool traffic — round barriers *and* decomposition bursts —
+    // must land on the leased pool under a single lease.
+    let pool = Arc::new(WorkerPool::new(2));
+    let svc = Service::new(1).with_admission_limit(1).with_engine_pool(Arc::clone(&pool));
+    let cfg = ListingConfig { engine: EngineChoice::Sharded(2), ..ListingConfig::default() };
+    let job = Job::new(
+        GraphInput::Spec(GraphSpec::RandomRegular { n: 2100, d: 2, seed: 1 }),
+        3,
+        cfg,
+        Algo::Paper,
+    )
+    .with_tenant(5);
+    let before = pool.batches_run();
+    let outs = svc.run_batch(vec![job]);
+    assert!(outs[0].report.is_ok(), "{:?}", outs[0].report);
+    assert!(pool.batches_run() > before, "the job's batches must land on the engine pool");
+    assert_eq!(pool.peak_leases(), 1, "bursts ride the single admitted lease");
+    assert_eq!(pool.peak_leases_for(5), 1, "and the lease is attributed to the tenant");
+    assert_eq!(pool.active_leases(), 0);
 }
 
 #[test]

@@ -1,0 +1,138 @@
+//! Deterministic wall-clock deadline tests, driven by an injected
+//! [`MockClock`].
+//!
+//! Wall misses are inherently nondeterministic on the real clock, so this
+//! suite is the only place they are asserted — and it never sleeps:
+//! the mock clock advances only when a driver checkpoint reads it
+//! (`MockClock::stepping`), which stages a trip at a chosen checkpoint
+//! with single-worker determinism. The byte-determinism suites
+//! (`determinism.rs`, `scheduling.rs`, `sched_model.rs`) run with wall
+//! deadlines disabled throughout.
+
+use clique_listing::{ListingConfig, MockClock};
+use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service};
+
+fn er_job(seed: u64) -> Job {
+    let spec = GraphSpec::ErdosRenyi { n: 36, p: 0.15, seed };
+    Job::new(GraphInput::Spec(spec), 3, ListingConfig::default(), Algo::Paper)
+}
+
+#[test]
+fn wall_miss_at_the_level_boundary_round_trips_truncated_and_rounds() {
+    // One worker, stepping mock, two equal-priority jobs (FIFO):
+    //  - job A carries a generous wall deadline: it never misses, but its
+    //    driver checkpoints *advance* the mock by 10 ms each;
+    //  - job B carries a 1 ms deadline anchored at submission (mock = 0).
+    // By the time B pops, A's checkpoints have pushed the clock past 1 ms,
+    // so B's very first checkpoint — the level-0 boundary — trips: zero
+    // rounds used, truncated, all deterministic.
+    let run = || {
+        let svc = Service::new(1).with_mock_clock(MockClock::stepping(0, 10));
+        let jobs = vec![er_job(3).with_deadline_ms(u64::MAX), er_job(4).with_deadline_ms(1)];
+        let outs = svc.run_batch(jobs);
+        let a = outs[0].report.as_ref().expect("a generous wall deadline is met");
+        assert!(!a.truncated);
+        assert!(a.rounds > 0);
+        match &outs[1].report {
+            Err(JobError::WallDeadlineExceeded {
+                deadline_ms,
+                elapsed_ms,
+                rounds_used,
+                truncated,
+            }) => {
+                assert_eq!(*deadline_ms, 1);
+                assert!(*elapsed_ms >= 1, "the recorded elapsed time must cover the budget");
+                assert_eq!(*rounds_used, 0, "a level-boundary trip stops before any round");
+                assert!(*truncated, "a mid-run wall miss rides the truncation flag");
+            }
+            other => panic!("expected WallDeadlineExceeded, got {other:?}"),
+        }
+        format!("{:?}", outs[1].report)
+    };
+    assert_eq!(run(), run(), "mock-clock wall misses must be reproducible");
+}
+
+#[test]
+fn wall_miss_at_the_mid_level_checkpoint_charges_the_level_prefix() {
+    // A single job with an 8 ms budget on a 10 ms-stepping mock: the
+    // level-0 boundary checkpoint reads 0 ms (passes) and steps the clock
+    // to 10 ms, so the *mid-level* checkpoint — after the decomposition
+    // and low-degree passes already charged rounds — reads 10 ≥ 8 and
+    // trips.
+    let full_rounds = {
+        let svc = Service::new(1);
+        let outs = svc.run_batch(vec![er_job(5)]);
+        outs[0].report.as_ref().unwrap().rounds
+    };
+    let svc = Service::new(1).with_mock_clock(MockClock::stepping(0, 10));
+    let outs = svc.run_batch(vec![er_job(5).with_deadline_ms(8)]);
+    match &outs[0].report {
+        Err(JobError::WallDeadlineExceeded {
+            deadline_ms: 8,
+            rounds_used,
+            truncated: true,
+            ..
+        }) => {
+            assert!(*rounds_used > 0, "the mid-level trip charges the level-0 passes");
+            assert!(*rounds_used < full_rounds, "the run must stop early");
+        }
+        other => panic!("expected a truncated mid-level WallDeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn completed_but_over_wall_budget_misses_without_truncation() {
+    // Naive never reads the config budgets (no recursion to checkpoint),
+    // so its wall deadline is checked after the fact — mirroring the PR-3
+    // completed-but-over-budget round miss. Job A's checkpoints advance
+    // the mock past B's 1 ms budget before B runs; B completes in full and
+    // then misses with `truncated: false`.
+    let svc = Service::new(1).with_mock_clock(MockClock::stepping(0, 10));
+    let naive = Job::new(
+        GraphInput::Spec(GraphSpec::ErdosRenyi { n: 30, p: 0.15, seed: 4 }),
+        3,
+        ListingConfig::default(),
+        Algo::Naive,
+    );
+    let outs = svc.run_batch(vec![er_job(6).with_deadline_ms(u64::MAX), naive.with_deadline_ms(1)]);
+    match &outs[1].report {
+        Err(JobError::WallDeadlineExceeded {
+            deadline_ms: 1,
+            elapsed_ms,
+            rounds_used,
+            truncated: false,
+        }) => {
+            assert!(*elapsed_ms >= 1);
+            assert!(*rounds_used > 1, "the run completed: its full round count is reported");
+        }
+        other => panic!("expected an untruncated WallDeadlineExceeded, got {other:?}"),
+    }
+}
+
+#[test]
+fn wall_and_round_deadlines_coexist_and_the_round_cap_wins_checkpoints() {
+    // A job carrying both deadlines where the round budget is the one
+    // that cannot be met: the deterministic round-cap check runs first at
+    // every checkpoint, so the job misses as DeadlineExceeded (rounds) —
+    // wall-clock nondeterminism can never mask a round miss.
+    let svc = Service::new(1).with_mock_clock(MockClock::at(0));
+    let outs = svc.run_batch(vec![er_job(7).with_deadline_rounds(0).with_deadline_ms(u64::MAX)]);
+    match &outs[0].report {
+        Err(JobError::DeadlineExceeded { deadline_rounds: 0, rounds_used: 0, truncated: true }) => {
+        }
+        other => panic!("expected the round-budget miss, got {other:?}"),
+    }
+}
+
+#[test]
+fn frozen_clock_never_misses() {
+    // With a frozen (step 0) mock, no wall budget can expire: wall
+    // deadlines are inert and the answers match an undeadlined run.
+    let reference = {
+        let svc = Service::new(1);
+        format!("{:?}", svc.run_batch(vec![er_job(8)])[0].report)
+    };
+    let svc = Service::new(1).with_mock_clock(MockClock::at(0));
+    let outs = svc.run_batch(vec![er_job(8).with_deadline_ms(1)]);
+    assert_eq!(format!("{:?}", outs[0].report), reference);
+}
