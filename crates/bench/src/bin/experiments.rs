@@ -1,7 +1,11 @@
 //! The experiment harness: regenerates the E1–E9 result tables recorded in
 //! `EXPERIMENTS.md`.
 //!
-//! Usage: `cargo run --release -p bench --bin experiments [e1 e2 … e9 a2 eng svc | all]`
+//! Usage: `cargo run --release -p bench --bin experiments [e1 e2 … e9 a2 eng svc timing | all]`
+//!
+//! `timing` (the old `timing_probe` binary) is NOT part of `all`: it is the
+//! heavier dense-G(n, 1/2) scaling probe, now reporting the per-phase
+//! (compute vs exchange) breakdown via the telemetry layer.
 //!
 //! The paper has no evaluation section (it is a pure theory paper), so the
 //! experiments reproduce its quantitative *claims* — see DESIGN.md for the
@@ -60,6 +64,50 @@ fn main() {
     if want("svc") {
         svc();
     }
+    // opt-in only: heavier than the E1 sweep (a few minutes at n = 512)
+    if args.iter().any(|a| a == "timing") {
+        timing();
+    }
+}
+
+/// TIMING: dense-graph scaling probe (the old `timing_probe` binary) —
+/// K3-listing rounds and wall time on dense `G(n, 1/2)` up to n = 512, the
+/// headline-scaling table of EXPERIMENTS.md, with the engine's per-round
+/// compute/exchange split from the telemetry layer.
+///
+/// The engine split covers only *physically executed* protocol rounds. On
+/// dense inputs the paper driver accounts most of its round cost
+/// analytically (decomposition reports, two-hop budgets with no low-degree
+/// participants), so near-zero engine time alongside large wall time is
+/// the honest reading: the wall is local computation, not simulated
+/// communication. `experiments eng` is the benchmark that drives real
+/// step loops.
+fn timing() {
+    obs::set_level(obs::Level::On);
+    let mut prev: Option<(f64, f64)> = None;
+    println!("\n## TIMING — dense G(n, 1/2), K3 listing; claim: n^(1/3 + o(1)) rounds\n");
+    for n in [64usize, 128, 256, 512] {
+        let g = graphs::erdos_renyi(n, 0.5, 1);
+        let before = phase_totals_ns();
+        let t = std::time::Instant::now();
+        let out = list_cliques_congest(&g, 3, &ListingConfig::default());
+        let wall = t.elapsed();
+        let after = phase_totals_ns();
+        assert_eq!(out.cliques.len(), graphs::list_cliques(&g, 3).len());
+        let (compute_ms, exchange_ms) = (
+            after.0.saturating_sub(before.0) as f64 / 1e6,
+            after.1.saturating_sub(before.1) as f64 / 1e6,
+        );
+        let r = out.report.rounds() as f64;
+        let exp = prev.map(|(pn, pr)| (r / pr).ln() / (n as f64 / pn).ln());
+        let exp_str = exp.map_or(String::new(), |e| format!(" local exponent={e:.2}"));
+        println!(
+            "n={n:<4} rounds={:<6}{exp_str}  wall={wall:?}  \
+             engine compute={compute_ms:.1}ms exchange={exchange_ms:.1}ms",
+            out.report.rounds()
+        );
+        prev = Some((n as f64, r));
+    }
 }
 
 /// SVC: batch query service smoke — the small scenario corpus replayed at
@@ -92,9 +140,23 @@ fn svc() {
 /// machine-readable trajectory record in `BENCH_engine.json`.
 fn eng() {
     println!("\n## ENG — engine throughput: sequential vs sharded (heartbeat workload)\n");
+    // Per-phase (compute vs exchange) timing rides on the telemetry layer;
+    // the BENCH artifact always carries the columns, whatever CLIQUE_OBS
+    // says in the environment.
+    obs::set_level(obs::Level::On);
     let shards = runtime::available_shards();
     println!("available worker shards: {shards}\n");
-    let mut t = Table::new(&["n", "m", "engine", "rounds", "wall ms", "rounds/sec", "speedup"]);
+    let mut t = Table::new(&[
+        "n",
+        "m",
+        "engine",
+        "rounds",
+        "wall ms",
+        "compute ms",
+        "exchange ms",
+        "rounds/sec",
+        "speedup",
+    ]);
     let mut rows_json: Vec<String> = Vec::new();
     let mut last_speedup = f64::NAN;
     let mut seq_rps_50k = f64::NAN;
@@ -104,7 +166,7 @@ fn eng() {
         let seq_out = time_engine(&congest::Sequential, &g, rounds);
         let par_out = time_engine(&runtime::Sharded::new(shards), &g, rounds);
         assert_eq!(seq_out.1, par_out.1, "engines must produce identical checksums");
-        for (name, engine_shards, (secs, (messages, _))) in
+        for (name, engine_shards, (secs, (messages, _), (compute_ms, exchange_ms))) in
             [("sequential", 1usize, seq_out), ("sharded", shards, par_out)]
         {
             let rps = rounds as f64 / secs;
@@ -127,6 +189,8 @@ fn eng() {
                 format!("{name}:{engine_shards}"),
                 rounds.to_string(),
                 format!("{:.1}", secs * 1e3),
+                format!("{compute_ms:.1}"),
+                format!("{exchange_ms:.1}"),
                 format!("{rps:.1}"),
                 format!("{speedup:.2}x"),
             ]);
@@ -134,6 +198,7 @@ fn eng() {
                 concat!(
                     "    {{\"n\": {}, \"m\": {}, \"engine\": \"{}\", \"shards\": {}, ",
                     "\"rounds\": {}, \"messages\": {}, \"wall_ms\": {:.3}, ",
+                    "\"compute_ms\": {:.3}, \"exchange_ms\": {:.3}, ",
                     "\"rounds_per_sec\": {:.3}, \"speedup\": {:.4}}}"
                 ),
                 n,
@@ -143,6 +208,8 @@ fn eng() {
                 rounds,
                 messages,
                 secs * 1e3,
+                compute_ms,
+                exchange_ms,
                 rps,
                 speedup,
             ));
@@ -166,7 +233,10 @@ fn eng() {
             "\nwrote BENCH_engine.json (n=50k: seq {seq_rps_50k:.1} rounds/s, \
              sharded speedup {last_speedup:.2}x)"
         ),
-        Err(e) => eprintln!("could not write BENCH_engine.json: {e}"),
+        Err(e) => obs::warn(
+            obs::WarnKind::BenchWrite,
+            format_args!("could not write BENCH_engine.json: {e}"),
+        ),
     }
     if shards == 1 {
         println!("note: single-CPU host — the sharded engine cannot beat sequential here;");
@@ -174,15 +244,31 @@ fn eng() {
     }
 }
 
-/// Wall-times one engine over the heartbeat workload.
+/// Wall-times one engine over the heartbeat workload, splitting the wall
+/// time into the compute and exchange phases via the telemetry layer's
+/// per-round phase timers (only one engine's stats advance per call, so
+/// summing both engines' deltas attributes correctly).
 fn time_engine<S: congest::engine::EngineSelect>(
     sel: &S,
     g: &congest::graph::Graph,
     rounds: u64,
-) -> (f64, (u64, u64)) {
+) -> (f64, (u64, u64), (f64, f64)) {
+    let before = phase_totals_ns();
     let start = std::time::Instant::now();
     let out = bench::engine_round_checksum(sel, g, rounds);
-    (start.elapsed().as_secs_f64().max(1e-9), out)
+    let secs = start.elapsed().as_secs_f64().max(1e-9);
+    let after = phase_totals_ns();
+    let compute_ms = after.0.saturating_sub(before.0) as f64 / 1e6;
+    let exchange_ms = after.1.saturating_sub(before.1) as f64 / 1e6;
+    (secs, out, (compute_ms, exchange_ms))
+}
+
+/// Combined (compute_ns, exchange_ns) across both engines' phase stats.
+fn phase_totals_ns() -> (u64, u64) {
+    let m = obs::metrics();
+    let (_, sc, se) = m.engine_seq.totals();
+    let (_, pc, pe) = m.engine_sharded.totals();
+    (sc + pc, se + pe)
 }
 
 /// A2 ablation: decomposition sweep-cut iteration budget vs quality/cost.

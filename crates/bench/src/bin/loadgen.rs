@@ -67,4 +67,48 @@ fn main() {
     assert!(mix.bulk_pop_position > 0, "fresh priority-255 traffic must still pop first");
     assert!(mix.persisted_graphs > 0, "the corpus must survive the restart");
     assert!(mix.restart_hit_rate > 0.0, "cross-restart cache hit rate must be > 0");
+
+    // With telemetry enabled, drop the rendered metrics snapshot next to
+    // the BENCH files (CI uploads it as an artifact) — after smoke-checking
+    // that the exposition format holds together.
+    if obs::level() != obs::Level::Off {
+        let first = obs::render_text();
+        smoke_check_render(&first, &obs::render_text());
+        if let Err(e) = std::fs::write("OBS_metrics.txt", &first) {
+            obs::warn(
+                obs::WarnKind::BenchWrite,
+                format_args!("could not write OBS_metrics.txt: {e}"),
+            );
+        } else {
+            println!("wrote OBS_metrics.txt ({} samples)", first.lines().count());
+        }
+    }
+}
+
+/// Asserts the Prometheus-style exposition is well-formed: every sample
+/// line is `name<optional {labels}> value` with a parseable value, no
+/// duplicate sample keys, and `_total` counters are monotone between two
+/// renders taken in that order.
+fn smoke_check_render(first: &str, second: &str) {
+    use std::collections::HashMap;
+    let parse = |text: &str| -> HashMap<String, f64> {
+        let mut samples = HashMap::new();
+        for line in text.lines().filter(|l| !l.is_empty() && !l.starts_with('#')) {
+            let (key, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("malformed sample line (no value separator): {line:?}"));
+            let v: f64 = value.parse().unwrap_or_else(|_| panic!("unparseable value in {line:?}"));
+            let prev = samples.insert(key.to_string(), v);
+            assert!(prev.is_none(), "duplicate sample key: {key:?}");
+        }
+        samples
+    };
+    let (a, b) = (parse(first), parse(second));
+    for (key, &va) in &a {
+        let name = key.split('{').next().unwrap_or(key);
+        if name.ends_with("_total") || name.ends_with("_count") || name.ends_with("_sum") {
+            let vb = *b.get(key).unwrap_or(&0.0);
+            assert!(vb >= va, "counter {key} went backwards: {va} -> {vb}");
+        }
+    }
 }

@@ -251,7 +251,7 @@ pub fn tenant_mix_and_persistence() -> TenantMixReport {
     let restarted = Service::new(1).with_corpus_path(&path);
     let persisted_graphs = restarted.corpus_len();
     let _ = restarted.run_batch(jobs);
-    let (hits, misses) = restarted.cache_stats();
+    let stats = restarted.corpus_stats();
     drop(restarted);
     let _ = std::fs::remove_file(&path);
 
@@ -261,7 +261,7 @@ pub fn tenant_mix_and_persistence() -> TenantMixReport {
         bulk_pop_position,
         starvation_free: bulk_pop_position < firehose,
         persisted_graphs,
-        restart_hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+        restart_hit_rate: stats.hit_rate(),
     }
 }
 
@@ -322,7 +322,7 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
                 "answers diverged between worker counts — determinism violated"
             ),
         }
-        let (hits, misses) = svc.cache_stats();
+        let stats = svc.corpus_stats();
         let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
         latencies.sort_unstable();
         rows.push(LoadgenRow {
@@ -334,7 +334,7 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
             p95: percentile(&latencies, 0.95),
             ttfr,
             deadline_miss_rate: deadline_misses as f64 / with_deadline.max(1) as f64,
-            hit_rate: hits as f64 / (hits + misses).max(1) as f64,
+            hit_rate: stats.hit_rate(),
         });
     }
     rows
@@ -412,16 +412,39 @@ pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow], mix: &TenantMixReport
         mix.persisted_graphs,
         mix.restart_hit_rate
     );
+    // Per-phase engine totals accumulated over the whole replay (zeros
+    // unless CLIQUE_OBS enabled the phase timers).
+    let m = obs::metrics();
+    let (sr, sc, se) = m.engine_seq.totals();
+    let (pr, pc, pe) = m.engine_sharded.totals();
+    let obs_json = format!(
+        concat!(
+            "  \"obs\": {{\"level\": \"{}\", ",
+            "\"engine_seq\": {{\"rounds\": {}, \"compute_ms\": {:.3}, \"exchange_ms\": {:.3}}}, ",
+            "\"engine_sharded\": {{\"rounds\": {}, \"compute_ms\": {:.3}, \"exchange_ms\": {:.3}}}}},"
+        ),
+        obs::level().name(),
+        sr,
+        sc as f64 / 1e6,
+        se as f64 / 1e6,
+        pr,
+        pc as f64 / 1e6,
+        pe as f64 / 1e6,
+    );
     let json = format!(
-        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
         names.join(", "),
         runtime::available_shards(),
         mix_json,
+        obs_json,
         rows_json.join(",\n")
     );
     match std::fs::write("BENCH_service.json", &json) {
         Ok(()) => println!("\nwrote BENCH_service.json"),
-        Err(e) => eprintln!("could not write BENCH_service.json: {e}"),
+        Err(e) => obs::warn(
+            obs::WarnKind::BenchWrite,
+            format_args!("could not write BENCH_service.json: {e}"),
+        ),
     }
 }
 

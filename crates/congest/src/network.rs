@@ -184,8 +184,15 @@ impl<'g, P: Protocol> Network<'g, P> {
 
     /// Advances exactly one round. Allocation-free in steady state: the
     /// inbox double buffer, the reused outbox, and the flat epoch-stamped
-    /// bandwidth counters all retain their capacity across rounds.
+    /// bandwidth counters all retain their capacity across rounds — a
+    /// guarantee that holds with telemetry on, because the
+    /// [`obs::PhaseTimer`] below is two stack `Instant`s and relaxed
+    /// atomic adds. Timing is write-only: nothing here reads a metric, so
+    /// transcripts are bit-identical with `CLIQUE_OBS` on or off.
     pub fn step(&mut self) {
+        // compute phase: protocol callbacks + message routing; exchange
+        // phase: inbox sorting + the double-buffer swap
+        let mut timer = obs::PhaseTimer::begin();
         let n = self.graph.n();
         let round = self.round;
         // epoch stamp for this round's bandwidth counters: a slot whose
@@ -219,6 +226,7 @@ impl<'g, P: Protocol> Network<'g, P> {
                 self.messages += 1;
             }
         }
+        timer.split();
         let mut nonempty = 0usize;
         for b in &mut self.next_inboxes {
             b.sort_unstable();
@@ -229,6 +237,7 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.nonempty = nonempty;
         self.counters_valid = true;
         self.round += 1;
+        timer.finish(&obs::metrics().engine_seq);
     }
 
     /// The per-vertex protocol states.

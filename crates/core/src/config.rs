@@ -30,10 +30,13 @@ impl EngineChoice {
     pub fn from_env() -> Self {
         match std::env::var("CLIQUE_ENGINE") {
             Ok(v) => Self::parse(&v).unwrap_or_else(|| {
-                eprintln!(
-                    "warning: unrecognized CLIQUE_ENGINE value {v:?} \
-                     (expected sequential | sharded | sharded:<N>); \
-                     falling back to the sequential engine"
+                obs::warn(
+                    obs::WarnKind::EngineEnv,
+                    format_args!(
+                        "unrecognized CLIQUE_ENGINE value {v:?} \
+                         (expected sequential | sharded | sharded:<N>); \
+                         falling back to the sequential engine"
+                    ),
                 );
                 EngineChoice::Sequential
             }),

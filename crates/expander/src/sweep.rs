@@ -46,6 +46,9 @@ fn chunk_bounds(c: usize, n: usize) -> (usize, usize) {
 /// pool. Either path performs the exact same per-chunk arithmetic, so
 /// results never depend on the dispatch.
 fn for_chunks(chunks: usize, f: impl Fn(usize) + Sync) {
+    // one chunk batch per burst, whichever dispatch path runs it — lets
+    // operators see how much of the pool traffic is decomposition work
+    obs::metrics().expander_chunk_batches.inc();
     let pool = ambient_pool();
     if chunks > 1 && pool.size() > 1 {
         pool.run_indexed(chunks, f);

@@ -1,0 +1,1137 @@
+//! Workspace telemetry: pre-registered lock-free metrics, per-phase round
+//! timing, and a structured warning/event API.
+//!
+//! Everything in this crate is built around one constraint: the round
+//! engines guarantee a **zero-allocation steady-state `step`** (audited by
+//! `tests/hot_path_alloc.rs`), and telemetry must not break it. So the
+//! registry is a single `static` of plain atomics — no registration maps,
+//! no `Arc`s, no locks anywhere near a hot path — and every recording
+//! operation is a relaxed atomic RMW behind one atomic load of the global
+//! [`Level`] gate. Rendering ([`snapshot`], [`render_text`]) allocates, but
+//! rendering is always a cold, explicit call.
+//!
+//! Metrics are **write-only** for the instrumented code: nothing in the
+//! engines, the pool, or the scheduler ever reads a metric to make a
+//! decision. That is the whole determinism argument — transcripts and pop
+//! orders are bit-identical with telemetry on or off, which
+//! `crates/service/tests/obs_parity.rs` pins.
+//!
+//! The gate is the `CLIQUE_OBS` environment variable (`off`/`on`/`trace`,
+//! warn-and-fallback parsing like `CLIQUE_SHARDS`), read lazily on first
+//! use and overridable in-process with [`set_level`] (tests and benches
+//! toggle it without re-exec).
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Mutex, MutexGuard};
+use std::time::Instant;
+
+// ---------------------------------------------------------------------------
+// Level gate
+// ---------------------------------------------------------------------------
+
+/// Telemetry level: `Off` (default) records nothing, `On` records metrics,
+/// `Trace` additionally emits cold-path trace events to the sink.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Debug)]
+#[repr(u8)]
+pub enum Level {
+    /// Metrics are frozen; recording ops are a single atomic load.
+    Off = 0,
+    /// Counters/gauges/histograms/phase timers record.
+    On = 1,
+    /// `On` plus [`trace_event`] lines on the warning sink.
+    Trace = 2,
+}
+
+impl Level {
+    /// The level's canonical spelling (as `CLIQUE_OBS` accepts it).
+    pub fn name(self) -> &'static str {
+        match self {
+            Level::Off => "off",
+            Level::On => "on",
+            Level::Trace => "trace",
+        }
+    }
+}
+
+/// Sentinel meaning "not initialized from the environment yet".
+const LEVEL_UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(LEVEL_UNSET);
+
+/// Parses a `CLIQUE_OBS` value. Accepts `off`/`0`, `on`/`1`, `trace`/`2`
+/// (case-insensitive); anything else is `None`.
+pub fn parse_level(spec: &str) -> Option<Level> {
+    match spec.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" => Some(Level::Off),
+        "on" | "1" => Some(Level::On),
+        "trace" | "2" => Some(Level::Trace),
+        _ => None,
+    }
+}
+
+/// Reads `CLIQUE_OBS` directly (no cache): unset means [`Level::Off`], an
+/// unrecognized value warns once per call ([`WarnKind::ObsEnv`]) and falls
+/// back to `Off` — the same warn-and-fallback convention as
+/// `CLIQUE_SHARDS`. Exposed for env-mutating tests; normal code goes
+/// through the cached [`level`].
+pub fn level_from_env_uncached() -> Level {
+    match std::env::var("CLIQUE_OBS") {
+        Err(_) => Level::Off,
+        Ok(v) => parse_level(&v).unwrap_or_else(|| {
+            warn(
+                WarnKind::ObsEnv,
+                format_args!(
+                    "unrecognized CLIQUE_OBS value {v:?} (expected off | on | trace); \
+                     telemetry stays off"
+                ),
+            );
+            Level::Off
+        }),
+    }
+}
+
+#[cold]
+fn init_level() -> u8 {
+    let l = level_from_env_uncached() as u8;
+    LEVEL.store(l, Ordering::Relaxed);
+    l
+}
+
+#[inline]
+fn level_u8() -> u8 {
+    let v = LEVEL.load(Ordering::Relaxed);
+    if v == LEVEL_UNSET {
+        init_level()
+    } else {
+        v
+    }
+}
+
+/// The active telemetry level (lazily initialized from `CLIQUE_OBS`).
+#[inline]
+pub fn level() -> Level {
+    match level_u8() {
+        1 => Level::On,
+        2 => Level::Trace,
+        _ => Level::Off,
+    }
+}
+
+/// Overrides the level in-process (wins over the environment). Lets one
+/// process compare telemetry-on vs telemetry-off runs, which the parity
+/// tests and benches rely on.
+pub fn set_level(l: Level) {
+    LEVEL.store(l as u8, Ordering::Relaxed);
+}
+
+/// True when metrics record (`On` or `Trace`). One relaxed atomic load.
+#[inline]
+pub fn enabled() -> bool {
+    level_u8() != 0
+}
+
+/// `Some(Instant::now())` when telemetry records, `None` otherwise — the
+/// idiom for timing a scope without paying for the clock when off. Feed
+/// the result to [`Histogram::observe_elapsed`].
+#[inline]
+pub fn maybe_now() -> Option<Instant> {
+    if enabled() {
+        Some(Instant::now())
+    } else {
+        None
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Instruments
+// ---------------------------------------------------------------------------
+
+/// A monotonically increasing counter. `const`-constructible, so the whole
+/// registry lives in one `static` with zero startup cost.
+#[derive(Debug)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    /// A zeroed counter.
+    pub const fn new() -> Self {
+        Counter(AtomicU64::new(0))
+    }
+
+    /// Adds 1 when telemetry is enabled.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n` when telemetry is enabled.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        if enabled() {
+            self.0.fetch_add(n, Ordering::Relaxed);
+        }
+    }
+
+    /// Adds `n` unconditionally — used by the warning path, whose counts
+    /// must be trustworthy even with telemetry off (warnings still print).
+    #[inline]
+    pub fn force_add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Counter {
+    fn default() -> Self {
+        Counter::new()
+    }
+}
+
+/// A last-write-wins gauge (plus a monotonic-max variant for peaks).
+#[derive(Debug)]
+pub struct Gauge(AtomicU64);
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge(AtomicU64::new(0))
+    }
+
+    /// Stores `v` when telemetry is enabled.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        if enabled() {
+            self.0.store(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Raises the gauge to `v` if larger (peak tracking).
+    #[inline]
+    pub fn set_max(&self, v: u64) {
+        if enabled() {
+            self.0.fetch_max(v, Ordering::Relaxed);
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Gauge::new()
+    }
+}
+
+/// Number of log₂ buckets per histogram. Bucket 0 holds the value 0,
+/// bucket `i ≥ 1` holds `[2^(i-1), 2^i)`; the last bucket absorbs
+/// everything above `2^(HIST_BUCKETS-2)` (≈ 4.6 hours in nanoseconds).
+pub const HIST_BUCKETS: usize = 45;
+
+/// The log₂ bucket index for `v`.
+#[inline]
+pub fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros() as usize).min(HIST_BUCKETS - 1)
+}
+
+/// A fixed-bucket log-scale histogram: count, sum, and [`HIST_BUCKETS`]
+/// power-of-two buckets, all relaxed atomics. No allocation, ever.
+#[derive(Debug)]
+pub struct Histogram {
+    count: AtomicU64,
+    sum: AtomicU64,
+    buckets: [AtomicU64; HIST_BUCKETS],
+}
+
+impl Histogram {
+    /// A zeroed histogram.
+    pub const fn new() -> Self {
+        Histogram {
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            buckets: [const { AtomicU64::new(0) }; HIST_BUCKETS],
+        }
+    }
+
+    /// Records `v` when telemetry is enabled.
+    #[inline]
+    pub fn observe(&self, v: u64) {
+        if !enabled() {
+            return;
+        }
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records the nanoseconds elapsed since a [`maybe_now`] instant
+    /// (no-op on `None`, i.e. when telemetry was off at scope entry).
+    #[inline]
+    pub fn observe_elapsed(&self, start: Option<Instant>) {
+        if let Some(t) = start {
+            self.observe(t.elapsed().as_nanos() as u64);
+        }
+    }
+
+    /// Observation count.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of observed values.
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    fn snap(&self) -> HistSnapshot {
+        HistSnapshot {
+            count: self.count(),
+            sum: self.sum(),
+            buckets: self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        }
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new()
+    }
+}
+
+/// Accumulated per-phase round timings for one engine: round count plus
+/// total compute-phase and exchange-phase nanoseconds.
+#[derive(Debug)]
+pub struct PhaseStats {
+    rounds: AtomicU64,
+    compute_ns: AtomicU64,
+    exchange_ns: AtomicU64,
+}
+
+impl PhaseStats {
+    /// Zeroed stats.
+    pub const fn new() -> Self {
+        PhaseStats {
+            rounds: AtomicU64::new(0),
+            compute_ns: AtomicU64::new(0),
+            exchange_ns: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one round's phase split. Called by [`PhaseTimer::finish`];
+    /// unconditional, because the timer itself is the gate.
+    #[inline]
+    pub fn record(&self, compute_ns: u64, exchange_ns: u64) {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.compute_ns.fetch_add(compute_ns, Ordering::Relaxed);
+        self.exchange_ns.fetch_add(exchange_ns, Ordering::Relaxed);
+    }
+
+    /// `(rounds, compute_ns, exchange_ns)` totals.
+    pub fn totals(&self) -> (u64, u64, u64) {
+        (
+            self.rounds.load(Ordering::Relaxed),
+            self.compute_ns.load(Ordering::Relaxed),
+            self.exchange_ns.load(Ordering::Relaxed),
+        )
+    }
+
+    fn snap(&self) -> PhaseSnapshot {
+        let (rounds, compute_ns, exchange_ns) = self.totals();
+        PhaseSnapshot { rounds, compute_ns, exchange_ns }
+    }
+}
+
+impl Default for PhaseStats {
+    fn default() -> Self {
+        PhaseStats::new()
+    }
+}
+
+/// Splits one round into its compute phase and exchange phase.
+///
+/// Usage inside an engine `step`:
+/// ```text
+/// let mut t = PhaseTimer::begin();   // before local computation
+/// /* phase 1: run protocols, route messages */
+/// t.split();                          // compute done, exchange starts
+/// /* phase 2: sort inboxes, swap buffers */
+/// t.finish(&obs::metrics().engine_seq);
+/// ```
+/// With telemetry off, `begin` returns an inert timer and the whole
+/// sequence costs one atomic load and two `Option` checks — and never
+/// allocates either way, so the hot-path audit holds with `CLIQUE_OBS=on`.
+#[derive(Debug)]
+pub struct PhaseTimer {
+    start: Option<Instant>,
+    split: Option<Instant>,
+}
+
+impl PhaseTimer {
+    /// Starts the compute phase (inert when telemetry is off).
+    #[inline]
+    pub fn begin() -> Self {
+        PhaseTimer { start: maybe_now(), split: None }
+    }
+
+    /// Marks the compute → exchange boundary.
+    #[inline]
+    pub fn split(&mut self) {
+        if self.start.is_some() {
+            self.split = Some(Instant::now());
+        }
+    }
+
+    /// Ends the exchange phase and records both durations into `stats`.
+    /// Inert timers (begun while off, or never split) record nothing.
+    #[inline]
+    pub fn finish(self, stats: &PhaseStats) {
+        if let (Some(start), Some(split)) = (self.start, self.split) {
+            let end = Instant::now();
+            stats.record(
+                split.duration_since(start).as_nanos() as u64,
+                end.duration_since(split).as_nanos() as u64,
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Warnings and trace events
+// ---------------------------------------------------------------------------
+
+/// Every structured warning the workspace can emit, one counter each.
+/// Replaces the raw `eprintln!` sites; the kind is the stable identity a
+/// test or a dashboard keys on, the message text is for humans.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum WarnKind {
+    /// Unrecognized `CLIQUE_SHARDS` value (runtime falls back to CPU count).
+    ShardsEnv,
+    /// Unrecognized `CLIQUE_ENGINE` value (core falls back to sequential).
+    EngineEnv,
+    /// Unrecognized `CLIQUE_ADMIT` value (service falls back to unbounded).
+    AdmitEnv,
+    /// Unrecognized `CLIQUE_OBS` value (telemetry stays off).
+    ObsEnv,
+    /// The service could not persist the graph corpus on shutdown.
+    CorpusPersist,
+    /// A persisted corpus file could not be loaded (service starts empty).
+    CorpusLoad,
+    /// A persisted corpus entry failed its fingerprint check (dropped).
+    CorpusStale,
+    /// A benchmark artifact (`BENCH_*.json`, metrics dump) failed to write.
+    BenchWrite,
+}
+
+impl WarnKind {
+    /// All kinds, in rendering order.
+    pub const ALL: [WarnKind; 8] = [
+        WarnKind::ShardsEnv,
+        WarnKind::EngineEnv,
+        WarnKind::AdmitEnv,
+        WarnKind::ObsEnv,
+        WarnKind::CorpusPersist,
+        WarnKind::CorpusLoad,
+        WarnKind::CorpusStale,
+        WarnKind::BenchWrite,
+    ];
+
+    /// Number of kinds (the warning-counter array length).
+    pub const COUNT: usize = Self::ALL.len();
+
+    /// Stable snake_case name used in snapshots and the text exposition.
+    pub fn name(self) -> &'static str {
+        match self {
+            WarnKind::ShardsEnv => "shards_env",
+            WarnKind::EngineEnv => "engine_env",
+            WarnKind::AdmitEnv => "admit_env",
+            WarnKind::ObsEnv => "obs_env",
+            WarnKind::CorpusPersist => "corpus_persist",
+            WarnKind::CorpusLoad => "corpus_load",
+            WarnKind::CorpusStale => "corpus_stale",
+            WarnKind::BenchWrite => "bench_write",
+        }
+    }
+}
+
+/// When `Some`, warning/trace lines are pushed here instead of stderr.
+static CAPTURE: Mutex<Option<Vec<String>>> = Mutex::new(None);
+
+fn lock_capture() -> MutexGuard<'static, Option<Vec<String>>> {
+    CAPTURE.lock().unwrap_or_else(|p| p.into_inner())
+}
+
+fn emit_line(line: String) {
+    let mut cap = lock_capture();
+    match cap.as_mut() {
+        Some(buf) => buf.push(line),
+        None => eprintln!("{line}"),
+    }
+}
+
+/// Emits a structured warning: bumps the per-kind counter
+/// (unconditionally — warnings count even with telemetry off) and writes
+/// `warning: {msg}` to stderr, preserving the exact user-facing behavior
+/// of the old raw `eprintln!` sites. Under [`capture_warnings`] the line
+/// goes to the capture buffer instead. Warning paths are cold by
+/// definition, so the sink lock is acceptable here and only here.
+pub fn warn(kind: WarnKind, msg: fmt::Arguments<'_>) {
+    metrics().warnings[kind as usize].force_add(1);
+    emit_line(format!("warning: {msg}"));
+}
+
+/// Total warnings emitted for `kind` in this process.
+pub fn warn_count(kind: WarnKind) -> u64 {
+    metrics().warnings[kind as usize].get()
+}
+
+/// Emits a cold-path trace event (`trace[{topic}]: {msg}`) when the level
+/// is [`Level::Trace`]; a no-op otherwise. Never call this from a round
+/// hot path — it formats.
+pub fn trace_event(topic: &str, msg: fmt::Arguments<'_>) {
+    if level() == Level::Trace {
+        emit_line(format!("trace[{topic}]: {msg}"));
+    }
+}
+
+/// Redirects warning/trace lines into a buffer while `f` runs and returns
+/// them alongside `f`'s result. Process-global: callers (tests) must not
+/// run concurrently with other capture scopes.
+pub fn capture_warnings<R>(f: impl FnOnce() -> R) -> (R, Vec<String>) {
+    *lock_capture() = Some(Vec::new());
+    let r = f();
+    let lines = lock_capture().take().unwrap_or_default();
+    (r, lines)
+}
+
+// ---------------------------------------------------------------------------
+// The registry
+// ---------------------------------------------------------------------------
+
+/// Bounded per-tenant cardinality: tenant ids map onto this many slots
+/// (`tenant % TENANT_SLOTS`), so per-tenant metrics stay fixed-size and
+/// allocation-free no matter how many tenants exist.
+pub const TENANT_SLOTS: usize = 8;
+
+/// The metrics slot for a tenant id.
+#[inline]
+pub fn tenant_slot(tenant: u32) -> usize {
+    tenant as usize % TENANT_SLOTS
+}
+
+/// The static metric registry: every metric the workspace records,
+/// pre-registered at compile time. Access via [`metrics`].
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Per-phase round timings of `congest::Network`.
+    pub engine_seq: PhaseStats,
+    /// Per-phase round timings of `runtime::ShardedNetwork` (measured from
+    /// the submitting thread, spanning both indexed batches).
+    pub engine_sharded: PhaseStats,
+    /// Worker-pool batches executed (scoped + indexed), mirroring
+    /// `WorkerPool::batches_run`.
+    pub pool_batches: Counter,
+    /// Pool leases acquired.
+    pub pool_leases: Counter,
+    /// Nanoseconds to acquire the lease bookkeeping.
+    pub pool_lease_wait_ns: Histogram,
+    /// Currently active pool leases.
+    pub pool_active_leases: Gauge,
+    /// High-water mark of concurrently active leases.
+    pub pool_peak_leases: Gauge,
+    /// Active leases per tenant slot.
+    pub tenant_active: [Gauge; TENANT_SLOTS],
+    /// Peak concurrent leases per tenant slot.
+    pub tenant_peak: [Gauge; TENANT_SLOTS],
+    /// Jobs completed per tenant slot (per-tenant throughput).
+    pub tenant_completed: [Counter; TENANT_SLOTS],
+    /// Jobs accepted into the scheduler queue.
+    pub sched_submitted: Counter,
+    /// Scheduler queue depth after the latest push/pop.
+    pub sched_queue_depth: Gauge,
+    /// Jobs popped by workers.
+    pub sched_pops: Counter,
+    /// Scheduler ticks a job waited between enqueue and pop.
+    pub sched_wait_ticks: Histogram,
+    /// Pops where the fair choice was admission-gated and the permit was
+    /// unavailable, forcing the fallback to ungated work.
+    pub sched_admission_blocks: Counter,
+    /// Jobs finished with a successful report.
+    pub sched_completed: Counter,
+    /// Jobs finished with any error report.
+    pub sched_failed: Counter,
+    /// Round-budget deadline misses.
+    pub sched_deadline_miss_rounds: Counter,
+    /// Wall-clock deadline misses.
+    pub sched_deadline_miss_wall: Counter,
+    /// Corpus cache hits.
+    pub corpus_hits: Counter,
+    /// Corpus cache misses (builds).
+    pub corpus_misses: Counter,
+    /// Corpus warms (traffic-free preloads).
+    pub corpus_warms: Counter,
+    /// Successful corpus persists.
+    pub corpus_persist_ok: Counter,
+    /// Failed corpus persists.
+    pub corpus_persist_err: Counter,
+    /// Expander-decomposition chunk batches dispatched.
+    pub expander_chunk_batches: Counter,
+    warnings: [Counter; WarnKind::COUNT],
+}
+
+impl Metrics {
+    const fn new() -> Self {
+        Metrics {
+            engine_seq: PhaseStats::new(),
+            engine_sharded: PhaseStats::new(),
+            pool_batches: Counter::new(),
+            pool_leases: Counter::new(),
+            pool_lease_wait_ns: Histogram::new(),
+            pool_active_leases: Gauge::new(),
+            pool_peak_leases: Gauge::new(),
+            tenant_active: [const { Gauge::new() }; TENANT_SLOTS],
+            tenant_peak: [const { Gauge::new() }; TENANT_SLOTS],
+            tenant_completed: [const { Counter::new() }; TENANT_SLOTS],
+            sched_submitted: Counter::new(),
+            sched_queue_depth: Gauge::new(),
+            sched_pops: Counter::new(),
+            sched_wait_ticks: Histogram::new(),
+            sched_admission_blocks: Counter::new(),
+            sched_completed: Counter::new(),
+            sched_failed: Counter::new(),
+            sched_deadline_miss_rounds: Counter::new(),
+            sched_deadline_miss_wall: Counter::new(),
+            corpus_hits: Counter::new(),
+            corpus_misses: Counter::new(),
+            corpus_warms: Counter::new(),
+            corpus_persist_ok: Counter::new(),
+            corpus_persist_err: Counter::new(),
+            expander_chunk_batches: Counter::new(),
+            warnings: [const { Counter::new() }; WarnKind::COUNT],
+        }
+    }
+}
+
+static METRICS: Metrics = Metrics::new();
+
+/// The process-wide registry.
+#[inline]
+pub fn metrics() -> &'static Metrics {
+    &METRICS
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + renderers
+// ---------------------------------------------------------------------------
+
+/// Point-in-time copy of a [`PhaseStats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseSnapshot {
+    /// Rounds recorded.
+    pub rounds: u64,
+    /// Total compute-phase nanoseconds.
+    pub compute_ns: u64,
+    /// Total exchange-phase nanoseconds.
+    pub exchange_ns: u64,
+}
+
+impl PhaseSnapshot {
+    /// Compute-phase total in milliseconds.
+    pub fn compute_ms(&self) -> f64 {
+        self.compute_ns as f64 / 1e6
+    }
+
+    /// Exchange-phase total in milliseconds.
+    pub fn exchange_ms(&self) -> f64 {
+        self.exchange_ns as f64 / 1e6
+    }
+
+    /// Field-wise difference against an earlier snapshot (saturating).
+    pub fn delta(&self, earlier: &PhaseSnapshot) -> PhaseSnapshot {
+        PhaseSnapshot {
+            rounds: self.rounds.saturating_sub(earlier.rounds),
+            compute_ns: self.compute_ns.saturating_sub(earlier.compute_ns),
+            exchange_ns: self.exchange_ns.saturating_sub(earlier.exchange_ns),
+        }
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    /// Observation count.
+    pub count: u64,
+    /// Sum of observed values.
+    pub sum: u64,
+    /// Per-bucket counts (length [`HIST_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+/// One tenant slot's gauges and counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TenantSnapshot {
+    /// Slot index (`tenant % TENANT_SLOTS`).
+    pub slot: usize,
+    /// Active leases.
+    pub active: u64,
+    /// Peak concurrent leases.
+    pub peak: u64,
+    /// Jobs completed.
+    pub completed: u64,
+}
+
+/// A stable, JSON-serializable copy of the whole registry. Field order is
+/// the public contract of [`Snapshot::to_json`] and
+/// [`Snapshot::render_text`]. Reads are relaxed: a snapshot taken while
+/// work is in flight is internally consistent per metric, not across
+/// metrics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    /// The level at snapshot time.
+    pub level: Level,
+    /// Sequential-engine phase timings.
+    pub engine_seq: PhaseSnapshot,
+    /// Sharded-engine phase timings.
+    pub engine_sharded: PhaseSnapshot,
+    /// Pool batches executed.
+    pub pool_batches: u64,
+    /// Pool leases acquired.
+    pub pool_leases: u64,
+    /// Lease-acquisition wait histogram (ns).
+    pub pool_lease_wait_ns: HistSnapshot,
+    /// Active pool leases.
+    pub pool_active_leases: u64,
+    /// Peak concurrent pool leases.
+    pub pool_peak_leases: u64,
+    /// Per-tenant-slot gauges/counters.
+    pub tenants: Vec<TenantSnapshot>,
+    /// Jobs submitted.
+    pub sched_submitted: u64,
+    /// Queue depth at the latest push/pop.
+    pub sched_queue_depth: u64,
+    /// Jobs popped.
+    pub sched_pops: u64,
+    /// Enqueue-to-pop wait histogram (scheduler ticks).
+    pub sched_wait_ticks: HistSnapshot,
+    /// Admission-gated fallbacks.
+    pub sched_admission_blocks: u64,
+    /// Jobs completed successfully.
+    pub sched_completed: u64,
+    /// Jobs failed.
+    pub sched_failed: u64,
+    /// Round-budget deadline misses.
+    pub sched_deadline_miss_rounds: u64,
+    /// Wall-clock deadline misses.
+    pub sched_deadline_miss_wall: u64,
+    /// Corpus hits.
+    pub corpus_hits: u64,
+    /// Corpus misses.
+    pub corpus_misses: u64,
+    /// Corpus warms.
+    pub corpus_warms: u64,
+    /// Successful corpus persists.
+    pub corpus_persist_ok: u64,
+    /// Failed corpus persists.
+    pub corpus_persist_err: u64,
+    /// Expander chunk batches.
+    pub expander_chunk_batches: u64,
+    /// Per-kind warning counts, in [`WarnKind::ALL`] order.
+    pub warnings: Vec<(&'static str, u64)>,
+}
+
+/// Copies the registry into a [`Snapshot`]. Cold path; allocates.
+pub fn snapshot() -> Snapshot {
+    let m = metrics();
+    Snapshot {
+        level: level(),
+        engine_seq: m.engine_seq.snap(),
+        engine_sharded: m.engine_sharded.snap(),
+        pool_batches: m.pool_batches.get(),
+        pool_leases: m.pool_leases.get(),
+        pool_lease_wait_ns: m.pool_lease_wait_ns.snap(),
+        pool_active_leases: m.pool_active_leases.get(),
+        pool_peak_leases: m.pool_peak_leases.get(),
+        tenants: (0..TENANT_SLOTS)
+            .map(|s| TenantSnapshot {
+                slot: s,
+                active: m.tenant_active[s].get(),
+                peak: m.tenant_peak[s].get(),
+                completed: m.tenant_completed[s].get(),
+            })
+            .collect(),
+        sched_submitted: m.sched_submitted.get(),
+        sched_queue_depth: m.sched_queue_depth.get(),
+        sched_pops: m.sched_pops.get(),
+        sched_wait_ticks: m.sched_wait_ticks.snap(),
+        sched_admission_blocks: m.sched_admission_blocks.get(),
+        sched_completed: m.sched_completed.get(),
+        sched_failed: m.sched_failed.get(),
+        sched_deadline_miss_rounds: m.sched_deadline_miss_rounds.get(),
+        sched_deadline_miss_wall: m.sched_deadline_miss_wall.get(),
+        corpus_hits: m.corpus_hits.get(),
+        corpus_misses: m.corpus_misses.get(),
+        corpus_warms: m.corpus_warms.get(),
+        corpus_persist_ok: m.corpus_persist_ok.get(),
+        corpus_persist_err: m.corpus_persist_err.get(),
+        expander_chunk_batches: m.expander_chunk_batches.get(),
+        warnings: WarnKind::ALL.iter().map(|&k| (k.name(), warn_count(k))).collect(),
+    }
+}
+
+fn json_hist(h: &HistSnapshot) -> String {
+    let buckets: Vec<String> = h.buckets.iter().map(|b| b.to_string()).collect();
+    format!("{{\"count\": {}, \"sum\": {}, \"buckets\": [{}]}}", h.count, h.sum, buckets.join(", "))
+}
+
+fn json_phase(p: &PhaseSnapshot) -> String {
+    format!(
+        "{{\"rounds\": {}, \"compute_ns\": {}, \"exchange_ns\": {}}}",
+        p.rounds, p.compute_ns, p.exchange_ns
+    )
+}
+
+impl Snapshot {
+    /// Renders the snapshot as a JSON object (hand-rolled — the workspace
+    /// carries no serde).
+    pub fn to_json(&self) -> String {
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .map(|t| {
+                format!(
+                    "{{\"slot\": {}, \"active\": {}, \"peak\": {}, \"completed\": {}}}",
+                    t.slot, t.active, t.peak, t.completed
+                )
+            })
+            .collect();
+        let warnings: Vec<String> =
+            self.warnings.iter().map(|(k, v)| format!("\"{k}\": {v}")).collect();
+        format!(
+            concat!(
+                "{{\n",
+                "  \"level\": \"{level}\",\n",
+                "  \"engine\": {{\"sequential\": {seq}, \"sharded\": {sh}}},\n",
+                "  \"pool\": {{\"batches\": {pb}, \"leases\": {pl}, ",
+                "\"active_leases\": {pa}, \"peak_leases\": {pp}, ",
+                "\"lease_wait_ns\": {lw}}},\n",
+                "  \"tenants\": [{tn}],\n",
+                "  \"sched\": {{\"submitted\": {ss}, \"queue_depth\": {qd}, ",
+                "\"pops\": {sp}, \"admission_blocks\": {ab}, \"completed\": {sc}, ",
+                "\"failed\": {sf}, \"deadline_miss_rounds\": {dr}, ",
+                "\"deadline_miss_wall\": {dw}, \"wait_ticks\": {wt}}},\n",
+                "  \"corpus\": {{\"hits\": {ch}, \"misses\": {cm}, \"warms\": {cw}, ",
+                "\"persist_ok\": {po}, \"persist_err\": {pe}}},\n",
+                "  \"expander\": {{\"chunk_batches\": {ec}}},\n",
+                "  \"warnings\": {{{wn}}}\n",
+                "}}"
+            ),
+            level = self.level.name(),
+            seq = json_phase(&self.engine_seq),
+            sh = json_phase(&self.engine_sharded),
+            pb = self.pool_batches,
+            pl = self.pool_leases,
+            pa = self.pool_active_leases,
+            pp = self.pool_peak_leases,
+            lw = json_hist(&self.pool_lease_wait_ns),
+            tn = tenants.join(", "),
+            ss = self.sched_submitted,
+            qd = self.sched_queue_depth,
+            sp = self.sched_pops,
+            ab = self.sched_admission_blocks,
+            sc = self.sched_completed,
+            sf = self.sched_failed,
+            dr = self.sched_deadline_miss_rounds,
+            dw = self.sched_deadline_miss_wall,
+            wt = json_hist(&self.sched_wait_ticks),
+            ch = self.corpus_hits,
+            cm = self.corpus_misses,
+            cw = self.corpus_warms,
+            po = self.corpus_persist_ok,
+            pe = self.corpus_persist_err,
+            ec = self.expander_chunk_batches,
+            wn = warnings.join(", "),
+        )
+    }
+
+    /// Renders the snapshot in the Prometheus text exposition style:
+    /// `# TYPE` comments, `name{labels} value` samples, histogram
+    /// `_bucket{le=...}` lines with cumulative counts. Every sample key
+    /// (name + labels) is unique; counters are monotonic across renders.
+    pub fn render_text(&self) -> String {
+        let mut out = String::new();
+        macro_rules! line {
+            ($($t:tt)*) => {{
+                out.push_str(&format!($($t)*));
+                out.push('\n');
+            }};
+        }
+        line!("# clique workspace telemetry (level={})", self.level.name());
+        line!("# TYPE clique_engine_rounds_total counter");
+        for (engine, p) in [("sequential", &self.engine_seq), ("sharded", &self.engine_sharded)] {
+            line!("clique_engine_rounds_total{{engine=\"{engine}\"}} {}", p.rounds);
+            line!("clique_engine_compute_ns_total{{engine=\"{engine}\"}} {}", p.compute_ns);
+            line!("clique_engine_exchange_ns_total{{engine=\"{engine}\"}} {}", p.exchange_ns);
+        }
+        line!("# TYPE clique_pool_batches_total counter");
+        line!("clique_pool_batches_total {}", self.pool_batches);
+        line!("clique_pool_leases_total {}", self.pool_leases);
+        line!("# TYPE clique_pool_active_leases gauge");
+        line!("clique_pool_active_leases {}", self.pool_active_leases);
+        line!("clique_pool_peak_leases {}", self.pool_peak_leases);
+        render_hist(&mut out, "clique_pool_lease_wait_ns", &self.pool_lease_wait_ns);
+        line!("# TYPE clique_tenant_completed_total counter");
+        for t in &self.tenants {
+            line!("clique_tenant_active{{slot=\"{}\"}} {}", t.slot, t.active);
+            line!("clique_tenant_peak{{slot=\"{}\"}} {}", t.slot, t.peak);
+            line!("clique_tenant_completed_total{{slot=\"{}\"}} {}", t.slot, t.completed);
+        }
+        line!("# TYPE clique_sched_submitted_total counter");
+        line!("clique_sched_submitted_total {}", self.sched_submitted);
+        line!("clique_sched_queue_depth {}", self.sched_queue_depth);
+        line!("clique_sched_pops_total {}", self.sched_pops);
+        line!("clique_sched_admission_blocks_total {}", self.sched_admission_blocks);
+        line!("clique_sched_completed_total {}", self.sched_completed);
+        line!("clique_sched_failed_total {}", self.sched_failed);
+        line!("clique_sched_deadline_miss_rounds_total {}", self.sched_deadline_miss_rounds);
+        line!("clique_sched_deadline_miss_wall_total {}", self.sched_deadline_miss_wall);
+        render_hist(&mut out, "clique_sched_wait_ticks", &self.sched_wait_ticks);
+        line!("# TYPE clique_corpus_hits_total counter");
+        line!("clique_corpus_hits_total {}", self.corpus_hits);
+        line!("clique_corpus_misses_total {}", self.corpus_misses);
+        line!("clique_corpus_warms_total {}", self.corpus_warms);
+        line!("clique_corpus_persist_ok_total {}", self.corpus_persist_ok);
+        line!("clique_corpus_persist_err_total {}", self.corpus_persist_err);
+        line!("clique_expander_chunk_batches_total {}", self.expander_chunk_batches);
+        line!("# TYPE clique_warnings_total counter");
+        for (kind, v) in &self.warnings {
+            line!("clique_warnings_total{{kind=\"{kind}\"}} {v}");
+        }
+        out
+    }
+}
+
+/// Histogram exposition: `_count`, `_sum`, and cumulative `_bucket` lines
+/// for every bucket up to the highest nonzero one, plus `+Inf`.
+fn render_hist(out: &mut String, name: &str, h: &HistSnapshot) {
+    out.push_str(&format!("# TYPE {name} histogram\n"));
+    out.push_str(&format!("{name}_count {}\n", h.count));
+    out.push_str(&format!("{name}_sum {}\n", h.sum));
+    let last = h.buckets.iter().rposition(|&b| b > 0).unwrap_or(0);
+    let mut cum = 0u64;
+    for (i, &b) in h.buckets.iter().enumerate().take(last + 1) {
+        cum += b;
+        // bucket i holds [2^(i-1), 2^i): inclusive upper bound 2^i - 1
+        let le = (1u128 << i) - 1;
+        out.push_str(&format!("{name}_bucket{{le=\"{le}\"}} {cum}\n"));
+    }
+    out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+}
+
+/// [`snapshot`] rendered via [`Snapshot::render_text`].
+pub fn render_text() -> String {
+    snapshot().render_text()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests that touch the global LEVEL serialize on this.
+    static TEST_LOCK: Mutex<()> = Mutex::new(());
+
+    fn test_lock() -> MutexGuard<'static, ()> {
+        TEST_LOCK.lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    #[test]
+    fn parse_level_accepts_the_documented_spellings() {
+        assert_eq!(parse_level("off"), Some(Level::Off));
+        assert_eq!(parse_level("0"), Some(Level::Off));
+        assert_eq!(parse_level("ON"), Some(Level::On));
+        assert_eq!(parse_level("1"), Some(Level::On));
+        assert_eq!(parse_level(" trace "), Some(Level::Trace));
+        assert_eq!(parse_level("2"), Some(Level::Trace));
+        assert_eq!(parse_level("yes"), None);
+        assert_eq!(parse_level(""), None);
+    }
+
+    #[test]
+    fn counters_freeze_when_off_and_record_when_on() {
+        let _g = test_lock();
+        let c = Counter::new();
+        set_level(Level::Off);
+        c.inc();
+        assert_eq!(c.get(), 0, "a disabled counter must not move");
+        set_level(Level::On);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        c.force_add(1);
+        set_level(Level::Off);
+        c.force_add(1);
+        assert_eq!(c.get(), 5, "force_add ignores the gate");
+    }
+
+    #[test]
+    fn gauges_set_and_peak() {
+        let _g = test_lock();
+        set_level(Level::On);
+        let g = Gauge::new();
+        g.set(7);
+        g.set_max(3);
+        assert_eq!(g.get(), 7);
+        g.set_max(11);
+        assert_eq!(g.get(), 11);
+    }
+
+    #[test]
+    fn histogram_buckets_are_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 1);
+        assert_eq!(bucket_index(2), 2);
+        assert_eq!(bucket_index(3), 2);
+        assert_eq!(bucket_index(4), 3);
+        assert_eq!(bucket_index(1023), 10);
+        assert_eq!(bucket_index(1024), 11);
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+        let _g = test_lock();
+        set_level(Level::On);
+        let h = Histogram::new();
+        h.observe(0);
+        h.observe(3);
+        h.observe(3);
+        assert_eq!(h.count(), 3);
+        assert_eq!(h.sum(), 6);
+        let s = h.snap();
+        assert_eq!(s.buckets[0], 1);
+        assert_eq!(s.buckets[2], 2);
+    }
+
+    #[test]
+    fn phase_timer_records_only_when_begun_enabled() {
+        let _g = test_lock();
+        let stats = PhaseStats::new();
+        set_level(Level::Off);
+        let mut t = PhaseTimer::begin();
+        t.split();
+        t.finish(&stats);
+        assert_eq!(stats.totals(), (0, 0, 0), "an inert timer must record nothing");
+        set_level(Level::On);
+        let mut t = PhaseTimer::begin();
+        t.split();
+        t.finish(&stats);
+        let (rounds, _, _) = stats.totals();
+        assert_eq!(rounds, 1);
+    }
+
+    #[test]
+    fn warnings_count_per_kind_and_are_capturable_even_when_off() {
+        let _g = test_lock();
+        set_level(Level::Off);
+        let before = warn_count(WarnKind::ObsEnv);
+        let ((), lines) = capture_warnings(|| {
+            std::env::set_var("CLIQUE_OBS", "bananas");
+            let l = level_from_env_uncached();
+            std::env::remove_var("CLIQUE_OBS");
+            assert_eq!(l, Level::Off, "garbage must fall back to off");
+        });
+        assert_eq!(warn_count(WarnKind::ObsEnv), before + 1, "exactly one warning");
+        assert_eq!(lines.len(), 1, "exactly one captured line: {lines:?}");
+        assert!(lines[0].starts_with("warning: unrecognized CLIQUE_OBS value \"bananas\""));
+        // the explicit override must survive the env round-trip above
+        set_level(Level::Off);
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn trace_events_only_fire_at_trace_level() {
+        let _g = test_lock();
+        set_level(Level::On);
+        let ((), quiet) = capture_warnings(|| trace_event("test", format_args!("hidden")));
+        assert!(quiet.is_empty(), "trace events must be silent below Trace");
+        set_level(Level::Trace);
+        let ((), loud) = capture_warnings(|| trace_event("test", format_args!("visible")));
+        assert_eq!(loud, vec!["trace[test]: visible".to_string()]);
+        set_level(Level::Off);
+    }
+
+    /// Splits a text-exposition sample line into its key (name + labels)
+    /// and its value.
+    fn parse_sample(line: &str) -> (&str, f64) {
+        let (key, value) = line.rsplit_once(' ').expect("sample has a value");
+        (key, value.parse().expect("value parses"))
+    }
+
+    #[test]
+    fn render_text_has_unique_keys_parses_and_counters_stay_monotonic() {
+        let _g = test_lock();
+        set_level(Level::On);
+        let first = render_text();
+        // generate some activity between the two renders
+        metrics().pool_batches.add(3);
+        metrics().corpus_hits.inc();
+        metrics().sched_wait_ticks.observe(5);
+        let second = render_text();
+        set_level(Level::Off);
+        for text in [&first, &second] {
+            let mut seen = std::collections::HashSet::new();
+            for line in text.lines().filter(|l| !l.starts_with('#')) {
+                let (key, _) = parse_sample(line);
+                assert!(seen.insert(key.to_string()), "duplicate sample key {key}");
+            }
+        }
+        let totals = |text: &str| -> Vec<(String, f64)> {
+            text.lines()
+                .filter(|l| !l.starts_with('#') && l.contains("_total"))
+                .map(|l| {
+                    let (k, v) = parse_sample(l);
+                    (k.to_string(), v)
+                })
+                .collect()
+        };
+        let a: std::collections::HashMap<_, _> = totals(&first).into_iter().collect();
+        for (key, v2) in totals(&second) {
+            if let Some(&v1) = a.get(&key) {
+                assert!(v2 >= v1, "counter {key} went backwards: {v1} -> {v2}");
+            }
+        }
+    }
+
+    #[test]
+    fn snapshot_json_is_balanced_and_carries_the_catalog() {
+        let _g = test_lock();
+        set_level(Level::On);
+        metrics().sched_submitted.inc();
+        let s = snapshot();
+        set_level(Level::Off);
+        let json = s.to_json();
+        assert_eq!(json.matches('{').count(), json.matches('}').count(), "braces must balance");
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        for key in [
+            "\"engine\"",
+            "\"pool\"",
+            "\"tenants\"",
+            "\"sched\"",
+            "\"corpus\"",
+            "\"expander\"",
+            "\"warnings\"",
+            "\"compute_ns\"",
+            "\"lease_wait_ns\"",
+        ] {
+            assert!(json.contains(key), "JSON must carry {key}: {json}");
+        }
+    }
+
+    #[test]
+    fn tenant_slots_wrap() {
+        assert_eq!(tenant_slot(0), 0);
+        assert_eq!(tenant_slot(7), 7);
+        assert_eq!(tenant_slot(8), 0);
+        assert_eq!(tenant_slot(u32::MAX), (u32::MAX as usize) % TENANT_SLOTS);
+    }
+}

@@ -204,6 +204,12 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
             self.round += 1;
             return;
         }
+        // Per-phase wall time, measured from the submitting thread: the
+        // compute phase spans batch 1 plus the deterministic fold, the
+        // exchange phase spans batch 2. Workers are untouched — the timer
+        // is two stack `Instant`s, and metrics are write-only, so the
+        // transcript is bit-identical with `CLIQUE_OBS` on or off.
+        let mut timer = obs::PhaseTimer::begin();
         let shards = self.shards;
         let round = self.round;
         let stamp = round + 1;
@@ -266,6 +272,7 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
         for sc in &self.scratch {
             self.messages += sc.sent;
         }
+        timer.split();
 
         // Phase 2: exchange. Each shard drains its bucket column in
         // sender-shard order into the inboxes of its vertices, then sorts
@@ -296,6 +303,7 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
 
         self.stepped = true;
         self.round += 1;
+        timer.finish(&obs::metrics().engine_sharded);
     }
 
     /// The per-vertex protocol states.
@@ -391,10 +399,13 @@ pub fn available_shards() -> usize {
 pub fn available_shards_uncached() -> usize {
     match std::env::var("CLIQUE_SHARDS") {
         Ok(v) => parse_shards(&v).unwrap_or_else(|| {
-            eprintln!(
-                "warning: unrecognized CLIQUE_SHARDS value {v:?} \
-                 (expected a positive integer); \
-                 falling back to one shard per available CPU"
+            obs::warn(
+                obs::WarnKind::ShardsEnv,
+                format_args!(
+                    "unrecognized CLIQUE_SHARDS value {v:?} \
+                     (expected a positive integer); \
+                     falling back to one shard per available CPU"
+                ),
             );
             hardware_shards()
         }),

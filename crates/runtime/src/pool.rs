@@ -153,8 +153,14 @@ impl WorkerPool {
     /// how many round-barrier clients interleave on the pool at once via
     /// [`WorkerPool::active_leases`] / [`WorkerPool::peak_leases`].
     pub fn lease(self: &Arc<Self>) -> PoolLease {
+        let wait = obs::maybe_now();
         let now = self.active_leases.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak_leases.fetch_max(now, Ordering::SeqCst);
+        let m = obs::metrics();
+        m.pool_lease_wait_ns.observe_elapsed(wait);
+        m.pool_leases.inc();
+        m.pool_active_leases.set(now as u64);
+        m.pool_peak_leases.set_max(now as u64);
         PoolLease { pool: Arc::clone(self), tenant: None }
     }
 
@@ -165,14 +171,26 @@ impl WorkerPool {
     /// ([`WorkerPool::active_leases_for`] / [`WorkerPool::peak_leases_for`])
     /// — the observability side of per-tenant in-flight caps.
     pub fn lease_for(self: &Arc<Self>, tenant: u32) -> PoolLease {
+        // lease-wait = time to acquire all lease bookkeeping (the atomics
+        // plus the per-tenant map lock), the contended part of admission
+        let wait = obs::maybe_now();
         let now = self.active_leases.fetch_add(1, Ordering::SeqCst) + 1;
         self.peak_leases.fetch_max(now, Ordering::SeqCst);
-        {
+        let (cur, peak) = {
             let mut tenants = lock_ignore_poison(&self.tenant_leases);
             let entry = tenants.entry(tenant).or_insert((0, 0));
             entry.0 += 1;
             entry.1 = entry.1.max(entry.0);
-        }
+            (entry.0, entry.1)
+        };
+        let m = obs::metrics();
+        m.pool_lease_wait_ns.observe_elapsed(wait);
+        m.pool_leases.inc();
+        m.pool_active_leases.set(now as u64);
+        m.pool_peak_leases.set_max(now as u64);
+        let slot = obs::tenant_slot(tenant);
+        m.tenant_active[slot].set(cur as u64);
+        m.tenant_peak[slot].set_max(peak as u64);
         PoolLease { pool: Arc::clone(self), tenant: Some(tenant) }
     }
 
@@ -220,6 +238,7 @@ impl WorkerPool {
             return;
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
+        obs::metrics().pool_batches.inc();
         let batch =
             Arc::new(Batch { state: Mutex::new((tasks.len(), None)), done: Condvar::new() });
         {
@@ -285,6 +304,7 @@ impl WorkerPool {
             return;
         }
         self.batches.fetch_add(1, Ordering::Relaxed);
+        obs::metrics().pool_batches.inc();
         let f_obj: &(dyn Fn(usize) + Sync) = &f;
         // SAFETY: lifetime erasure only — this function does not return
         // until every participant has finished calling `f` and every
@@ -443,10 +463,12 @@ impl PoolLease {
 
 impl Drop for PoolLease {
     fn drop(&mut self) {
-        self.pool.active_leases.fetch_sub(1, Ordering::SeqCst);
+        let now = self.pool.active_leases.fetch_sub(1, Ordering::SeqCst) - 1;
+        obs::metrics().pool_active_leases.set(now as u64);
         if let Some(tenant) = self.tenant {
             if let Some(e) = lock_ignore_poison(&self.pool.tenant_leases).get_mut(&tenant) {
                 e.0 -= 1;
+                obs::metrics().tenant_active[obs::tenant_slot(tenant)].set(e.0 as u64);
             }
         }
     }

@@ -429,6 +429,39 @@ pub struct CorpusCache {
     order: Vec<String>,
     hits: u64,
     misses: u64,
+    warms: u64,
+}
+
+/// Typed corpus-cache traffic statistics: the promoted form of the old
+/// `(hits, misses)` tuple, carrying the warm count (traffic-free
+/// preloads) alongside and computing the hit rate the way every consumer
+/// (`bench::svc`, the metrics layer) used to by hand.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CorpusStats {
+    /// Queries answered by a resident graph.
+    pub hits: u64,
+    /// Queries that had to build (recorded before the build, so a
+    /// panicking build still counts).
+    pub misses: u64,
+    /// Traffic-free preloads ([`CorpusCache::warm`] calls, including the
+    /// persisted-corpus load path).
+    pub warms: u64,
+}
+
+impl CorpusStats {
+    /// Total counted lookups (`hits + misses`; warms are not traffic).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// `hits / (hits + misses)`, or 0.0 with no traffic.
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
 }
 
 impl CorpusCache {
@@ -439,7 +472,14 @@ impl CorpusCache {
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
         assert!(capacity >= 1, "cache must hold at least one graph");
-        CorpusCache { capacity, entries: HashMap::new(), order: Vec::new(), hits: 0, misses: 0 }
+        CorpusCache {
+            capacity,
+            entries: HashMap::new(),
+            order: Vec::new(),
+            hits: 0,
+            misses: 0,
+            warms: 0,
+        }
     }
 
     /// Returns the built graph for `spec`, generating (and caching) it on
@@ -450,12 +490,14 @@ impl CorpusCache {
             let (graph, fp) = (Arc::clone(&entry.graph), entry.fingerprint);
             self.touch(&key);
             self.hits += 1;
+            obs::metrics().corpus_hits.inc();
             return (graph, fp, true);
         }
         // The miss is recorded *before* the build so that a panicking
         // build (invalid spec) still shows up in the stats — the service
         // relies on this for its poison-tolerant locking.
         self.misses += 1;
+        obs::metrics().corpus_misses.inc();
         let (graph, fp) = self.build_and_insert(key, spec);
         (graph, fp, false)
     }
@@ -467,6 +509,8 @@ impl CorpusCache {
     /// [`crate::Service::prefetch`] calls when a caller warms a graph at
     /// admission time, ahead of the jobs that will query it.
     pub fn warm(&mut self, spec: &GraphSpec) -> (Arc<Graph>, u64, bool) {
+        self.warms += 1;
+        obs::metrics().corpus_warms.inc();
         let key = spec.key();
         if let Some(entry) = self.entries.get(&key) {
             let (graph, fp) = (Arc::clone(&entry.graph), entry.fingerprint);
@@ -502,6 +546,7 @@ impl CorpusCache {
         let key = self.entries.iter().find(|(_, e)| e.fingerprint == fp).map(|(k, _)| k.clone())?;
         self.touch(&key);
         self.hits += 1;
+        obs::metrics().corpus_hits.inc();
         Some(Arc::clone(&self.entries[&key].graph))
     }
 
@@ -523,8 +568,15 @@ impl CorpusCache {
     }
 
     /// `(hits, misses)` since construction.
+    #[deprecated(note = "use `stats_typed` — the typed form also carries the warm count")]
     pub fn stats(&self) -> (u64, u64) {
-        (self.hits, self.misses)
+        let s = self.stats_typed();
+        (s.hits, s.misses)
+    }
+
+    /// Traffic statistics since construction, typed.
+    pub fn stats_typed(&self) -> CorpusStats {
+        CorpusStats { hits: self.hits, misses: self.misses, warms: self.warms }
     }
 
     /// Persists the resident corpus to `path` as a hand-rolled byte
@@ -603,10 +655,13 @@ impl CorpusCache {
         for (spec, stored_fp) in parsed {
             let (_, fp, _) = self.warm(&spec);
             if fp != stored_fp {
-                eprintln!(
-                    "warning: persisted corpus entry {} no longer matches its fingerprint \
-                     ({fp:#018x} != stored {stored_fp:#018x}); dropping it",
-                    spec.key()
+                obs::warn(
+                    obs::WarnKind::CorpusStale,
+                    format_args!(
+                        "persisted corpus entry {} no longer matches its fingerprint \
+                         ({fp:#018x} != stored {stored_fp:#018x}); dropping it",
+                        spec.key()
+                    ),
                 );
                 self.remove(&spec.key());
             } else {
@@ -641,6 +696,7 @@ impl std::fmt::Debug for CorpusCache {
             .field("len", &self.entries.len())
             .field("hits", &self.hits)
             .field("misses", &self.misses)
+            .field("warms", &self.warms)
             .finish()
     }
 }
@@ -705,11 +761,28 @@ mod tests {
         assert!(resident2);
         assert_eq!(fp1, fp2);
         assert!(Arc::ptr_eq(&g1, &g2));
-        assert_eq!(cache.stats(), (0, 0), "warming must not count as traffic");
+        let s = cache.stats_typed();
+        assert_eq!((s.hits, s.misses), (0, 0), "warming must not count as traffic");
+        assert_eq!(s.warms, 2, "both warm calls are recorded as warms");
+        assert_eq!(s.hit_rate(), 0.0, "no traffic, no hit rate");
         // a later query over the warmed spec is a genuine hit
         let (_, _, hit) = cache.get_or_build(&spec);
         assert!(hit);
-        assert_eq!(cache.stats(), (1, 0));
+        let s = cache.stats_typed();
+        assert_eq!((s.hits, s.misses), (1, 0));
+        assert_eq!(s.hit_rate(), 1.0);
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_tuple_stats_still_forward() {
+        let mut cache = CorpusCache::new(4);
+        let spec = GraphSpec::Hypercube { dim: 3 };
+        let _ = cache.get_or_build(&spec);
+        let _ = cache.get_or_build(&spec);
+        let s = cache.stats_typed();
+        assert_eq!(cache.stats(), (s.hits, s.misses), "the tuple form forwards");
+        assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]

@@ -114,8 +114,8 @@
 //! outcomes.sort_by_key(|(t, _)| *t);
 //! let triangles = outcomes[0].1.report.as_ref().unwrap();
 //! assert_eq!(triangles.clique_count, graphs::list_cliques(&spec.build(), 3).len());
-//! let (hits, misses) = svc.cache_stats();
-//! assert_eq!((hits, misses), (1, 1));
+//! let stats = svc.corpus_stats();
+//! assert_eq!((stats.hits, stats.misses), (1, 1));
 //! ```
 
 use std::collections::{HashMap, HashSet, VecDeque};
@@ -141,7 +141,9 @@ pub mod sched;
 #[doc(hidden)]
 pub mod testing;
 
-pub use corpus::{fingerprint, CorpusCache, CorpusLoadError, GraphSpec, CORPUS_FORMAT_VERSION};
+pub use corpus::{
+    fingerprint, CorpusCache, CorpusLoadError, CorpusStats, GraphSpec, CORPUS_FORMAT_VERSION,
+};
 pub use sched::{JobMeta, SchedQueue, DEFAULT_AGING_RATE};
 
 /// Which graph a [`Job`] runs on.
@@ -659,6 +661,9 @@ impl Service {
             gated,
             QueuedPayload { job, submitted: Instant::now(), wall },
         );
+        let m = obs::metrics();
+        m.sched_submitted.inc();
+        m.sched_queue_depth.set(q.0.len() as u64);
         self.shared.work_ready.notify_one();
         Ticket(seq)
     }
@@ -701,7 +706,9 @@ impl Service {
                 let (priority, tenant, gated) =
                     (job.meta.priority, job.meta.tenant, is_gated(&job));
                 q.0.push(seq, priority, tenant, gated, QueuedPayload { job, submitted: now, wall });
+                obs::metrics().sched_submitted.inc();
             }
+            obs::metrics().sched_queue_depth.set(q.0.len() as u64);
         }
         self.shared.work_ready.notify_all();
         let tickets: Vec<Ticket> = ids.iter().map(|&id| Ticket(id)).collect();
@@ -755,8 +762,15 @@ impl Service {
     }
 
     /// Corpus-cache `(hits, misses)` since the service started.
+    #[deprecated(note = "use `corpus_stats` — the typed form also carries the warm count")]
     pub fn cache_stats(&self) -> (u64, u64) {
-        lock_ignore_poison(&self.shared.corpus).stats()
+        let s = self.corpus_stats();
+        (s.hits, s.misses)
+    }
+
+    /// Typed corpus-cache traffic counters since the service started.
+    pub fn corpus_stats(&self) -> CorpusStats {
+        lock_ignore_poison(&self.shared.corpus).stats_typed()
     }
 
     /// Resident corpus size (graphs currently cached).
@@ -777,8 +791,18 @@ impl Drop for Service {
         }
         // persist the corpus after the workers are quiet, so the file sees
         // the final resident set
-        if let Err(e) = self.persist() {
-            eprintln!("warning: could not persist the graph corpus: {e}");
+        let has_path = lock_ignore_poison(&self.shared.corpus_path).is_some();
+        match self.persist() {
+            // Ok(0) with no path configured is a no-op, not a persist
+            Ok(_) if has_path => obs::metrics().corpus_persist_ok.inc(),
+            Ok(_) => {}
+            Err(e) => {
+                obs::metrics().corpus_persist_err.inc();
+                obs::warn(
+                    obs::WarnKind::CorpusPersist,
+                    format_args!("could not persist the graph corpus: {e}"),
+                );
+            }
         }
     }
 }
@@ -884,10 +908,13 @@ pub fn admission_limit_from_env() -> Option<usize> {
         Ok(v) => match parse_admit(&v) {
             Some(n) => Some(n),
             None => {
-                eprintln!(
-                    "warning: unrecognized CLIQUE_ADMIT value {v:?} \
-                     (expected a positive integer or \"unlimited\"); \
-                     falling back to unbounded admission"
+                obs::warn(
+                    obs::WarnKind::AdmitEnv,
+                    format_args!(
+                        "unrecognized CLIQUE_ADMIT value {v:?} \
+                         (expected a positive integer or \"unlimited\"); \
+                         falling back to unbounded admission"
+                    ),
                 );
                 None
             }
@@ -914,9 +941,12 @@ pub fn corpus_path_from_env() -> Option<PathBuf> {
 fn load_corpus_warn_and_fallback(cache: &mut CorpusCache, path: &std::path::Path) {
     match cache.load(path) {
         Ok(_) => {}
-        Err(e) => eprintln!(
-            "warning: ignoring persisted corpus at {}: {e}; starting with an empty cache",
-            path.display()
+        Err(e) => obs::warn(
+            obs::WarnKind::CorpusLoad,
+            format_args!(
+                "ignoring persisted corpus at {}: {e}; starting with an empty cache",
+                path.display()
+            ),
         ),
     }
 }
@@ -941,14 +971,29 @@ fn pop_eligible<'a>(
 ) -> Option<(sched::Popped<QueuedPayload>, Option<AdmissionPermit<'a>>)> {
     let idx = queue.select(true)?;
     if !queue.is_gated(idx) {
-        return Some((queue.take(idx), None));
+        return Some((record_pop(queue.take(idx), queue), None));
     }
     match AdmissionPermit::try_acquire(shared) {
-        Some(permit) => Some((queue.take(idx), Some(permit))),
+        Some(permit) => Some((record_pop(queue.take(idx), queue), Some(permit))),
         // the policy's choice is gated and no permit is free: fall back to
         // the best ungated entry (work conservation), if any
-        None => queue.select(false).map(|idx| (queue.take(idx), None)),
+        None => {
+            obs::metrics().sched_admission_blocks.inc();
+            queue.select(false).map(|idx| (record_pop(queue.take(idx), queue), None))
+        }
     }
+}
+
+/// Counts a pop (write-only telemetry: never consulted by the policy).
+fn record_pop(
+    popped: sched::Popped<QueuedPayload>,
+    queue: &SchedQueue<QueuedPayload>,
+) -> sched::Popped<QueuedPayload> {
+    let m = obs::metrics();
+    m.sched_pops.inc();
+    m.sched_wait_ticks.observe(popped.waited_ticks);
+    m.sched_queue_depth.set(queue.len() as u64);
+    popped
 }
 
 fn job_worker_loop(shared: &ServiceShared) {
@@ -982,6 +1027,28 @@ fn job_worker_loop(shared: &ServiceShared) {
                     cache_hit: false,
                     latency: submitted.elapsed(),
                 });
+        // Telemetry classification (write-only; deadline-miss kinds are
+        // split so dashboards can tell a deterministic round-budget miss
+        // from a wall-clock one).
+        {
+            let m = obs::metrics();
+            match &outcome.report {
+                Ok(_) => {
+                    m.sched_completed.inc();
+                    m.tenant_completed[obs::tenant_slot(tenant)].inc();
+                    obs::trace_event("sched", format_args!("job {seq} (tenant {tenant}) done"));
+                }
+                Err(e) => {
+                    m.sched_failed.inc();
+                    match e {
+                        JobError::DeadlineExceeded { .. } => m.sched_deadline_miss_rounds.inc(),
+                        JobError::WallDeadlineExceeded { .. } => m.sched_deadline_miss_wall.inc(),
+                        _ => {}
+                    }
+                    obs::trace_event("sched", format_args!("job {seq} (tenant {tenant}) failed"));
+                }
+            }
+        }
         // Record the completion with the scheduler FIRST (one aging tick +
         // the tenant's in-flight slot frees), so by the time a caller
         // observes the outcome the tick is already counted.
@@ -1294,7 +1361,9 @@ mod tests {
         let svc = Service::new(1);
         let spec = er_spec(7);
         let fp = svc.prefetch(&spec);
-        assert_eq!(svc.cache_stats(), (0, 0), "warming is not traffic");
+        let stats = svc.corpus_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 0), "warming is not traffic");
+        assert_eq!(stats.warms, 1, "the prefetch is a warm");
         assert_eq!(svc.corpus_len(), 1);
         // a Cached job resolves against the prefetched graph
         let out = svc.run_batch(vec![Job::new(
@@ -1350,7 +1419,7 @@ mod tests {
         assert!(matches!(err, JobError::GraphBuild { .. }), "{err:?}");
         assert!(err.to_string().contains("graph build failed"), "{err}");
         assert!(outs[1].report.is_ok(), "service must keep serving after a build panic");
-        assert!(svc.cache_stats().1 >= 1, "stats must stay readable (no poison)");
+        assert!(svc.corpus_stats().misses >= 1, "stats must stay readable (no poison)");
     }
 
     #[test]

@@ -105,6 +105,11 @@ pub struct Popped<T> {
     pub tenant: u32,
     /// Whether the entry was admission-gated.
     pub gated: bool,
+    /// Completion ticks the entry waited between enqueue and pop — the
+    /// scheduler-time wait figure the telemetry layer histograms. Purely
+    /// informational: computed at take time, never consulted by the pop
+    /// policy.
+    pub waited_ticks: u64,
     /// The caller's payload.
     pub payload: T,
 }
@@ -281,7 +286,13 @@ impl<T> SchedQueue<T> {
         if self.record_pops {
             self.pop_log.push(e.seq);
         }
-        Popped { seq: e.seq, tenant: e.tenant, gated: e.gated, payload: e.payload }
+        Popped {
+            seq: e.seq,
+            tenant: e.tenant,
+            gated: e.gated,
+            waited_ticks: self.ticks - e.enqueue_tick,
+            payload: e.payload,
+        }
     }
 
     /// Records the completion of a previously taken entry: one aging tick,

@@ -64,11 +64,13 @@ fn resubmitting_a_spec_is_a_cache_hit_with_the_same_fingerprint() {
 
     let first = svc.run_batch(vec![job.clone()]);
     assert!(!first[0].cache_hit, "first submission must build the graph");
-    assert_eq!(svc.cache_stats(), (0, 1));
+    let s = svc.corpus_stats();
+    assert_eq!((s.hits, s.misses), (0, 1));
 
     let second = svc.run_batch(vec![job]);
     assert!(second[0].cache_hit, "second submission of the same spec must hit");
-    assert_eq!(svc.cache_stats(), (1, 1));
+    let s = svc.corpus_stats();
+    assert_eq!((s.hits, s.misses), (1, 1));
     assert_eq!(
         first[0].report.as_ref().unwrap().graph_fingerprint,
         second[0].report.as_ref().unwrap().graph_fingerprint,
@@ -86,7 +88,7 @@ fn cache_hits_do_not_change_answers() {
     let outs = svc.run_batch(vec![job.clone(), job.clone(), job.clone(), job]);
     let reports: Vec<String> = outs.iter().map(|o| format!("{:?}", o.report)).collect();
     assert!(reports.windows(2).all(|w| w[0] == w[1]), "{reports:?}");
-    let (hits, misses) = svc.cache_stats();
-    assert_eq!(hits + misses, 4);
-    assert!(hits >= 1, "at least the later submissions must hit");
+    let stats = svc.corpus_stats();
+    assert_eq!(stats.lookups(), 4);
+    assert!(stats.hits >= 1, "at least the later submissions must hit");
 }

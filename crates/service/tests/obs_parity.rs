@@ -1,0 +1,103 @@
+//! Telemetry must be **observationally invisible**: engine transcripts and
+//! the service's pop order are byte-identical with `CLIQUE_OBS` on vs off,
+//! at every shard/worker count. This is the determinism half of the
+//! telemetry layer's contract — metrics are write-only, timers never feed
+//! back into scheduling — enforced the same way the engine-equivalence
+//! suite enforces seq/sharded parity: by comparing the full observable
+//! output.
+//!
+//! One `#[test]`: the obs level is process-global state, so this file
+//! keeps its own test binary (mirroring `hot_path_alloc`).
+
+use congest::graph::{Graph, VertexId};
+use congest::network::{Network, Outbox, Protocol, Word};
+use runtime::ShardedNetwork;
+use service::{Algo, GraphInput, GraphSpec, Job, Service, Ticket};
+
+use clique_listing::ListingConfig;
+
+/// Heartbeat-shaped probe that folds every inbox entry (sender, word) into
+/// a per-vertex rolling hash — the vector of final hashes plus the message
+/// count is the round transcript.
+struct Probe {
+    me: VertexId,
+    acc: u64,
+}
+
+impl Protocol for Probe {
+    fn on_round(&mut self, round: u64, inbox: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+        for &(src, w) in inbox {
+            self.acc = self.acc.wrapping_mul(0x0100_0000_01b3).wrapping_add(src as u64 ^ w);
+        }
+        let word = self.acc.wrapping_add(round) ^ self.me as u64;
+        for &v in g.neighbors(self.me) {
+            out.send(v, word);
+        }
+    }
+
+    fn done(&self) -> bool {
+        false
+    }
+}
+
+fn probes(n: usize) -> Vec<Probe> {
+    (0..n as VertexId).map(|me| Probe { me, acc: me as u64 }).collect()
+}
+
+const ROUNDS: usize = 5;
+
+/// Runs both engines at `shards` under `level`, returning the sequential
+/// and sharded transcripts.
+fn engine_transcripts(shards: usize, level: obs::Level) -> (Vec<u64>, u64, Vec<u64>, u64) {
+    obs::set_level(level);
+    let g = graphs::random_regular(256, 8, 7);
+    let mut seq = Network::with_bandwidth(&g, probes(g.n()), 1);
+    for _ in 0..ROUNDS {
+        seq.step();
+    }
+    let (seq_msgs, seq_acc) = (seq.messages(), seq.states().iter().map(|p| p.acc).collect());
+    let mut par = ShardedNetwork::with_config(&g, probes(g.n()), 1, shards);
+    for _ in 0..ROUNDS {
+        par.step();
+    }
+    let (par_msgs, par_acc) = (par.messages(), par.states().iter().map(|p| p.acc).collect());
+    (seq_acc, seq_msgs, par_acc, par_msgs)
+}
+
+/// Replays one atomic stream batch at `workers` under `level`, returning
+/// the pop order and the per-ticket outcome reports (submission order).
+/// A single-batch workload pops deterministically at any worker count
+/// (shared enqueue tick: aging cancels in relative order), so on-vs-off
+/// comparison is exact.
+fn service_run(workers: usize, level: obs::Level) -> (Vec<Ticket>, Vec<String>) {
+    obs::set_level(level);
+    let svc = Service::new(workers).with_pop_log();
+    let spec = |seed: u64| GraphSpec::ErdosRenyi { n: 24, p: 0.3, seed };
+    let jobs: Vec<Job> = (0..12u64)
+        .map(|i| {
+            Job::new(GraphInput::Spec(spec(i % 3)), 3, ListingConfig::default(), Algo::Paper)
+                .with_priority((i * 7 % 11) as u8)
+        })
+        .collect();
+    let outcomes = svc.run_batch(jobs);
+    let reports: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+    (svc.pop_log(), reports)
+}
+
+#[test]
+fn telemetry_is_invisible_to_transcripts_and_pop_order() {
+    for shards in [1usize, 2, 8] {
+        let off = engine_transcripts(shards, obs::Level::Off);
+        let on = engine_transcripts(shards, obs::Level::On);
+        assert_eq!(off, on, "engine transcripts diverged with telemetry on ({shards} shards)");
+        // and the engines agree with each other, telemetry or not
+        assert_eq!(on.0, on.2, "seq/sharded transcripts diverged ({shards} shards)");
+    }
+    for workers in [1usize, 2, 8] {
+        let off = service_run(workers, obs::Level::Off);
+        let on = service_run(workers, obs::Level::On);
+        assert_eq!(off.0, on.0, "pop order diverged with telemetry on ({workers} workers)");
+        assert_eq!(off.1, on.1, "job outcomes diverged with telemetry on ({workers} workers)");
+    }
+    obs::set_level(obs::Level::Off);
+}

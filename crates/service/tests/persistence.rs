@@ -50,7 +50,8 @@ fn save_load_save_is_byte_identical_and_preserves_fingerprints() {
     let mut reloaded = CorpusCache::new(8);
     assert_eq!(reloaded.load(&file.0).unwrap(), 5, "every verified entry loads");
     assert_eq!(reloaded.len(), 5);
-    assert_eq!(reloaded.stats(), (0, 0), "loading warms; it must not count as traffic");
+    let stats = reloaded.stats_typed();
+    assert_eq!((stats.hits, stats.misses), (0, 0), "loading warms; it must not count as traffic");
     for fp in &fps {
         assert!(reloaded.by_fingerprint(*fp).is_some(), "fingerprint {fp:#018x} must survive");
     }
@@ -176,7 +177,8 @@ fn service_restart_turns_persisted_specs_into_cache_hits() {
 
     let svc = Service::new(1).with_corpus_path(&file.0);
     assert_eq!(svc.corpus_len(), 1, "restart warm-loads the corpus");
-    assert_eq!(svc.cache_stats(), (0, 0), "warm-loading is provisioning, not traffic");
+    let warm = svc.corpus_stats();
+    assert_eq!((warm.hits, warm.misses), (0, 0), "warm-loading is provisioning, not traffic");
     let outs = svc.run_batch(vec![job()]);
     assert!(outs[0].cache_hit, "the persisted spec must be a genuine post-restart hit");
     assert_eq!(format!("{:?}", outs[0].report.as_ref().unwrap()), first_report);
@@ -188,8 +190,7 @@ fn service_restart_turns_persisted_specs_into_cache_hits() {
         Algo::Paper,
     )]);
     assert_eq!(cached[0].report.as_ref().unwrap().graph_fingerprint, fp);
-    let (hits, _) = svc.cache_stats();
-    assert!(hits >= 2, "cross-restart cache hit rate must be > 0");
+    assert!(svc.corpus_stats().hits >= 2, "cross-restart cache hit rate must be > 0");
 }
 
 #[test]

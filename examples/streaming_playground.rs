@@ -158,8 +158,8 @@ fn service_stream_demo() {
         assert_eq!(streamed[t], format!("{:?}", o.report), "stream vs batch answer diverged");
     }
     println!("\nall streamed answers byte-identical to the run_batch answers ✓");
-    let (hits, misses_cache) = svc.cache_stats();
-    println!("corpus cache after both passes: {hits} hits / {misses_cache} misses");
+    let stats = svc.corpus_stats();
+    println!("corpus cache after both passes: {} hits / {} misses", stats.hits, stats.misses);
 }
 
 fn main() {
