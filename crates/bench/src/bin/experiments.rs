@@ -3,6 +3,15 @@
 //!
 //! Usage: `cargo run --release -p bench --bin experiments [e1 e2 … e9 a2 eng svc timing | all]`
 //!
+//! Transcript subcommands (never part of `all`; see `bench::trc`):
+//!
+//! ```text
+//! experiments record <out.trace> [--scenario S] [--protocol P] [--engine E]
+//!                    [--fidelity digest|full] [--chrome out.json]
+//! experiments replay <in.trace> [--engine E]     # exits 1 on divergence
+//! experiments diff <a.trace> <b.trace>           # exits 1 unless identical
+//! ```
+//!
 //! `timing` (the old `timing_probe` binary) is NOT part of `all`: it is the
 //! heavier dense-G(n, 1/2) scaling probe, now reporting the per-phase
 //! (compute vs exchange) breakdown via the telemetry layer.
@@ -26,6 +35,14 @@ use ppstream::{simulate, Budgets, Chunk, Emitter, InstanceInput, MainAction, Par
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    // Transcript subcommands consume the rest of the argument list and are
+    // never part of `all` (they take paths, not experiment names).
+    match args.first().map(String::as_str) {
+        Some("record") => return bench::trc::record_cmd(&args[1..]),
+        Some("replay") => return bench::trc::replay_cmd(&args[1..]),
+        Some("diff") => return bench::trc::diff_cmd(&args[1..]),
+        _ => {}
+    }
     let all = args.is_empty() || args.iter().any(|a| a == "all");
     let want = |e: &str| all || args.iter().any(|a| a == e);
     if want("e1") {
@@ -115,7 +132,8 @@ fn timing() {
 /// trajectory record (jobs/s, p50/p95 latency, cache hit rate).
 fn svc() {
     use bench::svc::{
-        replay, report, small_scenarios, tenant_mix_and_persistence, trajectory_worker_counts,
+        replay, report, small_scenarios, tenant_mix_and_persistence, trace_overhead,
+        trajectory_worker_counts,
     };
     let scenarios = small_scenarios();
     let workers = trajectory_worker_counts();
@@ -128,7 +146,8 @@ fn svc() {
     );
     let rows = replay(&workers, &scenarios);
     let mix = tenant_mix_and_persistence();
-    report(&scenarios, &rows, &mix);
+    let overhead = trace_overhead();
+    report(&scenarios, &rows, &mix, &overhead);
     for r in &rows {
         assert!(r.hit_rate > 0.0, "the smoke corpus repeats specs; hit rate must be > 0");
     }

@@ -8,20 +8,36 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4]
+//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest]
 //! ```
 //!
 //! Defaults: the full scenario corpus at worker counts
 //! `{1, available_shards()}` (so `CLIQUE_SHARDS` steers the sweep).
+//! `--trace digest|full[:path]` captures the first scenario's jobs as
+//! round transcripts (attached to their outcomes; with a `:path` suffix
+//! the last one also lands on disk).
 
 use bench::svc::{
-    full_scenarios, replay, report, small_scenarios, tenant_mix_and_persistence,
+    full_scenarios, replay, report, small_scenarios, tenant_mix_and_persistence, trace_overhead,
     trajectory_worker_counts,
 };
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let small = args.iter().any(|a| a == "--small");
+    let trace_mode = match args.iter().position(|a| a == "--trace") {
+        Some(i) => {
+            let spec = args.get(i + 1).unwrap_or_else(|| {
+                eprintln!("--trace needs a mode, e.g. --trace digest");
+                std::process::exit(2);
+            });
+            trace::parse_mode(spec).unwrap_or_else(|| {
+                eprintln!("bad trace mode {spec:?} (expected off|digest|full, optional :path)");
+                std::process::exit(2);
+            })
+        }
+        None => trace::TraceMode::off(),
+    };
     let workers = match args.iter().position(|a| a == "--workers") {
         Some(i) => {
             let spec = args.get(i + 1).unwrap_or_else(|| {
@@ -39,7 +55,17 @@ fn main() {
         }
         None => trajectory_worker_counts(),
     };
-    let scenarios = if small { small_scenarios() } else { full_scenarios() };
+    let mut scenarios = if small { small_scenarios() } else { full_scenarios() };
+    // Capture one scenario per run: the first scenario's jobs carry the
+    // requested trace mode, everything else replays untraced.
+    if trace_mode.is_on() {
+        if let Some(s) = scenarios.first_mut() {
+            for j in &mut s.jobs {
+                j.config.trace = trace_mode.clone();
+            }
+            println!("tracing scenario {:?} at {} fidelity", s.name, trace_mode.fidelity.name());
+        }
+    }
     let total_jobs: usize = scenarios.iter().map(|s| s.jobs.len()).sum();
     println!(
         "\n## loadgen — {} corpus: {} scenarios, {} jobs, worker counts {:?}\n",
@@ -50,8 +76,18 @@ fn main() {
     );
     let rows = replay(&workers, &scenarios);
     let mix = tenant_mix_and_persistence();
-    report(&scenarios, &rows, &mix);
+    let overhead = trace_overhead();
+    report(&scenarios, &rows, &mix, &overhead);
     for r in &rows {
+        if trace_mode.is_on() {
+            assert_eq!(
+                r.traced,
+                scenarios[0].jobs.len(),
+                "every job of the traced scenario must carry a transcript"
+            );
+        } else {
+            assert_eq!(r.traced, 0, "no transcripts expected without --trace");
+        }
         assert!(r.hit_rate > 0.0, "scenario corpora repeat specs; hit rate must be > 0");
         assert!(r.ttfr <= r.wall, "first streamed result cannot arrive after the last");
         assert!(

@@ -1,6 +1,7 @@
 //! Shared helpers for the experiment harness and Criterion benches.
 
 pub mod svc;
+pub mod trc;
 
 use congest::engine::{Engine, EngineSelect};
 use congest::graph::{Graph, VertexId};

@@ -200,6 +200,58 @@ pub struct LoadgenRow {
     pub deadline_miss_rate: f64,
     /// Corpus-cache hit rate over the replay.
     pub hit_rate: f64,
+    /// Jobs whose outcome carried a round transcript (nonzero only when
+    /// the replayed jobs asked for capture, e.g. `loadgen --trace`).
+    pub traced: usize,
+}
+
+/// Transcript-capture overhead: the same job mix replayed with capture off
+/// and at digest fidelity, recorded as a `trace_overhead` block in
+/// `BENCH_service.json` so the cost of always-on capture stays visible in
+/// the trajectory.
+pub struct TraceOverhead {
+    /// Jobs in each replay.
+    pub jobs: usize,
+    /// Jobs/s with `CLIQUE_TRACE` off.
+    pub jobs_per_sec_off: f64,
+    /// Jobs/s at digest fidelity (every job captured, transcripts
+    /// attached to outcomes, nothing written to disk).
+    pub jobs_per_sec_digest: f64,
+    /// Throughput cost of digest capture in percent (can dip below zero on
+    /// a noisy host — both replays are identical apart from the recorder).
+    pub overhead_pct: f64,
+}
+
+/// Measures [`TraceOverhead`] on the smoke corpus: one worker, cold corpus
+/// on both sides, so the two replays differ only in the recorder.
+pub fn trace_overhead() -> TraceOverhead {
+    let jobs: Vec<Job> = small_scenarios().into_iter().flat_map(|s| s.jobs).collect();
+    let traced: Vec<Job> = jobs
+        .iter()
+        .map(|j| {
+            let mut j = j.clone();
+            j.config.trace = trace::TraceMode { fidelity: trace::Fidelity::Digest, path: None };
+            j
+        })
+        .collect();
+    let time = |jobs: Vec<Job>| {
+        let svc = Service::new(1);
+        let n = jobs.len();
+        let start = std::time::Instant::now();
+        let outs = svc.run_batch(jobs);
+        let secs = start.elapsed().as_secs_f64().max(1e-9);
+        (n as f64 / secs, outs)
+    };
+    let (off_rate, outs_off) = time(jobs);
+    let (digest_rate, outs_digest) = time(traced);
+    assert!(outs_off.iter().all(|o| o.trace.is_none()), "capture-off jobs must not record");
+    assert!(outs_digest.iter().all(|o| o.trace.is_some()), "digest jobs must all record");
+    TraceOverhead {
+        jobs: outs_off.len(),
+        jobs_per_sec_off: off_rate,
+        jobs_per_sec_digest: digest_rate,
+        overhead_pct: (off_rate - digest_rate) / off_rate * 100.0,
+    }
 }
 
 /// Tenant-mix fairness + corpus-persistence measurements, recorded in
@@ -323,6 +375,7 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
             ),
         }
         let stats = svc.corpus_stats();
+        let traced = outcomes.iter().filter(|o| o.trace.is_some()).count();
         let mut latencies: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
         latencies.sort_unstable();
         rows.push(LoadgenRow {
@@ -335,6 +388,7 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
             ttfr,
             deadline_miss_rate: deadline_misses as f64 / with_deadline.max(1) as f64,
             hit_rate: stats.hit_rate(),
+            traced,
         });
     }
     rows
@@ -343,8 +397,14 @@ pub fn replay(worker_counts: &[usize], scenarios: &[Scenario]) -> Vec<LoadgenRow
 /// Prints the loadgen table and writes `BENCH_service.json` — the
 /// cross-PR trajectory record (jobs/s, p50/p95 latency, time-to-first-
 /// result, deadline-miss rate, cache hit rate per worker count, plus the
-/// tenant-mix fairness and corpus-persistence measurements).
-pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow], mix: &TenantMixReport) {
+/// tenant-mix fairness, corpus-persistence, and transcript-capture-
+/// overhead measurements).
+pub fn report(
+    scenarios: &[Scenario],
+    rows: &[LoadgenRow],
+    mix: &TenantMixReport,
+    overhead: &TraceOverhead,
+) {
     let mut t = Table::new(&[
         "workers",
         "jobs",
@@ -412,6 +472,23 @@ pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow], mix: &TenantMixReport
         mix.persisted_graphs,
         mix.restart_hit_rate
     );
+    println!(
+        "trace overhead: {} jobs — {:.1} jobs/s capture off vs {:.1} jobs/s digest ({:+.1}%)",
+        overhead.jobs,
+        overhead.jobs_per_sec_off,
+        overhead.jobs_per_sec_digest,
+        overhead.overhead_pct
+    );
+    let overhead_json = format!(
+        concat!(
+            "  \"trace_overhead\": {{\"jobs\": {}, \"jobs_per_sec_off\": {:.3}, ",
+            "\"jobs_per_sec_digest\": {:.3}, \"overhead_pct\": {:.2}}},"
+        ),
+        overhead.jobs,
+        overhead.jobs_per_sec_off,
+        overhead.jobs_per_sec_digest,
+        overhead.overhead_pct
+    );
     // Per-phase engine totals accumulated over the whole replay (zeros
     // unless CLIQUE_OBS enabled the phase timers).
     let m = obs::metrics();
@@ -432,10 +509,11 @@ pub fn report(scenarios: &[Scenario], rows: &[LoadgenRow], mix: &TenantMixReport
         pe as f64 / 1e6,
     );
     let json = format!(
-        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
         names.join(", "),
         runtime::available_shards(),
         mix_json,
+        overhead_json,
         obs_json,
         rows_json.join(",\n")
     );

@@ -1,0 +1,420 @@
+//! The `experiments record|replay|diff` subcommands: transcript capture of
+//! the reference protocols over a fixed scenario registry, replay
+//! verification, and transcript diffing.
+//!
+//! `record` runs a named scenario graph under a chosen protocol and engine
+//! with an ambient [`trace::Recorder`] installed, then writes the
+//! `CLQTRACE` transcript (and optionally the chrome://tracing export).
+//! `replay` re-executes a transcript *from its header alone*: the graph is
+//! resolved by matching the header fingerprint against the scenario
+//! registry **through the service corpus** (the same FNV-1a content
+//! fingerprint), the protocol is parsed back out of the header, and the
+//! re-execution — on any engine, any shard count — must diff
+//! divergence-free against the recorded rounds.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+use clique_listing::{list_cliques_congest_with, ListingConfig};
+use congest::engine::EngineSelect;
+use congest::graph::Graph;
+use congest::protocols::{aggregate_sum_on, collect_two_hop_on, distributed_bfs_on};
+use service::{GraphSpec, Service};
+
+/// The scenario registry: named, connected-by-construction graph specs
+/// shared by `record` and `replay`. Replay resolves a transcript's graph
+/// by fingerprint-matching against these through the service corpus.
+pub fn scenarios() -> Vec<(&'static str, GraphSpec)> {
+    vec![
+        ("er40", GraphSpec::ErdosRenyi { n: 40, p: 0.15, seed: 7 }),
+        ("clustered36", GraphSpec::Clustered { n: 36, blocks: 3, p_in: 0.5, p_out: 0.02, seed: 4 }),
+        ("hypercube5", GraphSpec::Hypercube { dim: 5 }),
+        ("geo40", GraphSpec::RandomGeometric { n: 40, radius: 0.28, seed: 9 }),
+    ]
+}
+
+/// A protocol a transcript can capture, parseable from CLI shorthand and
+/// from the canonical form stored in a transcript header.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolSpec {
+    /// Distributed BFS from vertex 0.
+    Bfs,
+    /// Spanning-tree aggregation (sum of per-vertex inputs).
+    Spanning,
+    /// Two-hop neighborhood collection (Lemma 35), α = 8, bandwidth 1.
+    TwoHop,
+    /// Full clique listing at this `p`.
+    Listing(usize),
+}
+
+impl ProtocolSpec {
+    /// Parses both the CLI shorthand (`listing3`) and the canonical header
+    /// form (`listing:p=3`).
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "bfs" => Some(ProtocolSpec::Bfs),
+            "spanning" => Some(ProtocolSpec::Spanning),
+            "two-hop" => Some(ProtocolSpec::TwoHop),
+            _ => {
+                let p = s.strip_prefix("listing:p=").or_else(|| s.strip_prefix("listing"))?;
+                p.parse::<usize>().ok().filter(|&p| (3..=6).contains(&p)).map(ProtocolSpec::Listing)
+            }
+        }
+    }
+
+    /// The canonical form stored in (and parsed back out of) a transcript
+    /// header's `protocol` field.
+    pub fn canonical(&self) -> String {
+        match self {
+            ProtocolSpec::Bfs => "bfs".into(),
+            ProtocolSpec::Spanning => "spanning".into(),
+            ProtocolSpec::TwoHop => "two-hop".into(),
+            ProtocolSpec::Listing(p) => format!("listing:p={p}"),
+        }
+    }
+
+    /// The header seed field: the only protocol parameter not already in
+    /// the canonical name (all four are deterministic, so this is
+    /// provenance, not entropy).
+    fn seed(&self) -> u64 {
+        match self {
+            ProtocolSpec::Listing(p) => *p as u64,
+            _ => 0,
+        }
+    }
+}
+
+/// An engine choice parseable from the CLI (`seq`, `sharded`,
+/// `sharded:N`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EngineSpec {
+    /// The sequential reference engine.
+    Seq,
+    /// The sharded engine at this worker count.
+    Sharded(usize),
+}
+
+impl EngineSpec {
+    /// Parses `seq`/`sequential`, `sharded` (machine default), or
+    /// `sharded:N`.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "seq" | "sequential" => Some(EngineSpec::Seq),
+            "sharded" => Some(EngineSpec::Sharded(runtime::available_shards())),
+            _ => {
+                let n = s.strip_prefix("sharded:")?;
+                runtime::parse_shards(n).map(EngineSpec::Sharded)
+            }
+        }
+    }
+
+    /// The name recorded in the transcript header (informational — `diff`
+    /// never compares it; replaying on a different engine is the point).
+    pub fn name(&self) -> String {
+        match self {
+            EngineSpec::Seq => "sequential".into(),
+            EngineSpec::Sharded(n) => format!("sharded:{n}"),
+        }
+    }
+
+    /// Runs `proto` on `g` with this engine. Transcript capture happens
+    /// through the ambient recorder, if one is installed.
+    pub fn run(&self, g: &Graph, proto: ProtocolSpec) {
+        match self {
+            EngineSpec::Seq => run_protocol(&congest::Sequential, g, proto),
+            EngineSpec::Sharded(n) => run_protocol(&runtime::Sharded::new((*n).max(1)), g, proto),
+        }
+    }
+}
+
+/// Runs one reference protocol to completion on the selected engine,
+/// discarding the answer — the side effect of interest is the round stream
+/// seen by the ambient recorder.
+pub fn run_protocol<S: EngineSelect>(sel: &S, g: &Graph, proto: ProtocolSpec) {
+    match proto {
+        ProtocolSpec::Bfs => {
+            distributed_bfs_on(sel, g, 0);
+        }
+        ProtocolSpec::Spanning => {
+            let inputs: Vec<u64> = (0..g.n() as u64).map(|v| v.wrapping_mul(0x9e37) + 1).collect();
+            aggregate_sum_on(sel, g, &inputs);
+        }
+        ProtocolSpec::TwoHop => {
+            collect_two_hop_on(sel, g, 8, 1);
+        }
+        ProtocolSpec::Listing(p) => {
+            // Trace off in the config: capture is the caller's ambient
+            // recorder, not the driver's own file-writing path.
+            let cfg = ListingConfig { trace: trace::TraceMode::off(), ..ListingConfig::default() };
+            list_cliques_congest_with(sel, g, p, &cfg);
+        }
+    }
+}
+
+/// Captures one scenario × protocol × engine run as a [`trace::Transcript`]
+/// (shared by the `record` CLI and the smoke tests).
+pub fn record_transcript(
+    spec: &GraphSpec,
+    proto: ProtocolSpec,
+    engine: EngineSpec,
+    fidelity: trace::Fidelity,
+    graph_fingerprint: u64,
+) -> trace::Transcript {
+    let g = spec.build();
+    let header = trace::Header {
+        graph_fingerprint,
+        protocol: proto.canonical(),
+        engine: engine.name(),
+        seed: proto.seed(),
+    };
+    let ((), t) = trace::capture(fidelity, header, || engine.run(&g, proto));
+    t
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("{msg}");
+    exit(2)
+}
+
+fn scenario_names() -> String {
+    scenarios().iter().map(|(n, _)| *n).collect::<Vec<_>>().join(", ")
+}
+
+struct Flags {
+    positional: Vec<String>,
+    scenario: String,
+    proto: ProtocolSpec,
+    engine: EngineSpec,
+    fidelity: trace::Fidelity,
+    chrome: Option<PathBuf>,
+}
+
+fn parse_flags(args: &[String], default_engine: EngineSpec) -> Flags {
+    let mut f = Flags {
+        positional: Vec::new(),
+        scenario: "er40".into(),
+        proto: ProtocolSpec::Listing(3),
+        engine: default_engine,
+        fidelity: trace::Fidelity::Digest,
+        chrome: None,
+    };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        let mut value = |flag: &str| {
+            it.next().cloned().unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match a.as_str() {
+            "--scenario" => f.scenario = value("--scenario"),
+            "--protocol" => {
+                let v = value("--protocol");
+                f.proto = ProtocolSpec::parse(&v).unwrap_or_else(|| {
+                    die(&format!("unknown protocol {v:?} (bfs, spanning, two-hop, listing3..6)"))
+                });
+            }
+            "--engine" => {
+                let v = value("--engine");
+                f.engine = EngineSpec::parse(&v)
+                    .unwrap_or_else(|| die(&format!("bad engine {v:?} (seq, sharded, sharded:N)")));
+            }
+            "--fidelity" => {
+                let v = value("--fidelity");
+                f.fidelity = match v.as_str() {
+                    "digest" => trace::Fidelity::Digest,
+                    "full" => trace::Fidelity::Full,
+                    _ => die(&format!("bad fidelity {v:?} (digest or full)")),
+                };
+            }
+            "--chrome" => f.chrome = Some(PathBuf::from(value("--chrome"))),
+            other if !other.starts_with("--") => f.positional.push(other.to_string()),
+            other => die(&format!("unknown flag {other:?}")),
+        }
+    }
+    f
+}
+
+/// `experiments record <out.trace> [--scenario S] [--protocol P]
+/// [--engine E] [--fidelity digest|full] [--chrome out.json]`
+pub fn record_cmd(args: &[String]) {
+    let f = parse_flags(args, EngineSpec::Seq);
+    let [path] = f.positional.as_slice() else {
+        die("usage: experiments record <out.trace> [--scenario S] [--protocol P] [--engine E] [--fidelity digest|full] [--chrome out.json]");
+    };
+    // Phase timers feed the chrome export's span durations.
+    obs::set_level(obs::Level::On);
+    let spec =
+        scenarios().into_iter().find(|(n, _)| *n == f.scenario).map(|(_, s)| s).unwrap_or_else(
+            || die(&format!("unknown scenario {:?} (have: {})", f.scenario, scenario_names())),
+        );
+    // The corpus is the fingerprint authority: replay resolves through it,
+    // so record registers through it too.
+    let fp = Service::new(1).prefetch(&spec);
+    let t = record_transcript(&spec, f.proto, f.engine, f.fidelity, fp);
+    if let Err(e) = t.save(Path::new(path)) {
+        die(&format!("could not write {path}: {e}"));
+    }
+    println!(
+        "recorded {path}: scenario {} ({:#018x}), protocol {}, engine {}, {} fidelity — {} rounds, {} messages",
+        f.scenario,
+        fp,
+        t.header.protocol,
+        t.header.engine,
+        t.fidelity.name(),
+        t.rounds.len(),
+        t.total_messages(),
+    );
+    if let Some(cp) = &f.chrome {
+        match std::fs::write(cp, t.chrome_trace_json()) {
+            Ok(()) => println!("wrote chrome trace {} (load via chrome://tracing)", cp.display()),
+            Err(e) => die(&format!("could not write {}: {e}", cp.display())),
+        }
+    }
+}
+
+/// `experiments replay <in.trace> [--engine E]` — re-executes the
+/// transcript from its header and verifies the re-run diffs
+/// divergence-free. Exits nonzero on divergence.
+pub fn replay_cmd(args: &[String]) {
+    let f = parse_flags(args, EngineSpec::Sharded(runtime::available_shards()));
+    let [path] = f.positional.as_slice() else {
+        die("usage: experiments replay <in.trace> [--engine E]");
+    };
+    let recorded = match trace::Transcript::load(Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => die(&format!("could not load {path}: {e}")),
+    };
+    // Resolve the graph via the corpus: warm each registry spec and match
+    // its content fingerprint against the header.
+    let svc = Service::new(1);
+    let (name, spec) = scenarios()
+        .into_iter()
+        .find(|(_, spec)| svc.prefetch(spec) == recorded.header.graph_fingerprint)
+        .unwrap_or_else(|| {
+            die(&format!(
+                "graph fingerprint {:#018x} matches no registry scenario (have: {})",
+                recorded.header.graph_fingerprint,
+                scenario_names()
+            ))
+        });
+    let proto = ProtocolSpec::parse(&recorded.header.protocol).unwrap_or_else(|| {
+        die(&format!("transcript protocol {:?} is not replayable", recorded.header.protocol))
+    });
+    let replayed = record_transcript(
+        &spec,
+        proto,
+        f.engine,
+        recorded.fidelity,
+        recorded.header.graph_fingerprint,
+    );
+    let d = trace::diff(&recorded, &replayed);
+    if d.is_identical() {
+        println!(
+            "replay verified divergence-free: scenario {name}, protocol {}, {} rounds, {} messages \
+             (recorded on {}, replayed on {})",
+            recorded.header.protocol,
+            recorded.rounds.len(),
+            recorded.total_messages(),
+            recorded.header.engine,
+            f.engine.name(),
+        );
+    } else {
+        println!("{d}");
+        exit(1);
+    }
+}
+
+/// `experiments diff <a.trace> <b.trace>` — loads two transcripts and
+/// reports the first divergent round. Exits nonzero unless identical.
+pub fn diff_cmd(args: &[String]) {
+    let f = parse_flags(args, EngineSpec::Seq);
+    let [a, b] = f.positional.as_slice() else {
+        die("usage: experiments diff <a.trace> <b.trace>");
+    };
+    let load = |p: &String| match trace::Transcript::load(Path::new(p)) {
+        Ok(t) => t,
+        Err(e) => die(&format!("could not load {p}: {e}")),
+    };
+    let d = trace::diff(&load(a), &load(b));
+    println!("{d}");
+    if !d.is_identical() {
+        exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fp_of(spec: &GraphSpec) -> u64 {
+        let g = spec.build();
+        trace::graph_fingerprint(g.n() as u64, g.edges())
+    }
+
+    #[test]
+    fn every_protocol_replays_divergence_free_across_engines() {
+        for (_, spec) in scenarios() {
+            for proto in [
+                ProtocolSpec::Bfs,
+                ProtocolSpec::Spanning,
+                ProtocolSpec::TwoHop,
+                ProtocolSpec::Listing(3),
+            ] {
+                let fp = fp_of(&spec);
+                let a =
+                    record_transcript(&spec, proto, EngineSpec::Seq, trace::Fidelity::Digest, fp);
+                let b = record_transcript(
+                    &spec,
+                    proto,
+                    EngineSpec::Sharded(2),
+                    trace::Fidelity::Digest,
+                    fp,
+                );
+                assert!(
+                    trace::diff(&a, &b).is_identical(),
+                    "{} diverged between engines",
+                    proto.canonical()
+                );
+                assert!(!a.rounds.is_empty());
+            }
+        }
+    }
+
+    #[test]
+    fn perturbed_replay_reports_the_exact_first_divergent_round() {
+        let (_, spec) = scenarios().remove(0);
+        let fp = fp_of(&spec);
+        let a = record_transcript(
+            &spec,
+            ProtocolSpec::Listing(3),
+            EngineSpec::Seq,
+            trace::Fidelity::Digest,
+            fp,
+        );
+        assert!(a.rounds.len() >= 3, "need a few rounds to perturb the middle");
+        let k = a.rounds.len() / 2;
+        let mut b = a.clone();
+        b.rounds[k].digest ^= 1;
+        match trace::diff(&a, &b) {
+            trace::TraceDiff::Divergence(d) => {
+                assert_eq!(d.index, k, "diff must name the exact first divergent round")
+            }
+            other => panic!("expected a divergence at round {k}, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn protocol_and_engine_specs_round_trip_through_their_names() {
+        for proto in [
+            ProtocolSpec::Bfs,
+            ProtocolSpec::Spanning,
+            ProtocolSpec::TwoHop,
+            ProtocolSpec::Listing(4),
+        ] {
+            assert_eq!(ProtocolSpec::parse(&proto.canonical()), Some(proto));
+        }
+        assert_eq!(ProtocolSpec::parse("listing3"), Some(ProtocolSpec::Listing(3)));
+        assert_eq!(ProtocolSpec::parse("listing:p=9"), None);
+        assert_eq!(EngineSpec::parse("seq"), Some(EngineSpec::Seq));
+        assert_eq!(EngineSpec::parse("sharded:4"), Some(EngineSpec::Sharded(4)));
+        assert_eq!(EngineSpec::parse("sharded:x"), None);
+    }
+}

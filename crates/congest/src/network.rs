@@ -237,7 +237,25 @@ impl<'g, P: Protocol> Network<'g, P> {
         self.nonempty = nonempty;
         self.counters_valid = true;
         self.round += 1;
-        timer.finish(&obs::metrics().engine_seq);
+        let split = timer.finish_split(&obs::metrics().engine_seq);
+        // Transcript hook: after the swap, `inboxes` walked in destination
+        // order with each inbox sorted (sender, payload) IS the canonical
+        // message stream of round `round` — the same stream the sharded
+        // engine's sender-ordered merge produces at any shard count. One
+        // TLS read when no capture is active; allocation-free at digest
+        // fidelity, so the hot-path audit holds with CLIQUE_TRACE=digest.
+        if trace::active() {
+            trace::with_active(|rec| {
+                rec.begin_round(round);
+                for (to, inbox) in self.inboxes.iter().enumerate() {
+                    for &(from, payload) in inbox {
+                        rec.message(to as u32, from, payload);
+                    }
+                }
+                let (c_ns, e_ns) = split.unwrap_or((0, 0));
+                rec.end_round(c_ns, e_ns);
+            });
+        }
     }
 
     /// The per-vertex protocol states.

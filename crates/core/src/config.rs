@@ -272,6 +272,15 @@ pub struct ListingConfig {
     /// clock (see [`WallBudget`]); this is the knob the service's
     /// wall-clock deadlines (`JobMeta::deadline_ms`) are enforced through.
     pub wall_budget: Option<WallBudget>,
+    /// Round-transcript capture for the run (see the `trace` crate).
+    /// Defaults to the `CLIQUE_TRACE` environment variable
+    /// (`off | digest | full[:path]`, warn-and-fallback like `CLIQUE_OBS`).
+    /// Capture is write-only and off the decision path, so results and
+    /// round counts are identical at every fidelity. The library driver
+    /// honors it when a path is given (the transcript is saved there as
+    /// the run finishes); the batch service honors it for every job,
+    /// attaching the transcript to the `JobOutcome`.
+    pub trace: trace::TraceMode,
 }
 
 impl Default for ListingConfig {
@@ -287,6 +296,7 @@ impl Default for ListingConfig {
             engine: EngineChoice::default(),
             round_cap: None,
             wall_budget: None,
+            trace: trace::mode_from_env_uncached(),
         }
     }
 }

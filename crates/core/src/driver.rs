@@ -122,6 +122,40 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
     p: usize,
     cfg: &ListingConfig,
 ) -> ListingOutcome {
+    // Library-level transcript capture (`cfg.trace`, usually from
+    // CLIQUE_TRACE): only when a file sink is configured and no enclosing
+    // capture is active — the batch service installs its own per-job
+    // capture around the whole run, which then owns every engine round.
+    if cfg.trace.is_on() && cfg.trace.path.is_some() && !trace::active() {
+        let path = cfg.trace.path.as_deref().expect("checked above");
+        let engine = std::any::type_name::<S>().rsplit("::").next().unwrap_or("engine");
+        let header = trace::Header {
+            graph_fingerprint: trace::graph_fingerprint(g.n() as u64, g.edges()),
+            protocol: format!("listing:p={p}"),
+            engine: engine.to_string(),
+            seed: p as u64,
+        };
+        let (out, transcript) =
+            trace::capture(cfg.trace.fidelity, header, || run_listing(sel, g, p, cfg));
+        if let Err(e) = transcript.save(path) {
+            obs::warn(
+                obs::WarnKind::TraceWrite,
+                format_args!("could not write transcript to {}: {e}", path.display()),
+            );
+        }
+        return out;
+    }
+    run_listing(sel, g, p, cfg)
+}
+
+/// The deterministic listing recursion (Theorem 1 / Theorem 36), engine-
+/// and capture-agnostic.
+fn run_listing<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    p: usize,
+    cfg: &ListingConfig,
+) -> ListingOutcome {
     assert!(p >= 3, "clique size must be at least 3");
     let n = g.n();
     let mut current: Vec<(VertexId, VertexId)> = g.edges().collect();

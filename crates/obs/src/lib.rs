@@ -391,12 +391,23 @@ impl PhaseTimer {
     /// Inert timers (begun while off, or never split) record nothing.
     #[inline]
     pub fn finish(self, stats: &PhaseStats) {
+        let _ = self.finish_split(stats);
+    }
+
+    /// Like [`PhaseTimer::finish`], but also hands the round's
+    /// `(compute_ns, exchange_ns)` split back to the caller — the engines
+    /// forward it to the trace recorder so chrome-trace exports carry real
+    /// per-round spans. `None` from an inert timer.
+    #[inline]
+    pub fn finish_split(self, stats: &PhaseStats) -> Option<(u64, u64)> {
         if let (Some(start), Some(split)) = (self.start, self.split) {
             let end = Instant::now();
-            stats.record(
-                split.duration_since(start).as_nanos() as u64,
-                end.duration_since(split).as_nanos() as u64,
-            );
+            let compute_ns = split.duration_since(start).as_nanos() as u64;
+            let exchange_ns = end.duration_since(split).as_nanos() as u64;
+            stats.record(compute_ns, exchange_ns);
+            Some((compute_ns, exchange_ns))
+        } else {
+            None
         }
     }
 }
@@ -426,11 +437,15 @@ pub enum WarnKind {
     CorpusStale,
     /// A benchmark artifact (`BENCH_*.json`, metrics dump) failed to write.
     BenchWrite,
+    /// Unrecognized `CLIQUE_TRACE` value (trace capture stays off).
+    TraceEnv,
+    /// A captured transcript (or chrome-trace export) failed to write.
+    TraceWrite,
 }
 
 impl WarnKind {
     /// All kinds, in rendering order.
-    pub const ALL: [WarnKind; 8] = [
+    pub const ALL: [WarnKind; 10] = [
         WarnKind::ShardsEnv,
         WarnKind::EngineEnv,
         WarnKind::AdmitEnv,
@@ -439,6 +454,8 @@ impl WarnKind {
         WarnKind::CorpusLoad,
         WarnKind::CorpusStale,
         WarnKind::BenchWrite,
+        WarnKind::TraceEnv,
+        WarnKind::TraceWrite,
     ];
 
     /// Number of kinds (the warning-counter array length).
@@ -455,6 +472,8 @@ impl WarnKind {
             WarnKind::CorpusLoad => "corpus_load",
             WarnKind::CorpusStale => "corpus_stale",
             WarnKind::BenchWrite => "bench_write",
+            WarnKind::TraceEnv => "trace_env",
+            WarnKind::TraceWrite => "trace_write",
         }
     }
 }
@@ -474,15 +493,49 @@ fn emit_line(line: String) {
     }
 }
 
+/// How many lines of one [`WarnKind`] print before the sink suppresses the
+/// rest (see [`warn`]). Counters are never suppressed.
+pub const WARN_PRINT_LIMIT: u64 = 5;
+
+/// Per-kind count of warn calls that reached the sink decision, used only
+/// to rate-limit printing; the authoritative counts live in the registry.
+static WARN_PRINTED: [AtomicU64; WarnKind::COUNT] = [const { AtomicU64::new(0) }; WarnKind::COUNT];
+
+/// Resets the per-kind print rate limiter so the next [`WARN_PRINT_LIMIT`]
+/// warnings of every kind print again. Test support: the limiter is
+/// process-global, and tests asserting on captured lines need a known
+/// starting state. Does not touch the warning counters.
+pub fn reset_warn_prints() {
+    for c in &WARN_PRINTED {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
 /// Emits a structured warning: bumps the per-kind counter
 /// (unconditionally — warnings count even with telemetry off) and writes
 /// `warning: {msg}` to stderr, preserving the exact user-facing behavior
 /// of the old raw `eprintln!` sites. Under [`capture_warnings`] the line
 /// goes to the capture buffer instead. Warning paths are cold by
 /// definition, so the sink lock is acceptable here and only here.
+///
+/// Printing is rate-limited per kind: the first [`WARN_PRINT_LIMIT`] lines
+/// of a kind print, then one suppression notice, then nothing — a site
+/// firing in a loop cannot spam stderr. The per-kind counters stay exact
+/// regardless ([`warn_count`], `clique_warnings_total`).
 pub fn warn(kind: WarnKind, msg: fmt::Arguments<'_>) {
     metrics().warnings[kind as usize].force_add(1);
-    emit_line(format!("warning: {msg}"));
+    let seen = WARN_PRINTED[kind as usize].fetch_add(1, Ordering::Relaxed);
+    if seen < WARN_PRINT_LIMIT {
+        emit_line(format!("warning: {msg}"));
+    } else if seen == WARN_PRINT_LIMIT {
+        emit_line(format!(
+            "warning: [{}] suppressing further lines after {} repeats \
+             (counters stay exact; see clique_warnings_total{{kind=\"{}\"}})",
+            kind.name(),
+            WARN_PRINT_LIMIT,
+            kind.name()
+        ));
+    }
 }
 
 /// Total warnings emitted for `kind` in this process.
@@ -1033,6 +1086,7 @@ mod tests {
     fn warnings_count_per_kind_and_are_capturable_even_when_off() {
         let _g = test_lock();
         set_level(Level::Off);
+        reset_warn_prints();
         let before = warn_count(WarnKind::ObsEnv);
         let ((), lines) = capture_warnings(|| {
             std::env::set_var("CLIQUE_OBS", "bananas");
@@ -1046,6 +1100,44 @@ mod tests {
         // the explicit override must survive the env round-trip above
         set_level(Level::Off);
         assert!(!enabled());
+    }
+
+    #[test]
+    fn repeated_warnings_are_rate_limited_but_counted_exactly() {
+        let _g = test_lock();
+        set_level(Level::Off);
+        reset_warn_prints();
+        let before = warn_count(WarnKind::BenchWrite);
+        let fired = WARN_PRINT_LIMIT + 4;
+        let ((), lines) = capture_warnings(|| {
+            for i in 0..fired {
+                warn(WarnKind::BenchWrite, format_args!("spam {i}"));
+            }
+        });
+        assert_eq!(
+            warn_count(WarnKind::BenchWrite),
+            before + fired,
+            "suppression must never touch the counters"
+        );
+        assert_eq!(
+            lines.len() as u64,
+            WARN_PRINT_LIMIT + 1,
+            "first {WARN_PRINT_LIMIT} lines plus one suppression notice: {lines:?}"
+        );
+        for (i, line) in lines.iter().take(WARN_PRINT_LIMIT as usize).enumerate() {
+            assert_eq!(line, &format!("warning: spam {i}"));
+        }
+        let notice = lines.last().unwrap();
+        assert!(
+            notice.contains("[bench_write]") && notice.contains("suppressing"),
+            "suppression notice names the kind: {notice}"
+        );
+        // after a reset the kind prints again
+        reset_warn_prints();
+        let ((), again) = capture_warnings(|| {
+            warn(WarnKind::BenchWrite, format_args!("fresh"));
+        });
+        assert_eq!(again, vec!["warning: fresh".to_string()]);
     }
 
     #[test]
@@ -1102,14 +1194,147 @@ mod tests {
         }
     }
 
+    /// A minimal JSON well-formedness checker: recursive-descent over
+    /// values, objects, arrays, strings, numbers, and literals. Rejects
+    /// trailing commas, unbalanced delimiters, and trailing garbage. Test
+    /// infrastructure only — the workspace carries no JSON parser.
+    fn check_json(s: &str) -> Result<(), String> {
+        struct P<'a> {
+            b: &'a [u8],
+            i: usize,
+        }
+        impl P<'_> {
+            fn ws(&mut self) {
+                while self.i < self.b.len() && self.b[self.i].is_ascii_whitespace() {
+                    self.i += 1;
+                }
+            }
+            fn peek(&self) -> Option<u8> {
+                self.b.get(self.i).copied()
+            }
+            fn eat(&mut self, c: u8) -> Result<(), String> {
+                if self.peek() == Some(c) {
+                    self.i += 1;
+                    Ok(())
+                } else {
+                    Err(format!("expected {:?} at byte {}", c as char, self.i))
+                }
+            }
+            fn string(&mut self) -> Result<(), String> {
+                self.eat(b'"')?;
+                while let Some(c) = self.peek() {
+                    self.i += 1;
+                    match c {
+                        b'"' => return Ok(()),
+                        b'\\' => {
+                            self.i += 1; // skip the escaped byte
+                        }
+                        _ => {}
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            fn number(&mut self) -> Result<(), String> {
+                let start = self.i;
+                if self.peek() == Some(b'-') {
+                    self.i += 1;
+                }
+                while self.peek().is_some_and(|c| {
+                    c.is_ascii_digit() || matches!(c, b'.' | b'e' | b'E' | b'+' | b'-')
+                }) {
+                    self.i += 1;
+                }
+                if self.i == start {
+                    Err(format!("expected a number at byte {start}"))
+                } else {
+                    Ok(())
+                }
+            }
+            fn value(&mut self) -> Result<(), String> {
+                self.ws();
+                match self.peek() {
+                    Some(b'{') => self.seq(b'{', b'}', true),
+                    Some(b'[') => self.seq(b'[', b']', false),
+                    Some(b'"') => self.string(),
+                    Some(b't') => self.lit("true"),
+                    Some(b'f') => self.lit("false"),
+                    Some(b'n') => self.lit("null"),
+                    _ => self.number(),
+                }
+            }
+            fn lit(&mut self, word: &str) -> Result<(), String> {
+                if self.b[self.i..].starts_with(word.as_bytes()) {
+                    self.i += word.len();
+                    Ok(())
+                } else {
+                    Err(format!("bad literal at byte {}", self.i))
+                }
+            }
+            fn seq(&mut self, open: u8, close: u8, keyed: bool) -> Result<(), String> {
+                self.eat(open)?;
+                self.ws();
+                if self.peek() == Some(close) {
+                    self.i += 1;
+                    return Ok(());
+                }
+                loop {
+                    if keyed {
+                        self.ws();
+                        self.string()?;
+                        self.ws();
+                        self.eat(b':')?;
+                    }
+                    self.value()?;
+                    self.ws();
+                    match self.peek() {
+                        Some(b',') => {
+                            self.i += 1;
+                            self.ws();
+                            if self.peek() == Some(close) {
+                                return Err(format!("trailing comma before byte {}", self.i));
+                            }
+                        }
+                        Some(c) if c == close => {
+                            self.i += 1;
+                            return Ok(());
+                        }
+                        _ => return Err(format!("expected ',' or close at byte {}", self.i)),
+                    }
+                }
+            }
+        }
+        let mut p = P { b: s.as_bytes(), i: 0 };
+        p.value()?;
+        p.ws();
+        if p.i != p.b.len() {
+            return Err(format!("trailing garbage at byte {}", p.i));
+        }
+        Ok(())
+    }
+
+    #[test]
+    fn json_checker_rejects_malformed_documents() {
+        assert!(check_json("{\"a\": 1, \"b\": [2, 3]}").is_ok());
+        assert!(check_json("{\"a\": 1,}").is_err(), "trailing comma");
+        assert!(check_json("[1, 2,]").is_err(), "trailing comma in array");
+        assert!(check_json("{\"a\": 1").is_err(), "unbalanced brace");
+        assert!(check_json("{\"a\" 1}").is_err(), "missing colon");
+        assert!(check_json("{\"a\": \"x}").is_err(), "unterminated string");
+        assert!(check_json("{} extra").is_err(), "trailing garbage");
+        assert!(check_json("{1: 2}").is_err(), "non-string key");
+    }
+
     #[test]
     fn snapshot_json_is_balanced_and_carries_the_catalog() {
         let _g = test_lock();
         set_level(Level::On);
         metrics().sched_submitted.inc();
+        metrics().sched_wait_ticks.observe(5);
         let s = snapshot();
         set_level(Level::Off);
         let json = s.to_json();
+        check_json(&json)
+            .unwrap_or_else(|e| panic!("to_json is not well-formed JSON: {e}\n{json}"));
         assert_eq!(json.matches('{').count(), json.matches('}').count(), "braces must balance");
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         for key in [

@@ -201,6 +201,15 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
     pub fn step(&mut self) {
         let n = self.graph.n();
         if n == 0 {
+            // keep transcripts aligned with the sequential engine, which
+            // records an (empty) round even on the empty graph
+            let round = self.round;
+            if trace::active() {
+                trace::with_active(|rec| {
+                    rec.begin_round(round);
+                    rec.end_round(0, 0);
+                });
+            }
             self.round += 1;
             return;
         }
@@ -303,7 +312,25 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
 
         self.stepped = true;
         self.round += 1;
-        timer.finish(&obs::metrics().engine_sharded);
+        let split = timer.finish_split(&obs::metrics().engine_sharded);
+        // Transcript hook, on the submitting thread after the phase-2
+        // barrier: `inboxes` in destination order, each sorted by
+        // (sender, payload), is exactly the canonical stream the
+        // sequential engine records — the sender-id-ordered merge above
+        // makes it independent of shard count, so transcripts are
+        // byte-identical at any shard count (tests/trace_identity.rs).
+        if trace::active() {
+            trace::with_active(|rec| {
+                rec.begin_round(round);
+                for (i, inbox) in self.inboxes.iter().enumerate() {
+                    for &(from, payload) in inbox {
+                        rec.message(i as u32, from, payload);
+                    }
+                }
+                let (c_ns, e_ns) = split.unwrap_or((0, 0));
+                rec.end_round(c_ns, e_ns);
+            });
+        }
     }
 
     /// The per-vertex protocol states.

@@ -567,13 +567,6 @@ impl CorpusCache {
         self.entries.is_empty()
     }
 
-    /// `(hits, misses)` since construction.
-    #[deprecated(note = "use `stats_typed` — the typed form also carries the warm count")]
-    pub fn stats(&self) -> (u64, u64) {
-        let s = self.stats_typed();
-        (s.hits, s.misses)
-    }
-
     /// Traffic statistics since construction, typed.
     pub fn stats_typed(&self) -> CorpusStats {
         CorpusStats { hits: self.hits, misses: self.misses, warms: self.warms }
@@ -771,18 +764,6 @@ mod tests {
         let s = cache.stats_typed();
         assert_eq!((s.hits, s.misses), (1, 0));
         assert_eq!(s.hit_rate(), 1.0);
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_tuple_stats_still_forward() {
-        let mut cache = CorpusCache::new(4);
-        let spec = GraphSpec::Hypercube { dim: 3 };
-        let _ = cache.get_or_build(&spec);
-        let _ = cache.get_or_build(&spec);
-        let s = cache.stats_typed();
-        assert_eq!(cache.stats(), (s.hits, s.misses), "the tuple form forwards");
-        assert_eq!(cache.stats(), (1, 1));
     }
 
     #[test]

@@ -364,6 +364,13 @@ pub struct JobOutcome {
     pub cache_hit: bool,
     /// Submission-to-completion latency (queue wait + execution).
     pub latency: Duration,
+    /// Round transcript captured for this execution, present iff the
+    /// job's [`ListingConfig::trace`] mode was on. Like `cache_hit` and
+    /// `latency` this is an observation, not part of the deterministic
+    /// answer — but the transcript *bytes* ([`trace::Transcript::to_bytes`])
+    /// are themselves deterministic across worker counts and engine
+    /// choice, which is exactly what `experiments replay` verifies.
+    pub trace: Option<Arc<trace::Transcript>>,
 }
 
 /// Handle for retrieving one submitted job's outcome. Tickets order by
@@ -761,13 +768,6 @@ impl Service {
         lock_ignore_poison(&self.shared.corpus).warm(spec).1
     }
 
-    /// Corpus-cache `(hits, misses)` since the service started.
-    #[deprecated(note = "use `corpus_stats` — the typed form also carries the warm count")]
-    pub fn cache_stats(&self) -> (u64, u64) {
-        let s = self.corpus_stats();
-        (s.hits, s.misses)
-    }
-
     /// Typed corpus-cache traffic counters since the service started.
     pub fn corpus_stats(&self) -> CorpusStats {
         lock_ignore_poison(&self.shared.corpus).stats_typed()
@@ -1026,6 +1026,7 @@ fn job_worker_loop(shared: &ServiceShared) {
                     report: Err(JobError::Panicked(panic_message(&payload))),
                     cache_hit: false,
                     latency: submitted.elapsed(),
+                    trace: None,
                 });
         // Telemetry classification (write-only; deadline-miss kinds are
         // split so dashboards can tell a deterministic round-budget miss
@@ -1138,7 +1139,12 @@ fn execute_job(
     let (graph, fp, cache_hit) = match resolved {
         Ok(r) => r,
         Err(e) => {
-            return JobOutcome { report: Err(e), cache_hit: false, latency: submitted.elapsed() }
+            return JobOutcome {
+                report: Err(e),
+                cache_hit: false,
+                latency: submitted.elapsed(),
+                trace: None,
+            }
         }
     };
 
@@ -1174,14 +1180,41 @@ fn execute_job(
     // batches — also land on the leased pool and respect the admission
     // gate instead of sneaking onto the global pool.
     let lease_pool = _lease.as_ref().map(|l| Arc::clone(l.pool()));
-    let report = catch_unwind(AssertUnwindSafe(|| match &lease_pool {
+    let run = || match &lease_pool {
         Some(pool) => {
             runtime::with_ambient_pool(pool, || run_algo(&graph, job, &cfg, Some(Arc::clone(pool))))
         }
         None => run_algo(&graph, job, &cfg, None),
+    };
+    // Per-job transcript capture: the recorder is ambient on THIS worker
+    // thread for exactly the duration of the run (capture clears it on
+    // unwind too), so concurrent jobs on other workers never interleave
+    // into each other's transcripts.
+    let (ran, transcript) = catch_unwind(AssertUnwindSafe(|| {
+        if cfg.trace.is_on() {
+            let header = job_trace_header(job, &cfg, fp);
+            let (out, t) = trace::capture(cfg.trace.fidelity, header, run);
+            (out, Some(t))
+        } else {
+            (run(), None)
+        }
     }))
-    .map_err(|payload| JobError::Panicked(panic_message(&payload)))
-    .and_then(|(cliques, report)| {
+    .map_or_else(
+        |payload| (Err(JobError::Panicked(panic_message(&payload))), None),
+        |(out, t)| (Ok(out), t),
+    );
+    let job_trace = transcript.map(|t| {
+        if let Some(path) = &cfg.trace.path {
+            if let Err(e) = t.save(path) {
+                obs::warn(
+                    obs::WarnKind::TraceWrite,
+                    format_args!("failed to write transcript to {}: {e}", path.display()),
+                );
+            }
+        }
+        Arc::new(t)
+    });
+    let report = ran.and_then(|(cliques, report)| {
         // The deterministic round-deadline classification runs FIRST,
         // mirroring the checkpoint order inside the drivers: a job that
         // missed its round budget must report DeadlineExceeded on every
@@ -1224,7 +1257,28 @@ fn execute_job(
             fallback_used: report.fallback_used,
         })
     });
-    JobOutcome { report, cache_hit, latency: submitted.elapsed() }
+    JobOutcome { report, cache_hit, latency: submitted.elapsed(), trace: job_trace }
+}
+
+/// Transcript header for a service job. The graph fingerprint is the
+/// corpus fingerprint (same FNV-1a formula as [`trace::graph_fingerprint`]),
+/// so `experiments replay` can resolve the graph back out of the corpus.
+fn job_trace_header(job: &Job, cfg: &ListingConfig, fp: u64) -> trace::Header {
+    let algo = match job.algo {
+        Algo::Paper => "paper",
+        Algo::Randomized { .. } => "randomized",
+        Algo::Naive => "naive",
+        Algo::Dlp12 => "dlp12",
+    };
+    let engine = match cfg.engine {
+        EngineChoice::Sequential => "sequential".to_string(),
+        EngineChoice::Sharded(n) => format!("sharded:{n}"),
+    };
+    let seed = match job.algo {
+        Algo::Randomized { seed } => seed,
+        _ => job.p as u64,
+    };
+    trace::Header { graph_fingerprint: fp, protocol: format!("{algo}:p={}", job.p), engine, seed }
 }
 
 /// Runs the selected algorithm; pure in `(graph, job, cfg)` — `pool` only
@@ -1373,6 +1427,39 @@ mod tests {
             Algo::Paper,
         )]);
         assert_eq!(out[0].report.as_ref().unwrap().graph_fingerprint, fp);
+    }
+
+    #[test]
+    fn traced_job_attaches_a_deterministic_transcript() {
+        let svc = Service::new(2);
+        let spec = er_spec(11);
+        let traced = |engine| {
+            let cfg = ListingConfig {
+                engine,
+                trace: trace::TraceMode { fidelity: trace::Fidelity::Digest, path: None },
+                ..ListingConfig::default()
+            };
+            Job::new(GraphInput::Spec(spec.clone()), 3, cfg, Algo::Paper)
+        };
+        let outs = svc.run_batch(vec![
+            traced(EngineChoice::Sequential),
+            traced(EngineChoice::Sharded(2)),
+            Job::new(GraphInput::Spec(spec.clone()), 3, ListingConfig::default(), Algo::Paper),
+        ]);
+        let seq = outs[0].trace.as_ref().expect("traced job carries a transcript");
+        let sh = outs[1].trace.as_ref().expect("traced job carries a transcript");
+        assert!(outs[2].trace.is_none(), "untraced job must not carry one");
+        assert!(!seq.rounds.is_empty(), "the run recorded rounds");
+        assert_eq!(
+            seq.header.graph_fingerprint,
+            outs[0].report.as_ref().unwrap().graph_fingerprint,
+            "transcript header carries the corpus fingerprint"
+        );
+        // The transcript is part of the deterministic answer surface:
+        // sequential and sharded executions of the same job must agree
+        // round-for-round (the engine field is informational, not compared).
+        assert_eq!(seq.rounds, sh.rounds, "per-round digests agree across engines");
+        assert!(trace::diff(seq, sh).is_identical());
     }
 
     #[test]

@@ -65,9 +65,33 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
         // directory fails without taking the service down
         drop(Service::new(1).with_corpus_path(tmp.join("no-such-dir").join("corpus.bin")));
 
+        // TraceEnv: garbage CLIQUE_TRACE falls back to capture-off
+        std::env::set_var("CLIQUE_TRACE", "everything");
+        let _ = trace::mode_from_env_uncached();
+        std::env::remove_var("CLIQUE_TRACE");
+
+        // TraceWrite: a traced job whose transcript path cannot be
+        // written completes anyway (the transcript still rides the
+        // outcome; only the file write warns)
+        let cfg = clique_listing::ListingConfig {
+            trace: trace::TraceMode {
+                fidelity: trace::Fidelity::Digest,
+                path: Some(tmp.join("no-such-dir").join("job.trace")),
+            },
+            ..Default::default()
+        };
+        let out = Service::new(1).run_batch(vec![service::Job::new(
+            service::GraphInput::Spec(GraphSpec::ErdosRenyi { n: 12, p: 0.3, seed: 3 }),
+            3,
+            cfg,
+            service::Algo::Paper,
+        )]);
+        assert!(out[0].report.is_ok(), "the failed transcript write must not fail the job");
+        assert!(out[0].trace.is_some(), "the transcript still rides the outcome");
+
         // BenchWrite has no trigger inside this crate (the bench binaries
-        // own it); exercise the kind through the public API so all eight
-        // count-and-capture paths are proven here
+        // own it); exercise the kind through the public API so every
+        // count-and-capture path is proven here
         obs::warn(
             obs::WarnKind::BenchWrite,
             format_args!("could not write BENCH_test.json: simulated"),
@@ -90,6 +114,8 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
     assert_one_line(&lines, "ignoring persisted corpus");
     assert_one_line(&lines, "no longer matches its fingerprint");
     assert_one_line(&lines, "could not persist the graph corpus");
+    assert_one_line(&lines, "CLIQUE_TRACE");
+    assert_one_line(&lines, "failed to write transcript");
     assert_one_line(&lines, "could not write BENCH_test.json");
     for line in &lines {
         assert!(line.starts_with("warning: "), "sink lines keep the stderr prefix: {line:?}");

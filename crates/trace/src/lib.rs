@@ -1,0 +1,957 @@
+//! Deterministic round-transcript capture, replay and diff.
+//!
+//! Both round engines (`congest::Network` and `runtime::ShardedNetwork`)
+//! deliver each round's messages sorted by `(sender, payload)` into inboxes
+//! walked in destination order, so every run has one **canonical message
+//! stream**: `(round, to ↑, from ↑, payload ↑)`. The [`Recorder`] folds that
+//! stream into a transcript at one of two fidelities:
+//!
+//! - [`Fidelity::Digest`] — one FNV-1a digest per round plus message/byte
+//!   counts. No per-message storage, no allocation in the steady state
+//!   (round records land in a pre-reserved buffer), so the engines' hot-path
+//!   zero-allocation audit holds with capture on.
+//! - [`Fidelity::Full`] — every `(round, from, to, payload)` tuple, for
+//!   message-level diffing.
+//!
+//! Because the sharded engine's sender-id-ordered merge reproduces the
+//! sequential engine's inboxes exactly, transcripts are **byte-identical
+//! across engines and shard counts** (`tests/trace_identity.rs` pins this).
+//! A recorded run can therefore be replayed on any engine and verified
+//! divergence-free with [`diff`], which reports the first divergent round.
+//!
+//! Transcripts serialize in a hand-rolled versioned byte format (same
+//! discipline as the service's `CLQCORPS` corpus format) documented in this
+//! crate's README, and export to chrome://tracing JSON via
+//! [`Transcript::chrome_trace_json`] using the per-round compute/exchange
+//! phase splits captured alongside the stream.
+//!
+//! Capture is ambient: [`capture`] installs a thread-local [`Recorder`],
+//! and the engines feed it from their `step` when one is active. The
+//! `CLIQUE_TRACE` environment variable (`off | digest | full[:path]`,
+//! warn-and-fallback parse like `CLIQUE_OBS`) selects the default
+//! [`TraceMode`] carried by `ListingConfig`.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::path::PathBuf;
+
+// ---------------------------------------------------------------------------
+// FNV-1a
+// ---------------------------------------------------------------------------
+
+/// 64-bit FNV-1a over little-endian `u64` words — the same hash (and the
+/// same constants) as the service corpus's fingerprints, duplicated here so
+/// this crate stays a leaf dependency.
+#[derive(Debug, Clone, Copy)]
+pub struct Fnv1a(u64);
+
+impl Fnv1a {
+    /// A hasher at the FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv1a(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds one word, byte by byte, little-endian.
+    #[inline]
+    pub fn write_u64(&mut self, w: u64) {
+        for b in w.to_le_bytes() {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x100_0000_01b3);
+        }
+    }
+
+    /// The current hash value.
+    #[inline]
+    pub fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+/// The content fingerprint of a graph: FNV-1a over `n` then every edge as
+/// `(u << 32) | v`. Feed edges in the graph's canonical (sorted) order;
+/// matches the service corpus's `fingerprint` exactly, which is what lets
+/// `experiments replay` resolve a transcript header back to a graph spec.
+pub fn graph_fingerprint(n: u64, edges: impl IntoIterator<Item = (u32, u32)>) -> u64 {
+    let mut h = Fnv1a::new();
+    h.write_u64(n);
+    for (u, v) in edges {
+        h.write_u64(((u as u64) << 32) | v as u64);
+    }
+    h.finish()
+}
+
+// ---------------------------------------------------------------------------
+// Fidelity and the CLIQUE_TRACE mode
+// ---------------------------------------------------------------------------
+
+/// How much of the round stream a [`Recorder`] keeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[repr(u8)]
+pub enum Fidelity {
+    /// No capture.
+    #[default]
+    Off = 0,
+    /// Per-round digest + message/byte counts; near-zero overhead.
+    Digest = 1,
+    /// Every `(round, from, to, payload)` tuple.
+    Full = 2,
+}
+
+impl Fidelity {
+    /// Canonical spelling, as `CLIQUE_TRACE` accepts it.
+    pub fn name(self) -> &'static str {
+        match self {
+            Fidelity::Off => "off",
+            Fidelity::Digest => "digest",
+            Fidelity::Full => "full",
+        }
+    }
+}
+
+/// A parsed `CLIQUE_TRACE` value: the capture fidelity plus an optional
+/// file path the transcript is written to when the run finishes.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TraceMode {
+    /// Capture fidelity ([`Fidelity::Off`] means no capture).
+    pub fidelity: Fidelity,
+    /// Where to write the transcript (`full:/tmp/run.trace` syntax).
+    pub path: Option<PathBuf>,
+}
+
+impl TraceMode {
+    /// A non-capturing mode.
+    pub const fn off() -> Self {
+        TraceMode { fidelity: Fidelity::Off, path: None }
+    }
+
+    /// True when this mode asks for capture.
+    pub fn is_on(&self) -> bool {
+        self.fidelity != Fidelity::Off
+    }
+}
+
+/// Parses a `CLIQUE_TRACE` value: `off`/`0`, `digest`/`1`, `full`/`2`,
+/// optionally suffixed `:<path>` for the capturing fidelities
+/// (case-insensitive on the fidelity). Anything else is `None`.
+pub fn parse_mode(spec: &str) -> Option<TraceMode> {
+    let s = spec.trim();
+    let (fid, path) = match s.split_once(':') {
+        Some((f, p)) if !p.trim().is_empty() => (f, Some(PathBuf::from(p.trim()))),
+        Some(_) => return None, // "digest:" with an empty path is malformed
+        None => (s, None),
+    };
+    let fidelity = match fid.trim().to_ascii_lowercase().as_str() {
+        "off" | "0" => Fidelity::Off,
+        "digest" | "1" => Fidelity::Digest,
+        "full" | "2" => Fidelity::Full,
+        _ => return None,
+    };
+    if fidelity == Fidelity::Off && path.is_some() {
+        return None; // a path without capture is a spec error worth surfacing
+    }
+    Some(TraceMode { fidelity, path })
+}
+
+/// Reads `CLIQUE_TRACE` directly (no cache): unset means off, an
+/// unrecognized value warns ([`obs::WarnKind::TraceEnv`]) and falls back to
+/// off — the same warn-and-fallback convention as `CLIQUE_OBS`.
+pub fn mode_from_env_uncached() -> TraceMode {
+    match std::env::var("CLIQUE_TRACE") {
+        Err(_) => TraceMode::off(),
+        Ok(v) => parse_mode(&v).unwrap_or_else(|| {
+            obs::warn(
+                obs::WarnKind::TraceEnv,
+                format_args!(
+                    "unrecognized CLIQUE_TRACE value {v:?} \
+                     (expected off | digest | full[:path]); trace capture stays off"
+                ),
+            );
+            TraceMode::off()
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Transcript data model
+// ---------------------------------------------------------------------------
+
+/// Identifies the run a transcript was captured from. `graph_fingerprint`
+/// and `protocol` are the replay contract ([`diff`] refuses to compare
+/// across them); `engine` and `seed` are informational (the whole point is
+/// that different engines produce the same stream).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Header {
+    /// Content fingerprint of the input graph ([`graph_fingerprint`]).
+    pub graph_fingerprint: u64,
+    /// Protocol name, e.g. `"bfs"` or `"listing:p=3"`.
+    pub protocol: String,
+    /// Engine that recorded the run, e.g. `"sequential"`, `"sharded"`.
+    pub engine: String,
+    /// Seed / parameter word of the run (protocol-defined).
+    pub seed: u64,
+}
+
+/// One round of the canonical message stream, digested.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// The engine's round number (restarts at 0 for each engine run a
+    /// capture spans).
+    pub round: u64,
+    /// FNV-1a over the round's sorted message stream.
+    pub digest: u64,
+    /// Messages delivered this round.
+    pub messages: u64,
+    /// Payload bytes delivered this round (8 per message).
+    pub payload_bytes: u64,
+}
+
+/// One delivered message (kept only at [`Fidelity::Full`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Msg {
+    /// Destination vertex.
+    pub to: u32,
+    /// Sending vertex.
+    pub from: u32,
+    /// The payload word.
+    pub payload: u64,
+}
+
+/// A captured run: header + per-round records (+ the full message stream at
+/// [`Fidelity::Full`]). The in-memory transcript also carries the per-round
+/// compute/exchange phase splits for [`Transcript::chrome_trace_json`];
+/// timings are **not serialized** — the byte format stores only the
+/// deterministic stream, which is what makes transcripts byte-identical
+/// across engines, shard counts, and machines.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transcript {
+    /// Run identity.
+    pub header: Header,
+    /// Capture fidelity.
+    pub fidelity: Fidelity,
+    /// Per-round records, in execution order.
+    pub rounds: Vec<RoundRecord>,
+    /// The full message stream (empty unless [`Fidelity::Full`]); round
+    /// `i`'s slice is recovered via [`Transcript::round_messages`].
+    pub messages: Vec<Msg>,
+    /// Per-round `(compute_ns, exchange_ns)` splits, aligned with `rounds`;
+    /// `(0, 0)` when telemetry was off. In-memory only.
+    pub timings: Vec<(u64, u64)>,
+}
+
+impl Transcript {
+    /// Messages delivered in round index `idx` (empty unless the transcript
+    /// was captured at [`Fidelity::Full`]).
+    pub fn round_messages(&self, idx: usize) -> &[Msg] {
+        if self.fidelity != Fidelity::Full || idx >= self.rounds.len() {
+            return &[];
+        }
+        let start: u64 = self.rounds[..idx].iter().map(|r| r.messages).sum();
+        let len = self.rounds[idx].messages;
+        &self.messages[start as usize..(start + len) as usize]
+    }
+
+    /// Total messages across all rounds.
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Recorder + ambient capture
+// ---------------------------------------------------------------------------
+
+/// Round-record capacity reserved up front so that digest-fidelity capture
+/// never allocates in the engines' steady-state `step` (the hot-path audit
+/// runs with `CLIQUE_TRACE=digest`). Runs longer than this still work —
+/// the buffers just grow amortized past it.
+const RESERVED_ROUNDS: usize = 4096;
+
+/// Accumulates the canonical message stream into a [`Transcript`].
+///
+/// The engines drive it once per round: [`Recorder::begin_round`], one
+/// [`Recorder::message`] per delivered message in canonical order, then
+/// [`Recorder::end_round`]. At [`Fidelity::Digest`] a message is an FNV
+/// fold plus two counter bumps — no allocation.
+#[derive(Debug)]
+pub struct Recorder {
+    fidelity: Fidelity,
+    header: Header,
+    rounds: Vec<RoundRecord>,
+    messages: Vec<Msg>,
+    timings: Vec<(u64, u64)>,
+    cur_round: u64,
+    cur_digest: Fnv1a,
+    cur_messages: u64,
+    in_round: bool,
+}
+
+impl Recorder {
+    /// A recorder with the steady-state round capacity pre-reserved.
+    pub fn new(fidelity: Fidelity, header: Header) -> Self {
+        Recorder {
+            fidelity,
+            header,
+            rounds: Vec::with_capacity(RESERVED_ROUNDS),
+            messages: Vec::new(),
+            timings: Vec::with_capacity(RESERVED_ROUNDS),
+            cur_round: 0,
+            cur_digest: Fnv1a::new(),
+            cur_messages: 0,
+            in_round: false,
+        }
+    }
+
+    /// The capture fidelity.
+    pub fn fidelity(&self) -> Fidelity {
+        self.fidelity
+    }
+
+    /// Starts a round's stream.
+    #[inline]
+    pub fn begin_round(&mut self, round: u64) {
+        debug_assert!(!self.in_round, "begin_round without end_round");
+        self.cur_round = round;
+        self.cur_digest = Fnv1a::new();
+        self.cur_messages = 0;
+        self.in_round = true;
+    }
+
+    /// Feeds one delivered message, in canonical `(to, from, payload)`
+    /// order. Allocation-free at digest fidelity.
+    #[inline]
+    pub fn message(&mut self, to: u32, from: u32, payload: u64) {
+        if self.fidelity == Fidelity::Off {
+            return;
+        }
+        self.cur_digest.write_u64(((to as u64) << 32) | from as u64);
+        self.cur_digest.write_u64(payload);
+        self.cur_messages += 1;
+        if self.fidelity == Fidelity::Full {
+            self.messages.push(Msg { to, from, payload });
+        }
+    }
+
+    /// Closes the round, recording its digest/counts and phase split
+    /// (`(0, 0)` when the engine's phase timer was inert).
+    #[inline]
+    pub fn end_round(&mut self, compute_ns: u64, exchange_ns: u64) {
+        debug_assert!(self.in_round, "end_round without begin_round");
+        self.in_round = false;
+        if self.fidelity == Fidelity::Off {
+            return;
+        }
+        self.rounds.push(RoundRecord {
+            round: self.cur_round,
+            digest: self.cur_digest.finish(),
+            messages: self.cur_messages,
+            payload_bytes: self.cur_messages * 8,
+        });
+        self.timings.push((compute_ns, exchange_ns));
+    }
+
+    /// Finalizes into a [`Transcript`].
+    pub fn finish(self) -> Transcript {
+        debug_assert!(!self.in_round, "finish inside an open round");
+        Transcript {
+            header: self.header,
+            fidelity: self.fidelity,
+            rounds: self.rounds,
+            messages: self.messages,
+            timings: self.timings,
+        }
+    }
+}
+
+thread_local! {
+    /// The ambient recorder the engines feed. Thread-local by design: a
+    /// capture scope covers exactly the engine runs the wrapped closure
+    /// drives from this thread (the sharded engine's `step` is recorded on
+    /// its submitting thread), so concurrent service jobs never interleave.
+    static AMBIENT: RefCell<Option<Recorder>> = const { RefCell::new(None) };
+}
+
+/// True when an ambient recorder is installed on this thread. One TLS read;
+/// the engines use it to skip stream iteration entirely when not capturing.
+#[inline]
+pub fn active() -> bool {
+    AMBIENT.with(|a| a.borrow().is_some())
+}
+
+/// Runs `f` against the ambient recorder, if any. The engines' per-round
+/// hook: a no-op (one TLS read) when no capture is in progress.
+#[inline]
+pub fn with_active(f: impl FnOnce(&mut Recorder)) {
+    AMBIENT.with(|a| {
+        if let Some(rec) = a.borrow_mut().as_mut() {
+            f(rec);
+        }
+    });
+}
+
+/// Installs an ambient [`Recorder`] on this thread, runs `f`, and returns
+/// its result with the captured [`Transcript`]. Every engine round stepped
+/// from this thread inside `f` lands in the transcript, in execution order.
+/// The recorder is removed even if `f` panics; nested captures are not
+/// supported (the inner one wins for its scope in release builds, asserts
+/// in debug).
+pub fn capture<R>(fidelity: Fidelity, header: Header, f: impl FnOnce() -> R) -> (R, Transcript) {
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            AMBIENT.with(|a| *a.borrow_mut() = None);
+        }
+    }
+    let prev = AMBIENT.with(|a| a.borrow_mut().replace(Recorder::new(fidelity, header)));
+    debug_assert!(prev.is_none(), "nested trace capture is not supported");
+    let guard = Clear;
+    let r = f();
+    let rec = AMBIENT.with(|a| a.borrow_mut().take()).expect("recorder removed during capture");
+    drop(guard);
+    (r, rec.finish())
+}
+
+// ---------------------------------------------------------------------------
+// Versioned byte format
+// ---------------------------------------------------------------------------
+
+/// File magic of the transcript format.
+pub const TRACE_MAGIC: &[u8; 8] = b"CLQTRACE";
+
+/// Current format version. Bump on any layout change; readers reject other
+/// versions outright (no silent migration), like the corpus format.
+pub const TRACE_FORMAT_VERSION: u32 = 1;
+
+/// Why a transcript failed to load.
+#[derive(Debug)]
+pub enum TraceError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// The file does not start with [`TRACE_MAGIC`].
+    BadMagic,
+    /// The file is a transcript of an unsupported version.
+    VersionMismatch {
+        /// The version found in the file.
+        found: u32,
+    },
+    /// The byte stream is structurally invalid.
+    Malformed(&'static str),
+}
+
+impl fmt::Display for TraceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceError::Io(e) => write!(f, "i/o error: {e}"),
+            TraceError::BadMagic => write!(f, "not a transcript file (bad magic)"),
+            TraceError::VersionMismatch { found } => {
+                write!(
+                    f,
+                    "unsupported transcript version {found} (expected {TRACE_FORMAT_VERSION})"
+                )
+            }
+            TraceError::Malformed(what) => write!(f, "malformed transcript: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+impl From<std::io::Error> for TraceError {
+    fn from(e: std::io::Error) -> Self {
+        TraceError::Io(e)
+    }
+}
+
+/// Bounds-checked little-endian cursor (the corpus reader's discipline).
+struct ByteReader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> ByteReader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        ByteReader { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], TraceError> {
+        let end = self.pos.checked_add(n).ok_or(TraceError::Malformed("length overflow"))?;
+        if end > self.buf.len() {
+            return Err(TraceError::Malformed("unexpected end of data"));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, TraceError> {
+        Ok(self.bytes(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, TraceError> {
+        Ok(u32::from_le_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, TraceError> {
+        Ok(u64::from_le_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn exhausted(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn push_str(out: &mut Vec<u8>, s: &str) {
+    out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_str(r: &mut ByteReader<'_>) -> Result<String, TraceError> {
+    let len = r.u32()? as usize;
+    if len > r.remaining() {
+        return Err(TraceError::Malformed("string length exceeds data"));
+    }
+    String::from_utf8(r.bytes(len)?.to_vec())
+        .map_err(|_| TraceError::Malformed("string is not UTF-8"))
+}
+
+impl Transcript {
+    /// Serializes to the canonical byte format (see `README.md`). The
+    /// encoding is a pure function of the deterministic stream: two runs
+    /// that delivered the same messages serialize identically, whatever
+    /// engine, shard count, or telemetry level produced them.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64 + self.rounds.len() * 32 + self.messages.len() * 16);
+        out.extend_from_slice(TRACE_MAGIC);
+        out.extend_from_slice(&TRACE_FORMAT_VERSION.to_le_bytes());
+        out.push(self.fidelity as u8);
+        out.extend_from_slice(&self.header.graph_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.header.seed.to_le_bytes());
+        push_str(&mut out, &self.header.protocol);
+        push_str(&mut out, &self.header.engine);
+        out.extend_from_slice(&(self.rounds.len() as u32).to_le_bytes());
+        for r in &self.rounds {
+            out.extend_from_slice(&r.round.to_le_bytes());
+            out.extend_from_slice(&r.digest.to_le_bytes());
+            out.extend_from_slice(&r.messages.to_le_bytes());
+            out.extend_from_slice(&r.payload_bytes.to_le_bytes());
+        }
+        if self.fidelity == Fidelity::Full {
+            out.extend_from_slice(&(self.messages.len() as u64).to_le_bytes());
+            for m in &self.messages {
+                out.extend_from_slice(&m.to.to_le_bytes());
+                out.extend_from_slice(&m.from.to_le_bytes());
+                out.extend_from_slice(&m.payload.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    /// Parses the byte format. Validates everything before returning:
+    /// counts are checked against the remaining bytes *before* allocating,
+    /// and at full fidelity the message total must match the per-round
+    /// counts. Loaded transcripts carry no timings.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Transcript, TraceError> {
+        let mut r = ByteReader::new(bytes);
+        if r.bytes(8).map_err(|_| TraceError::BadMagic)? != TRACE_MAGIC {
+            return Err(TraceError::BadMagic);
+        }
+        let version = r.u32().map_err(|_| TraceError::BadMagic)?;
+        if version != TRACE_FORMAT_VERSION {
+            return Err(TraceError::VersionMismatch { found: version });
+        }
+        let fidelity = match r.u8()? {
+            1 => Fidelity::Digest,
+            2 => Fidelity::Full,
+            _ => return Err(TraceError::Malformed("unknown fidelity")),
+        };
+        let graph_fingerprint = r.u64()?;
+        let seed = r.u64()?;
+        let protocol = read_str(&mut r)?;
+        let engine = read_str(&mut r)?;
+        let round_count = r.u32()? as usize;
+        if round_count > r.remaining() / 32 {
+            return Err(TraceError::Malformed("round count exceeds data"));
+        }
+        let mut rounds = Vec::with_capacity(round_count);
+        for _ in 0..round_count {
+            rounds.push(RoundRecord {
+                round: r.u64()?,
+                digest: r.u64()?,
+                messages: r.u64()?,
+                payload_bytes: r.u64()?,
+            });
+        }
+        let mut messages = Vec::new();
+        if fidelity == Fidelity::Full {
+            let total = r.u64()? as usize;
+            if total > r.remaining() / 16 {
+                return Err(TraceError::Malformed("message count exceeds data"));
+            }
+            let expected: u64 = rounds.iter().map(|rr| rr.messages).sum();
+            if total as u64 != expected {
+                return Err(TraceError::Malformed("message total disagrees with round counts"));
+            }
+            messages.reserve_exact(total);
+            for _ in 0..total {
+                messages.push(Msg { to: r.u32()?, from: r.u32()?, payload: r.u64()? });
+            }
+        }
+        if !r.exhausted() {
+            return Err(TraceError::Malformed("trailing bytes"));
+        }
+        Ok(Transcript {
+            header: Header { graph_fingerprint, protocol, engine, seed },
+            fidelity,
+            rounds,
+            messages,
+            timings: Vec::new(),
+        })
+    }
+
+    /// Writes the transcript to `path` (canonical bytes).
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.to_bytes())
+    }
+
+    /// Loads a transcript from `path`.
+    pub fn load(path: &std::path::Path) -> Result<Transcript, TraceError> {
+        Transcript::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Diff
+// ---------------------------------------------------------------------------
+
+/// The first point where two transcripts disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Position in the round sequence (0-based; equals the engine round
+    /// for single-run captures).
+    pub index: usize,
+    /// The diverging round on side A.
+    pub a: RoundRecord,
+    /// The diverging round on side B.
+    pub b: RoundRecord,
+    /// Side A's messages for that round (full fidelity only).
+    pub messages_a: Vec<Msg>,
+    /// Side B's messages for that round (full fidelity only).
+    pub messages_b: Vec<Msg>,
+}
+
+/// Result of [`diff`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TraceDiff {
+    /// Same stream, round for round.
+    Identical,
+    /// The headers describe different runs; streams were not compared.
+    /// The payload names the differing field.
+    HeaderMismatch(&'static str),
+    /// The streams diverge; here is the first divergent round.
+    Divergence(Box<Divergence>),
+    /// One stream is a strict prefix of the other.
+    LengthMismatch {
+        /// Round count on side A.
+        rounds_a: usize,
+        /// Round count on side B.
+        rounds_b: usize,
+    },
+}
+
+impl TraceDiff {
+    /// True for [`TraceDiff::Identical`].
+    pub fn is_identical(&self) -> bool {
+        matches!(self, TraceDiff::Identical)
+    }
+}
+
+impl fmt::Display for TraceDiff {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDiff::Identical => write!(f, "transcripts identical"),
+            TraceDiff::HeaderMismatch(field) => {
+                write!(f, "headers describe different runs ({field} differs)")
+            }
+            TraceDiff::Divergence(d) => {
+                write!(
+                    f,
+                    "first divergence at round index {} (round {}): \
+                     A digest {:#018x} ({} msgs) vs B digest {:#018x} ({} msgs)",
+                    d.index, d.a.round, d.a.digest, d.a.messages, d.b.digest, d.b.messages
+                )?;
+                if !d.messages_a.is_empty() || !d.messages_b.is_empty() {
+                    for (side, msgs) in [("A", &d.messages_a), ("B", &d.messages_b)] {
+                        write!(f, "\n  {side}:")?;
+                        for m in msgs.iter().take(8) {
+                            write!(f, " {}->{}:{:#x}", m.from, m.to, m.payload)?;
+                        }
+                        if msgs.len() > 8 {
+                            write!(f, " … ({} total)", msgs.len())?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            TraceDiff::LengthMismatch { rounds_a, rounds_b } => {
+                write!(
+                    f,
+                    "streams agree but lengths differ: {rounds_a} rounds vs {rounds_b} rounds"
+                )
+            }
+        }
+    }
+}
+
+/// Round-by-round comparison of two transcripts. Headers must agree on
+/// `graph_fingerprint` and `protocol` (engine and seed are informational —
+/// comparing a sequential recording against a sharded replay is the point).
+/// Reports the first divergent round with both sides' digests, and both
+/// sides' messages when both transcripts carry them.
+pub fn diff(a: &Transcript, b: &Transcript) -> TraceDiff {
+    if a.header.graph_fingerprint != b.header.graph_fingerprint {
+        return TraceDiff::HeaderMismatch("graph_fingerprint");
+    }
+    if a.header.protocol != b.header.protocol {
+        return TraceDiff::HeaderMismatch("protocol");
+    }
+    let common = a.rounds.len().min(b.rounds.len());
+    for i in 0..common {
+        if a.rounds[i] != b.rounds[i] {
+            return TraceDiff::Divergence(Box::new(Divergence {
+                index: i,
+                a: a.rounds[i],
+                b: b.rounds[i],
+                messages_a: a.round_messages(i).to_vec(),
+                messages_b: b.round_messages(i).to_vec(),
+            }));
+        }
+    }
+    if a.rounds.len() != b.rounds.len() {
+        return TraceDiff::LengthMismatch { rounds_a: a.rounds.len(), rounds_b: b.rounds.len() };
+    }
+    TraceDiff::Identical
+}
+
+// ---------------------------------------------------------------------------
+// chrome://tracing export
+// ---------------------------------------------------------------------------
+
+impl Transcript {
+    /// Renders the transcript as chrome://tracing "trace event" JSON: one
+    /// `X` (complete) event per phase per round, laid end to end on a
+    /// single timeline, with the round's message count and digest as args.
+    /// Durations come from the per-round phase splits captured alongside
+    /// the stream (PR 6's `PhaseTimer`); rounds recorded with telemetry off
+    /// — including every loaded transcript, since timings are not
+    /// serialized — get nominal 1 µs spans so the round structure still
+    /// renders. Open the output in any Chromium `about:tracing`.
+    pub fn chrome_trace_json(&self) -> String {
+        let mut events = Vec::with_capacity(self.rounds.len() * 2 + 1);
+        events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 1, \
+             \"args\": {{\"name\": \"{} on {} (fp {:#018x})\"}}}}",
+            self.header.protocol, self.header.engine, self.header.graph_fingerprint
+        ));
+        let mut ts_us = 0.0f64;
+        for (i, r) in self.rounds.iter().enumerate() {
+            let (c_ns, e_ns) = self.timings.get(i).copied().unwrap_or((0, 0));
+            for (name, ns) in [("compute", c_ns), ("exchange", e_ns)] {
+                let dur_us = if ns == 0 { 1.0 } else { ns as f64 / 1e3 };
+                events.push(format!(
+                    "{{\"name\": \"{name}\", \"cat\": \"round\", \"ph\": \"X\", \
+                     \"ts\": {ts_us:.3}, \"dur\": {dur_us:.3}, \"pid\": 1, \"tid\": 1, \
+                     \"args\": {{\"round\": {}, \"messages\": {}, \"digest\": \"{:#018x}\"}}}}",
+                    r.round, r.messages, r.digest
+                ));
+                ts_us += dur_us;
+            }
+        }
+        format!("{{\"traceEvents\": [\n{}\n]}}\n", events.join(",\n"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn header() -> Header {
+        Header {
+            graph_fingerprint: 0xdead_beef_0bad_cafe,
+            protocol: "test:p=3".into(),
+            engine: "sequential".into(),
+            seed: 42,
+        }
+    }
+
+    fn record(fidelity: Fidelity) -> Transcript {
+        let mut rec = Recorder::new(fidelity, header());
+        rec.begin_round(0);
+        rec.message(1, 0, 7);
+        rec.message(2, 0, 9);
+        rec.end_round(100, 200);
+        rec.begin_round(1);
+        rec.message(0, 1, 11);
+        rec.end_round(0, 0);
+        rec.finish()
+    }
+
+    #[test]
+    fn parse_mode_accepts_the_documented_grammar() {
+        assert_eq!(parse_mode("off"), Some(TraceMode::off()));
+        assert_eq!(
+            parse_mode("digest"),
+            Some(TraceMode { fidelity: Fidelity::Digest, path: None })
+        );
+        assert_eq!(
+            parse_mode(" FULL:/tmp/x.trace "),
+            Some(TraceMode { fidelity: Fidelity::Full, path: Some(PathBuf::from("/tmp/x.trace")) })
+        );
+        assert_eq!(parse_mode("1"), Some(TraceMode { fidelity: Fidelity::Digest, path: None }));
+        assert_eq!(parse_mode("digest:"), None, "empty path is malformed");
+        assert_eq!(parse_mode("off:/tmp/x"), None, "a path without capture is malformed");
+        assert_eq!(parse_mode("loud"), None);
+    }
+
+    #[test]
+    fn digest_and_full_agree_on_rounds() {
+        let d = record(Fidelity::Digest);
+        let f = record(Fidelity::Full);
+        assert_eq!(d.rounds, f.rounds, "fidelity must not change the digests");
+        assert!(d.messages.is_empty());
+        assert_eq!(f.messages.len(), 3);
+        assert_eq!(f.round_messages(0).len(), 2);
+        assert_eq!(f.round_messages(1), &[Msg { to: 0, from: 1, payload: 11 }]);
+        assert_eq!(d.rounds[0].payload_bytes, 16);
+    }
+
+    #[test]
+    fn byte_format_round_trips_canonically() {
+        for fidelity in [Fidelity::Digest, Fidelity::Full] {
+            let t = record(fidelity);
+            let bytes = t.to_bytes();
+            let back = Transcript::from_bytes(&bytes).expect("parses");
+            assert_eq!(back.header, t.header);
+            assert_eq!(back.fidelity, t.fidelity);
+            assert_eq!(back.rounds, t.rounds);
+            assert_eq!(back.messages, t.messages);
+            assert!(back.timings.is_empty(), "timings are not serialized");
+            assert_eq!(back.to_bytes(), bytes, "re-encoding must be canonical");
+        }
+    }
+
+    #[test]
+    fn reader_rejects_corruption() {
+        let t = record(Fidelity::Full);
+        let good = t.to_bytes();
+
+        let mut bad_magic = good.clone();
+        bad_magic[0] = b'X';
+        assert!(matches!(Transcript::from_bytes(&bad_magic), Err(TraceError::BadMagic)));
+
+        let mut bad_version = good.clone();
+        bad_version[8] = 99;
+        assert!(matches!(
+            Transcript::from_bytes(&bad_version),
+            Err(TraceError::VersionMismatch { found: 99 })
+        ));
+
+        let truncated = &good[..good.len() - 1];
+        assert!(matches!(Transcript::from_bytes(truncated), Err(TraceError::Malformed(_))));
+
+        let mut trailing = good.clone();
+        trailing.push(0);
+        assert!(matches!(Transcript::from_bytes(&trailing), Err(TraceError::Malformed(_))));
+
+        assert!(matches!(Transcript::from_bytes(b"short"), Err(TraceError::BadMagic)));
+    }
+
+    #[test]
+    fn diff_reports_the_first_divergent_round() {
+        let a = record(Fidelity::Full);
+        let mut b = record(Fidelity::Full);
+        assert!(diff(&a, &b).is_identical());
+
+        b.rounds[1].digest ^= 1;
+        match diff(&a, &b) {
+            TraceDiff::Divergence(d) => {
+                assert_eq!(d.index, 1);
+                assert_eq!(d.a.round, 1);
+                assert_eq!(d.messages_a, vec![Msg { to: 0, from: 1, payload: 11 }]);
+            }
+            other => panic!("expected divergence, got {other:?}"),
+        }
+
+        let mut short = record(Fidelity::Full);
+        short.rounds.pop();
+        short.messages.pop();
+        assert_eq!(diff(&a, &short), TraceDiff::LengthMismatch { rounds_a: 2, rounds_b: 1 });
+
+        let mut foreign = record(Fidelity::Full);
+        foreign.header.graph_fingerprint ^= 1;
+        assert_eq!(diff(&a, &foreign), TraceDiff::HeaderMismatch("graph_fingerprint"));
+        // engine and seed are informational: replays legitimately differ there
+        let mut replayed = record(Fidelity::Full);
+        replayed.header.engine = "sharded".into();
+        replayed.header.seed = 7;
+        assert!(diff(&a, &replayed).is_identical());
+    }
+
+    #[test]
+    fn ambient_capture_feeds_the_recorder_and_clears_on_exit() {
+        assert!(!active());
+        let (result, t) = capture(Fidelity::Digest, header(), || {
+            assert!(active());
+            with_active(|rec| {
+                rec.begin_round(0);
+                rec.message(1, 0, 5);
+                rec.end_round(0, 0);
+            });
+            "done"
+        });
+        assert_eq!(result, "done");
+        assert!(!active());
+        assert_eq!(t.rounds.len(), 1);
+        assert_eq!(t.rounds[0].messages, 1);
+        // with no recorder installed the hook is a no-op
+        with_active(|_| panic!("no recorder should be active"));
+    }
+
+    #[test]
+    fn capture_clears_the_recorder_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            capture(Fidelity::Digest, header(), || panic!("boom"));
+        });
+        assert!(caught.is_err());
+        assert!(!active(), "a panicking capture must not leak its recorder");
+    }
+
+    #[test]
+    fn chrome_export_emits_two_spans_per_round() {
+        let t = record(Fidelity::Digest);
+        let json = t.chrome_trace_json();
+        assert_eq!(json.matches("\"compute\"").count(), 2);
+        assert_eq!(json.matches("\"exchange\"").count(), 2);
+        assert!(json.contains("\"traceEvents\""));
+        assert!(json.contains("\"dur\": 0.100"), "100ns compute span renders as 0.1us: {json}");
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+
+    #[test]
+    fn graph_fingerprint_separates_graphs() {
+        let a = graph_fingerprint(4, [(0, 1), (1, 2)]);
+        let b = graph_fingerprint(4, [(0, 1), (1, 3)]);
+        let c = graph_fingerprint(5, [(0, 1), (1, 2)]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, graph_fingerprint(4, [(0, 1), (1, 2)]));
+    }
+}

@@ -140,4 +140,47 @@ fn steady_state_step_allocates_nothing_in_either_engine() {
         MEASURED_ROUNDS as u64,
         "the phase timer must have recorded every measured sharded round"
     );
+
+    // With digest transcript capture armed (the `CLIQUE_TRACE=digest`
+    // path), the steady-state step must STILL allocate nothing: the
+    // recorder pre-reserves its round tables and the digest path is pure
+    // FNV folding over the already-sorted inboxes.
+    let header = |engine: &str| trace::Header {
+        graph_fingerprint: 0,
+        protocol: "alloc-audit".into(),
+        engine: engine.into(),
+        seed: 0,
+    };
+    let mut net = Network::new(&g, beats(n));
+    let ((), t) = trace::capture(trace::Fidelity::Digest, header("sequential"), || {
+        for _ in 0..WARMUP_ROUNDS {
+            net.step();
+        }
+        let count = allocations_during(|| {
+            for _ in 0..MEASURED_ROUNDS {
+                net.step();
+            }
+        });
+        assert_eq!(count, 0, "sequential step must not allocate with digest capture armed");
+    });
+    assert_eq!(t.rounds.len(), WARMUP_ROUNDS + MEASURED_ROUNDS, "every round was recorded");
+    assert!(t.rounds.iter().all(|r| r.messages > 0), "the heartbeat messages every round");
+
+    let pool = Arc::new(WorkerPool::new(2));
+    let mut net = ShardedNetwork::with_pool(&g, beats(n), 1, 2, pool);
+    let ((), t2) = trace::capture(trace::Fidelity::Digest, header("sharded:2"), || {
+        for _ in 0..WARMUP_ROUNDS {
+            net.step();
+        }
+        let count = allocations_during(|| {
+            for _ in 0..MEASURED_ROUNDS {
+                net.step();
+            }
+        });
+        assert_eq!(count, 0, "sharded step must not allocate with digest capture armed");
+    });
+    assert_eq!(
+        t.rounds, t2.rounds,
+        "the audit doubles as an identity check: both engines' transcripts agree"
+    );
 }
