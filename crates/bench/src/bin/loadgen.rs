@@ -8,18 +8,21 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest]
+//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest] [--depth]
 //! ```
 //!
 //! Defaults: the full scenario corpus at worker counts
 //! `{1, available_shards()}` (so `CLIQUE_SHARDS` steers the sweep).
 //! `--trace digest|full[:path]` captures the first scenario's jobs as
 //! round transcripts (attached to their outcomes; with a `:path` suffix
-//! the last one also lands on disk).
+//! the last one also lands on disk). `--depth` additionally runs the
+//! scheduler pop-throughput microbenchmark (queue depths 10³/10⁵/10⁶,
+//! capped at 10⁵ under `--small`) and records a `sched_depth` block in
+//! `BENCH_service.json`.
 
 use bench::svc::{
-    full_scenarios, replay, report, small_scenarios, tenant_mix_and_persistence, trace_overhead,
-    trajectory_worker_counts,
+    full_scenarios, replay, report, sched_depth, small_scenarios, tenant_mix_and_persistence,
+    trace_overhead, trajectory_worker_counts,
 };
 
 fn main() {
@@ -77,7 +80,21 @@ fn main() {
     let rows = replay(&workers, &scenarios);
     let mix = tenant_mix_and_persistence();
     let overhead = trace_overhead();
-    report(&scenarios, &rows, &mix, &overhead);
+    let depth_rows = args.iter().any(|a| a == "--depth").then(|| {
+        let depths: &[usize] =
+            if small { &[1_000, 10_000, 100_000] } else { &[1_000, 100_000, 1_000_000] };
+        sched_depth(depths)
+    });
+    report(&scenarios, &rows, &mix, &overhead, depth_rows.as_deref());
+    if let Some(drs) = &depth_rows {
+        let top = drs.last().expect("--depth measures at least one depth");
+        assert!(
+            top.speedup >= 100.0,
+            "two-tier pops must beat the linear scan >=100x at depth {} (got {:.1}x)",
+            top.depth,
+            top.speedup
+        );
+    }
     for r in &rows {
         if trace_mode.is_on() {
             assert_eq!(

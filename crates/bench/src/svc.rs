@@ -17,6 +17,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use clique_listing::{EngineChoice, ListingConfig};
+use service::sched::SchedQueue;
 use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service, Ticket};
 
 use crate::Table;
@@ -317,6 +318,135 @@ pub fn tenant_mix_and_persistence() -> TenantMixReport {
     }
 }
 
+/// The aging rate the depth microbenchmark runs both queues at — nonzero
+/// so every pop recomputes effective priorities, the way live traffic
+/// does.
+pub const SCHED_DEPTH_AGING_RATE: u64 = 8;
+
+/// One depth point of the scheduler microbenchmark: pop throughput of the
+/// two-tier queue against a faithful reimplementation of the old
+/// `O(queued)` linear scan, on an identical workload.
+pub struct SchedDepthRow {
+    /// Queued entries when the measured pops began.
+    pub depth: usize,
+    /// Pops/s through [`SchedQueue`] (select + take + complete).
+    pub new_pops_per_sec: f64,
+    /// Pops/s through the linear-scan reference.
+    pub old_pops_per_sec: f64,
+    /// `new_pops_per_sec / old_pops_per_sec`.
+    pub speedup: f64,
+}
+
+/// The pre-v3 scheduler select, reimplemented for comparison: one full
+/// pass over a flat `Vec` per pop, computing each entry's saturated
+/// effective priority and maximizing (effective desc, round-robin
+/// distance asc, seq asc), then removing by index.
+struct LinearScanQueue {
+    entries: Vec<(u64, u8, u32, u64)>, // (seq, priority, tenant, enqueue_tick)
+    ticks: u64,
+    rr_cursor: u32,
+    aging_rate: u64,
+}
+
+impl LinearScanQueue {
+    fn pop(&mut self) -> Option<u64> {
+        use std::cmp::Reverse;
+        let mut best: Option<(usize, Reverse<u64>, u32, u64)> = None;
+        for (i, &(seq, priority, tenant, enqueue_tick)) in self.entries.iter().enumerate() {
+            let eff = (priority as u64)
+                .saturating_add(self.aging_rate.saturating_mul(self.ticks - enqueue_tick));
+            let dist = tenant.wrapping_sub(self.rr_cursor);
+            let rank = (Reverse(eff), dist, seq);
+            if best.as_ref().is_none_or(|&(_, e, d, s)| rank < (e, d, s)) {
+                best = Some((i, rank.0, rank.1, rank.2));
+            }
+        }
+        let (idx, ..) = best?;
+        let (seq, _, tenant, _) = self.entries.remove(idx);
+        self.rr_cursor = tenant.wrapping_add(1);
+        self.ticks += 1; // pop + complete fused: a single-worker drain
+        Some(seq)
+    }
+}
+
+/// Deterministic splitmix64 — the workload generator for the depth
+/// microbenchmark (no external RNG dependency in release deps).
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Measures pop throughput at each depth: both structures are filled with
+/// an identical pseudorandom workload (priorities `0..=255`, 64 tenants,
+/// and the aging clock advanced every 256 pushes so enqueue ticks spread
+/// the way live traffic's do), then a pop+complete drain is timed. The
+/// two-tier queue drains up to 10k measured pops; the linear scan's pop
+/// count is capped at 200 beyond depth 10k — each of its pops walks the
+/// whole backlog, so a full drain at depth 10⁶ would be `O(depth²)` —
+/// and both are normalized to pops/s.
+pub fn sched_depth(depths: &[usize]) -> Vec<SchedDepthRow> {
+    depths
+        .iter()
+        .map(|&depth| {
+            let mut rng = 0x5EED_u64 ^ (depth as u64).rotate_left(17);
+            let jobs: Vec<(u8, u32)> = (0..depth)
+                .map(|_| {
+                    let r = splitmix64(&mut rng);
+                    ((r & 0xff) as u8, ((r >> 8) % 64) as u32)
+                })
+                .collect();
+
+            let mut q: SchedQueue<()> = SchedQueue::new();
+            q.set_aging_rate(SCHED_DEPTH_AGING_RATE);
+            for (i, &(priority, tenant)) in jobs.iter().enumerate() {
+                if i % 256 == 255 {
+                    // an idle tenant's completion is a pure aging tick —
+                    // it spreads enqueue ticks without draining the fill
+                    q.complete(u32::MAX);
+                }
+                q.push(i as u64, priority, tenant, false, ());
+            }
+            let new_pops = depth.min(10_000);
+            let start = std::time::Instant::now();
+            for _ in 0..new_pops {
+                let sel = q.select(true).expect("the fill outlasts the measured pops");
+                let tenant = q.take(sel).tenant;
+                q.complete(tenant);
+            }
+            let new_rate = new_pops as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+            let mut old = LinearScanQueue {
+                entries: Vec::with_capacity(depth),
+                ticks: 0,
+                rr_cursor: 0,
+                aging_rate: SCHED_DEPTH_AGING_RATE,
+            };
+            for (i, &(priority, tenant)) in jobs.iter().enumerate() {
+                if i % 256 == 255 {
+                    old.ticks += 1;
+                }
+                old.entries.push((i as u64, priority, tenant, old.ticks));
+            }
+            let old_pops = if depth > 10_000 { 200 } else { depth.min(2_000) };
+            let start = std::time::Instant::now();
+            for _ in 0..old_pops {
+                old.pop().expect("the fill outlasts the measured pops");
+            }
+            let old_rate = old_pops as f64 / start.elapsed().as_secs_f64().max(1e-9);
+
+            SchedDepthRow {
+                depth,
+                new_pops_per_sec: new_rate,
+                old_pops_per_sec: old_rate,
+                speedup: new_rate / old_rate,
+            }
+        })
+        .collect()
+}
+
 fn percentile(sorted: &[Duration], q: f64) -> Duration {
     if sorted.is_empty() {
         return Duration::ZERO;
@@ -404,6 +534,7 @@ pub fn report(
     rows: &[LoadgenRow],
     mix: &TenantMixReport,
     overhead: &TraceOverhead,
+    depth_rows: Option<&[SchedDepthRow]>,
 ) {
     let mut t = Table::new(&[
         "workers",
@@ -489,6 +620,35 @@ pub fn report(
         overhead.jobs_per_sec_digest,
         overhead.overhead_pct
     );
+    let depth_json = depth_rows
+        .map(|drs| {
+            let mut dt =
+                Table::new(&["queue depth", "new pops/s", "linear-scan pops/s", "speedup"]);
+            let mut items = Vec::new();
+            for d in drs {
+                dt.row(vec![
+                    d.depth.to_string(),
+                    format!("{:.0}", d.new_pops_per_sec),
+                    format!("{:.0}", d.old_pops_per_sec),
+                    format!("{:.1}x", d.speedup),
+                ]);
+                items.push(format!(
+                    concat!(
+                        "    {{\"depth\": {}, \"new_pops_per_sec\": {:.1}, ",
+                        "\"old_pops_per_sec\": {:.1}, \"speedup\": {:.2}}}"
+                    ),
+                    d.depth, d.new_pops_per_sec, d.old_pops_per_sec, d.speedup
+                ));
+            }
+            println!("\nscheduler pop throughput (aging rate {SCHED_DEPTH_AGING_RATE}):");
+            dt.print();
+            format!(
+                "  \"sched_depth\": {{\"aging_rate\": {}, \"rows\": [\n{}\n  ]}},\n",
+                SCHED_DEPTH_AGING_RATE,
+                items.join(",\n")
+            )
+        })
+        .unwrap_or_default();
     // Per-phase engine totals accumulated over the whole replay (zeros
     // unless CLIQUE_OBS enabled the phase timers).
     let m = obs::metrics();
@@ -509,11 +669,12 @@ pub fn report(
         pe as f64 / 1e6,
     );
     let json = format!(
-        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}{}\n  \"results\": [\n{}\n  ]\n}}\n",
         names.join(", "),
         runtime::available_shards(),
         mix_json,
         overhead_json,
+        depth_json,
         obs_json,
         rows_json.join(",\n")
     );
@@ -559,6 +720,19 @@ mod tests {
                 r.deadline_miss_rate
             );
         }
+    }
+
+    #[test]
+    fn sched_depth_measures_both_structures_at_every_depth() {
+        let rows = sched_depth(&[300, 600]);
+        assert_eq!(rows.len(), 2);
+        for r in &rows {
+            assert!(r.new_pops_per_sec > 0.0, "two-tier queue must pop at depth {}", r.depth);
+            assert!(r.old_pops_per_sec > 0.0, "linear scan must pop at depth {}", r.depth);
+            assert!(r.speedup > 0.0);
+        }
+        // the ratio claim itself is asserted by loadgen --depth at real
+        // depths; tiny debug-build fills are too noisy to pin here
     }
 
     #[test]

@@ -427,6 +427,8 @@ pub enum WarnKind {
     EngineEnv,
     /// Unrecognized `CLIQUE_ADMIT` value (service falls back to unbounded).
     AdmitEnv,
+    /// Unrecognized `CLIQUE_QUEUE_CAP` value (service queue stays unbounded).
+    QueueCapEnv,
     /// Unrecognized `CLIQUE_OBS` value (telemetry stays off).
     ObsEnv,
     /// The service could not persist the graph corpus on shutdown.
@@ -445,10 +447,11 @@ pub enum WarnKind {
 
 impl WarnKind {
     /// All kinds, in rendering order.
-    pub const ALL: [WarnKind; 10] = [
+    pub const ALL: [WarnKind; 11] = [
         WarnKind::ShardsEnv,
         WarnKind::EngineEnv,
         WarnKind::AdmitEnv,
+        WarnKind::QueueCapEnv,
         WarnKind::ObsEnv,
         WarnKind::CorpusPersist,
         WarnKind::CorpusLoad,
@@ -467,6 +470,7 @@ impl WarnKind {
             WarnKind::ShardsEnv => "shards_env",
             WarnKind::EngineEnv => "engine_env",
             WarnKind::AdmitEnv => "admit_env",
+            WarnKind::QueueCapEnv => "queue_cap_env",
             WarnKind::ObsEnv => "obs_env",
             WarnKind::CorpusPersist => "corpus_persist",
             WarnKind::CorpusLoad => "corpus_load",
@@ -605,8 +609,12 @@ pub struct Metrics {
     pub tenant_completed: [Counter; TENANT_SLOTS],
     /// Jobs accepted into the scheduler queue.
     pub sched_submitted: Counter,
+    /// Submissions shed at the queue cap (never queued, never ran).
+    pub sched_rejected: Counter,
     /// Scheduler queue depth after the latest push/pop.
     pub sched_queue_depth: Gauge,
+    /// The configured queue cap (0 = unbounded).
+    pub sched_queue_cap: Gauge,
     /// Jobs popped by workers.
     pub sched_pops: Counter,
     /// Scheduler ticks a job waited between enqueue and pop.
@@ -651,7 +659,9 @@ impl Metrics {
             tenant_peak: [const { Gauge::new() }; TENANT_SLOTS],
             tenant_completed: [const { Counter::new() }; TENANT_SLOTS],
             sched_submitted: Counter::new(),
+            sched_rejected: Counter::new(),
             sched_queue_depth: Gauge::new(),
+            sched_queue_cap: Gauge::new(),
             sched_pops: Counter::new(),
             sched_wait_ticks: Histogram::new(),
             sched_admission_blocks: Counter::new(),
@@ -765,8 +775,12 @@ pub struct Snapshot {
     pub tenants: Vec<TenantSnapshot>,
     /// Jobs submitted.
     pub sched_submitted: u64,
+    /// Submissions shed at the queue cap.
+    pub sched_rejected: u64,
     /// Queue depth at the latest push/pop.
     pub sched_queue_depth: u64,
+    /// Configured queue cap (0 = unbounded).
+    pub sched_queue_cap: u64,
     /// Jobs popped.
     pub sched_pops: u64,
     /// Enqueue-to-pop wait histogram (scheduler ticks).
@@ -818,7 +832,9 @@ pub fn snapshot() -> Snapshot {
             })
             .collect(),
         sched_submitted: m.sched_submitted.get(),
+        sched_rejected: m.sched_rejected.get(),
         sched_queue_depth: m.sched_queue_depth.get(),
+        sched_queue_cap: m.sched_queue_cap.get(),
         sched_pops: m.sched_pops.get(),
         sched_wait_ticks: m.sched_wait_ticks.snap(),
         sched_admission_blocks: m.sched_admission_blocks.get(),
@@ -873,7 +889,8 @@ impl Snapshot {
                 "\"active_leases\": {pa}, \"peak_leases\": {pp}, ",
                 "\"lease_wait_ns\": {lw}}},\n",
                 "  \"tenants\": [{tn}],\n",
-                "  \"sched\": {{\"submitted\": {ss}, \"queue_depth\": {qd}, ",
+                "  \"sched\": {{\"submitted\": {ss}, \"rejected\": {sr}, ",
+                "\"queue_depth\": {qd}, \"queue_cap\": {qc}, ",
                 "\"pops\": {sp}, \"admission_blocks\": {ab}, \"completed\": {sc}, ",
                 "\"failed\": {sf}, \"deadline_miss_rounds\": {dr}, ",
                 "\"deadline_miss_wall\": {dw}, \"wait_ticks\": {wt}}},\n",
@@ -893,7 +910,9 @@ impl Snapshot {
             lw = json_hist(&self.pool_lease_wait_ns),
             tn = tenants.join(", "),
             ss = self.sched_submitted,
+            sr = self.sched_rejected,
             qd = self.sched_queue_depth,
+            qc = self.sched_queue_cap,
             sp = self.sched_pops,
             ab = self.sched_admission_blocks,
             sc = self.sched_completed,
@@ -945,7 +964,9 @@ impl Snapshot {
         }
         line!("# TYPE clique_sched_submitted_total counter");
         line!("clique_sched_submitted_total {}", self.sched_submitted);
+        line!("clique_sched_rejected_total {}", self.sched_rejected);
         line!("clique_sched_queue_depth {}", self.sched_queue_depth);
+        line!("clique_sched_queue_cap {}", self.sched_queue_cap);
         line!("clique_sched_pops_total {}", self.sched_pops);
         line!("clique_sched_admission_blocks_total {}", self.sched_admission_blocks);
         line!("clique_sched_completed_total {}", self.sched_completed);

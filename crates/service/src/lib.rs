@@ -320,6 +320,18 @@ pub enum JobError {
     UnknownFingerprint(u64),
     /// The algorithm itself panicked (bad `p`, adversarial config).
     Panicked(String),
+    /// The job was shed at submit time: the backlog was already at the
+    /// configured [queue cap](Service::with_queue_cap). Deterministic for
+    /// an atomic batch (the whole batch is pushed under one queue lock,
+    /// so which submissions overflow depends only on the cap and the
+    /// depth, never on worker timing). The job never ran — resubmit once
+    /// the backlog drains.
+    Rejected {
+        /// Queued jobs at the instant of rejection (= the cap).
+        queue_depth: usize,
+        /// The configured queue cap.
+        queue_cap: usize,
+    },
 }
 
 impl std::fmt::Display for JobError {
@@ -346,6 +358,10 @@ impl std::fmt::Display for JobError {
                 write!(f, "no cached graph with fingerprint {fp:#018x}")
             }
             JobError::Panicked(msg) => write!(f, "{msg}"),
+            JobError::Rejected { queue_depth, queue_cap } => write!(
+                f,
+                "rejected at submit: queue depth {queue_depth} is at the cap of {queue_cap}"
+            ),
         }
     }
 }
@@ -466,7 +482,9 @@ impl Service {
     /// Starts a service with an explicit corpus-cache capacity.
     ///
     /// The admission limit starts at the `CLIQUE_ADMIT` environment
-    /// variable if set (see [`admission_limit_from_env`]), else unbounded.
+    /// variable if set (see [`admission_limit_from_env`]), else unbounded;
+    /// the queue cap starts at `CLIQUE_QUEUE_CAP` if set (see
+    /// [`queue_cap_from_env`]), else unbounded.
     /// If the `CLIQUE_CORPUS_PATH` environment variable is set, a corpus
     /// persisted there by an earlier service is warm-loaded (and the path
     /// becomes this service's persistence target — see
@@ -482,8 +500,12 @@ impl Service {
         if let Some(path) = &corpus_path {
             load_corpus_warn_and_fallback(&mut corpus, path);
         }
+        let mut queue = SchedQueue::new();
+        let queue_cap = queue_cap_from_env().unwrap_or(usize::MAX);
+        queue.set_queue_cap(queue_cap);
+        obs::metrics().sched_queue_cap.set(queue_cap_gauge(queue_cap));
         let shared = Arc::new(ServiceShared {
-            queue: Mutex::new((SchedQueue::new(), false)),
+            queue: Mutex::new((queue, false)),
             work_ready: Condvar::new(),
             corpus: Mutex::new(corpus),
             finished: Mutex::new(Finished::default()),
@@ -558,6 +580,31 @@ impl Service {
         // a raised cap can make parked jobs eligible
         self.shared.work_ready.notify_all();
         self
+    }
+
+    /// Bounds the backlog (load shedding): once `cap` jobs are queued,
+    /// further submissions are **shed** instead of queued —
+    /// [`Service::try_submit`] returns [`JobError::Rejected`] directly,
+    /// and the infallible paths ([`Service::submit`], [`Service::stream`],
+    /// [`Service::run_batch`]) resolve the rejected ticket immediately
+    /// with the same error, so every ticket still yields exactly one
+    /// outcome. In-flight jobs do not count against the cap;
+    /// `usize::MAX` (the default, or `CLIQUE_QUEUE_CAP=unlimited`)
+    /// disables shedding.
+    ///
+    /// Shedding is deterministic per atomic batch: a batch is pushed
+    /// under one queue lock, so which of its jobs overflow depends only
+    /// on the cap and the queued depth at submission, never on worker
+    /// timing.
+    pub fn with_queue_cap(self, cap: usize) -> Self {
+        lock_ignore_poison(&self.shared.queue).0.set_queue_cap(cap);
+        obs::metrics().sched_queue_cap.set(queue_cap_gauge(cap));
+        self
+    }
+
+    /// The current queue cap (`usize::MAX` = unbounded).
+    pub fn queue_cap(&self) -> usize {
+        lock_ignore_poison(&self.shared.queue).0.queue_cap()
     }
 
     /// Injects a [`MockClock`] for wall deadlines: jobs submitted *after*
@@ -655,24 +702,109 @@ impl Service {
 
     /// [`Service::submit`] with explicit [`JobMeta`], overriding whatever
     /// the job carries.
+    ///
+    /// On a [queue-capped](Service::with_queue_cap) service a submission
+    /// against a full backlog is shed: the returned ticket resolves
+    /// immediately to [`JobError::Rejected`] (the job never runs). Use
+    /// [`Service::try_submit_with`] to get the rejection as a `Result`
+    /// instead of a parked outcome.
     pub fn submit_with(&self, mut job: Job, meta: JobMeta) -> Ticket {
         job.meta = meta;
         let seq = self.next_ticket.fetch_add(1, Ordering::Relaxed);
-        let wall = self.wall_budget_for(&job.meta);
-        let mut q = self.shared.queue.lock().unwrap();
-        let (priority, tenant, gated) = (job.meta.priority, job.meta.tenant, is_gated(&job));
-        q.0.push(
-            seq,
-            priority,
-            tenant,
-            gated,
-            QueuedPayload { job, submitted: Instant::now(), wall },
-        );
-        let m = obs::metrics();
-        m.sched_submitted.inc();
-        m.sched_queue_depth.set(q.0.len() as u64);
-        self.shared.work_ready.notify_one();
+        let submitted = Instant::now();
+        let pushed = {
+            let mut q = self.shared.queue.lock().unwrap();
+            self.enqueue_locked(&mut q.0, seq, job, submitted)
+        };
+        match pushed {
+            Ok(()) => self.shared.work_ready.notify_one(),
+            Err(err) => self.park_rejected(vec![(seq, err)], submitted),
+        }
         Ticket(seq)
+    }
+
+    /// [`Service::submit`] that surfaces load shedding as a typed error:
+    /// on a [queue-capped](Service::with_queue_cap) service whose backlog
+    /// is full, returns [`JobError::Rejected`] **at submit time** — no
+    /// ticket is allocated and nothing is queued. Deterministic: the cap
+    /// check and the push happen under one queue lock.
+    pub fn try_submit(&self, job: Job) -> Result<Ticket, JobError> {
+        let meta = job.meta;
+        self.try_submit_with(job, meta)
+    }
+
+    /// [`Service::try_submit`] with explicit [`JobMeta`], overriding
+    /// whatever the job carries.
+    pub fn try_submit_with(&self, mut job: Job, meta: JobMeta) -> Result<Ticket, JobError> {
+        job.meta = meta;
+        let submitted = Instant::now();
+        let mut q = self.shared.queue.lock().unwrap();
+        let (depth, cap) = (q.0.len(), q.0.queue_cap());
+        if depth >= cap {
+            obs::metrics().sched_rejected.inc();
+            return Err(JobError::Rejected { queue_depth: depth, queue_cap: cap });
+        }
+        // ticket allocated only on acceptance, under the same lock the
+        // cap was checked with
+        let seq = self.next_ticket.fetch_add(1, Ordering::Relaxed);
+        self.enqueue_locked(&mut q.0, seq, job, submitted)
+            .expect("cap was checked under this lock");
+        drop(q);
+        self.shared.work_ready.notify_one();
+        Ok(Ticket(seq))
+    }
+
+    /// Pushes one job under the held queue lock. On acceptance counts the
+    /// submission and the new depth; on shedding counts the rejection and
+    /// returns the typed error (the job is dropped — load shedding sheds
+    /// work, it never queues it).
+    fn enqueue_locked(
+        &self,
+        q: &mut SchedQueue<QueuedPayload>,
+        seq: u64,
+        job: Job,
+        submitted: Instant,
+    ) -> Result<(), JobError> {
+        let wall = self.wall_budget_for(&job.meta);
+        let (priority, tenant, gated) = (job.meta.priority, job.meta.tenant, is_gated(&job));
+        let m = obs::metrics();
+        match q.try_push(seq, priority, tenant, gated, QueuedPayload { job, submitted, wall }) {
+            Ok(()) => {
+                m.sched_submitted.inc();
+                m.sched_queue_depth.set(q.len() as u64);
+                Ok(())
+            }
+            Err((shed, _)) => {
+                m.sched_rejected.inc();
+                Err(JobError::Rejected { queue_depth: shed.queue_depth, queue_cap: shed.queue_cap })
+            }
+        }
+    }
+
+    /// Resolves shed tickets: parks a [`JobError::Rejected`] outcome for
+    /// each, exactly like a worker parks a completed job's outcome, so
+    /// [`Service::wait`] / streams observe rejected jobs through the same
+    /// path as every other job.
+    fn park_rejected(&self, rejected: Vec<(u64, JobError)>, submitted: Instant) {
+        if rejected.is_empty() {
+            return;
+        }
+        let mut fin = self.shared.finished.lock().unwrap();
+        for (seq, err) in rejected {
+            fin.outcomes.insert(
+                seq,
+                JobOutcome {
+                    report: Err(err),
+                    cache_hit: false,
+                    latency: submitted.elapsed(),
+                    trace: None,
+                },
+            );
+            if fin.streamed.contains(&seq) {
+                fin.order.push_back(seq);
+            }
+        }
+        self.shared.job_done.notify_all();
     }
 
     /// The wall budget a job with `meta` runs under, anchored **now** (at
@@ -706,18 +838,20 @@ impl Service {
         // completion-order log (and only those: fire-and-forget tickets
         // never pollute the log streams scan).
         self.shared.finished.lock().unwrap().streamed.extend(ids.iter().copied());
+        let mut rejected = Vec::new();
         {
             let mut q = self.shared.queue.lock().unwrap();
             for (&seq, job) in ids.iter().zip(jobs) {
-                let wall = self.wall_budget_for(&job.meta);
-                let (priority, tenant, gated) =
-                    (job.meta.priority, job.meta.tenant, is_gated(&job));
-                q.0.push(seq, priority, tenant, gated, QueuedPayload { job, submitted: now, wall });
-                obs::metrics().sched_submitted.inc();
+                if let Err(err) = self.enqueue_locked(&mut q.0, seq, job, now) {
+                    rejected.push((seq, err));
+                }
             }
-            obs::metrics().sched_queue_depth.set(q.0.len() as u64);
         }
         self.shared.work_ready.notify_all();
+        // Shed jobs resolve immediately (the batch was pushed atomically,
+        // so the rejection set is deterministic): their tickets yield
+        // JobError::Rejected through the stream like any other outcome.
+        self.park_rejected(rejected, now);
         let tickets: Vec<Ticket> = ids.iter().map(|&id| Ticket(id)).collect();
         let remaining = ids.into_iter().collect();
         OutcomeStream { svc: self, tickets, remaining }
@@ -923,6 +1057,53 @@ pub fn admission_limit_from_env() -> Option<usize> {
     }
 }
 
+/// Parses a `CLIQUE_QUEUE_CAP` spec: a positive integer (the queue cap),
+/// or `unlimited` for no bound. Same grammar as [`parse_admit`].
+pub fn parse_queue_cap(spec: &str) -> Option<usize> {
+    let spec = spec.trim();
+    if spec.eq_ignore_ascii_case("unlimited") {
+        return Some(usize::MAX);
+    }
+    let n: usize = spec.parse().ok()?;
+    (n >= 1).then_some(n)
+}
+
+/// Reads the `CLIQUE_QUEUE_CAP` environment variable: the default queue
+/// cap (load-shedding bound) for new services. Mirrors `CLIQUE_ADMIT`:
+/// garbage values warn on stderr and fall back to unbounded — a silent
+/// fallback would let a typo'd `CLIQUE_QUEUE_CAP=1ooo` run an intended
+/// load-shedding experiment with no shedding at all.
+pub fn queue_cap_from_env() -> Option<usize> {
+    match std::env::var("CLIQUE_QUEUE_CAP") {
+        Ok(v) => match parse_queue_cap(&v) {
+            Some(n) => Some(n),
+            None => {
+                obs::warn(
+                    obs::WarnKind::QueueCapEnv,
+                    format_args!(
+                        "unrecognized CLIQUE_QUEUE_CAP value {v:?} \
+                         (expected a positive integer or \"unlimited\"); \
+                         falling back to an unbounded queue"
+                    ),
+                );
+                None
+            }
+        },
+        Err(_) => None,
+    }
+}
+
+/// The `sched_queue_cap` gauge encoding of a cap: the cap itself, with
+/// `0` standing for unbounded (`usize::MAX` would render as a nonsense
+/// huge number in dashboards).
+fn queue_cap_gauge(cap: usize) -> u64 {
+    if cap == usize::MAX {
+        0
+    } else {
+        cap as u64
+    }
+}
+
 /// Reads the `CLIQUE_CORPUS_PATH` environment variable: where new
 /// services persist (and warm-load) their graph corpus. Any non-empty
 /// value is a path; unset or empty disables persistence.
@@ -969,17 +1150,17 @@ fn pop_eligible<'a>(
     queue: &mut SchedQueue<QueuedPayload>,
     shared: &'a ServiceShared,
 ) -> Option<(sched::Popped<QueuedPayload>, Option<AdmissionPermit<'a>>)> {
-    let idx = queue.select(true)?;
-    if !queue.is_gated(idx) {
-        return Some((record_pop(queue.take(idx), queue), None));
+    let sel = queue.select(true)?;
+    if !sel.gated() {
+        return Some((record_pop(queue.take(sel), queue), None));
     }
     match AdmissionPermit::try_acquire(shared) {
-        Some(permit) => Some((record_pop(queue.take(idx), queue), Some(permit))),
+        Some(permit) => Some((record_pop(queue.take(sel), queue), Some(permit))),
         // the policy's choice is gated and no permit is free: fall back to
         // the best ungated entry (work conservation), if any
         None => {
             obs::metrics().sched_admission_blocks.inc();
-            queue.select(false).map(|idx| (record_pop(queue.take(idx), queue), None))
+            queue.select(false).map(|sel| (record_pop(queue.take(sel), queue), None))
         }
     }
 }
@@ -1563,6 +1744,42 @@ mod tests {
             .with_deadline_rounds(0);
         // the override clears the impossible deadline
         let t = svc.submit_with(job, JobMeta { priority: 1, ..JobMeta::default() });
+        assert!(svc.wait(t).report.is_ok());
+    }
+
+    #[test]
+    fn queue_cap_specs_parse() {
+        assert_eq!(parse_queue_cap("1"), Some(1));
+        assert_eq!(parse_queue_cap(" 4096 "), Some(4096));
+        assert_eq!(parse_queue_cap("Unlimited"), Some(usize::MAX));
+        assert_eq!(parse_queue_cap("0"), None);
+        assert_eq!(parse_queue_cap("-3"), None);
+        assert_eq!(parse_queue_cap("1ooo"), None);
+        assert_eq!(parse_queue_cap(""), None);
+    }
+
+    #[test]
+    fn try_submit_sheds_deterministically_at_the_cap() {
+        // cap 0: every try_submit is rejected before a ticket exists,
+        // regardless of worker timing
+        let svc = Service::new(1).with_queue_cap(0);
+        let job =
+            || Job::new(GraphInput::Spec(er_spec(1)), 3, ListingConfig::default(), Algo::Paper);
+        for _ in 0..3 {
+            let err = svc.try_submit(job()).unwrap_err();
+            assert_eq!(err, JobError::Rejected { queue_depth: 0, queue_cap: 0 });
+        }
+        // the infallible path parks the same error under a real ticket
+        let t = svc.submit(job());
+        let outcome = svc.wait(t);
+        assert_eq!(
+            outcome.report.unwrap_err(),
+            JobError::Rejected { queue_depth: 0, queue_cap: 0 }
+        );
+        // lifting the cap accepts and runs the job
+        let svc = svc.with_queue_cap(usize::MAX);
+        assert_eq!(svc.queue_cap(), usize::MAX);
+        let t = svc.try_submit(job()).expect("uncapped submissions are accepted");
         assert!(svc.wait(t).report.is_ok());
     }
 

@@ -1,5 +1,6 @@
 //! The multi-tenant scheduler: job metadata, fairness-with-aging pop
-//! policy, tenant round-robin, and per-tenant in-flight caps.
+//! policy, tenant round-robin, per-tenant in-flight caps, and bounded-
+//! queue load shedding.
 //!
 //! [`SchedQueue`] is the pure scheduling core the [`crate::Service`]
 //! workers drain. It is deliberately free of jobs, graphs, threads, and
@@ -7,7 +8,8 @@
 //! and *time* is the *completed-job tick counter* — so the whole pop
 //! policy is a deterministic, synchronously testable state machine. The
 //! model-based oracle suite (`tests/sched_model.rs`) replays randomized
-//! workloads through it against a ~100-line reference reimplementation.
+//! workloads through it against a ~100-line linear-scan reference
+//! reimplementation.
 //!
 //! # The pop policy
 //!
@@ -17,8 +19,8 @@
 //!
 //! 1. **Effective priority, descending** — the submitted priority plus
 //!    `aging_rate ×` the entry's queue wait in *ticks* (one tick = one
-//!    completed job; see below). Unbounded (`u64`), so aging never
-//!    compresses distinct priorities into each other.
+//!    completed job; see below), saturating at `u64::MAX` so extreme
+//!    aging rates clamp instead of wrapping.
 //! 2. **Tenant round-robin distance, ascending** — the wrapping distance
 //!    `tenant − cursor (mod 2³²)` from the round-robin cursor, which
 //!    advances to `popped.tenant + 1` after every pop. Equal-effective-
@@ -36,7 +38,7 @@
 //! with the tick at push time, and computes
 //!
 //! ```text
-//! effective(e) = e.priority + aging_rate · (ticks − e.enqueue_tick)
+//! effective(e) = min(e.priority + aging_rate · (ticks − e.enqueue_tick), u64::MAX)
 //! ```
 //!
 //! at selection time. Entries pushed in one atomic batch share a stamp, so
@@ -47,8 +49,48 @@
 //! firehose after at most `⌈256 / aging_rate⌉` ticks, which bounds
 //! starvation. `aging_rate = 0` disables aging and restores the PR-3
 //! policy bit-for-bit.
+//!
+//! # The two-tier structure (scheduler v3)
+//!
+//! Effective priorities *drift* with the tick, so a heap keyed on them
+//! would rot. But the drift is uniform: at tick `t`,
+//!
+//! ```text
+//! effective(e) = e.priority + rate·(t − e.enqueue_tick)
+//!              = (e.priority − rate·e.enqueue_tick) + rate·t
+//! ```
+//!
+//! and `rate·t` is the same additive term for every entry — the **static
+//! key** `priority − rate·enqueue_tick` orders entries identically at
+//! every tick. Tier 1 is therefore an ordered map from static key to the
+//! entries sharing it (each bucket holds entries whose *exact* effective
+//! priorities are equal forever, in seq order). Tier 2 resolves the
+//! per-pop-varying parts — round-robin distance, in-flight caps, gating —
+//! by scanning only the **top tie group**: the buckets whose *saturated*
+//! effective priority equals the maximum. Saturation is why the group can
+//! span buckets: distinct static keys collapse onto `u64::MAX` once
+//! `priority + rate·wait` overflows, and the reference policy tie-breaks
+//! them by distance and seq, so the scan walks descending buckets while
+//! the clamped effective stays equal.
+//!
+//! The static key is kept exact — `rate·enqueue_tick` needs up to 128
+//! bits, so keys compare by the cross-addition
+//! `p₁ + drift₂ ≥ p₂ + drift₁` (no signed overflow, no precision loss).
+//! A pop is `O(log buckets + tie group)`; when every entry in the top
+//! groups is ineligible (saturated tenants, gating) the scan degrades
+//! toward the old `O(queued)` bound, which only happens when the pool is
+//! already blocked. [`SchedQueue::set_aging_rate`] rebuilds the keys (they
+//! depend on the rate) — a cold configuration path.
+//!
+//! # Load shedding
+//!
+//! [`SchedQueue::set_queue_cap`] bounds the backlog: a
+//! [`SchedQueue::try_push`] against a full queue returns [`Shed`] (depth
+//! and cap) together with the rejected payload instead of growing the
+//! queue. The cap applies to *queued* entries only — in-flight jobs do
+//! not count — and `usize::MAX` (the default) never sheds.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 
 /// The default fairness [`aging rate`](SchedQueue::set_aging_rate): one
 /// effective-priority level per completed job. Gentle enough that fresh
@@ -87,6 +129,45 @@ pub struct JobMeta {
     pub deadline_ms: Option<u64>,
 }
 
+/// The drift-invariant tier-1 key: the value `priority − rate·enqueue_tick`
+/// as an exact integer (possibly far below zero). `rate·enqueue_tick`
+/// needs up to 128 bits, so the subtraction is never materialized —
+/// ordering compares `p₁ + drift₂` against `p₂ + drift₁` in `u128`
+/// (both fit: drift ≤ (2⁶⁴−1)² and priority ≤ 255).
+///
+/// Equality is *value* equality (`p₁ − d₁ = p₂ − d₂`), not field
+/// equality: entries whose keys compare equal have identical exact
+/// effective priorities at every tick, so they share a bucket even when
+/// their `(priority, enqueue_tick)` pairs differ.
+#[derive(Clone, Copy, Debug)]
+struct StaticKey {
+    priority: u8,
+    /// `aging_rate · enqueue_tick`, exact.
+    drift: u128,
+}
+
+impl PartialEq for StaticKey {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for StaticKey {}
+
+impl PartialOrd for StaticKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for StaticKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // self.priority − self.drift  vs  other.priority − other.drift,
+        // compared by cross-addition so nothing goes negative.
+        (self.priority as u128 + other.drift).cmp(&(other.priority as u128 + self.drift))
+    }
+}
+
 /// One queued entry of a [`SchedQueue`].
 struct Pending<T> {
     seq: u64,
@@ -114,9 +195,54 @@ pub struct Popped<T> {
     pub payload: T,
 }
 
+/// A committed choice of [`SchedQueue::select`]: which entry the pop
+/// policy says runs next, pinned by its submission seq so a stale token
+/// (the queue changed between select and take) is detected instead of
+/// silently popping the wrong job.
+#[derive(Clone, Copy, Debug)]
+pub struct Selection {
+    key: StaticKey,
+    pos: usize,
+    seq: u64,
+    gated: bool,
+}
+
+impl Selection {
+    /// Whether the selected entry is admission-gated.
+    pub fn gated(&self) -> bool {
+        self.gated
+    }
+
+    /// Submission seq of the selected entry.
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+}
+
+/// A rejected push against a [bounded](SchedQueue::set_queue_cap) queue:
+/// the backlog was already at the cap, so the entry was shed instead of
+/// queued.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Shed {
+    /// Queued entries at the instant of rejection (= the cap).
+    pub queue_depth: usize,
+    /// The configured queue cap.
+    pub queue_cap: usize,
+}
+
+/// Per-bucket best candidate during the tier-2 tie-group scan.
+struct Candidate {
+    dist: u32,
+    seq: u64,
+    key: StaticKey,
+    pos: usize,
+    gated: bool,
+}
+
 /// The deterministic multi-tenant pending queue (see the module docs for
-/// the pop policy). Generic over the payload so the service can queue
-/// whole jobs while the model-based tests drive the policy with `()`.
+/// the pop policy and the two-tier structure behind it). Generic over the
+/// payload so the service can queue whole jobs while the model-based
+/// tests drive the policy with `()`.
 ///
 /// # Example
 ///
@@ -134,7 +260,12 @@ pub struct Popped<T> {
 /// assert_eq!(q.pop_log(), [1, 0]);
 /// ```
 pub struct SchedQueue<T> {
-    pending: Vec<Pending<T>>,
+    /// Tier 1: static-key buckets, iterated descending at select time.
+    /// Every entry in a bucket has the same exact effective priority at
+    /// every tick; within a bucket entries stay in push (= seq) order.
+    buckets: BTreeMap<StaticKey, Vec<Pending<T>>>,
+    /// Queued (not yet taken) entries across all buckets.
+    queued: usize,
     /// Completed-job ticks (the aging clock).
     ticks: u64,
     /// Tenant round-robin cursor: the tenant *after* the last one popped.
@@ -143,6 +274,8 @@ pub struct SchedQueue<T> {
     inflight: HashMap<u32, usize>,
     /// Max in-flight jobs per tenant (`usize::MAX` = uncapped).
     tenant_cap: usize,
+    /// Max queued entries before pushes shed (`usize::MAX` = unbounded).
+    queue_cap: usize,
     /// Effective-priority levels gained per tick of queue wait (0 = no
     /// aging: the PR-3 static policy).
     aging_rate: u64,
@@ -162,14 +295,17 @@ impl<T> Default for SchedQueue<T> {
 }
 
 impl<T> SchedQueue<T> {
-    /// An empty queue with the [`DEFAULT_AGING_RATE`] and no tenant cap.
+    /// An empty queue with the [`DEFAULT_AGING_RATE`], no tenant cap, and
+    /// no queue cap.
     pub fn new() -> Self {
         SchedQueue {
-            pending: Vec::new(),
+            buckets: BTreeMap::new(),
+            queued: 0,
             ticks: 0,
             rr_cursor: 0,
             inflight: HashMap::new(),
             tenant_cap: usize::MAX,
+            queue_cap: usize::MAX,
             aging_rate: DEFAULT_AGING_RATE,
             record_pops: false,
             pop_log: Vec::new(),
@@ -186,8 +322,27 @@ impl<T> SchedQueue<T> {
 
     /// Sets the aging rate (effective-priority levels per completed-job
     /// tick of queue wait; 0 disables aging — the exact PR-3 policy).
+    ///
+    /// Static keys embed the rate, so this rebuilds the tier-1 structure
+    /// — `O(queued · log buckets)`, a cold configuration path (the
+    /// service sets the rate once, before traffic).
     pub fn set_aging_rate(&mut self, rate: u64) {
+        if rate == self.aging_rate {
+            return;
+        }
         self.aging_rate = rate;
+        let old = std::mem::take(&mut self.buckets);
+        for (_, bucket) in old {
+            for e in bucket {
+                let key = self.key_of(e.priority, e.enqueue_tick);
+                self.buckets.entry(key).or_default().push(e);
+            }
+        }
+        // Rebuilt buckets must stay in seq order for the FIFO tie-break;
+        // merging old buckets can interleave seqs arbitrarily.
+        for bucket in self.buckets.values_mut() {
+            bucket.sort_by_key(|e| e.seq);
+        }
     }
 
     /// The current aging rate.
@@ -207,6 +362,19 @@ impl<T> SchedQueue<T> {
         self.tenant_cap
     }
 
+    /// Bounds the backlog: once `cap` entries are queued, further
+    /// [`SchedQueue::try_push`] calls shed instead of queueing. In-flight
+    /// jobs do not count against the cap; `usize::MAX` (the default)
+    /// never sheds. A cap of 0 rejects every push.
+    pub fn set_queue_cap(&mut self, cap: usize) {
+        self.queue_cap = cap;
+    }
+
+    /// The queue cap (`usize::MAX` = unbounded).
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
     /// Completed-job ticks so far (the aging clock).
     pub fn ticks(&self) -> u64 {
         self.ticks
@@ -214,73 +382,173 @@ impl<T> SchedQueue<T> {
 
     /// Queued (not yet taken) entries.
     pub fn len(&self) -> usize {
-        self.pending.len()
+        self.queued
     }
 
     /// Whether no entries are queued.
     pub fn is_empty(&self) -> bool {
-        self.pending.is_empty()
+        self.queued == 0
     }
 
-    /// Enqueues an entry, stamping it with the current tick. `seq` must be
-    /// unique and increase with submission order (the service's ticket
-    /// counter); `gated` marks entries that additionally need an admission
-    /// permit to pop.
-    pub fn push(&mut self, seq: u64, priority: u8, tenant: u32, gated: bool, payload: T) {
+    /// The tier-1 key of an entry: `priority − rate·enqueue_tick`, exact.
+    fn key_of(&self, priority: u8, enqueue_tick: u64) -> StaticKey {
+        StaticKey { priority, drift: self.aging_rate as u128 * enqueue_tick as u128 }
+    }
+
+    /// The saturated effective priority shared by every entry under `key`
+    /// at the current tick: `min(priority + rate·wait, u64::MAX)`.
+    fn effective_of(&self, key: &StaticKey) -> u64 {
+        // priority + rate·ticks − rate·enqueue_tick, exact in u128
+        // (drift ≤ rate·ticks because entries are stamped at push time
+        // and ticks only grows), then clamped to the u64 the policy uses.
+        let exact = key.priority as u128 + self.aging_rate as u128 * self.ticks as u128 - key.drift;
+        exact.min(u64::MAX as u128) as u64
+    }
+
+    /// Enqueues an entry, stamping it with the current tick, or sheds it
+    /// when the queue is at its [cap](SchedQueue::set_queue_cap) — the
+    /// rejected payload rides back with the [`Shed`] so the caller can
+    /// report it. `seq` must be unique and increase with submission order
+    /// (the service's ticket counter); `gated` marks entries that
+    /// additionally need an admission permit to pop.
+    pub fn try_push(
+        &mut self,
+        seq: u64,
+        priority: u8,
+        tenant: u32,
+        gated: bool,
+        payload: T,
+    ) -> Result<(), (Shed, T)> {
+        if self.queued >= self.queue_cap {
+            return Err((Shed { queue_depth: self.queued, queue_cap: self.queue_cap }, payload));
+        }
         let enqueue_tick = self.ticks;
-        self.pending.push(Pending { seq, priority, tenant, gated, enqueue_tick, payload });
+        let key = self.key_of(priority, enqueue_tick);
+        self.buckets.entry(key).or_default().push(Pending {
+            seq,
+            priority,
+            tenant,
+            gated,
+            enqueue_tick,
+            payload,
+        });
+        self.queued += 1;
+        Ok(())
     }
 
-    /// The effective priority of entry `e` at the current tick.
-    fn effective(&self, e: &Pending<T>) -> u64 {
-        e.priority as u64 + self.aging_rate * (self.ticks - e.enqueue_tick)
-    }
-
-    /// Selects the entry the pop policy says runs next — among entries
-    /// whose tenant is below the in-flight cap, and (unless `allow_gated`)
-    /// skipping admission-gated entries — or `None` when nothing is
-    /// eligible. Pure: does not mutate the queue; commit the choice with
-    /// [`SchedQueue::take`] before the queue changes.
+    /// [`SchedQueue::try_push`] for unbounded queues.
     ///
-    /// Selection is a linear scan — effective priorities drift with the
-    /// tick, and eligibility (caps, gating) is per-pop, so there is no
-    /// static heap order to maintain. That makes a pop `O(queued)`, which
-    /// is fine at service-realistic backlogs (thousands) but is the known
-    /// scaling limit of this queue; a two-tier structure (static-key heap
-    /// — `priority − rate·enqueue_tick` is drift-invariant — plus
-    /// tie-group scan) is the upgrade path if backlogs ever grow past
-    /// that.
-    pub fn select(&self, allow_gated: bool) -> Option<usize> {
-        let mut best: Option<(usize, (u64, std::cmp::Reverse<u32>, std::cmp::Reverse<u64>))> = None;
-        for (i, e) in self.pending.iter().enumerate() {
+    /// # Panics
+    ///
+    /// Panics if the push sheds — only possible once a queue cap is set;
+    /// bounded callers use `try_push` and handle the rejection.
+    pub fn push(&mut self, seq: u64, priority: u8, tenant: u32, gated: bool, payload: T) {
+        if let Err((shed, _)) = self.try_push(seq, priority, tenant, gated, payload) {
+            panic!(
+                "SchedQueue::push shed seq {seq} (depth {} at cap {}): bounded queues must \
+                 use try_push",
+                shed.queue_depth, shed.queue_cap
+            );
+        }
+    }
+
+    /// Scans one bucket for the best eligible entry under the tier-2
+    /// tie-break (round-robin distance ascending, then seq ascending),
+    /// folding it into `best`.
+    fn scan_bucket(
+        &self,
+        key: StaticKey,
+        bucket: &[Pending<T>],
+        allow_gated: bool,
+        best: &mut Option<Candidate>,
+    ) {
+        for (pos, e) in bucket.iter().enumerate() {
             if e.gated && !allow_gated {
                 continue;
             }
             if self.inflight.get(&e.tenant).copied().unwrap_or(0) >= self.tenant_cap {
                 continue;
             }
-            let key = (
-                self.effective(e),
-                std::cmp::Reverse(e.tenant.wrapping_sub(self.rr_cursor)),
-                std::cmp::Reverse(e.seq),
-            );
-            if best.as_ref().is_none_or(|(_, b)| key > *b) {
-                best = Some((i, key));
+            let dist = e.tenant.wrapping_sub(self.rr_cursor);
+            if best.as_ref().is_none_or(|b| (dist, e.seq) < (b.dist, b.seq)) {
+                *best = Some(Candidate { dist, seq: e.seq, key, pos, gated: e.gated });
             }
         }
-        best.map(|(i, _)| i)
     }
 
-    /// Whether the entry at `idx` is admission-gated.
-    pub fn is_gated(&self, idx: usize) -> bool {
-        self.pending[idx].gated
+    /// Selects the entry the pop policy says runs next — among entries
+    /// whose tenant is below the in-flight cap, and (unless `allow_gated`)
+    /// skipping admission-gated entries — or `None` when nothing is
+    /// eligible. Pure: does not mutate the queue; commit the choice with
+    /// [`SchedQueue::take`] before the queue changes (a stale
+    /// [`Selection`] makes `take` panic rather than pop the wrong job).
+    ///
+    /// Walks tier-1 buckets in descending static-key order, one
+    /// *tie group* (equal saturated effective priority) at a time, and
+    /// resolves distance/caps/gating by scanning only that group — the
+    /// first group with any eligible entry contains the policy's maximum,
+    /// so a pop is `O(log buckets + tie group)`. Only when the top groups
+    /// are entirely ineligible (saturated tenants, gating) does the scan
+    /// extend further, degrading toward `O(queued)` exactly when the pool
+    /// is already blocked.
+    pub fn select(&self, allow_gated: bool) -> Option<Selection> {
+        let mut iter = self.buckets.iter().rev().peekable();
+        while let Some((key, bucket)) = iter.next() {
+            let group_eff = self.effective_of(key);
+            let mut best: Option<Candidate> = None;
+            self.scan_bucket(*key, bucket, allow_gated, &mut best);
+            // Saturation can clamp distinct static keys onto the same
+            // effective priority; the reference policy tie-breaks those
+            // together, so keep scanning while the clamp holds.
+            while let Some((next_key, _)) = iter.peek() {
+                if self.effective_of(next_key) != group_eff {
+                    break;
+                }
+                let (next_key, next_bucket) = iter.next().unwrap();
+                self.scan_bucket(*next_key, next_bucket, allow_gated, &mut best);
+            }
+            if let Some(b) = best {
+                return Some(Selection { key: b.key, pos: b.pos, seq: b.seq, gated: b.gated });
+            }
+        }
+        None
     }
 
-    /// Removes and returns the entry at `idx` (from [`SchedQueue::select`]),
-    /// marking its tenant in flight, advancing the round-robin cursor past
-    /// it, and appending its seq to the pop log.
-    pub fn take(&mut self, idx: usize) -> Popped<T> {
-        let e = self.pending.swap_remove(idx);
+    /// Removes and returns the selected entry, marking its tenant in
+    /// flight, advancing the round-robin cursor past it, and appending its
+    /// seq to the pop log.
+    ///
+    /// # Panics
+    ///
+    /// Panics (with both seqs) when `sel` no longer matches the queue —
+    /// i.e. the queue was mutated between [`SchedQueue::select`] and
+    /// `take`. The old index-based protocol silently popped the wrong job
+    /// in that situation; the seq pin turns the latent corruption into a
+    /// loud error.
+    pub fn take(&mut self, sel: Selection) -> Popped<T> {
+        let bucket = self.buckets.get_mut(&sel.key).unwrap_or_else(|| {
+            panic!("stale Selection: seq {} has no bucket (queue changed since select)", sel.seq)
+        });
+        match bucket.get(sel.pos) {
+            Some(e) if e.seq == sel.seq => {}
+            Some(e) => panic!(
+                "stale Selection: expected seq {} but found seq {} (queue changed since select)",
+                sel.seq, e.seq
+            ),
+            None => panic!(
+                "stale Selection: seq {} at position {} is past the bucket's {} entries \
+                 (queue changed since select)",
+                sel.seq,
+                sel.pos,
+                bucket.len()
+            ),
+        }
+        debug_assert_eq!(bucket[sel.pos].gated, sel.gated);
+        let e = bucket.remove(sel.pos);
+        if bucket.is_empty() {
+            self.buckets.remove(&sel.key);
+        }
+        self.queued -= 1;
         *self.inflight.entry(e.tenant).or_insert(0) += 1;
         self.rr_cursor = e.tenant.wrapping_add(1);
         if self.record_pops {
@@ -323,8 +591,8 @@ mod tests {
     /// Drains the queue assuming one worker (take, then complete).
     fn drain(q: &mut SchedQueue<u64>) -> Vec<u64> {
         let mut order = Vec::new();
-        while let Some(idx) = q.select(true) {
-            let p = q.take(idx);
+        while let Some(sel) = q.select(true) {
+            let p = q.take(sel);
             order.push(p.seq);
             q.complete(p.tenant);
         }
@@ -403,8 +671,12 @@ mod tests {
         let mut q = SchedQueue::new();
         q.push(0, 9, 1, true, 0); // gated, high priority
         q.push(1, 0, 2, false, 0);
-        assert_eq!(q.select(false), Some(1), "without admission the ungated entry is next");
-        assert!(q.is_gated(q.select(true).unwrap()));
+        assert_eq!(
+            q.select(false).unwrap().seq(),
+            1,
+            "without admission the ungated entry is next"
+        );
+        assert!(q.select(true).unwrap().gated());
         assert_eq!(q.take(q.select(true).unwrap()).seq, 0);
     }
 
@@ -413,5 +685,90 @@ mod tests {
         let mut q: SchedQueue<()> = SchedQueue::new();
         q.set_tenant_cap(0);
         assert_eq!(q.tenant_cap(), 1);
+    }
+
+    #[test]
+    fn extreme_aging_rate_saturates_instead_of_wrapping() {
+        // The old unchecked `priority + rate·wait` wrapped here in
+        // release builds, collapsing the aged job's effective priority to
+        // near zero — the exact starvation aging exists to prevent.
+        let mut q = SchedQueue::new();
+        q.set_aging_rate(u64::MAX / 2);
+        q.push(0, 0, 1, false, 0); // the long-waiting bulk job
+        for _ in 0..5 {
+            q.complete(9); // five ticks: rate·wait overflows u64 wildly
+        }
+        q.push(1, 255, 2, false, 0); // fresh max-priority firehose
+        assert_eq!(
+            q.take(q.select(true).unwrap()).seq,
+            0,
+            "the aged job's effective priority clamps at u64::MAX and still wins"
+        );
+    }
+
+    #[test]
+    fn saturated_effectives_tie_break_by_distance_then_seq() {
+        // Two entries with *different* static keys both clamp to
+        // u64::MAX: the tie group spans buckets and the round-robin
+        // distance decides, exactly like the linear-scan reference.
+        let mut q = SchedQueue::new();
+        q.set_aging_rate(u64::MAX);
+        q.push(0, 5, 3, false, 0); // keys differ (priority 5 vs 0) ...
+        q.push(1, 0, 1, false, 0);
+        q.complete(9); // ... but both effectives clamp to u64::MAX
+                       // cursor 0: distance picks tenant 1 (seq 1) over tenant 3 (seq 0)
+        assert_eq!(q.take(q.select(true).unwrap()).seq, 1);
+        assert_eq!(q.take(q.select(true).unwrap()).seq, 0);
+    }
+
+    #[test]
+    fn set_aging_rate_rebuilds_the_keys_for_queued_entries() {
+        let mut q = SchedQueue::new();
+        q.set_aging_rate(0);
+        q.push(0, 0, 1, false, 0);
+        q.complete(9);
+        q.complete(9);
+        q.push(1, 3, 2, false, 0);
+        // With aging off priority 3 leads; turning aging on mid-flight
+        // rekeys the queued entries so the 2-tick wait now counts.
+        q.set_aging_rate(2);
+        assert_eq!(drain(&mut q), [0, 1]);
+    }
+
+    #[test]
+    fn queue_cap_sheds_pushes_at_the_cap() {
+        let mut q = SchedQueue::new();
+        q.set_queue_cap(2);
+        assert!(q.try_push(0, 0, 1, false, 0u64).is_ok());
+        assert!(q.try_push(1, 9, 2, false, 0).is_ok());
+        let (shed, payload) = q.try_push(2, 255, 3, false, 7).unwrap_err();
+        assert_eq!(shed, Shed { queue_depth: 2, queue_cap: 2 });
+        assert_eq!(payload, 7, "the rejected payload rides back to the caller");
+        // in-flight entries do not count against the cap ...
+        let p = q.take(q.select(true).unwrap());
+        assert!(q.try_push(3, 0, 3, false, 0).is_ok());
+        // ... and completions never matter, only queued depth
+        q.complete(p.tenant);
+        assert!(q.try_push(4, 0, 3, false, 0).is_err());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "stale Selection")]
+    fn take_panics_on_a_stale_selection_instead_of_popping_the_wrong_job() {
+        let mut q = SchedQueue::new();
+        q.push(0, 5, 1, false, 0u64);
+        q.push(1, 5, 1, false, 0);
+        let sel = q.select(true).unwrap();
+        let _ = q.take(q.select(true).unwrap()); // the entry sel points at is gone
+        let _ = q.take(sel);
+    }
+
+    #[test]
+    #[should_panic(expected = "SchedQueue::push shed")]
+    fn infallible_push_panics_when_capped() {
+        let mut q = SchedQueue::new();
+        q.set_queue_cap(0);
+        q.push(0, 0, 1, false, 0u64);
     }
 }

@@ -72,15 +72,34 @@ fn engine_transcripts(shards: usize, level: obs::Level) -> (Vec<u64>, u64, Vec<u
 fn service_run(workers: usize, level: obs::Level) -> (Vec<Ticket>, Vec<String>) {
     obs::set_level(level);
     let svc = Service::new(workers).with_pop_log();
+    let outcomes = svc.run_batch(parity_jobs());
+    let reports: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+    (svc.pop_log(), reports)
+}
+
+fn parity_jobs() -> Vec<Job> {
     let spec = |seed: u64| GraphSpec::ErdosRenyi { n: 24, p: 0.3, seed };
-    let jobs: Vec<Job> = (0..12u64)
+    (0..12u64)
         .map(|i| {
             Job::new(GraphInput::Spec(spec(i % 3)), 3, ListingConfig::default(), Algo::Paper)
                 .with_priority((i * 7 % 11) as u8)
         })
-        .collect();
-    let outcomes = svc.run_batch(jobs);
+        .collect()
+}
+
+/// The same batch through a queue-capped (shedding) service: the
+/// rejection set, the surviving pop order, and every outcome — rejected
+/// tickets included — must be identical with telemetry on vs off (the
+/// `sched_rejected` counter and `sched_queue_cap` gauge are write-only).
+fn shedding_run(workers: usize, level: obs::Level) -> (Vec<Ticket>, Vec<String>) {
+    obs::set_level(level);
+    let svc = Service::new(workers).with_pop_log().with_queue_cap(5);
+    let outcomes = svc.run_batch(parity_jobs());
     let reports: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+    assert!(
+        reports.iter().filter(|r| r.contains("Rejected")).count() == 7,
+        "a 12-job batch against cap 5 sheds exactly 7 jobs: {reports:#?}"
+    );
     (svc.pop_log(), reports)
 }
 
@@ -98,6 +117,12 @@ fn telemetry_is_invisible_to_transcripts_and_pop_order() {
         let on = service_run(workers, obs::Level::On);
         assert_eq!(off.0, on.0, "pop order diverged with telemetry on ({workers} workers)");
         assert_eq!(off.1, on.1, "job outcomes diverged with telemetry on ({workers} workers)");
+    }
+    for workers in [1usize, 2, 8] {
+        let off = shedding_run(workers, obs::Level::Off);
+        let on = shedding_run(workers, obs::Level::On);
+        assert_eq!(off.0, on.0, "shed pop order diverged with telemetry on ({workers} workers)");
+        assert_eq!(off.1, on.1, "shed outcomes diverged with telemetry on ({workers} workers)");
     }
     obs::set_level(obs::Level::Off);
 }

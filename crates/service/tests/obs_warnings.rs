@@ -36,6 +36,11 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
         let _ = service::admission_limit_from_env();
         std::env::remove_var("CLIQUE_ADMIT");
 
+        // QueueCapEnv: garbage CLIQUE_QUEUE_CAP falls back to unbounded
+        std::env::set_var("CLIQUE_QUEUE_CAP", "1ooo");
+        let _ = service::queue_cap_from_env();
+        std::env::remove_var("CLIQUE_QUEUE_CAP");
+
         // ObsEnv: garbage CLIQUE_OBS falls back to off
         std::env::set_var("CLIQUE_OBS", "bananas");
         let _ = obs::level_from_env_uncached();
@@ -110,6 +115,7 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
     assert_one_line(&lines, "CLIQUE_SHARDS");
     assert_one_line(&lines, "CLIQUE_ENGINE");
     assert_one_line(&lines, "CLIQUE_ADMIT");
+    assert_one_line(&lines, "CLIQUE_QUEUE_CAP");
     assert_one_line(&lines, "CLIQUE_OBS");
     assert_one_line(&lines, "ignoring persisted corpus");
     assert_one_line(&lines, "no longer matches its fingerprint");

@@ -1,31 +1,41 @@
 //! Model-based oracle for the multi-tenant pop policy.
 //!
 //! `Oracle` is an independent ~100-line reference reimplementation of the
-//! scheduler's pop policy — effective priority with completed-tick aging,
-//! tenant round-robin rotation, submission-sequence tie-break, per-tenant
-//! in-flight caps — kept deliberately naive (sort the whole queue on every
-//! select) so it stays an obviously-correct executable spec.
+//! scheduler's pop policy — saturating effective priority with
+//! completed-tick aging, tenant round-robin rotation, submission-sequence
+//! tie-break, per-tenant in-flight caps, bounded-queue load shedding —
+//! kept deliberately naive (one linear scan over the whole queue per
+//! select, exactly the structure the production scheduler replaced) so it
+//! stays an obviously-correct executable spec.
 //!
-//! Two layers of replay check the production scheduler against it:
+//! Three layers of replay check the production two-tier scheduler
+//! against it:
 //!
 //! 1. **Policy level** (`sched::SchedQueue` driven synchronously):
-//!    randomized interleavings of push / select+take / complete, with
-//!    randomized aging rates and tenant caps — every pop decision must
-//!    match the oracle's, including under aging pressure and cap
-//!    saturation.
-//! 2. **Service level** (`Service::stream` at 1, 2, and 8 workers):
+//!    randomized interleavings of push / select+take / complete / shed,
+//!    with randomized aging rates (including overflow-inducing extremes),
+//!    tenant caps, and queue caps — every pop decision and every
+//!    rejection must match the oracle's.
+//! 2. **Deep queues**: the same replay at ≥10k-entry backlogs, where the
+//!    two-tier structure's bucket grouping, saturation tie-groups, and
+//!    shedding all carry real load — `pop_log` and the rejection set must
+//!    equal the linear-scan reference bit-for-bit.
+//! 3. **Service level** (`Service::stream` at 1, 2, and 8 workers):
 //!    randomized job mixes over priorities and tenants, submitted as one
 //!    atomic batch. Jobs enqueued in one batch share their aging stamp, so
 //!    the pop order is a pure function of the batch at *any* worker count:
 //!    the observable `Service::pop_log()` must equal the oracle's pop
-//!    order, and every `JobReport` must byte-match the 1-worker reference.
+//!    order, every `JobReport` must byte-match the 1-worker reference, and
+//!    on a queue-capped service the shed set must be the oracle's too.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use clique_listing::ListingConfig;
 use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use service::sched::SchedQueue;
-use service::{Algo, GraphInput, GraphSpec, Job, Service, Ticket};
+use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service, Ticket};
 
 /// The reference model of one queued entry.
 #[derive(Clone)]
@@ -37,9 +47,10 @@ struct OracleEntry {
     enqueue_tick: u64,
 }
 
-/// The executable spec of the pop policy. Selection sorts every candidate
-/// by the documented tie-break chain and picks the head — quadratic and
-/// proud of it.
+/// The executable spec of the pop policy. Selection is one linear scan
+/// for the maximum of the documented tie-break chain — O(queued) and
+/// proud of it: this is the exact structure `SchedQueue` v3 replaced, so
+/// matching it bit-for-bit is the whole point.
 #[derive(Default)]
 struct Oracle {
     pending: Vec<OracleEntry>,
@@ -48,32 +59,58 @@ struct Oracle {
     aging_rate: u64,
     inflight: HashMap<u32, usize>,
     tenant_cap: usize,
+    queue_cap: usize,
 }
 
 impl Oracle {
-    fn new(aging_rate: u64, tenant_cap: usize) -> Self {
-        Oracle { aging_rate, tenant_cap: tenant_cap.max(1), ..Oracle::default() }
+    fn new(aging_rate: u64, tenant_cap: usize, queue_cap: usize) -> Self {
+        Oracle { aging_rate, tenant_cap: tenant_cap.max(1), queue_cap, ..Oracle::default() }
     }
 
-    fn push(&mut self, seq: u64, priority: u8, tenant: u32, gated: bool) {
+    /// Queues an entry, or sheds it (returning `false`) at the queue cap.
+    fn try_push(&mut self, seq: u64, priority: u8, tenant: u32, gated: bool) -> bool {
+        if self.pending.len() >= self.queue_cap {
+            return false;
+        }
         self.pending.push(OracleEntry { seq, priority, tenant, gated, enqueue_tick: self.ticks });
+        true
     }
 
-    /// The seq the policy pops next, or None when nothing is eligible.
+    /// Saturating effective priority (an extreme rate times a deep wait
+    /// clamps at `u64::MAX` instead of wrapping).
+    fn effective(&self, e: &OracleEntry) -> u64 {
+        (e.priority as u64)
+            .saturating_add(self.aging_rate.saturating_mul(self.ticks - e.enqueue_tick))
+    }
+
+    /// The seq the policy pops next, or None when nothing is eligible:
+    /// max of (effective desc, round-robin distance asc, seq asc) over
+    /// eligible entries, in one scan.
     fn select(&self, allow_gated: bool) -> Option<u64> {
-        let mut ranked: Vec<(u64, u32, u64)> = self
-            .pending
-            .iter()
-            .filter(|e| allow_gated || !e.gated)
-            .filter(|e| self.inflight.get(&e.tenant).copied().unwrap_or(0) < self.tenant_cap)
-            .map(|e| {
-                let effective = e.priority as u64 + self.aging_rate * (self.ticks - e.enqueue_tick);
-                (effective, e.tenant.wrapping_sub(self.cursor), e.seq)
-            })
-            .collect();
-        // effective desc, round-robin distance asc, seq asc
-        ranked.sort_by_key(|&(eff, dist, seq)| (std::cmp::Reverse(eff), dist, seq));
-        ranked.first().map(|&(_, _, seq)| seq)
+        let mut best: Option<(u64, u32, u64)> = None;
+        for e in &self.pending {
+            if e.gated && !allow_gated {
+                continue;
+            }
+            // (an uncapped queue can never block on in-flight counts;
+            // skipping the map probe keeps deep debug-mode replays fast)
+            if self.tenant_cap != usize::MAX
+                && self.inflight.get(&e.tenant).copied().unwrap_or(0) >= self.tenant_cap
+            {
+                continue;
+            }
+            let key = (self.effective(e), e.tenant.wrapping_sub(self.cursor), e.seq);
+            let better = match &best {
+                None => true,
+                Some(b) => {
+                    (std::cmp::Reverse(key.0), key.1, key.2) < (std::cmp::Reverse(b.0), b.1, b.2)
+                }
+            };
+            if better {
+                best = Some(key);
+            }
+        }
+        best.map(|(_, _, seq)| seq)
     }
 
     fn take(&mut self, seq: u64) -> u32 {
@@ -92,31 +129,58 @@ impl Oracle {
     }
 }
 
+/// Aging rates the randomized suites draw from: the static policy (0),
+/// service-realistic rates, and overflow-inducing extremes where the old
+/// unchecked arithmetic wrapped in release builds.
+const AGING_RATES: [u64; 6] = [0, 1, 2, 3, u64::MAX / 2, u64::MAX];
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
 
-    // Policy level: random interleavings of push / pop / complete
-    // against the oracle, under random aging rates and tenant caps.
+    // Policy level: random interleavings of push / pop / complete / shed
+    // against the oracle, under random aging rates (including extremes),
+    // tenant caps, and queue caps.
     #[test]
     fn sched_queue_matches_the_oracle_on_random_workloads(
-        aging_rate in 0u64..4,
+        rate_idx in 0usize..6,
         tenant_cap in 1usize..4,
+        cap_idx in 0usize..3,
         ops in proptest::collection::vec((0u8..8, 0u8..6, 0u32..4, 0u8..4), 4..60),
     ) {
+        let aging_rate = AGING_RATES[rate_idx];
+        let queue_cap = [usize::MAX, 6, 12][cap_idx];
         let mut q: SchedQueue<()> = SchedQueue::new();
         q.set_aging_rate(aging_rate);
         q.set_tenant_cap(tenant_cap);
+        q.set_queue_cap(queue_cap);
         q.set_pop_recording(true);
-        let mut oracle = Oracle::new(aging_rate, tenant_cap);
+        let mut oracle = Oracle::new(aging_rate, tenant_cap, queue_cap);
         let mut next_seq = 0u64;
+        let mut accepted = 0usize;
+        let mut rejected: Vec<u64> = Vec::new();
+        let mut oracle_rejected: Vec<u64> = Vec::new();
         let mut running: Vec<u32> = Vec::new(); // tenants of in-flight entries
         for (op, priority, tenant, gate) in ops {
             match op {
                 // push (half the op space: queues stay populated)
                 0..=3 => {
                     let gated = gate == 0;
-                    q.push(next_seq, priority, tenant, gated, ());
-                    oracle.push(next_seq, priority, tenant, gated);
+                    let oracle_took = oracle.try_push(next_seq, priority, tenant, gated);
+                    if !oracle_took {
+                        oracle_rejected.push(next_seq);
+                    }
+                    match q.try_push(next_seq, priority, tenant, gated, ()) {
+                        Ok(()) => {
+                            prop_assert!(oracle_took, "queue accepted what the oracle shed");
+                            accepted += 1;
+                        }
+                        Err((shed, ())) => {
+                            prop_assert!(!oracle_took, "queue shed what the oracle accepted");
+                            prop_assert_eq!(shed.queue_cap, queue_cap);
+                            prop_assert_eq!(shed.queue_depth, queue_cap);
+                            rejected.push(next_seq);
+                        }
+                    }
                     next_seq += 1;
                 }
                 // pop (alternating admission available / blocked)
@@ -125,8 +189,8 @@ proptest! {
                     let expected = oracle.select(allow_gated);
                     let got = q.select(allow_gated);
                     prop_assert_eq!(got.is_some(), expected.is_some());
-                    if let (Some(idx), Some(seq)) = (got, expected) {
-                        let popped = q.take(idx);
+                    if let (Some(sel), Some(seq)) = (got, expected) {
+                        let popped = q.take(sel);
                         prop_assert_eq!(popped.seq, seq, "pop policy diverged from the oracle");
                         let tenant = oracle.take(seq);
                         prop_assert_eq!(popped.tenant, tenant);
@@ -153,8 +217,8 @@ proptest! {
             let got = q.select(true);
             prop_assert_eq!(got.is_some(), expected.is_some());
             match (got, expected) {
-                (Some(idx), Some(seq)) => {
-                    let popped = q.take(idx);
+                (Some(sel), Some(seq)) => {
+                    let popped = q.take(sel);
                     prop_assert_eq!(popped.seq, seq);
                     oracle.take(seq);
                     running.push(popped.tenant);
@@ -163,7 +227,109 @@ proptest! {
             }
         }
         prop_assert!(q.is_empty());
-        prop_assert_eq!(q.pop_log().len(), next_seq as usize);
+        prop_assert_eq!(q.pop_log().len(), accepted);
+        prop_assert_eq!(rejected, oracle_rejected);
+    }
+}
+
+/// Deep-queue replay: a ≥10k-entry backlog with randomized
+/// push/pop/complete/shed interleavings, random aging rates (including
+/// the overflow extremes), tenant caps, and queue caps — the two-tier
+/// heap's `pop_log` and rejection set must equal the linear-scan
+/// reference **bit-for-bit**. This is the depth regime the two-tier
+/// structure exists for; the flood phase builds the backlog, the drain
+/// phase pops it down through every tie-group shape the policy can form.
+#[test]
+fn deep_queue_replay_matches_the_linear_scan_reference_bit_for_bit() {
+    // The linear-scan reference makes one replay quadratic (that is the
+    // point); debug builds run one seed, release (CI's oracle-suite job)
+    // runs three.
+    let seeds = if cfg!(debug_assertions) { 1u64 } else { 3 };
+    for seed in 0..seeds {
+        let mut rng = StdRng::seed_from_u64(0xC11D_0DE5 + seed);
+        let aging_rate = AGING_RATES[rng.gen_range(0usize..AGING_RATES.len())];
+        let tenant_cap = [usize::MAX, 3, 7][rng.gen_range(0usize..3)];
+        let queue_cap = rng.gen_range(8_000usize..9_500);
+        let mut q: SchedQueue<()> = SchedQueue::new();
+        q.set_aging_rate(aging_rate);
+        q.set_tenant_cap(tenant_cap);
+        q.set_queue_cap(queue_cap);
+        q.set_pop_recording(true);
+        let mut oracle = Oracle::new(aging_rate, tenant_cap, queue_cap);
+        let mut oracle_log: Vec<u64> = Vec::new();
+        let mut rejected: Vec<u64> = Vec::new();
+        let mut oracle_rejected: Vec<u64> = Vec::new();
+        let mut running: VecDeque<u32> = VecDeque::new();
+        let mut next_seq = 0u64;
+
+        // Flood: ~80% pushes, ~15% pops, ~5% completes. The backlog grows
+        // past the cap, so late pushes shed.
+        for _ in 0..14_000 {
+            let roll = rng.gen_range(0u32..100);
+            if roll < 80 {
+                let priority = rng.gen_range(0u8..=255);
+                let tenant = rng.gen_range(0u32..64);
+                let gated = rng.gen_range(0u32..5) == 0;
+                let oracle_took = oracle.try_push(next_seq, priority, tenant, gated);
+                if !oracle_took {
+                    oracle_rejected.push(next_seq);
+                }
+                match q.try_push(next_seq, priority, tenant, gated, ()) {
+                    Ok(()) => assert!(oracle_took, "queue accepted what the oracle shed"),
+                    Err((shed, ())) => {
+                        assert!(!oracle_took, "queue shed what the oracle accepted");
+                        assert_eq!(shed.queue_depth, queue_cap);
+                        rejected.push(next_seq);
+                    }
+                }
+                next_seq += 1;
+            } else if roll < 95 {
+                let allow_gated = roll % 2 == 0;
+                let expected = oracle.select(allow_gated);
+                let got = q.select(allow_gated);
+                assert_eq!(got.map(|s| s.seq()), expected, "seed {seed}: selection diverged");
+                if let Some(sel) = got {
+                    let popped = q.take(sel);
+                    let tenant = oracle.take(popped.seq);
+                    assert_eq!(popped.tenant, tenant);
+                    oracle_log.push(popped.seq);
+                    running.push_back(tenant);
+                }
+            } else if let Some(tenant) = running.pop_front() {
+                q.complete(tenant);
+                oracle.complete(tenant);
+            }
+        }
+        assert!(next_seq >= 10_000, "the flood must exercise a deep queue");
+        assert!(q.len() >= 5_000, "the backlog must still be deep when the drain starts");
+
+        // Drain: single-worker pop+complete until empty, with the running
+        // set flushed whenever tenant caps block every pop.
+        loop {
+            let expected = oracle.select(true);
+            let got = q.select(true);
+            assert_eq!(got.map(|s| s.seq()), expected, "seed {seed}: drain selection diverged");
+            match got {
+                Some(sel) => {
+                    let popped = q.take(sel);
+                    let tenant = oracle.take(popped.seq);
+                    assert_eq!(popped.tenant, tenant);
+                    oracle_log.push(popped.seq);
+                    q.complete(tenant);
+                    oracle.complete(tenant);
+                }
+                None => match running.pop_front() {
+                    Some(tenant) => {
+                        q.complete(tenant);
+                        oracle.complete(tenant);
+                    }
+                    None => break,
+                },
+            }
+        }
+        assert!(q.is_empty(), "seed {seed}: the drain must empty the queue");
+        assert_eq!(q.pop_log(), oracle_log.as_slice(), "seed {seed}: pop logs diverged");
+        assert_eq!(rejected, oracle_rejected, "seed {seed}: rejection sets diverged");
     }
 }
 
@@ -183,13 +349,21 @@ fn job_mix(seed: u64, shape: &[(u8, u32)]) -> Vec<Job> {
         .collect()
 }
 
-/// The oracle's pop order for one atomically submitted batch, as indices
-/// into the batch (single-worker semantics — within one batch the order is
-/// worker-count invariant because every entry shares its aging stamp).
-fn oracle_batch_order(jobs: &[Job], aging_rate: u64) -> Vec<usize> {
-    let mut oracle = Oracle::new(aging_rate, usize::MAX);
+/// The oracle's verdict on one atomically submitted batch against a
+/// queue cap: which batch indices are accepted (in pop order,
+/// single-worker semantics — within one batch the order is worker-count
+/// invariant because every entry shares its aging stamp) and which shed.
+fn oracle_batch_verdict(
+    jobs: &[Job],
+    aging_rate: u64,
+    queue_cap: usize,
+) -> (Vec<usize>, Vec<usize>) {
+    let mut oracle = Oracle::new(aging_rate, usize::MAX, queue_cap);
+    let mut shed = Vec::new();
     for (i, job) in jobs.iter().enumerate() {
-        oracle.push(i as u64, job.meta.priority, job.meta.tenant, false);
+        if !oracle.try_push(i as u64, job.meta.priority, job.meta.tenant, false) {
+            shed.push(i);
+        }
     }
     let mut order = Vec::new();
     while let Some(seq) = oracle.select(true) {
@@ -197,7 +371,13 @@ fn oracle_batch_order(jobs: &[Job], aging_rate: u64) -> Vec<usize> {
         oracle.complete(tenant);
         order.push(seq as usize);
     }
-    order
+    (order, shed)
+}
+
+/// The oracle's pop order for one atomically submitted batch, as indices
+/// into the batch.
+fn oracle_batch_order(jobs: &[Job], aging_rate: u64) -> Vec<usize> {
+    oracle_batch_verdict(jobs, aging_rate, usize::MAX).0
 }
 
 proptest! {
@@ -234,6 +414,52 @@ proptest! {
             prop_assert_eq!(
                 &reference, &streamed,
                 "reports diverged from the 1-worker reference at {} workers", workers
+            );
+        }
+    }
+
+    // Service level, queue-capped: an atomic over-cap batch sheds exactly
+    // the oracle's rejection set (deterministically, at every worker
+    // count), the shed tickets resolve to JobError::Rejected, and the
+    // accepted jobs still pop in oracle order.
+    #[test]
+    fn service_shedding_matches_the_oracle_and_is_deterministic(
+        seed in 0u64..10_000,
+        shape in proptest::collection::vec((0u8..5, 0u32..3), 8..14),
+        cap in 2usize..6,
+    ) {
+        let jobs = job_mix(seed, &shape);
+        let (expected_order, expected_shed) =
+            oracle_batch_verdict(&jobs, service::DEFAULT_AGING_RATE, cap);
+        prop_assert!(!expected_shed.is_empty(), "the batch must overflow the cap");
+        for workers in [1usize, 4] {
+            let svc = Service::new(workers).with_pop_log().with_queue_cap(cap);
+            let stream = svc.stream(jobs.clone());
+            let tickets = stream.tickets().to_vec();
+            let outcomes: HashMap<Ticket, _> = stream.map(|(t, o)| (t, o.report)).collect();
+            let mut shed = Vec::new();
+            for (i, t) in tickets.iter().enumerate() {
+                match &outcomes[t] {
+                    Err(JobError::Rejected { queue_depth, queue_cap }) => {
+                        prop_assert_eq!(*queue_depth, cap, "shed at exactly the capped depth");
+                        prop_assert_eq!(*queue_cap, cap);
+                        shed.push(i);
+                    }
+                    Err(other) => {
+                        prop_assert!(false, "unexpected error for job {}: {:?}", i, other);
+                    }
+                    Ok(_) => {}
+                }
+            }
+            prop_assert_eq!(
+                &shed, &expected_shed,
+                "rejection set diverged from the oracle at {} workers", workers
+            );
+            let expected_log: Vec<Ticket> =
+                expected_order.iter().map(|&i| tickets[i]).collect();
+            prop_assert_eq!(
+                svc.pop_log(), expected_log,
+                "accepted pop order diverged from the oracle at {} workers", workers
             );
         }
     }
