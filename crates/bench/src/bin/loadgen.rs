@@ -8,7 +8,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest] [--depth]
+//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest] [--depth] [--chaos]
 //! ```
 //!
 //! Defaults: the full scenario corpus at worker counts
@@ -18,11 +18,13 @@
 //! the last one also lands on disk). `--depth` additionally runs the
 //! scheduler pop-throughput microbenchmark (queue depths 10³/10⁵/10⁶,
 //! capped at 10⁵ under `--small`) and records a `sched_depth` block in
-//! `BENCH_service.json`.
+//! `BENCH_service.json`. `--chaos` additionally runs the fault-rate sweep
+//! (robust-mode plans of increasing severity; answers verified against the
+//! fault-free baseline) and records a `chaos` block.
 
 use bench::svc::{
-    full_scenarios, replay, report, sched_depth, small_scenarios, tenant_mix_and_persistence,
-    trace_overhead, trajectory_worker_counts,
+    chaos_sweep, full_scenarios, replay, report, sched_depth, small_scenarios,
+    tenant_mix_and_persistence, trace_overhead, trajectory_worker_counts,
 };
 
 fn main() {
@@ -85,7 +87,16 @@ fn main() {
             if small { &[1_000, 10_000, 100_000] } else { &[1_000, 100_000, 1_000_000] };
         sched_depth(depths)
     });
-    report(&scenarios, &rows, &mix, &overhead, depth_rows.as_deref());
+    let chaos = args.iter().any(|a| a == "--chaos").then(chaos_sweep);
+    report(&scenarios, &rows, &mix, &overhead, depth_rows.as_deref(), chaos.as_ref());
+    if let Some(c) = &chaos {
+        for r in &c.rows {
+            assert!(r.completed > 0, "fault plan {} completed nothing", r.spec);
+            assert!(r.retries > 0, "fault plan {} never forced a retry", r.spec);
+        }
+        let light = &c.rows[0];
+        assert_eq!(light.completed, c.jobs, "the light plan must self-heal every job");
+    }
     if let Some(drs) = &depth_rows {
         let top = drs.last().expect("--depth measures at least one depth");
         assert!(

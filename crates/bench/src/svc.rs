@@ -255,6 +255,131 @@ pub fn trace_overhead() -> TraceOverhead {
     }
 }
 
+/// One fault-rate point of the `--chaos` sweep.
+pub struct ChaosRow {
+    /// The fault spec the point ran with (`plan:<seed>:<drop_ppm>:<corrupt_ppm>:<crash_ppm>`).
+    pub spec: String,
+    /// Jobs that completed with an answer (everything that did not
+    /// exhaust its retry budget).
+    pub completed: usize,
+    /// `completed / jobs` — 1.0 unless a message failed every delivery
+    /// attempt.
+    pub completion_rate: f64,
+    /// Messages dropped by the plan (before retry) across the replay.
+    pub dropped: u64,
+    /// Payloads corrupted by the plan (before retry) across the replay.
+    pub corrupted: u64,
+    /// Crash trips charged across the replay (robust mode detects and
+    /// recovers; the trip costs penalty rounds instead of killing).
+    pub crashed: u64,
+    /// Successful re-deliveries across the replay.
+    pub retries: u64,
+    /// Backoff rounds charged against the jobs' round budgets.
+    pub penalty_rounds: u64,
+    /// Jobs/s with this plan armed.
+    pub jobs_per_sec: f64,
+}
+
+/// The `--chaos` sweep: the deadline-free smoke mix replayed under
+/// increasing robust-mode fault rates, answers cross-checked against the
+/// fault-free baseline, recorded as a `chaos` block in
+/// `BENCH_service.json`.
+pub struct ChaosReport {
+    /// Jobs in each replay.
+    pub jobs: usize,
+    /// Jobs/s of the fault-free baseline replay.
+    pub baseline_jobs_per_sec: f64,
+    /// One row per fault rate, lightest first.
+    pub rows: Vec<ChaosRow>,
+}
+
+/// Runs the chaos sweep on a 1-worker service: a fault-free baseline, then
+/// the same deadline-free job mix with a robust fault plan armed on every
+/// job at each rate. Panics if any completed faulted answer differs from
+/// the baseline — the self-healing transport's whole contract — or if any
+/// job fails with anything other than the typed
+/// [`JobError::FaultBudgetExhausted`].
+///
+/// Deadline-carrying jobs are excluded on purpose: retry backoff charges
+/// penalty rounds against the round budget, so a planted zero-budget miss
+/// would conflate scheduler deadline misses with fault-layer losses.
+pub fn chaos_sweep() -> ChaosReport {
+    use congest::faults::{FaultMode, FaultPlan};
+    let base: Vec<Job> = small_scenarios()
+        .into_iter()
+        .flat_map(|s| s.jobs)
+        .filter(|j| j.meta.deadline_rounds.is_none())
+        .collect();
+    let time = |jobs: Vec<Job>| {
+        let svc = Service::new(1);
+        let n = jobs.len();
+        let start = std::time::Instant::now();
+        let outs = svc.run_batch(jobs);
+        (n as f64 / start.elapsed().as_secs_f64().max(1e-9), outs)
+    };
+    let (baseline_rate, baseline) = time(base.clone());
+    let reference: Vec<(usize, u64)> = baseline
+        .iter()
+        .map(|o| match &o.report {
+            Ok(r) => (r.clique_count, r.clique_digest),
+            Err(e) => panic!("fault-free baseline job failed: {e}"),
+        })
+        .collect();
+    let rates: &[(u32, u32, u32)] =
+        &[(20_000, 10_000, 0), (120_000, 60_000, 2_000), (300_000, 150_000, 5_000)];
+    let rows = rates
+        .iter()
+        .enumerate()
+        .map(|(i, &(drop_ppm, corrupt_ppm, crash_ppm))| {
+            let plan = FaultPlan { seed: 0xFA01 + i as u64, drop_ppm, corrupt_ppm, crash_ppm };
+            let mode = FaultMode::Robust(plan);
+            let jobs: Vec<Job> = base
+                .iter()
+                .map(|j| {
+                    let mut j = j.clone();
+                    j.config.faults = mode;
+                    j
+                })
+                .collect();
+            let (rate, outs) = time(jobs);
+            let mut completed = 0usize;
+            let (mut dropped, mut corrupted, mut crashed, mut retries, mut penalty) =
+                (0u64, 0u64, 0u64, 0u64, 0u64);
+            for (k, o) in outs.iter().enumerate() {
+                match &o.report {
+                    Ok(r) => {
+                        completed += 1;
+                        assert_eq!(
+                            (r.clique_count, r.clique_digest),
+                            reference[k],
+                            "robust job {k} answered differently under {mode}"
+                        );
+                        dropped += r.faults.dropped;
+                        corrupted += r.faults.corrupted;
+                        crashed += r.faults.crashed;
+                        retries += r.faults.retries;
+                        penalty += r.faults.penalty_rounds;
+                    }
+                    Err(JobError::FaultBudgetExhausted { .. }) => {}
+                    Err(e) => panic!("chaos job {k} failed untypedly under {mode}: {e}"),
+                }
+            }
+            ChaosRow {
+                spec: mode.to_string(),
+                completed,
+                completion_rate: completed as f64 / outs.len().max(1) as f64,
+                dropped,
+                corrupted,
+                crashed,
+                retries,
+                penalty_rounds: penalty,
+                jobs_per_sec: rate,
+            }
+        })
+        .collect();
+    ChaosReport { jobs: base.len(), baseline_jobs_per_sec: baseline_rate, rows }
+}
+
 /// Tenant-mix fairness + corpus-persistence measurements, recorded in
 /// `BENCH_service.json` beside the replay rows.
 pub struct TenantMixReport {
@@ -535,6 +660,7 @@ pub fn report(
     mix: &TenantMixReport,
     overhead: &TraceOverhead,
     depth_rows: Option<&[SchedDepthRow]>,
+    chaos: Option<&ChaosReport>,
 ) {
     let mut t = Table::new(&[
         "workers",
@@ -649,6 +775,64 @@ pub fn report(
             )
         })
         .unwrap_or_default();
+    let chaos_json = chaos
+        .map(|c| {
+            let mut ct = Table::new(&[
+                "fault plan",
+                "completion",
+                "dropped",
+                "corrupted",
+                "crashed",
+                "retries",
+                "penalty rds",
+                "jobs/s",
+            ]);
+            let mut items = Vec::new();
+            for r in &c.rows {
+                ct.row(vec![
+                    r.spec.clone(),
+                    format!("{}/{}", r.completed, c.jobs),
+                    r.dropped.to_string(),
+                    r.corrupted.to_string(),
+                    r.crashed.to_string(),
+                    r.retries.to_string(),
+                    r.penalty_rounds.to_string(),
+                    format!("{:.1}", r.jobs_per_sec),
+                ]);
+                items.push(format!(
+                    concat!(
+                        "    {{\"spec\": \"{}\", \"completed\": {}, ",
+                        "\"completion_rate\": {:.4}, \"dropped\": {}, ",
+                        "\"corrupted\": {}, \"crashed\": {}, \"retries\": {}, ",
+                        "\"penalty_rounds\": {}, \"jobs_per_sec\": {:.3}, ",
+                        "\"throughput_vs_baseline_pct\": {:.2}}}"
+                    ),
+                    r.spec,
+                    r.completed,
+                    r.completion_rate,
+                    r.dropped,
+                    r.corrupted,
+                    r.crashed,
+                    r.retries,
+                    r.penalty_rounds,
+                    r.jobs_per_sec,
+                    (r.jobs_per_sec / c.baseline_jobs_per_sec.max(1e-9) - 1.0) * 100.0,
+                ));
+            }
+            println!(
+                "\nchaos sweep ({} jobs, baseline {:.1} jobs/s; robust answers \
+                 verified against fault-free):",
+                c.jobs, c.baseline_jobs_per_sec
+            );
+            ct.print();
+            format!(
+                "  \"chaos\": {{\"jobs\": {}, \"baseline_jobs_per_sec\": {:.3}, \"rows\": [\n{}\n  ]}},\n",
+                c.jobs,
+                c.baseline_jobs_per_sec,
+                items.join(",\n")
+            )
+        })
+        .unwrap_or_default();
     // Per-phase engine totals accumulated over the whole replay (zeros
     // unless CLIQUE_OBS enabled the phase timers).
     let m = obs::metrics();
@@ -669,12 +853,13 @@ pub fn report(
         pe as f64 / 1e6,
     );
     let json = format!(
-        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}{}\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}{}{}\n  \"results\": [\n{}\n  ]\n}}\n",
         names.join(", "),
         runtime::available_shards(),
         mix_json,
         overhead_json,
         depth_json,
+        chaos_json,
         obs_json,
         rows_json.join(",\n")
     );
@@ -733,6 +918,31 @@ mod tests {
         }
         // the ratio claim itself is asserted by loadgen --depth at real
         // depths; tiny debug-build fills are too noisy to pin here
+    }
+
+    #[test]
+    fn chaos_sweep_heals_every_answer_and_counts_faults() {
+        let c = chaos_sweep();
+        assert!(c.jobs > 0 && c.baseline_jobs_per_sec > 0.0);
+        assert_eq!(c.rows.len(), 3);
+        for r in &c.rows {
+            // answer equality vs the baseline is asserted inside the sweep
+            // for every job that completed; here we pin that faults actually
+            // landed and healed
+            assert!(r.dropped + r.corrupted > 0, "plan {} never tripped", r.spec);
+            assert!(r.retries > 0, "drops must force re-deliveries ({})", r.spec);
+            assert!(r.penalty_rounds > 0, "retries must charge backoff rounds ({})", r.spec);
+        }
+        // At the lighter rates eight attempts make a lost message
+        // astronomically unlikely, so every job must self-heal to
+        // completion. The heavy row is allowed to shed jobs — but only
+        // through the typed exhaustion error, which the sweep enforces.
+        assert_eq!(c.rows[0].completed, c.jobs, "light plan must complete every job");
+        assert_eq!(c.rows[1].completed, c.jobs, "medium plan must complete every job");
+        assert!(c.rows[2].completed > 0, "even the heavy plan must land some answers");
+        // heavier plans trip more
+        assert!(c.rows[2].dropped > c.rows[0].dropped);
+        assert!(c.rows[2].crashed > 0, "the heavy plan carries a crash rate");
     }
 
     #[test]

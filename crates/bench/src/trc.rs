@@ -152,13 +152,17 @@ pub fn run_protocol<S: EngineSelect>(sel: &S, g: &Graph, proto: ProtocolSpec) {
 }
 
 /// Captures one scenario × protocol × engine run as a [`trace::Transcript`]
-/// (shared by the `record` CLI and the smoke tests).
+/// (shared by the `record` CLI and the smoke tests). The fault mode is
+/// armed around the run **and** persisted in the header's fault
+/// descriptor, which is what lets `replay` reproduce a faulted run from
+/// the header alone.
 pub fn record_transcript(
     spec: &GraphSpec,
     proto: ProtocolSpec,
     engine: EngineSpec,
     fidelity: trace::Fidelity,
     graph_fingerprint: u64,
+    faults: congest::faults::FaultMode,
 ) -> trace::Transcript {
     let g = spec.build();
     let header = trace::Header {
@@ -166,8 +170,11 @@ pub fn record_transcript(
         protocol: proto.canonical(),
         engine: engine.name(),
         seed: proto.seed(),
+        faults: faults.descriptor(),
     };
-    let ((), t) = trace::capture(fidelity, header, || engine.run(&g, proto));
+    let ((), t) = trace::capture(fidelity, header, || {
+        congest::faults::with_mode(faults, || engine.run(&g, proto));
+    });
     t
 }
 
@@ -187,6 +194,7 @@ struct Flags {
     engine: EngineSpec,
     fidelity: trace::Fidelity,
     chrome: Option<PathBuf>,
+    faults: congest::faults::FaultMode,
 }
 
 fn parse_flags(args: &[String], default_engine: EngineSpec) -> Flags {
@@ -197,6 +205,7 @@ fn parse_flags(args: &[String], default_engine: EngineSpec) -> Flags {
         engine: default_engine,
         fidelity: trace::Fidelity::Digest,
         chrome: None,
+        faults: congest::faults::FaultMode::Off,
     };
     let mut it = args.iter();
     while let Some(a) = it.next() {
@@ -225,6 +234,14 @@ fn parse_flags(args: &[String], default_engine: EngineSpec) -> Flags {
                 };
             }
             "--chrome" => f.chrome = Some(PathBuf::from(value("--chrome"))),
+            "--faults" => {
+                let v = value("--faults");
+                f.faults = congest::faults::parse_mode(&v).unwrap_or_else(|| {
+                    die(&format!(
+                        "bad fault spec {v:?} (off, plan:<seed>:<drop_ppm>:<corrupt_ppm>:<crash_ppm>, chaos:...)"
+                    ))
+                });
+            }
             other if !other.starts_with("--") => f.positional.push(other.to_string()),
             other => die(&format!("unknown flag {other:?}")),
         }
@@ -233,11 +250,12 @@ fn parse_flags(args: &[String], default_engine: EngineSpec) -> Flags {
 }
 
 /// `experiments record <out.trace> [--scenario S] [--protocol P]
-/// [--engine E] [--fidelity digest|full] [--chrome out.json]`
+/// [--engine E] [--fidelity digest|full] [--chrome out.json]
+/// [--faults SPEC]`
 pub fn record_cmd(args: &[String]) {
     let f = parse_flags(args, EngineSpec::Seq);
     let [path] = f.positional.as_slice() else {
-        die("usage: experiments record <out.trace> [--scenario S] [--protocol P] [--engine E] [--fidelity digest|full] [--chrome out.json]");
+        die("usage: experiments record <out.trace> [--scenario S] [--protocol P] [--engine E] [--fidelity digest|full] [--chrome out.json] [--faults SPEC]");
     };
     // Phase timers feed the chrome export's span durations.
     obs::set_level(obs::Level::On);
@@ -248,7 +266,7 @@ pub fn record_cmd(args: &[String]) {
     // The corpus is the fingerprint authority: replay resolves through it,
     // so record registers through it too.
     let fp = Service::new(1).prefetch(&spec);
-    let t = record_transcript(&spec, f.proto, f.engine, f.fidelity, fp);
+    let t = record_transcript(&spec, f.proto, f.engine, f.fidelity, fp, f.faults);
     if let Err(e) = t.save(Path::new(path)) {
         die(&format!("could not write {path}: {e}"));
     }
@@ -298,12 +316,21 @@ pub fn replay_cmd(args: &[String]) {
     let proto = ProtocolSpec::parse(&recorded.header.protocol).unwrap_or_else(|| {
         die(&format!("transcript protocol {:?} is not replayable", recorded.header.protocol))
     });
+    // Re-arm faults from the header descriptor: the transcript alone is
+    // enough to reproduce a faulted run, on any engine.
+    let faults = congest::faults::FaultMode::from_descriptor(&recorded.header.faults)
+        .unwrap_or_else(|| {
+            die(&format!("transcript fault descriptor (mode {}) is not replayable", {
+                recorded.header.faults.mode
+            }))
+        });
     let replayed = record_transcript(
         &spec,
         proto,
         f.engine,
         recorded.fidelity,
         recorded.header.graph_fingerprint,
+        faults,
     );
     let d = trace::diff(&recorded, &replayed);
     if d.is_identical() {
@@ -359,14 +386,22 @@ mod tests {
                 ProtocolSpec::Listing(3),
             ] {
                 let fp = fp_of(&spec);
-                let a =
-                    record_transcript(&spec, proto, EngineSpec::Seq, trace::Fidelity::Digest, fp);
+                let off = congest::faults::FaultMode::Off;
+                let a = record_transcript(
+                    &spec,
+                    proto,
+                    EngineSpec::Seq,
+                    trace::Fidelity::Digest,
+                    fp,
+                    off,
+                );
                 let b = record_transcript(
                     &spec,
                     proto,
                     EngineSpec::Sharded(2),
                     trace::Fidelity::Digest,
                     fp,
+                    off,
                 );
                 assert!(
                     trace::diff(&a, &b).is_identical(),
@@ -388,6 +423,7 @@ mod tests {
             EngineSpec::Seq,
             trace::Fidelity::Digest,
             fp,
+            congest::faults::FaultMode::Off,
         );
         assert!(a.rounds.len() >= 3, "need a few rounds to perturb the middle");
         let k = a.rounds.len() / 2;
@@ -399,6 +435,55 @@ mod tests {
             }
             other => panic!("expected a divergence at round {k}, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn faulted_record_replays_divergence_free_from_the_header_alone() {
+        use congest::faults::FaultMode;
+        let (_, spec) = scenarios().remove(0);
+        let fp = fp_of(&spec);
+        let faults = congest::faults::parse_mode("plan:99:120000:60000:0").unwrap();
+        let a = record_transcript(
+            &spec,
+            ProtocolSpec::Listing(3),
+            EngineSpec::Seq,
+            trace::Fidelity::Digest,
+            fp,
+            faults,
+        );
+        // The descriptor in the header must round-trip to the same mode —
+        // that is the contract that lets `replay` re-arm faults by itself.
+        let rearmed = FaultMode::from_descriptor(&a.header.faults).unwrap();
+        assert_eq!(rearmed, faults);
+        let b = record_transcript(
+            &spec,
+            ProtocolSpec::Listing(3),
+            EngineSpec::Sharded(2),
+            trace::Fidelity::Digest,
+            fp,
+            rearmed,
+        );
+        assert!(trace::diff(&a, &b).is_identical(), "faulted run diverged between engines");
+        // Robust mode delivers every payload intact, but retry backoff
+        // charges penalty rounds against the round budget, so the faulted
+        // stream can truncate earlier than the fault-free one — while it
+        // runs it matches round for round. Either way the headers describe
+        // different runs, and diff must say so rather than compare streams.
+        let clean = record_transcript(
+            &spec,
+            ProtocolSpec::Listing(3),
+            EngineSpec::Seq,
+            trace::Fidelity::Digest,
+            fp,
+            FaultMode::Off,
+        );
+        assert!(a.rounds.len() <= clean.rounds.len());
+        assert_eq!(
+            a.rounds[..],
+            clean.rounds[..a.rounds.len()],
+            "robust rounds must mirror the fault-free schedule while the budget lasts"
+        );
+        assert_eq!(trace::diff(&a, &clean), trace::TraceDiff::HeaderMismatch("faults"));
     }
 
     #[test]

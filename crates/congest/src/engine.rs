@@ -56,11 +56,29 @@ pub trait Engine<P: Protocol> {
     /// Whether every vertex is done and no messages are in flight.
     fn is_quiescent(&self) -> bool;
 
+    /// Extra rounds charged by the fault layer so far (robust-mode retry
+    /// backoff and crash-recovery penalties; see [`crate::faults`]). Zero
+    /// for fault-free engines — the default — so the fault-free run loop is
+    /// untouched.
+    fn fault_penalty_rounds(&self) -> u64 {
+        0
+    }
+
     /// Runs until quiescent or `max_rounds` elapse; the returned report's
     /// `truncated` flag is set when the budget ran out with work pending.
+    ///
+    /// Fault-layer penalty rounds (robust retry backoff, crash recovery)
+    /// accrued during this run are folded into the returned round cost, so
+    /// retries consume the callers' deadline machinery — the drivers'
+    /// `round_cap`/`wall_budget` checkpoints and the service's
+    /// `deadline_rounds` all meter reported rounds. `max_rounds` itself
+    /// stays a real-round safety cap: protocols size it for their fault-free
+    /// dynamics, and cutting a subroutine short mid-protocol would corrupt
+    /// its answer rather than surface a typed budget failure.
     fn run(&mut self, max_rounds: u64) -> CostReport {
         let start_round = self.round();
         let start_messages = self.messages();
+        let start_penalty = self.fault_penalty_rounds();
         let mut truncated = false;
         loop {
             if self.is_quiescent() {
@@ -72,8 +90,11 @@ pub trait Engine<P: Protocol> {
             }
             self.step();
         }
-        let mut report =
-            CostReport::new(self.round() - start_round, self.messages() - start_messages);
+        let penalty = self.fault_penalty_rounds() - start_penalty;
+        let mut report = CostReport::new(
+            (self.round() - start_round) + penalty,
+            self.messages() - start_messages,
+        );
         report.truncated = truncated;
         report
     }
@@ -144,6 +165,10 @@ impl<P: Protocol> Engine<P> for Network<'_, P> {
 
     fn is_quiescent(&self) -> bool {
         Network::is_quiescent(self)
+    }
+
+    fn fault_penalty_rounds(&self) -> u64 {
+        Network::fault_penalty_rounds(self)
     }
 }
 

@@ -1,0 +1,951 @@
+//! Deterministic, seed-driven fault injection for both CONGEST engines.
+//!
+//! A [`FaultPlan`] describes per-round fault schedules — message drop,
+//! payload corruption, and vertex crash (crash-stop) — as splitmix64-keyed
+//! parts-per-million probabilities. Every fault decision is a pure function
+//! of `(execution seed, round, endpoint ids, message index, attempt)`, so
+//! the schedule is **bit-identical across engines and shard counts**: both
+//! engines apply faults at the same canonical choke point of the exchange
+//! phase, after each destination inbox has been fully assembled and sorted
+//! into its deterministic `(sender, payload)` order. The message index used
+//! to key drop/corrupt decisions is the position in that sorted inbox, which
+//! does not depend on how vertices were sharded.
+//!
+//! Two modes build on the same schedule:
+//!
+//! - **Chaos** ([`FaultMode::Chaos`]): faults land. Dropped messages vanish,
+//!   corrupted payloads arrive with one deterministic bit flipped, and a
+//!   crashed vertex is crash-stop — from its crash round onward it sends
+//!   nothing, receives nothing (its pending inbox is drained so quiescence
+//!   detection still converges), and is treated as done.
+//! - **Robust** ([`FaultMode::Robust`]): the transport self-heals. Each
+//!   faulted delivery is retried with bounded exponential backoff (at most
+//!   [`MAX_ATTEMPTS`] attempts; a failed attempt `k` charges `2^(k-1) - 1`
+//!   backoff rounds against the round budget), corruption is detected and
+//!   re-sent, and crash trips are detected and charged a one-round
+//!   re-partition penalty instead of killing the vertex. Delivered payloads
+//!   are always intact, so a robust run's transcript — and its answers — are
+//!   byte-identical to the fault-free run. Only if all [`MAX_ATTEMPTS`]
+//!   attempts of a single message fail (astronomically unlikely at ppm
+//!   rates) is the message lost and the run flagged
+//!   [`RunStats::exhausted`].
+//!
+//! The layer is armed ambiently per thread via [`with_mode`]; when the mode
+//! is [`FaultMode::Off`] the engines carry a `None` and the hot path is a
+//! single branch — no allocation, no hashing.
+
+use crate::graph::VertexId;
+use crate::network::Word;
+use std::cell::RefCell;
+use std::fmt;
+
+/// Parts-per-million denominator for all fault rates.
+pub const PPM_SCALE: u64 = 1_000_000;
+
+/// Maximum delivery attempts per message in robust mode (1 initial send +
+/// 7 retries). Failed attempt `k` charges `2^(k-1) - 1` backoff rounds.
+pub const MAX_ATTEMPTS: u32 = 8;
+
+// Distinct odd salts keying the independent decision streams.
+const TAG_EXEC: u64 = 0xA3C5_9AC3_D1B5_4D01;
+const TAG_CRASH: u64 = 0xC2B2_AE3D_27D4_EB4F;
+const TAG_DROP: u64 = 0x9E37_79B9_7F4A_7C15;
+const TAG_CORRUPT: u64 = 0x1656_67B1_9E37_79F9;
+const TAG_BIT: u64 = 0xD6E8_FEB8_6659_FD93;
+
+/// The splitmix64 finalizer — the only mixing primitive the schedule uses.
+#[inline]
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// One fault decision: a chained splitmix64 hash of the full decision key.
+#[inline]
+fn decision(exec_seed: u64, tag: u64, a: u64, b: u64, c: u64) -> u64 {
+    let mut h = splitmix64(exec_seed ^ tag);
+    h = splitmix64(h ^ a);
+    h = splitmix64(h ^ b);
+    splitmix64(h ^ c)
+}
+
+/// True when the hashed decision trips a ppm-scaled probability.
+#[inline]
+fn trips(h: u64, ppm: u32) -> bool {
+    ppm != 0 && h % PPM_SCALE < u64::from(ppm)
+}
+
+/// Packs `(from, to)` endpoints into one decision-key word.
+#[inline]
+fn edge_key(from: VertexId, to: VertexId) -> u64 {
+    (u64::from(from) << 32) | u64::from(to)
+}
+
+/// Packs `(inbox index, attempt)` into one decision-key word.
+#[inline]
+fn slot_key(index: usize, attempt: u32) -> u64 {
+    ((index as u64) << 32) | u64::from(attempt)
+}
+
+/// A seed-driven fault schedule: splitmix64 seed plus three
+/// parts-per-million rates. Copy, cheap, and fully describes the schedule —
+/// two runs with equal plans (and equal execution order) see identical
+/// faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Root seed of the splitmix64 decision streams.
+    pub seed: u64,
+    /// Per-message drop probability, parts per million.
+    pub drop_ppm: u32,
+    /// Per-message payload-corruption probability, parts per million.
+    pub corrupt_ppm: u32,
+    /// Per-vertex per-round crash probability, parts per million.
+    pub crash_ppm: u32,
+}
+
+impl FaultPlan {
+    /// True when every rate is zero — the schedule can never trip.
+    pub fn is_zero(&self) -> bool {
+        self.drop_ppm == 0 && self.corrupt_ppm == 0 && self.crash_ppm == 0
+    }
+}
+
+/// How (and whether) a run injects faults.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FaultMode {
+    /// No fault layer: the engines' injection hook is inert.
+    #[default]
+    Off,
+    /// Faults land: messages vanish, payloads corrupt, vertices crash-stop.
+    Chaos(FaultPlan),
+    /// Faults are injected but the transport self-heals (ack/retry with
+    /// bounded backoff, crash detection + re-partition penalty); answers
+    /// match the fault-free run.
+    Robust(FaultPlan),
+}
+
+impl FaultMode {
+    /// True when a fault plan is armed.
+    pub fn is_on(&self) -> bool {
+        !matches!(self, FaultMode::Off)
+    }
+
+    /// The armed plan, if any.
+    pub fn plan(&self) -> Option<FaultPlan> {
+        match self {
+            FaultMode::Off => None,
+            FaultMode::Chaos(p) | FaultMode::Robust(p) => Some(*p),
+        }
+    }
+
+    /// The trace-header descriptor for this mode (wire bytes: 0 off,
+    /// 1 chaos, 2 robust) — what `experiments record` persists so replay
+    /// can re-arm the identical schedule from the header alone.
+    pub fn descriptor(&self) -> trace::FaultDescriptor {
+        match self {
+            FaultMode::Off => trace::FaultDescriptor::off(),
+            FaultMode::Chaos(p) => trace::FaultDescriptor {
+                mode: 1,
+                seed: p.seed,
+                drop_ppm: p.drop_ppm,
+                corrupt_ppm: p.corrupt_ppm,
+                crash_ppm: p.crash_ppm,
+            },
+            FaultMode::Robust(p) => trace::FaultDescriptor {
+                mode: 2,
+                seed: p.seed,
+                drop_ppm: p.drop_ppm,
+                corrupt_ppm: p.corrupt_ppm,
+                crash_ppm: p.crash_ppm,
+            },
+        }
+    }
+
+    /// Rebuilds the mode a trace header describes. `None` for an unknown
+    /// mode byte (a malformed header would already have been rejected by
+    /// the trace decoder; this is belt-and-braces for hand-built headers).
+    pub fn from_descriptor(d: &trace::FaultDescriptor) -> Option<FaultMode> {
+        let plan = FaultPlan {
+            seed: d.seed,
+            drop_ppm: d.drop_ppm,
+            corrupt_ppm: d.corrupt_ppm,
+            crash_ppm: d.crash_ppm,
+        };
+        match d.mode {
+            0 => Some(FaultMode::Off),
+            1 => Some(FaultMode::Chaos(plan)),
+            2 => Some(FaultMode::Robust(plan)),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for FaultMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FaultMode::Off => write!(f, "off"),
+            FaultMode::Chaos(p) => {
+                write!(f, "chaos:{}:{}:{}:{}", p.seed, p.drop_ppm, p.corrupt_ppm, p.crash_ppm)
+            }
+            FaultMode::Robust(p) => {
+                write!(f, "plan:{}:{}:{}:{}", p.seed, p.drop_ppm, p.corrupt_ppm, p.crash_ppm)
+            }
+        }
+    }
+}
+
+/// Parses a `CLIQUE_FAULTS`-style spec: `off`,
+/// `plan:<seed>:<drop_ppm>:<corrupt_ppm>:<crash_ppm>` (robust mode), or
+/// `chaos:<seed>:<drop_ppm>:<corrupt_ppm>:<crash_ppm>`. `None` on garbage.
+pub fn parse_mode(spec: &str) -> Option<FaultMode> {
+    let spec = spec.trim();
+    if spec.eq_ignore_ascii_case("off") {
+        return Some(FaultMode::Off);
+    }
+    let (kind, rest) = spec.split_once(':')?;
+    let mut it = rest.split(':');
+    let seed = it.next()?.parse::<u64>().ok()?;
+    let drop_ppm = it.next()?.parse::<u32>().ok()?;
+    let corrupt_ppm = it.next()?.parse::<u32>().ok()?;
+    let crash_ppm = it.next()?.parse::<u32>().ok()?;
+    if it.next().is_some() {
+        return None;
+    }
+    let plan = FaultPlan { seed, drop_ppm, corrupt_ppm, crash_ppm };
+    match kind {
+        "plan" => Some(FaultMode::Robust(plan)),
+        "chaos" => Some(FaultMode::Chaos(plan)),
+        _ => None,
+    }
+}
+
+/// Reads `CLIQUE_FAULTS` from the environment: unset or empty means
+/// [`FaultMode::Off`]; garbage warns ([`obs::WarnKind::FaultsEnv`]) and
+/// falls back to off, per the repo's warn-and-fallback env convention.
+pub fn mode_from_env_uncached() -> FaultMode {
+    match std::env::var("CLIQUE_FAULTS") {
+        Err(_) => FaultMode::Off,
+        Ok(v) if v.trim().is_empty() => FaultMode::Off,
+        Ok(v) => parse_mode(&v).unwrap_or_else(|| {
+            obs::warn(
+                obs::WarnKind::FaultsEnv,
+                format_args!(
+                    "CLIQUE_FAULTS={v:?} is not off|plan:<seed>:<drop_ppm>:<corrupt_ppm>:\
+                     <crash_ppm>|chaos:<seed>:<drop_ppm>:<corrupt_ppm>:<crash_ppm>; \
+                     falling back to off"
+                ),
+            );
+            FaultMode::Off
+        }),
+    }
+}
+
+/// Per-run fault accounting, returned by [`with_mode`] and surfaced in the
+/// drivers' run reports.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RunStats {
+    /// Messages dropped (chaos: lost for good; robust: failed attempts).
+    pub dropped: u64,
+    /// Payloads corrupted (chaos: delivered flipped; robust: detected and
+    /// counted as failed attempts).
+    pub corrupted: u64,
+    /// Chaos: vertices crashed (each counted once). Robust: crash trips
+    /// detected and recovered.
+    pub crashed: u64,
+    /// Robust retries performed (attempts beyond the first, delivered ones).
+    pub retries: u64,
+    /// Extra rounds charged against the round budget for robust backoff and
+    /// crash re-partitioning (per round, the maximum backoff of any message
+    /// — retries within a round overlap).
+    pub penalty_rounds: u64,
+    /// True when some message failed all [`MAX_ATTEMPTS`] attempts — the
+    /// transport could not bound the run's delay, and the service fails
+    /// the job with a typed `FaultBudgetExhausted` error.
+    pub exhausted: bool,
+}
+
+impl RunStats {
+    fn accumulate(&mut self, d: &RunStats) {
+        self.dropped += d.dropped;
+        self.corrupted += d.corrupted;
+        self.crashed += d.crashed;
+        self.retries += d.retries;
+        self.penalty_rounds += d.penalty_rounds;
+        self.exhausted |= d.exhausted;
+    }
+}
+
+/// Per-step fault counters, accumulated per shard and merged
+/// deterministically (sums; `penalty` by max — backoffs within one round
+/// overlap; `exhausted` by or). Zeroed at the start of every armed step.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounters {
+    /// Messages dropped this step.
+    pub dropped: u64,
+    /// Payloads corrupted this step.
+    pub corrupted: u64,
+    /// Crash events this step.
+    pub crashed: u64,
+    /// Delivered retries this step.
+    pub retries: u64,
+    /// Maximum backoff/recovery rounds charged by any message this step.
+    pub penalty: u64,
+    /// True when a message exhausted all attempts this step.
+    pub exhausted: bool,
+}
+
+impl FaultCounters {
+    /// Merges another shard's counters into this one.
+    pub fn merge(&mut self, o: &FaultCounters) {
+        self.dropped += o.dropped;
+        self.corrupted += o.corrupted;
+        self.crashed += o.crashed;
+        self.retries += o.retries;
+        self.penalty = self.penalty.max(o.penalty);
+        self.exhausted |= o.exhausted;
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Chaos,
+    Robust,
+}
+
+/// The pure, `Copy` slice of fault state a worker thread needs: the plan,
+/// the per-execution seed, and the mode kind. All decision functions are
+/// pure — shards may call them concurrently on disjoint vertex ranges.
+#[derive(Debug, Clone, Copy)]
+pub struct FaultView {
+    kind: Kind,
+    plan: FaultPlan,
+    exec_seed: u64,
+}
+
+impl FaultView {
+    /// True in chaos mode (faults land; crash flags are live).
+    pub fn is_chaos(&self) -> bool {
+        self.kind == Kind::Chaos
+    }
+
+    /// Whether vertex `v`'s crash schedule trips in `round`.
+    #[inline]
+    fn crash_trips(&self, round: u64, v: VertexId) -> bool {
+        trips(decision(self.exec_seed, TAG_CRASH, round, u64::from(v), 0), self.plan.crash_ppm)
+    }
+
+    /// Evaluates the crash schedule for the vertex slice `[lo, lo+len)`
+    /// whose local crash flags are `crashed`. Chaos mode sets flags
+    /// (crash-stop; each vertex counted once); robust mode detects the trip,
+    /// counts it, and charges a one-round re-partition penalty instead.
+    pub fn begin_round_slice(
+        &self,
+        round: u64,
+        lo: usize,
+        crashed: &mut [bool],
+        c: &mut FaultCounters,
+    ) {
+        if self.plan.crash_ppm == 0 {
+            return;
+        }
+        for (i, flag) in crashed.iter_mut().enumerate() {
+            let v = (lo + i) as VertexId;
+            match self.kind {
+                Kind::Chaos => {
+                    if !*flag && self.crash_trips(round, v) {
+                        *flag = true;
+                        c.crashed += 1;
+                    }
+                }
+                Kind::Robust => {
+                    if self.crash_trips(round, v) {
+                        c.crashed += 1;
+                        c.penalty = c.penalty.max(1);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Applies the fault schedule to one destination inbox, **after** it has
+    /// been assembled and sorted — the canonical choke point shared by both
+    /// engines. `index` below is the message's position in that sorted
+    /// inbox, which is identical at any shard count.
+    ///
+    /// Chaos: a crashed destination receives nothing (drain-on-crash);
+    /// otherwise tripped messages are removed in place and tripped payloads
+    /// get one deterministic bit flipped (re-sorting only when a flip
+    /// disturbed the order). Robust: each faulted attempt is retried up to
+    /// [`MAX_ATTEMPTS`] times with exponential backoff charged to
+    /// `c.penalty`; payloads always land intact, and a message that fails
+    /// every attempt flags the run `exhausted` (surfaced as a typed job
+    /// error) instead of being lost — see the comment at the exhaustion
+    /// site.
+    pub fn filter_inbox(
+        &self,
+        round: u64,
+        to: VertexId,
+        crashed_to: bool,
+        inbox: &mut Vec<(VertexId, Word)>,
+        c: &mut FaultCounters,
+    ) {
+        match self.kind {
+            Kind::Chaos => {
+                if crashed_to {
+                    c.dropped += inbox.len() as u64;
+                    inbox.clear();
+                    return;
+                }
+                let mut w = 0;
+                let mut corrupted_any = false;
+                for i in 0..inbox.len() {
+                    let (from, mut payload) = inbox[i];
+                    let ek = edge_key(from, to);
+                    if trips(
+                        decision(self.exec_seed, TAG_DROP, round, ek, slot_key(i, 0)),
+                        self.plan.drop_ppm,
+                    ) {
+                        c.dropped += 1;
+                        continue;
+                    }
+                    if trips(
+                        decision(self.exec_seed, TAG_CORRUPT, round, ek, slot_key(i, 0)),
+                        self.plan.corrupt_ppm,
+                    ) {
+                        let bit = decision(self.exec_seed, TAG_BIT, round, ek, slot_key(i, 0)) % 64;
+                        payload ^= 1 << bit;
+                        c.corrupted += 1;
+                        corrupted_any = true;
+                    }
+                    inbox[w] = (from, payload);
+                    w += 1;
+                }
+                inbox.truncate(w);
+                if corrupted_any {
+                    // A flipped payload may have broken the (sender, payload)
+                    // order the engines guarantee; restore it.
+                    inbox.sort_unstable();
+                }
+            }
+            Kind::Robust => {
+                if self.plan.drop_ppm == 0 && self.plan.corrupt_ppm == 0 {
+                    return;
+                }
+                for (i, &(from, _)) in inbox.iter().enumerate() {
+                    let ek = edge_key(from, to);
+                    let mut delivered = false;
+                    for attempt in 1..=MAX_ATTEMPTS {
+                        let sk = slot_key(i, attempt);
+                        if trips(
+                            decision(self.exec_seed, TAG_DROP, round, ek, sk),
+                            self.plan.drop_ppm,
+                        ) {
+                            c.dropped += 1;
+                            continue;
+                        }
+                        if trips(
+                            decision(self.exec_seed, TAG_CORRUPT, round, ek, sk),
+                            self.plan.corrupt_ppm,
+                        ) {
+                            c.corrupted += 1;
+                            continue;
+                        }
+                        if attempt > 1 {
+                            let backoff = (1u64 << (attempt - 1)) - 1;
+                            c.retries += u64::from(attempt - 1);
+                            c.penalty = c.penalty.max(backoff);
+                            obs::metrics().fault_retry_backoff_rounds.observe(backoff);
+                        }
+                        delivered = true;
+                        break;
+                    }
+                    if !delivered {
+                        // Every attempt failed: the transport can no longer
+                        // bound this run's delay, so the run is flagged (the
+                        // service fails the job with the typed
+                        // `FaultBudgetExhausted`) and the full backoff is
+                        // charged. The message still lands — actually losing
+                        // it would wedge vertex state machines mid-handshake
+                        // and turn a typed budget failure into undefined
+                        // protocol behavior.
+                        c.exhausted = true;
+                        c.retries += u64::from(MAX_ATTEMPTS - 1);
+                        let backoff = (1u64 << (MAX_ATTEMPTS - 1)) - 1;
+                        c.penalty = c.penalty.max(backoff);
+                        obs::metrics().fault_retry_backoff_rounds.observe(backoff);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Per-engine fault state: the immutable [`FaultView`] plus the mutable
+/// crash flags and run accounting. Built once per engine construction via
+/// [`engine_state`]; owned by the engine for its lifetime.
+#[derive(Debug)]
+pub struct FaultState {
+    view: FaultView,
+    crashed: Vec<bool>,
+    stats: RunStats,
+    reported: RunStats,
+}
+
+impl FaultState {
+    fn new(kind: Kind, plan: FaultPlan, exec_index: u64, n: usize) -> FaultState {
+        // Mix the execution index into the plan seed so every engine
+        // construction inside one armed scope gets an independent — but
+        // construction-order-deterministic, hence shard-invariant —
+        // decision stream.
+        let exec_seed = splitmix64(splitmix64(plan.seed ^ TAG_EXEC) ^ exec_index);
+        FaultState {
+            view: FaultView { kind, plan, exec_seed },
+            crashed: vec![false; n],
+            stats: RunStats::default(),
+            reported: RunStats::default(),
+        }
+    }
+
+    /// The pure decision view.
+    pub fn view(&self) -> FaultView {
+        self.view
+    }
+
+    /// Splits into the `Copy` view and the crash-flag slice — what the
+    /// sharded engine hands its worker closures.
+    pub fn split(&mut self) -> (FaultView, &mut [bool]) {
+        (self.view, &mut self.crashed)
+    }
+
+    /// True when vertex `v` has crash-stopped (chaos mode only; robust
+    /// crashes recover and never set flags).
+    #[inline]
+    pub fn is_crashed(&self, v: usize) -> bool {
+        self.view.kind == Kind::Chaos && self.crashed[v]
+    }
+
+    /// Sequential-engine convenience: evaluates the whole crash schedule
+    /// for `round`.
+    pub fn begin_round(&mut self, round: u64, c: &mut FaultCounters) {
+        self.view.begin_round_slice(round, 0, &mut self.crashed, c);
+    }
+
+    /// Sequential-engine convenience: filters one inbox, resolving the
+    /// destination's crash flag internally.
+    pub fn filter_inbox(
+        &mut self,
+        round: u64,
+        to: VertexId,
+        inbox: &mut Vec<(VertexId, Word)>,
+        c: &mut FaultCounters,
+    ) {
+        let crashed_to = self.is_crashed(to as usize);
+        self.view.filter_inbox(round, to, crashed_to, inbox, c);
+    }
+
+    /// Folds one step's merged counters into the run totals.
+    pub fn absorb_round(&mut self, c: &FaultCounters) {
+        self.stats.dropped += c.dropped;
+        self.stats.corrupted += c.corrupted;
+        self.stats.crashed += c.crashed;
+        self.stats.retries += c.retries;
+        self.stats.penalty_rounds += c.penalty;
+        self.stats.exhausted |= c.exhausted;
+    }
+
+    /// Publishes the delta since the last flush to the obs counters and the
+    /// ambient scope's run totals. Called once per step — cheap (a handful
+    /// of relaxed atomics) and alloc-free.
+    pub fn flush_step(&mut self) {
+        let d = RunStats {
+            dropped: self.stats.dropped - self.reported.dropped,
+            corrupted: self.stats.corrupted - self.reported.corrupted,
+            crashed: self.stats.crashed - self.reported.crashed,
+            retries: self.stats.retries - self.reported.retries,
+            penalty_rounds: self.stats.penalty_rounds - self.reported.penalty_rounds,
+            exhausted: self.stats.exhausted,
+        };
+        if d.dropped != 0 {
+            obs::metrics().faults_dropped.add(d.dropped);
+        }
+        if d.corrupted != 0 {
+            obs::metrics().faults_corrupted.add(d.corrupted);
+        }
+        if d.crashed != 0 {
+            obs::metrics().faults_crashed.add(d.crashed);
+        }
+        if d.retries != 0 {
+            obs::metrics().fault_retries.add(d.retries);
+        }
+        record(&d);
+        self.reported = self.stats;
+    }
+
+    /// Total extra rounds charged by robust backoff/recovery so far — the
+    /// engines fold this into their round-budget checks and cost reports.
+    pub fn penalty_rounds(&self) -> u64 {
+        self.stats.penalty_rounds
+    }
+
+    /// Run totals so far.
+    pub fn stats(&self) -> RunStats {
+        self.stats
+    }
+}
+
+struct Ambient {
+    mode: FaultMode,
+    execs: u64,
+    stats: RunStats,
+}
+
+thread_local! {
+    // The ambient fault scope engines arm themselves from. Thread-local by
+    // design, mirroring trace capture: a scope covers exactly the engine
+    // constructions the wrapped closure performs on this thread (the
+    // sharded engine is constructed and stepped from its submitting
+    // thread), so concurrent service jobs never share a schedule.
+    static AMBIENT: RefCell<Option<Ambient>> = const { RefCell::new(None) };
+}
+
+/// True when a fault scope is armed on this thread. One TLS read.
+#[inline]
+pub fn ambient_active() -> bool {
+    AMBIENT.with(|a| a.borrow().is_some())
+}
+
+/// Runs `f` with `mode` armed on this thread and returns its result plus
+/// the accumulated fault statistics. [`FaultMode::Off`] installs nothing;
+/// if a scope is already armed the outermost one wins (re-entrant calls are
+/// transparent and report zero stats of their own). Panic-safe: the scope
+/// is cleared even if `f` unwinds.
+pub fn with_mode<R>(mode: FaultMode, f: impl FnOnce() -> R) -> (R, RunStats) {
+    if !mode.is_on() || ambient_active() {
+        return (f(), RunStats::default());
+    }
+    struct Clear;
+    impl Drop for Clear {
+        fn drop(&mut self) {
+            AMBIENT.with(|a| *a.borrow_mut() = None);
+        }
+    }
+    AMBIENT
+        .with(|a| *a.borrow_mut() = Some(Ambient { mode, execs: 0, stats: RunStats::default() }));
+    let guard = Clear;
+    let r = f();
+    let amb =
+        AMBIENT.with(|a| a.borrow_mut().take()).expect("fault scope removed during with_mode");
+    drop(guard);
+    (r, amb.stats)
+}
+
+/// Called by engine constructors: when a fault scope is armed on this
+/// thread, allocates the engine's [`FaultState`] and advances the
+/// execution counter (so the k-th engine built inside a scope draws the
+/// k-th decision stream regardless of which engine implementation it is).
+/// `None` when no scope is armed — the inert fast path.
+pub fn engine_state(n: usize) -> Option<FaultState> {
+    AMBIENT.with(|a| {
+        let mut a = a.borrow_mut();
+        let amb = a.as_mut()?;
+        let (kind, plan) = match amb.mode {
+            FaultMode::Off => return None,
+            FaultMode::Chaos(p) => (Kind::Chaos, p),
+            FaultMode::Robust(p) => (Kind::Robust, p),
+        };
+        let exec_index = amb.execs;
+        amb.execs += 1;
+        Some(FaultState::new(kind, plan, exec_index, n))
+    })
+}
+
+/// Accumulates a flushed per-step delta into the ambient scope's totals.
+fn record(d: &RunStats) {
+    AMBIENT.with(|a| {
+        if let Some(amb) = a.borrow_mut().as_mut() {
+            amb.stats.accumulate(d);
+        }
+    });
+}
+
+/// True when the armed scope has already seen a retry-budget exhaustion —
+/// drivers use this to fail fast instead of computing doomed answers.
+pub fn run_exhausted() -> bool {
+    AMBIENT.with(|a| a.borrow().as_ref().is_some_and(|amb| amb.stats.exhausted))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(seed: u64, drop: u32, corrupt: u32, crash: u32) -> FaultPlan {
+        FaultPlan { seed, drop_ppm: drop, corrupt_ppm: corrupt, crash_ppm: crash }
+    }
+
+    #[test]
+    fn parse_round_trips_and_rejects_garbage() {
+        assert_eq!(parse_mode("off"), Some(FaultMode::Off));
+        assert_eq!(parse_mode(" OFF "), Some(FaultMode::Off));
+        let robust = parse_mode("plan:7:100:200:300").unwrap();
+        assert_eq!(robust, FaultMode::Robust(plan(7, 100, 200, 300)));
+        let chaos = parse_mode("chaos:9:1:2:3").unwrap();
+        assert_eq!(chaos, FaultMode::Chaos(plan(9, 1, 2, 3)));
+        // Display round-trips through the parser.
+        assert_eq!(parse_mode(&robust.to_string()), Some(robust));
+        assert_eq!(parse_mode(&chaos.to_string()), Some(chaos));
+        for bad in
+            ["", "plan", "plan:1:2:3", "plan:1:2:3:4:5", "plan:x:2:3:4", "mayhem:1:2:3:4", "on"]
+        {
+            assert_eq!(parse_mode(bad), None, "{bad:?} must not parse");
+        }
+    }
+
+    #[test]
+    fn descriptor_round_trips_through_trace() {
+        for mode in [
+            FaultMode::Off,
+            FaultMode::Chaos(plan(11, 1, 2, 3)),
+            FaultMode::Robust(plan(13, 4, 5, 6)),
+        ] {
+            let d = mode.descriptor();
+            assert_eq!(FaultMode::from_descriptor(&d), Some(mode));
+        }
+        assert_eq!(FaultMode::Off.descriptor(), trace::FaultDescriptor::off());
+        let bogus = trace::FaultDescriptor { mode: 9, ..trace::FaultDescriptor::off() };
+        assert_eq!(FaultMode::from_descriptor(&bogus), None);
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_tag_independent() {
+        let h1 = decision(42, TAG_DROP, 3, edge_key(1, 2), slot_key(0, 0));
+        let h2 = decision(42, TAG_DROP, 3, edge_key(1, 2), slot_key(0, 0));
+        assert_eq!(h1, h2);
+        let h3 = decision(42, TAG_CORRUPT, 3, edge_key(1, 2), slot_key(0, 0));
+        assert_ne!(h1, h3, "drop and corrupt streams must be independent");
+        assert_ne!(h1, decision(43, TAG_DROP, 3, edge_key(1, 2), slot_key(0, 0)));
+    }
+
+    #[test]
+    fn zero_rate_plan_never_trips() {
+        let mut st = FaultState::new(Kind::Chaos, plan(99, 0, 0, 0), 0, 16);
+        let mut c = FaultCounters::default();
+        let mut inbox: Vec<(VertexId, Word)> = (0..8).map(|i| (i as VertexId, i * 10)).collect();
+        let before = inbox.clone();
+        for round in 0..64 {
+            st.begin_round(round, &mut c);
+            st.filter_inbox(round, 3, &mut inbox, &mut c);
+        }
+        assert_eq!(inbox, before);
+        assert_eq!(c, FaultCounters::default());
+        assert!(!st.crashed.iter().any(|&b| b));
+    }
+
+    #[test]
+    fn chaos_crash_is_sticky_and_drains_the_inbox() {
+        // Max crash rate: every vertex crashes in round 0.
+        let mut st = FaultState::new(Kind::Chaos, plan(5, 0, 0, PPM_SCALE as u32), 0, 4);
+        let mut c = FaultCounters::default();
+        st.begin_round(0, &mut c);
+        assert_eq!(c.crashed, 4);
+        assert!(st.is_crashed(2));
+        // Counted once even if the schedule trips again.
+        st.begin_round(1, &mut c);
+        assert_eq!(c.crashed, 4);
+        let mut inbox = vec![(0 as VertexId, 7 as Word), (1, 8)];
+        st.filter_inbox(1, 2, &mut inbox, &mut c);
+        assert!(inbox.is_empty(), "crashed destinations must drain");
+        assert_eq!(c.dropped, 2);
+    }
+
+    #[test]
+    fn chaos_drop_everything_empties_and_corrupt_flips_one_bit() {
+        let mut st = FaultState::new(Kind::Chaos, plan(5, PPM_SCALE as u32, 0, 0), 0, 4);
+        let mut c = FaultCounters::default();
+        let mut inbox = vec![(0 as VertexId, 7 as Word), (1, 8), (3, 9)];
+        st.filter_inbox(0, 2, &mut inbox, &mut c);
+        assert!(inbox.is_empty());
+        assert_eq!(c.dropped, 3);
+
+        let mut st = FaultState::new(Kind::Chaos, plan(5, 0, PPM_SCALE as u32, 0), 0, 4);
+        let mut c = FaultCounters::default();
+        let mut inbox = vec![(0 as VertexId, 7 as Word), (1, 8)];
+        st.filter_inbox(0, 2, &mut inbox, &mut c);
+        assert_eq!(c.corrupted, 2);
+        assert_eq!(inbox.len(), 2);
+        for (i, &(from, payload)) in inbox.iter().enumerate() {
+            let orig = if from == 0 { 7 } else { 8 };
+            assert_eq!(
+                (payload ^ orig).count_ones(),
+                1,
+                "message {i} must differ by exactly one bit"
+            );
+        }
+        assert!(inbox.windows(2).all(|w| w[0] <= w[1]), "inbox must stay sorted");
+    }
+
+    #[test]
+    fn robust_delivers_intact_under_heavy_drop() {
+        // 40% drop: every message should still get through within 8
+        // attempts (P[fail] = 0.4^8 ≈ 6.6e-4 per message; with this seed
+        // and 64 messages none exhausts), payloads untouched, retries and
+        // penalty charged.
+        let mut st = FaultState::new(Kind::Robust, plan(77, 400_000, 0, 0), 0, 4);
+        let mut c = FaultCounters::default();
+        let mut inbox: Vec<(VertexId, Word)> =
+            (0..64).map(|i| (i as VertexId % 4, 1000 + i)).collect();
+        inbox.sort_unstable();
+        let before = inbox.clone();
+        st.filter_inbox(0, 2, &mut inbox, &mut c);
+        assert_eq!(inbox, before, "robust mode must deliver every payload intact");
+        assert!(c.dropped > 0, "at 40% some first attempts must fail");
+        assert!(c.retries > 0);
+        assert!(c.penalty >= 1);
+        assert!(!c.exhausted);
+    }
+
+    #[test]
+    fn robust_exhausts_when_nothing_can_get_through() {
+        let mut st = FaultState::new(Kind::Robust, plan(3, PPM_SCALE as u32, 0, 0), 0, 4);
+        let mut c = FaultCounters::default();
+        let mut inbox = vec![(0 as VertexId, 7 as Word)];
+        st.filter_inbox(0, 1, &mut inbox, &mut c);
+        // The message still lands (losing it would wedge the destination's
+        // state machine) but the run is flagged and fully charged.
+        assert_eq!(inbox, vec![(0, 7)]);
+        assert!(c.exhausted);
+        assert_eq!(c.dropped, u64::from(MAX_ATTEMPTS));
+        assert_eq!(c.retries, u64::from(MAX_ATTEMPTS - 1));
+        assert_eq!(c.penalty, (1 << (MAX_ATTEMPTS - 1)) - 1);
+    }
+
+    #[test]
+    fn robust_crash_trips_charge_penalty_without_killing() {
+        let mut st = FaultState::new(Kind::Robust, plan(5, 0, 0, PPM_SCALE as u32), 0, 4);
+        let mut c = FaultCounters::default();
+        st.begin_round(0, &mut c);
+        assert_eq!(c.crashed, 4);
+        assert_eq!(c.penalty, 1);
+        assert!(!st.is_crashed(0), "robust crashes recover, flags stay clear");
+    }
+
+    #[test]
+    fn sharded_slices_reproduce_the_sequential_schedule() {
+        let n = 32;
+        let p = plan(123, 0, 0, 200_000);
+        let mut seq = FaultState::new(Kind::Chaos, p, 0, n);
+        let mut cs = FaultCounters::default();
+        for round in 0..20 {
+            seq.begin_round(round, &mut cs);
+        }
+        // Same schedule evaluated in 3 uneven slices per round.
+        let mut sharded = FaultState::new(Kind::Chaos, p, 0, n);
+        let mut cp = FaultCounters::default();
+        for round in 0..20 {
+            let (view, crashed) = sharded.split();
+            let (a, rest) = crashed.split_at_mut(5);
+            let (b, c) = rest.split_at_mut(11);
+            view.begin_round_slice(round, 0, a, &mut cp);
+            view.begin_round_slice(round, 5, b, &mut cp);
+            view.begin_round_slice(round, 16, c, &mut cp);
+        }
+        assert_eq!(seq.crashed, sharded.crashed);
+        assert_eq!(cs, cp);
+        assert!(cs.crashed > 0, "20% over 20 rounds must crash someone");
+    }
+
+    #[test]
+    fn counters_merge_sums_and_maxes() {
+        let mut a = FaultCounters {
+            dropped: 1,
+            corrupted: 2,
+            crashed: 3,
+            retries: 4,
+            penalty: 3,
+            exhausted: false,
+        };
+        let b = FaultCounters {
+            dropped: 10,
+            corrupted: 20,
+            crashed: 30,
+            retries: 40,
+            penalty: 2,
+            exhausted: true,
+        };
+        a.merge(&b);
+        assert_eq!(
+            a,
+            FaultCounters {
+                dropped: 11,
+                corrupted: 22,
+                crashed: 33,
+                retries: 44,
+                penalty: 3,
+                exhausted: true,
+            }
+        );
+    }
+
+    #[test]
+    fn with_mode_collects_stats_and_is_reentrant() {
+        let mode = FaultMode::Chaos(plan(1, 0, 0, PPM_SCALE as u32));
+        let ((), stats) = with_mode(mode, || {
+            assert!(ambient_active());
+            // Inner scope is transparent: the outer plan stays armed.
+            let ((), inner) = with_mode(FaultMode::Chaos(plan(2, 0, 0, 0)), || {
+                let mut st = engine_state(4).expect("scope armed");
+                let mut c = FaultCounters::default();
+                st.begin_round(0, &mut c);
+                st.absorb_round(&c);
+                st.flush_step();
+            });
+            assert_eq!(inner, RunStats::default());
+        });
+        assert_eq!(stats.crashed, 4, "outer scope must own the stats");
+        assert!(!ambient_active());
+        assert!(engine_state(4).is_none(), "no scope, no state");
+    }
+
+    #[test]
+    fn with_mode_clears_the_scope_on_panic() {
+        let caught = std::panic::catch_unwind(|| {
+            with_mode(FaultMode::Chaos(plan(1, 1, 1, 1)), || panic!("boom"))
+        });
+        assert!(caught.is_err());
+        assert!(!ambient_active(), "panic must not leak the fault scope");
+    }
+
+    #[test]
+    fn engine_state_draws_independent_streams_per_execution() {
+        let mode = FaultMode::Chaos(plan(42, 500_000, 0, 0));
+        let ((s0, s1), _) = with_mode(mode, || {
+            let a = engine_state(4).unwrap();
+            let b = engine_state(4).unwrap();
+            (a.view().exec_seed, b.view().exec_seed)
+        });
+        assert_ne!(s0, s1, "consecutive executions must not share a stream");
+        // Re-arming the same plan reproduces the same stream sequence.
+        let ((t0, t1), _) = with_mode(mode, || {
+            let a = engine_state(4).unwrap();
+            let b = engine_state(4).unwrap();
+            (a.view().exec_seed, b.view().exec_seed)
+        });
+        assert_eq!((s0, s1), (t0, t1));
+    }
+
+    #[test]
+    fn flush_step_reports_deltas_once() {
+        let mode = FaultMode::Chaos(plan(1, 0, 0, PPM_SCALE as u32));
+        let ((), stats) = with_mode(mode, || {
+            let mut st = engine_state(3).unwrap();
+            let mut c = FaultCounters::default();
+            st.begin_round(0, &mut c);
+            st.absorb_round(&c);
+            st.flush_step();
+            // Second flush with no new faults must add nothing.
+            st.flush_step();
+        });
+        assert_eq!(stats.crashed, 3);
+    }
+}

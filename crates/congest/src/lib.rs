@@ -44,6 +44,7 @@
 
 pub mod cluster;
 pub mod engine;
+pub mod faults;
 pub mod graph;
 pub mod metrics;
 pub mod network;

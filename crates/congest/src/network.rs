@@ -7,6 +7,7 @@
 //! fully deterministic: vertices are stepped in increasing id order and
 //! inboxes are sorted by sender id.
 
+use crate::faults::{FaultCounters, FaultState};
 use crate::graph::{Graph, VertexId};
 use crate::metrics::CostReport;
 
@@ -117,6 +118,10 @@ pub struct Network<'g, P> {
     /// whether `busy`/`nonempty` reflect a completed step (false until the
     /// first `step`, when `is_quiescent` still needs the full scan)
     counters_valid: bool,
+    /// fault-injection state, armed only when the constructing thread had a
+    /// [`crate::faults::with_mode`] scope active; `None` (the default) costs
+    /// one branch per step
+    faults: Option<FaultState>,
 }
 
 impl<'g, P: Protocol> Network<'g, P> {
@@ -149,6 +154,7 @@ impl<'g, P: Protocol> Network<'g, P> {
             busy: 0,
             nonempty: 0,
             counters_valid: false,
+            faults: crate::faults::engine_state(n),
         }
     }
 
@@ -200,8 +206,19 @@ impl<'g, P: Protocol> Network<'g, P> {
         // clearing (rounds — and thus stamps — only ever grow, including
         // across consecutive `run` calls on a reused engine)
         let stamp = round + 1;
+        let mut fc = FaultCounters::default();
+        if let Some(fs) = &mut self.faults {
+            fs.begin_round(round, &mut fc);
+        }
         let mut busy = 0usize;
         for v in 0..n {
+            // A chaos-crashed vertex is crash-stop: it computes nothing,
+            // sends nothing, counts as done, and its pending inbox is
+            // drained so quiescence detection still converges.
+            if self.faults.as_ref().is_some_and(|fs| fs.is_crashed(v)) {
+                self.inboxes[v].clear();
+                continue;
+            }
             let state = &mut self.states[v];
             state.on_round(round, &self.inboxes[v], &mut self.outbox, self.graph);
             self.inboxes[v].clear();
@@ -228,14 +245,24 @@ impl<'g, P: Protocol> Network<'g, P> {
         }
         timer.split();
         let mut nonempty = 0usize;
-        for b in &mut self.next_inboxes {
+        for (to, b) in self.next_inboxes.iter_mut().enumerate() {
             b.sort_unstable();
+            // Fault choke point: the inbox is fully assembled and sorted, so
+            // every decision (keyed by destination, sender, and position in
+            // this order) is identical at any shard count.
+            if let Some(fs) = &mut self.faults {
+                fs.filter_inbox(round, to as VertexId, b, &mut fc);
+            }
             nonempty += usize::from(!b.is_empty());
         }
         std::mem::swap(&mut self.inboxes, &mut self.next_inboxes);
         self.busy = busy;
         self.nonempty = nonempty;
         self.counters_valid = true;
+        if let Some(fs) = &mut self.faults {
+            fs.absorb_round(&fc);
+            fs.flush_step();
+        }
         self.round += 1;
         let split = timer.finish_split(&obs::metrics().engine_seq);
         // Transcript hook: after the swap, `inboxes` walked in destination
@@ -276,6 +303,17 @@ impl<'g, P: Protocol> Network<'g, P> {
     /// Messages delivered so far.
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// Extra rounds charged by the fault layer (robust retry backoff and
+    /// crash recovery); zero when faults are off.
+    pub fn fault_penalty_rounds(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultState::penalty_rounds)
+    }
+
+    /// Fault statistics accumulated so far; `None` when faults are off.
+    pub fn fault_stats(&self) -> Option<crate::faults::RunStats> {
+        self.faults.as_ref().map(FaultState::stats)
     }
 }
 

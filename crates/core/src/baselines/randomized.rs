@@ -37,6 +37,17 @@ pub fn list_cliques_randomized(
     cfg: &ListingConfig,
     seed: u64,
 ) -> ListingOutcome {
+    // Same fault-scope contract as the deterministic driver: arm
+    // `cfg.faults` for every engine run of the recursion and surface the
+    // accumulated statistics on the report (transparent when an enclosing
+    // scope — e.g. the batch service's — is already active).
+    let (mut out, stats) =
+        congest::faults::with_mode(cfg.faults, || run_randomized(g, p, cfg, seed));
+    out.report.faults = stats;
+    out
+}
+
+fn run_randomized(g: &Graph, p: usize, cfg: &ListingConfig, seed: u64) -> ListingOutcome {
     assert!(p >= 3);
     let n = g.n();
     let mut current: Vec<(VertexId, VertexId)> = g.edges().collect();

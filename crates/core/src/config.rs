@@ -281,6 +281,16 @@ pub struct ListingConfig {
     /// the run finishes); the batch service honors it for every job,
     /// attaching the transcript to the `JobOutcome`.
     pub trace: trace::TraceMode,
+    /// Fault injection for the run (see [`congest::faults`]). Defaults to
+    /// the `CLIQUE_FAULTS` environment variable
+    /// (`off | plan:<seed>:<drop_ppm>:<corrupt_ppm>:<crash_ppm>` for the
+    /// self-healing robust mode, `chaos:…` for faults that land;
+    /// warn-and-fallback like `CLIQUE_OBS`). Robust mode completes with
+    /// answers byte-identical to the fault-free run — retries and crash
+    /// recovery consume the [`ListingConfig::round_cap`] /
+    /// [`ListingConfig::wall_budget`] deadline machinery — while chaos mode
+    /// lets drops, corruption, and crash-stops through to the protocols.
+    pub faults: congest::faults::FaultMode,
 }
 
 impl Default for ListingConfig {
@@ -297,6 +307,7 @@ impl Default for ListingConfig {
             round_cap: None,
             wall_budget: None,
             trace: trace::mode_from_env_uncached(),
+            faults: congest::faults::mode_from_env_uncached(),
         }
     }
 }

@@ -134,6 +134,7 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
             protocol: format!("listing:p={p}"),
             engine: engine.to_string(),
             seed: p as u64,
+            faults: cfg.faults.descriptor(),
         };
         let (out, transcript) =
             trace::capture(cfg.trace.fidelity, header, || run_listing(sel, g, p, cfg));
@@ -148,9 +149,27 @@ pub fn list_cliques_congest_with<S: EngineSelect>(
     run_listing(sel, g, p, cfg)
 }
 
+/// The deterministic listing recursion with `cfg.faults` armed for its
+/// engine runs: every engine the recursion constructs draws its decision
+/// stream from the ambient fault scope, and the accumulated fault
+/// statistics land in `report.faults`. When an enclosing scope is already
+/// active (the batch service arms one per job), the inner scope is
+/// transparent and the outer owner collects the stats instead.
+fn run_listing<S: EngineSelect>(
+    sel: &S,
+    g: &Graph,
+    p: usize,
+    cfg: &ListingConfig,
+) -> ListingOutcome {
+    let (mut out, stats) =
+        congest::faults::with_mode(cfg.faults, || run_listing_inner(sel, g, p, cfg));
+    out.report.faults = stats;
+    out
+}
+
 /// The deterministic listing recursion (Theorem 1 / Theorem 36), engine-
 /// and capture-agnostic.
-fn run_listing<S: EngineSelect>(
+fn run_listing_inner<S: EngineSelect>(
     sel: &S,
     g: &Graph,
     p: usize,

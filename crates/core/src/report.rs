@@ -43,6 +43,13 @@ pub struct RunReport {
     /// together with `CostReport::truncated`). Lets callers distinguish a
     /// wall-deadline miss from a round-budget one.
     pub wall_exceeded: bool,
+    /// Fault-layer accounting for the run (all zero when
+    /// [`ListingConfig::faults`](crate::ListingConfig::faults) is off):
+    /// drops, corruptions, crashes, robust retries, the backoff rounds
+    /// charged against the budget, and whether any message exhausted its
+    /// retry budget (`faults.exhausted` — the run's answers are suspect
+    /// and the service surfaces it as a typed `JobError`).
+    pub faults: congest::faults::RunStats,
 }
 
 impl RunReport {
@@ -88,6 +95,18 @@ impl std::fmt::Display for RunReport {
                 ""
             }
         )?;
+        if self.faults != congest::faults::RunStats::default() {
+            writeln!(
+                f,
+                "  faults: {} dropped, {} corrupted, {} crashed, {} retries, {} penalty rounds{}",
+                self.faults.dropped,
+                self.faults.corrupted,
+                self.faults.crashed,
+                self.faults.retries,
+                self.faults.penalty_rounds,
+                if self.faults.exhausted { " (RETRY BUDGET EXHAUSTED)" } else { "" }
+            )?;
+        }
         for l in &self.levels {
             writeln!(
                 f,

@@ -443,11 +443,13 @@ pub enum WarnKind {
     TraceEnv,
     /// A captured transcript (or chrome-trace export) failed to write.
     TraceWrite,
+    /// Unrecognized `CLIQUE_FAULTS` value (fault injection stays off).
+    FaultsEnv,
 }
 
 impl WarnKind {
     /// All kinds, in rendering order.
-    pub const ALL: [WarnKind; 11] = [
+    pub const ALL: [WarnKind; 12] = [
         WarnKind::ShardsEnv,
         WarnKind::EngineEnv,
         WarnKind::AdmitEnv,
@@ -459,6 +461,7 @@ impl WarnKind {
         WarnKind::BenchWrite,
         WarnKind::TraceEnv,
         WarnKind::TraceWrite,
+        WarnKind::FaultsEnv,
     ];
 
     /// Number of kinds (the warning-counter array length).
@@ -478,6 +481,7 @@ impl WarnKind {
             WarnKind::BenchWrite => "bench_write",
             WarnKind::TraceEnv => "trace_env",
             WarnKind::TraceWrite => "trace_write",
+            WarnKind::FaultsEnv => "faults_env",
         }
     }
 }
@@ -642,6 +646,20 @@ pub struct Metrics {
     pub corpus_persist_err: Counter,
     /// Expander-decomposition chunk batches dispatched.
     pub expander_chunk_batches: Counter,
+    /// Messages removed by the fault layer (planted drops, messages to
+    /// crashed vertices, and retry-exhausted messages in robust mode).
+    pub faults_dropped: Counter,
+    /// Payloads corrupted by the fault layer (chaos deliveries and failed
+    /// robust-mode attempts).
+    pub faults_corrupted: Counter,
+    /// Vertex-crash trips (crash-stop in chaos mode; counted-and-recovered
+    /// in robust mode).
+    pub faults_crashed: Counter,
+    /// Robust-mode redeliveries (one per extra attempt a message needed).
+    pub fault_retries: Counter,
+    /// Robust-mode per-message backoff penalty, in simulated rounds
+    /// (`2^(attempts-1) - 1` for a message delivered on its n-th attempt).
+    pub fault_retry_backoff_rounds: Histogram,
     warnings: [Counter; WarnKind::COUNT],
 }
 
@@ -675,6 +693,11 @@ impl Metrics {
             corpus_persist_ok: Counter::new(),
             corpus_persist_err: Counter::new(),
             expander_chunk_batches: Counter::new(),
+            faults_dropped: Counter::new(),
+            faults_corrupted: Counter::new(),
+            faults_crashed: Counter::new(),
+            fault_retries: Counter::new(),
+            fault_retry_backoff_rounds: Histogram::new(),
             warnings: [const { Counter::new() }; WarnKind::COUNT],
         }
     }
@@ -807,6 +830,16 @@ pub struct Snapshot {
     pub corpus_persist_err: u64,
     /// Expander chunk batches.
     pub expander_chunk_batches: u64,
+    /// Messages removed by the fault layer.
+    pub faults_dropped: u64,
+    /// Payloads corrupted by the fault layer.
+    pub faults_corrupted: u64,
+    /// Vertex-crash trips.
+    pub faults_crashed: u64,
+    /// Robust-mode redeliveries.
+    pub fault_retries: u64,
+    /// Robust-mode backoff penalty histogram (simulated rounds).
+    pub fault_retry_backoff_rounds: HistSnapshot,
     /// Per-kind warning counts, in [`WarnKind::ALL`] order.
     pub warnings: Vec<(&'static str, u64)>,
 }
@@ -848,6 +881,11 @@ pub fn snapshot() -> Snapshot {
         corpus_persist_ok: m.corpus_persist_ok.get(),
         corpus_persist_err: m.corpus_persist_err.get(),
         expander_chunk_batches: m.expander_chunk_batches.get(),
+        faults_dropped: m.faults_dropped.get(),
+        faults_corrupted: m.faults_corrupted.get(),
+        faults_crashed: m.faults_crashed.get(),
+        fault_retries: m.fault_retries.get(),
+        fault_retry_backoff_rounds: m.fault_retry_backoff_rounds.snap(),
         warnings: WarnKind::ALL.iter().map(|&k| (k.name(), warn_count(k))).collect(),
     }
 }
@@ -897,6 +935,8 @@ impl Snapshot {
                 "  \"corpus\": {{\"hits\": {ch}, \"misses\": {cm}, \"warms\": {cw}, ",
                 "\"persist_ok\": {po}, \"persist_err\": {pe}}},\n",
                 "  \"expander\": {{\"chunk_batches\": {ec}}},\n",
+                "  \"faults\": {{\"dropped\": {fd}, \"corrupted\": {fc}, ",
+                "\"crashed\": {fx}, \"retries\": {fr}, \"retry_backoff_rounds\": {fb}}},\n",
                 "  \"warnings\": {{{wn}}}\n",
                 "}}"
             ),
@@ -926,6 +966,11 @@ impl Snapshot {
             po = self.corpus_persist_ok,
             pe = self.corpus_persist_err,
             ec = self.expander_chunk_batches,
+            fd = self.faults_dropped,
+            fc = self.faults_corrupted,
+            fx = self.faults_crashed,
+            fr = self.fault_retries,
+            fb = json_hist(&self.fault_retry_backoff_rounds),
             wn = warnings.join(", "),
         )
     }
@@ -981,6 +1026,16 @@ impl Snapshot {
         line!("clique_corpus_persist_ok_total {}", self.corpus_persist_ok);
         line!("clique_corpus_persist_err_total {}", self.corpus_persist_err);
         line!("clique_expander_chunk_batches_total {}", self.expander_chunk_batches);
+        line!("# TYPE clique_faults_dropped_total counter");
+        line!("clique_faults_dropped_total {}", self.faults_dropped);
+        line!("clique_faults_corrupted_total {}", self.faults_corrupted);
+        line!("clique_faults_crashed_total {}", self.faults_crashed);
+        line!("clique_fault_retries_total {}", self.fault_retries);
+        render_hist(
+            &mut out,
+            "clique_fault_retry_backoff_rounds",
+            &self.fault_retry_backoff_rounds,
+        );
         line!("# TYPE clique_warnings_total counter");
         for (kind, v) in &self.warnings {
             line!("clique_warnings_total{{kind=\"{kind}\"}} {v}");
@@ -1365,6 +1420,7 @@ mod tests {
             "\"sched\"",
             "\"corpus\"",
             "\"expander\"",
+            "\"faults\"",
             "\"warnings\"",
             "\"compute_ns\"",
             "\"lease_wait_ns\"",

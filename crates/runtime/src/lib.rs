@@ -38,6 +38,7 @@
 use std::sync::{Arc, OnceLock};
 
 use congest::engine::{shard_of, shard_range, Engine, EngineSelect};
+use congest::faults::{FaultCounters, FaultState};
 use congest::graph::{Graph, VertexId};
 use congest::metrics::CostReport;
 use congest::network::{Outbox, Protocol, Word};
@@ -72,6 +73,12 @@ struct ShardScratch {
     done: bool,
     /// Whether every owned inbox ended the round empty (exchange phase).
     empty: bool,
+    /// Fault events this shard observed this round (compute phase writes
+    /// the crash counts, exchange phase merges the drop/corrupt counts;
+    /// both tasks of a round own the same scratch index). Merged in shard
+    /// order on the submitting thread — deterministic at any thread
+    /// interleaving.
+    faults: FaultCounters,
 }
 
 /// The sharded parallel round engine. See the crate docs for the two-phase
@@ -102,6 +109,12 @@ pub struct ShardedNetwork<'g, P> {
     /// Whether `scratch` holds the flags of a completed step (false until
     /// the first `step`, when `is_quiescent` falls back to a full scan).
     stepped: bool,
+    /// Fault-injection state, armed only when the constructing thread had
+    /// a [`congest::faults::with_mode`] scope active. The crash flags are
+    /// handed to the phase tasks as disjoint per-shard slices (same
+    /// partition as states/inboxes); all decision functions are pure, so
+    /// the faulted transcript is identical at any shard count.
+    faults: Option<FaultState>,
 }
 
 impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
@@ -162,6 +175,7 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
                     sent: 0,
                     done: false,
                     empty: false,
+                    faults: FaultCounters::default(),
                 }
             })
             .collect();
@@ -177,6 +191,7 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
             scratch,
             buckets: (0..shards * shards).map(|_| Vec::new()).collect(),
             stepped: false,
+            faults: congest::faults::engine_state(n),
         }
     }
 
@@ -236,6 +251,17 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
         let inboxes = SlicePtr::new(&mut self.inboxes);
         let scratch = SlicePtr::new(&mut self.scratch);
         let buckets = SlicePtr::new(&mut self.buckets);
+        // Fault view (pure, `Copy`) plus the crash flags, which use the
+        // same contiguous shard partition as states/inboxes: phase 1 task
+        // `s` and phase 2 task `d` each touch only `shard_range` flags, so
+        // every reborrow is exclusive and the phases are barrier-separated.
+        let (fault_view, fault_crashed) = match self.faults.as_mut() {
+            Some(fs) => {
+                let (view, crashed) = fs.split();
+                (Some(view), Some(SlicePtr::new(crashed)))
+            }
+            None => (None, None),
+        };
 
         // Phase 1: compute. Each shard steps its own vertices, draining
         // each inbox it read (clear, capacity retained) and sorting the
@@ -248,10 +274,28 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
             let inboxes = unsafe { inboxes.slice_mut(lo, hi - lo) };
             let sc = unsafe { scratch.index_mut(s) };
             let row = unsafe { buckets.slice_mut(s * shards, shards) };
+            let mut fcount = FaultCounters::default();
+            let crashed: &mut [bool] = match (fault_view, fault_crashed) {
+                (Some(view), Some(cp)) => {
+                    // SAFETY: same shard partition as states — disjoint.
+                    let c = unsafe { cp.slice_mut(lo, hi - lo) };
+                    view.begin_round_slice(round, lo, c, &mut fcount);
+                    c
+                }
+                _ => &mut [],
+            };
+            let chaos = fault_view.is_some_and(|v| v.is_chaos());
             let mut sent = 0u64;
             let mut all_done = true;
             for (i, state) in states.iter_mut().enumerate() {
                 let v = (lo + i) as VertexId;
+                // A chaos-crashed vertex is crash-stop: it computes
+                // nothing, sends nothing, counts as done, and its pending
+                // inbox is drained so quiescence detection converges.
+                if chaos && crashed[i] {
+                    inboxes[i].clear();
+                    continue;
+                }
                 state.on_round(round, &inboxes[i], &mut sc.outbox, graph);
                 inboxes[i].clear();
                 all_done &= state.done();
@@ -275,6 +319,7 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
             }
             sc.sent = sent;
             sc.done = all_done;
+            sc.faults = fcount;
         });
 
         // Fold sent counts in shard order (deterministic sum).
@@ -302,15 +347,43 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
                 }
                 bucket.clear();
             }
+            let crashed: &[bool] = match (fault_view, fault_crashed) {
+                // SAFETY: task `d` reads only its own shard's flags, which
+                // phase 1's task `d` wrote before the barrier — disjoint.
+                (Some(_), Some(cp)) => unsafe { cp.slice_mut(lo, hi - lo) },
+                _ => &[],
+            };
+            let chaos = fault_view.is_some_and(|v| v.is_chaos());
+            let mut fcount = FaultCounters::default();
             let mut empty = true;
-            for inbox in inboxes.iter_mut() {
+            for (i, inbox) in inboxes.iter_mut().enumerate() {
                 inbox.sort_unstable();
+                // Fault choke point: the inbox is fully assembled and
+                // sorted, so every decision (keyed by destination, sender,
+                // and position in this order) is identical at any shard
+                // count.
+                if let Some(view) = fault_view {
+                    let to = (lo + i) as VertexId;
+                    view.filter_inbox(round, to, chaos && crashed[i], inbox, &mut fcount);
+                }
                 empty &= inbox.is_empty();
             }
             sc.empty = empty;
+            sc.faults.merge(&fcount);
         });
 
         self.stepped = true;
+        if let Some(fs) = self.faults.as_mut() {
+            // Fold the per-shard fault counters in shard order (sums, max
+            // for penalty, or for exhaustion — merge is commutative, so the
+            // totals are identical at any thread interleaving).
+            let mut total = FaultCounters::default();
+            for sc in &self.scratch {
+                total.merge(&sc.faults);
+            }
+            fs.absorb_round(&total);
+            fs.flush_step();
+        }
         self.round += 1;
         let split = timer.finish_split(&obs::metrics().engine_sharded);
         // Transcript hook, on the submitting thread after the phase-2
@@ -351,6 +424,17 @@ impl<'g, P: Protocol + Send> ShardedNetwork<'g, P> {
     /// Messages delivered so far.
     pub fn messages(&self) -> u64 {
         self.messages
+    }
+
+    /// Extra rounds charged by the fault layer (robust retry backoff and
+    /// crash recovery); zero when faults are off.
+    pub fn fault_penalty_rounds(&self) -> u64 {
+        self.faults.as_ref().map_or(0, FaultState::penalty_rounds)
+    }
+
+    /// Fault statistics accumulated so far; `None` when faults are off.
+    pub fn fault_stats(&self) -> Option<congest::faults::RunStats> {
+        self.faults.as_ref().map(FaultState::stats)
     }
 
     /// Whether every vertex is done and no messages are in flight.
@@ -396,6 +480,10 @@ impl<P: Protocol + Send> Engine<P> for ShardedNetwork<'_, P> {
 
     fn is_quiescent(&self) -> bool {
         ShardedNetwork::is_quiescent(self)
+    }
+
+    fn fault_penalty_rounds(&self) -> u64 {
+        ShardedNetwork::fault_penalty_rounds(self)
     }
 }
 
@@ -726,6 +814,52 @@ mod tests {
         assert_eq!(pool.active_leases(), 1);
         drop(lease);
         assert_eq!(pool.active_leases(), 0);
+    }
+
+    #[test]
+    fn crashed_vertices_with_undelivered_inboxes_still_quiesce() {
+        use congest::faults::{with_mode, FaultMode, FaultPlan};
+
+        // Restless vertices never report done and re-send every round, so
+        // the only way this run terminates is every vertex crash-stopping.
+        // Before the drain-on-crash fix, a vertex that crashed with
+        // messages still in its inbox kept `is_quiescent` false forever
+        // (its shard's `empty` flag never cleared) and the run truncated.
+        struct Restless(VertexId);
+        impl Protocol for Restless {
+            fn on_round(&mut self, _r: u64, _i: &[(VertexId, Word)], out: &mut Outbox, g: &Graph) {
+                for &v in g.neighbors(self.0) {
+                    out.send(v, 0);
+                }
+            }
+            fn done(&self) -> bool {
+                false
+            }
+        }
+        let g = ring(12);
+        // 20% per-vertex per-round crash rate: with this seed every vertex
+        // is gone within the round budget, with plenty of messages in
+        // flight at each crash.
+        let mode = FaultMode::Chaos(FaultPlan {
+            seed: 424_242,
+            drop_ppm: 0,
+            corrupt_ppm: 0,
+            crash_ppm: 200_000,
+        });
+        for shards in [1usize, 3] {
+            let ((report, messages), stats) = with_mode(mode, || {
+                let mut net =
+                    ShardedNetwork::with_config(&g, (0..12).map(Restless).collect(), 1, shards);
+                let report = net.run(500);
+                (report, net.messages())
+            });
+            assert!(
+                !report.truncated,
+                "crash-stop must quiesce the run (shards = {shards}): {report:?}"
+            );
+            assert_eq!(stats.crashed, 12, "every vertex must crash eventually");
+            assert!(messages > 0, "messages must have been in flight");
+        }
     }
 
     #[test]

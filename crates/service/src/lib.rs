@@ -274,6 +274,12 @@ pub struct JobReport {
     pub truncated: bool,
     /// Whether the exhaustive fallback closed the run.
     pub fallback_used: bool,
+    /// Fault-layer accounting (all zero unless the job's
+    /// [`ListingConfig::faults`] armed a plan). Deterministic like the
+    /// rest of the report: fault decisions are keyed on the plan seed and
+    /// shard-invariant message coordinates, so the same job reports the
+    /// same drops/retries at every worker count.
+    pub faults: congest::faults::RunStats,
 }
 
 /// Why a job failed. Failures are **typed values**, not worker crashes: a
@@ -320,6 +326,15 @@ pub enum JobError {
     UnknownFingerprint(u64),
     /// The algorithm itself panicked (bad `p`, adversarial config).
     Panicked(String),
+    /// The run's self-healing fault transport lost a message for good:
+    /// some delivery failed all of its retry attempts
+    /// (`congest::faults::MAX_ATTEMPTS`), so the answers cannot be
+    /// trusted. Only reachable with a robust fault plan armed
+    /// ([`ListingConfig::faults`]); deterministic for a fixed plan.
+    FaultBudgetExhausted {
+        /// Robust retries performed before the run was abandoned.
+        retries: u64,
+    },
     /// The job was shed at submit time: the backlog was already at the
     /// configured [queue cap](Service::with_queue_cap). Deterministic for
     /// an atomic batch (the whole batch is pushed under one queue lock,
@@ -358,6 +373,11 @@ impl std::fmt::Display for JobError {
                 write!(f, "no cached graph with fingerprint {fp:#018x}")
             }
             JobError::Panicked(msg) => write!(f, "{msg}"),
+            JobError::FaultBudgetExhausted { retries } => write!(
+                f,
+                "fault retry budget exhausted: a message failed every delivery attempt \
+                 ({retries} retries performed)"
+            ),
             JobError::Rejected { queue_depth, queue_cap } => write!(
                 f,
                 "rejected at submit: queue depth {queue_depth} is at the cap of {queue_cap}"
@@ -1396,6 +1416,13 @@ fn execute_job(
         Arc::new(t)
     });
     let report = ran.and_then(|(cliques, report)| {
+        // Fault-transport exhaustion is classified before the deadline
+        // checks: a run that lost a message for good has untrustworthy
+        // answers no matter how many rounds it used, and the classification
+        // is deterministic for a fixed fault plan.
+        if report.faults.exhausted {
+            return Err(JobError::FaultBudgetExhausted { retries: report.faults.retries });
+        }
         // The deterministic round-deadline classification runs FIRST,
         // mirroring the checkpoint order inside the drivers: a job that
         // missed its round budget must report DeadlineExceeded on every
@@ -1436,6 +1463,7 @@ fn execute_job(
             depth: report.depth,
             truncated: report.truncated(),
             fallback_used: report.fallback_used,
+            faults: report.faults,
         })
     });
     JobOutcome { report, cache_hit, latency: submitted.elapsed(), trace: job_trace }
@@ -1459,7 +1487,13 @@ fn job_trace_header(job: &Job, cfg: &ListingConfig, fp: u64) -> trace::Header {
         Algo::Randomized { seed } => seed,
         _ => job.p as u64,
     };
-    trace::Header { graph_fingerprint: fp, protocol: format!("{algo}:p={}", job.p), engine, seed }
+    trace::Header {
+        graph_fingerprint: fp,
+        protocol: format!("{algo}:p={}", job.p),
+        engine,
+        seed,
+        faults: cfg.faults.descriptor(),
+    }
 }
 
 /// Runs the selected algorithm; pure in `(graph, job, cfg)` — `pool` only

@@ -103,6 +103,36 @@ fn shedding_run(workers: usize, level: obs::Level) -> (Vec<Ticket>, Vec<String>)
     (svc.pop_log(), reports)
 }
 
+/// The same batch with a robust fault plan armed on every job: fault
+/// decisions are keyed on the plan seed and shard-invariant message
+/// coordinates, never on telemetry state, so outcomes — the per-job
+/// drop/retry accounting included — must be identical with telemetry on
+/// vs off even while the fault counters themselves are being written.
+fn faulted_run(workers: usize, level: obs::Level) -> (Vec<Ticket>, Vec<String>) {
+    obs::set_level(level);
+    let plan = congest::faults::FaultPlan {
+        seed: 0xFA117,
+        drop_ppm: 100_000,
+        corrupt_ppm: 50_000,
+        crash_ppm: 2_000,
+    };
+    let jobs: Vec<Job> = parity_jobs()
+        .into_iter()
+        .map(|mut j| {
+            j.config.faults = congest::faults::FaultMode::Robust(plan);
+            j
+        })
+        .collect();
+    let svc = Service::new(workers).with_pop_log();
+    let outcomes = svc.run_batch(jobs);
+    assert!(
+        outcomes.iter().any(|o| o.report.as_ref().is_ok_and(|r| r.faults.retries > 0)),
+        "the fault plan must actually force retries for the parity check to mean anything"
+    );
+    let reports: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+    (svc.pop_log(), reports)
+}
+
 #[test]
 fn telemetry_is_invisible_to_transcripts_and_pop_order() {
     for shards in [1usize, 2, 8] {
@@ -123,6 +153,12 @@ fn telemetry_is_invisible_to_transcripts_and_pop_order() {
         let on = shedding_run(workers, obs::Level::On);
         assert_eq!(off.0, on.0, "shed pop order diverged with telemetry on ({workers} workers)");
         assert_eq!(off.1, on.1, "shed outcomes diverged with telemetry on ({workers} workers)");
+    }
+    for workers in [1usize, 2] {
+        let off = faulted_run(workers, obs::Level::Off);
+        let on = faulted_run(workers, obs::Level::On);
+        assert_eq!(off.0, on.0, "faulted pop order diverged with telemetry on ({workers} workers)");
+        assert_eq!(off.1, on.1, "faulted outcomes diverged with telemetry on ({workers} workers)");
     }
     obs::set_level(obs::Level::Off);
 }

@@ -75,6 +75,11 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
         let _ = trace::mode_from_env_uncached();
         std::env::remove_var("CLIQUE_TRACE");
 
+        // FaultsEnv: garbage CLIQUE_FAULTS falls back to faults-off
+        std::env::set_var("CLIQUE_FAULTS", "mayhem");
+        let _ = congest::faults::mode_from_env_uncached();
+        std::env::remove_var("CLIQUE_FAULTS");
+
         // TraceWrite: a traced job whose transcript path cannot be
         // written completes anyway (the transcript still rides the
         // outcome; only the file write warns)
@@ -121,6 +126,7 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
     assert_one_line(&lines, "no longer matches its fingerprint");
     assert_one_line(&lines, "could not persist the graph corpus");
     assert_one_line(&lines, "CLIQUE_TRACE");
+    assert_one_line(&lines, "CLIQUE_FAULTS");
     assert_one_line(&lines, "failed to write transcript");
     assert_one_line(&lines, "could not write BENCH_test.json");
     for line in &lines {

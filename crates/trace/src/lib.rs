@@ -181,10 +181,46 @@ pub fn mode_from_env_uncached() -> TraceMode {
 // Transcript data model
 // ---------------------------------------------------------------------------
 
-/// Identifies the run a transcript was captured from. `graph_fingerprint`
-/// and `protocol` are the replay contract ([`diff`] refuses to compare
-/// across them); `engine` and `seed` are informational (the whole point is
-/// that different engines produce the same stream).
+/// The fault plan a transcript was recorded under, serialized into every
+/// header so `experiments replay` can re-arm the exact same fault schedule
+/// from the file alone. Defined here (rather than in `congest::faults`,
+/// which owns the semantics) because this crate is a leaf dependency of
+/// `congest`; the faults module converts to and from this descriptor.
+///
+/// `mode` is the wire byte: `0` = no faults, `1` = chaos (faults land),
+/// `2` = robust (faults are retried/recovered). The three rates are
+/// parts-per-million probabilities per message (drop, corrupt) or per
+/// vertex per round (crash).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FaultDescriptor {
+    /// Fault-mode wire byte: `0` off, `1` chaos, `2` robust.
+    pub mode: u8,
+    /// Seed of the splitmix64 fault schedule.
+    pub seed: u64,
+    /// Message-drop probability, parts per million.
+    pub drop_ppm: u32,
+    /// Payload-corruption probability, parts per million.
+    pub corrupt_ppm: u32,
+    /// Per-vertex per-round crash probability, parts per million.
+    pub crash_ppm: u32,
+}
+
+impl FaultDescriptor {
+    /// The fault-free descriptor (mode byte 0, all rates zero).
+    pub const fn off() -> Self {
+        FaultDescriptor { mode: 0, seed: 0, drop_ppm: 0, corrupt_ppm: 0, crash_ppm: 0 }
+    }
+
+    /// True when the descriptor describes an armed fault plan.
+    pub fn is_on(&self) -> bool {
+        self.mode != 0
+    }
+}
+
+/// Identifies the run a transcript was captured from. `graph_fingerprint`,
+/// `protocol`, and `faults` are the replay contract ([`diff`] refuses to
+/// compare across them); `engine` and `seed` are informational (the whole
+/// point is that different engines produce the same stream).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Header {
     /// Content fingerprint of the input graph ([`graph_fingerprint`]).
@@ -195,6 +231,9 @@ pub struct Header {
     pub engine: String,
     /// Seed / parameter word of the run (protocol-defined).
     pub seed: u64,
+    /// The fault plan the run was recorded under
+    /// ([`FaultDescriptor::off`] for fault-free runs).
+    pub faults: FaultDescriptor,
 }
 
 /// One round of the canonical message stream, digested.
@@ -425,7 +464,8 @@ pub const TRACE_MAGIC: &[u8; 8] = b"CLQTRACE";
 
 /// Current format version. Bump on any layout change; readers reject other
 /// versions outright (no silent migration), like the corpus format.
-pub const TRACE_FORMAT_VERSION: u32 = 1;
+/// Version 2 added the header's [`FaultDescriptor`].
+pub const TRACE_FORMAT_VERSION: u32 = 2;
 
 /// Why a transcript failed to load.
 #[derive(Debug)]
@@ -537,6 +577,11 @@ impl Transcript {
         out.extend_from_slice(&self.header.seed.to_le_bytes());
         push_str(&mut out, &self.header.protocol);
         push_str(&mut out, &self.header.engine);
+        out.push(self.header.faults.mode);
+        out.extend_from_slice(&self.header.faults.seed.to_le_bytes());
+        out.extend_from_slice(&self.header.faults.drop_ppm.to_le_bytes());
+        out.extend_from_slice(&self.header.faults.corrupt_ppm.to_le_bytes());
+        out.extend_from_slice(&self.header.faults.crash_ppm.to_le_bytes());
         out.extend_from_slice(&(self.rounds.len() as u32).to_le_bytes());
         for r in &self.rounds {
             out.extend_from_slice(&r.round.to_le_bytes());
@@ -577,6 +622,17 @@ impl Transcript {
         let seed = r.u64()?;
         let protocol = read_str(&mut r)?;
         let engine = read_str(&mut r)?;
+        let fault_mode = r.u8()?;
+        if fault_mode > 2 {
+            return Err(TraceError::Malformed("unknown fault mode"));
+        }
+        let faults = FaultDescriptor {
+            mode: fault_mode,
+            seed: r.u64()?,
+            drop_ppm: r.u32()?,
+            corrupt_ppm: r.u32()?,
+            crash_ppm: r.u32()?,
+        };
         let round_count = r.u32()? as usize;
         if round_count > r.remaining() / 32 {
             return Err(TraceError::Malformed("round count exceeds data"));
@@ -609,7 +665,7 @@ impl Transcript {
             return Err(TraceError::Malformed("trailing bytes"));
         }
         Ok(Transcript {
-            header: Header { graph_fingerprint, protocol, engine, seed },
+            header: Header { graph_fingerprint, protocol, engine, seed, faults },
             fidelity,
             rounds,
             messages,
@@ -712,8 +768,10 @@ impl fmt::Display for TraceDiff {
 }
 
 /// Round-by-round comparison of two transcripts. Headers must agree on
-/// `graph_fingerprint` and `protocol` (engine and seed are informational —
-/// comparing a sequential recording against a sharded replay is the point).
+/// `graph_fingerprint`, `protocol`, and the fault descriptor (engine and
+/// seed are informational — comparing a sequential recording against a
+/// sharded replay is the point, but comparing runs under *different fault
+/// plans* is a category error: their streams legitimately differ).
 /// Reports the first divergent round with both sides' digests, and both
 /// sides' messages when both transcripts carry them.
 pub fn diff(a: &Transcript, b: &Transcript) -> TraceDiff {
@@ -722,6 +780,9 @@ pub fn diff(a: &Transcript, b: &Transcript) -> TraceDiff {
     }
     if a.header.protocol != b.header.protocol {
         return TraceDiff::HeaderMismatch("protocol");
+    }
+    if a.header.faults != b.header.faults {
+        return TraceDiff::HeaderMismatch("faults");
     }
     let common = a.rounds.len().min(b.rounds.len());
     for i in 0..common {
@@ -789,6 +850,7 @@ mod tests {
             protocol: "test:p=3".into(),
             engine: "sequential".into(),
             seed: 42,
+            faults: FaultDescriptor::off(),
         }
     }
 
@@ -898,11 +960,48 @@ mod tests {
         let mut foreign = record(Fidelity::Full);
         foreign.header.graph_fingerprint ^= 1;
         assert_eq!(diff(&a, &foreign), TraceDiff::HeaderMismatch("graph_fingerprint"));
+        // a different fault plan is a different run, not a divergence
+        let mut faulted = record(Fidelity::Full);
+        faulted.header.faults =
+            FaultDescriptor { mode: 1, seed: 9, drop_ppm: 100, corrupt_ppm: 0, crash_ppm: 0 };
+        assert_eq!(diff(&a, &faulted), TraceDiff::HeaderMismatch("faults"));
         // engine and seed are informational: replays legitimately differ there
         let mut replayed = record(Fidelity::Full);
         replayed.header.engine = "sharded".into();
         replayed.header.seed = 7;
         assert!(diff(&a, &replayed).is_identical());
+    }
+
+    #[test]
+    fn fault_descriptor_round_trips_through_the_byte_format() {
+        let mut rec = Recorder::new(Fidelity::Digest, header());
+        rec.begin_round(0);
+        rec.message(1, 0, 7);
+        rec.end_round(0, 0);
+        let mut t = rec.finish();
+        t.header.faults = FaultDescriptor {
+            mode: 2,
+            seed: 0x5eed_5eed_5eed_5eed,
+            drop_ppm: 1_000,
+            corrupt_ppm: 250,
+            crash_ppm: 10,
+        };
+        let bytes = t.to_bytes();
+        let back = Transcript::from_bytes(&bytes).expect("parses");
+        assert_eq!(back.header.faults, t.header.faults);
+        assert_eq!(back.to_bytes(), bytes, "re-encoding must be canonical");
+        // a corrupted mode byte (right after the engine string) is rejected
+        let engine_end = bytes
+            .windows("sequential".len())
+            .position(|w| w == b"sequential")
+            .expect("engine string present")
+            + "sequential".len();
+        let mut bad = bytes.clone();
+        bad[engine_end] = 3;
+        assert!(matches!(
+            Transcript::from_bytes(&bad),
+            Err(TraceError::Malformed("unknown fault mode"))
+        ));
     }
 
     #[test]

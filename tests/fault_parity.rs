@@ -1,0 +1,213 @@
+//! Property tests for the fault-injection layer (see `congest::faults`):
+//!
+//! 1. **Faulted transcript parity** — the same fault plan produces
+//!    byte-identical serialized transcripts on the sequential engine and
+//!    on the sharded engine at 1, 2, and 8 shards, for BFS, spanning
+//!    aggregation, two-hop collection, and full listing (p = 3, 4).
+//!    Faults are injected at the sorted-inbox choke point both engines
+//!    share, so the schedule is keyed on shard-invariant coordinates.
+//!    A chaos plan may break a protocol invariant and panic — that panic
+//!    is part of the deterministic behavior, so the suite compares
+//!    outcomes: all engines must agree on success bytes *or* on the
+//!    panic message.
+//! 2. **Zero-rate inertness** — a plan whose rates are all zero can never
+//!    trip, so its round stream is identical to a fault-free run's.
+//! 3. **Robust self-healing** — a robust-mode listing under planted fault
+//!    rates answers exactly like the fault-free run, on every engine,
+//!    while actually performing retries.
+
+use clique_listing::{list_cliques_congest_with, ListingConfig};
+use congest::engine::EngineSelect;
+use congest::faults::{FaultMode, FaultPlan};
+use congest::graph::Graph;
+use congest::protocols::{aggregate_sum_on, collect_two_hop_on, distributed_bfs_on};
+use congest::Sequential;
+use proptest::prelude::*;
+use runtime::Sharded;
+
+#[derive(Clone, Copy, Debug)]
+enum Proto {
+    Bfs,
+    Spanning,
+    TwoHop,
+    Listing(usize),
+}
+
+fn run_proto<S: EngineSelect>(sel: &S, g: &Graph, proto: Proto) {
+    match proto {
+        Proto::Bfs => {
+            distributed_bfs_on(sel, g, 0);
+        }
+        Proto::Spanning => {
+            let inputs: Vec<u64> = (0..g.n() as u64).map(|v| v * 3 + 1).collect();
+            aggregate_sum_on(sel, g, &inputs);
+        }
+        Proto::TwoHop => {
+            collect_two_hop_on(sel, g, 6, 1);
+        }
+        Proto::Listing(p) => {
+            let cfg = ListingConfig { trace: trace::TraceMode::off(), ..ListingConfig::default() };
+            list_cliques_congest_with(sel, g, p, &cfg);
+        }
+    }
+}
+
+/// One engine's deterministic outcome under a fault plan: the serialized
+/// transcript, or the panic message when the plan broke the protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Outcome {
+    Bytes(Vec<u8>),
+    Panicked(String),
+}
+
+fn faulted_outcome<S: EngineSelect + std::panic::RefUnwindSafe>(
+    sel: &S,
+    g: &Graph,
+    proto: Proto,
+    mode: FaultMode,
+) -> Outcome {
+    let header = trace::Header {
+        graph_fingerprint: trace::graph_fingerprint(g.n() as u64, g.edges()),
+        protocol: format!("{proto:?}"),
+        engine: "fault-parity-suite".into(),
+        seed: 0,
+        faults: mode.descriptor(),
+    };
+    let caught = std::panic::catch_unwind(|| {
+        let ((), t) = trace::capture(trace::Fidelity::Full, header, || {
+            congest::faults::with_mode(mode, || run_proto(sel, g, proto));
+        });
+        t.to_bytes()
+    });
+    match caught {
+        Ok(bytes) => Outcome::Bytes(bytes),
+        Err(payload) => Outcome::Panicked(panic_message(&payload)),
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+fn protos_for(g: &Graph) -> Vec<Proto> {
+    let mut protos = vec![Proto::Bfs, Proto::TwoHop, Proto::Listing(3), Proto::Listing(4)];
+    if g.is_connected() {
+        protos.push(Proto::Spanning);
+    }
+    protos
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    #[test]
+    fn faulted_transcripts_are_engine_and_shard_invariant(
+        n in 12usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let p_edge = 0.15 + (seed % 10) as f64 / 30.0;
+        let g = graphs::erdos_renyi(n, p_edge, seed);
+        let modes = [
+            FaultMode::Chaos(FaultPlan {
+                seed: seed ^ 0x000C_4A05,
+                drop_ppm: 30_000,
+                corrupt_ppm: 15_000,
+                crash_ppm: 8_000,
+            }),
+            FaultMode::Robust(FaultPlan {
+                seed: seed ^ 0x0040_B057,
+                drop_ppm: 120_000,
+                corrupt_ppm: 60_000,
+                crash_ppm: 4_000,
+            }),
+        ];
+        for mode in modes {
+            for proto in protos_for(&g) {
+                let reference = faulted_outcome(&Sequential, &g, proto, mode);
+                for shards in [1usize, 2, 8] {
+                    let outcome = faulted_outcome(&Sharded::new(shards), &g, proto, mode);
+                    prop_assert_eq!(
+                        &outcome, &reference,
+                        "{:?} under {} diverged at {} shards", proto, mode, shards
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_rate_plans_are_inert(
+        n in 12usize..24,
+        seed in 0u64..1_000,
+    ) {
+        let g = graphs::erdos_renyi(n, 0.25, seed);
+        let zero = FaultPlan { seed: seed ^ 0xF00D, drop_ppm: 0, corrupt_ppm: 0, crash_ppm: 0 };
+        for proto in protos_for(&g) {
+            let baseline = faulted_outcome(&Sequential, &g, proto, FaultMode::Off);
+            let Outcome::Bytes(baseline_bytes) = &baseline else {
+                panic!("fault-free run must not panic");
+            };
+            let base = trace::Transcript::from_bytes(baseline_bytes).expect("valid transcript");
+            for mode in [FaultMode::Chaos(zero), FaultMode::Robust(zero)] {
+                let faulted = faulted_outcome(&Sequential, &g, proto, mode);
+                let Outcome::Bytes(bytes) = &faulted else {
+                    panic!("a zero-rate plan must not perturb the run");
+                };
+                let t = trace::Transcript::from_bytes(bytes).expect("valid transcript");
+                // Headers legitimately differ (they describe the armed
+                // plan); the round streams must not.
+                prop_assert_eq!(
+                    &t.rounds, &base.rounds,
+                    "zero-rate {} perturbed {:?}", mode, proto
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn robust_listing_answers_match_the_fault_free_run(
+        n in 12usize..24,
+        seed in 0u64..1_000,
+        p in 3usize..5,
+    ) {
+        let g = graphs::erdos_renyi(n, 0.3, seed);
+        let clean_cfg =
+            ListingConfig { trace: trace::TraceMode::off(), ..ListingConfig::default() };
+        let robust_cfg = ListingConfig {
+            faults: FaultMode::Robust(FaultPlan {
+                seed: seed ^ 0x5E1F_4EA1,
+                drop_ppm: 150_000,
+                corrupt_ppm: 80_000,
+                crash_ppm: 5_000,
+            }),
+            ..clean_cfg.clone()
+        };
+        let baseline = list_cliques_congest_with(&Sequential, &g, p, &clean_cfg);
+        let mut healed_somewhere = false;
+        for shards in [1usize, 2, 8] {
+            let out = list_cliques_congest_with(&Sharded::new(shards), &g, p, &robust_cfg);
+            prop_assert_eq!(
+                &out.cliques, &baseline.cliques,
+                "robust listing p={} answered differently at {} shards", p, shards
+            );
+            healed_somewhere |= out.report.faults.retries > 0;
+            prop_assert_eq!(
+                out.report.faults.penalty_rounds > 0,
+                out.report.faults.retries > 0 || out.report.faults.crashed > 0,
+                "penalty rounds must move exactly with retries/crash recoveries"
+            );
+        }
+        // At these rates a nontrivial graph always needs at least one
+        // retry somewhere; an inert fault layer would vacuously pass the
+        // answer check.
+        if g.edges().count() >= 10 {
+            prop_assert!(healed_somewhere, "fault plan never tripped — layer inert?");
+        }
+    }
+}

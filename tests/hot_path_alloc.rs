@@ -150,6 +150,7 @@ fn steady_state_step_allocates_nothing_in_either_engine() {
         protocol: "alloc-audit".into(),
         engine: engine.into(),
         seed: 0,
+        faults: trace::FaultDescriptor::off(),
     };
     let mut net = Network::new(&g, beats(n));
     let ((), t) = trace::capture(trace::Fidelity::Digest, header("sequential"), || {

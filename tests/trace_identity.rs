@@ -56,6 +56,7 @@ fn transcript_bytes<S: EngineSelect>(
         protocol: format!("{proto:?}"),
         engine: "identity-suite".into(),
         seed: 0,
+        faults: trace::FaultDescriptor::off(),
     };
     let ((), t) = trace::capture(fidelity, header, || run_proto(sel, g, proto));
     t.to_bytes()
