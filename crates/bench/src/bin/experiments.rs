@@ -147,7 +147,7 @@ fn svc() {
     let rows = replay(&workers, &scenarios);
     let mix = tenant_mix_and_persistence();
     let overhead = trace_overhead();
-    report(&scenarios, &rows, &mix, &overhead, None, None);
+    report(&scenarios, &rows, &mix, &overhead, None, None, None);
     for r in &rows {
         assert!(r.hit_rate > 0.0, "the smoke corpus repeats specs; hit rate must be > 0");
     }

@@ -8,7 +8,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest] [--depth] [--chaos]
+//! cargo run --release -p bench --bin loadgen [--small] [--workers 1,2,4] [--trace digest] [--depth] [--chaos] [--socket]
 //! ```
 //!
 //! Defaults: the full scenario corpus at worker counts
@@ -20,11 +20,15 @@
 //! capped at 10⁵ under `--small`) and records a `sched_depth` block in
 //! `BENCH_service.json`. `--chaos` additionally runs the fault-rate sweep
 //! (robust-mode plans of increasing severity; answers verified against the
-//! fault-free baseline) and records a `chaos` block.
+//! fault-free baseline) and records a `chaos` block. `--socket` replays the
+//! scenario mix through the `wire` TCP front-end on loopback (one
+//! connection per tenant), asserts the answers are byte-identical to an
+//! in-process replay, forces at least one shed and one rate-limited
+//! submission, and records a `wire` block.
 
 use bench::svc::{
     chaos_sweep, full_scenarios, replay, report, sched_depth, small_scenarios,
-    tenant_mix_and_persistence, trace_overhead, trajectory_worker_counts,
+    tenant_mix_and_persistence, trace_overhead, trajectory_worker_counts, wire_bench,
 };
 
 fn main() {
@@ -88,7 +92,24 @@ fn main() {
         sched_depth(depths)
     });
     let chaos = args.iter().any(|a| a == "--chaos").then(chaos_sweep);
-    report(&scenarios, &rows, &mix, &overhead, depth_rows.as_deref(), chaos.as_ref());
+    let wire_rep = args.iter().any(|a| a == "--socket").then(|| {
+        let socket_workers = workers.iter().copied().max().unwrap_or(1);
+        wire_bench(&scenarios, socket_workers)
+    });
+    report(
+        &scenarios,
+        &rows,
+        &mix,
+        &overhead,
+        depth_rows.as_deref(),
+        chaos.as_ref(),
+        wire_rep.as_ref(),
+    );
+    if let Some(w) = &wire_rep {
+        assert!(w.identical, "socket answers must be byte-identical to the in-process replay");
+        assert!(w.shed >= 1, "the cap-0 phase must shed at least one submission");
+        assert!(w.rate_limited >= 1, "the hard-quota phase must refuse at least one submission");
+    }
     if let Some(c) = &chaos {
         for r in &c.rows {
             assert!(r.completed > 0, "fault plan {} completed nothing", r.spec);

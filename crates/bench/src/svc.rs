@@ -443,6 +443,155 @@ pub fn tenant_mix_and_persistence() -> TenantMixReport {
     }
 }
 
+/// Socket front-end measurements for the `--socket` mode: the scenario mix
+/// replayed over real TCP connections (one per tenant) against an
+/// in-process replay of the identical jobs, plus forced shed and
+/// rate-limit phases — recorded as a `wire` block in `BENCH_service.json`.
+pub struct WireBenchReport {
+    /// Jobs in the identity phase.
+    pub jobs: usize,
+    /// Tenant connections the jobs were spread over.
+    pub tenants: usize,
+    /// Wall time of the socket replay (submit to last outcome frame).
+    pub wall: Duration,
+    /// Jobs/s over the socket.
+    pub jobs_per_sec: f64,
+    /// Median client-observed latency (submit frame to outcome frame).
+    pub p50: Duration,
+    /// 95th-percentile client-observed latency.
+    pub p95: Duration,
+    /// Jobs/s of the in-process replay of the same jobs.
+    pub inproc_jobs_per_sec: f64,
+    /// Median in-process submission-to-completion latency.
+    pub inproc_p50: Duration,
+    /// 95th-percentile in-process latency.
+    pub inproc_p95: Duration,
+    /// Whether every socket answer was byte-identical to its in-process
+    /// twin (`format!("{:?}", report)` comparison, errors included).
+    pub identical: bool,
+    /// Submissions shed by a cap-0 queue, surfaced as typed error frames.
+    pub shed: usize,
+    /// Submissions denied by a hard tenant quota (refill 0).
+    pub rate_limited: usize,
+}
+
+/// Runs the three socket phases on loopback: (1) the scenario mix over one
+/// connection per tenant, verified **byte-identical** to an in-process
+/// replay of the exact same reconstructed jobs; (2) a cap-0 queue shedding
+/// every submission as typed `Shed` frames; (3) a burst-2/refill-0 hard
+/// quota denying everything past the burst as `RateLimited` frames.
+/// Panics if any phase misbehaves structurally (a lost outcome, a refusal
+/// where an answer was due, or vice versa).
+pub fn wire_bench(scenarios: &[Scenario], workers: usize) -> WireBenchReport {
+    use wire::{Frame, Quota, ServeExt, ServerConfig, WireClient, WireJob, WireRefusal};
+    const TENANTS: usize = 3;
+    let jobs: Vec<(u32, WireJob)> = scenarios
+        .iter()
+        .flat_map(|s| s.jobs.iter())
+        .enumerate()
+        .map(|(i, j)| (1 + (i % TENANTS) as u32, WireJob::from_job(j)))
+        .collect();
+
+    // in-process baseline: the exact jobs the server will reconstruct
+    let inproc = Service::new(workers);
+    let start = std::time::Instant::now();
+    let tickets: Vec<Ticket> = jobs
+        .iter()
+        .map(|(tenant, wj)| inproc.try_submit(wj.clone().into_job(*tenant)).expect("uncapped"))
+        .collect();
+    let outcomes: Vec<service::JobOutcome> = tickets.into_iter().map(|t| inproc.wait(t)).collect();
+    let inproc_wall = start.elapsed();
+    let expected: Vec<String> = outcomes.iter().map(|o| format!("{:?}", o.report)).collect();
+    let mut inproc_lat: Vec<Duration> = outcomes.iter().map(|o| o.latency).collect();
+    inproc_lat.sort_unstable();
+
+    // identity phase: fresh service behind a real TCP server
+    let svc = std::sync::Arc::new(Service::new(workers));
+    let server = svc.serve("127.0.0.1:0").expect("bind an ephemeral loopback port");
+    let addr = server.local_addr();
+    let start = std::time::Instant::now();
+    let mut clients: Vec<(u32, WireClient, usize)> = (1..=TENANTS as u32)
+        .map(|t| (t, WireClient::connect(addr, t).expect("connect"), 0usize))
+        .collect();
+    let mut submitted_at: HashMap<u64, std::time::Instant> = HashMap::new();
+    for (id, (tenant, wj)) in jobs.iter().enumerate() {
+        let slot = clients.iter_mut().find(|(t, _, _)| t == tenant).expect("tenant client");
+        submitted_at.insert(id as u64, std::time::Instant::now());
+        slot.1.submit(id as u64, wj.clone()).expect("submit");
+        slot.2 += 1;
+    }
+    let mut answers: Vec<Option<String>> = vec![None; jobs.len()];
+    let mut wire_lat: Vec<Duration> = Vec::new();
+    for (_, client, want) in &mut clients {
+        for _ in 0..*want {
+            match client.next_event().expect("server frame") {
+                Frame::Outcome { request_id, outcome } => {
+                    wire_lat.push(submitted_at[&request_id].elapsed());
+                    answers[request_id as usize] = Some(format!("{:?}", outcome.report));
+                }
+                other => panic!("unexpected frame in the identity phase: {other:?}"),
+            }
+        }
+    }
+    let wall = start.elapsed();
+    drop(server);
+    let answers: Vec<String> =
+        answers.into_iter().map(|a| a.expect("every job answered")).collect();
+    let identical = answers == expected;
+    wire_lat.sort_unstable();
+
+    // shed phase: a cap-0 queue sheds every submission as a typed frame
+    // on a connection that stays healthy
+    let shed_svc = std::sync::Arc::new(Service::new(1).with_queue_cap(0));
+    let shed_server = shed_svc.serve("127.0.0.1:0").expect("bind");
+    let mut shed_client = WireClient::connect(shed_server.local_addr(), 9).expect("connect");
+    let mut shed = 0usize;
+    for id in 0..3u64 {
+        shed_client.submit(id, jobs[0].1.clone()).expect("submit");
+        match shed_client.next_event().expect("frame") {
+            Frame::Error { refusal: WireRefusal::Shed { .. }, .. } => shed += 1,
+            other => panic!("expected a shed refusal, got {other:?}"),
+        }
+    }
+    drop(shed_server);
+
+    // rate-limit phase: a hard quota (refill 0) admits exactly the burst
+    let rl_svc = std::sync::Arc::new(Service::new(1));
+    let cfg = ServerConfig {
+        default_quota: Quota { burst: 2, refill_per_tick: 0 },
+        ..ServerConfig::default()
+    };
+    let rl_server = rl_svc.serve_with("127.0.0.1:0", cfg).expect("bind");
+    let mut rl_client = WireClient::connect(rl_server.local_addr(), 9).expect("connect");
+    for id in 0..5u64 {
+        rl_client.submit(id, jobs[0].1.clone()).expect("submit");
+    }
+    let (mut rate_limited, mut served) = (0usize, 0usize);
+    while served + rate_limited < 5 {
+        match rl_client.next_event().expect("frame") {
+            Frame::Error { refusal: WireRefusal::RateLimited { .. }, .. } => rate_limited += 1,
+            Frame::Outcome { .. } => served += 1,
+            other => panic!("unexpected frame in the rate-limit phase: {other:?}"),
+        }
+    }
+    drop(rl_server);
+
+    WireBenchReport {
+        jobs: jobs.len(),
+        tenants: TENANTS,
+        wall,
+        jobs_per_sec: jobs.len() as f64 / wall.as_secs_f64().max(1e-9),
+        p50: percentile(&wire_lat, 0.50),
+        p95: percentile(&wire_lat, 0.95),
+        inproc_jobs_per_sec: jobs.len() as f64 / inproc_wall.as_secs_f64().max(1e-9),
+        inproc_p50: percentile(&inproc_lat, 0.50),
+        inproc_p95: percentile(&inproc_lat, 0.95),
+        identical,
+        shed,
+        rate_limited,
+    }
+}
+
 /// The aging rate the depth microbenchmark runs both queues at — nonzero
 /// so every pop recomputes effective priorities, the way live traffic
 /// does.
@@ -661,6 +810,7 @@ pub fn report(
     overhead: &TraceOverhead,
     depth_rows: Option<&[SchedDepthRow]>,
     chaos: Option<&ChaosReport>,
+    wire: Option<&WireBenchReport>,
 ) {
     let mut t = Table::new(&[
         "workers",
@@ -833,6 +983,47 @@ pub fn report(
             )
         })
         .unwrap_or_default();
+    let wire_json = wire
+        .map(|w| {
+            println!(
+                "\nwire: {} jobs over {} tenant connections — {:.1} jobs/s socket vs {:.1} \
+                 in-process (p50 {:.2} vs {:.2} ms, p95 {:.2} vs {:.2} ms); identical: {}, \
+                 shed: {}, rate-limited: {}",
+                w.jobs,
+                w.tenants,
+                w.jobs_per_sec,
+                w.inproc_jobs_per_sec,
+                w.p50.as_secs_f64() * 1e3,
+                w.inproc_p50.as_secs_f64() * 1e3,
+                w.p95.as_secs_f64() * 1e3,
+                w.inproc_p95.as_secs_f64() * 1e3,
+                w.identical,
+                w.shed,
+                w.rate_limited
+            );
+            format!(
+                concat!(
+                    "  \"wire\": {{\"jobs\": {}, \"tenants\": {}, \"wall_ms\": {:.3}, ",
+                    "\"jobs_per_sec\": {:.3}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, ",
+                    "\"inproc_jobs_per_sec\": {:.3}, \"inproc_p50_ms\": {:.4}, ",
+                    "\"inproc_p95_ms\": {:.4}, \"identical\": {}, \"shed\": {}, ",
+                    "\"rate_limited\": {}}},\n"
+                ),
+                w.jobs,
+                w.tenants,
+                w.wall.as_secs_f64() * 1e3,
+                w.jobs_per_sec,
+                w.p50.as_secs_f64() * 1e3,
+                w.p95.as_secs_f64() * 1e3,
+                w.inproc_jobs_per_sec,
+                w.inproc_p50.as_secs_f64() * 1e3,
+                w.inproc_p95.as_secs_f64() * 1e3,
+                w.identical,
+                w.shed,
+                w.rate_limited
+            )
+        })
+        .unwrap_or_default();
     // Per-phase engine totals accumulated over the whole replay (zeros
     // unless CLIQUE_OBS enabled the phase timers).
     let m = obs::metrics();
@@ -853,13 +1044,14 @@ pub fn report(
         pe as f64 / 1e6,
     );
     let json = format!(
-        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}{}{}\n  \"results\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"experiment\": \"service_loadgen\",\n  \"scenarios\": [{}],\n  \"available_workers\": {},\n{}\n{}\n{}{}{}{}\n  \"results\": [\n{}\n  ]\n}}\n",
         names.join(", "),
         runtime::available_shards(),
         mix_json,
         overhead_json,
         depth_json,
         chaos_json,
+        wire_json,
         obs_json,
         rows_json.join(",\n")
     );

@@ -445,11 +445,13 @@ pub enum WarnKind {
     TraceWrite,
     /// Unrecognized `CLIQUE_FAULTS` value (fault injection stays off).
     FaultsEnv,
+    /// Unrecognized `CLIQUE_WIRE` value (the socket front-end stays off).
+    WireEnv,
 }
 
 impl WarnKind {
     /// All kinds, in rendering order.
-    pub const ALL: [WarnKind; 12] = [
+    pub const ALL: [WarnKind; 13] = [
         WarnKind::ShardsEnv,
         WarnKind::EngineEnv,
         WarnKind::AdmitEnv,
@@ -462,6 +464,7 @@ impl WarnKind {
         WarnKind::TraceEnv,
         WarnKind::TraceWrite,
         WarnKind::FaultsEnv,
+        WarnKind::WireEnv,
     ];
 
     /// Number of kinds (the warning-counter array length).
@@ -482,6 +485,7 @@ impl WarnKind {
             WarnKind::TraceEnv => "trace_env",
             WarnKind::TraceWrite => "trace_write",
             WarnKind::FaultsEnv => "faults_env",
+            WarnKind::WireEnv => "wire_env",
         }
     }
 }
@@ -660,6 +664,20 @@ pub struct Metrics {
     /// Robust-mode per-message backoff penalty, in simulated rounds
     /// (`2^(attempts-1) - 1` for a message delivered on its n-th attempt).
     pub fault_retry_backoff_rounds: Histogram,
+    /// Wire connections accepted by the socket front-end.
+    pub wire_connections: Counter,
+    /// Wire bytes read from clients (frames + length prefixes).
+    pub wire_bytes_in: Counter,
+    /// Wire bytes written to clients.
+    pub wire_bytes_out: Counter,
+    /// Wire submissions denied by a tenant's token-bucket quota.
+    pub wire_rate_limited: Counter,
+    /// Wire submissions shed at the service queue cap (the typed
+    /// `Rejected` surfaced as an error frame, not a dropped connection).
+    pub wire_shed: Counter,
+    /// Per-frame service latency in microseconds: submit-frame decode to
+    /// outcome-frame enqueue on the write buffer.
+    pub wire_frame_us: Histogram,
     warnings: [Counter; WarnKind::COUNT],
 }
 
@@ -698,6 +716,12 @@ impl Metrics {
             faults_crashed: Counter::new(),
             fault_retries: Counter::new(),
             fault_retry_backoff_rounds: Histogram::new(),
+            wire_connections: Counter::new(),
+            wire_bytes_in: Counter::new(),
+            wire_bytes_out: Counter::new(),
+            wire_rate_limited: Counter::new(),
+            wire_shed: Counter::new(),
+            wire_frame_us: Histogram::new(),
             warnings: [const { Counter::new() }; WarnKind::COUNT],
         }
     }
@@ -840,6 +864,18 @@ pub struct Snapshot {
     pub fault_retries: u64,
     /// Robust-mode backoff penalty histogram (simulated rounds).
     pub fault_retry_backoff_rounds: HistSnapshot,
+    /// Wire connections accepted.
+    pub wire_connections: u64,
+    /// Wire bytes read from clients.
+    pub wire_bytes_in: u64,
+    /// Wire bytes written to clients.
+    pub wire_bytes_out: u64,
+    /// Wire submissions denied by tenant quotas.
+    pub wire_rate_limited: u64,
+    /// Wire submissions shed at the queue cap.
+    pub wire_shed: u64,
+    /// Per-frame wire latency histogram (µs).
+    pub wire_frame_us: HistSnapshot,
     /// Per-kind warning counts, in [`WarnKind::ALL`] order.
     pub warnings: Vec<(&'static str, u64)>,
 }
@@ -886,6 +922,12 @@ pub fn snapshot() -> Snapshot {
         faults_crashed: m.faults_crashed.get(),
         fault_retries: m.fault_retries.get(),
         fault_retry_backoff_rounds: m.fault_retry_backoff_rounds.snap(),
+        wire_connections: m.wire_connections.get(),
+        wire_bytes_in: m.wire_bytes_in.get(),
+        wire_bytes_out: m.wire_bytes_out.get(),
+        wire_rate_limited: m.wire_rate_limited.get(),
+        wire_shed: m.wire_shed.get(),
+        wire_frame_us: m.wire_frame_us.snap(),
         warnings: WarnKind::ALL.iter().map(|&k| (k.name(), warn_count(k))).collect(),
     }
 }
@@ -937,6 +979,9 @@ impl Snapshot {
                 "  \"expander\": {{\"chunk_batches\": {ec}}},\n",
                 "  \"faults\": {{\"dropped\": {fd}, \"corrupted\": {fc}, ",
                 "\"crashed\": {fx}, \"retries\": {fr}, \"retry_backoff_rounds\": {fb}}},\n",
+                "  \"wire\": {{\"connections\": {wc}, \"bytes_in\": {wi}, ",
+                "\"bytes_out\": {wo}, \"rate_limited\": {wr}, \"shed\": {ws}, ",
+                "\"frame_us\": {wf}}},\n",
                 "  \"warnings\": {{{wn}}}\n",
                 "}}"
             ),
@@ -971,6 +1016,12 @@ impl Snapshot {
             fx = self.faults_crashed,
             fr = self.fault_retries,
             fb = json_hist(&self.fault_retry_backoff_rounds),
+            wc = self.wire_connections,
+            wi = self.wire_bytes_in,
+            wo = self.wire_bytes_out,
+            wr = self.wire_rate_limited,
+            ws = self.wire_shed,
+            wf = json_hist(&self.wire_frame_us),
             wn = warnings.join(", "),
         )
     }
@@ -1036,6 +1087,13 @@ impl Snapshot {
             "clique_fault_retry_backoff_rounds",
             &self.fault_retry_backoff_rounds,
         );
+        line!("# TYPE clique_wire_connections_total counter");
+        line!("clique_wire_connections_total {}", self.wire_connections);
+        line!("clique_wire_bytes_in_total {}", self.wire_bytes_in);
+        line!("clique_wire_bytes_out_total {}", self.wire_bytes_out);
+        line!("clique_wire_rate_limited_total {}", self.wire_rate_limited);
+        line!("clique_wire_shed_total {}", self.wire_shed);
+        render_hist(&mut out, "clique_wire_frame_us", &self.wire_frame_us);
         line!("# TYPE clique_warnings_total counter");
         for (kind, v) in &self.warnings {
             line!("clique_warnings_total{{kind=\"{kind}\"}} {v}");

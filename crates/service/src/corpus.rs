@@ -168,6 +168,24 @@ impl GraphSpec {
         }
     }
 
+    /// Appends this spec's canonical byte encoding to `out` — the same
+    /// bytes the persisted corpus stores per entry, shared by the wire
+    /// protocol so a spec travels identically over `CLQCORPS` and
+    /// `CLQWIRE`. The inverse of [`GraphSpec::decode_bytes`].
+    pub fn encode_bytes(&self, out: &mut Vec<u8>) {
+        self.encode(out);
+    }
+
+    /// Decodes one spec from the front of `buf`, returning it with the
+    /// number of bytes consumed. The inverse of
+    /// [`GraphSpec::encode_bytes`]; `None` on an unknown tag or a short
+    /// buffer.
+    pub fn decode_bytes(buf: &[u8]) -> Option<(GraphSpec, usize)> {
+        let mut r = ByteReader::new(buf);
+        let spec = GraphSpec::decode(&mut r)?;
+        Some((spec, r.pos))
+    }
+
     /// Appends this spec's canonical byte encoding (one tag byte, then the
     /// fields as little-endian `u64` words; floats as IEEE-754 bits, so
     /// the round-trip is exact). The inverse of [`GraphSpec::decode`].

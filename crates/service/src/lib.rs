@@ -733,7 +733,7 @@ impl Service {
         let seq = self.next_ticket.fetch_add(1, Ordering::Relaxed);
         let submitted = Instant::now();
         let pushed = {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&self.shared.queue);
             self.enqueue_locked(&mut q.0, seq, job, submitted)
         };
         match pushed {
@@ -758,7 +758,7 @@ impl Service {
     pub fn try_submit_with(&self, mut job: Job, meta: JobMeta) -> Result<Ticket, JobError> {
         job.meta = meta;
         let submitted = Instant::now();
-        let mut q = self.shared.queue.lock().unwrap();
+        let mut q = lock_ignore_poison(&self.shared.queue);
         let (depth, cap) = (q.0.len(), q.0.queue_cap());
         if depth >= cap {
             obs::metrics().sched_rejected.inc();
@@ -809,7 +809,7 @@ impl Service {
         if rejected.is_empty() {
             return;
         }
-        let mut fin = self.shared.finished.lock().unwrap();
+        let mut fin = lock_ignore_poison(&self.shared.finished);
         for (seq, err) in rejected {
             fin.outcomes.insert(
                 seq,
@@ -857,10 +857,10 @@ impl Service {
         // workers, so every completion of a streamed job lands in the
         // completion-order log (and only those: fire-and-forget tickets
         // never pollute the log streams scan).
-        self.shared.finished.lock().unwrap().streamed.extend(ids.iter().copied());
+        lock_ignore_poison(&self.shared.finished).streamed.extend(ids.iter().copied());
         let mut rejected = Vec::new();
         {
-            let mut q = self.shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&self.shared.queue);
             for (&seq, job) in ids.iter().zip(jobs) {
                 if let Err(err) = self.enqueue_locked(&mut q.0, seq, job, now) {
                     rejected.push((seq, err));
@@ -883,20 +883,46 @@ impl Service {
     /// caller gets the outcome and the stream skips that ticket (it
     /// yields one pair per ticket it still owns).
     pub fn wait(&self, ticket: Ticket) -> JobOutcome {
-        let mut fin = self.shared.finished.lock().unwrap();
+        let mut fin = lock_ignore_poison(&self.shared.finished);
         loop {
-            if let Some(outcome) = fin.outcomes.remove(&ticket.0) {
-                if fin.streamed.remove(&ticket.0) {
-                    if let Some(pos) = fin.order.iter().position(|&id| id == ticket.0) {
-                        fin.order.remove(pos);
-                    }
+            if let Some((outcome, stolen)) = Self::claim_locked(&mut fin, ticket) {
+                if stolen {
                     // wake the robbed stream so it can drop the ticket
                     self.shared.job_done.notify_all();
                 }
                 return outcome;
             }
-            fin = self.shared.job_done.wait(fin).unwrap();
+            fin = wait_ignore_poison(&self.shared.job_done, fin);
         }
+    }
+
+    /// Non-blocking [`Service::wait`]: claims the ticket's outcome if the
+    /// job has already finished, `None` while it is still queued or
+    /// running. Claiming consumes the outcome — a second `try_wait` on the
+    /// same ticket returns `None`. The wire front-end's readiness-polling
+    /// event loop streams completions through this (it must never park on
+    /// a condvar); the stealing semantics match [`Service::wait`] exactly.
+    pub fn try_wait(&self, ticket: Ticket) -> Option<JobOutcome> {
+        let mut fin = lock_ignore_poison(&self.shared.finished);
+        let (outcome, stolen) = Self::claim_locked(&mut fin, ticket)?;
+        if stolen {
+            self.shared.job_done.notify_all();
+        }
+        Some(outcome)
+    }
+
+    /// Removes a finished ticket's outcome under the held lock, scrubbing
+    /// any stream bookkeeping it had. Returns the outcome plus whether it
+    /// was stolen from a live stream (the caller must then wake streams).
+    fn claim_locked(fin: &mut Finished, ticket: Ticket) -> Option<(JobOutcome, bool)> {
+        let outcome = fin.outcomes.remove(&ticket.0)?;
+        let stolen = fin.streamed.remove(&ticket.0);
+        if stolen {
+            if let Some(pos) = fin.order.iter().position(|&id| id == ticket.0) {
+                fin.order.remove(pos);
+            }
+        }
+        Some((outcome, stolen))
     }
 
     /// Submits every job and waits for all of them, returning outcomes in
@@ -994,7 +1020,7 @@ impl Iterator for OutcomeStream<'_> {
             return None;
         }
         let shared = &self.svc.shared;
-        let mut fin = shared.finished.lock().unwrap();
+        let mut fin = lock_ignore_poison(&shared.finished);
         loop {
             // earliest completion belonging to this stream
             if let Some(pos) = fin.order.iter().position(|id| self.remaining.contains(id)) {
@@ -1012,7 +1038,7 @@ impl Iterator for OutcomeStream<'_> {
             if self.remaining.is_empty() {
                 return None;
             }
-            fin = shared.job_done.wait(fin).unwrap();
+            fin = wait_ignore_poison(&shared.job_done, fin);
         }
     }
 
@@ -1031,7 +1057,11 @@ impl Drop for OutcomeStream<'_> {
         if self.remaining.is_empty() {
             return;
         }
-        let mut fin = self.svc.shared.finished.lock().unwrap();
+        // lock_ignore_poison, not a bare unwrap: streams are routinely
+        // dropped during unwinding (a caller panicking out of its consume
+        // loop), and a poisoned `finished` here would turn that unwind
+        // into a double-panic abort.
+        let mut fin = lock_ignore_poison(&self.svc.shared.finished);
         for id in self.remaining.drain() {
             fin.streamed.remove(&id);
             if let Some(pos) = fin.order.iter().position(|&x| x == id) {
@@ -1077,15 +1107,18 @@ pub fn admission_limit_from_env() -> Option<usize> {
     }
 }
 
-/// Parses a `CLIQUE_QUEUE_CAP` spec: a positive integer (the queue cap),
-/// or `unlimited` for no bound. Same grammar as [`parse_admit`].
+/// Parses a `CLIQUE_QUEUE_CAP` spec: a non-negative integer (the queue
+/// cap), or `unlimited` for no bound. Unlike [`parse_admit`] (whose `0`
+/// is meaningless — admission clamps it to 1), `0` is a *valid* cap with
+/// the same meaning as [`Service::with_queue_cap(0)`](Service::with_queue_cap):
+/// a reject-everything queue, useful as a drain/maintenance mode. The env
+/// and builder paths share one documented semantics.
 pub fn parse_queue_cap(spec: &str) -> Option<usize> {
     let spec = spec.trim();
     if spec.eq_ignore_ascii_case("unlimited") {
         return Some(usize::MAX);
     }
-    let n: usize = spec.parse().ok()?;
-    (n >= 1).then_some(n)
+    spec.parse().ok()
 }
 
 /// Reads the `CLIQUE_QUEUE_CAP` environment variable: the default queue
@@ -1102,7 +1135,8 @@ pub fn queue_cap_from_env() -> Option<usize> {
                     obs::WarnKind::QueueCapEnv,
                     format_args!(
                         "unrecognized CLIQUE_QUEUE_CAP value {v:?} \
-                         (expected a positive integer or \"unlimited\"); \
+                         (expected a non-negative integer — 0 rejects every \
+                         submission — or \"unlimited\"); \
                          falling back to an unbounded queue"
                     ),
                 );
@@ -1200,7 +1234,7 @@ fn record_pop(
 fn job_worker_loop(shared: &ServiceShared) {
     loop {
         let (popped, permit) = {
-            let mut q = shared.queue.lock().unwrap();
+            let mut q = lock_ignore_poison(&shared.queue);
             loop {
                 if let Some(found) = pop_eligible(&mut q.0, shared) {
                     break found;
@@ -1211,7 +1245,7 @@ fn job_worker_loop(shared: &ServiceShared) {
                 // nothing eligible: parked until new work arrives, a
                 // permit frees (its drop notifies work_ready), a tenant
                 // completion frees a cap slot, or a limit is raised
-                q = shared.work_ready.wait(q).unwrap();
+                q = wait_ignore_poison(&shared.work_ready, q);
             }
         };
         let (seq, tenant) = (popped.seq, popped.tenant);
@@ -1259,7 +1293,7 @@ fn job_worker_loop(shared: &ServiceShared) {
             q.0.complete(tenant);
             shared.work_ready.notify_all();
         }
-        let mut fin = shared.finished.lock().unwrap();
+        let mut fin = lock_ignore_poison(&shared.finished);
         fin.outcomes.insert(seq, outcome);
         if fin.streamed.contains(&seq) {
             fin.order.push_back(seq);
@@ -1275,6 +1309,16 @@ fn job_worker_loop(shared: &ServiceShared) {
 /// proceed.
 fn lock_ignore_poison<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
     m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// [`Condvar::wait`] with the [`lock_ignore_poison`] poison policy, so a
+/// parked worker or waiter survives another thread panicking under the
+/// same mutex.
+fn wait_ignore_poison<'a, T>(
+    cv: &Condvar,
+    guard: std::sync::MutexGuard<'a, T>,
+) -> std::sync::MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
 }
 
 /// RAII admission permit for one sharded-engine job, taken at pop time
@@ -1302,7 +1346,7 @@ impl Drop for AdmissionPermit<'_> {
         // Wake parked workers under the queue lock: a worker between its
         // failed try_acquire and its wait() still holds that lock, so the
         // notification cannot slip past it.
-        let _queue = self.shared.queue.lock().unwrap_or_else(PoisonError::into_inner);
+        let _queue = lock_ignore_poison(&self.shared.queue);
         self.shared.work_ready.notify_all();
     }
 }
@@ -1786,7 +1830,11 @@ mod tests {
         assert_eq!(parse_queue_cap("1"), Some(1));
         assert_eq!(parse_queue_cap(" 4096 "), Some(4096));
         assert_eq!(parse_queue_cap("Unlimited"), Some(usize::MAX));
-        assert_eq!(parse_queue_cap("0"), None);
+        // 0 is a valid cap: the reject-all queue, exactly like
+        // Service::with_queue_cap(0) (the env path used to warn and run
+        // unbounded — the opposite of what was asked for)
+        assert_eq!(parse_queue_cap("0"), Some(0));
+        assert_eq!(parse_queue_cap(" 0 "), Some(0));
         assert_eq!(parse_queue_cap("-3"), None);
         assert_eq!(parse_queue_cap("1ooo"), None);
         assert_eq!(parse_queue_cap(""), None);
@@ -1815,6 +1863,57 @@ mod tests {
         assert_eq!(svc.queue_cap(), usize::MAX);
         let t = svc.try_submit(job()).expect("uncapped submissions are accepted");
         assert!(svc.wait(t).report.is_ok());
+    }
+
+    #[test]
+    fn try_wait_claims_exactly_once_without_blocking() {
+        let svc = Service::new(1);
+        let t = svc.submit(Job::new(
+            GraphInput::Spec(er_spec(6)),
+            3,
+            ListingConfig::default(),
+            Algo::Paper,
+        ));
+        // poll until the single worker finishes the job
+        let outcome = loop {
+            if let Some(o) = svc.try_wait(t) {
+                break o;
+            }
+            std::thread::yield_now();
+        };
+        assert!(outcome.report.is_ok());
+        assert!(svc.try_wait(t).is_none(), "a claimed ticket's outcome is consumed");
+    }
+
+    #[test]
+    fn dropping_a_stream_with_a_panicked_job_in_flight_survives_poison() {
+        let svc = Service::new(1);
+        let bad = Job::new(
+            GraphInput::Spec(er_spec(1)),
+            2, // p < 3 panics in the paper driver
+            ListingConfig::default(),
+            Algo::Paper,
+        );
+        let good =
+            || Job::new(GraphInput::Spec(er_spec(1)), 3, ListingConfig::default(), Algo::Paper);
+        let stream = svc.stream(vec![bad, good()]);
+        // Poison `finished` the way a panicking caller would: lock it on
+        // another thread and panic while holding the guard.
+        let shared = Arc::clone(&svc.shared);
+        let _ = std::thread::spawn(move || {
+            let _guard = shared.finished.lock().unwrap();
+            panic!("deliberate poison");
+        })
+        .join();
+        assert!(svc.shared.finished.is_poisoned(), "the mutex must be poisoned for this test");
+        // Regression: OutcomeStream::drop used a bare .unwrap() here, so
+        // this drop — with the panicked job still in flight — panicked on
+        // the poisoned lock; during a real unwind that is a double-panic
+        // abort.
+        drop(stream);
+        // the service still serves end to end after the poison
+        let t = svc.submit(good());
+        assert!(svc.wait(t).report.is_ok(), "a poisoned finished map must not stop the service");
     }
 
     #[test]

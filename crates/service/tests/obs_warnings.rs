@@ -106,6 +106,14 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
             obs::WarnKind::BenchWrite,
             format_args!("could not write BENCH_test.json: simulated"),
         );
+
+        // WireEnv likewise lives downstream (the wire crate's
+        // serve_from_env owns the real CLIQUE_WIRE parse; its own tests
+        // cover that path) — exercise the kind the same way
+        obs::warn(
+            obs::WarnKind::WireEnv,
+            format_args!("unrecognized CLIQUE_WIRE value \"nowhere\": simulated"),
+        );
     });
 
     for (i, &kind) in obs::WarnKind::ALL.iter().enumerate() {
@@ -129,6 +137,7 @@ fn each_warning_kind_fires_exactly_once_and_is_captured() {
     assert_one_line(&lines, "CLIQUE_FAULTS");
     assert_one_line(&lines, "failed to write transcript");
     assert_one_line(&lines, "could not write BENCH_test.json");
+    assert_one_line(&lines, "CLIQUE_WIRE");
     for line in &lines {
         assert!(line.starts_with("warning: "), "sink lines keep the stderr prefix: {line:?}");
     }

@@ -1,0 +1,51 @@
+//! The `CLIQUE_QUEUE_CAP=0` environment flow, isolated in its own test
+//! binary: the variable is process-global and read at `Service`
+//! construction, so no other service-building test may share this process
+//! (mirroring the `CLIQUE_CORPUS_PATH` test's single-owner convention).
+//!
+//! Regression: `parse_queue_cap("0")` used to return `None`, so
+//! `CLIQUE_QUEUE_CAP=0` warned and silently ran **unbounded** while
+//! `Service::with_queue_cap(0)` installed a reject-everything queue. Both
+//! paths now share one meaning: cap 0 sheds every submission.
+
+use clique_listing::ListingConfig;
+use service::{Algo, GraphInput, GraphSpec, Job, JobError, Service};
+
+fn job() -> Job {
+    Job::new(
+        GraphInput::Spec(GraphSpec::ErdosRenyi { n: 30, p: 0.2, seed: 2 }),
+        3,
+        ListingConfig::default(),
+        Algo::Paper,
+    )
+}
+
+#[test]
+fn clique_queue_cap_zero_env_installs_the_reject_all_queue() {
+    std::env::set_var("CLIQUE_QUEUE_CAP", "0");
+    let (svc, lines) = obs::capture_warnings(|| Service::new(1));
+    std::env::remove_var("CLIQUE_QUEUE_CAP");
+    assert!(lines.is_empty(), "0 is a valid cap now, not a warning: {lines:#?}");
+    assert_eq!(svc.queue_cap(), 0, "the env cap must install, not fall back to unbounded");
+
+    // env path: every submission is shed with the typed error
+    let err = svc.try_submit(job()).unwrap_err();
+    assert_eq!(err, JobError::Rejected { queue_depth: 0, queue_cap: 0 });
+
+    // builder path: byte-identical semantics (one documented meaning)
+    let svc2 = Service::new(1).with_queue_cap(0);
+    assert_eq!(svc2.queue_cap(), 0);
+    assert_eq!(svc2.try_submit(job()).unwrap_err(), err);
+
+    // garbage still warns with the updated (non-negative) grammar message
+    std::env::set_var("CLIQUE_QUEUE_CAP", "1ooo");
+    let (cap, lines) = obs::capture_warnings(service::queue_cap_from_env);
+    std::env::remove_var("CLIQUE_QUEUE_CAP");
+    assert_eq!(cap, None, "garbage falls back to unbounded");
+    assert_eq!(lines.len(), 1, "exactly one warning: {lines:#?}");
+    assert!(
+        lines[0].contains("non-negative integer"),
+        "the warning must document the new grammar: {}",
+        lines[0]
+    );
+}

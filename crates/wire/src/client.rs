@@ -1,0 +1,69 @@
+//! A minimal blocking client for the `CLQWIRE` protocol — what the
+//! loadgen's `--socket` mode and the end-to-end tests speak. External
+//! tenants in other languages only need the byte layout in
+//! [`crate::protocol`]; nothing here is load-bearing for the server.
+
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{decode_stream, Frame, WireError, WireJob, DEFAULT_MAX_FRAME_LEN};
+
+/// One blocking connection, bound to a tenant at connect time.
+#[derive(Debug)]
+pub struct WireClient {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    max_frame_len: usize,
+}
+
+fn io_err(e: std::io::Error) -> WireError {
+    WireError::Io(e.to_string())
+}
+
+impl WireClient {
+    /// Connects and sends the `Hello` frame binding this connection to
+    /// `tenant`.
+    pub fn connect(addr: impl ToSocketAddrs, tenant: u32) -> Result<WireClient, WireError> {
+        let stream = TcpStream::connect(addr).map_err(io_err)?;
+        let _ = stream.set_nodelay(true);
+        let mut client =
+            WireClient { stream, rbuf: Vec::new(), max_frame_len: DEFAULT_MAX_FRAME_LEN };
+        client.send(&Frame::Hello { tenant })?;
+        Ok(client)
+    }
+
+    /// Submits a job under a caller-chosen correlation id. The matching
+    /// [`Frame::Outcome`] or [`Frame::Error`] arrives via
+    /// [`WireClient::next_event`] in completion order, not submission
+    /// order.
+    pub fn submit(&mut self, request_id: u64, job: WireJob) -> Result<(), WireError> {
+        self.send(&Frame::Submit { request_id, job })
+    }
+
+    /// Tells the server no more submits are coming; it streams the
+    /// remaining outcomes and then closes the connection (surfacing as an
+    /// `Io` error from the next [`WireClient::next_event`] call).
+    pub fn bye(&mut self) -> Result<(), WireError> {
+        self.send(&Frame::Bye)
+    }
+
+    /// Blocks until the next server frame arrives.
+    pub fn next_event(&mut self) -> Result<Frame, WireError> {
+        loop {
+            if let Some((frame, used)) = decode_stream(&self.rbuf, self.max_frame_len)? {
+                self.rbuf.drain(..used);
+                return Ok(frame);
+            }
+            let mut chunk = [0u8; 16 << 10];
+            let n = self.stream.read(&mut chunk).map_err(io_err)?;
+            if n == 0 {
+                return Err(WireError::Io("connection closed by server".into()));
+            }
+            self.rbuf.extend_from_slice(&chunk[..n]);
+        }
+    }
+
+    fn send(&mut self, frame: &Frame) -> Result<(), WireError> {
+        self.stream.write_all(&frame.to_bytes()).map_err(io_err)
+    }
+}

@@ -1,0 +1,42 @@
+//! Socket front-end for the clique-listing service: external tenants
+//! submit jobs and stream outcomes over TCP, with per-tenant token-bucket
+//! rate limits ahead of the queue.
+//!
+//! Three layers, std-only (no crates.io):
+//!
+//! - [`protocol`] — the versioned `CLQWIRE` framing (magic + format
+//!   version + length-prefixed frames, canonical
+//!   `from_bytes ∘ to_bytes = id`);
+//! - [`limit`] — per-tenant token buckets refilled on the service's
+//!   **completed-job tick** clock, never wall time, so admit/deny
+//!   decisions are deterministic for a given tick schedule;
+//! - [`server`] — a readiness-polling event loop on non-blocking
+//!   `std::net` sockets, mapping each connection to a tenant, feeding
+//!   submissions through [`service::Service::try_submit_with`] (shedding
+//!   comes back as a typed error frame, not a dropped connection), and
+//!   streaming outcomes in completion order under bounded per-connection
+//!   write buffers.
+//!
+//! Arm it with [`ServeExt::serve`] / [`serve_with`](ServeExt::serve_with)
+//! on an `Arc<Service>`, or from the environment with [`serve_from_env`]
+//! (`CLIQUE_WIRE=addr:port`). [`client::WireClient`] is a minimal blocking
+//! client for tests and the loadgen's `--socket` mode.
+//!
+//! The wire carries only the **deterministic** answer surface
+//! ([`service::JobReport`] / [`service::JobError`]) plus the cache-hit
+//! observation — a socket-mode run must produce byte-identical reports to
+//! an in-process run of the same jobs, and the loadgen asserts exactly
+//! that.
+
+pub mod client;
+pub mod limit;
+pub mod protocol;
+pub mod server;
+
+pub use client::WireClient;
+pub use limit::{Quota, TenantLimiter};
+pub use protocol::{
+    decode_stream, Frame, WireError, WireJob, WireOutcome, WireRefusal, DEFAULT_MAX_FRAME_LEN,
+    WIRE_FORMAT_VERSION, WIRE_MAGIC,
+};
+pub use server::{serve, serve_from_env, ServeExt, ServerConfig, WireServer};

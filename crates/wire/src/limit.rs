@@ -1,0 +1,139 @@
+//! Per-tenant token-bucket rate limiting on the **completed-job tick**
+//! clock.
+//!
+//! Buckets refill on [`service::Service::ticks`] — the scheduler's
+//! completed-job counter — never on wall time. That makes admit/deny
+//! decisions a pure function of the submission/completion interleaving:
+//! the same tick schedule produces the same decisions at every worker
+//! count, on every machine, which is what lets the wire acceptance tests
+//! pin exact rate-limit behavior. It also makes the limit *load-adaptive*
+//! for free: tokens come back exactly as fast as the service retires work,
+//! so a saturated service slows every tenant's refill instead of letting
+//! wall-clock refills pile up an unserviceable backlog.
+
+use std::collections::HashMap;
+
+/// A tenant's budget: up to `burst` submissions on a full bucket, refilled
+/// at `refill_per_tick` tokens per completed job service-wide.
+///
+/// `refill_per_tick = 0` is a deterministic **hard quota**: exactly
+/// `burst` admissions ever, independent of timing — the shape the
+/// acceptance tests use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Quota {
+    /// Bucket capacity (buckets start full).
+    pub burst: u64,
+    /// Tokens returned per completed-job tick, capped at `burst`.
+    pub refill_per_tick: u64,
+}
+
+impl Quota {
+    /// No limiting: a bucket that can never run dry.
+    pub const UNLIMITED: Quota = Quota { burst: u64::MAX, refill_per_tick: u64::MAX };
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Bucket {
+    tokens: u64,
+    last_tick: u64,
+}
+
+/// Token buckets for every tenant seen on the wire, with per-tenant quota
+/// overrides over a default.
+///
+/// Single-owner (the server's event loop); no interior locking.
+#[derive(Debug)]
+pub struct TenantLimiter {
+    default: Quota,
+    overrides: HashMap<u32, Quota>,
+    buckets: HashMap<u32, Bucket>,
+}
+
+impl TenantLimiter {
+    /// A limiter applying `default` to every tenant without an override.
+    pub fn new(default: Quota) -> Self {
+        TenantLimiter { default, overrides: HashMap::new(), buckets: HashMap::new() }
+    }
+
+    /// Installs a per-tenant override. Resets the tenant's bucket so the
+    /// new burst takes effect immediately.
+    pub fn set_quota(&mut self, tenant: u32, quota: Quota) {
+        self.overrides.insert(tenant, quota);
+        self.buckets.remove(&tenant);
+    }
+
+    /// The quota governing `tenant`.
+    pub fn quota(&self, tenant: u32) -> Quota {
+        self.overrides.get(&tenant).copied().unwrap_or(self.default)
+    }
+
+    /// Admits or denies one submission from `tenant` at tick `now_tick`.
+    /// Admission costs one token; a denied submission costs nothing (the
+    /// refusal frame is free, so a flooding tenant cannot starve itself
+    /// further).
+    pub fn admit(&mut self, tenant: u32, now_tick: u64) -> bool {
+        let quota = self.quota(tenant);
+        let bucket = self
+            .buckets
+            .entry(tenant)
+            .or_insert(Bucket { tokens: quota.burst, last_tick: now_tick });
+        if now_tick > bucket.last_tick {
+            let elapsed = now_tick - bucket.last_tick;
+            let refill = quota.refill_per_tick.saturating_mul(elapsed);
+            bucket.tokens = bucket.tokens.saturating_add(refill).min(quota.burst);
+            bucket.last_tick = now_tick;
+        }
+        if bucket.tokens == 0 {
+            return false;
+        }
+        bucket.tokens -= 1;
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hard_quota_admits_exactly_burst_and_never_refills() {
+        let mut l = TenantLimiter::new(Quota { burst: 3, refill_per_tick: 0 });
+        let decisions: Vec<bool> = (0..6).map(|i| l.admit(1, i)).collect();
+        assert_eq!(decisions, [true, true, true, false, false, false]);
+    }
+
+    #[test]
+    fn refill_is_tick_driven_and_caps_at_burst() {
+        let mut l = TenantLimiter::new(Quota { burst: 2, refill_per_tick: 1 });
+        assert!(l.admit(1, 0));
+        assert!(l.admit(1, 0));
+        assert!(!l.admit(1, 0), "bucket empty, no tick elapsed");
+        assert!(l.admit(1, 1), "one tick refills one token");
+        assert!(!l.admit(1, 1));
+        // 100 idle ticks refill to the cap, not beyond
+        assert!(l.admit(1, 101));
+        assert!(l.admit(1, 101));
+        assert!(!l.admit(1, 101), "refill caps at burst=2");
+    }
+
+    #[test]
+    fn tenants_have_independent_buckets_and_overrides() {
+        let mut l = TenantLimiter::new(Quota { burst: 1, refill_per_tick: 0 });
+        l.set_quota(9, Quota::UNLIMITED);
+        assert!(l.admit(1, 0));
+        assert!(!l.admit(1, 0), "tenant 1 exhausted");
+        assert!(l.admit(2, 0), "tenant 2 has its own bucket");
+        for _ in 0..1000 {
+            assert!(l.admit(9, 0), "unlimited tenant never denied");
+        }
+    }
+
+    #[test]
+    fn ticks_never_run_backwards() {
+        let mut l = TenantLimiter::new(Quota { burst: 1, refill_per_tick: 1 });
+        assert!(l.admit(1, 10));
+        // a stale (smaller) tick must not panic or refill
+        assert!(!l.admit(1, 9));
+        assert!(l.admit(1, 11));
+    }
+}

@@ -1,0 +1,826 @@
+//! The `CLQWIRE` framing: a versioned, length-prefixed binary protocol
+//! carrying submissions and outcomes between external tenants and a
+//! [`service::Service`].
+//!
+//! Same codec discipline as the corpus (`CLQCORPS`) and trace (`CLQTRACE`)
+//! formats: an 8-byte header (7-byte magic + format-version byte), every
+//! multi-byte integer little-endian, bounds-checked reads, typed decode
+//! errors, and the canonical-bytes law `from_bytes ∘ to_bytes = id` — a
+//! frame re-encodes to exactly the bytes it was decoded from, and a body
+//! with trailing bytes is rejected rather than silently truncated.
+//!
+//! # Wire layout
+//!
+//! Each frame on the socket is
+//!
+//! ```text
+//! u32 LE body_len | body
+//! body = "CLQWIRE" | version u8 | tag u8 | payload
+//! ```
+//!
+//! | tag | frame | payload |
+//! |-----|-------|---------|
+//! | 0 | `Hello` | `tenant u32` |
+//! | 1 | `Submit` | `request_id u64`, [`WireJob`] |
+//! | 2 | `Outcome` | `request_id u64`, [`WireOutcome`] |
+//! | 3 | `Error` | `request_id u64`, [`WireRefusal`] |
+//! | 4 | `Bye` | — |
+//!
+//! The length prefix is **not** part of the body: `body_len` counts the
+//! bytes after it, so a reader can frame without decoding. Frames longer
+//! than the receiver's configured cap are rejected with
+//! [`WireError::FrameTooLong`] before any allocation proportional to the
+//! claimed length.
+
+use clique_listing::{EngineChoice, ListingConfig};
+use congest::faults::RunStats;
+use service::{Algo, GraphInput, GraphSpec, Job, JobError, JobOutcome, JobReport};
+
+/// Magic bytes opening every frame body.
+pub const WIRE_MAGIC: [u8; 7] = *b"CLQWIRE";
+
+/// Format version written after the magic. Bump on any layout change.
+pub const WIRE_FORMAT_VERSION: u8 = 1;
+
+/// Default cap on a single frame's body length (1 MiB). Graph specs are a
+/// few dozen bytes and reports a few hundred, so anything near this is a
+/// corrupt or hostile length prefix.
+pub const DEFAULT_MAX_FRAME_LEN: usize = 1 << 20;
+
+/// Why a frame could not be decoded (or a socket operation failed).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// An underlying socket read/write failed (client-side helper errors).
+    Io(String),
+    /// The body did not open with [`WIRE_MAGIC`].
+    BadMagic,
+    /// The body's format version is not [`WIRE_FORMAT_VERSION`].
+    VersionMismatch {
+        /// The version byte the peer sent.
+        found: u8,
+    },
+    /// Structurally invalid body: truncated field, unknown tag,
+    /// non-canonical bool, bad UTF-8, or trailing bytes.
+    Malformed(&'static str),
+    /// The length prefix claims a body longer than the receiver's cap.
+    FrameTooLong {
+        /// The claimed body length.
+        len: usize,
+        /// The receiver's configured cap.
+        max: usize,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Io(msg) => write!(f, "wire i/o error: {msg}"),
+            WireError::BadMagic => write!(f, "bad frame magic (expected \"CLQWIRE\")"),
+            WireError::VersionMismatch { found } => write!(
+                f,
+                "wire format version mismatch: peer sent v{found}, this side speaks \
+                 v{WIRE_FORMAT_VERSION}"
+            ),
+            WireError::Malformed(what) => write!(f, "malformed frame: {what}"),
+            WireError::FrameTooLong { len, max } => {
+                write!(f, "frame body of {len} bytes exceeds the {max}-byte cap")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// A job as it travels over the socket: the query (graph + `p` + algorithm)
+/// plus the scheduling knobs a remote tenant is allowed to set. The server
+/// rebuilds a [`Job`] from it with a default [`ListingConfig`] (engine
+/// overridden by [`WireJob::engine`]) and stamps the **connection's**
+/// tenant id — a tenant cannot impersonate another, because tenant identity
+/// is never read from the submit frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireJob {
+    /// The graph to query (spec or cached fingerprint).
+    pub graph: GraphInput,
+    /// Clique size `p`.
+    pub p: u64,
+    /// Algorithm choice.
+    pub algo: Algo,
+    /// Round-engine choice (a wall-clock knob; answers are identical).
+    pub engine: EngineChoice,
+    /// Queue priority (higher pops first).
+    pub priority: u8,
+    /// Round-budget deadline, if any.
+    pub deadline_rounds: Option<u64>,
+}
+
+impl WireJob {
+    /// A job with neutral scheduling knobs: sequential engine, priority 0,
+    /// no deadline.
+    pub fn new(graph: GraphInput, p: u64, algo: Algo) -> Self {
+        WireJob {
+            graph,
+            p,
+            algo,
+            engine: EngineChoice::Sequential,
+            priority: 0,
+            deadline_rounds: None,
+        }
+    }
+
+    /// Extracts the wire-visible fields of a local [`Job`] (everything a
+    /// remote tenant could have set; other `ListingConfig` knobs are
+    /// dropped). Used by the loadgen to replay in-process scenarios over
+    /// the socket.
+    pub fn from_job(job: &Job) -> Self {
+        WireJob {
+            graph: job.graph.clone(),
+            p: job.p as u64,
+            algo: job.algo,
+            engine: job.config.engine,
+            priority: job.meta.priority,
+            deadline_rounds: job.meta.deadline_rounds,
+        }
+    }
+
+    /// Rebuilds the [`Job`] the server runs, stamped with the connection's
+    /// tenant id.
+    pub fn into_job(self, tenant: u32) -> Job {
+        let config = ListingConfig { engine: self.engine, ..ListingConfig::default() };
+        let mut job = Job::new(self.graph, self.p as usize, config, self.algo)
+            .with_priority(self.priority)
+            .with_tenant(tenant);
+        if let Some(rounds) = self.deadline_rounds {
+            job = job.with_deadline_rounds(rounds);
+        }
+        job
+    }
+}
+
+/// The answer a tenant receives: the deterministic report (or typed
+/// failure) plus the cache-hit observation. Wall-clock latency and traces
+/// stay server-side — they are per-execution observations a remote client
+/// can measure (or not use) itself.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireOutcome {
+    /// The deterministic answer.
+    pub report: Result<JobReport, JobError>,
+    /// Whether the graph came out of the corpus cache.
+    pub cache_hit: bool,
+}
+
+impl From<&JobOutcome> for WireOutcome {
+    fn from(o: &JobOutcome) -> Self {
+        WireOutcome { report: o.report.clone(), cache_hit: o.cache_hit }
+    }
+}
+
+/// Why a submission was refused *before* it became a job. Refusals are
+/// typed error frames, never dropped connections: the tenant keeps its
+/// session and can resubmit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WireRefusal {
+    /// The tenant's token bucket was empty at submit time.
+    RateLimited {
+        /// The refused tenant (the connection's own id, echoed back).
+        tenant: u32,
+    },
+    /// The service queue was at its cap (the wire face of
+    /// [`JobError::Rejected`]).
+    Shed {
+        /// Queued jobs at the instant of rejection.
+        queue_depth: u64,
+        /// The configured queue cap.
+        queue_cap: u64,
+    },
+}
+
+/// One protocol frame. See the [module docs](self) for the byte layout.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Frame {
+    /// First frame on a connection: binds it to a tenant id.
+    Hello {
+        /// The tenant every later submit on this connection runs as.
+        tenant: u32,
+    },
+    /// A job submission. `request_id` is the client's correlation key,
+    /// echoed on the matching `Outcome` or `Error` frame (outcomes stream
+    /// back in completion order, not submission order).
+    Submit {
+        /// Client-chosen correlation id.
+        request_id: u64,
+        /// The query.
+        job: WireJob,
+    },
+    /// A completed job's answer.
+    Outcome {
+        /// The submit frame's correlation id.
+        request_id: u64,
+        /// The answer.
+        outcome: WireOutcome,
+    },
+    /// A refused submission (rate limit or queue shed).
+    Error {
+        /// The submit frame's correlation id.
+        request_id: u64,
+        /// Why it was refused.
+        refusal: WireRefusal,
+    },
+    /// Client is done submitting; the server finishes streaming pending
+    /// outcomes, then closes.
+    Bye,
+}
+
+const TAG_HELLO: u8 = 0;
+const TAG_SUBMIT: u8 = 1;
+const TAG_OUTCOME: u8 = 2;
+const TAG_ERROR: u8 = 3;
+const TAG_BYE: u8 = 4;
+
+// ---------------------------------------------------------------- encode
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_bool(out: &mut Vec<u8>, b: bool) {
+    out.push(b as u8);
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn put_opt_u64(out: &mut Vec<u8>, v: Option<u64>) {
+    match v {
+        None => out.push(0),
+        Some(x) => {
+            out.push(1);
+            put_u64(out, x);
+        }
+    }
+}
+
+fn put_graph(out: &mut Vec<u8>, g: &GraphInput) {
+    match g {
+        GraphInput::Spec(spec) => {
+            out.push(0);
+            spec.encode_bytes(out);
+        }
+        GraphInput::Cached(fp) => {
+            out.push(1);
+            put_u64(out, *fp);
+        }
+    }
+}
+
+fn put_algo(out: &mut Vec<u8>, a: Algo) {
+    match a {
+        Algo::Paper => out.push(0),
+        Algo::Randomized { seed } => {
+            out.push(1);
+            put_u64(out, seed);
+        }
+        Algo::Naive => out.push(2),
+        Algo::Dlp12 => out.push(3),
+    }
+}
+
+fn put_engine(out: &mut Vec<u8>, e: EngineChoice) {
+    match e {
+        EngineChoice::Sequential => out.push(0),
+        EngineChoice::Sharded(n) => {
+            out.push(1);
+            put_u64(out, n as u64);
+        }
+    }
+}
+
+fn put_job(out: &mut Vec<u8>, j: &WireJob) {
+    put_graph(out, &j.graph);
+    put_u64(out, j.p);
+    put_algo(out, j.algo);
+    put_engine(out, j.engine);
+    out.push(j.priority);
+    put_opt_u64(out, j.deadline_rounds);
+}
+
+fn put_stats(out: &mut Vec<u8>, s: &RunStats) {
+    put_u64(out, s.dropped);
+    put_u64(out, s.corrupted);
+    put_u64(out, s.crashed);
+    put_u64(out, s.retries);
+    put_u64(out, s.penalty_rounds);
+    put_bool(out, s.exhausted);
+}
+
+fn put_report(out: &mut Vec<u8>, r: &JobReport) {
+    put_u64(out, r.graph_fingerprint);
+    put_u64(out, r.clique_count as u64);
+    put_u64(out, r.clique_digest);
+    put_u64(out, r.rounds);
+    put_u64(out, r.messages);
+    put_u64(out, r.depth as u64);
+    put_bool(out, r.truncated);
+    put_bool(out, r.fallback_used);
+    put_stats(out, &r.faults);
+}
+
+fn put_job_error(out: &mut Vec<u8>, e: &JobError) {
+    match e {
+        JobError::DeadlineExceeded { deadline_rounds, rounds_used, truncated } => {
+            out.push(0);
+            put_u64(out, *deadline_rounds);
+            put_u64(out, *rounds_used);
+            put_bool(out, *truncated);
+        }
+        JobError::WallDeadlineExceeded { deadline_ms, elapsed_ms, rounds_used, truncated } => {
+            out.push(1);
+            put_u64(out, *deadline_ms);
+            put_u64(out, *elapsed_ms);
+            put_u64(out, *rounds_used);
+            put_bool(out, *truncated);
+        }
+        JobError::GraphBuild { spec, message } => {
+            out.push(2);
+            put_str(out, spec);
+            put_str(out, message);
+        }
+        JobError::UnknownFingerprint(fp) => {
+            out.push(3);
+            put_u64(out, *fp);
+        }
+        JobError::Panicked(msg) => {
+            out.push(4);
+            put_str(out, msg);
+        }
+        JobError::FaultBudgetExhausted { retries } => {
+            out.push(5);
+            put_u64(out, *retries);
+        }
+        JobError::Rejected { queue_depth, queue_cap } => {
+            out.push(6);
+            put_u64(out, *queue_depth as u64);
+            put_u64(out, *queue_cap as u64);
+        }
+    }
+}
+
+fn put_outcome(out: &mut Vec<u8>, o: &WireOutcome) {
+    match &o.report {
+        Ok(report) => {
+            out.push(0);
+            put_report(out, report);
+        }
+        Err(err) => {
+            out.push(1);
+            put_job_error(out, err);
+        }
+    }
+    put_bool(out, o.cache_hit);
+}
+
+fn put_refusal(out: &mut Vec<u8>, r: &WireRefusal) {
+    match r {
+        WireRefusal::RateLimited { tenant } => {
+            out.push(0);
+            put_u32(out, *tenant);
+        }
+        WireRefusal::Shed { queue_depth, queue_cap } => {
+            out.push(1);
+            put_u64(out, *queue_depth);
+            put_u64(out, *queue_cap);
+        }
+    }
+}
+
+// ---------------------------------------------------------------- decode
+
+/// Bounds-checked little-endian reader over a frame body.
+struct Rd<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Rd<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Rd { buf, pos: 0 }
+    }
+
+    fn bytes(&mut self, n: usize, what: &'static str) -> Result<&'a [u8], WireError> {
+        let end = self.pos.checked_add(n).ok_or(WireError::Malformed(what))?;
+        if end > self.buf.len() {
+            return Err(WireError::Malformed(what));
+        }
+        let s = &self.buf[self.pos..end];
+        self.pos = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, WireError> {
+        Ok(self.bytes(1, what)?[0])
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, WireError> {
+        let b = self.bytes(4, what)?;
+        Ok(u32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, WireError> {
+        let b = self.bytes(8, what)?;
+        let mut w = [0u8; 8];
+        w.copy_from_slice(b);
+        Ok(u64::from_le_bytes(w))
+    }
+
+    fn bool(&mut self, what: &'static str) -> Result<bool, WireError> {
+        match self.u8(what)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(WireError::Malformed("non-canonical bool")),
+        }
+    }
+
+    fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u32(what)? as usize;
+        let b = self.bytes(len, what)?;
+        String::from_utf8(b.to_vec()).map_err(|_| WireError::Malformed("string is not UTF-8"))
+    }
+
+    fn opt_u64(&mut self, what: &'static str) -> Result<Option<u64>, WireError> {
+        match self.u8(what)? {
+            0 => Ok(None),
+            1 => Ok(Some(self.u64(what)?)),
+            _ => Err(WireError::Malformed("non-canonical option tag")),
+        }
+    }
+
+    fn done(&self) -> bool {
+        self.pos == self.buf.len()
+    }
+}
+
+fn get_graph(r: &mut Rd<'_>) -> Result<GraphInput, WireError> {
+    match r.u8("graph tag")? {
+        0 => {
+            let (spec, used) = GraphSpec::decode_bytes(&r.buf[r.pos..])
+                .ok_or(WireError::Malformed("graph spec"))?;
+            r.pos += used;
+            Ok(GraphInput::Spec(spec))
+        }
+        1 => Ok(GraphInput::Cached(r.u64("cached fingerprint")?)),
+        _ => Err(WireError::Malformed("unknown graph tag")),
+    }
+}
+
+fn get_algo(r: &mut Rd<'_>) -> Result<Algo, WireError> {
+    match r.u8("algo tag")? {
+        0 => Ok(Algo::Paper),
+        1 => Ok(Algo::Randomized { seed: r.u64("randomized seed")? }),
+        2 => Ok(Algo::Naive),
+        3 => Ok(Algo::Dlp12),
+        _ => Err(WireError::Malformed("unknown algo tag")),
+    }
+}
+
+fn get_engine(r: &mut Rd<'_>) -> Result<EngineChoice, WireError> {
+    match r.u8("engine tag")? {
+        0 => Ok(EngineChoice::Sequential),
+        1 => {
+            let n = usize::try_from(r.u64("shard count")?)
+                .map_err(|_| WireError::Malformed("shard count overflows usize"))?;
+            Ok(EngineChoice::Sharded(n))
+        }
+        _ => Err(WireError::Malformed("unknown engine tag")),
+    }
+}
+
+fn get_job(r: &mut Rd<'_>) -> Result<WireJob, WireError> {
+    Ok(WireJob {
+        graph: get_graph(r)?,
+        p: r.u64("p")?,
+        algo: get_algo(r)?,
+        engine: get_engine(r)?,
+        priority: r.u8("priority")?,
+        deadline_rounds: r.opt_u64("deadline_rounds")?,
+    })
+}
+
+fn get_stats(r: &mut Rd<'_>) -> Result<RunStats, WireError> {
+    Ok(RunStats {
+        dropped: r.u64("faults.dropped")?,
+        corrupted: r.u64("faults.corrupted")?,
+        crashed: r.u64("faults.crashed")?,
+        retries: r.u64("faults.retries")?,
+        penalty_rounds: r.u64("faults.penalty_rounds")?,
+        exhausted: r.bool("faults.exhausted")?,
+    })
+}
+
+fn get_usize(r: &mut Rd<'_>, what: &'static str) -> Result<usize, WireError> {
+    usize::try_from(r.u64(what)?).map_err(|_| WireError::Malformed("count overflows usize"))
+}
+
+fn get_report(r: &mut Rd<'_>) -> Result<JobReport, WireError> {
+    Ok(JobReport {
+        graph_fingerprint: r.u64("graph_fingerprint")?,
+        clique_count: get_usize(r, "clique_count")?,
+        clique_digest: r.u64("clique_digest")?,
+        rounds: r.u64("rounds")?,
+        messages: r.u64("messages")?,
+        depth: get_usize(r, "depth")?,
+        truncated: r.bool("truncated")?,
+        fallback_used: r.bool("fallback_used")?,
+        faults: get_stats(r)?,
+    })
+}
+
+fn get_job_error(r: &mut Rd<'_>) -> Result<JobError, WireError> {
+    match r.u8("error tag")? {
+        0 => Ok(JobError::DeadlineExceeded {
+            deadline_rounds: r.u64("deadline_rounds")?,
+            rounds_used: r.u64("rounds_used")?,
+            truncated: r.bool("truncated")?,
+        }),
+        1 => Ok(JobError::WallDeadlineExceeded {
+            deadline_ms: r.u64("deadline_ms")?,
+            elapsed_ms: r.u64("elapsed_ms")?,
+            rounds_used: r.u64("rounds_used")?,
+            truncated: r.bool("truncated")?,
+        }),
+        2 => Ok(JobError::GraphBuild {
+            spec: r.str("graph-build spec")?,
+            message: r.str("graph-build message")?,
+        }),
+        3 => Ok(JobError::UnknownFingerprint(r.u64("unknown fingerprint")?)),
+        4 => Ok(JobError::Panicked(r.str("panic message")?)),
+        5 => Ok(JobError::FaultBudgetExhausted { retries: r.u64("retries")? }),
+        6 => Ok(JobError::Rejected {
+            queue_depth: get_usize(r, "queue_depth")?,
+            queue_cap: get_usize(r, "queue_cap")?,
+        }),
+        _ => Err(WireError::Malformed("unknown error tag")),
+    }
+}
+
+fn get_outcome(r: &mut Rd<'_>) -> Result<WireOutcome, WireError> {
+    let report = match r.u8("outcome tag")? {
+        0 => Ok(get_report(r)?),
+        1 => Err(get_job_error(r)?),
+        _ => return Err(WireError::Malformed("unknown outcome tag")),
+    };
+    Ok(WireOutcome { report, cache_hit: r.bool("cache_hit")? })
+}
+
+fn get_refusal(r: &mut Rd<'_>) -> Result<WireRefusal, WireError> {
+    match r.u8("refusal tag")? {
+        0 => Ok(WireRefusal::RateLimited { tenant: r.u32("refused tenant")? }),
+        1 => Ok(WireRefusal::Shed {
+            queue_depth: r.u64("shed queue_depth")?,
+            queue_cap: r.u64("shed queue_cap")?,
+        }),
+        _ => Err(WireError::Malformed("unknown refusal tag")),
+    }
+}
+
+impl Frame {
+    /// Encodes the frame **including** its `u32` length prefix — the bytes
+    /// to write to a socket verbatim.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut body = Vec::with_capacity(64);
+        body.extend_from_slice(&WIRE_MAGIC);
+        body.push(WIRE_FORMAT_VERSION);
+        match self {
+            Frame::Hello { tenant } => {
+                body.push(TAG_HELLO);
+                put_u32(&mut body, *tenant);
+            }
+            Frame::Submit { request_id, job } => {
+                body.push(TAG_SUBMIT);
+                put_u64(&mut body, *request_id);
+                put_job(&mut body, job);
+            }
+            Frame::Outcome { request_id, outcome } => {
+                body.push(TAG_OUTCOME);
+                put_u64(&mut body, *request_id);
+                put_outcome(&mut body, outcome);
+            }
+            Frame::Error { request_id, refusal } => {
+                body.push(TAG_ERROR);
+                put_u64(&mut body, *request_id);
+                put_refusal(&mut body, refusal);
+            }
+            Frame::Bye => body.push(TAG_BYE),
+        }
+        let mut out = Vec::with_capacity(4 + body.len());
+        put_u32(&mut out, body.len() as u32);
+        out.extend_from_slice(&body);
+        out
+    }
+
+    /// Decodes one frame **body** (the bytes after the length prefix).
+    /// Canonical: trailing bytes after the payload are an error, so
+    /// `from_bytes(to_bytes(f)[4..]) == f` and nothing else decodes to `f`.
+    pub fn from_bytes(body: &[u8]) -> Result<Frame, WireError> {
+        let mut r = Rd::new(body);
+        let magic = r.bytes(WIRE_MAGIC.len(), "magic")?;
+        if magic != WIRE_MAGIC {
+            return Err(WireError::BadMagic);
+        }
+        let version = r.u8("version")?;
+        if version != WIRE_FORMAT_VERSION {
+            return Err(WireError::VersionMismatch { found: version });
+        }
+        let frame = match r.u8("frame tag")? {
+            TAG_HELLO => Frame::Hello { tenant: r.u32("hello tenant")? },
+            TAG_SUBMIT => Frame::Submit { request_id: r.u64("request_id")?, job: get_job(&mut r)? },
+            TAG_OUTCOME => {
+                Frame::Outcome { request_id: r.u64("request_id")?, outcome: get_outcome(&mut r)? }
+            }
+            TAG_ERROR => {
+                Frame::Error { request_id: r.u64("request_id")?, refusal: get_refusal(&mut r)? }
+            }
+            TAG_BYE => Frame::Bye,
+            _ => return Err(WireError::Malformed("unknown frame tag")),
+        };
+        if !r.done() {
+            return Err(WireError::Malformed("trailing bytes after frame payload"));
+        }
+        Ok(frame)
+    }
+}
+
+/// Incremental frame parser over a receive buffer.
+///
+/// Returns `Ok(None)` when `buf` does not yet hold a complete frame (read
+/// more and call again), or `Ok(Some((frame, consumed)))` where `consumed`
+/// counts the length prefix plus the body — drain that many bytes from the
+/// front of `buf` before the next call. Errors are fatal for the
+/// connection: framing cannot resynchronize after a bad prefix.
+pub fn decode_stream(
+    buf: &[u8],
+    max_frame_len: usize,
+) -> Result<Option<(Frame, usize)>, WireError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_le_bytes([buf[0], buf[1], buf[2], buf[3]]) as usize;
+    if len > max_frame_len {
+        return Err(WireError::FrameTooLong { len, max: max_frame_len });
+    }
+    let Some(body) = buf.get(4..4 + len) else {
+        return Ok(None);
+    };
+    Ok(Some((Frame::from_bytes(body)?, 4 + len)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        let report = JobReport {
+            graph_fingerprint: 0x1234_5678_9abc_def0,
+            clique_count: 41,
+            clique_digest: 7,
+            rounds: 993,
+            messages: 120_422,
+            depth: 3,
+            truncated: false,
+            fallback_used: true,
+            faults: RunStats {
+                dropped: 2,
+                corrupted: 1,
+                crashed: 0,
+                retries: 5,
+                penalty_rounds: 9,
+                exhausted: false,
+            },
+        };
+        vec![
+            Frame::Hello { tenant: 7 },
+            Frame::Submit {
+                request_id: 99,
+                job: WireJob {
+                    graph: GraphInput::Spec(GraphSpec::ErdosRenyi { n: 64, p: 0.25, seed: 11 }),
+                    p: 3,
+                    algo: Algo::Randomized { seed: 5 },
+                    engine: EngineChoice::Sharded(4),
+                    priority: 9,
+                    deadline_rounds: Some(10_000),
+                },
+            },
+            Frame::Submit {
+                request_id: 100,
+                job: WireJob::new(GraphInput::Cached(42), 4, Algo::Paper),
+            },
+            Frame::Outcome {
+                request_id: 99,
+                outcome: WireOutcome { report: Ok(report), cache_hit: true },
+            },
+            Frame::Outcome {
+                request_id: 100,
+                outcome: WireOutcome {
+                    report: Err(JobError::Panicked("p too small".into())),
+                    cache_hit: false,
+                },
+            },
+            Frame::Error { request_id: 101, refusal: WireRefusal::RateLimited { tenant: 7 } },
+            Frame::Error {
+                request_id: 102,
+                refusal: WireRefusal::Shed { queue_depth: 8, queue_cap: 8 },
+            },
+            Frame::Bye,
+        ]
+    }
+
+    #[test]
+    fn every_frame_round_trips() {
+        for f in sample_frames() {
+            let bytes = f.to_bytes();
+            let (decoded, used) =
+                decode_stream(&bytes, DEFAULT_MAX_FRAME_LEN).unwrap().expect("complete frame");
+            assert_eq!(used, bytes.len());
+            assert_eq!(decoded, f);
+            assert_eq!(decoded.to_bytes(), bytes, "re-encode must be byte-identical");
+        }
+    }
+
+    #[test]
+    fn every_job_error_variant_round_trips() {
+        let errors = vec![
+            JobError::DeadlineExceeded { deadline_rounds: 10, rounds_used: 22, truncated: true },
+            JobError::WallDeadlineExceeded {
+                deadline_ms: 5,
+                elapsed_ms: 6,
+                rounds_used: 7,
+                truncated: false,
+            },
+            JobError::GraphBuild { spec: "er/n=0".into(), message: "empty graph".into() },
+            JobError::UnknownFingerprint(0xdead_beef),
+            JobError::Panicked("boom".into()),
+            JobError::FaultBudgetExhausted { retries: 12 },
+            JobError::Rejected { queue_depth: 3, queue_cap: 3 },
+        ];
+        for e in errors {
+            let f = Frame::Outcome {
+                request_id: 1,
+                outcome: WireOutcome { report: Err(e), cache_hit: false },
+            };
+            let bytes = f.to_bytes();
+            assert_eq!(Frame::from_bytes(&bytes[4..]).unwrap(), f);
+        }
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let mut bytes = Frame::Bye.to_bytes();
+        bytes.push(0);
+        assert_eq!(
+            Frame::from_bytes(&bytes[4..]),
+            Err(WireError::Malformed("trailing bytes after frame payload"))
+        );
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed_errors() {
+        let good = Frame::Hello { tenant: 1 }.to_bytes();
+        let mut bad_magic = good.clone();
+        bad_magic[4] = b'X';
+        assert_eq!(Frame::from_bytes(&bad_magic[4..]), Err(WireError::BadMagic));
+        let mut bad_version = good.clone();
+        bad_version[4 + 7] = WIRE_FORMAT_VERSION + 1;
+        assert_eq!(
+            Frame::from_bytes(&bad_version[4..]),
+            Err(WireError::VersionMismatch { found: WIRE_FORMAT_VERSION + 1 })
+        );
+    }
+
+    #[test]
+    fn decode_stream_waits_for_a_complete_frame() {
+        let bytes = Frame::Hello { tenant: 3 }.to_bytes();
+        for cut in 0..bytes.len() {
+            assert_eq!(decode_stream(&bytes[..cut], DEFAULT_MAX_FRAME_LEN).unwrap(), None);
+        }
+        let two: Vec<u8> = [bytes.clone(), Frame::Bye.to_bytes()].concat();
+        let (f, used) = decode_stream(&two, DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(f, Frame::Hello { tenant: 3 });
+        let (f2, _) = decode_stream(&two[used..], DEFAULT_MAX_FRAME_LEN).unwrap().unwrap();
+        assert_eq!(f2, Frame::Bye);
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected_before_buffering() {
+        let mut bytes = Frame::Bye.to_bytes();
+        let huge = (DEFAULT_MAX_FRAME_LEN as u32) + 1;
+        bytes[..4].copy_from_slice(&huge.to_le_bytes());
+        assert_eq!(
+            decode_stream(&bytes, DEFAULT_MAX_FRAME_LEN),
+            Err(WireError::FrameTooLong { len: huge as usize, max: DEFAULT_MAX_FRAME_LEN })
+        );
+    }
+}

@@ -1,0 +1,401 @@
+//! The socket front-end: a hand-rolled readiness-polling event loop over
+//! non-blocking `std::net` sockets, serving [`Service`] to external
+//! tenants.
+//!
+//! # Design
+//!
+//! One background thread owns everything: the listener, every connection's
+//! buffers, the per-tenant [`TenantLimiter`], and the set of in-flight
+//! tickets. Each loop iteration sweeps
+//!
+//! 1. **accept** — drain the non-blocking listener;
+//! 2. **read** — drain each socket into its receive buffer, then decode
+//!    and handle complete frames ([`Frame::Hello`] binds the tenant,
+//!    [`Frame::Submit`] goes through the limiter and
+//!    [`Service::try_submit_with`], [`Frame::Bye`] starts draining);
+//! 3. **complete** — poll [`Service::try_wait`] for each connection's
+//!    pending tickets and encode `Outcome` frames, **stopping when the
+//!    connection's write buffer reaches its cap** (backpressure: unclaimed
+//!    outcomes park in the service's finished map, bounded by the queue
+//!    cap, instead of growing an unbounded write buffer);
+//! 4. **write** — flush write buffers until `WouldBlock`;
+//! 5. **reap** — close drained/dead connections; their still-pending
+//!    tickets move to an orphan list the loop keeps polling so completed
+//!    outcomes are discarded rather than leaked in the finished map.
+//!
+//! When nothing happened in a full sweep the thread sleeps a few hundred
+//! microseconds — a deliberate trade: this workload runs jobs that take
+//! milliseconds, so a sub-millisecond poll tax is invisible, and the
+//! single thread stays honest on single-core containers where an epoll
+//! registry would buy nothing. There is no `epoll`/`kqueue` dependency and
+//! no crates.io; `std::net` non-blocking sockets are the whole substrate.
+//!
+//! Protocol violations (bad magic, version mismatch, malformed frames,
+//! submits before `Hello`) kill the connection — framing cannot
+//! resynchronize after a corrupt prefix, and refusing to guess is the
+//! deterministic choice. Quota and queue refusals, by contrast, are typed
+//! [`Frame::Error`] frames on a healthy connection.
+
+use std::io::{ErrorKind, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use service::{JobError, Service, Ticket};
+
+use crate::limit::{Quota, TenantLimiter};
+use crate::protocol::{decode_stream, Frame, WireOutcome, WireRefusal, DEFAULT_MAX_FRAME_LEN};
+
+/// Tuning for [`serve`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Quota for tenants without an override.
+    pub default_quota: Quota,
+    /// Per-tenant quota overrides.
+    pub tenant_quotas: Vec<(u32, Quota)>,
+    /// Per-connection write-buffer cap in bytes. Once a connection's
+    /// buffer is at or above this, the loop stops claiming outcomes for it
+    /// until the client drains some bytes.
+    pub write_buf_cap: usize,
+    /// Cap on a single received frame's body length.
+    pub max_frame_len: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            default_quota: Quota::UNLIMITED,
+            tenant_quotas: Vec::new(),
+            write_buf_cap: 64 << 10,
+            max_frame_len: DEFAULT_MAX_FRAME_LEN,
+        }
+    }
+}
+
+/// Handle to a running wire server. Dropping it stops the event loop and
+/// joins the thread (in-flight jobs are waited for and their outcomes
+/// discarded, so nothing leaks in the service's finished map).
+#[derive(Debug)]
+pub struct WireServer {
+    local_addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    thread: Option<std::thread::JoinHandle<()>>,
+}
+
+impl WireServer {
+    /// The bound address — with port 0 binds, the actual ephemeral port.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+}
+
+impl Drop for WireServer {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Release);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+/// One live connection's state.
+struct Conn {
+    stream: TcpStream,
+    rbuf: Vec<u8>,
+    wbuf: Vec<u8>,
+    tenant: Option<u32>,
+    /// In-flight tickets with their request ids and submit instants,
+    /// oldest first.
+    pending: Vec<(Ticket, u64, Instant)>,
+    /// `Bye` received (or read side closed): no more submits; close once
+    /// pending and wbuf drain.
+    draining: bool,
+    /// Protocol violation or socket error: close now, orphaning pending.
+    dead: bool,
+}
+
+/// Binds `addr` and spawns the event loop serving `svc`.
+pub fn serve(svc: Arc<Service>, addr: &str, cfg: ServerConfig) -> std::io::Result<WireServer> {
+    let listener = TcpListener::bind(addr)?;
+    listener.set_nonblocking(true)?;
+    let local_addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("wire-server".into())
+            .spawn(move || event_loop(svc, listener, cfg, &stop))?
+    };
+    Ok(WireServer { local_addr, stop, thread: Some(thread) })
+}
+
+/// Serving directly off an `Arc<Service>`: `svc.serve("127.0.0.1:0")`.
+pub trait ServeExt {
+    /// [`serve`] with [`ServerConfig::default`] (no rate limits).
+    fn serve(self: &Arc<Self>, addr: &str) -> std::io::Result<WireServer>;
+    /// [`serve`] with explicit tuning.
+    fn serve_with(self: &Arc<Self>, addr: &str, cfg: ServerConfig) -> std::io::Result<WireServer>;
+}
+
+impl ServeExt for Service {
+    fn serve(self: &Arc<Self>, addr: &str) -> std::io::Result<WireServer> {
+        serve(Arc::clone(self), addr, ServerConfig::default())
+    }
+
+    fn serve_with(self: &Arc<Self>, addr: &str, cfg: ServerConfig) -> std::io::Result<WireServer> {
+        serve(Arc::clone(self), addr, cfg)
+    }
+}
+
+/// Arms the wire front-end from the `CLIQUE_WIRE` environment variable.
+///
+/// Unset or empty: returns `None` (the front-end stays off). A value that
+/// does not parse as `addr:port`, or that parses but cannot be bound,
+/// warns with [`obs::WarnKind::WireEnv`] and returns `None` — a typo'd
+/// address must not silently run an unreachable service.
+pub fn serve_from_env(svc: &Arc<Service>) -> Option<WireServer> {
+    let value = std::env::var("CLIQUE_WIRE").ok()?;
+    if value.trim().is_empty() {
+        return None;
+    }
+    let addr: SocketAddr = match value.trim().parse() {
+        Ok(a) => a,
+        Err(_) => {
+            obs::warn(
+                obs::WarnKind::WireEnv,
+                format_args!(
+                    "unrecognized CLIQUE_WIRE value {value:?} (expected addr:port, e.g. \
+                     127.0.0.1:9470); the socket front-end stays off"
+                ),
+            );
+            return None;
+        }
+    };
+    match svc.serve(&addr.to_string()) {
+        Ok(server) => Some(server),
+        Err(e) => {
+            obs::warn(
+                obs::WarnKind::WireEnv,
+                format_args!(
+                    "could not bind CLIQUE_WIRE address {addr}: {e}; the socket front-end \
+                     stays off"
+                ),
+            );
+            None
+        }
+    }
+}
+
+fn event_loop(svc: Arc<Service>, listener: TcpListener, cfg: ServerConfig, stop: &AtomicBool) {
+    let mut limiter = TenantLimiter::new(cfg.default_quota);
+    for &(tenant, quota) in &cfg.tenant_quotas {
+        limiter.set_quota(tenant, quota);
+    }
+    let mut conns: Vec<Conn> = Vec::new();
+    let mut orphans: Vec<Ticket> = Vec::new();
+    let mut scratch = [0u8; 16 << 10];
+
+    while !stop.load(Ordering::Acquire) {
+        let mut progressed = false;
+
+        // 1. accept
+        loop {
+            match listener.accept() {
+                Ok((stream, _peer)) => {
+                    if stream.set_nonblocking(true).is_err() {
+                        continue;
+                    }
+                    let _ = stream.set_nodelay(true);
+                    obs::metrics().wire_connections.inc();
+                    conns.push(Conn {
+                        stream,
+                        rbuf: Vec::new(),
+                        wbuf: Vec::new(),
+                        tenant: None,
+                        pending: Vec::new(),
+                        draining: false,
+                        dead: false,
+                    });
+                    progressed = true;
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(_) => break,
+            }
+        }
+
+        // 2. read + handle frames
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            loop {
+                match conn.stream.read(&mut scratch) {
+                    Ok(0) => {
+                        conn.draining = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        obs::metrics().wire_bytes_in.add(n as u64);
+                        conn.rbuf.extend_from_slice(&scratch[..n]);
+                        progressed = true;
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            while !conn.dead {
+                match decode_stream(&conn.rbuf, cfg.max_frame_len) {
+                    Ok(None) => break,
+                    Ok(Some((frame, used))) => {
+                        conn.rbuf.drain(..used);
+                        handle_frame(&svc, &mut limiter, conn, frame);
+                        progressed = true;
+                    }
+                    Err(_) => {
+                        // Framing cannot resynchronize; drop the
+                        // connection rather than guess at byte offsets.
+                        conn.dead = true;
+                    }
+                }
+            }
+        }
+
+        // 3. claim completed outcomes (bounded by the write-buffer cap)
+        for conn in &mut conns {
+            if conn.dead {
+                continue;
+            }
+            let mut i = 0;
+            while i < conn.pending.len() {
+                if conn.wbuf.len() >= cfg.write_buf_cap {
+                    break;
+                }
+                let (ticket, request_id, submitted) = conn.pending[i];
+                match svc.try_wait(ticket) {
+                    Some(outcome) => {
+                        conn.pending.remove(i);
+                        let frame =
+                            Frame::Outcome { request_id, outcome: WireOutcome::from(&outcome) };
+                        conn.wbuf.extend_from_slice(&frame.to_bytes());
+                        obs::metrics()
+                            .wire_frame_us
+                            .observe(submitted.elapsed().as_micros() as u64);
+                        progressed = true;
+                    }
+                    None => i += 1,
+                }
+            }
+        }
+
+        // 4. write
+        for conn in &mut conns {
+            if conn.dead || conn.wbuf.is_empty() {
+                continue;
+            }
+            let mut written = 0;
+            loop {
+                match conn.stream.write(&conn.wbuf[written..]) {
+                    Ok(0) => {
+                        conn.dead = true;
+                        break;
+                    }
+                    Ok(n) => {
+                        written += n;
+                        obs::metrics().wire_bytes_out.add(n as u64);
+                        progressed = true;
+                        if written == conn.wbuf.len() {
+                            break;
+                        }
+                    }
+                    Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                    Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                    Err(_) => {
+                        conn.dead = true;
+                        break;
+                    }
+                }
+            }
+            conn.wbuf.drain(..written);
+        }
+
+        // 5. reap
+        conns.retain_mut(|conn| {
+            let finished = conn.draining && conn.pending.is_empty() && conn.wbuf.is_empty();
+            if conn.dead || finished {
+                orphans.extend(conn.pending.iter().map(|&(t, _, _)| t));
+                false
+            } else {
+                true
+            }
+        });
+        orphans.retain(|&t| svc.try_wait(t).is_none());
+
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(300));
+        }
+    }
+
+    // Shutdown: discard every in-flight outcome so nothing leaks in the
+    // service's finished map after the server is gone.
+    for conn in &conns {
+        orphans.extend(conn.pending.iter().map(|&(t, _, _)| t));
+    }
+    for ticket in orphans {
+        let _ = svc.wait(ticket);
+    }
+}
+
+fn handle_frame(svc: &Service, limiter: &mut TenantLimiter, conn: &mut Conn, frame: Frame) {
+    match frame {
+        Frame::Hello { tenant } => {
+            if conn.tenant.is_some() {
+                conn.dead = true; // one Hello per connection
+                return;
+            }
+            conn.tenant = Some(tenant);
+        }
+        Frame::Submit { request_id, job } => {
+            let Some(tenant) = conn.tenant else {
+                conn.dead = true; // submit before Hello
+                return;
+            };
+            if conn.draining {
+                conn.dead = true; // submit after Bye
+                return;
+            }
+            if !limiter.admit(tenant, svc.ticks()) {
+                obs::metrics().wire_rate_limited.inc();
+                let frame =
+                    Frame::Error { request_id, refusal: WireRefusal::RateLimited { tenant } };
+                conn.wbuf.extend_from_slice(&frame.to_bytes());
+                return;
+            }
+            let job = job.into_job(tenant);
+            let meta = job.meta;
+            match svc.try_submit_with(job, meta) {
+                Ok(ticket) => conn.pending.push((ticket, request_id, Instant::now())),
+                Err(JobError::Rejected { queue_depth, queue_cap }) => {
+                    obs::metrics().wire_shed.inc();
+                    let frame = Frame::Error {
+                        request_id,
+                        refusal: WireRefusal::Shed {
+                            queue_depth: queue_depth as u64,
+                            queue_cap: queue_cap as u64,
+                        },
+                    };
+                    conn.wbuf.extend_from_slice(&frame.to_bytes());
+                }
+                Err(_) => conn.dead = true, // try_submit_with only sheds
+            }
+        }
+        Frame::Bye => conn.draining = true,
+        // Outcome/Error are server→client frames; a client sending one is
+        // a protocol violation.
+        Frame::Outcome { .. } | Frame::Error { .. } => conn.dead = true,
+    }
+}

@@ -1,0 +1,70 @@
+//! Rate-limiter determinism against a **real** service's tick clock: the
+//! limiter refills on completed-job ticks, so driving the same
+//! submit/complete schedule at 1, 2, and 8 workers must produce the same
+//! admit/deny decision sequence — worker count (and therefore wall-clock
+//! completion timing) must be unobservable.
+
+use clique_listing::ListingConfig;
+use service::{Algo, GraphInput, GraphSpec, Job, Service};
+use wire::{Quota, TenantLimiter};
+
+fn job(seed: u64) -> Job {
+    Job::new(
+        GraphInput::Spec(GraphSpec::ErdosRenyi { n: 24, p: 0.15, seed }),
+        3,
+        ListingConfig::default(),
+        Algo::Paper,
+    )
+}
+
+/// Runs one fixed schedule: three waves of "try to admit 3 submissions,
+/// run the admitted ones to completion, repeat". Returns every admit/deny
+/// decision plus the tick value it was taken at.
+fn run_schedule(workers: usize) -> Vec<(u64, bool)> {
+    let svc = Service::new(workers);
+    let mut limiter = TenantLimiter::new(Quota { burst: 2, refill_per_tick: 1 });
+    let mut decisions = Vec::new();
+    let mut seed = 0;
+    for _wave in 0..3 {
+        let mut tickets = Vec::new();
+        for _ in 0..3 {
+            let tick = svc.ticks();
+            let admitted = limiter.admit(7, tick);
+            decisions.push((tick, admitted));
+            if admitted {
+                seed += 1;
+                tickets.push(svc.try_submit(job(seed)).expect("queue is uncapped"));
+            }
+        }
+        // Complete the wave before the next decision point: after these
+        // waits the tick clock reads exactly `seed` at every worker count.
+        for t in tickets {
+            let outcome = svc.wait(t);
+            assert!(outcome.report.is_ok(), "{:?}", outcome.report);
+        }
+        assert_eq!(svc.ticks(), seed, "tick clock counts completed jobs");
+    }
+    decisions
+}
+
+#[test]
+fn same_tick_schedule_same_decisions_at_1_2_and_8_workers() {
+    let base = run_schedule(1);
+    // wave 1: bucket starts full at burst=2 → admit, admit, deny
+    // wave 2: 2 completions refilled 2 tokens (capped) → admit, admit, deny
+    // wave 3: same again
+    let expected: Vec<(u64, bool)> = vec![
+        (0, true),
+        (0, true),
+        (0, false),
+        (2, true),
+        (2, true),
+        (2, false),
+        (4, true),
+        (4, true),
+        (4, false),
+    ];
+    assert_eq!(base, expected, "the schedule itself is pinned, not just cross-worker equality");
+    assert_eq!(run_schedule(2), base, "2 workers");
+    assert_eq!(run_schedule(8), base, "8 workers");
+}

@@ -1,0 +1,190 @@
+//! Property tests for the `CLQWIRE` codec: canonical round-trip identity
+//! over randomized frames, and rejection (never panic) of truncated,
+//! magic-corrupted, and version-skewed bodies.
+
+use clique_listing::EngineChoice;
+use congest::faults::RunStats;
+use proptest::prelude::*;
+use service::{Algo, GraphInput, GraphSpec, JobError, JobReport};
+use wire::{
+    decode_stream, Frame, WireError, WireJob, WireOutcome, WireRefusal, DEFAULT_MAX_FRAME_LEN,
+};
+
+/// splitmix64 — a tiny deterministic stream of field values per seed.
+fn mix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn arb_graph(s: &mut u64) -> GraphInput {
+    match mix(s) % 4 {
+        0 => GraphInput::Cached(mix(s)),
+        1 => GraphInput::Spec(GraphSpec::ErdosRenyi {
+            n: 8 + (mix(s) % 64) as usize,
+            p: (mix(s) % 100) as f64 / 100.0,
+            seed: mix(s),
+        }),
+        2 => GraphInput::Spec(GraphSpec::Hypercube { dim: (mix(s) % 10) as u32 }),
+        _ => GraphInput::Spec(GraphSpec::Rmat {
+            scale: 4 + (mix(s) % 4) as u32,
+            edges: 50 + (mix(s) % 200) as usize,
+            a: 0.57,
+            b: 0.19,
+            c: 0.19,
+            seed: mix(s),
+        }),
+    }
+}
+
+fn arb_algo(s: &mut u64) -> Algo {
+    match mix(s) % 4 {
+        0 => Algo::Paper,
+        1 => Algo::Randomized { seed: mix(s) },
+        2 => Algo::Naive,
+        _ => Algo::Dlp12,
+    }
+}
+
+fn arb_job(s: &mut u64) -> WireJob {
+    WireJob {
+        graph: arb_graph(s),
+        p: 3 + mix(s) % 4,
+        algo: arb_algo(s),
+        engine: if mix(s).is_multiple_of(2) {
+            EngineChoice::Sequential
+        } else {
+            EngineChoice::Sharded(1 + (mix(s) % 8) as usize)
+        },
+        priority: (mix(s) % 256) as u8,
+        deadline_rounds: if mix(s).is_multiple_of(2) { None } else { Some(mix(s)) },
+    }
+}
+
+fn arb_error(s: &mut u64) -> JobError {
+    match mix(s) % 7 {
+        0 => JobError::DeadlineExceeded {
+            deadline_rounds: mix(s),
+            rounds_used: mix(s),
+            truncated: mix(s).is_multiple_of(2),
+        },
+        1 => JobError::WallDeadlineExceeded {
+            deadline_ms: mix(s),
+            elapsed_ms: mix(s),
+            rounds_used: mix(s),
+            truncated: mix(s).is_multiple_of(2),
+        },
+        2 => JobError::GraphBuild {
+            spec: format!("spec-{}", mix(s) % 1000),
+            message: format!("boom {} — unicode ✓", mix(s) % 1000),
+        },
+        3 => JobError::UnknownFingerprint(mix(s)),
+        4 => JobError::Panicked(format!("panic #{}", mix(s) % 1000)),
+        5 => JobError::FaultBudgetExhausted { retries: mix(s) },
+        _ => JobError::Rejected {
+            queue_depth: (mix(s) % 1000) as usize,
+            queue_cap: (mix(s) % 1000) as usize,
+        },
+    }
+}
+
+fn arb_outcome(s: &mut u64) -> WireOutcome {
+    let report = if mix(s).is_multiple_of(2) {
+        Ok(JobReport {
+            graph_fingerprint: mix(s),
+            clique_count: (mix(s) % 100_000) as usize,
+            clique_digest: mix(s),
+            rounds: mix(s),
+            messages: mix(s),
+            depth: (mix(s) % 40) as usize,
+            truncated: mix(s).is_multiple_of(2),
+            fallback_used: mix(s).is_multiple_of(2),
+            faults: RunStats {
+                dropped: mix(s) % 50,
+                corrupted: mix(s) % 50,
+                crashed: mix(s) % 50,
+                retries: mix(s) % 50,
+                penalty_rounds: mix(s) % 50,
+                exhausted: mix(s).is_multiple_of(2),
+            },
+        })
+    } else {
+        Err(arb_error(s))
+    };
+    WireOutcome { report, cache_hit: mix(s).is_multiple_of(2) }
+}
+
+fn arb_frame(seed: u64) -> Frame {
+    let mut s = seed;
+    match mix(&mut s) % 5 {
+        0 => Frame::Hello { tenant: (mix(&mut s) % u32::MAX as u64) as u32 },
+        1 => Frame::Submit { request_id: mix(&mut s), job: arb_job(&mut s) },
+        2 => Frame::Outcome { request_id: mix(&mut s), outcome: arb_outcome(&mut s) },
+        3 => Frame::Error {
+            request_id: mix(&mut s),
+            refusal: if mix(&mut s).is_multiple_of(2) {
+                WireRefusal::RateLimited { tenant: (mix(&mut s) % 1000) as u32 }
+            } else {
+                WireRefusal::Shed { queue_depth: mix(&mut s), queue_cap: mix(&mut s) }
+            },
+        },
+        _ => Frame::Bye,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn random_frames_round_trip_to_identical_bytes(seed in 0u64..1_000_000) {
+        let frame = arb_frame(seed);
+        let bytes = frame.to_bytes();
+        let (decoded, used) = decode_stream(&bytes, DEFAULT_MAX_FRAME_LEN)
+            .expect("valid frame")
+            .expect("complete frame");
+        prop_assert_eq!(used, bytes.len(), "one frame, fully consumed");
+        prop_assert_eq!(&decoded, &frame);
+        prop_assert_eq!(decoded.to_bytes(), bytes, "re-encode must be byte-identical");
+    }
+
+    #[test]
+    fn every_strict_prefix_of_a_body_is_rejected(seed in 0u64..1_000_000) {
+        let bytes = arb_frame(seed).to_bytes();
+        let body = &bytes[4..];
+        for cut in 0..body.len() {
+            // left-to-right decoding either runs out of bytes mid-field or
+            // trips the trailing-bytes check — never parses, never panics
+            prop_assert!(Frame::from_bytes(&body[..cut]).is_err(), "prefix len {}", cut);
+        }
+    }
+
+    #[test]
+    fn corrupted_magic_and_skewed_version_are_typed_errors(seed in 0u64..1_000_000) {
+        let bytes = arb_frame(seed).to_bytes();
+        let body = &bytes[4..];
+        let mut s = seed;
+        let pos = (mix(&mut s) % 7) as usize;
+        let mut bad_magic = body.to_vec();
+        bad_magic[pos] ^= 0xff;
+        prop_assert_eq!(Frame::from_bytes(&bad_magic), Err(WireError::BadMagic));
+        let mut skewed = body.to_vec();
+        skewed[7] = skewed[7].wrapping_add(1 + (mix(&mut s) % 200) as u8);
+        let found = skewed[7];
+        prop_assert_eq!(
+            Frame::from_bytes(&skewed),
+            Err(WireError::VersionMismatch { found })
+        );
+    }
+
+    #[test]
+    fn random_garbage_never_panics_the_stream_decoder(seed in 0u64..1_000_000) {
+        let mut s = seed;
+        let len = (mix(&mut s) % 256) as usize;
+        let garbage: Vec<u8> = (0..len).map(|_| (mix(&mut s) % 256) as u8).collect();
+        // any Result is acceptable; what's being tested is "no panic"
+        let _ = decode_stream(&garbage, DEFAULT_MAX_FRAME_LEN);
+        let _ = Frame::from_bytes(&garbage);
+    }
+}

@@ -1,0 +1,135 @@
+//! End-to-end socket tests: a real server on an ephemeral port, real
+//! blocking clients, and the acceptance property that matters — reports
+//! crossing the wire are **byte-identical** to the same jobs run
+//! in-process, including typed errors.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+use service::{Algo, GraphInput, GraphSpec, Service};
+use wire::{Frame, Quota, ServeExt, ServerConfig, WireJob, WireRefusal};
+
+/// A mixed two-tenant workload: successes across three algorithms plus a
+/// deterministic deadline miss (deadline_rounds = 0), so the error arm of
+/// the outcome codec is exercised end-to-end.
+fn wire_jobs() -> Vec<(u32, WireJob)> {
+    let er = GraphSpec::ErdosRenyi { n: 28, p: 0.18, seed: 3 };
+    let hyper = GraphSpec::Hypercube { dim: 4 };
+    let miss = WireJob {
+        deadline_rounds: Some(0),
+        ..WireJob::new(GraphInput::Spec(er.clone()), 3, Algo::Paper)
+    };
+    let prio =
+        WireJob { priority: 9, ..WireJob::new(GraphInput::Spec(hyper.clone()), 3, Algo::Naive) };
+    vec![
+        (1, WireJob::new(GraphInput::Spec(er.clone()), 3, Algo::Paper)),
+        (2, prio),
+        (1, miss),
+        (2, WireJob::new(GraphInput::Spec(er.clone()), 3, Algo::Dlp12)),
+        (1, WireJob::new(GraphInput::Spec(hyper), 4, Algo::Paper)),
+        (2, WireJob::new(GraphInput::Spec(er), 3, Algo::Randomized { seed: 11 })),
+    ]
+}
+
+/// Drains one client until `want` outcome/error frames have arrived,
+/// returning request_id → debug-formatted answer.
+fn collect(client: &mut wire::WireClient, want: usize) -> BTreeMap<u64, String> {
+    let mut got = BTreeMap::new();
+    while got.len() < want {
+        match client.next_event().expect("server frame") {
+            Frame::Outcome { request_id, outcome } => {
+                got.insert(request_id, format!("{:?}", outcome.report));
+            }
+            Frame::Error { request_id, refusal } => {
+                got.insert(request_id, format!("refused: {refusal:?}"));
+            }
+            other => panic!("unexpected server frame: {other:?}"),
+        }
+    }
+    got
+}
+
+#[test]
+fn socket_run_is_byte_identical_to_in_process() {
+    let jobs = wire_jobs();
+
+    // in-process baseline: same jobs, same tenant stamping, fresh service
+    let inproc = Service::new(2);
+    let mut expected = BTreeMap::new();
+    let tickets: Vec<_> = jobs
+        .iter()
+        .map(|(tenant, wj)| inproc.try_submit(wj.clone().into_job(*tenant)).expect("uncapped"))
+        .collect();
+    for (id, ticket) in tickets.into_iter().enumerate() {
+        expected.insert(id as u64, format!("{:?}", inproc.wait(ticket).report));
+    }
+
+    // socket run: a different service instance behind a real TCP server
+    let svc = Arc::new(Service::new(2));
+    let server = svc.serve("127.0.0.1:0").expect("bind ephemeral port");
+    let addr = server.local_addr();
+    let mut clients: BTreeMap<u32, wire::WireClient> = BTreeMap::new();
+    let mut per_tenant: BTreeMap<u32, usize> = BTreeMap::new();
+    for (id, (tenant, wj)) in jobs.iter().enumerate() {
+        let client = match clients.entry(*tenant) {
+            std::collections::btree_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::btree_map::Entry::Vacant(e) => {
+                e.insert(wire::WireClient::connect(addr, *tenant).expect("connect"))
+            }
+        };
+        client.submit(id as u64, wj.clone()).expect("submit");
+        *per_tenant.entry(*tenant).or_default() += 1;
+    }
+    let mut actual = BTreeMap::new();
+    for (tenant, client) in &mut clients {
+        actual.extend(collect(client, per_tenant[tenant]));
+    }
+
+    assert_eq!(actual, expected, "wire answers must be byte-identical to in-process answers");
+    // sanity: the workload really did exercise both arms
+    assert!(actual.values().any(|r| r.starts_with("Ok")), "{actual:#?}");
+    assert!(actual.values().any(|r| r.contains("DeadlineExceeded")), "{actual:#?}");
+}
+
+#[test]
+fn queue_shed_comes_back_as_a_typed_error_frame_on_a_live_connection() {
+    let svc = Arc::new(Service::new(1).with_queue_cap(0));
+    let server = svc.serve("127.0.0.1:0").expect("bind");
+    let mut client = wire::WireClient::connect(server.local_addr(), 3).expect("connect");
+
+    for id in 0..2u64 {
+        client.submit(id, wire_jobs()[0].1.clone()).expect("submit");
+        match client.next_event().expect("frame") {
+            Frame::Error { request_id, refusal } => {
+                assert_eq!(request_id, id);
+                assert_eq!(refusal, WireRefusal::Shed { queue_depth: 0, queue_cap: 0 });
+            }
+            other => panic!("expected a shed error, got {other:?}"),
+        }
+    }
+    // the connection survived both refusals; Bye closes it cleanly
+    client.bye().expect("bye");
+    assert!(client.next_event().is_err(), "server closes after draining");
+}
+
+#[test]
+fn hard_quota_rate_limits_deterministically() {
+    let svc = Arc::new(Service::new(1));
+    let cfg = ServerConfig {
+        default_quota: Quota { burst: 2, refill_per_tick: 0 },
+        ..ServerConfig::default()
+    };
+    let server = svc.serve_with("127.0.0.1:0", cfg).expect("bind");
+    let mut client = wire::WireClient::connect(server.local_addr(), 5).expect("connect");
+
+    for id in 0..4u64 {
+        client.submit(id, wire_jobs()[0].1.clone()).expect("submit");
+    }
+    let got = collect(&mut client, 4);
+    let refused: Vec<u64> =
+        got.iter().filter(|(_, v)| v.contains("RateLimited")).map(|(k, _)| *k).collect();
+    let served: Vec<u64> =
+        got.iter().filter(|(_, v)| v.starts_with("Ok")).map(|(k, _)| *k).collect();
+    assert_eq!(served, [0, 1], "burst of 2 admits exactly the first two submissions");
+    assert_eq!(refused, [2, 3], "refill 0 means everything after the burst is refused");
+}
