@@ -89,6 +89,19 @@ impl TenantLimiter {
         bucket.tokens -= 1;
         true
     }
+
+    /// Returns one token to `tenant`'s bucket, capped at its burst.
+    ///
+    /// For when an *admitted* submission is refused downstream anyway
+    /// (the service queue shed it): the refusal must cost nothing, same
+    /// as a limiter denial, or an overloaded tenant is double-penalized —
+    /// shed now **and** rate-limited later.
+    pub fn refund(&mut self, tenant: u32) {
+        let quota = self.quota(tenant);
+        if let Some(bucket) = self.buckets.get_mut(&tenant) {
+            bucket.tokens = bucket.tokens.saturating_add(1).min(quota.burst);
+        }
+    }
 }
 
 #[cfg(test)]
@@ -126,6 +139,28 @@ mod tests {
         for _ in 0..1000 {
             assert!(l.admit(9, 0), "unlimited tenant never denied");
         }
+    }
+
+    #[test]
+    fn refund_restores_a_charged_token_but_never_exceeds_burst() {
+        let mut l = TenantLimiter::new(Quota { burst: 2, refill_per_tick: 0 });
+        assert!(l.admit(1, 0));
+        assert!(l.admit(1, 0));
+        assert!(!l.admit(1, 0), "bucket empty");
+        // an admitted-then-shed submission is refunded and can retry
+        l.refund(1);
+        assert!(l.admit(1, 0));
+        assert!(!l.admit(1, 0));
+        // refunds cap at burst: a full bucket stays full
+        l.refund(1);
+        l.refund(1);
+        l.refund(1);
+        assert!(l.admit(1, 0));
+        assert!(l.admit(1, 0));
+        assert!(!l.admit(1, 0), "three refunds on a 2-burst bucket admit only two");
+        // refunding a tenant with no bucket yet is a no-op, not a panic
+        l.refund(99);
+        assert!(l.admit(99, 0));
     }
 
     #[test]

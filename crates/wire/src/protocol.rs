@@ -146,7 +146,12 @@ impl WireJob {
     /// tenant id.
     pub fn into_job(self, tenant: u32) -> Job {
         let config = ListingConfig { engine: self.engine, ..ListingConfig::default() };
-        let mut job = Job::new(self.graph, self.p as usize, config, self.algo)
+        // The decoder rejects wire `p` values that overflow `usize`, so
+        // on the server path this conversion is exact; a hand-built
+        // `WireJob` on a 32-bit target saturates (yielding an impossible
+        // clique size) rather than silently truncating.
+        let p = usize::try_from(self.p).unwrap_or(usize::MAX);
+        let mut job = Job::new(self.graph, p, config, self.algo)
             .with_priority(self.priority)
             .with_tenant(tenant);
         if let Some(rounds) = self.deadline_rounds {
@@ -500,9 +505,17 @@ fn get_engine(r: &mut Rd<'_>) -> Result<EngineChoice, WireError> {
 }
 
 fn get_job(r: &mut Rd<'_>) -> Result<WireJob, WireError> {
+    let graph = get_graph(r)?;
+    // `p` stays u64 on the wire but becomes a usize in the rebuilt job;
+    // reject values a 32-bit server could only truncate, matching the
+    // usize::try_from discipline of get_engine/get_usize.
+    let p = r.u64("p")?;
+    if usize::try_from(p).is_err() {
+        return Err(WireError::Malformed("p overflows usize"));
+    }
     Ok(WireJob {
-        graph: get_graph(r)?,
-        p: r.u64("p")?,
+        graph,
+        p,
         algo: get_algo(r)?,
         engine: get_engine(r)?,
         priority: r.u8("priority")?,

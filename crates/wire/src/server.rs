@@ -12,7 +12,15 @@
 //! 2. **read** — drain each socket into its receive buffer, then decode
 //!    and handle complete frames ([`Frame::Hello`] binds the tenant,
 //!    [`Frame::Submit`] goes through the limiter and
-//!    [`Service::try_submit_with`], [`Frame::Bye`] starts draining);
+//!    [`Service::try_submit_with`], [`Frame::Bye`] starts draining).
+//!    **Both the read and the decode halves stop while the connection's
+//!    write buffer is at its cap** — refusal frames (rate-limit, shed) are
+//!    appended during decoding, so a tenant that floods submits without
+//!    ever reading responses stalls here, the kernel receive buffer fills,
+//!    and TCP flow control pushes back on the sender instead of the write
+//!    buffer growing at line rate. The receive buffer itself is capped at
+//!    one max-length frame plus one read, so a flooder cannot shift the
+//!    unbounded growth there either;
 //! 3. **complete** — poll [`Service::try_wait`] for each connection's
 //!    pending tickets and encode `Outcome` frames, **stopping when the
 //!    connection's write buffer reaches its cap** (backpressure: unclaimed
@@ -56,7 +64,9 @@ pub struct ServerConfig {
     pub tenant_quotas: Vec<(u32, Quota)>,
     /// Per-connection write-buffer cap in bytes. Once a connection's
     /// buffer is at or above this, the loop stops claiming outcomes for it
-    /// until the client drains some bytes.
+    /// **and stops reading/decoding its socket** until the client drains
+    /// some bytes — so the buffer is bounded by the cap plus one frame
+    /// even against a client that submits without ever reading.
     pub write_buf_cap: usize,
     /// Cap on a single received frame's body length.
     pub max_frame_len: usize,
@@ -108,7 +118,13 @@ struct Conn {
     /// In-flight tickets with their request ids and submit instants,
     /// oldest first.
     pending: Vec<(Ticket, u64, Instant)>,
-    /// `Bye` received (or read side closed): no more submits; close once
+    /// The read side hit EOF. Frames already buffered in `rbuf` are still
+    /// decoded and handled — a one-shot client may pipeline
+    /// `Hello`+`Submit`+`Bye` and close (or shut down its write half)
+    /// without waiting; its submits are valid work. Only once everything
+    /// buffered before EOF has been handled does this flip `draining`.
+    eof: bool,
+    /// `Bye` received (or EOF fully decoded): no more submits; close once
     /// pending and wbuf drain.
     draining: bool,
     /// Protocol violation or socket error: close now, orphaning pending.
@@ -214,6 +230,7 @@ fn event_loop(svc: Arc<Service>, listener: TcpListener, cfg: ServerConfig, stop:
                         wbuf: Vec::new(),
                         tenant: None,
                         pending: Vec::new(),
+                        eof: false,
                         draining: false,
                         dead: false,
                     });
@@ -225,14 +242,25 @@ fn event_loop(svc: Arc<Service>, listener: TcpListener, cfg: ServerConfig, stop:
         }
 
         // 2. read + handle frames
+        //
+        // Backpressure reaches the read side: while a connection's write
+        // buffer is at its cap (the client is not draining its outcomes or
+        // refusal frames), we neither read its socket nor decode buffered
+        // frames. The kernel receive buffer fills and TCP flow control
+        // stalls the sender, so even a tenant flooding submits at line
+        // rate — every refusal appends to wbuf — cannot grow wbuf past
+        // cap + one frame. The receive buffer is capped too (one
+        // max-length frame, so a complete frame can always land, plus one
+        // scratch read), keeping both buffers bounded.
+        let rbuf_high = cfg.max_frame_len.saturating_add(4);
         for conn in &mut conns {
             if conn.dead {
                 continue;
             }
-            loop {
+            while !conn.eof && conn.wbuf.len() < cfg.write_buf_cap && conn.rbuf.len() < rbuf_high {
                 match conn.stream.read(&mut scratch) {
                     Ok(0) => {
-                        conn.draining = true;
+                        conn.eof = true;
                         break;
                     }
                     Ok(n) => {
@@ -248,9 +276,13 @@ fn event_loop(svc: Arc<Service>, listener: TcpListener, cfg: ServerConfig, stop:
                     }
                 }
             }
-            while !conn.dead {
+            let mut decoded_all = false;
+            while !conn.dead && conn.wbuf.len() < cfg.write_buf_cap {
                 match decode_stream(&conn.rbuf, cfg.max_frame_len) {
-                    Ok(None) => break,
+                    Ok(None) => {
+                        decoded_all = true;
+                        break;
+                    }
                     Ok(Some((frame, used))) => {
                         conn.rbuf.drain(..used);
                         handle_frame(&svc, &mut limiter, conn, frame);
@@ -262,6 +294,12 @@ fn event_loop(svc: Arc<Service>, listener: TcpListener, cfg: ServerConfig, stop:
                         conn.dead = true;
                     }
                 }
+            }
+            // Frames that arrived before EOF are handled above; only now
+            // does EOF mean "no more submits". If decoding stopped early
+            // on the wbuf cap, draining waits for a later sweep.
+            if conn.eof && decoded_all {
+                conn.draining = true;
             }
         }
 
@@ -380,6 +418,10 @@ fn handle_frame(svc: &Service, limiter: &mut TenantLimiter, conn: &mut Conn, fra
             match svc.try_submit_with(job, meta) {
                 Ok(ticket) => conn.pending.push((ticket, request_id, Instant::now())),
                 Err(JobError::Rejected { queue_depth, queue_cap }) => {
+                    // The limiter charged a token before the queue-cap
+                    // check could run; a shed submission was refused, not
+                    // served, and limit.rs promises refusals cost nothing.
+                    limiter.refund(tenant);
                     obs::metrics().wire_shed.inc();
                     let frame = Frame::Error {
                         request_id,

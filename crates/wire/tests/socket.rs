@@ -4,9 +4,12 @@
 //! in-process, including typed errors.
 
 use std::collections::BTreeMap;
+use std::io::{Read, Write};
+use std::net::{Shutdown, TcpStream};
 use std::sync::Arc;
 
 use service::{Algo, GraphInput, GraphSpec, Service};
+use wire::{decode_stream, DEFAULT_MAX_FRAME_LEN};
 use wire::{Frame, Quota, ServeExt, ServerConfig, WireJob, WireRefusal};
 
 /// A mixed two-tenant workload: successes across three algorithms plus a
@@ -110,6 +113,125 @@ fn queue_shed_comes_back_as_a_typed_error_frame_on_a_live_connection() {
     // the connection survived both refusals; Bye closes it cleanly
     client.bye().expect("bye");
     assert!(client.next_event().is_err(), "server closes after draining");
+}
+
+/// A one-shot scripted client (the `nc` shape): pipeline
+/// `Hello`+`Submit`+`Bye`, shut down the write half immediately, then read
+/// the answers. The EOF the server sees must not invalidate the submits
+/// that arrived before it.
+#[test]
+fn pipelined_submits_before_eof_are_still_served() {
+    let svc = Arc::new(Service::new(1));
+    let server = svc.serve("127.0.0.1:0").expect("bind");
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+
+    let mut script = Vec::new();
+    script.extend_from_slice(&Frame::Hello { tenant: 6 }.to_bytes());
+    for id in 0..3u64 {
+        let submit = Frame::Submit { request_id: id, job: wire_jobs()[0].1.clone() };
+        script.extend_from_slice(&submit.to_bytes());
+    }
+    script.extend_from_slice(&Frame::Bye.to_bytes());
+    stream.write_all(&script).expect("pipeline the whole session");
+    stream.shutdown(Shutdown::Write).expect("close the write half");
+
+    let mut buf = Vec::new();
+    stream.read_to_end(&mut buf).expect("server streams outcomes then closes");
+    let mut seen = BTreeMap::new();
+    while let Some((frame, used)) = decode_stream(&buf, DEFAULT_MAX_FRAME_LEN).expect("frame") {
+        buf.drain(..used);
+        match frame {
+            Frame::Outcome { request_id, outcome } => {
+                seen.insert(request_id, outcome.report.is_ok());
+            }
+            other => panic!("expected outcomes only, got {other:?}"),
+        }
+    }
+    assert_eq!(
+        seen,
+        BTreeMap::from([(0, true), (1, true), (2, true)]),
+        "all three pipelined submits must be answered despite the early EOF"
+    );
+}
+
+/// A tenant floods submits that are all refused (burst-0 quota) while a
+/// tiny write-buffer cap forces the server's read-side backpressure to
+/// engage. Every submit must still come back as a typed refusal on a
+/// healthy connection — nothing dropped, nothing killed, no unbounded
+/// buffering.
+#[test]
+fn refusal_flood_survives_read_side_backpressure() {
+    const FLOOD: u64 = 3000;
+    let svc = Arc::new(Service::new(1));
+    let cfg = ServerConfig {
+        default_quota: Quota { burst: 0, refill_per_tick: 0 },
+        write_buf_cap: 1 << 10,
+        ..ServerConfig::default()
+    };
+    let server = svc.serve_with("127.0.0.1:0", cfg).expect("bind");
+
+    let reader = TcpStream::connect(server.local_addr()).expect("connect");
+    let mut writer = reader.try_clone().expect("clone write half");
+    let flood = std::thread::spawn(move || {
+        writer.write_all(&Frame::Hello { tenant: 1 }.to_bytes()).expect("hello");
+        let job = wire_jobs()[0].1.clone();
+        for id in 0..FLOOD {
+            let bytes = Frame::Submit { request_id: id, job: job.clone() }.to_bytes();
+            writer.write_all(&bytes).expect("submit survives backpressure");
+        }
+    });
+
+    let mut reader = reader;
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 16 << 10];
+    let mut next_id = 0u64;
+    while next_id < FLOOD {
+        match decode_stream(&buf, DEFAULT_MAX_FRAME_LEN).expect("frame") {
+            Some((Frame::Error { request_id, refusal }, used)) => {
+                assert_eq!(request_id, next_id, "refusals arrive in submit order");
+                assert_eq!(refusal, WireRefusal::RateLimited { tenant: 1 });
+                buf.drain(..used);
+                next_id += 1;
+            }
+            Some((other, _)) => panic!("expected refusals only, got {other:?}"),
+            None => {
+                let n = reader.read(&mut chunk).expect("read");
+                assert!(n > 0, "server closed mid-flood after {next_id} refusals");
+                buf.extend_from_slice(&chunk[..n]);
+            }
+        }
+    }
+    flood.join().expect("flood thread");
+}
+
+/// An admitted submission that the queue then sheds must refund its
+/// rate-limit token: with burst 1 and a reject-all queue, every retry sees
+/// `Shed` — never `RateLimited` — exactly as limit.rs promises refusals
+/// cost nothing.
+#[test]
+fn shed_submissions_refund_their_rate_limit_token() {
+    let svc = Arc::new(Service::new(1).with_queue_cap(0));
+    let cfg = ServerConfig {
+        default_quota: Quota { burst: 1, refill_per_tick: 0 },
+        ..ServerConfig::default()
+    };
+    let server = svc.serve_with("127.0.0.1:0", cfg).expect("bind");
+    let mut client = wire::WireClient::connect(server.local_addr(), 4).expect("connect");
+
+    for id in 0..3u64 {
+        client.submit(id, wire_jobs()[0].1.clone()).expect("submit");
+        match client.next_event().expect("frame") {
+            Frame::Error { request_id, refusal } => {
+                assert_eq!(request_id, id);
+                assert_eq!(
+                    refusal,
+                    WireRefusal::Shed { queue_depth: 0, queue_cap: 0 },
+                    "a shed submission must not also consume the tenant's only token"
+                );
+            }
+            other => panic!("expected a shed error, got {other:?}"),
+        }
+    }
 }
 
 #[test]
